@@ -1,0 +1,46 @@
+#ifndef SNORKEL_BENCH_BENCH_UTIL_H_
+#define SNORKEL_BENCH_BENCH_UTIL_H_
+
+// Shared configuration for the paper-reproduction benchmark binaries. Every
+// binary runs with no arguments, prints the corresponding paper table /
+// figure series, and finishes in seconds-to-a-minute on a laptop.
+
+#include <cstdio>
+
+#include "pipeline/pipeline.h"
+#include "synth/relation_task.h"
+
+namespace snorkel::bench {
+
+/// Corpus scale used by the heavier pipeline benches.
+inline constexpr double kScale = 0.5;
+
+/// Pipeline configuration used across the table benches: Algorithm 1 decides
+/// MV vs GM and the correlation set, exactly as a mature deployment would.
+inline PipelineOptions StandardPipelineOptions() {
+  PipelineOptions options;
+  options.gen.epochs = 150;
+  options.disc.epochs = 20;
+  options.use_optimizer = true;
+  options.optimizer.eta = 0.05;
+  options.optimizer.structure.epochs = 25;
+  options.optimizer.structure.sweep_epochs = 10;
+  options.optimizer.structure.max_rows = 4000;
+  return options;
+}
+
+/// The four relation-extraction tasks of §4.1.1, at bench scale.
+inline std::vector<Result<RelationTask>> MakeRelationTasks(uint64_t seed = 42) {
+  std::vector<Result<RelationTask>> tasks;
+  tasks.push_back(MakeChemTask(seed, kScale));
+  tasks.push_back(MakeEhrTask(seed, kScale * 0.5));  // EHR is the largest.
+  tasks.push_back(MakeCdrTask(seed, kScale));
+  tasks.push_back(MakeSpousesTask(seed, kScale));
+  return tasks;
+}
+
+inline double Pct(double x) { return 100.0 * x; }
+
+}  // namespace snorkel::bench
+
+#endif  // SNORKEL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Reproduces Figure 4: modeling advantage vs the number of labeling
+// functions (equivalently, label density) on the synthetic dataset of
+// footnote 7 — m=1000 class-balanced points, independent LFs with 75%
+// accuracy and 10% labeling propensity. Series: learned generative model
+// advantage A_w, optimal advantage A* (planted weights), the optimizer's
+// upper bound Ã*, and the low-density bound of Proposition 1.
+
+#include <cstdio>
+
+#include "core/advantage.h"
+#include "core/generative_model.h"
+#include "synth/synthetic_matrix.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace snorkel;
+  const size_t kNumLfs[] = {1, 2, 3, 5, 8, 12, 18, 27, 40, 60,
+                            90, 135, 200, 300, 450, 675, 1000};
+  TablePrinter table({"n LFs", "density", "GM Aw", "Optimal A*", "Optimizer A~*",
+                      "LowDensity bound"});
+  Rng acc_rng(77);
+  for (size_t n : kNumLfs) {
+    // "Average accuracy 75%" (footnote 7): accuracies spread around the
+    // mean, otherwise the optimally-weighted vote is identical to MV.
+    std::vector<SyntheticLfSpec> lfs;
+    for (size_t j = 0; j < n; ++j) {
+      lfs.push_back(SyntheticLfSpec{acc_rng.Uniform(0.6, 0.9), 0.1, -1, 1.0});
+    }
+    auto data = SyntheticMatrixGenerator::Generate({1000, 0.5, 1234 + n}, lfs);
+    if (!data.ok()) continue;
+    GenerativeModelOptions options;
+    options.epochs = 150;
+    GenerativeModel gen(options);
+    double learned = 0.0;
+    if (gen.Fit(data->matrix).ok()) {
+      learned = ModelingAdvantage(data->matrix, data->gold,
+                                  gen.accuracy_weights());
+    }
+    double optimal =
+        ModelingAdvantage(data->matrix, data->gold, data->true_weights);
+    double predicted = PredictedAdvantage(data->matrix);
+    double bound = LowDensityBound(data->matrix.LabelDensity(), 0.75);
+    table.AddRow({TablePrinter::Cell(static_cast<int64_t>(n)),
+                  TablePrinter::Cell(data->matrix.LabelDensity(), 2),
+                  TablePrinter::Cell(learned, 4),
+                  TablePrinter::Cell(optimal, 4),
+                  TablePrinter::Cell(predicted, 4),
+                  TablePrinter::Cell(bound, 4)});
+  }
+  std::printf(
+      "Figure 4: modeling advantage vs number of LFs (m=1000, acc=75%%, "
+      "propensity=10%%)\nExpected shape: advantage ~0 in the low-density "
+      "regime, peaks in the mid-density regime, decays toward 0 in the "
+      "high-density regime; A~* upper-bounds A*.\n\n%s\n",
+      table.ToString().c_str());
+  return 0;
+}

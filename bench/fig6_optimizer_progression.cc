@@ -1,0 +1,56 @@
+// Reproduces Figure 6: the modeling advantage (learned GM vs majority vote)
+// and the optimizer's bound Ã* on the CDR task as the number of labeling
+// functions grows — simulating iterative development. Early, sparse stages
+// should be MV; later, denser stages should switch to GM.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/advantage.h"
+#include "core/generative_model.h"
+#include "lf/applier.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace snorkel;
+  auto task = MakeCdrTask(42, 0.35);
+  if (!task.ok()) {
+    std::printf("task generation failed\n");
+    return 1;
+  }
+  LFApplier applier;
+  auto full = applier.Apply(task->lfs, task->corpus, task->candidates);
+  if (!full.ok()) {
+    std::printf("apply failed\n");
+    return 1;
+  }
+
+  const double kGamma = 0.01;  // Advantage tolerance γ.
+  TablePrinter table({"# LFs", "density", "GM Aw", "A~*", "Decision"});
+  for (size_t n = 2; n <= task->lfs.size(); n += 3) {
+    std::vector<size_t> prefix(n);
+    for (size_t j = 0; j < n; ++j) prefix[j] = j;
+    LabelMatrix matrix = full->SelectColumns(prefix);
+
+    GenerativeModelOptions gen_options;
+    gen_options.epochs = 120;
+    gen_options.class_balance = task->PositiveFraction();
+    GenerativeModel gen(gen_options);
+    double advantage = 0.0;
+    if (gen.Fit(matrix).ok()) {
+      advantage = ModelingAdvantage(matrix, task->gold, gen.accuracy_weights());
+    }
+    double predicted = PredictedAdvantage(matrix);
+    table.AddRow({TablePrinter::Cell(static_cast<int64_t>(n)),
+                  TablePrinter::Cell(matrix.LabelDensity(), 2),
+                  TablePrinter::Cell(advantage, 4),
+                  TablePrinter::Cell(predicted, 4),
+                  predicted < kGamma ? "MV" : "GM"});
+  }
+  std::printf(
+      "Figure 6: advantage vs number of CDR LFs (iterative development)\n"
+      "Expected shape: the optimizer chooses MV during the earliest stages "
+      "and GM once the LF set matures.\n\n%s\n",
+      table.ToString().c_str());
+  return 0;
+}

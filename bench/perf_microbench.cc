@@ -1,0 +1,108 @@
+// Performance microbenchmarks (google-benchmark) for the §3.1-3.2 speed
+// claims: the MV shortcut vs generative-model training (up to 1.8x per
+// pipeline execution), the linear cost of correlations in the Gibbs
+// sampler, structure-learning sweep cost, and LF application throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/advantage.h"
+#include "core/generative_model.h"
+#include "core/majority_vote.h"
+#include "core/structure_learner.h"
+#include "lf/applier.h"
+#include "synth/relation_task.h"
+#include "synth/synthetic_matrix.h"
+
+namespace snorkel {
+namespace {
+
+const SyntheticDataset& SharedMatrix() {
+  static const SyntheticDataset* data = [] {
+    auto result = SyntheticMatrixGenerator::GenerateIid(
+        /*num_points=*/5000, /*num_lfs=*/50, /*accuracy=*/0.75,
+        /*propensity=*/0.2, /*seed=*/11);
+    return new SyntheticDataset(std::move(result).value());
+  }();
+  return *data;
+}
+
+/// §3.1: the majority-vote shortcut the optimizer can select.
+void BM_MajorityVote(benchmark::State& state) {
+  const auto& data = SharedMatrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MajorityVotePredictions(data.matrix));
+  }
+}
+BENCHMARK(BM_MajorityVote);
+
+/// §3.1: the generative model training the shortcut skips.
+void BM_GenerativeModelFitExact(benchmark::State& state) {
+  const auto& data = SharedMatrix();
+  GenerativeModelOptions options;
+  options.epochs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    GenerativeModel gen(options);
+    benchmark::DoNotOptimize(gen.Fit(data.matrix).ok());
+  }
+}
+BENCHMARK(BM_GenerativeModelFitExact)->Arg(50)->Arg(150);
+
+/// §3.2: Gibbs-sampled training cost grows with the number of modeled
+/// correlations (linear overhead per correlation).
+void BM_GenerativeModelFitCorrelated(benchmark::State& state) {
+  const auto& data = SharedMatrix();
+  std::vector<CorrelationPair> correlations;
+  for (int c = 0; c < state.range(0); ++c) {
+    size_t j = static_cast<size_t>(c) % 49;
+    correlations.push_back({j, j + 1});
+  }
+  GenerativeModelOptions options;
+  options.epochs = 30;
+  for (auto _ : state) {
+    GenerativeModel gen(options);
+    benchmark::DoNotOptimize(gen.Fit(data.matrix, correlations).ok());
+  }
+}
+BENCHMARK(BM_GenerativeModelFitCorrelated)->Arg(0)->Arg(10)->Arg(40);
+
+/// §3.2: one structure-learning pass (pseudolikelihood, exact gradients).
+void BM_StructureLearning(benchmark::State& state) {
+  const auto& data = SharedMatrix();
+  StructureLearnerOptions options;
+  options.epochs = 15;
+  options.max_rows = static_cast<size_t>(state.range(0));
+  StructureLearner learner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner.LearnStructure(data.matrix, 0.2).ok());
+  }
+}
+BENCHMARK(BM_StructureLearning)->Arg(1000)->Arg(4000);
+
+/// The optimizer's Ã* heuristic is a single cheap pass over Λ.
+void BM_PredictedAdvantage(benchmark::State& state) {
+  const auto& data = SharedMatrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PredictedAdvantage(data.matrix));
+  }
+}
+BENCHMARK(BM_PredictedAdvantage);
+
+/// Appendix C: LF application is embarrassingly parallel over candidates.
+void BM_LfApplication(benchmark::State& state) {
+  static const RelationTask* task = [] {
+    auto result = MakeCdrTask(42, 0.25);
+    return new RelationTask(std::move(result).value());
+  }();
+  LFApplier applier(
+      LFApplier::Options{static_cast<size_t>(state.range(0)), 2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        applier.Apply(task->lfs, task->corpus, task->candidates).ok());
+  }
+}
+BENCHMARK(BM_LfApplication)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace snorkel
+
+BENCHMARK_MAIN();

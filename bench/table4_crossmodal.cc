@@ -1,0 +1,118 @@
+// Reproduces Table 4 (cross-modal tasks): labeling functions vote on one
+// modality (radiology report text; crowd workers), the discriminative model
+// trains on another (image features; tweet text), and approaches the
+// hand-supervised skyline.
+
+#include <cstdio>
+
+#include "core/dawid_skene.h"
+#include "core/generative_model.h"
+#include "disc/linear_model.h"
+#include "eval/metrics.h"
+#include "lf/applier.h"
+#include "synth/crossmodal.h"
+#include "util/table_printer.h"
+
+namespace snorkel {
+namespace {
+
+template <typename T>
+std::vector<T> Gather(const std::vector<T>& values,
+                      const std::vector<size_t>& idx) {
+  std::vector<T> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(values[i]);
+  return out;
+}
+
+/// Radiology: report-text LFs -> generative model -> image classifier (AUC).
+void RunRadiology(TablePrinter* table) {
+  auto task = MakeRadiologyTask();
+  if (!task.ok()) return;
+  LFApplier applier;
+  auto matrix = applier.Apply(task->lfs, task->corpus, task->candidates);
+  if (!matrix.ok()) return;
+
+  GenerativeModelOptions gen_options;
+  gen_options.class_balance = 0.36;
+  GenerativeModel gen(gen_options);
+  if (!gen.Fit(matrix->SelectRows(task->train_idx)).ok()) return;
+  auto train_probs =
+      gen.PredictProba(matrix->SelectRows(task->train_idx), false);
+
+  auto train_images = Gather(task->image_features, task->train_idx);
+  auto test_images = Gather(task->image_features, task->test_idx);
+  auto test_gold = Gather(task->gold, task->test_idx);
+  auto train_gold = Gather(task->gold, task->train_idx);
+
+  DiscModelOptions disc_options;
+  disc_options.epochs = 30;
+  LogisticRegressionClassifier snorkel_disc(disc_options);
+  if (!snorkel_disc.Fit(train_images, task->image_feature_dim, train_probs)
+           .ok()) {
+    return;
+  }
+  double snorkel_auc = RocAuc(snorkel_disc.PredictProba(test_images), test_gold);
+
+  LogisticRegressionClassifier hand(disc_options);
+  if (!hand.FitHard(train_images, task->image_feature_dim, train_gold).ok()) {
+    return;
+  }
+  double hand_auc = RocAuc(hand.PredictProba(test_images), test_gold);
+  table->AddRow({"Radiology (AUC)", TablePrinter::Cell(100 * snorkel_auc, 1),
+                 TablePrinter::Cell(100 * hand_auc, 1)});
+}
+
+/// Crowd: one LF per worker -> Dawid-Skene label model -> tweet classifier.
+void RunCrowd(TablePrinter* table) {
+  auto task = MakeCrowdTask();
+  if (!task.ok()) return;
+  DawidSkeneModel label_model;
+  if (!label_model.Fit(task->worker_matrix.SelectRows(task->train_idx)).ok()) {
+    return;
+  }
+  auto train_posteriors =
+      label_model.PredictProba(task->worker_matrix.SelectRows(task->train_idx));
+
+  auto train_text = Gather(task->text_features, task->train_idx);
+  auto test_text = Gather(task->text_features, task->test_idx);
+  auto test_gold = Gather(task->gold, task->test_idx);
+  auto train_gold = Gather(task->gold, task->train_idx);
+
+  // Reorder posteriors into label order 1..K (ClassToLabel is identity+1 for
+  // multi-class matrices).
+  DiscModelOptions disc_options;
+  disc_options.epochs = 40;
+  SoftmaxRegressionClassifier snorkel_disc(disc_options);
+  if (!snorkel_disc.Fit(train_text, task->num_buckets, train_posteriors,
+                        task->cardinality)
+           .ok()) {
+    return;
+  }
+  double snorkel_acc =
+      MulticlassAccuracy(snorkel_disc.PredictLabels(test_text), test_gold);
+
+  SoftmaxRegressionClassifier hand(disc_options);
+  if (!hand.FitHard(train_text, task->num_buckets, train_gold,
+                    task->cardinality)
+           .ok()) {
+    return;
+  }
+  double hand_acc = MulticlassAccuracy(hand.PredictLabels(test_text), test_gold);
+  table->AddRow({"Crowd (Acc)", TablePrinter::Cell(100 * snorkel_acc, 1),
+                 TablePrinter::Cell(100 * hand_acc, 1)});
+}
+
+}  // namespace
+}  // namespace snorkel
+
+int main() {
+  snorkel::TablePrinter table({"Task", "Snorkel (Disc.)", "Hand Supervision"});
+  snorkel::RunRadiology(&table);
+  snorkel::RunCrowd(&table);
+  std::printf("Table 4: cross-modal tasks\n"
+              "(paper: Radiology AUC 72.0 vs 76.2 | Crowd Acc 65.6 vs 68.8)\n\n"
+              "%s\n",
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table 6: labeling-function type ablation on the CDR task —
+// text patterns, + distant supervision, + structure-based heuristics.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace snorkel;
+  auto task = MakeCdrTask(42, bench::kScale);
+  if (!task.ok()) {
+    std::printf("task generation failed\n");
+    return 1;
+  }
+
+  // Cumulative LF groups in the paper's order.
+  const char* kStages[] = {"Text Patterns", "+ Distant Supervision",
+                           "+ Structure-based"};
+  const char* kGroups[] = {"pattern", "distant", "structure"};
+
+  TablePrinter table({"LF Type", "# LFs", "P", "R", "F1", "Lift"});
+  double previous_f1 = 0.0;
+  std::vector<size_t> subset;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (size_t j = 0; j < task->lf_groups.size(); ++j) {
+      if (task->lf_groups[j] == kGroups[stage]) subset.push_back(j);
+    }
+    PipelineOptions options = bench::StandardPipelineOptions();
+    options.lf_subset = subset;
+    options.run_hand_baseline = false;
+    options.run_ds_baseline = false;
+    options.run_unweighted_baseline = false;
+    auto report = RunRelationPipeline(*task, options);
+    if (!report.ok()) {
+      std::printf("stage %d failed: %s\n", stage,
+                  report.status().ToString().c_str());
+      continue;
+    }
+    double f1 = report->disc_test.F1();
+    table.AddRow({kStages[stage],
+                  TablePrinter::Cell(static_cast<int64_t>(subset.size())),
+                  TablePrinter::Cell(bench::Pct(report->disc_test.Precision()), 1),
+                  TablePrinter::Cell(bench::Pct(report->disc_test.Recall()), 1),
+                  TablePrinter::Cell(bench::Pct(f1), 1),
+                  stage == 0 ? std::string("")
+                             : TablePrinter::Cell(bench::Pct(f1 - previous_f1), 1)});
+    previous_f1 = f1;
+  }
+  std::printf("Table 6: LF type ablation on CDR (end-model scores)\n"
+              "(paper: Text Patterns 42.3 | +DS 44.3 (+2.0) | +Structure 45.3 "
+              "(+1.0))\n\n%s\n",
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Crowdsourced 5-class sentiment (the §4.1.2 Crowd task): each crowd worker
+// is a labeling function; the Dawid-Skene label model denoises their votes;
+// a softmax text classifier then predicts independently of the workers.
+
+#include <cstdio>
+
+#include "core/dawid_skene.h"
+#include "core/majority_vote.h"
+#include "disc/linear_model.h"
+#include "eval/metrics.h"
+#include "synth/crossmodal.h"
+
+int main() {
+  using namespace snorkel;
+  auto task = MakeCrowdTask();
+  if (!task.ok()) {
+    std::printf("task generation failed\n");
+    return 1;
+  }
+  std::printf("Crowd task: %zu tweets, %zu workers, ~%.0f votes per tweet\n",
+              task->tweets.size(), task->worker_matrix.num_lfs(),
+              task->worker_matrix.LabelDensity());
+
+  DawidSkeneModel label_model;
+  if (!label_model.Fit(task->worker_matrix).ok()) return 1;
+  double ds_acc = MulticlassAccuracy(
+      label_model.PredictLabels(task->worker_matrix), task->gold);
+  double mv_acc = MulticlassAccuracy(
+      PluralityVotePredictions(task->worker_matrix), task->gold);
+  std::printf("Label model accuracy: Dawid-Skene %.3f vs plurality vote %.3f\n",
+              ds_acc, mv_acc);
+
+  // Worker quality estimates vs planted truth for a few workers.
+  std::printf("Worker accuracy estimates (first 5): ");
+  for (size_t w = 0; w < 5; ++w) {
+    std::printf("%.2f(true %.2f) ", label_model.WorkerAccuracy(w),
+                task->worker_accuracies[w]);
+  }
+  std::printf("\n");
+
+  // Train the text model on probabilistic labels; it predicts for tweets no
+  // worker ever saw.
+  auto posteriors = label_model.PredictProba(task->worker_matrix);
+  std::vector<FeatureVector> train_features;
+  std::vector<std::vector<double>> train_posteriors;
+  std::vector<FeatureVector> test_features;
+  std::vector<Label> test_gold;
+  for (size_t i : task->train_idx) {
+    train_features.push_back(task->text_features[i]);
+    train_posteriors.push_back(posteriors[i]);
+  }
+  for (size_t i : task->test_idx) {
+    test_features.push_back(task->text_features[i]);
+    test_gold.push_back(task->gold[i]);
+  }
+  DiscModelOptions options;
+  options.epochs = 40;
+  SoftmaxRegressionClassifier text_model(options);
+  if (!text_model
+           .Fit(train_features, task->num_buckets, train_posteriors,
+                task->cardinality)
+           .ok()) {
+    return 1;
+  }
+  std::printf("Text model accuracy on held-out tweets: %.3f\n",
+              MulticlassAccuracy(text_model.PredictLabels(test_features),
+                                 test_gold));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: the data-programming core in ~40 lines. Generate a synthetic
+// weak-supervision task, fit the generative label model without any ground
+// truth, and compare it against majority vote.
+
+#include <cstdio>
+
+#include "core/generative_model.h"
+#include "core/majority_vote.h"
+#include "eval/metrics.h"
+#include "synth/synthetic_matrix.h"
+
+int main() {
+  using namespace snorkel;
+
+  // Three strong sources (90%) and three weak ones (60%), 40% coverage each.
+  std::vector<SyntheticLfSpec> lfs;
+  for (int j = 0; j < 3; ++j) lfs.push_back({0.9, 0.4, -1, 1.0});
+  for (int j = 0; j < 3; ++j) lfs.push_back({0.6, 0.4, -1, 1.0});
+  auto data = SyntheticMatrixGenerator::Generate({5000, 0.5, 42}, lfs);
+  if (!data.ok()) {
+    std::printf("generation failed: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  // Fit the generative model on the label matrix alone (no gold labels).
+  GenerativeModel model;
+  if (Status s = model.Fit(data->matrix); !s.ok()) {
+    std::printf("fit failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Estimated source accuracies (true: 3x0.90, 3x0.60):\n");
+  for (double alpha : model.EstimatedAccuracies()) {
+    std::printf("  %.3f\n", alpha);
+  }
+
+  auto gm = ComputeBinaryConfusion(model.PredictLabels(data->matrix),
+                                   data->gold);
+  auto mv = ComputeBinaryConfusion(MajorityVotePredictions(data->matrix),
+                                   data->gold);
+  std::printf("\nLabel accuracy: generative model %.3f vs majority vote %.3f\n",
+              gm.Accuracy(), mv.Accuracy());
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "core/advantage.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/majority_vote.h"
+#include "util/math_util.h"
+
+namespace snorkel {
+
+double AccuracyToWeight(double alpha) {
+  return Logit(alpha);
+}
+
+double WeightToAccuracy(double w) {
+  return Sigmoid(w);
+}
+
+double ModelingAdvantage(const LabelMatrix& matrix,
+                         const std::vector<Label>& gold,
+                         const std::vector<double>& weights) {
+  assert(gold.size() == matrix.num_rows());
+  assert(weights.size() == matrix.num_lfs());
+  if (matrix.num_rows() == 0) return 0.0;
+  int64_t net = 0;
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    double y = static_cast<double>(gold[i]);
+    double fw = y * WeightedVote(matrix.row(i), weights);
+    double f1 = y * UnweightedVote(matrix.row(i));
+    if (fw > 0 && f1 <= 0) {
+      ++net;  // f_w correctly disagrees with f_1.
+    } else if (fw <= 0 && f1 > 0) {
+      --net;  // f_w incorrectly disagrees with f_1.
+    }
+  }
+  return static_cast<double>(net) / static_cast<double>(matrix.num_rows());
+}
+
+double PredictedAdvantage(const LabelMatrix& matrix,
+                          const AdvantageOptions& options) {
+  if (matrix.num_rows() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    const auto& row = matrix.row(i);
+    double f1 = UnweightedVote(row);
+    // f_w̄: every weight set to the mean w̄, i.e. w̄ * f_1.
+    double fw_mean = options.w_mean * f1;
+    int c_pos = 0;
+    int c_neg = 0;
+    for (const auto& e : row) {
+      if (e.label > 0) {
+        ++c_pos;
+      } else {
+        ++c_neg;
+      }
+    }
+    for (int y : {+1, -1}) {
+      if (static_cast<double>(y) * f1 > 0) continue;  // MV already right for y.
+      int cy = y > 0 ? c_pos : c_neg;
+      int cny = y > 0 ? c_neg : c_pos;
+      // Φ: could a best-case weighting output y at all?
+      bool phi = static_cast<double>(cy) * options.w_max >
+                 static_cast<double>(cny) * options.w_min;
+      if (!phi) continue;
+      total += Sigmoid(2.0 * fw_mean * static_cast<double>(y));
+    }
+  }
+  return total / static_cast<double>(matrix.num_rows());
+}
+
+double LowDensityBound(double mean_density, double mean_accuracy) {
+  return mean_density * mean_density * mean_accuracy * (1.0 - mean_accuracy);
+}
+
+double HighDensityBound(double label_propensity, double mean_accuracy,
+                        double mean_density) {
+  double margin = mean_accuracy - 0.5;
+  return std::exp(-2.0 * label_propensity * margin * margin * mean_density);
+}
+
+}  // namespace snorkel

@@ -1,0 +1,55 @@
+#ifndef SNORKEL_CORE_ADVANTAGE_H_
+#define SNORKEL_CORE_ADVANTAGE_H_
+
+#include <vector>
+
+#include "core/label_matrix.h"
+#include "core/types.h"
+
+namespace snorkel {
+
+/// Weight-range prior for the optimizer bound Ã* (paper footnote 8: the
+/// defaults correspond to LF accuracies between 62% and 82% with mean 73%,
+/// under the log-odds mapping alpha = sigmoid(w)).
+struct AdvantageOptions {
+  double w_min = 0.5;
+  double w_mean = 1.0;
+  double w_max = 1.5;
+};
+
+/// Converts an LF accuracy in (0,1) to its log-odds accuracy weight
+/// w = log(alpha / (1 - alpha)), the weight convention used throughout this
+/// library (phi^Acc contributes w_j when the LF agrees with y).
+double AccuracyToWeight(double alpha);
+
+/// Inverse of AccuracyToWeight: alpha = sigmoid(w).
+double WeightToAccuracy(double w);
+
+/// Modeling advantage A_w (Definition 1): the per-point rate at which the
+/// weighted majority vote f_w correctly disagrees with the unweighted
+/// majority vote f_1, minus the rate at which it incorrectly disagrees.
+/// `gold` holds the true labels in {+1,-1}. Binary matrices only.
+double ModelingAdvantage(const LabelMatrix& matrix,
+                         const std::vector<Label>& gold,
+                         const std::vector<double>& weights);
+
+/// The optimizer's upper bound Ã*(Λ) (Proposition 2): expected counts of
+/// rows where a best-case weighted vote could flip an incorrect unweighted
+/// majority vote,
+///   Ã*(Λ) = (1/m) Σ_i Σ_{y∈±1} 1{y f_1(Λ_i) <= 0} Φ(Λ_i,y) σ(2 f_w̄(Λ_i) y),
+/// with Φ(Λ_i,y) = 1{c_y(Λ_i) w_max > c_{-y}(Λ_i) w_min}.
+double PredictedAdvantage(const LabelMatrix& matrix,
+                          const AdvantageOptions& options = {});
+
+/// Low-density upper bound (Proposition 1): E[A*] <= d̄^2 ᾱ (1 - ᾱ), where
+/// d̄ is the expected label density and ᾱ the mean LF accuracy.
+double LowDensityBound(double mean_density, double mean_accuracy);
+
+/// High-density upper bound (Theorem 1, from the Dawid-Skene crowdsourcing
+/// analysis): E[A*] <= exp(-2 p_l (ᾱ - 1/2)^2 d̄).
+double HighDensityBound(double label_propensity, double mean_accuracy,
+                        double mean_density);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_CORE_ADVANTAGE_H_

@@ -1,0 +1,161 @@
+#include "core/dawid_skene.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace snorkel {
+
+DawidSkeneModel::DawidSkeneModel(DawidSkeneOptions options)
+    : options_(options) {}
+
+Label DawidSkeneModel::ClassToLabel(size_t c) const {
+  if (cardinality_ == 2) return c == 0 ? 1 : -1;
+  return static_cast<Label>(c) + 1;
+}
+
+size_t DawidSkeneModel::LabelToClass(Label y) const {
+  if (cardinality_ == 2) return y > 0 ? 0 : 1;
+  assert(y >= 1 && y <= cardinality_);
+  return static_cast<size_t>(y) - 1;
+}
+
+Status DawidSkeneModel::Fit(const LabelMatrix& matrix) {
+  if (matrix.num_rows() == 0 || matrix.num_lfs() == 0) {
+    return Status::InvalidArgument("empty label matrix");
+  }
+  cardinality_ = matrix.cardinality();
+  num_lfs_ = matrix.num_lfs();
+  size_t k = static_cast<size_t>(cardinality_);
+  size_t m = matrix.num_rows();
+  size_t n = num_lfs_;
+  double s = options_.smoothing;
+
+  // Initialize posteriors from the (smoothed) plurality vote.
+  std::vector<std::vector<double>> posterior(m, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    for (double& p : posterior[i]) p = s + 1e-3;
+    for (const auto& e : matrix.row(i)) {
+      posterior[i][LabelToClass(e.label)] += 1.0;
+    }
+    double z = 0.0;
+    for (double p : posterior[i]) z += p;
+    for (double& p : posterior[i]) p /= z;
+  }
+
+  class_priors_.assign(k, 1.0 / static_cast<double>(k));
+  confusions_.assign(n, std::vector<std::vector<double>>(
+                            k, std::vector<double>(k, 1.0 / k)));
+
+  iterations_ = 0;
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    ++iterations_;
+    // ---- M-step. ----
+    if (options_.estimate_class_balance) {
+      std::vector<double> prior(k, s);
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t c = 0; c < k; ++c) prior[c] += posterior[i][c];
+      }
+      double z = 0.0;
+      for (double p : prior) z += p;
+      for (size_t c = 0; c < k; ++c) class_priors_[c] = prior[c] / z;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      for (auto& row : confusions_[j]) std::fill(row.begin(), row.end(), s);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      for (const auto& e : matrix.row(i)) {
+        size_t emitted = LabelToClass(e.label);
+        for (size_t c = 0; c < k; ++c) {
+          confusions_[e.lf][c][emitted] += posterior[i][c];
+        }
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t c = 0; c < k; ++c) {
+        double z = 0.0;
+        for (double v : confusions_[j][c]) z += v;
+        for (double& v : confusions_[j][c]) v /= z;
+      }
+    }
+
+    // ---- E-step. ----
+    double max_change = 0.0;
+    std::vector<double> log_post(k);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t c = 0; c < k; ++c) {
+        log_post[c] = std::log(class_priors_[c]);
+      }
+      for (const auto& e : matrix.row(i)) {
+        size_t emitted = LabelToClass(e.label);
+        for (size_t c = 0; c < k; ++c) {
+          log_post[c] += std::log(confusions_[e.lf][c][emitted]);
+        }
+      }
+      SoftmaxInPlace(&log_post);
+      for (size_t c = 0; c < k; ++c) {
+        max_change = std::max(max_change,
+                              std::fabs(log_post[c] - posterior[i][c]));
+        posterior[i][c] = log_post[c];
+      }
+    }
+    if (max_change < options_.tol) break;
+  }
+
+  is_fit_ = true;
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> DawidSkeneModel::EStep(
+    const LabelMatrix& matrix) const {
+  size_t k = static_cast<size_t>(cardinality_);
+  std::vector<std::vector<double>> posterior(matrix.num_rows());
+  std::vector<double> log_post(k);
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    for (size_t c = 0; c < k; ++c) log_post[c] = std::log(class_priors_[c]);
+    for (const auto& e : matrix.row(i)) {
+      size_t emitted = LabelToClass(e.label);
+      for (size_t c = 0; c < k; ++c) {
+        log_post[c] += std::log(confusions_[e.lf][c][emitted]);
+      }
+    }
+    SoftmaxInPlace(&log_post);
+    posterior[i] = log_post;
+  }
+  return posterior;
+}
+
+std::vector<std::vector<double>> DawidSkeneModel::PredictProba(
+    const LabelMatrix& matrix) const {
+  assert(is_fit_);
+  assert(matrix.num_lfs() == num_lfs_);
+  assert(matrix.cardinality() == cardinality_);
+  return EStep(matrix);
+}
+
+std::vector<Label> DawidSkeneModel::PredictLabels(
+    const LabelMatrix& matrix) const {
+  auto proba = PredictProba(matrix);
+  std::vector<Label> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < proba[i].size(); ++c) {
+      if (proba[i][c] > proba[i][best]) best = c;
+    }
+    out[i] = ClassToLabel(best);
+  }
+  return out;
+}
+
+double DawidSkeneModel::WorkerAccuracy(size_t j) const {
+  assert(is_fit_ && j < num_lfs_);
+  double acc = 0.0;
+  for (size_t c = 0; c < static_cast<size_t>(cardinality_); ++c) {
+    acc += class_priors_[c] * confusions_[j][c][c];
+  }
+  return acc;
+}
+
+}  // namespace snorkel

@@ -1,0 +1,396 @@
+#include "core/generative_model.h"
+
+#include "core/dawid_skene.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/adam.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace snorkel {
+
+namespace {
+
+/// One persistent Gibbs chain over a generic data point (y, λ_1..λ_n). Used
+/// to estimate the model expectation E_{p_w}[φ] in the negative phase.
+struct GibbsChain {
+  int y = 1;                  // Latent label in {+1, -1}.
+  std::vector<Label> votes;   // λ_j in {-1, 0, +1}.
+};
+
+}  // namespace
+
+GenerativeModel::GenerativeModel(GenerativeModelOptions options)
+    : options_(options) {}
+
+Status GenerativeModel::Fit(const LabelMatrix& matrix,
+                            const std::vector<CorrelationPair>& correlations) {
+  if (matrix.cardinality() != 2) {
+    return Status::InvalidArgument(
+        "GenerativeModel supports binary matrices; use DawidSkeneModel for "
+        "multi-class tasks");
+  }
+  if (matrix.num_lfs() == 0) {
+    return Status::InvalidArgument("label matrix has no labeling functions");
+  }
+  if (matrix.num_rows() == 0) {
+    return Status::InvalidArgument("label matrix has no rows");
+  }
+
+  size_t n = matrix.num_lfs();
+  size_t m = matrix.num_rows();
+
+  // Normalize the correlation set to j < k and reject invalid pairs.
+  correlations_.clear();
+  for (CorrelationPair pair : correlations) {
+    if (pair.j == pair.k) {
+      return Status::InvalidArgument("correlation pair with j == k");
+    }
+    if (pair.j > pair.k) std::swap(pair.j, pair.k);
+    if (pair.k >= n) {
+      return Status::OutOfRange("correlation pair index out of range");
+    }
+    correlations_.push_back(pair);
+  }
+  std::sort(correlations_.begin(), correlations_.end());
+  correlations_.erase(
+      std::unique(correlations_.begin(), correlations_.end()),
+      correlations_.end());
+
+  num_lfs_ = n;
+  size_t num_corr = correlations_.size();
+  bool use_gibbs = num_corr > 0 || options_.force_gibbs;
+
+  // Correlation degree of each LF, for the degree-scaled initialization.
+  std::vector<int> corr_degree(n, 0);
+  for (const auto& pair : correlations_) {
+    ++corr_degree[pair.j];
+    ++corr_degree[pair.k];
+  }
+
+  // Parameter vector: [acc (n) | lab (n) | corr (|C|)].
+  std::vector<double> params(2 * n + num_corr, 0.0);
+  std::vector<double> acc_prior(n, options_.acc_prior_weight);
+  for (size_t j = 0; j < n; ++j) {
+    if (options_.degree_scaled_init) {
+      acc_prior[j] /= 1.0 + static_cast<double>(corr_degree[j]);
+    }
+    params[j] = acc_prior[j];
+  }
+
+  // ---- Dawid-Skene EM warm start (imbalanced data only). ----
+  // On unbalanced data the marginal likelihood has an "all-majority-class"
+  // mode that cold-started SGD falls into via its init transient. The
+  // classical Dawid-Skene estimator [13] — per-class confusion matrices
+  // with estimated class priors, EM over the latent labels — is robust to
+  // class imbalance, so we warm-start the accuracy weights from its per-LF
+  // accuracies, re-applying the degree scaling so redundant LF blocks still
+  // start with the posterior influence of roughly one LF (the Example 3.1
+  // basin). On balanced data the degree-scaled prior init alone is stable
+  // and strictly better for heavily-duplicated LF blocks (whose agreement
+  // structure biases Dawid-Skene itself), so the warm start is skipped.
+  if (options_.em_warm_start_iters > 0 &&
+      std::fabs(options_.class_balance - 0.5) > 0.02) {
+    DawidSkeneOptions ds_options;
+    ds_options.max_iters = options_.em_warm_start_iters;
+    ds_options.smoothing = 1.0;
+    DawidSkeneModel warm(ds_options);
+    double acc_floor =
+        options_.allow_adversarial ? -options_.acc_weight_cap : 0.02;
+    if (warm.Fit(matrix).ok()) {
+      for (size_t j = 0; j < n; ++j) {
+        // Only genuine blocks (3+ modeled correlations) get their warm-start
+        // influence divided; isolated correlated pairs keep full weight.
+        double excess_degree = std::max(0, corr_degree[j] - 2);
+        double scale = options_.degree_scaled_init
+                           ? 1.0 / (1.0 + excess_degree)
+                           : 1.0;
+        params[j] = Clip(scale * Logit(warm.WorkerAccuracy(j)), acc_floor,
+                         options_.acc_weight_cap);
+      }
+    }
+  }
+
+  // Moment-matched propensity init: choose w^Lab_j so the model's implied
+  // coverage equals the observed coverage at the warm-started accuracy
+  // weights,
+  //   P(Λ_j != ∅) = e^{wl}(1 + e^{wa}) / z_j = c_j  =>
+  //   wl = logit(c_j) - log(1 + e^{wa}).
+  // This puts the SGD refinement at a near-stationary point of the
+  // marginal likelihood instead of handing it a huge init transient.
+  {
+    std::vector<double> vote_count(n, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      for (const auto& e : matrix.row(i)) vote_count[e.lf] += 1.0;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      double c = Clip(vote_count[j] / static_cast<double>(m), 1e-4,
+                      1.0 - 1e-4);
+      params[n + j] = Clip(Logit(c) - std::log(1.0 + std::exp(params[j])),
+                           -options_.weight_clamp, options_.weight_clamp);
+    }
+  }
+
+  // ---- Positive-phase sufficient statistics that do not depend on w. ----
+  std::vector<double> coverage(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (const auto& e : matrix.row(i)) coverage[e.lf] += 1.0;
+  }
+  for (double& c : coverage) c /= static_cast<double>(m);
+
+  std::vector<double> pos_corr(num_corr, 0.0);
+  if (num_corr > 0) {
+    std::vector<Label> dense_row(n, kAbstain);
+    for (size_t i = 0; i < m; ++i) {
+      for (const auto& e : matrix.row(i)) dense_row[e.lf] = e.label;
+      for (size_t c = 0; c < num_corr; ++c) {
+        if (dense_row[correlations_[c].j] == dense_row[correlations_[c].k]) {
+          pos_corr[c] += 1.0;
+        }
+      }
+      for (const auto& e : matrix.row(i)) dense_row[e.lf] = kAbstain;
+    }
+    for (double& p : pos_corr) p /= static_cast<double>(m);
+  }
+
+  // Correlation adjacency for the Gibbs sampler: lf -> [(other, corr idx)].
+  std::vector<std::vector<std::pair<size_t, size_t>>> adjacency(n);
+  for (size_t c = 0; c < num_corr; ++c) {
+    adjacency[correlations_[c].j].push_back({correlations_[c].k, c});
+    adjacency[correlations_[c].k].push_back({correlations_[c].j, c});
+  }
+
+  Rng rng(options_.seed);
+  std::vector<GibbsChain> chains;
+  auto sweep_chain = [&](GibbsChain* chain) {
+    // Resample each vote λ_j given (y, λ_rest).
+    for (size_t j = 0; j < n; ++j) {
+      double s_abstain = 0.0;
+      double s_pos = params[n + j];   // w^Lab_j.
+      double s_neg = params[n + j];
+      if (chain->y > 0) {
+        s_pos += params[j];  // w^Acc_j fires when λ_j = y.
+      } else {
+        s_neg += params[j];
+      }
+      for (const auto& [other, c] : adjacency[j]) {
+        double wc = params[2 * n + c];
+        Label lo = chain->votes[other];
+        if (lo == kAbstain) {
+          s_abstain += wc;
+        } else if (lo > 0) {
+          s_pos += wc;
+        } else {
+          s_neg += wc;
+        }
+      }
+      double hi = std::max({s_abstain, s_pos, s_neg});
+      double p0 = std::exp(s_abstain - hi);
+      double pp = std::exp(s_pos - hi);
+      double pn = std::exp(s_neg - hi);
+      double r = rng.Uniform() * (p0 + pp + pn);
+      chain->votes[j] = r < p0 ? kAbstain : (r < p0 + pp ? 1 : -1);
+    }
+    // Resample y given the votes (class prior included).
+    double f = Logit(options_.class_balance);
+    for (size_t j = 0; j < n; ++j) {
+      f += params[j] * static_cast<double>(chain->votes[j]);
+    }
+    chain->y = rng.Bernoulli(Sigmoid(f)) ? 1 : -1;
+  };
+
+  if (use_gibbs) {
+    chains.resize(static_cast<size_t>(options_.num_chains));
+    for (auto& chain : chains) {
+      chain.votes.assign(n, kAbstain);
+      chain.y = rng.Bernoulli(0.5) ? 1 : -1;
+      for (size_t j = 0; j < n; ++j) {
+        double r = rng.Uniform();
+        chain.votes[j] = r < 1.0 / 3 ? kAbstain : (r < 2.0 / 3 ? 1 : -1);
+      }
+      for (int s = 0; s < options_.burn_in_sweeps; ++s) sweep_chain(&chain);
+    }
+  }
+
+  AdamOptimizer adam(params.size(), {.learning_rate = options_.learning_rate});
+  std::vector<double> grads(params.size(), 0.0);
+  std::vector<double> pos_acc(n, 0.0);
+  std::vector<double> neg_lab(n, 0.0);
+  std::vector<double> neg_acc(n, 0.0);
+  std::vector<double> neg_corr(num_corr, 0.0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // ---- Positive phase: E_{Y|Λ,w}[φ], exact (only φ^Acc depends on y).
+    // The class-balance prior enters here as a fixed log-odds factor on y;
+    // without it the class-symmetric factor graph has an "all-positive"
+    // mode on unbalanced data in which every negative-polarity LF looks
+    // inaccurate. The prior does not alter the (y-symmetric) negative
+    // phase. ----
+    double prior_shift = Logit(options_.class_balance);
+    std::fill(pos_acc.begin(), pos_acc.end(), 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      const auto& row = matrix.row(i);
+      double f = prior_shift;
+      for (const auto& e : row) f += params[e.lf] * static_cast<double>(e.label);
+      double q = Sigmoid(f);  // p(y = +1 | Λ_i).
+      for (const auto& e : row) {
+        pos_acc[e.lf] += e.label > 0 ? q : 1.0 - q;
+      }
+    }
+    for (double& p : pos_acc) p /= static_cast<double>(m);
+
+    // ---- Negative phase: E_{p_w}[φ]. ----
+    if (!use_gibbs) {
+      // Exact: z_j = 1 + e^{w^Lab_j} + e^{w^Lab_j + w^Acc_j}.
+      for (size_t j = 0; j < n; ++j) {
+        double wl = params[n + j];
+        double wa = params[j];
+        double e_lab = std::exp(wl);
+        double e_both = std::exp(wl + wa);
+        double z = 1.0 + e_lab + e_both;
+        neg_lab[j] = (e_lab + e_both) / z;
+        neg_acc[j] = e_both / z;
+      }
+    } else {
+      std::fill(neg_lab.begin(), neg_lab.end(), 0.0);
+      std::fill(neg_acc.begin(), neg_acc.end(), 0.0);
+      std::fill(neg_corr.begin(), neg_corr.end(), 0.0);
+      for (auto& chain : chains) {
+        for (int s = 0; s < options_.gibbs_sweeps; ++s) sweep_chain(&chain);
+        for (size_t j = 0; j < n; ++j) {
+          if (chain.votes[j] != kAbstain) neg_lab[j] += 1.0;
+          if (chain.votes[j] == chain.y) neg_acc[j] += 1.0;
+        }
+        for (size_t c = 0; c < num_corr; ++c) {
+          if (chain.votes[correlations_[c].j] ==
+              chain.votes[correlations_[c].k]) {
+            neg_corr[c] += 1.0;
+          }
+        }
+      }
+      double inv = 1.0 / static_cast<double>(chains.size());
+      for (double& v : neg_lab) v *= inv;
+      for (double& v : neg_acc) v *= inv;
+      for (double& v : neg_corr) v *= inv;
+    }
+
+    // ---- Loss gradient = neg - pos. ----
+    for (size_t j = 0; j < n; ++j) {
+      grads[j] = neg_acc[j] - pos_acc[j];
+      grads[n + j] =
+          options_.learn_propensity ? neg_lab[j] - coverage[j] : 0.0;
+    }
+    for (size_t c = 0; c < num_corr; ++c) {
+      grads[2 * n + c] = neg_corr[c] - pos_corr[c];
+    }
+    adam.Step(&params, grads);
+    // Decoupled (AdamW-style) pull toward the prior. Routing the prior
+    // through Adam would not work: along unidentifiable directions (e.g. a
+    // zero-overlap LF's accuracy) the likelihood gradient is numerical
+    // noise, and Adam normalizes noise into full-size steps that random-walk
+    // the weight to a clamp. A deterministic decay keeps such weights at
+    // their prior while being negligible against real gradients.
+    for (size_t j = 0; j < n; ++j) {
+      params[j] += options_.l2 * (acc_prior[j] - params[j]);
+    }
+    for (size_t c = 0; c < num_corr; ++c) {
+      params[2 * n + c] -= options_.l2 * params[2 * n + c];
+    }
+    double acc_floor =
+        options_.allow_adversarial ? -options_.acc_weight_cap : 0.02;
+    for (size_t j = 0; j < n; ++j) {
+      params[j] = Clip(params[j], acc_floor, options_.acc_weight_cap);
+    }
+    for (size_t p = n; p < params.size(); ++p) {
+      params[p] = Clip(params[p], -options_.weight_clamp,
+                       options_.weight_clamp);
+    }
+  }
+
+  acc_weights_.assign(params.begin(), params.begin() + static_cast<long>(n));
+  lab_weights_.assign(params.begin() + static_cast<long>(n),
+                      params.begin() + static_cast<long>(2 * n));
+  corr_weights_.assign(params.begin() + static_cast<long>(2 * n), params.end());
+  is_fit_ = true;
+  return Status::OK();
+}
+
+std::vector<double> GenerativeModel::PredictProba(
+    const LabelMatrix& matrix, bool apply_class_balance) const {
+  assert(is_fit_);
+  assert(matrix.num_lfs() == num_lfs_);
+  double prior_shift = apply_class_balance ? Logit(options_.class_balance) : 0.0;
+  std::vector<double> out(matrix.num_rows());
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    double f = prior_shift;
+    for (const auto& e : matrix.row(i)) {
+      f += acc_weights_[e.lf] * static_cast<double>(e.label);
+    }
+    out[i] = Sigmoid(f);
+  }
+  return out;
+}
+
+std::vector<Label> GenerativeModel::PredictLabels(
+    const LabelMatrix& matrix) const {
+  std::vector<double> proba = PredictProba(matrix);
+  std::vector<Label> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    if (proba[i] > 0.5) {
+      out[i] = 1;
+    } else if (proba[i] < 0.5) {
+      out[i] = -1;
+    } else {
+      out[i] = kAbstain;
+    }
+  }
+  return out;
+}
+
+std::vector<double> GenerativeModel::EstimatedAccuracies() const {
+  assert(is_fit_);
+  std::vector<double> out(acc_weights_.size());
+  for (size_t j = 0; j < out.size(); ++j) out[j] = Sigmoid(acc_weights_[j]);
+  return out;
+}
+
+Result<double> GenerativeModel::LogMarginalLikelihood(
+    const LabelMatrix& matrix) const {
+  if (!is_fit_) {
+    return Status::FailedPrecondition("model is not fit");
+  }
+  if (!correlations_.empty()) {
+    return Status::FailedPrecondition(
+        "exact marginal likelihood unavailable with correlation factors");
+  }
+  if (matrix.num_lfs() != num_lfs_) {
+    return Status::InvalidArgument("matrix has wrong number of LFs");
+  }
+  // log Z = log 2 + Σ_j log z_j with z_j = 1 + e^{w^Lab_j}(1 + e^{w^Acc_j}).
+  double log_z = std::log(2.0);
+  for (size_t j = 0; j < num_lfs_; ++j) {
+    log_z += std::log(1.0 + std::exp(lab_weights_[j]) *
+                                (1.0 + std::exp(acc_weights_[j])));
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    double s_pos = 0.0;
+    double s_neg = 0.0;
+    double t = 0.0;
+    for (const auto& e : matrix.row(i)) {
+      t += lab_weights_[e.lf];
+      if (e.label > 0) {
+        s_pos += acc_weights_[e.lf];
+      } else {
+        s_neg += acc_weights_[e.lf];
+      }
+    }
+    total += t + LogAddExp(s_pos, s_neg) - log_z;
+  }
+  return total / static_cast<double>(matrix.num_rows());
+}
+
+}  // namespace snorkel

@@ -1,0 +1,151 @@
+#ifndef SNORKEL_CORE_GENERATIVE_MODEL_H_
+#define SNORKEL_CORE_GENERATIVE_MODEL_H_
+
+#include <vector>
+
+#include "core/label_matrix.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Hyper-parameters for GenerativeModel. The defaults are tuned so that the
+/// synthetic and pipeline experiments converge in a few hundred full-batch
+/// steps; all stochastic behaviour is controlled by `seed`.
+struct GenerativeModelOptions {
+  /// Full-batch gradient steps.
+  int epochs = 250;
+  /// Adam step size.
+  double learning_rate = 0.05;
+  /// L2 pull of each weight toward its prior mean (accuracy weights are
+  /// regularized toward their init; propensity and correlation weights
+  /// toward 0). Acts as the prior that LFs are better than random.
+  double l2 = 0.002;
+  /// Prior mean for accuracy weights; 1.0 corresponds to ~73% accuracy
+  /// under alpha = sigmoid(w) (paper footnote 8).
+  double acc_prior_weight = 1.0;
+  /// Scale each LF's initial accuracy weight (and its L2 prior mean) by
+  /// 1 / (1 + correlation degree). A block of d mutually correlated LFs then
+  /// starts with the posterior influence of roughly one LF instead of d,
+  /// which places training in the basin where correlation factors — not
+  /// inflated accuracies — explain the block's agreement (the Example 3.1
+  /// double-counting pathology is a local optimum of the marginal
+  /// likelihood otherwise).
+  bool degree_scaled_init = true;
+  /// When false, labeling-propensity weights w^Lab stay at their init; this
+  /// breaks marginal-likelihood calibration and exists only for ablations.
+  bool learn_propensity = true;
+  /// Number of persistent Gibbs chains estimating the model expectation
+  /// (negative phase) when correlations are modeled.
+  int num_chains = 32;
+  /// Gibbs sweeps per chain per epoch.
+  int gibbs_sweeps = 2;
+  /// Extra sweeps before the first epoch.
+  int burn_in_sweeps = 20;
+  /// Clamp for all weights, for numerical robustness.
+  double weight_clamp = 6.0;
+  /// Tighter clamp for the accuracy weights (|w^Acc_j| <= cap, i.e. LF
+  /// accuracy estimates in [σ(-cap), σ(cap)]). This is strong shrinkage: it
+  /// bounds how much aggregate posterior mass any *block* of redundant LFs
+  /// can grab, which keeps the misspecified independent model from spiraling
+  /// into its flipped mode when users write heavily-correlated LFs (the
+  /// §3.2 motivation). 2.5 bounds estimates to roughly [8%, 92%].
+  double acc_weight_cap = 2.5;
+  /// When false (default), accuracy weights are floored at 0 — the paper's
+  /// non-adversarial assumption (Proposition 1 assumes w*_j > 0 for all j).
+  /// Below-chance sources are then *ignored* rather than *inverted*, which
+  /// removes the label-flipped mode of the marginal likelihood entirely.
+  /// Set true to let the model learn negative accuracy weights.
+  bool allow_adversarial = false;
+  /// EM iterations on the conditional (Dawid-Skene-style) model used to
+  /// warm-start the marginal-likelihood SGD in the correct basin. 0 gives a
+  /// cold start (ablation only — cold starts are unstable on unbalanced,
+  /// low-coverage matrices).
+  int em_warm_start_iters = 25;
+  /// Prior probability of the positive class, applied at prediction time as
+  /// a log-odds shift (the factor graph itself is class-symmetric, as in the
+  /// paper).
+  double class_balance = 0.5;
+  /// Force Gibbs-based training even with no correlations; used by the
+  /// exact-vs-sampled ablation (the exact path is available because the
+  /// independent model's partition function factorizes, Appendix A.1).
+  bool force_gibbs = false;
+  uint64_t seed = 42;
+};
+
+/// The generative label model p_w(Λ, Y) of paper §2.2: a factor graph over
+/// the label matrix Λ and the latent true labels Y with three factor types,
+///
+///   φ^Lab_{ij}  = 1{Λ_ij != ∅}            (labeling propensity)
+///   φ^Acc_{ij}  = 1{Λ_ij = y_i}           (accuracy)
+///   φ^Corr_{ijk} = 1{Λ_ij = Λ_ik}, (j,k) ∈ C   (pairwise correlation)
+///
+/// trained by maximizing the marginal likelihood log Σ_Y p_w(Λ, Y) with *no
+/// ground-truth labels*. Because no factor couples distinct data points, the
+/// model expectation is over a single generic point, and:
+///
+///  * with C = ∅ the per-point partition function factorizes over LFs, so
+///    gradients are computed exactly (closed form, no sampling);
+///  * with C != ∅ the model expectation is estimated with persistent Gibbs
+///    chains (contrastive-divergence-style SGD, replacing the paper's
+///    Numbskull sampler).
+///
+/// Predictions are the posteriors p_w(y | Λ_i), used downstream as
+/// probabilistic training labels Ỹ.
+class GenerativeModel {
+ public:
+  explicit GenerativeModel(GenerativeModelOptions options = {});
+
+  /// Fits weights to a binary label matrix. `correlations` is the set C of
+  /// LF pairs to model (normalized to j < k; duplicates rejected).
+  Status Fit(const LabelMatrix& matrix,
+             const std::vector<CorrelationPair>& correlations = {});
+
+  bool is_fit() const { return is_fit_; }
+
+  /// Posterior p(y = +1 | Λ_i) for every row. With `apply_class_balance`
+  /// (default) the class-balance prior enters as a log-odds shift and rows
+  /// with no votes get the prior; without it the posterior is the paper's
+  /// class-symmetric σ(f_w(Λ_i)), the form used as discriminative training
+  /// targets (uncovered rows are then a neutral 0.5).
+  std::vector<double> PredictProba(const LabelMatrix& matrix,
+                                   bool apply_class_balance = true) const;
+
+  /// Hard labels: +1 if p > 0.5, -1 if p < 0.5, 0 (abstain) at exactly 0.5.
+  std::vector<Label> PredictLabels(const LabelMatrix& matrix) const;
+
+  /// Learned accuracy weights w^Acc (log-odds scale).
+  const std::vector<double>& accuracy_weights() const { return acc_weights_; }
+  /// Learned propensity weights w^Lab.
+  const std::vector<double>& propensity_weights() const { return lab_weights_; }
+  /// Learned correlation weights, aligned with correlations().
+  const std::vector<double>& correlation_weights() const {
+    return corr_weights_;
+  }
+  const std::vector<CorrelationPair>& correlations() const {
+    return correlations_;
+  }
+
+  /// Estimated LF accuracies alpha_j = sigmoid(w^Acc_j): the probability a
+  /// non-abstaining vote agrees with the true label.
+  std::vector<double> EstimatedAccuracies() const;
+
+  /// Mean per-row log marginal likelihood log p_w(Λ_i) under the
+  /// *independent* part of the model. Exact for C = ∅; returns
+  /// FailedPrecondition when correlations are modeled (the partition
+  /// function no longer factorizes).
+  Result<double> LogMarginalLikelihood(const LabelMatrix& matrix) const;
+
+ private:
+  GenerativeModelOptions options_;
+  bool is_fit_ = false;
+  size_t num_lfs_ = 0;
+  std::vector<double> acc_weights_;
+  std::vector<double> lab_weights_;
+  std::vector<double> corr_weights_;
+  std::vector<CorrelationPair> correlations_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_CORE_GENERATIVE_MODEL_H_

@@ -1,0 +1,260 @@
+#include "core/label_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace snorkel {
+
+namespace {
+
+bool LabelValidFor(Label label, int cardinality) {
+  if (label == kAbstain) return false;  // Abstains are never stored.
+  if (cardinality == 2) return label == 1 || label == -1;
+  return label >= 1 && label <= cardinality;
+}
+
+}  // namespace
+
+bool LabelMatrix::ValidLabel(Label label) const {
+  return LabelValidFor(label, cardinality_);
+}
+
+Result<LabelMatrix> LabelMatrix::FromDense(
+    const std::vector<std::vector<Label>>& dense, int cardinality) {
+  if (cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  size_t num_lfs = dense.empty() ? 0 : dense[0].size();
+  std::vector<std::vector<Entry>> rows;
+  rows.reserve(dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i].size() != num_lfs) {
+      return Status::InvalidArgument("ragged dense label matrix at row " +
+                                     std::to_string(i));
+    }
+    std::vector<Entry> row;
+    for (size_t j = 0; j < num_lfs; ++j) {
+      Label label = dense[i][j];
+      if (label == kAbstain) continue;
+      if (!LabelValidFor(label, cardinality)) {
+        return Status::InvalidArgument(
+            "label " + std::to_string(label) + " invalid for cardinality " +
+            std::to_string(cardinality));
+      }
+      row.push_back(Entry{static_cast<uint32_t>(j), label});
+    }
+    rows.push_back(std::move(row));
+  }
+  return LabelMatrix(std::move(rows), num_lfs, cardinality);
+}
+
+Result<LabelMatrix> LabelMatrix::FromTriplets(
+    size_t num_rows, size_t num_lfs,
+    const std::vector<std::tuple<size_t, size_t, Label>>& triplets,
+    int cardinality) {
+  if (cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  std::vector<std::vector<Entry>> rows(num_rows);
+  for (const auto& [i, j, label] : triplets) {
+    if (i >= num_rows || j >= num_lfs) {
+      return Status::OutOfRange("triplet index out of range");
+    }
+    if (label == kAbstain) continue;
+    if (!LabelValidFor(label, cardinality)) {
+      return Status::InvalidArgument("label " + std::to_string(label) +
+                                     " invalid for cardinality " +
+                                     std::to_string(cardinality));
+    }
+    rows[i].push_back(Entry{static_cast<uint32_t>(j), label});
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const Entry& a, const Entry& b) { return a.lf < b.lf; });
+    // Duplicate (row, lf) pairs are a caller bug.
+    for (size_t k = 1; k < row.size(); ++k) {
+      if (row[k].lf == row[k - 1].lf) {
+        return Status::InvalidArgument("duplicate vote for lf " +
+                                       std::to_string(row[k].lf));
+      }
+    }
+  }
+  return LabelMatrix(std::move(rows), num_lfs, cardinality);
+}
+
+Label LabelMatrix::At(size_t i, size_t j) const {
+  assert(i < rows_.size() && j < num_lfs_);
+  const auto& row = rows_[i];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), static_cast<uint32_t>(j),
+      [](const Entry& e, uint32_t lf) { return e.lf < lf; });
+  if (it != row.end() && it->lf == j) return it->label;
+  return kAbstain;
+}
+
+size_t LabelMatrix::NumNonAbstains() const {
+  size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  return total;
+}
+
+int LabelMatrix::CountLabels(size_t i, Label y) const {
+  assert(i < rows_.size());
+  int count = 0;
+  for (const Entry& e : rows_[i]) {
+    if (e.label == y) ++count;
+  }
+  return count;
+}
+
+double LabelMatrix::LabelDensity() const {
+  if (rows_.empty()) return 0.0;
+  return static_cast<double>(NumNonAbstains()) /
+         static_cast<double>(rows_.size());
+}
+
+double LabelMatrix::Coverage(size_t j) const {
+  if (rows_.empty()) return 0.0;
+  int64_t votes = 0;
+  for (const auto& row : rows_) {
+    for (const Entry& e : row) {
+      if (e.lf == j) {
+        ++votes;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(votes) / static_cast<double>(rows_.size());
+}
+
+double LabelMatrix::Overlap(size_t j) const {
+  if (rows_.empty()) return 0.0;
+  int64_t overlapping = 0;
+  for (const auto& row : rows_) {
+    bool has_j = false;
+    for (const Entry& e : row) {
+      if (e.lf == j) has_j = true;
+    }
+    if (has_j && row.size() >= 2) ++overlapping;
+  }
+  return static_cast<double>(overlapping) / static_cast<double>(rows_.size());
+}
+
+double LabelMatrix::Conflict(size_t j) const {
+  if (rows_.empty()) return 0.0;
+  int64_t conflicting = 0;
+  for (const auto& row : rows_) {
+    Label own = kAbstain;
+    for (const Entry& e : row) {
+      if (e.lf == j) own = e.label;
+    }
+    if (own == kAbstain) continue;
+    for (const Entry& e : row) {
+      if (e.lf != j && e.label != own) {
+        ++conflicting;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(conflicting) / static_cast<double>(rows_.size());
+}
+
+std::pair<int64_t, int64_t> LabelMatrix::PolarityCounts(size_t j) const {
+  int64_t pos = 0;
+  int64_t neg = 0;
+  for (const auto& row : rows_) {
+    for (const Entry& e : row) {
+      if (e.lf != j) continue;
+      if (e.label > 0) {
+        ++pos;
+      } else {
+        ++neg;
+      }
+    }
+  }
+  return {pos, neg};
+}
+
+double LabelMatrix::EmpiricalAccuracy(size_t j,
+                                      const std::vector<Label>& gold) const {
+  assert(gold.size() == rows_.size());
+  int64_t votes = 0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (const Entry& e : rows_[i]) {
+      if (e.lf != j) continue;
+      ++votes;
+      if (e.label == gold[i]) ++correct;
+    }
+  }
+  if (votes == 0) return 0.5;
+  return static_cast<double>(correct) / static_cast<double>(votes);
+}
+
+double LabelMatrix::FractionCovered() const {
+  if (rows_.empty()) return 0.0;
+  int64_t covered = 0;
+  for (const auto& row : rows_) {
+    if (!row.empty()) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(rows_.size());
+}
+
+LabelMatrix LabelMatrix::SelectColumns(const std::vector<size_t>& cols) const {
+  std::vector<uint32_t> remap(num_lfs_, UINT32_MAX);
+  for (size_t new_j = 0; new_j < cols.size(); ++new_j) {
+    assert(cols[new_j] < num_lfs_);
+    remap[cols[new_j]] = static_cast<uint32_t>(new_j);
+  }
+  std::vector<std::vector<Entry>> rows(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (const Entry& e : rows_[i]) {
+      if (remap[e.lf] != UINT32_MAX) {
+        rows[i].push_back(Entry{remap[e.lf], e.label});
+      }
+    }
+    std::sort(rows[i].begin(), rows[i].end(),
+              [](const Entry& a, const Entry& b) { return a.lf < b.lf; });
+  }
+  return LabelMatrix(std::move(rows), cols.size(), cardinality_);
+}
+
+LabelMatrix LabelMatrix::SelectRows(
+    const std::vector<size_t>& row_indices) const {
+  std::vector<std::vector<Entry>> rows;
+  rows.reserve(row_indices.size());
+  for (size_t i : row_indices) {
+    assert(i < rows_.size());
+    rows.push_back(rows_[i]);
+  }
+  return LabelMatrix(std::move(rows), num_lfs_, cardinality_);
+}
+
+std::string LabelMatrix::SummaryTable(
+    const std::vector<std::string>* lf_names,
+    const std::vector<Label>* gold) const {
+  std::vector<std::string> header = {"LF",       "Coverage", "Overlap",
+                                     "Conflict", "Pos",      "Neg"};
+  if (gold != nullptr) header.push_back("Emp. Acc");
+  TablePrinter table(header);
+  for (size_t j = 0; j < num_lfs_; ++j) {
+    auto [pos, neg] = PolarityCounts(j);
+    std::vector<std::string> row = {
+        lf_names != nullptr && j < lf_names->size() ? (*lf_names)[j]
+                                                    : "lf_" + std::to_string(j),
+        FormatDouble(Coverage(j), 3),
+        FormatDouble(Overlap(j), 3),
+        FormatDouble(Conflict(j), 3),
+        std::to_string(pos),
+        std::to_string(neg)};
+    if (gold != nullptr) row.push_back(FormatDouble(EmpiricalAccuracy(j, *gold), 3));
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace snorkel

@@ -1,0 +1,112 @@
+#ifndef SNORKEL_CORE_LABEL_MATRIX_H_
+#define SNORKEL_CORE_LABEL_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// The sparse label matrix Λ ∈ (Y ∪ {∅})^{m×n}: m data points (rows) by n
+/// labeling functions (columns), storing only non-abstention votes. This is
+/// the sole interface between the labeling-function layer and the modeling
+/// layer (paper §2): every downstream component — majority vote, generative
+/// model, structure learning, the modeling-strategy optimizer — consumes
+/// only Λ.
+class LabelMatrix {
+ public:
+  /// One non-abstention vote: labeling function `lf` voted `label`.
+  struct Entry {
+    uint32_t lf = 0;
+    Label label = kAbstain;
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.lf == b.lf && a.label == b.label;
+    }
+  };
+
+  LabelMatrix() = default;
+
+  /// Builds from dense rows: `dense[i][j]` is LF j's vote on data point i
+  /// (0 = abstain). `cardinality` is 2 for binary ({+1,-1}) or K for
+  /// {1..K}-class tasks.
+  static Result<LabelMatrix> FromDense(
+      const std::vector<std::vector<Label>>& dense, int cardinality = 2);
+
+  /// Builds from (row, lf, label) triplets.
+  static Result<LabelMatrix> FromTriplets(
+      size_t num_rows, size_t num_lfs,
+      const std::vector<std::tuple<size_t, size_t, Label>>& triplets,
+      int cardinality = 2);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_lfs() const { return num_lfs_; }
+  int cardinality() const { return cardinality_; }
+
+  /// Non-abstention entries of row i, sorted by LF index.
+  const std::vector<Entry>& row(size_t i) const { return rows_[i]; }
+
+  /// LF j's vote on row i (kAbstain when j did not vote).
+  Label At(size_t i, size_t j) const;
+
+  /// Number of non-abstention votes across the matrix.
+  size_t NumNonAbstains() const;
+
+  /// c_y(Λ_i): number of LFs voting `y` on row i (y != kAbstain).
+  int CountLabels(size_t i, Label y) const;
+
+  /// Mean number of non-abstention labels per data point (d_Λ, §3.1.1).
+  double LabelDensity() const;
+
+  /// Fraction of rows on which LF j votes.
+  double Coverage(size_t j) const;
+
+  /// Fraction of rows on which LF j votes and at least one other LF votes.
+  double Overlap(size_t j) const;
+
+  /// Fraction of rows on which LF j votes and at least one other LF casts a
+  /// different non-abstention vote.
+  double Conflict(size_t j) const;
+
+  /// (positive votes, negative votes) emitted by LF j (binary tasks).
+  std::pair<int64_t, int64_t> PolarityCounts(size_t j) const;
+
+  /// Accuracy of LF j's non-abstention votes against gold labels; returns
+  /// 0.5 when LF j never votes on a gold-labeled row.
+  double EmpiricalAccuracy(size_t j, const std::vector<Label>& gold) const;
+
+  /// Fraction of rows with at least one non-abstention vote.
+  double FractionCovered() const;
+
+  /// Restriction of Λ to the given LF columns (re-indexed 0..cols.size()-1);
+  /// used by the ablation and LF-set-growth experiments (Table 6, Fig. 6).
+  LabelMatrix SelectColumns(const std::vector<size_t>& cols) const;
+
+  /// Restriction of Λ to the given rows (in the given order); used to split
+  /// train/dev/test candidate sets.
+  LabelMatrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  /// Per-LF summary (coverage/overlap/conflict/polarity) as an ASCII table;
+  /// the C++ analog of Snorkel's `LFAnalysis`.
+  std::string SummaryTable(const std::vector<std::string>* lf_names = nullptr,
+                           const std::vector<Label>* gold = nullptr) const;
+
+ private:
+  LabelMatrix(std::vector<std::vector<Entry>> rows, size_t num_lfs,
+              int cardinality)
+      : rows_(std::move(rows)), num_lfs_(num_lfs), cardinality_(cardinality) {}
+
+  /// True iff `label` is valid for this matrix's cardinality.
+  bool ValidLabel(Label label) const;
+
+  std::vector<std::vector<Entry>> rows_;
+  size_t num_lfs_ = 0;
+  int cardinality_ = 2;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_CORE_LABEL_MATRIX_H_

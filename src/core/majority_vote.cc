@@ -1,0 +1,92 @@
+#include "core/majority_vote.h"
+
+#include <cassert>
+
+namespace snorkel {
+
+double UnweightedVote(const std::vector<LabelMatrix::Entry>& row) {
+  double sum = 0.0;
+  for (const auto& e : row) sum += static_cast<double>(e.label);
+  return sum;
+}
+
+double WeightedVote(const std::vector<LabelMatrix::Entry>& row,
+                    const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (const auto& e : row) {
+    assert(e.lf < weights.size());
+    sum += weights[e.lf] * static_cast<double>(e.label);
+  }
+  return sum;
+}
+
+namespace {
+
+Label SignOrZero(double v) {
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return kAbstain;
+}
+
+}  // namespace
+
+std::vector<Label> MajorityVotePredictions(const LabelMatrix& matrix) {
+  std::vector<Label> out(matrix.num_rows(), kAbstain);
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    out[i] = SignOrZero(UnweightedVote(matrix.row(i)));
+  }
+  return out;
+}
+
+std::vector<Label> WeightedMajorityVotePredictions(
+    const LabelMatrix& matrix, const std::vector<double>& weights) {
+  assert(weights.size() == matrix.num_lfs());
+  std::vector<Label> out(matrix.num_rows(), kAbstain);
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    out[i] = SignOrZero(WeightedVote(matrix.row(i), weights));
+  }
+  return out;
+}
+
+std::vector<double> UnweightedAverageProbs(const LabelMatrix& matrix) {
+  std::vector<double> out(matrix.num_rows(), 0.5);
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    int pos = 0;
+    int neg = 0;
+    for (const auto& e : matrix.row(i)) {
+      if (e.label > 0) {
+        ++pos;
+      } else {
+        ++neg;
+      }
+    }
+    if (pos + neg > 0) {
+      out[i] = static_cast<double>(pos) / static_cast<double>(pos + neg);
+    }
+  }
+  return out;
+}
+
+std::vector<Label> PluralityVotePredictions(const LabelMatrix& matrix) {
+  int k = matrix.cardinality();
+  std::vector<Label> out(matrix.num_rows(), kAbstain);
+  std::vector<int> counts(static_cast<size_t>(k) + 1, 0);
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const auto& e : matrix.row(i)) {
+      if (e.label >= 1 && e.label <= k) ++counts[static_cast<size_t>(e.label)];
+    }
+    int best = 0;
+    Label best_label = kAbstain;
+    for (Label y = 1; y <= k; ++y) {
+      if (counts[static_cast<size_t>(y)] > best) {
+        best = counts[static_cast<size_t>(y)];
+        best_label = y;
+      }
+    }
+    out[i] = best_label;
+  }
+  return out;
+}
+
+}  // namespace snorkel

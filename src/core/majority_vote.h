@@ -1,0 +1,38 @@
+#ifndef SNORKEL_CORE_MAJORITY_VOTE_H_
+#define SNORKEL_CORE_MAJORITY_VOTE_H_
+
+#include <vector>
+
+#include "core/label_matrix.h"
+#include "core/types.h"
+
+namespace snorkel {
+
+/// Unweighted vote f_1(Λ_i) = Σ_j Λ_ij for binary rows (abstain = 0).
+double UnweightedVote(const std::vector<LabelMatrix::Entry>& row);
+
+/// Weighted vote f_w(Λ_i) = Σ_j w_j Λ_ij for binary rows.
+double WeightedVote(const std::vector<LabelMatrix::Entry>& row,
+                    const std::vector<double>& weights);
+
+/// Hard unweighted majority-vote predictions for a binary matrix; ties and
+/// all-abstain rows yield 0 (no label).
+std::vector<Label> MajorityVotePredictions(const LabelMatrix& matrix);
+
+/// Hard weighted majority-vote predictions (WMV); ties yield 0.
+std::vector<Label> WeightedMajorityVotePredictions(
+    const LabelMatrix& matrix, const std::vector<double>& weights);
+
+/// Soft labels from the *unweighted average* of LF outputs:
+///   p_i = c_{+1}(Λ_i) / (c_{+1}(Λ_i) + c_{-1}(Λ_i)),
+/// with 0.5 on all-abstain rows. This is the "no generative model" baseline
+/// of Table 5.
+std::vector<double> UnweightedAverageProbs(const LabelMatrix& matrix);
+
+/// Hard multi-class plurality vote over {1..K}; ties broken toward the
+/// smallest label, all-abstain rows yield 0.
+std::vector<Label> PluralityVotePredictions(const LabelMatrix& matrix);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_CORE_MAJORITY_VOTE_H_

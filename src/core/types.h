@@ -1,0 +1,36 @@
+#ifndef SNORKEL_CORE_TYPES_H_
+#define SNORKEL_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snorkel {
+
+/// A label emitted by a labeling function or model.
+///
+/// Conventions (matching the paper's Y ∪ {∅}):
+///  * `kAbstain` (0) means the labeling function abstains (∅).
+///  * Binary tasks use {+1, -1}.
+///  * K-class tasks (e.g. the 5-class Crowd task) use {1, ..., K}.
+using Label = int32_t;
+
+/// The abstention marker ∅.
+inline constexpr Label kAbstain = 0;
+
+/// A pair of labeling-function indices (j, k), j < k, modeled as correlated
+/// via the pairwise factor φ^Corr_{i,j,k} = 1{Λ_ij = Λ_ik}.
+struct CorrelationPair {
+  size_t j = 0;
+  size_t k = 0;
+
+  friend bool operator==(const CorrelationPair& a, const CorrelationPair& b) {
+    return a.j == b.j && a.k == b.k;
+  }
+  friend bool operator<(const CorrelationPair& a, const CorrelationPair& b) {
+    return a.j != b.j ? a.j < b.j : a.k < b.k;
+  }
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_CORE_TYPES_H_

@@ -1,0 +1,113 @@
+#include "data/candidate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snorkel {
+
+const Sentence& CandidateView::sentence() const {
+  return corpus_->document(candidate_->span1.doc)
+      .sentences[candidate_->span1.sentence];
+}
+
+std::string CandidateView::JoinRange(const Sentence& sentence, size_t start,
+                                     size_t end) {
+  return sentence.TextBetween(start, end);
+}
+
+std::string CandidateView::Span1Text() const {
+  return JoinRange(sentence(), candidate_->span1.word_start,
+                   candidate_->span1.word_end);
+}
+
+std::string CandidateView::Span2Text() const {
+  return JoinRange(sentence(), candidate_->span2.word_start,
+                   candidate_->span2.word_end);
+}
+
+bool CandidateView::Span1First() const {
+  return candidate_->span1.word_start <= candidate_->span2.word_start;
+}
+
+std::vector<std::string> CandidateView::WordsBetween() const {
+  const Sentence& s = sentence();
+  const Span& first = Span1First() ? candidate_->span1 : candidate_->span2;
+  const Span& second = Span1First() ? candidate_->span2 : candidate_->span1;
+  std::vector<std::string> out;
+  for (size_t i = first.word_end;
+       i < second.word_start && i < s.words.size(); ++i) {
+    out.push_back(s.words[i]);
+  }
+  return out;
+}
+
+std::string CandidateView::TextBetween() const {
+  const Sentence& s = sentence();
+  const Span& first = Span1First() ? candidate_->span1 : candidate_->span2;
+  const Span& second = Span1First() ? candidate_->span2 : candidate_->span1;
+  if (second.word_start <= first.word_end) return "";
+  return JoinRange(s, first.word_end, second.word_start);
+}
+
+std::vector<std::string> CandidateView::WordsLeftOfFirst(size_t k) const {
+  const Sentence& s = sentence();
+  const Span& first = Span1First() ? candidate_->span1 : candidate_->span2;
+  size_t start = first.word_start >= k ? first.word_start - k : 0;
+  std::vector<std::string> out;
+  for (size_t i = start; i < first.word_start; ++i) out.push_back(s.words[i]);
+  return out;
+}
+
+std::vector<std::string> CandidateView::WordsRightOfSecond(size_t k) const {
+  const Sentence& s = sentence();
+  const Span& second = Span1First() ? candidate_->span2 : candidate_->span1;
+  std::vector<std::string> out;
+  for (size_t i = second.word_end; i < s.words.size() && out.size() < k; ++i) {
+    out.push_back(s.words[i]);
+  }
+  return out;
+}
+
+size_t CandidateView::TokenDistance() const {
+  const Span& first = Span1First() ? candidate_->span1 : candidate_->span2;
+  const Span& second = Span1First() ? candidate_->span2 : candidate_->span1;
+  if (second.word_start <= first.word_end) return 0;
+  return second.word_start - first.word_end;
+}
+
+CandidateExtractor::CandidateExtractor(std::string entity_type1,
+                                       std::string entity_type2)
+    : type1_(std::move(entity_type1)), type2_(std::move(entity_type2)) {}
+
+std::vector<Candidate> CandidateExtractor::Extract(const Corpus& corpus) const {
+  std::vector<Candidate> candidates;
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    const Document& doc = corpus.document(d);
+    for (size_t s = 0; s < doc.sentences.size(); ++s) {
+      const Sentence& sentence = doc.sentences[s];
+      for (size_t a = 0; a < sentence.mentions.size(); ++a) {
+        const Mention& m1 = sentence.mentions[a];
+        if (m1.entity_type != type1_) continue;
+        // For same-type relations, only pair with later mentions to avoid
+        // emitting both orders of the same unordered pair.
+        size_t b_begin = type1_ == type2_ ? a + 1 : 0;
+        for (size_t b = b_begin; b < sentence.mentions.size(); ++b) {
+          if (b == a) continue;
+          const Mention& m2 = sentence.mentions[b];
+          if (m2.entity_type != type2_) continue;
+          Candidate c;
+          c.span1 = Span{static_cast<uint32_t>(d), static_cast<uint32_t>(s),
+                         m1.word_start, m1.word_end, m1.entity_type,
+                         m1.canonical_id};
+          c.span2 = Span{static_cast<uint32_t>(d), static_cast<uint32_t>(s),
+                         m2.word_start, m2.word_end, m2.entity_type,
+                         m2.canonical_id};
+          candidates.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace snorkel

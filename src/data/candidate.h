@@ -1,0 +1,99 @@
+#ifndef SNORKEL_DATA_CANDIDATE_H_
+#define SNORKEL_DATA_CANDIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/context.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// A span of words inside one sentence of one document, carrying its entity
+/// metadata — the leaf of the context hierarchy.
+struct Span {
+  uint32_t doc = 0;
+  uint32_t sentence = 0;
+  uint32_t word_start = 0;
+  uint32_t word_end = 0;  // Half-open.
+  std::string entity_type;
+  std::string canonical_id;
+};
+
+/// A candidate relation mention: a tuple of two spans in the same sentence
+/// (paper §2, Example 2.1 — e.g. Causes("magnesium", "quadriplegic")). The
+/// classification task is to decide whether the relation holds for the pair.
+struct Candidate {
+  Span span1;
+  Span span2;
+};
+
+/// A candidate bound to its corpus plus its index in the candidate set; the
+/// object handed to labeling functions. Provides the ORM-style navigation of
+/// the context hierarchy that the paper's LF interface exposes (x.chemical,
+/// x.parent.words, word ranges, ...).
+class CandidateView {
+ public:
+  CandidateView(const Corpus* corpus, const Candidate* candidate, size_t index)
+      : corpus_(corpus), candidate_(candidate), index_(index) {}
+
+  const Candidate& candidate() const { return *candidate_; }
+  const Corpus& corpus() const { return *corpus_; }
+  /// Index of this candidate within the candidate set (crowd-worker LFs key
+  /// their stored votes on it).
+  size_t index() const { return index_; }
+
+  /// The sentence both spans live in.
+  const Sentence& sentence() const;
+
+  /// Words of span 1 / span 2, joined with spaces, lower-cased as stored.
+  std::string Span1Text() const;
+  std::string Span2Text() const;
+
+  /// True when span1 starts before span2 in the sentence.
+  bool Span1First() const;
+
+  /// Tokens strictly between the two spans, in sentence order.
+  std::vector<std::string> WordsBetween() const;
+
+  /// The between-tokens joined with single spaces (for regex LFs).
+  std::string TextBetween() const;
+
+  /// Up to `k` tokens immediately left of the earlier span (sentence order).
+  std::vector<std::string> WordsLeftOfFirst(size_t k) const;
+
+  /// Up to `k` tokens immediately right of the later span.
+  std::vector<std::string> WordsRightOfSecond(size_t k) const;
+
+  /// Number of tokens strictly between the spans.
+  size_t TokenDistance() const;
+
+ private:
+  static std::string JoinRange(const Sentence& sentence, size_t start,
+                               size_t end);
+
+  const Corpus* corpus_;
+  const Candidate* candidate_;
+  size_t index_;
+};
+
+/// Extracts candidates from a corpus: every co-occurring pair of mentions
+/// with the requested entity types within a sentence (the paper's candidate
+/// extraction for CDR, Spouses, etc.). For type1 == type2, each unordered
+/// pair is emitted once with span1 the earlier mention.
+class CandidateExtractor {
+ public:
+  CandidateExtractor(std::string entity_type1, std::string entity_type2);
+
+  /// Scans the whole corpus.
+  std::vector<Candidate> Extract(const Corpus& corpus) const;
+
+ private:
+  std::string type1_;
+  std::string type2_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_DATA_CANDIDATE_H_

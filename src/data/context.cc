@@ -1,0 +1,47 @@
+#include "data/context.h"
+
+namespace snorkel {
+
+std::string Sentence::Text() const { return TextBetween(0, words.size()); }
+
+std::string Sentence::TextBetween(size_t start, size_t end) const {
+  std::string out;
+  for (size_t i = start; i < end && i < words.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += words[i];
+  }
+  return out;
+}
+
+size_t Corpus::AddDocument(Document document) {
+  documents_.push_back(std::move(document));
+  return documents_.size() - 1;
+}
+
+size_t Corpus::NumSentences() const {
+  size_t total = 0;
+  for (const auto& doc : documents_) total += doc.sentences.size();
+  return total;
+}
+
+size_t Corpus::NumMentions() const {
+  size_t total = 0;
+  for (const auto& doc : documents_) {
+    for (const auto& sentence : doc.sentences) {
+      total += sentence.mentions.size();
+    }
+  }
+  return total;
+}
+
+Result<const Sentence*> Corpus::GetSentence(size_t doc, size_t sentence) const {
+  if (doc >= documents_.size()) {
+    return Status::NotFound("document index out of range");
+  }
+  if (sentence >= documents_[doc].sentences.size()) {
+    return Status::NotFound("sentence index out of range");
+  }
+  return &documents_[doc].sentences[sentence];
+}
+
+}  // namespace snorkel

@@ -1,0 +1,76 @@
+#ifndef SNORKEL_DATA_CONTEXT_H_
+#define SNORKEL_DATA_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snorkel {
+
+/// An entity-tagged span of words within a sentence (e.g. a chemical or a
+/// person mention), produced by the NER tagger or supplied with the corpus.
+/// Word indices are a half-open range [word_start, word_end).
+struct Mention {
+  uint32_t word_start = 0;
+  uint32_t word_end = 0;
+  /// Entity type, e.g. "chemical", "disease", "person", "anatomy".
+  std::string entity_type;
+  /// Canonical identifier used for distant-supervision lookups (KB key).
+  std::string canonical_id;
+};
+
+/// One sentence: the ordered tokens plus any entity mentions. This is the
+/// middle layer of the paper's context hierarchy (Figure 3): Document ->
+/// Sentence -> Span, with Entity metadata attached to spans.
+struct Sentence {
+  std::vector<std::string> words;
+  std::vector<Mention> mentions;
+
+  /// Words joined with single spaces.
+  std::string Text() const;
+
+  /// Words in [start, end) joined with single spaces.
+  std::string TextBetween(size_t start, size_t end) const;
+};
+
+/// One document: a named sequence of sentences.
+struct Document {
+  std::string name;
+  std::vector<Sentence> sentences;
+};
+
+/// The root of the context hierarchy. The paper stores contexts in a
+/// relational database behind an ORM; this is the in-memory equivalent: an
+/// append-only document store with index-based navigation, sized for
+/// single-node corpora (the paper's largest task is ~48k documents).
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Appends a document and returns its index.
+  size_t AddDocument(Document document);
+
+  size_t num_documents() const { return documents_.size(); }
+  const Document& document(size_t i) const { return documents_[i]; }
+  /// Mutable access for in-place preprocessing passes (NER tagging).
+  Document* mutable_document(size_t i) { return &documents_[i]; }
+
+  /// Total number of sentences across all documents.
+  size_t NumSentences() const;
+
+  /// Total number of entity mentions across all documents.
+  size_t NumMentions() const;
+
+  /// Fetches a sentence; returns NotFound for out-of-range indices (the
+  /// checked counterpart of document(i).sentences[j]).
+  Result<const Sentence*> GetSentence(size_t doc, size_t sentence) const;
+
+ private:
+  std::vector<Document> documents_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_DATA_CONTEXT_H_

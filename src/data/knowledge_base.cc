@@ -1,0 +1,27 @@
+#include "data/knowledge_base.h"
+
+namespace snorkel {
+
+void KnowledgeBase::Add(const std::string& subset, const std::string& id1,
+                        const std::string& id2) {
+  auto it = subsets_.find(subset);
+  if (it == subsets_.end()) {
+    names_.push_back(subset);
+    it = subsets_.emplace(subset, std::unordered_set<std::string>()).first;
+  }
+  it->second.insert(Key(id1, id2));
+}
+
+bool KnowledgeBase::Contains(const std::string& subset, const std::string& id1,
+                             const std::string& id2) const {
+  auto it = subsets_.find(subset);
+  if (it == subsets_.end()) return false;
+  return it->second.count(Key(id1, id2)) > 0;
+}
+
+size_t KnowledgeBase::SubsetSize(const std::string& subset) const {
+  auto it = subsets_.find(subset);
+  return it == subsets_.end() ? 0 : it->second.size();
+}
+
+}  // namespace snorkel

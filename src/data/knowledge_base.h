@@ -1,0 +1,46 @@
+#ifndef SNORKEL_DATA_KNOWLEDGE_BASE_H_
+#define SNORKEL_DATA_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace snorkel {
+
+/// An external knowledge base of entity-pair relations, organized into named
+/// subsets (e.g. CTD's "Causes" and "Treats" subsets, Example 2.4). Distant
+/// supervision aligns candidates against these pairs; the Ontology LF
+/// generator creates one labeling function per subset.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Adds the pair (id1, id2) to `subset` (created on first use). Pairs are
+  /// directional: (a, b) does not imply (b, a).
+  void Add(const std::string& subset, const std::string& id1,
+           const std::string& id2);
+
+  /// True when (id1, id2) is in `subset`; false for unknown subsets.
+  bool Contains(const std::string& subset, const std::string& id1,
+                const std::string& id2) const;
+
+  /// Number of pairs in `subset` (0 for unknown subsets).
+  size_t SubsetSize(const std::string& subset) const;
+
+  /// Names of all subsets, in insertion order.
+  const std::vector<std::string>& subset_names() const { return names_; }
+
+ private:
+  static std::string Key(const std::string& id1, const std::string& id2) {
+    return id1 + "\x1f" + id2;  // Unit separator: ids never contain it.
+  }
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> subsets_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_DATA_KNOWLEDGE_BASE_H_

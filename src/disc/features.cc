@@ -1,0 +1,87 @@
+#include "disc/features.h"
+
+#include <algorithm>
+
+#include "text/stemmer.h"
+#include "util/string_util.h"
+
+namespace snorkel {
+
+FeatureVector HashBagOfWords(const std::vector<std::string>& words,
+                             const FeatureHasher& hasher,
+                             std::string_view prefix) {
+  FeatureVector out;
+  std::string buffer;
+  for (const auto& word : words) {
+    buffer.assign(prefix);
+    buffer += ':';
+    buffer += ToLower(word);
+    hasher.AddFeature(buffer, 1.0f, &out);
+  }
+  return out;
+}
+
+FeatureVector TextFeaturizer::Featurize(const CandidateView& view) const {
+  FeatureVector out;
+  std::string buffer;
+  auto add = [&](std::string_view ns, const std::string& value) {
+    buffer.assign(ns);
+    buffer += ':';
+    buffer += value;
+    hasher_.AddFeature(buffer, 1.0f, &out);
+  };
+
+  // Between-span unigrams (raw and stemmed) and bigrams.
+  std::vector<std::string> between = view.WordsBetween();
+  for (size_t i = 0; i < between.size(); ++i) {
+    std::string lower = ToLower(between[i]);
+    add("btw", lower);
+    add("btw_stem", Stemmer::Stem(lower));
+    if (options_.use_bigrams && i + 1 < between.size()) {
+      add("btw_bi", lower + "_" + ToLower(between[i + 1]));
+    }
+  }
+
+  // Context windows.
+  for (const auto& word : view.WordsLeftOfFirst(options_.context_window)) {
+    add("left", ToLower(word));
+  }
+  for (const auto& word : view.WordsRightOfSecond(options_.context_window)) {
+    add("right", ToLower(word));
+  }
+
+  // Whole-sentence unigrams: the discriminative model reads the entire
+  // context (the paper's LSTM consumes the full sentence), which is what
+  // lets it pick up signal the labeling functions never look at. Words
+  // inside the entity spans are skipped for the same no-memorization reason
+  // as above.
+  const Span& s1 = view.candidate().span1;
+  const Span& s2 = view.candidate().span2;
+  const auto& sentence_words = view.sentence().words;
+  for (size_t w = 0; w < sentence_words.size(); ++w) {
+    bool in_span = (w >= s1.word_start && w < s1.word_end) ||
+                   (w >= s2.word_start && w < s2.word_end);
+    if (in_span) continue;
+    add("sent", ToLower(sentence_words[w]));
+  }
+
+  // Entity types and span order. Span surface forms are deliberately NOT
+  // features: memorizing entity-pair identities would smuggle the training
+  // split's relation list across to test (the model should generalize to
+  // unseen pairs, as the paper's end models must).
+  add("type1", view.candidate().span1.entity_type);
+  add("type2", view.candidate().span2.entity_type);
+  add("order", view.Span1First() ? "forward" : "reverse");
+
+  // Bucketed token distance.
+  size_t distance = view.TokenDistance();
+  std::string bucket = distance == 0   ? "0"
+                       : distance <= 2 ? "1-2"
+                       : distance <= 5 ? "3-5"
+                       : distance <= 10 ? "6-10"
+                                        : "10+";
+  add("dist", bucket);
+  return out;
+}
+
+}  // namespace snorkel

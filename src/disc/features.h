@@ -1,0 +1,81 @@
+#ifndef SNORKEL_DISC_FEATURES_H_
+#define SNORKEL_DISC_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/candidate.h"
+#include "util/hash.h"
+
+namespace snorkel {
+
+/// A sparse feature vector: (hashed index, value) pairs. Indices may repeat;
+/// consumers accumulate.
+struct FeatureVector {
+  std::vector<std::pair<uint32_t, float>> entries;
+
+  void Add(uint32_t index, float value) { entries.push_back({index, value}); }
+  size_t size() const { return entries.size(); }
+};
+
+/// Deterministic feature hasher (hashing trick): maps string feature names
+/// into a fixed index space so train and inference agree without a vocab.
+class FeatureHasher {
+ public:
+  explicit FeatureHasher(size_t num_buckets = 1 << 18)
+      : num_buckets_(num_buckets) {}
+
+  size_t num_buckets() const { return num_buckets_; }
+
+  uint32_t Index(std::string_view feature) const {
+    return static_cast<uint32_t>(Fnv1a64(feature) % num_buckets_);
+  }
+
+  /// Adds one hashed feature with the given value.
+  void AddFeature(std::string_view feature, float value,
+                  FeatureVector* out) const {
+    out->Add(Index(feature), value);
+  }
+
+ private:
+  size_t num_buckets_;
+};
+
+/// Hashes a bag of words with a namespace prefix ("bow:word").
+FeatureVector HashBagOfWords(const std::vector<std::string>& words,
+                             const FeatureHasher& hasher,
+                             std::string_view prefix);
+
+/// Extracts hashed n-gram features from a relation candidate: unigrams and
+/// bigrams between the spans, context windows, span texts, entity types, and
+/// a bucketed token distance. This is the feature layer for the relation
+/// extraction end models — the CPU substitute for the paper's learned LSTM
+/// representations (§4.1; see DESIGN.md substitutions). Critically, it
+/// includes words the labeling functions never look at, which is what lets
+/// the discriminative model generalize beyond the LFs (Example 2.5).
+class TextFeaturizer {
+ public:
+  struct Options {
+    size_t num_buckets = 1 << 18;
+    size_t context_window = 3;
+    bool use_bigrams = true;
+  };
+
+  explicit TextFeaturizer(Options options)
+      : options_(options), hasher_(options.num_buckets) {}
+  TextFeaturizer() : TextFeaturizer(Options{}) {}
+
+  size_t num_buckets() const { return options_.num_buckets; }
+
+  FeatureVector Featurize(const CandidateView& view) const;
+
+ private:
+  Options options_;
+  FeatureHasher hasher_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_DISC_FEATURES_H_

@@ -1,0 +1,252 @@
+#include "disc/linear_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace snorkel {
+
+namespace {
+
+/// Per-coordinate AdaGrad state touched sparsely — dense Adam over the full
+/// hashed weight space would dominate training time.
+struct AdaGrad {
+  explicit AdaGrad(size_t dim) : g2(dim, 0.0) {}
+
+  double Step(size_t i, double grad, double lr) {
+    g2[i] += grad * grad;
+    return -lr * grad / (std::sqrt(g2[i]) + 1e-8);
+  }
+
+  std::vector<double> g2;
+};
+
+}  // namespace
+
+LogisticRegressionClassifier::LogisticRegressionClassifier(
+    DiscModelOptions options)
+    : options_(options) {}
+
+Status LogisticRegressionClassifier::Fit(
+    const std::vector<FeatureVector>& features, size_t num_buckets,
+    const std::vector<double>& soft_labels,
+    const std::vector<FeatureVector>* dev_features,
+    const std::vector<Label>* dev_labels) {
+  if (features.size() != soft_labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  for (double y : soft_labels) {
+    if (y < 0.0 || y > 1.0) {
+      return Status::InvalidArgument("soft labels must lie in [0, 1]");
+    }
+  }
+  if ((dev_features == nullptr) != (dev_labels == nullptr)) {
+    return Status::InvalidArgument("dev features and labels must come together");
+  }
+
+  weights_.assign(num_buckets, 0.0);
+  bias_ = 0.0;
+  AdaGrad state(num_buckets + 1);  // Last slot: bias.
+  Rng rng(options_.seed);
+
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double best_dev_f1 = -1.0;
+  std::vector<double> best_weights;
+  double best_bias = 0.0;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      double p = Sigmoid(Score(features[i]));
+      double g = p - soft_labels[i];  // dLoss/dLogit.
+      for (const auto& [f, v] : features[i].entries) {
+        weights_[f] += state.Step(f, g * v, options_.learning_rate);
+      }
+      bias_ += state.Step(num_buckets, g, options_.learning_rate);
+    }
+    // L2 as per-epoch weight decay (cheap dense pass).
+    if (options_.l2 > 0.0) {
+      double decay = 1.0 - options_.learning_rate * options_.l2;
+      for (double& w : weights_) w *= decay;
+    }
+    if (dev_features != nullptr) {
+      is_fit_ = true;
+      auto conf = ComputeBinaryConfusion(PredictLabels(*dev_features),
+                                         *dev_labels);
+      if (conf.F1() > best_dev_f1) {
+        best_dev_f1 = conf.F1();
+        best_weights = weights_;
+        best_bias = bias_;
+      }
+    }
+  }
+  if (dev_features != nullptr && !best_weights.empty()) {
+    weights_ = std::move(best_weights);
+    bias_ = best_bias;
+  }
+  is_fit_ = true;
+  return Status::OK();
+}
+
+Status LogisticRegressionClassifier::FitHard(
+    const std::vector<FeatureVector>& features, size_t num_buckets,
+    const std::vector<Label>& labels,
+    const std::vector<FeatureVector>* dev_features,
+    const std::vector<Label>* dev_labels) {
+  std::vector<double> soft(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    soft[i] = labels[i] > 0 ? 1.0 : 0.0;
+  }
+  return Fit(features, num_buckets, soft, dev_features, dev_labels);
+}
+
+double LogisticRegressionClassifier::Score(const FeatureVector& features) const {
+  double z = bias_;
+  for (const auto& [f, v] : features.entries) {
+    assert(f < weights_.size());
+    z += weights_[f] * v;
+  }
+  return z;
+}
+
+std::vector<double> LogisticRegressionClassifier::PredictProba(
+    const std::vector<FeatureVector>& features) const {
+  assert(is_fit_);
+  std::vector<double> out(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    out[i] = Sigmoid(Score(features[i]));
+  }
+  return out;
+}
+
+std::vector<Label> LogisticRegressionClassifier::PredictLabels(
+    const std::vector<FeatureVector>& features) const {
+  auto proba = PredictProba(features);
+  std::vector<Label> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] > 0.5 ? 1 : -1;
+  return out;
+}
+
+// --------------------------------------------------------------- Softmax --
+
+SoftmaxRegressionClassifier::SoftmaxRegressionClassifier(
+    DiscModelOptions options)
+    : options_(options) {}
+
+Status SoftmaxRegressionClassifier::Fit(
+    const std::vector<FeatureVector>& features, size_t num_buckets,
+    const std::vector<std::vector<double>>& soft_labels, int cardinality) {
+  if (features.size() != soft_labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  size_t k = static_cast<size_t>(cardinality);
+  for (const auto& q : soft_labels) {
+    if (q.size() != k) {
+      return Status::InvalidArgument("soft label with wrong cardinality");
+    }
+  }
+
+  cardinality_ = cardinality;
+  num_buckets_ = num_buckets;
+  weights_.assign(k * num_buckets, 0.0);
+  biases_.assign(k, 0.0);
+  AdaGrad state(k * (num_buckets + 1));
+  Rng rng(options_.seed);
+
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> logits(k);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      for (size_t c = 0; c < k; ++c) {
+        double z = biases_[c];
+        for (const auto& [f, v] : features[i].entries) {
+          z += weights_[c * num_buckets_ + f] * v;
+        }
+        logits[c] = z;
+      }
+      SoftmaxInPlace(&logits);
+      for (size_t c = 0; c < k; ++c) {
+        double g = logits[c] - soft_labels[i][c];
+        for (const auto& [f, v] : features[i].entries) {
+          size_t idx = c * num_buckets_ + f;
+          weights_[idx] += state.Step(idx, g * v, options_.learning_rate);
+        }
+        biases_[c] +=
+            state.Step(k * num_buckets_ + c, g, options_.learning_rate);
+      }
+    }
+    if (options_.l2 > 0.0) {
+      double decay = 1.0 - options_.learning_rate * options_.l2;
+      for (double& w : weights_) w *= decay;
+    }
+  }
+  is_fit_ = true;
+  return Status::OK();
+}
+
+Status SoftmaxRegressionClassifier::FitHard(
+    const std::vector<FeatureVector>& features, size_t num_buckets,
+    const std::vector<Label>& labels, int cardinality) {
+  std::vector<std::vector<double>> soft(
+      labels.size(), std::vector<double>(static_cast<size_t>(cardinality), 0.0));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 1 || labels[i] > cardinality) {
+      return Status::InvalidArgument("hard label out of range");
+    }
+    soft[i][static_cast<size_t>(labels[i]) - 1] = 1.0;
+  }
+  return Fit(features, num_buckets, soft, cardinality);
+}
+
+std::vector<std::vector<double>> SoftmaxRegressionClassifier::PredictProba(
+    const std::vector<FeatureVector>& features) const {
+  assert(is_fit_);
+  size_t k = static_cast<size_t>(cardinality_);
+  std::vector<std::vector<double>> out(features.size(),
+                                       std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < features.size(); ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      double z = biases_[c];
+      for (const auto& [f, v] : features[i].entries) {
+        z += weights_[c * num_buckets_ + f] * v;
+      }
+      out[i][c] = z;
+    }
+    SoftmaxInPlace(&out[i]);
+  }
+  return out;
+}
+
+std::vector<Label> SoftmaxRegressionClassifier::PredictLabels(
+    const std::vector<FeatureVector>& features) const {
+  auto proba = PredictProba(features);
+  std::vector<Label> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < proba[i].size(); ++c) {
+      if (proba[i][c] > proba[i][best]) best = c;
+    }
+    out[i] = static_cast<Label>(best) + 1;
+  }
+  return out;
+}
+
+}  // namespace snorkel

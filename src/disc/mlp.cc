@@ -1,0 +1,127 @@
+#include "disc/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace snorkel {
+
+MlpClassifier::MlpClassifier(Options options) : options_(options) {}
+
+double MlpClassifier::Forward(const FeatureVector& x,
+                              std::vector<double>* hidden) const {
+  size_t h_units = options_.hidden_units;
+  hidden->assign(h_units, 0.0);
+  for (size_t h = 0; h < h_units; ++h) (*hidden)[h] = b1_[h];
+  for (const auto& [f, v] : x.entries) {
+    const float* col = &w1_[static_cast<size_t>(f) * h_units];
+    for (size_t h = 0; h < h_units; ++h) {
+      (*hidden)[h] += static_cast<double>(col[h]) * v;
+    }
+  }
+  double z = b2_;
+  for (size_t h = 0; h < h_units; ++h) {
+    if ((*hidden)[h] < 0.0) (*hidden)[h] = 0.0;  // ReLU.
+    z += w2_[h] * (*hidden)[h];
+  }
+  return z;
+}
+
+Status MlpClassifier::Fit(const std::vector<FeatureVector>& features,
+                          size_t num_buckets,
+                          const std::vector<double>& soft_labels) {
+  if (features.size() != soft_labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  for (double y : soft_labels) {
+    if (y < 0.0 || y > 1.0) {
+      return Status::InvalidArgument("soft labels must lie in [0, 1]");
+    }
+  }
+
+  size_t h_units = options_.hidden_units;
+  num_buckets_ = num_buckets;
+  Rng rng(options_.train.seed);
+
+  // He-style initialization for the ReLU layer; zero output layer.
+  w1_.assign(num_buckets * h_units, 0.0f);
+  double scale = std::sqrt(2.0 / static_cast<double>(h_units));
+  for (auto& w : w1_) w = static_cast<float>(rng.Normal(0.0, scale * 0.1));
+  b1_.assign(h_units, 0.01);
+  w2_.assign(h_units, 0.0);
+  for (auto& w : w2_) w = rng.Normal(0.0, scale);
+  b2_ = 0.0;
+
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> hidden(h_units);
+  double lr = options_.train.learning_rate;
+
+  for (int epoch = 0; epoch < options_.train.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // Simple 1/sqrt(t) decay keeps the sparse updates stable.
+    double step = lr / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (size_t i : order) {
+      double z = Forward(features[i], &hidden);
+      double p = Sigmoid(z);
+      double g_out = p - soft_labels[i];  // dLoss/dz.
+
+      // Output layer.
+      for (size_t h = 0; h < h_units; ++h) {
+        double g_w2 = g_out * hidden[h];
+        double g_h = g_out * w2_[h];
+        w2_[h] -= step * g_w2;
+        if (hidden[h] > 0.0) {  // ReLU gate.
+          b1_[h] -= step * g_h;
+          for (const auto& [f, v] : features[i].entries) {
+            w1_[static_cast<size_t>(f) * h_units + h] -=
+                static_cast<float>(step * g_h * v);
+          }
+        }
+      }
+      b2_ -= step * g_out;
+    }
+    if (options_.train.l2 > 0.0) {
+      double decay = 1.0 - step * options_.train.l2;
+      for (auto& w : w2_) w *= decay;
+    }
+  }
+  is_fit_ = true;
+  return Status::OK();
+}
+
+Status MlpClassifier::FitHard(const std::vector<FeatureVector>& features,
+                              size_t num_buckets,
+                              const std::vector<Label>& labels) {
+  std::vector<double> soft(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    soft[i] = labels[i] > 0 ? 1.0 : 0.0;
+  }
+  return Fit(features, num_buckets, soft);
+}
+
+std::vector<double> MlpClassifier::PredictProba(
+    const std::vector<FeatureVector>& features) const {
+  assert(is_fit_);
+  std::vector<double> out(features.size());
+  std::vector<double> hidden;
+  for (size_t i = 0; i < features.size(); ++i) {
+    out[i] = Sigmoid(Forward(features[i], &hidden));
+  }
+  return out;
+}
+
+std::vector<Label> MlpClassifier::PredictLabels(
+    const std::vector<FeatureVector>& features) const {
+  auto proba = PredictProba(features);
+  std::vector<Label> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] > 0.5 ? 1 : -1;
+  return out;
+}
+
+}  // namespace snorkel

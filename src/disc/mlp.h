@@ -1,0 +1,59 @@
+#ifndef SNORKEL_DISC_MLP_H_
+#define SNORKEL_DISC_MLP_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "disc/features.h"
+#include "disc/linear_model.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// A one-hidden-layer ReLU network over hashed sparse features with a
+/// sigmoid output, trained with the noise-aware binary loss (§2.3). This is
+/// the nonlinear end model stand-in for the paper's LSTM (DESIGN.md
+/// substitutions): unlike LogisticRegressionClassifier it can pick up
+/// feature conjunctions, which matters for the cross-modal tasks where the
+/// signal is distributed.
+class MlpClassifier {
+ public:
+  struct Options {
+    size_t hidden_units = 32;
+    DiscModelOptions train;
+  };
+
+  explicit MlpClassifier(Options options);
+  MlpClassifier() : MlpClassifier(Options{}) {}
+
+  /// Fits on probabilistic targets ỹ_i = P(y_i = +1).
+  Status Fit(const std::vector<FeatureVector>& features, size_t num_buckets,
+             const std::vector<double>& soft_labels);
+
+  /// Trains on hard ±1 labels.
+  Status FitHard(const std::vector<FeatureVector>& features,
+                 size_t num_buckets, const std::vector<Label>& labels);
+
+  bool is_fit() const { return is_fit_; }
+
+  std::vector<double> PredictProba(
+      const std::vector<FeatureVector>& features) const;
+  std::vector<Label> PredictLabels(
+      const std::vector<FeatureVector>& features) const;
+
+ private:
+  double Forward(const FeatureVector& x, std::vector<double>* hidden) const;
+
+  Options options_;
+  bool is_fit_ = false;
+  size_t num_buckets_ = 0;
+  // w1_[h * num_buckets_ + f], b1_[h], w2_[h], b2_.
+  std::vector<float> w1_;
+  std::vector<double> b1_;
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_DISC_MLP_H_

@@ -1,0 +1,151 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace snorkel {
+
+double BinaryConfusion::Precision() const {
+  return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double BinaryConfusion::Recall() const {
+  return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double BinaryConfusion::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double BinaryConfusion::Accuracy() const {
+  int64_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+std::string BinaryConfusion::ToString() const {
+  std::ostringstream os;
+  os << "tp=" << tp << " fp=" << fp << " tn=" << tn << " fn=" << fn
+     << " P=" << Precision() << " R=" << Recall() << " F1=" << F1();
+  return os.str();
+}
+
+BinaryConfusion ComputeBinaryConfusion(const std::vector<Label>& predictions,
+                                       const std::vector<Label>& gold) {
+  assert(predictions.size() == gold.size());
+  BinaryConfusion c;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    bool pred_pos = predictions[i] > 0;  // Abstain (0) counts as negative.
+    bool gold_pos = gold[i] > 0;
+    if (pred_pos && gold_pos) {
+      ++c.tp;
+    } else if (pred_pos && !gold_pos) {
+      ++c.fp;
+    } else if (!pred_pos && gold_pos) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+BinaryConfusion ScoreProbabilistic(const std::vector<double>& proba,
+                                   const std::vector<Label>& gold,
+                                   double threshold) {
+  assert(proba.size() == gold.size());
+  std::vector<Label> predictions(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    predictions[i] = proba[i] > threshold ? 1 : -1;
+  }
+  return ComputeBinaryConfusion(predictions, gold);
+}
+
+double RocAuc(const std::vector<double>& scores, const std::vector<Label>& gold) {
+  assert(scores.size() == gold.size());
+  size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks over tied scores, then apply the Mann-Whitney identity.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  int64_t num_pos = 0;
+  int64_t num_neg = 0;
+  double pos_rank_sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (gold[k] > 0) {
+      ++num_pos;
+      pos_rank_sum += rank[k];
+    } else {
+      ++num_neg;
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  double u = pos_rank_sum - static_cast<double>(num_pos) *
+                                (static_cast<double>(num_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+double MulticlassAccuracy(const std::vector<Label>& predictions,
+                          const std::vector<Label>& gold) {
+  assert(predictions.size() == gold.size());
+  if (gold.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (predictions[i] == gold[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(gold.size());
+}
+
+std::vector<std::vector<int64_t>> ConfusionMatrix(
+    const std::vector<Label>& predictions, const std::vector<Label>& gold,
+    int cardinality) {
+  assert(predictions.size() == gold.size());
+  std::vector<std::vector<int64_t>> m(
+      static_cast<size_t>(cardinality),
+      std::vector<int64_t>(static_cast<size_t>(cardinality), 0));
+  for (size_t i = 0; i < gold.size(); ++i) {
+    Label g = gold[i];
+    Label p = predictions[i];
+    if (g >= 1 && g <= cardinality && p >= 1 && p <= cardinality) {
+      ++m[static_cast<size_t>(g - 1)][static_cast<size_t>(p - 1)];
+    }
+  }
+  return m;
+}
+
+ErrorBuckets BucketErrors(const std::vector<Label>& predictions,
+                          const std::vector<Label>& gold) {
+  assert(predictions.size() == gold.size());
+  ErrorBuckets buckets;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    bool pred_pos = predictions[i] > 0;
+    bool gold_pos = gold[i] > 0;
+    if (pred_pos && gold_pos) {
+      buckets.true_positives.push_back(i);
+    } else if (pred_pos && !gold_pos) {
+      buckets.false_positives.push_back(i);
+    } else if (!pred_pos && gold_pos) {
+      buckets.false_negatives.push_back(i);
+    } else {
+      buckets.true_negatives.push_back(i);
+    }
+  }
+  return buckets;
+}
+
+}  // namespace snorkel

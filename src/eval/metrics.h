@@ -1,0 +1,72 @@
+#ifndef SNORKEL_EVAL_METRICS_H_
+#define SNORKEL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace snorkel {
+
+/// Binary confusion counts plus the derived scores the paper reports
+/// (precision, recall, F1, accuracy). Predictions and gold labels use the
+/// {+1, -1} convention; a prediction of 0 (abstain) is counted as a negative
+/// prediction, matching the paper's scoring protocol (Appendix A.5).
+struct BinaryConfusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+
+  int64_t total() const { return tp + fp + tn + fn; }
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+
+  std::string ToString() const;
+};
+
+/// Computes confusion counts for ±1 gold labels. `predictions` may contain 0
+/// (abstain), which is treated as a negative prediction.
+BinaryConfusion ComputeBinaryConfusion(const std::vector<Label>& predictions,
+                                       const std::vector<Label>& gold);
+
+/// Thresholds probabilistic predictions p(y=+1|x) at `threshold` and scores
+/// them against ±1 gold labels.
+BinaryConfusion ScoreProbabilistic(const std::vector<double>& proba,
+                                   const std::vector<Label>& gold,
+                                   double threshold = 0.5);
+
+/// Area under the ROC curve via the rank statistic (equivalent to the
+/// Mann-Whitney U). Ties in scores contribute 1/2. Returns 0.5 when one of
+/// the classes is empty.
+double RocAuc(const std::vector<double>& scores, const std::vector<Label>& gold);
+
+/// Fraction of positions where prediction == gold (multi-class).
+double MulticlassAccuracy(const std::vector<Label>& predictions,
+                          const std::vector<Label>& gold);
+
+/// K x K confusion matrix for labels in {1..cardinality}; rows are gold,
+/// columns are predictions. Out-of-range labels are ignored.
+std::vector<std::vector<int64_t>> ConfusionMatrix(
+    const std::vector<Label>& predictions, const std::vector<Label>& gold,
+    int cardinality);
+
+/// Candidate indices split into the four error buckets, the same buckets the
+/// paper's Viewer utility displays for iterative LF development (App. C).
+struct ErrorBuckets {
+  std::vector<size_t> true_positives;
+  std::vector<size_t> false_positives;
+  std::vector<size_t> true_negatives;
+  std::vector<size_t> false_negatives;
+};
+
+/// Buckets every index by (prediction, gold); abstains count as negative.
+ErrorBuckets BucketErrors(const std::vector<Label>& predictions,
+                          const std::vector<Label>& gold);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_EVAL_METRICS_H_

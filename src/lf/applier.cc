@@ -1,0 +1,46 @@
+#include "lf/applier.h"
+
+#include <atomic>
+#include <tuple>
+
+#include "util/thread_pool.h"
+
+namespace snorkel {
+
+Result<LabelMatrix> LFApplier::Apply(
+    const LabelingFunctionSet& lfs, const Corpus& corpus,
+    const std::vector<Candidate>& candidates) const {
+  size_t m = candidates.size();
+  size_t n = lfs.size();
+
+  // Per-candidate sparse vote buffers, filled in parallel without locking.
+  std::vector<std::vector<LabelMatrix::Entry>> votes(m);
+  auto label_one = [&](size_t i) {
+    CandidateView view(&corpus, &candidates[i], i);
+    for (size_t j = 0; j < n; ++j) {
+      Label label = lfs.at(j).Apply(view);
+      if (label != kAbstain) {
+        votes[i].push_back(
+            LabelMatrix::Entry{static_cast<uint32_t>(j), label});
+      }
+    }
+  };
+
+  if (options_.num_threads == 1 || m < 64) {
+    for (size_t i = 0; i < m; ++i) label_one(i);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(0, m, label_one);
+  }
+
+  // Funnel through FromTriplets for label validation.
+  std::vector<std::tuple<size_t, size_t, Label>> triplets;
+  for (size_t i = 0; i < m; ++i) {
+    for (const auto& e : votes[i]) {
+      triplets.emplace_back(i, e.lf, e.label);
+    }
+  }
+  return LabelMatrix::FromTriplets(m, n, triplets, options_.cardinality);
+}
+
+}  // namespace snorkel

@@ -1,0 +1,43 @@
+#ifndef SNORKEL_LF_APPLIER_H_
+#define SNORKEL_LF_APPLIER_H_
+
+#include <vector>
+
+#include "core/label_matrix.h"
+#include "data/candidate.h"
+#include "lf/labeling_function.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Applies a labeling-function set over a candidate set to produce the label
+/// matrix Λ. Candidates are independent, so application is embarrassingly
+/// parallel (paper Appendix C "Execution Model"); the applier shards the
+/// candidate range over a thread pool, the single-node analog of the paper's
+/// multiprocessing / Spark layers.
+class LFApplier {
+ public:
+  struct Options {
+    /// Worker threads; 0 = hardware concurrency, 1 = serial.
+    size_t num_threads = 0;
+    /// Cardinality of the resulting matrix (2 = binary ±1).
+    int cardinality = 2;
+  };
+
+  explicit LFApplier(Options options) : options_(options) {}
+  LFApplier() : LFApplier(Options{}) {}
+
+  /// Runs every LF on every candidate. Votes outside the valid label range
+  /// for the configured cardinality surface as an InvalidArgument error
+  /// (a buggy LF should fail loudly, not corrupt Λ).
+  Result<LabelMatrix> Apply(const LabelingFunctionSet& lfs,
+                            const Corpus& corpus,
+                            const std::vector<Candidate>& candidates) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_LF_APPLIER_H_

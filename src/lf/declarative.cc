@@ -1,0 +1,206 @@
+#include "lf/declarative.h"
+
+#include <regex>
+#include <unordered_set>
+#include <utility>
+
+#include "text/stemmer.h"
+#include "util/string_util.h"
+
+namespace snorkel {
+
+namespace {
+
+std::unordered_set<std::string> BuildKeywordSet(
+    const std::vector<std::string>& keywords, bool stem) {
+  std::unordered_set<std::string> set;
+  for (const auto& kw : keywords) {
+    std::string lower = ToLower(kw);
+    set.insert(stem ? Stemmer::Stem(lower) : lower);
+  }
+  return set;
+}
+
+bool AnyKeyword(const std::vector<std::string>& words,
+                const std::unordered_set<std::string>& keywords, bool stem) {
+  for (const auto& word : words) {
+    std::string lower = ToLower(word);
+    if (keywords.count(stem ? Stemmer::Stem(lower) : lower) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LabelingFunction MakeKeywordBetweenLF(std::string name,
+                                      std::vector<std::string> keywords,
+                                      Label label, bool stem) {
+  auto set = BuildKeywordSet(keywords, stem);
+  return LabelingFunction(
+      std::move(name), [set = std::move(set), label, stem](
+                           const CandidateView& view) -> Label {
+        return AnyKeyword(view.WordsBetween(), set, stem) ? label : kAbstain;
+      });
+}
+
+LabelingFunction MakeDirectionalKeywordLF(std::string name,
+                                          std::vector<std::string> keywords,
+                                          Label label_forward,
+                                          Label label_reverse, bool stem) {
+  auto set = BuildKeywordSet(keywords, stem);
+  return LabelingFunction(
+      std::move(name),
+      [set = std::move(set), label_forward, label_reverse,
+       stem](const CandidateView& view) -> Label {
+        if (!AnyKeyword(view.WordsBetween(), set, stem)) return kAbstain;
+        return view.Span1First() ? label_forward : label_reverse;
+      });
+}
+
+LabelingFunction MakeRegexBetweenLF(std::string name, const std::string& regex,
+                                    Label label) {
+  auto pattern = std::make_shared<std::regex>(
+      regex, std::regex::ECMAScript | std::regex::icase);
+  return LabelingFunction(
+      std::move(name), [pattern, label](const CandidateView& view) -> Label {
+        return std::regex_search(view.TextBetween(), *pattern) ? label
+                                                               : kAbstain;
+      });
+}
+
+LabelingFunction MakeContextKeywordLF(std::string name,
+                                      std::vector<std::string> keywords,
+                                      size_t window, Label label, bool stem) {
+  auto set = BuildKeywordSet(keywords, stem);
+  return LabelingFunction(
+      std::move(name), [set = std::move(set), window, label,
+                        stem](const CandidateView& view) -> Label {
+        if (AnyKeyword(view.WordsLeftOfFirst(window), set, stem) ||
+            AnyKeyword(view.WordsRightOfSecond(window), set, stem)) {
+          return label;
+        }
+        return kAbstain;
+      });
+}
+
+LabelingFunction MakeDistanceLF(std::string name, size_t max_tokens,
+                                Label label) {
+  return LabelingFunction(
+      std::move(name), [max_tokens, label](const CandidateView& view) -> Label {
+        return view.TokenDistance() > max_tokens ? label : kAbstain;
+      });
+}
+
+LabelingFunction MakeSentenceKeywordLF(std::string name,
+                                       std::vector<std::string> keywords,
+                                       Label label, bool stem) {
+  auto set = BuildKeywordSet(keywords, stem);
+  return LabelingFunction(
+      std::move(name), [set = std::move(set), label,
+                        stem](const CandidateView& view) -> Label {
+        return AnyKeyword(view.sentence().words, set, stem) ? label : kAbstain;
+      });
+}
+
+LabelingFunction MakeDocumentKeywordLF(std::string name,
+                                       std::vector<std::string> keywords,
+                                       Label label, bool stem) {
+  auto set = BuildKeywordSet(keywords, stem);
+  return LabelingFunction(
+      std::move(name), [set = std::move(set), label,
+                        stem](const CandidateView& view) -> Label {
+        const Document& doc =
+            view.corpus().document(view.candidate().span1.doc);
+        for (const Sentence& sentence : doc.sentences) {
+          if (AnyKeyword(sentence.words, set, stem)) return label;
+        }
+        return kAbstain;
+      });
+}
+
+LabelingFunction MakeOntologyLF(std::string name, const KnowledgeBase* kb,
+                                std::string subset, Label label,
+                                bool symmetric) {
+  return LabelingFunction(
+      std::move(name), [kb, subset = std::move(subset), label,
+                        symmetric](const CandidateView& view) -> Label {
+        const std::string& id1 = view.candidate().span1.canonical_id;
+        const std::string& id2 = view.candidate().span2.canonical_id;
+        if (kb->Contains(subset, id1, id2)) return label;
+        if (symmetric && kb->Contains(subset, id2, id1)) return label;
+        return kAbstain;
+      });
+}
+
+std::vector<LabelingFunction> MakeOntologyLFs(
+    const std::string& name_prefix, const KnowledgeBase* kb,
+    const std::map<std::string, Label>& subset_labels, bool symmetric) {
+  std::vector<LabelingFunction> lfs;
+  lfs.reserve(subset_labels.size());
+  for (const auto& [subset, label] : subset_labels) {
+    lfs.push_back(MakeOntologyLF(name_prefix + "_" + subset, kb, subset, label,
+                                 symmetric));
+  }
+  return lfs;
+}
+
+LabelingFunction MakeWeakClassifierLF(
+    std::string name, std::function<double(const CandidateView&)> score,
+    double lower, double upper) {
+  return LabelingFunction(
+      std::move(name), [score = std::move(score), lower,
+                        upper](const CandidateView& view) -> Label {
+        double p = score(view);
+        if (p > upper) return 1;
+        if (p < lower) return -1;
+        return kAbstain;
+      });
+}
+
+LabelingFunction MakeCrowdWorkerLF(std::string name,
+                                   std::map<size_t, Label> votes) {
+  return LabelingFunction(
+      std::move(name),
+      [votes = std::move(votes)](const CandidateView& view) -> Label {
+        auto it = votes.find(view.index());
+        return it == votes.end() ? kAbstain : it->second;
+      });
+}
+
+std::vector<LabelingFunction> MakeCrowdWorkerLFs(
+    const std::string& name_prefix,
+    const std::vector<std::map<size_t, Label>>& worker_votes) {
+  std::vector<LabelingFunction> lfs;
+  lfs.reserve(worker_votes.size());
+  for (size_t w = 0; w < worker_votes.size(); ++w) {
+    lfs.push_back(MakeCrowdWorkerLF(name_prefix + "_" + std::to_string(w),
+                                    worker_votes[w]));
+  }
+  return lfs;
+}
+
+LabelingFunction MakeGuardedLF(
+    std::string name, LabelingFunction lf,
+    std::function<bool(const CandidateView&)> guard) {
+  return LabelingFunction(
+      std::move(name),
+      [lf = std::move(lf), guard = std::move(guard)](
+          const CandidateView& view) -> Label {
+        return guard(view) ? lf.Apply(view) : kAbstain;
+      });
+}
+
+LabelingFunction MakeFirstVoteLF(std::string name,
+                                 std::vector<LabelingFunction> lfs) {
+  return LabelingFunction(
+      std::move(name),
+      [lfs = std::move(lfs)](const CandidateView& view) -> Label {
+        for (const auto& lf : lfs) {
+          Label vote = lf.Apply(view);
+          if (vote != kAbstain) return vote;
+        }
+        return kAbstain;
+      });
+}
+
+}  // namespace snorkel

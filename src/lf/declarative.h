@@ -1,0 +1,110 @@
+#ifndef SNORKEL_LF_DECLARATIVE_H_
+#define SNORKEL_LF_DECLARATIVE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "data/knowledge_base.h"
+#include "lf/labeling_function.h"
+
+namespace snorkel {
+
+/// The declarative labeling-function library of §2.1: constructors for the
+/// most common weak-supervision strategies — patterns, distant supervision,
+/// weak classifiers, crowd votes — plus generators that expand a whole
+/// resource into many LFs with one call (Example 2.4), and composition
+/// combinators.
+
+/// Pattern LF: votes `label` when any of `keywords` appears (after optional
+/// stemming) among the tokens between the two spans; abstains otherwise.
+LabelingFunction MakeKeywordBetweenLF(std::string name,
+                                      std::vector<std::string> keywords,
+                                      Label label, bool stem = true);
+
+/// Directional pattern LF (the paper's LF_causes, Example 2.3): when a
+/// keyword appears between the spans, votes `label_forward` if span1
+/// precedes span2 and `label_reverse` otherwise.
+LabelingFunction MakeDirectionalKeywordLF(std::string name,
+                                          std::vector<std::string> keywords,
+                                          Label label_forward,
+                                          Label label_reverse,
+                                          bool stem = true);
+
+/// Regex LF (the declarative lf_search of Example 2.3): votes `label` when
+/// the ECMAScript regex matches the text between the spans.
+LabelingFunction MakeRegexBetweenLF(std::string name, const std::string& regex,
+                                    Label label);
+
+/// Context-window LF: votes `label` when a keyword appears within `window`
+/// tokens left of the first span or right of the second (structure-based
+/// heuristics over the context hierarchy, Table 6).
+LabelingFunction MakeContextKeywordLF(std::string name,
+                                      std::vector<std::string> keywords,
+                                      size_t window, Label label,
+                                      bool stem = true);
+
+/// Distance heuristic: votes `label` when the spans are more than
+/// `max_tokens` apart (long-range pairs are usually unrelated).
+LabelingFunction MakeDistanceLF(std::string name, size_t max_tokens,
+                                Label label);
+
+/// Sentence-scope pattern LF: votes `label` when any keyword occurs anywhere
+/// in the candidate's sentence. Used for unary (document/report-level)
+/// candidates, e.g. radiology report cues (§4.1.2).
+LabelingFunction MakeSentenceKeywordLF(std::string name,
+                                       std::vector<std::string> keywords,
+                                       Label label, bool stem = true);
+
+/// Document-scope pattern LF: votes `label` when any keyword occurs in any
+/// sentence of the candidate's document — LFs may reason over the whole
+/// context hierarchy, not just the candidate's sentence (Figure 3).
+LabelingFunction MakeDocumentKeywordLF(std::string name,
+                                       std::vector<std::string> keywords,
+                                       Label label, bool stem = true);
+
+/// Distant supervision LF: votes `label` when the candidate's canonical-id
+/// pair occurs in `subset` of the KB. When `symmetric`, also checks the
+/// reversed pair. The KB must outlive the LF.
+LabelingFunction MakeOntologyLF(std::string name, const KnowledgeBase* kb,
+                                std::string subset, Label label,
+                                bool symmetric = false);
+
+/// Ontology generator (Example 2.4): one LF per (subset -> label) entry,
+/// e.g. Ontology(ctd, {"Causes": +1, "Treats": -1}).
+std::vector<LabelingFunction> MakeOntologyLFs(
+    const std::string& name_prefix, const KnowledgeBase* kb,
+    const std::map<std::string, Label>& subset_labels, bool symmetric = false);
+
+/// Weak classifier LF: wraps a scoring function p(y=+1|x) and votes +1 above
+/// `upper`, -1 below `lower`, abstaining in between (low-confidence region).
+LabelingFunction MakeWeakClassifierLF(
+    std::string name, std::function<double(const CandidateView&)> score,
+    double lower = 0.4, double upper = 0.6);
+
+/// Crowd-worker LF (§4.1.2 Crowd task): replays one worker's stored votes,
+/// keyed by candidate index; missing entries abstain. `votes` is copied.
+LabelingFunction MakeCrowdWorkerLF(std::string name,
+                                   std::map<size_t, Label> votes);
+
+/// Crowd generator: one LF per worker from a vote table
+/// worker -> (candidate index -> label).
+std::vector<LabelingFunction> MakeCrowdWorkerLFs(
+    const std::string& name_prefix,
+    const std::vector<std::map<size_t, Label>>& worker_votes);
+
+/// Combinator: votes like `lf` but abstains unless `guard` returns true.
+/// Used to narrow an LF to a sub-population (e.g. only short-range pairs).
+LabelingFunction MakeGuardedLF(std::string name, LabelingFunction lf,
+                               std::function<bool(const CandidateView&)> guard);
+
+/// Combinator: first non-abstaining vote among `lfs` wins.
+LabelingFunction MakeFirstVoteLF(std::string name,
+                                 std::vector<LabelingFunction> lfs);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_LF_DECLARATIVE_H_

@@ -1,0 +1,21 @@
+#include "lf/labeling_function.h"
+
+namespace snorkel {
+
+size_t LabelingFunctionSet::Add(LabelingFunction lf) {
+  lfs_.push_back(std::move(lf));
+  return lfs_.size() - 1;
+}
+
+void LabelingFunctionSet::AddAll(std::vector<LabelingFunction> lfs) {
+  for (auto& lf : lfs) lfs_.push_back(std::move(lf));
+}
+
+std::vector<std::string> LabelingFunctionSet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(lfs_.size());
+  for (const auto& lf : lfs_) names.push_back(lf.name());
+  return names;
+}
+
+}  // namespace snorkel

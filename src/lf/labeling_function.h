@@ -1,0 +1,63 @@
+#ifndef SNORKEL_LF_LABELING_FUNCTION_H_
+#define SNORKEL_LF_LABELING_FUNCTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "data/candidate.h"
+
+namespace snorkel {
+
+/// The labeling function (LF) abstraction of §2.1: a black-box function
+/// λ : X -> Y ∪ {∅} that inspects a candidate and either votes a label or
+/// abstains (kAbstain). Hand-written LFs wrap an arbitrary callable —
+/// the C++ analog of the paper's "arbitrary snippet of Python" — while the
+/// declarative operator library (declarative.h) covers the common weak
+/// supervision patterns.
+class LabelingFunction {
+ public:
+  using Fn = std::function<Label(const CandidateView&)>;
+
+  LabelingFunction(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Applies the LF to one candidate.
+  Label Apply(const CandidateView& view) const { return fn_(view); }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+/// An ordered set of labeling functions; the unit the applier consumes.
+/// LF *generators* (Example 2.4) append many functions at once.
+class LabelingFunctionSet {
+ public:
+  LabelingFunctionSet() = default;
+
+  /// Appends one LF and returns its column index.
+  size_t Add(LabelingFunction lf);
+
+  /// Appends every LF in `lfs` (generator output).
+  void AddAll(std::vector<LabelingFunction> lfs);
+
+  size_t size() const { return lfs_.size(); }
+  bool empty() const { return lfs_.empty(); }
+  const LabelingFunction& at(size_t j) const { return lfs_[j]; }
+
+  /// LF names in column order (for analysis tables).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<LabelingFunction> lfs_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_LF_LABELING_FUNCTION_H_

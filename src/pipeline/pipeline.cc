@@ -1,0 +1,237 @@
+#include "pipeline/pipeline.h"
+#include <cmath>
+
+#include <algorithm>
+
+#include "core/majority_vote.h"
+#include "util/timer.h"
+#include "util/random.h"
+
+namespace snorkel {
+
+namespace {
+
+/// Gathers the subset of `values` at `indices`.
+template <typename T>
+std::vector<T> Gather(const std::vector<T>& values,
+                      const std::vector<size_t>& indices) {
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(values[i]);
+  return out;
+}
+
+/// Picks the decision threshold maximizing F1 on the dev split (all end
+/// models get the same treatment; the paper selects hyper-parameters on the
+/// small labeled dev set).
+double TuneThreshold(const std::vector<double>& dev_proba,
+                     const std::vector<Label>& dev_gold) {
+  double best_threshold = 0.5;
+  double best_f1 = -1.0;
+  for (int t = 1; t < 50; ++t) {
+    double threshold = static_cast<double>(t) * 0.02;
+    double f1 = ScoreProbabilistic(dev_proba, dev_gold, threshold).F1();
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+/// Trains, tunes the threshold on dev, and scores on test.
+BinaryConfusion EvalWithTunedThreshold(
+    const LogisticRegressionClassifier& model,
+    const std::vector<FeatureVector>& dev_features,
+    const std::vector<Label>& dev_gold,
+    const std::vector<FeatureVector>& test_features,
+    const std::vector<Label>& test_gold) {
+  double threshold = TuneThreshold(model.PredictProba(dev_features), dev_gold);
+  return ScoreProbabilistic(model.PredictProba(test_features), test_gold,
+                            threshold);
+}
+
+}  // namespace
+
+Result<PipelineReport> RunRelationPipeline(const RelationTask& task,
+                                           const PipelineOptions& options) {
+  PipelineReport report;
+  report.task_name = task.name;
+
+  // ---- Stage 1: apply labeling functions (Figure 2, step 2). ----
+  const LabelingFunctionSet* lfs = &task.lfs;
+  LabelingFunctionSet subset_lfs;
+  if (!options.lf_subset.empty()) {
+    for (size_t j : options.lf_subset) {
+      if (j >= task.lfs.size()) {
+        return Status::OutOfRange("lf_subset index out of range");
+      }
+      subset_lfs.Add(task.lfs.at(j));
+    }
+    lfs = &subset_lfs;
+  }
+  LFApplier applier(LFApplier::Options{options.num_threads, 2});
+  auto matrix_result = applier.Apply(*lfs, task.corpus, task.candidates);
+  if (!matrix_result.ok()) return matrix_result.status();
+  LabelMatrix matrix = std::move(matrix_result).value();
+  report.label_density = matrix.LabelDensity();
+
+  LabelMatrix train_matrix = matrix.SelectRows(task.train_idx);
+  LabelMatrix test_matrix = matrix.SelectRows(task.test_idx);
+  std::vector<Label> dev_gold = Gather(task.gold, task.dev_idx);
+  std::vector<Label> test_gold = Gather(task.gold, task.test_idx);
+  std::vector<Label> train_gold = Gather(task.gold, task.train_idx);
+
+  // Class balance from the labeled dev split (the only gold the pipeline
+  // itself consumes, mirroring the paper's use of a small dev set).
+  double pos = 0.0;
+  for (Label y : dev_gold) pos += y > 0 ? 1.0 : 0.0;
+  report.class_balance =
+      dev_gold.empty() ? 0.5
+                       : std::clamp(pos / static_cast<double>(dev_gold.size()),
+                                    0.02, 0.98);
+
+  // ---- Stage 2: model the label sources (Figure 2, step 2). ----
+  WallTimer modeling_timer;
+  bool use_mv = false;
+  std::vector<CorrelationPair> correlations;
+  if (options.use_optimizer) {
+    ModelingStrategyOptimizer optimizer(options.optimizer);
+    auto decision = optimizer.Choose(train_matrix);
+    if (!decision.ok()) return decision.status();
+    report.decision = std::move(decision).value();
+    use_mv = report.decision.strategy == ModelingStrategy::kMajorityVote;
+    correlations = report.decision.correlations;
+  }
+
+  LabelMatrix dev_matrix = matrix.SelectRows(task.dev_idx);
+  std::vector<double> train_probs;
+  std::vector<double> test_probs;
+  std::vector<double> gen_dev_probs;
+  if (use_mv) {
+    train_probs = UnweightedAverageProbs(train_matrix);
+    test_probs = UnweightedAverageProbs(test_matrix);
+    gen_dev_probs = UnweightedAverageProbs(dev_matrix);
+  } else {
+    GenerativeModelOptions gen_options = options.gen;
+    gen_options.class_balance = report.class_balance;
+    GenerativeModel gen(gen_options);
+    Status status = gen.Fit(train_matrix, correlations);
+    if (!status.ok()) return status;
+    // Training targets use the class-symmetric posterior (uncovered and
+    // weakly-covered rows sit at a neutral 0.5, not at the prior); the
+    // prior-shifted posterior is for prediction/scoring.
+    train_probs = gen.PredictProba(train_matrix, /*apply_class_balance=*/false);
+    test_probs = gen.PredictProba(test_matrix, /*apply_class_balance=*/false);
+    gen_dev_probs = gen.PredictProba(dev_matrix, /*apply_class_balance=*/false);
+    report.gen_accuracies = gen.EstimatedAccuracies();
+  }
+  report.label_modeling_seconds = modeling_timer.ElapsedSeconds();
+
+  // Snorkel (Gen.) test score: the class-symmetric posterior σ(f_w(Λ))
+  // thresholded at 0.5, exactly the paper's convention (their factor graph
+  // carries no class prior); abstaining / uncovered rows sit at 0.5 and
+  // count negative (Appendix A.5).
+  report.gen_test = ScoreProbabilistic(test_probs, test_gold);
+
+  // ---- Stage 3: discriminative model (Figure 2, step 3). ----
+  TextFeaturizer featurizer(options.features);
+  std::vector<FeatureVector> features(task.candidates.size());
+  for (size_t i = 0; i < task.candidates.size(); ++i) {
+    CandidateView view(&task.corpus, &task.candidates[i], i);
+    features[i] = featurizer.Featurize(view);
+  }
+  std::vector<FeatureVector> test_features = Gather(features, task.test_idx);
+  std::vector<FeatureVector> dev_features = Gather(features, task.dev_idx);
+
+  // Train on rows that actually carry supervision signal: uncovered
+  // candidates and rows whose (class-symmetric) posterior is neutral are
+  // effectively unlabeled — Snorkel filters them rather than training a
+  // model to output "0.5" on their features. Both the generative and the
+  // unweighted-average arm get the same treatment so the Table 5 comparison
+  // isolates label quality.
+  constexpr double kNeutralBand = 0.02;
+  auto covered_rows = [&](const std::vector<double>& probs,
+                          std::vector<FeatureVector>* out_features,
+                          std::vector<double>* out_probs) {
+    for (size_t r = 0; r < task.train_idx.size(); ++r) {
+      if (train_matrix.row(r).empty()) continue;
+      if (std::fabs(probs[r] - 0.5) <= kNeutralBand) continue;
+      out_features->push_back(features[task.train_idx[r]]);
+      out_probs->push_back(probs[r]);
+    }
+  };
+
+  std::vector<FeatureVector> gen_features_train;
+  std::vector<double> gen_probs_train;
+  covered_rows(train_probs, &gen_features_train, &gen_probs_train);
+  if (gen_features_train.empty()) {
+    return Status::FailedPrecondition("no covered training candidates");
+  }
+
+  LogisticRegressionClassifier disc(options.disc);
+  SNORKEL_RETURN_IF_ERROR(disc.Fit(gen_features_train,
+                                   featurizer.num_buckets(), gen_probs_train,
+                                   &dev_features, &dev_gold));
+  report.disc_test = EvalWithTunedThreshold(disc, dev_features, dev_gold,
+                                            test_features, test_gold);
+
+  // Label-quality comparison (Table 5's premise): Brier score of each
+  // arm's probabilistic labels against the training gold.
+  {
+    std::vector<double> unweighted_probs = UnweightedAverageProbs(train_matrix);
+    double gen_brier = 0.0;
+    double unw_brier = 0.0;
+    for (size_t r = 0; r < task.train_idx.size(); ++r) {
+      double y = train_gold[r] > 0 ? 1.0 : 0.0;
+      gen_brier += (train_probs[r] - y) * (train_probs[r] - y);
+      unw_brier += (unweighted_probs[r] - y) * (unweighted_probs[r] - y);
+    }
+    double denom = std::max<size_t>(task.train_idx.size(), 1);
+    report.gen_label_brier = gen_brier / denom;
+    report.unweighted_label_brier = unw_brier / denom;
+  }
+
+  if (options.run_unweighted_baseline) {
+    std::vector<double> unweighted_probs = UnweightedAverageProbs(train_matrix);
+    std::vector<FeatureVector> unw_features_train;
+    std::vector<double> unw_probs_train;
+    covered_rows(unweighted_probs, &unw_features_train, &unw_probs_train);
+    LogisticRegressionClassifier unweighted(options.disc);
+    SNORKEL_RETURN_IF_ERROR(unweighted.Fit(unw_features_train,
+                                           featurizer.num_buckets(),
+                                           unw_probs_train, &dev_features,
+                                           &dev_gold));
+    report.disc_unweighted_test = EvalWithTunedThreshold(
+        unweighted, dev_features, dev_gold, test_features, test_gold);
+  }
+
+  if (options.run_ds_baseline && !task.ds_labels.empty()) {
+    LogisticRegressionClassifier ds(options.disc);
+    std::vector<Label> ds_train = Gather(task.ds_labels, task.train_idx);
+    SNORKEL_RETURN_IF_ERROR(ds.FitHard(Gather(features, task.train_idx),
+                                       featurizer.num_buckets(), ds_train,
+                                       &dev_features, &dev_gold));
+    report.ds_test = EvalWithTunedThreshold(ds, dev_features, dev_gold,
+                                            test_features, test_gold);
+  }
+
+  if (options.run_hand_baseline) {
+    LogisticRegressionClassifier hand(options.disc);
+    std::vector<Label> hand_labels = train_gold;
+    if (options.hand_label_noise > 0.0) {
+      Rng noise_rng(options.disc.seed + 1);
+      for (Label& y : hand_labels) {
+        if (noise_rng.Bernoulli(options.hand_label_noise)) y = -y;
+      }
+    }
+    SNORKEL_RETURN_IF_ERROR(hand.FitHard(Gather(features, task.train_idx),
+                                         featurizer.num_buckets(), hand_labels,
+                                         &dev_features, &dev_gold));
+    report.hand_test = EvalWithTunedThreshold(hand, dev_features, dev_gold,
+                                              test_features, test_gold);
+  }
+  return report;
+}
+
+}  // namespace snorkel

@@ -1,0 +1,82 @@
+#ifndef SNORKEL_PIPELINE_PIPELINE_H_
+#define SNORKEL_PIPELINE_PIPELINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/generative_model.h"
+#include "core/label_matrix.h"
+#include "core/optimizer.h"
+#include "disc/features.h"
+#include "disc/linear_model.h"
+#include "eval/metrics.h"
+#include "lf/applier.h"
+#include "synth/relation_task.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Configuration of one end-to-end Snorkel execution (Figure 2): apply LFs,
+/// model them (MV or GM, optionally via the Algorithm 1 optimizer), emit
+/// probabilistic labels, train the noise-aware discriminative model, and
+/// evaluate everything on the held-out test split.
+struct PipelineOptions {
+  GenerativeModelOptions gen;
+  DiscModelOptions disc;
+  TextFeaturizer::Options features;
+  /// Run Algorithm 1 and honor its MV-vs-GM decision (and its learned
+  /// correlation set) instead of always fitting the independent GM.
+  bool use_optimizer = false;
+  OptimizerOptions optimizer;
+  /// Restrict the task's LF set to these columns (Table 6 ablation, Fig. 6
+  /// growth curves). Empty = all LFs.
+  std::vector<size_t> lf_subset;
+  /// Also train the Table 5 baseline (disc model on unweighted LF average).
+  bool run_unweighted_baseline = true;
+  /// Also train the distant-supervision / legacy-heuristic baseline.
+  bool run_ds_baseline = true;
+  /// Also train the hand-supervision skyline (disc on gold train labels).
+  bool run_hand_baseline = true;
+  /// Label-flip noise applied to the hand-supervision baseline's *training*
+  /// labels only (test gold is untouched): large hand-curated sets carry
+  /// annotator noise (the paper's Spouses gold is an MTurk majority vote).
+  double hand_label_noise = 0.08;
+  size_t num_threads = 0;
+};
+
+/// Everything one pipeline execution produces, test-split metrics included.
+/// Confusions follow the paper's scoring (abstain counts negative).
+struct PipelineReport {
+  std::string task_name;
+  double label_density = 0.0;
+  double class_balance = 0.5;  // Estimated from the dev split.
+  /// Optimizer decision (meaningful when use_optimizer).
+  OptimizerDecision decision;
+  /// Generative-model accuracy weights (empty if MV was chosen).
+  std::vector<double> gen_accuracies;
+  /// Test-split scores.
+  BinaryConfusion ds_test;              // Distant supervision baseline.
+  BinaryConfusion gen_test;             // Snorkel (Gen.).
+  BinaryConfusion disc_test;            // Snorkel (Disc.).
+  BinaryConfusion disc_unweighted_test; // Disc on unweighted LF average.
+  BinaryConfusion hand_test;            // Hand supervision skyline.
+  /// Wall-clock seconds spent modeling labels (MV is ~0; GM pays training) —
+  /// the §3.1 speed-vs-accuracy tradeoff measurement.
+  double label_modeling_seconds = 0.0;
+  /// Train-split Brier scores of the probabilistic training labels against
+  /// gold (class-symmetric posteriors for both arms): the label-quality
+  /// comparison underlying Table 5. Lower is better.
+  double gen_label_brier = 0.0;
+  double unweighted_label_brier = 0.0;
+};
+
+/// Runs the full pipeline on a relation task. The heavy artifacts (label
+/// matrix, features) are recomputed internally; use the lower-level APIs
+/// directly for custom experiments.
+Result<PipelineReport> RunRelationPipeline(const RelationTask& task,
+                                           const PipelineOptions& options);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_PIPELINE_PIPELINE_H_

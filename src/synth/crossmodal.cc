@@ -1,0 +1,268 @@
+#include "synth/crossmodal.h"
+
+#include <tuple>
+
+#include "lf/declarative.h"
+#include "util/random.h"
+
+namespace snorkel {
+
+namespace {
+
+const std::vector<std::string>& AbnormalCues() {
+  static const std::vector<std::string> kCues = {
+      "opacity", "consolidation", "effusion", "infiltrate", "cardiomegaly"};
+  return kCues;
+}
+
+const std::vector<std::string>& RareAbnormalCues() {
+  static const std::vector<std::string> kCues = {"blunting", "atelectasis"};
+  return kCues;
+}
+
+const std::vector<std::string>& NormalCues() {
+  static const std::vector<std::string> kCues = {"clear", "normal",
+                                                 "unremarkable", "intact"};
+  return kCues;
+}
+
+std::string PickWord(Rng* rng, const std::vector<std::string>& bank) {
+  return bank[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(bank.size()) - 1))];
+}
+
+}  // namespace
+
+Result<RadiologyTask> MakeRadiologyTask(const RadiologyOptions& options) {
+  if (options.num_reports == 0 || options.image_feature_dim == 0) {
+    return Status::InvalidArgument("degenerate radiology task sizes");
+  }
+  Rng rng(options.seed);
+  RadiologyTask task;
+  task.image_feature_dim = options.image_feature_dim;
+
+  // Class-conditional image feature means.
+  std::vector<double> mu_pos(options.image_feature_dim);
+  std::vector<double> mu_neg(options.image_feature_dim);
+  for (size_t f = 0; f < options.image_feature_dim; ++f) {
+    double direction = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    mu_pos[f] = direction * options.image_separation;
+    mu_neg[f] = -direction * options.image_separation;
+  }
+
+  std::vector<std::string> fillers = {"lungs",  "chest", "view", "exam",
+                                      "image",  "study", "seen", "noted",
+                                      "within", "limits"};
+  for (size_t i = 0; i < options.num_reports; ++i) {
+    Label y = rng.Bernoulli(options.abnormal_rate) ? 1 : -1;
+    task.gold.push_back(y);
+
+    // ---- Text report modality. ----
+    Document doc;
+    doc.name = "report" + std::to_string(i);
+    size_t num_sentences = static_cast<size_t>(rng.UniformInt(2, 4));
+    for (size_t s = 0; s < num_sentences; ++s) {
+      Sentence sentence;
+      size_t len = static_cast<size_t>(rng.UniformInt(4, 8));
+      for (size_t w = 0; w < len; ++w) {
+        sentence.words.push_back(PickWord(&rng, fillers));
+      }
+      doc.sentences.push_back(std::move(sentence));
+    }
+    // Inject cue words consistent with the label (with some noise).
+    auto inject = [&](const std::string& word) {
+      size_t s = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(doc.sentences.size()) - 1));
+      doc.sentences[s].words.push_back(word);
+    };
+    if (y > 0) {
+      // 85% of abnormal reports carry an LF-covered cue; 10% only a rare one.
+      double r = rng.Uniform();
+      if (r < 0.85) {
+        inject(PickWord(&rng, AbnormalCues()));
+        if (rng.Bernoulli(0.4)) inject(PickWord(&rng, AbnormalCues()));
+      } else if (r < 0.95) {
+        inject(PickWord(&rng, RareAbnormalCues()));
+      }
+      if (rng.Bernoulli(0.08)) inject(PickWord(&rng, NormalCues()));  // Noise.
+    } else {
+      if (rng.Bernoulli(0.8)) inject(PickWord(&rng, NormalCues()));
+      if (rng.Bernoulli(0.06)) inject(PickWord(&rng, AbnormalCues()));
+    }
+    size_t doc_idx = task.corpus.AddDocument(std::move(doc));
+
+    // Unary candidate over the report's first token.
+    Span span;
+    span.doc = static_cast<uint32_t>(doc_idx);
+    span.sentence = 0;
+    span.word_start = 0;
+    span.word_end = 1;
+    span.entity_type = "report";
+    span.canonical_id = "report" + std::to_string(i);
+    task.candidates.push_back(Candidate{span, span});
+
+    // ---- Image modality. ----
+    FeatureVector image;
+    const auto& mu = y > 0 ? mu_pos : mu_neg;
+    for (size_t f = 0; f < options.image_feature_dim; ++f) {
+      image.Add(static_cast<uint32_t>(f),
+                static_cast<float>(mu[f] + rng.Normal(0.0, 1.0)));
+    }
+    task.image_features.push_back(std::move(image));
+  }
+
+  // ---- Report labeling functions (18, Table 2). ----
+  auto& lfs = task.lfs;
+  for (const std::string& cue : AbnormalCues()) {
+    lfs.Add(MakeDocumentKeywordLF("lf_" + cue, {cue}, 1));
+  }
+  for (const std::string& cue : NormalCues()) {
+    lfs.Add(MakeDocumentKeywordLF("lf_" + cue, {cue}, -1));
+  }
+  lfs.Add(MakeDocumentKeywordLF("lf_opacity_exact", {"opacity"}, 1, false));
+  lfs.Add(MakeDocumentKeywordLF("lf_effusion_exact", {"effusion"}, 1, false));
+  lfs.Add(MakeDocumentKeywordLF("lf_infiltrate_exact", {"infiltrate"}, 1,
+                                false));
+  lfs.Add(MakeDocumentKeywordLF("lf_clear_exact", {"clear"}, -1, false));
+  lfs.Add(MakeDocumentKeywordLF(
+      "lf_abn_any", {"opacity", "consolidation", "infiltrate"}, 1));
+  lfs.Add(MakeDocumentKeywordLF("lf_norm_any", {"normal", "unremarkable"}, -1));
+  lfs.Add(MakeSentenceKeywordLF("lf_first_sent_clear", {"clear"}, -1));
+  lfs.Add(MakeWeakClassifierLF(
+      "lf_clf_report",
+      [](const CandidateView& view) {
+        const Document& doc =
+            view.corpus().document(view.candidate().span1.doc);
+        int balance = 0;
+        for (const Sentence& s : doc.sentences) {
+          for (const std::string& w : s.words) {
+            for (const auto& cue : AbnormalCues()) {
+              if (w == cue) ++balance;
+            }
+            for (const auto& cue : NormalCues()) {
+              if (w == cue) --balance;
+            }
+          }
+        }
+        return 0.5 + 0.2 * static_cast<double>(balance);
+      },
+      0.35, 0.65));
+  lfs.Add(MakeWeakClassifierLF(
+      "lf_clf_length",
+      [](const CandidateView& view) {
+        const Document& doc =
+            view.corpus().document(view.candidate().span1.doc);
+        size_t words = 0;
+        for (const Sentence& s : doc.sentences) words += s.words.size();
+        // Longer reports skew abnormal (more findings described) — weakly.
+        return words > 18 ? 0.62 : 0.45;
+      },
+      0.4, 0.6));
+
+  // ---- Splits. ----
+  std::vector<size_t> order(options.num_reports);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  size_t train_end = static_cast<size_t>(0.8 * static_cast<double>(order.size()));
+  size_t dev_end = train_end + static_cast<size_t>(
+                                   0.1 * static_cast<double>(order.size()));
+  task.train_idx.assign(order.begin(), order.begin() + static_cast<long>(train_end));
+  task.dev_idx.assign(order.begin() + static_cast<long>(train_end),
+                      order.begin() + static_cast<long>(dev_end));
+  task.test_idx.assign(order.begin() + static_cast<long>(dev_end), order.end());
+  return task;
+}
+
+Result<CrowdTask> MakeCrowdTask(const CrowdOptions& options) {
+  if (options.num_items == 0 || options.num_workers == 0) {
+    return Status::InvalidArgument("degenerate crowd task sizes");
+  }
+  if (options.min_worker_accuracy > options.max_worker_accuracy) {
+    return Status::InvalidArgument("worker accuracy range inverted");
+  }
+  Rng rng(options.seed);
+  CrowdTask task;
+  constexpr int kClasses = 5;
+  task.cardinality = kClasses;
+
+  // Class-signature vocabularies (sentiment 1..5) plus shared weather words.
+  const std::vector<std::vector<std::string>> kSignatures = {
+      {"awful", "miserable", "terrible", "dreadful", "hate", "worst"},
+      {"gloomy", "gray", "dull", "meh", "damp", "chilly"},
+      {"okay", "fine", "average", "mild", "usual", "typical"},
+      {"nice", "pleasant", "sunny", "good", "warm", "bright"},
+      {"gorgeous", "amazing", "perfect", "beautiful", "love", "best"}};
+  const std::vector<std::string> kShared = {"weather", "today",  "outside",
+                                            "sky",     "morning", "rain",
+                                            "wind",    "clouds",  "forecast"};
+
+  double vote_propensity =
+      options.votes_per_item / static_cast<double>(options.num_workers);
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    task.worker_accuracies.push_back(rng.Uniform(
+        options.min_worker_accuracy, options.max_worker_accuracy));
+  }
+
+  std::vector<std::tuple<size_t, size_t, Label>> triplets;
+  FeatureHasher hasher(task.num_buckets);
+  for (size_t i = 0; i < options.num_items; ++i) {
+    Label gold = static_cast<Label>(rng.UniformInt(1, kClasses));
+    task.gold.push_back(gold);
+
+    // Tweet text: signature words mixed with shared weather vocabulary.
+    std::vector<std::string> tweet;
+    size_t len = static_cast<size_t>(rng.UniformInt(6, 12));
+    const auto& sig = kSignatures[static_cast<size_t>(gold) - 1];
+    for (size_t t = 0; t < len; ++t) {
+      if (rng.Bernoulli(0.28)) {
+        tweet.push_back(PickWord(&rng, sig));
+      } else if (rng.Bernoulli(0.30)) {
+        // Cross-class noise word: the paper stresses these tweets are often
+        // ambiguous even for humans.
+        const auto& other = kSignatures[static_cast<size_t>(
+            rng.UniformInt(0, kClasses - 1))];
+        tweet.push_back(PickWord(&rng, other));
+      } else {
+        tweet.push_back(PickWord(&rng, kShared));
+      }
+    }
+    task.text_features.push_back(HashBagOfWords(tweet, hasher, "tweet"));
+    task.tweets.push_back(std::move(tweet));
+
+    // Worker votes: correct with the worker's accuracy, otherwise one of
+    // the adjacent sentiment classes (common annotator confusion) or any.
+    for (size_t w = 0; w < options.num_workers; ++w) {
+      if (!rng.Bernoulli(vote_propensity)) continue;
+      Label vote;
+      if (rng.Bernoulli(task.worker_accuracies[w])) {
+        vote = gold;
+      } else if (rng.Bernoulli(0.6)) {
+        vote = gold + (rng.Bernoulli(0.5) ? 1 : -1);
+        vote = std::min<Label>(kClasses, std::max<Label>(1, vote));
+      } else {
+        vote = static_cast<Label>(rng.UniformInt(1, kClasses));
+      }
+      triplets.emplace_back(i, w, vote);
+    }
+  }
+
+  auto matrix = LabelMatrix::FromTriplets(options.num_items,
+                                          options.num_workers, triplets,
+                                          kClasses);
+  if (!matrix.ok()) return matrix.status();
+  task.worker_matrix = std::move(matrix).value();
+
+  std::vector<size_t> order(options.num_items);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  size_t train_end = static_cast<size_t>(0.8 * static_cast<double>(order.size()));
+  size_t dev_end = train_end + static_cast<size_t>(
+                                   0.1 * static_cast<double>(order.size()));
+  task.train_idx.assign(order.begin(), order.begin() + static_cast<long>(train_end));
+  task.dev_idx.assign(order.begin() + static_cast<long>(train_end),
+                      order.begin() + static_cast<long>(dev_end));
+  task.test_idx.assign(order.begin() + static_cast<long>(dev_end), order.end());
+  return task;
+}
+
+}  // namespace snorkel

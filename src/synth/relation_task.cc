@@ -1,0 +1,749 @@
+#include "synth/relation_task.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lf/declarative.h"
+#include "text/stemmer.h"
+#include "util/math_util.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace snorkel {
+
+namespace {
+
+/// A directed entity pair (indices into the entity name pools).
+struct Pair {
+  size_t e1 = 0;
+  size_t e2 = 0;
+};
+
+uint64_t PairKey(size_t e1, size_t e2) {
+  return (static_cast<uint64_t>(e1) << 32) | static_cast<uint64_t>(e2);
+}
+
+std::vector<std::string> MakeEntityNames(const std::string& prefix, size_t n) {
+  std::vector<std::string> names(n);
+  for (size_t i = 0; i < n; ++i) names[i] = prefix + std::to_string(i);
+  return names;
+}
+
+/// Internal generation state threaded through the helpers.
+struct GenState {
+  const RelationTaskSpec* spec = nullptr;
+  Rng rng{42};
+  std::vector<std::string> entities1;
+  std::vector<std::string> entities2;
+  bool same_type = false;
+  std::vector<Pair> relations;                 // The true relation set R.
+  std::unordered_set<uint64_t> relation_keys;  // For membership tests.
+  std::vector<std::string> fillers;
+
+  Pair RandomRelatedPair() {
+    return relations[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(relations.size()) - 1))];
+  }
+
+  Pair RandomUnrelatedPair() {
+    size_t pool2 = same_type ? entities1.size() : entities2.size();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      size_t e1 = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(entities1.size()) - 1));
+      size_t e2 = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pool2) - 1));
+      if (same_type && e1 == e2) continue;
+      if (relation_keys.count(PairKey(e1, e2)) == 0) return Pair{e1, e2};
+    }
+    return Pair{0, pool2 - 1};  // Degenerate fallback.
+  }
+
+  const std::string& Filler() {
+    return fillers[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fillers.size()) - 1))];
+  }
+
+  const Cue& PickCue(const std::vector<Cue>& bank) {
+    return bank[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bank.size()) - 1))];
+  }
+};
+
+/// Generates one pair sentence; returns the candidate-level gold label.
+Label GeneratePairSentence(GenState* state, Sentence* sentence) {
+  const RelationTaskSpec& spec = *state->spec;
+  Rng& rng = state->rng;
+  bool positive = rng.Bernoulli(spec.positive_rate);
+
+  // Entity pair selection: positives come from R; negatives reuse related
+  // pairs often enough to make raw distant supervision imprecise.
+  Pair pair = positive ? state->RandomRelatedPair()
+              : rng.Bernoulli(spec.negative_reuses_related_pair)
+                  ? state->RandomRelatedPair()
+                  : state->RandomUnrelatedPair();
+  // A "negative" sentence about a related pair simply fails to assert the
+  // relation; the candidate's gold label reflects the sentence, not the KB.
+
+  // Cue-slot mixtures are tuned so ambiguous cues end up roughly
+  // class-balanced (they take a bigger slice of the smaller positive class).
+  const CueBank& cues = spec.cues;
+  const Cue* cue = nullptr;
+  bool ambiguous_cue = false;
+  if (positive) {
+    double r = rng.Uniform();
+    if (r < spec.rare_pos_rate && !cues.rare_pos.empty()) {
+      cue = &state->PickCue(cues.rare_pos);
+    } else if (r < spec.rare_pos_rate + 0.20 && !cues.ambiguous.empty()) {
+      cue = &state->PickCue(cues.ambiguous);
+      ambiguous_cue = true;
+    } else {
+      cue = &state->PickCue(cues.strong_pos);
+    }
+  } else {
+    double r = rng.Uniform();
+    if (r < 0.5 && !cues.neg.empty()) {
+      cue = &state->PickCue(cues.neg);
+    } else if (r < 0.93 && !cues.neutral.empty()) {
+      cue = &state->PickCue(cues.neutral);
+    } else if (!cues.ambiguous.empty()) {
+      cue = &state->PickCue(cues.ambiguous);
+      ambiguous_cue = true;
+    } else {
+      cue = &state->PickCue(cues.neutral);
+    }
+  }
+
+  bool reversed = positive && rng.Bernoulli(spec.reversed_order_rate);
+  const std::string& name1 = state->entities1[pair.e1];
+  const std::string& name2 =
+      state->same_type ? state->entities1[pair.e2] : state->entities2[pair.e2];
+
+  auto& words = sentence->words;
+  // Leading fillers.
+  size_t lead = static_cast<size_t>(rng.UniformInt(1, 4));
+  for (size_t i = 0; i < lead; ++i) words.push_back(state->Filler());
+
+  auto emit_entity = [&](const std::string& name, const std::string& type) {
+    Mention m;
+    m.word_start = static_cast<uint32_t>(words.size());
+    words.push_back(name);
+    m.word_end = static_cast<uint32_t>(words.size());
+    m.entity_type = type;
+    m.canonical_id = name;
+    sentence->mentions.push_back(std::move(m));
+  };
+
+  if (!reversed) {
+    emit_entity(name1, spec.entity_type1);
+  } else {
+    emit_entity(name2, spec.entity_type2);
+  }
+  for (const auto& token : *cue) words.push_back(token);
+  // Occasionally an off-label cue token lands in the between region
+  // ("X and causes-related discussion Y"): pattern LFs stay precise but
+  // imperfect, as in real corpora. Noise planted in the (large) negative
+  // class scales with the class odds so that positive-cue precision stays
+  // comparable across tasks with very different positive rates.
+  double pos_odds = spec.positive_rate / (1.0 - spec.positive_rate);
+  double between_noise = positive ? 0.05 : Clip(0.15 * pos_odds, 0.0, 0.3);
+  if (rng.Bernoulli(between_noise)) {
+    const auto& opposite = positive ? cues.neg : cues.strong_pos;
+    if (!opposite.empty()) {
+      words.push_back(state->PickCue(opposite)[0]);
+    }
+  }
+  if (!reversed) {
+    emit_entity(name2, spec.entity_type2);
+  } else {
+    emit_entity(name1, spec.entity_type1);
+  }
+
+  // Structure-LF context word right after the second span. The word agrees
+  // with the label most of the time but flips side occasionally, so
+  // structure-based LFs are informative yet imperfect.
+  bool struct_side_positive = rng.Bernoulli(0.12) ? !positive : positive;
+  if (struct_side_positive && !cues.struct_pos_context.empty() &&
+      rng.Bernoulli(0.5)) {
+    words.push_back(cues.struct_pos_context[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(cues.struct_pos_context.size()) - 1))]);
+  } else if (!struct_side_positive && !cues.struct_neg_context.empty() &&
+             rng.Bernoulli(0.5)) {
+    words.push_back(cues.struct_neg_context[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(cues.struct_neg_context.size()) - 1))]);
+  }
+
+  // Trailing fillers and the discriminative-only context distractors.
+  size_t tail = static_cast<size_t>(rng.UniformInt(2, 6));
+  for (size_t i = 0; i < tail; ++i) words.push_back(state->Filler());
+  // Occasional off-label cue word in the trailing context ("... did not
+  // cause ..." style mentions): keeps sentence-scope heuristics precise but
+  // not perfect. Same class-odds scaling as the between-region noise.
+  double trailing_noise = positive ? 0.04 : Clip(0.12 * pos_odds, 0.0, 0.3);
+  if (rng.Bernoulli(trailing_noise)) {
+    const auto& opposite_bank = positive ? cues.neg : cues.strong_pos;
+    if (!opposite_bank.empty()) {
+      const Cue& noise_cue = state->PickCue(opposite_bank);
+      for (const std::string& token : noise_cue) words.push_back(token);
+    }
+  }
+  // The distractor words are a *weak* label-correlated signal: strong
+  // enough for a model with good training labels to exploit, too weak to
+  // let a model trained on very noisy labels recover the concept.
+  // Ambiguous-cue sentences carry no label-correlated context either: their
+  // class is genuinely unresolvable from the text (irreducible error for
+  // every model, hand supervision included).
+  const auto& own_ctx = positive ? cues.pos_context : cues.neg_context;
+  const auto& other_ctx = positive ? cues.neg_context : cues.pos_context;
+  if (!own_ctx.empty() && !ambiguous_cue && rng.Bernoulli(0.35)) {
+    words.push_back(own_ctx[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(own_ctx.size()) - 1))]);
+  }
+  if (!other_ctx.empty() && rng.Bernoulli(0.12)) {  // Imperfect correlation.
+    words.push_back(other_ctx[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(other_ctx.size()) - 1))]);
+  }
+  return positive ? 1 : -1;
+}
+
+void BuildKnowledgeBase(GenState* state, KnowledgeBase* kb) {
+  const RelationTaskSpec& spec = *state->spec;
+  Rng& rng = state->rng;
+  auto id1 = [&](const Pair& p) { return state->entities1[p.e1]; };
+  auto id2 = [&](const Pair& p) {
+    return state->same_type ? state->entities1[p.e2]
+                            : state->entities2[p.e2];
+  };
+
+  auto fill_primary = [&](const std::string& subset, double coverage,
+                          double noise) {
+    size_t included = 0;
+    for (const Pair& p : state->relations) {
+      if (rng.Bernoulli(coverage)) {
+        kb->Add(subset, id1(p), id2(p));
+        ++included;
+      }
+    }
+    size_t noise_entries = static_cast<size_t>(
+        noise * static_cast<double>(included == 0 ? 1 : included));
+    for (size_t i = 0; i < noise_entries; ++i) {
+      Pair p = state->RandomUnrelatedPair();
+      kb->Add(subset, id1(p), id2(p));
+    }
+  };
+  fill_primary("PrimaryA", spec.kb_coverage_a, spec.kb_noise_a);
+  fill_primary("PrimaryB", spec.kb_coverage_b, spec.kb_noise_b);
+  // A third, smaller curated source so tasks can wire several distant-
+  // supervision LFs without making them near-copies of each other.
+  if (spec.kb_coverage_a > 0.0) fill_primary("PrimaryC", 0.08, 0.2);
+
+  // The anti-relation subset (e.g. CTD "Treats"): mostly unrelated pairs,
+  // with a sliver of wrong (actually related) entries.
+  size_t anti = state->relations.size() / 2;
+  for (size_t i = 0; i < anti; ++i) {
+    Pair p = state->RandomUnrelatedPair();
+    kb->Add("Anti", id1(p), id2(p));
+  }
+  for (const Pair& p : state->relations) {
+    if (rng.Bernoulli(0.05)) kb->Add("Anti", id1(p), id2(p));
+  }
+}
+
+}  // namespace
+
+double RelationTask::PositiveFraction() const {
+  if (gold.empty()) return 0.0;
+  double pos = 0.0;
+  for (Label y : gold) pos += y > 0 ? 1.0 : 0.0;
+  return pos / static_cast<double>(gold.size());
+}
+
+Result<RelationTask> GenerateRelationTask(const RelationTaskSpec& spec) {
+  if (spec.num_documents == 0 || spec.num_entities1 < 2 ||
+      spec.num_entities2 < 2 || spec.num_true_relations == 0) {
+    return Status::InvalidArgument("degenerate task sizes");
+  }
+  if (spec.positive_rate <= 0.0 || spec.positive_rate >= 1.0) {
+    return Status::InvalidArgument("positive_rate must be in (0, 1)");
+  }
+  if (spec.cues.strong_pos.empty() || spec.cues.neutral.empty()) {
+    return Status::InvalidArgument("cue bank needs strong_pos and neutral cues");
+  }
+  if (spec.train_fraction + spec.dev_fraction >= 1.0) {
+    return Status::InvalidArgument("train + dev fractions must leave a test split");
+  }
+
+  GenState state;
+  state.spec = &spec;
+  state.rng = Rng(spec.seed);
+  state.same_type = spec.entity_type1 == spec.entity_type2;
+  state.entities1 = MakeEntityNames(spec.entity_type1, spec.num_entities1);
+  state.entities2 = state.same_type
+                        ? std::vector<std::string>{}
+                        : MakeEntityNames(spec.entity_type2, spec.num_entities2);
+  state.fillers = MakeEntityNames("w", spec.filler_vocab_size);
+
+  // Plant the true relation set R.
+  size_t pool2 = state.same_type ? spec.num_entities1 : spec.num_entities2;
+  for (size_t i = 0; i < spec.num_true_relations; ++i) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      size_t e1 = static_cast<size_t>(state.rng.UniformInt(
+          0, static_cast<int64_t>(spec.num_entities1) - 1));
+      size_t e2 = static_cast<size_t>(
+          state.rng.UniformInt(0, static_cast<int64_t>(pool2) - 1));
+      if (state.same_type && e1 == e2) continue;
+      if (state.relation_keys.insert(PairKey(e1, e2)).second) {
+        state.relations.push_back(Pair{e1, e2});
+        break;
+      }
+    }
+  }
+
+  RelationTask task;
+  task.name = spec.name;
+  task.kb = std::make_unique<KnowledgeBase>();
+  BuildKnowledgeBase(&state, task.kb.get());
+
+  // Generate documents; remember each pair sentence's gold label.
+  std::unordered_map<uint64_t, Label> sentence_gold;  // (doc<<20)|sentence.
+  for (size_t d = 0; d < spec.num_documents; ++d) {
+    Document doc;
+    doc.name = spec.name + "_doc" + std::to_string(d);
+    size_t pair_sentences = static_cast<size_t>(state.rng.UniformInt(
+        static_cast<int64_t>(spec.min_pair_sentences_per_doc),
+        static_cast<int64_t>(spec.max_pair_sentences_per_doc)));
+    for (size_t s = 0; s < pair_sentences; ++s) {
+      // Occasional mention-free filler sentence.
+      if (state.rng.Bernoulli(0.15)) {
+        Sentence filler;
+        size_t len = static_cast<size_t>(state.rng.UniformInt(4, 9));
+        for (size_t i = 0; i < len; ++i) {
+          filler.words.push_back(state.Filler());
+        }
+        doc.sentences.push_back(std::move(filler));
+      }
+      Sentence sentence;
+      Label gold = GeneratePairSentence(&state, &sentence);
+      sentence_gold[(static_cast<uint64_t>(d) << 20) |
+                    doc.sentences.size()] = gold;
+      doc.sentences.push_back(std::move(sentence));
+    }
+    task.corpus.AddDocument(std::move(doc));
+  }
+
+  // Candidate extraction through the standard pipeline.
+  CandidateExtractor extractor(spec.entity_type1, spec.entity_type2);
+  task.candidates = extractor.Extract(task.corpus);
+  task.gold.reserve(task.candidates.size());
+  for (const Candidate& c : task.candidates) {
+    auto it = sentence_gold.find((static_cast<uint64_t>(c.span1.doc) << 20) |
+                                 c.span1.sentence);
+    if (it == sentence_gold.end()) {
+      return Status::Internal("candidate in unknown sentence");
+    }
+    task.gold.push_back(it->second);
+  }
+
+  // Prior-heuristic baseline labels.
+  task.ds_labels.reserve(task.candidates.size());
+  // The legacy-regex baseline keys on each strong cue's head token only;
+  // trailing prepositions ("to", "in") are shared across classes and would
+  // destroy its precision.
+  std::unordered_set<std::string> strong_pos_stems;
+  for (const Cue& cue : spec.cues.strong_pos) {
+    strong_pos_stems.insert(Stemmer::Stem(ToLower(cue.front())));
+  }
+  for (size_t i = 0; i < task.candidates.size(); ++i) {
+    const Candidate& c = task.candidates[i];
+    Label ds = -1;
+    if (task.kb->SubsetSize("PrimaryA") > 0) {
+      if (task.kb->Contains("PrimaryA", c.span1.canonical_id,
+                            c.span2.canonical_id) ||
+          task.kb->Contains("PrimaryB", c.span1.canonical_id,
+                            c.span2.canonical_id)) {
+        ds = 1;
+      }
+    }
+    // Tasks without a KB (EHR) fall back to the legacy regex-style labeler:
+    // a strong positive cue between the spans.
+    if (task.kb->SubsetSize("PrimaryA") == 0) {
+      CandidateView view(&task.corpus, &c, i);
+      for (const std::string& word : view.WordsBetween()) {
+        if (strong_pos_stems.count(Stemmer::Stem(ToLower(word))) > 0) {
+          ds = 1;
+          break;
+        }
+      }
+    }
+    task.ds_labels.push_back(ds);
+  }
+
+  // Train / dev / test split.
+  std::vector<size_t> order(task.candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  state.rng.Shuffle(&order);
+  size_t train_end =
+      static_cast<size_t>(spec.train_fraction * static_cast<double>(order.size()));
+  size_t dev_end = train_end + static_cast<size_t>(spec.dev_fraction *
+                                                   static_cast<double>(order.size()));
+  task.train_idx.assign(order.begin(), order.begin() + static_cast<long>(train_end));
+  task.dev_idx.assign(order.begin() + static_cast<long>(train_end),
+                      order.begin() + static_cast<long>(dev_end));
+  task.test_idx.assign(order.begin() + static_cast<long>(dev_end), order.end());
+  return task;
+}
+
+// ------------------------------------------------------------------ Tasks --
+
+namespace {
+
+/// Adds an LF with its Table 6 ablation group tag.
+void AddLf(RelationTask* task, LabelingFunction lf, const std::string& group) {
+  task->lfs.Add(std::move(lf));
+  task->lf_groups.push_back(group);
+}
+
+/// Weak-classifier score: cue-balance heuristic over the whole sentence.
+std::function<double(const CandidateView&)> CueBalanceScore(
+    std::vector<std::string> pos, std::vector<std::string> neg) {
+  return [pos = std::move(pos), neg = std::move(neg)](
+             const CandidateView& view) {
+    int balance = 0;
+    for (const std::string& word : view.sentence().words) {
+      std::string stem = Stemmer::Stem(ToLower(word));
+      for (const auto& p : pos) {
+        if (stem == Stemmer::Stem(p)) ++balance;
+      }
+      for (const auto& n : neg) {
+        if (stem == Stemmer::Stem(n)) --balance;
+      }
+    }
+    return Sigmoid(1.2 * static_cast<double>(balance));
+  };
+}
+
+size_t Scaled(size_t value, double scale) {
+  size_t scaled = static_cast<size_t>(static_cast<double>(value) * scale);
+  return std::max<size_t>(scaled, 20);
+}
+
+}  // namespace
+
+Result<RelationTask> MakeCdrTask(uint64_t seed, double scale) {
+  RelationTaskSpec spec;
+  spec.name = "CDR";
+  spec.entity_type1 = "chemical";
+  spec.entity_type2 = "disease";
+  spec.num_documents = Scaled(900, scale);
+  spec.num_true_relations = Scaled(500, scale < 0.2 ? 0.4 : 1.0);
+  spec.positive_rate = 0.246;
+  // CTD pairs co-occur in non-asserting sentences often enough that raw
+  // distant supervision is only ~55% precise at candidate level.
+  spec.negative_reuses_related_pair = 0.3;
+  spec.seed = seed;
+  spec.cues.strong_pos = {{"causes"},     {"caused"},    {"induces"},
+                          {"induced"},    {"triggers"},  {"aggravates"},
+                          {"provokes"},   {"produces"}};
+  spec.cues.rare_pos = {{"precipitated"}, {"elicited"}, {"exacerbated"}};
+  spec.cues.neg = {{"treats"},   {"prevents"},     {"alleviates"},
+                   {"reduces"},  {"improves"},     {"administered", "for"},
+                   {"given", "for"}};
+  spec.cues.neutral = {{"and"}, {"with"}, {"during"}, {"alongside"}};
+  spec.cues.ambiguous = {{"associated", "with"}, {"linked", "to"},
+                         {"related", "to"}};
+  spec.cues.pos_context = {"adverse", "toxicity", "reaction", "onset",
+                           "hospitalized"};
+  spec.cues.neg_context = {"therapy", "efficacy", "dose", "trial",
+                           "randomized"};
+  spec.cues.struct_pos_context = {"developed", "experienced"};
+  spec.cues.struct_neg_context = {"study", "protocol"};
+
+  auto task_result = GenerateRelationTask(spec);
+  if (!task_result.ok()) return task_result.status();
+  RelationTask task = std::move(task_result).value();
+  const KnowledgeBase* kb = task.kb.get();
+
+  // --- Text patterns (Table 6 group 1). ---
+  AddLf(&task, MakeKeywordBetweenLF("lf_cause", {"cause"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_caused_exact", {"caused"}, 1, false),
+        "pattern");
+  AddLf(&task, MakeRegexBetweenLF("lf_caus_regex", "caus", 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_induce", {"induce"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_induced_exact", {"induced"}, 1, false),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_trigger", {"trigger"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_aggravate", {"aggravate"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_provoke", {"provoke"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_produce", {"produce"}, 1), "pattern");
+  AddLf(&task, MakeDirectionalKeywordLF("lf_dir_cause", {"cause"}, 1, -1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_assoc", {"associated"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_linked", {"linked"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_related", {"related"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_treat", {"treat"}, -1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_prevent", {"prevent"}, -1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_alleviate", {"alleviate"}, -1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_reduce", {"reduce"}, -1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_improve", {"improve"}, -1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_administered", {"administered"}, -1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_given", {"given"}, -1), "pattern");
+  AddLf(&task, MakeRegexBetweenLF("lf_treat_regex", "treat|prevent", -1),
+        "pattern");
+  AddLf(&task,
+        MakeWeakClassifierLF(
+            "lf_clf_cues",
+            CueBalanceScore({"cause", "induce", "trigger"},
+                            {"treat", "prevent", "reduce"}),
+            0.35, 0.65),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_during", {"during"}, -1), "pattern");
+
+  // --- Distant supervision (Table 6 group 2). ---
+  AddLf(&task, MakeOntologyLF("lf_kb_causes_a", kb, "PrimaryA", 1), "distant");
+  AddLf(&task, MakeOntologyLF("lf_kb_causes_b", kb, "PrimaryB", 1), "distant");
+  AddLf(&task, MakeOntologyLF("lf_kb_treats", kb, "Anti", -1), "distant");
+  AddLf(&task, MakeOntologyLF("lf_kb_curated", kb, "PrimaryC", 1), "distant");
+
+  // --- Structure-based (Table 6 group 3). ---
+  AddLf(&task, MakeDistanceLF("lf_far", 8, -1), "structure");
+  AddLf(&task,
+        MakeContextKeywordLF("lf_ctx_developed", {"developed", "experienced"},
+                             3, 1),
+        "structure");
+  AddLf(&task,
+        MakeContextKeywordLF("lf_ctx_study", {"study", "protocol"}, 3, -1),
+        "structure");
+  AddLf(&task,
+        MakeGuardedLF("lf_close_cause",
+                      MakeKeywordBetweenLF("lf_cause_inner", {"cause"}, 1),
+                      [](const CandidateView& v) {
+                        return v.TokenDistance() <= 3;
+                      }),
+        "structure");
+  AddLf(&task,
+        MakeGuardedLF("lf_close_kb",
+                      MakeOntologyLF("lf_kb_inner", kb, "PrimaryA", 1),
+                      [](const CandidateView& v) {
+                        return v.TokenDistance() <= 5;
+                      }),
+        "structure");
+  AddLf(&task,
+        MakeContextKeywordLF("lf_ctx_dose", {"randomized"}, 4, -1),
+        "structure");
+  return task;
+}
+
+Result<RelationTask> MakeSpousesTask(uint64_t seed, double scale) {
+  RelationTaskSpec spec;
+  spec.name = "Spouses";
+  spec.entity_type1 = "person";
+  spec.entity_type2 = "person";
+  spec.num_entities1 = 150;
+  spec.num_documents = Scaled(2073, scale);
+  spec.num_true_relations = Scaled(400, scale < 0.2 ? 0.4 : 1.0);
+  spec.positive_rate = 0.083;
+  spec.seed = seed;
+  spec.cues.strong_pos = {{"married"}, {"wife"},      {"husband"},
+                          {"wed"},     {"spouse"},    {"honeymoon", "with"}};
+  spec.cues.rare_pos = {{"eloped", "with"}, {"newlyweds"}};
+  spec.cues.neg = {{"brother"},   {"sister"},  {"colleague"},
+                   {"coworker"},  {"boss", "of"}, {"hired"}};
+  spec.cues.neutral = {{"and"}, {"with"}, {"met"}, {"alongside"}};
+  spec.cues.ambiguous = {{"partner"}, {"dated"}};
+  spec.cues.pos_context = {"wedding", "anniversary", "couple", "romance"};
+  spec.cues.neg_context = {"company", "office", "team", "project"};
+  spec.cues.struct_pos_context = {"family"};
+  spec.cues.struct_neg_context = {"business"};
+
+  auto task_result = GenerateRelationTask(spec);
+  if (!task_result.ok()) return task_result.status();
+  RelationTask task = std::move(task_result).value();
+  const KnowledgeBase* kb = task.kb.get();
+
+  AddLf(&task, MakeKeywordBetweenLF("lf_married", {"married", "wed"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_wife", {"wife"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_husband", {"husband"}, 1), "pattern");
+  AddLf(&task,
+        MakeKeywordBetweenLF("lf_spouse", {"spouse", "honeymoon"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_partner", {"partner"}, 1), "pattern");
+  AddLf(&task,
+        MakeKeywordBetweenLF("lf_family_rel", {"brother", "sister"}, -1),
+        "pattern");
+  AddLf(&task,
+        MakeKeywordBetweenLF("lf_work_rel", {"colleague", "coworker", "boss"},
+                             -1),
+        "pattern");
+  AddLf(&task, MakeRegexBetweenLF("lf_marri_regex", "marri|wed", 1), "pattern");
+  AddLf(&task, MakeOntologyLF("lf_kb_dbpedia", kb, "PrimaryA", 1, true),
+        "distant");
+  AddLf(&task, MakeDistanceLF("lf_far", 10, -1), "structure");
+  AddLf(&task, MakeContextKeywordLF("lf_ctx_family", {"family"}, 3, 1),
+        "structure");
+  return task;
+}
+
+Result<RelationTask> MakeEhrTask(uint64_t seed, double scale) {
+  RelationTaskSpec spec;
+  spec.name = "EHR";
+  spec.entity_type1 = "finding";
+  spec.entity_type2 = "anatomy";
+  spec.num_documents = Scaled(4000, scale);
+  spec.num_true_relations = Scaled(600, scale < 0.2 ? 0.4 : 1.0);
+  spec.positive_rate = 0.368;
+  spec.seed = seed;
+  // EHR has no knowledge base: zero KB coverage makes GenerateRelationTask
+  // fall back to the legacy-regex baseline for ds_labels.
+  spec.kb_coverage_a = 0.0;
+  spec.kb_noise_a = 0.0;
+  spec.kb_coverage_b = 0.0;
+  spec.kb_noise_b = 0.0;
+  spec.cues.strong_pos = {{"localized", "to"},  {"radiating", "to"},
+                          {"tenderness", "over"}, {"aching", "in"},
+                          {"felt", "in"},        {"worst", "at"}};
+  spec.cues.rare_pos = {{"involving"}, {"along", "the"}};
+  spec.cues.neg = {{"without"},         {"denies"},
+                   {"unrelated", "to"}, {"resolved", "in"},
+                   {"negative", "for"}};
+  spec.cues.neutral = {{"and"}, {"with"}, {"noted", "near"}};
+  spec.cues.ambiguous = {{"near", "the"}};
+  spec.cues.pos_context = {"severe", "worsening", "chronic", "acute"};
+  spec.cues.neg_context = {"normal", "unremarkable", "stable", "benign"};
+  spec.cues.struct_pos_context = {"reports", "complains"};
+  spec.cues.struct_neg_context = {"history", "prior"};
+
+  auto task_result = GenerateRelationTask(spec);
+  if (!task_result.ok()) return task_result.status();
+  RelationTask task = std::move(task_result).value();
+
+  AddLf(&task, MakeKeywordBetweenLF("lf_localized", {"localized"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_radiating", {"radiating"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_tenderness", {"tenderness"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_aching", {"aching"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_felt", {"felt"}, 1, false), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_worst", {"worst"}, 1, false),
+        "pattern");
+  AddLf(&task,
+        MakeKeywordBetweenLF("lf_localized_exact", {"localized"}, 1, false),
+        "pattern");
+  AddLf(&task, MakeRegexBetweenLF("lf_regex_loc", "locali|radiat", 1),
+        "pattern");
+  AddLf(&task, MakeRegexBetweenLF("lf_regex_felt", "felt in|aching in", 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_near_amb", {"near"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_without", {"without"}, -1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_denies", {"denies"}, -1, false),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_unrelated", {"unrelated"}, -1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_resolved", {"resolved"}, -1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_negative", {"negative"}, -1),
+        "pattern");
+  AddLf(&task,
+        MakeRegexBetweenLF("lf_regex_neg", "without|unrelated|denies", -1),
+        "pattern");
+  AddLf(&task,
+        MakeWeakClassifierLF(
+            "lf_clf_findings",
+            CueBalanceScore({"localized", "radiating", "tenderness"},
+                            {"without", "unrelated", "resolved"}),
+            0.35, 0.65),
+        "pattern");
+  AddLf(&task,
+        MakeWeakClassifierLF(
+            "lf_clf_negation",
+            CueBalanceScore({}, {"denies", "without", "negative"}), 0.35,
+            0.65),
+        "pattern");
+  AddLf(&task, MakeDistanceLF("lf_far", 7, -1), "structure");
+  AddLf(&task, MakeContextKeywordLF("lf_ctx_reports", {"reports"}, 3, 1),
+        "structure");
+  AddLf(&task, MakeContextKeywordLF("lf_ctx_complains", {"complains"}, 3, 1),
+        "structure");
+  AddLf(&task, MakeContextKeywordLF("lf_ctx_history", {"history", "prior"}, 3,
+                                    -1),
+        "structure");
+  AddLf(&task,
+        MakeGuardedLF("lf_close_loc",
+                      MakeKeywordBetweenLF("lf_loc_inner", {"localized"}, 1),
+                      [](const CandidateView& v) {
+                        return v.TokenDistance() <= 2;
+                      }),
+        "structure");
+  AddLf(&task, MakeContextKeywordLF("lf_ctx_acuity", {"presenting"}, 4, 1),
+        "structure");
+  return task;
+}
+
+Result<RelationTask> MakeChemTask(uint64_t seed, double scale) {
+  RelationTaskSpec spec;
+  spec.name = "Chem";
+  spec.entity_type1 = "compound";
+  spec.entity_type2 = "compound";
+  spec.num_entities1 = 150;
+  spec.num_documents = Scaled(1753, scale);
+  spec.num_true_relations = Scaled(400, scale < 0.2 ? 0.4 : 1.0);
+  spec.positive_rate = 0.041;
+  spec.min_pair_sentences_per_doc = 6;
+  spec.max_pair_sentences_per_doc = 12;
+  spec.seed = seed;
+  spec.cues.strong_pos = {{"yields"},      {"yielded"},  {"produces"},
+                          {"forms"},       {"generates"}, {"synthesizes"},
+                          {"converted", "to"}};
+  spec.cues.rare_pos = {{"affords"}, {"furnishes"}};
+  spec.cues.neg = {{"inhibits"}, {"degrades"}, {"consumes"},
+                   {"dissolved", "in"}};
+  spec.cues.neutral = {{"and"}, {"with"}, {"mixed", "with"},
+                       {"in", "presence", "of"}};
+  spec.cues.ambiguous = {{"reacts", "with"}};
+  spec.cues.pos_context = {"reaction", "product", "synthesis"};
+  spec.cues.neg_context = {"solvent", "buffer", "assay"};
+  spec.cues.struct_pos_context = {"catalyzed"};
+  spec.cues.struct_neg_context = {"stored"};
+
+  auto task_result = GenerateRelationTask(spec);
+  if (!task_result.ok()) return task_result.status();
+  RelationTask task = std::move(task_result).value();
+  const KnowledgeBase* kb = task.kb.get();
+
+  AddLf(&task, MakeKeywordBetweenLF("lf_yield", {"yield"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_produce", {"produce"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_form", {"form"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_generate", {"generate"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_synthesize", {"synthesize"}, 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_convert", {"converted"}, 1),
+        "pattern");
+  AddLf(&task, MakeRegexBetweenLF("lf_yield_regex", "yield|afford", 1),
+        "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_react_amb", {"reacts"}, 1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_inhibit", {"inhibit"}, -1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_degrade", {"degrade"}, -1), "pattern");
+  AddLf(&task, MakeKeywordBetweenLF("lf_consume", {"consume"}, -1), "pattern");
+  AddLf(&task,
+        MakeWeakClassifierLF(
+            "lf_clf_chem",
+            CueBalanceScore({"yield", "produce", "form"},
+                            {"inhibit", "degrade"}),
+            0.35, 0.65),
+        "pattern");
+  AddLf(&task, MakeOntologyLF("lf_kb_metacyc_a", kb, "PrimaryA", 1),
+        "distant");
+  AddLf(&task, MakeOntologyLF("lf_kb_metacyc_b", kb, "PrimaryB", 1),
+        "distant");
+  AddLf(&task, MakeDistanceLF("lf_far", 9, -1), "structure");
+  AddLf(&task, MakeContextKeywordLF("lf_ctx_catalyzed", {"catalyzed"}, 3, 1),
+        "structure");
+  return task;
+}
+
+}  // namespace snorkel

@@ -1,0 +1,111 @@
+#ifndef SNORKEL_SYNTH_RELATION_TASK_H_
+#define SNORKEL_SYNTH_RELATION_TASK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "data/candidate.h"
+#include "data/context.h"
+#include "data/knowledge_base.h"
+#include "lf/labeling_function.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// A cue phrase: one or more tokens inserted between the two entity spans.
+using Cue = std::vector<std::string>;
+
+/// Vocabulary banks driving sentence generation for a relation task. The
+/// split between "covered" and "rare" positive cues is what reproduces the
+/// paper's key generalization effect (Example 2.5): rare-cue positives are
+/// invisible to every LF but still carry the discriminative context signal.
+struct CueBank {
+  std::vector<Cue> strong_pos;  ///< Positive cues covered by pattern LFs.
+  std::vector<Cue> rare_pos;    ///< Positive cues NO labeling function knows.
+  std::vector<Cue> neg;         ///< Anti-relation cues (e.g. "treats").
+  std::vector<Cue> neutral;     ///< Plain co-occurrence cues.
+  std::vector<Cue> ambiguous;   ///< Cues used in both classes ("associated").
+  /// Context distractor words correlated with the label but used by NO LF —
+  /// the signal only the discriminative model can exploit.
+  std::vector<std::string> pos_context;
+  std::vector<std::string> neg_context;
+  /// Context words that structure-based LFs do use (window heuristics).
+  std::vector<std::string> struct_pos_context;
+  std::vector<std::string> struct_neg_context;
+};
+
+/// Generation parameters for one synthetic relation-extraction task.
+struct RelationTaskSpec {
+  std::string name;
+  std::string entity_type1;
+  std::string entity_type2;
+  size_t num_entities1 = 120;
+  size_t num_entities2 = 120;
+  size_t num_true_relations = 500;
+  size_t num_documents = 900;
+  size_t min_pair_sentences_per_doc = 4;
+  size_t max_pair_sentences_per_doc = 12;
+  /// Fraction of pair sentences expressing the relation (controls %pos).
+  double positive_rate = 0.25;
+  /// Probability a negative sentence reuses a truly-related pair (this is
+  /// what makes raw distant supervision imprecise, Table 3).
+  double negative_reuses_related_pair = 0.35;
+  /// Probability a positive sentence uses a rare (LF-uncovered) cue.
+  double rare_pos_rate = 0.12;
+  /// Probability a positive sentence reverses entity order ("Y induced by X").
+  double reversed_order_rate = 0.15;
+  /// KB coverage/noise for the two primary (positive) subsets.
+  double kb_coverage_a = 0.15;
+  double kb_noise_a = 0.05;
+  double kb_coverage_b = 0.15;
+  double kb_noise_b = 0.40;
+  size_t filler_vocab_size = 200;
+  double train_fraction = 0.8;
+  double dev_fraction = 0.1;
+  uint64_t seed = 42;
+  CueBank cues;
+};
+
+/// A fully materialized synthetic task: corpus, candidates, ground truth,
+/// knowledge base, the task's labeling-function suite, baseline labels, and
+/// splits. The analog of one row of Table 2.
+struct RelationTask {
+  std::string name;
+  Corpus corpus;
+  std::vector<Candidate> candidates;
+  std::vector<Label> gold;
+  /// Stable-address KB: labeling functions hold pointers into it.
+  std::unique_ptr<KnowledgeBase> kb;
+  LabelingFunctionSet lfs;
+  /// Per-LF type tag, aligned with lfs: "pattern", "distant", "structure"
+  /// (the Table 6 ablation groups).
+  std::vector<std::string> lf_groups;
+  /// The prior-heuristic baseline labels (distant supervision for CDR /
+  /// Chem / Spouses, the legacy regex labeler for EHR), per candidate.
+  std::vector<Label> ds_labels;
+  /// Candidate indices of the train / dev / test splits.
+  std::vector<size_t> train_idx;
+  std::vector<size_t> dev_idx;
+  std::vector<size_t> test_idx;
+
+  /// Fraction of positive candidates (Table 2 "% Pos.").
+  double PositiveFraction() const;
+};
+
+/// Generates a relation task from a spec (the engine behind the four task
+/// factories below).
+Result<RelationTask> GenerateRelationTask(const RelationTaskSpec& spec);
+
+/// The four §4.1.1 task analogs, parameter-matched to Table 2's shape
+/// (#LFs, %pos, relative scale). `scale` in (0, 1] shrinks document counts
+/// for fast tests.
+Result<RelationTask> MakeCdrTask(uint64_t seed = 42, double scale = 1.0);
+Result<RelationTask> MakeSpousesTask(uint64_t seed = 42, double scale = 1.0);
+Result<RelationTask> MakeEhrTask(uint64_t seed = 42, double scale = 1.0);
+Result<RelationTask> MakeChemTask(uint64_t seed = 42, double scale = 1.0);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_SYNTH_RELATION_TASK_H_

@@ -1,0 +1,116 @@
+#include "synth/synthetic_matrix.h"
+
+#include <tuple>
+
+#include "core/advantage.h"
+#include "util/random.h"
+
+namespace snorkel {
+
+Result<SyntheticDataset> SyntheticMatrixGenerator::Generate(
+    const SyntheticMatrixOptions& options,
+    const std::vector<SyntheticLfSpec>& lfs) {
+  if (options.num_points == 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  if (options.class_balance <= 0.0 || options.class_balance >= 1.0) {
+    return Status::InvalidArgument("class_balance must be in (0, 1)");
+  }
+  for (size_t j = 0; j < lfs.size(); ++j) {
+    const auto& lf = lfs[j];
+    if (lf.accuracy < 0.0 || lf.accuracy > 1.0 || lf.propensity < 0.0 ||
+        lf.propensity > 1.0 || lf.copy_prob < 0.0 || lf.copy_prob > 1.0) {
+      return Status::InvalidArgument("LF spec parameters must be in [0, 1]");
+    }
+    if (lf.copy_of >= static_cast<int>(j)) {
+      return Status::InvalidArgument(
+          "copy_of must reference a lower LF index");
+    }
+  }
+
+  Rng rng(options.seed);
+  size_t m = options.num_points;
+  size_t n = lfs.size();
+
+  std::vector<Label> gold(m);
+  std::vector<std::tuple<size_t, size_t, Label>> triplets;
+  std::vector<Label> row(n, kAbstain);
+  for (size_t i = 0; i < m; ++i) {
+    Label y = rng.Bernoulli(options.class_balance) ? 1 : -1;
+    gold[i] = y;
+    for (size_t j = 0; j < n; ++j) {
+      const auto& lf = lfs[j];
+      if (lf.copy_of >= 0 && rng.Bernoulli(lf.copy_prob)) {
+        row[j] = row[static_cast<size_t>(lf.copy_of)];
+      } else if (rng.Bernoulli(lf.propensity)) {
+        row[j] = rng.Bernoulli(lf.accuracy) ? y : static_cast<Label>(-y);
+      } else {
+        row[j] = kAbstain;
+      }
+      if (row[j] != kAbstain) triplets.emplace_back(i, j, row[j]);
+    }
+  }
+
+  auto matrix = LabelMatrix::FromTriplets(m, n, triplets, /*cardinality=*/2);
+  if (!matrix.ok()) return matrix.status();
+
+  SyntheticDataset dataset{std::move(matrix).value(), std::move(gold), {}, {}};
+  dataset.true_weights.reserve(n);
+  for (const auto& lf : lfs) {
+    // A copier's effective accuracy is its source's when copying.
+    double alpha = lf.copy_of >= 0 && lf.copy_prob >= 1.0
+                       ? lfs[static_cast<size_t>(lf.copy_of)].accuracy
+                       : lf.accuracy;
+    dataset.true_weights.push_back(AccuracyToWeight(alpha));
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (lfs[j].copy_of >= 0) {
+      dataset.true_correlations.push_back(
+          CorrelationPair{static_cast<size_t>(lfs[j].copy_of), j});
+    }
+  }
+  return dataset;
+}
+
+Result<SyntheticDataset> SyntheticMatrixGenerator::GenerateIid(
+    size_t num_points, size_t num_lfs, double accuracy, double propensity,
+    uint64_t seed) {
+  std::vector<SyntheticLfSpec> lfs(
+      num_lfs, SyntheticLfSpec{accuracy, propensity, -1, 1.0});
+  return Generate({num_points, 0.5, seed}, lfs);
+}
+
+Result<SyntheticDataset> SyntheticMatrixGenerator::GenerateExample31(
+    size_t num_points, size_t num_correlated, size_t num_independent,
+    double corr_accuracy, double indep_accuracy, uint64_t seed) {
+  std::vector<SyntheticLfSpec> lfs;
+  for (size_t j = 0; j < num_correlated; ++j) {
+    SyntheticLfSpec spec{corr_accuracy, 1.0, -1, 1.0};
+    if (j > 0) spec.copy_of = 0;  // Perfect copies of the head.
+    lfs.push_back(spec);
+  }
+  for (size_t j = 0; j < num_independent; ++j) {
+    lfs.push_back(SyntheticLfSpec{indep_accuracy, 1.0, -1, 1.0});
+  }
+  return Generate({num_points, 0.5, seed}, lfs);
+}
+
+Result<SyntheticDataset> SyntheticMatrixGenerator::GenerateClustered(
+    size_t num_points, size_t num_clusters, size_t cluster_size,
+    size_t num_independent, double accuracy, double propensity,
+    double copy_prob, uint64_t seed) {
+  std::vector<SyntheticLfSpec> lfs;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    int head = static_cast<int>(lfs.size());
+    lfs.push_back(SyntheticLfSpec{accuracy, propensity, -1, 1.0});
+    for (size_t s = 1; s < cluster_size; ++s) {
+      lfs.push_back(SyntheticLfSpec{accuracy, propensity, head, copy_prob});
+    }
+  }
+  for (size_t j = 0; j < num_independent; ++j) {
+    lfs.push_back(SyntheticLfSpec{accuracy, propensity, -1, 1.0});
+  }
+  return Generate({num_points, 0.5, seed}, lfs);
+}
+
+}  // namespace snorkel

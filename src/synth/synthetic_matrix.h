@@ -1,0 +1,80 @@
+#ifndef SNORKEL_SYNTH_SYNTHETIC_MATRIX_H_
+#define SNORKEL_SYNTH_SYNTHETIC_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/label_matrix.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Specification of one synthetic labeling function.
+struct SyntheticLfSpec {
+  /// P(vote agrees with the true label | LF votes). Values below 0.5 model
+  /// adversarial LFs.
+  double accuracy = 0.75;
+  /// P(LF votes) — the labeling propensity p_l of §3.1.1.
+  double propensity = 0.1;
+  /// When >= 0, this LF copies the output (including abstentions) of the LF
+  /// at this index with probability `copy_prob`, and otherwise votes
+  /// independently; copy_of = j with copy_prob = 1 gives the perfectly
+  /// correlated LFs of Example 3.1.
+  int copy_of = -1;
+  double copy_prob = 1.0;
+};
+
+/// A synthetic weak-supervision task: the label matrix, its ground truth,
+/// and the planted generating parameters (for oracle comparisons).
+struct SyntheticDataset {
+  LabelMatrix matrix;
+  std::vector<Label> gold;             // True labels in {+1, -1}.
+  std::vector<double> true_weights;    // w*_j = logit(accuracy_j).
+  std::vector<CorrelationPair> true_correlations;  // Planted copy pairs.
+};
+
+/// Global parameters of a synthetic matrix.
+struct SyntheticMatrixOptions {
+  size_t num_points = 1000;
+  double class_balance = 0.5;  // P(y = +1).
+  uint64_t seed = 42;
+};
+
+/// Generates label matrices with controlled accuracy, coverage, and
+/// correlation structure — the workload behind Figures 4-6 and the
+/// generative-model unit tests.
+class SyntheticMatrixGenerator {
+ public:
+  /// Generates a matrix with one column per spec. LFs are sampled in index
+  /// order, so `copy_of` must point at a lower index.
+  static Result<SyntheticDataset> Generate(
+      const SyntheticMatrixOptions& options,
+      const std::vector<SyntheticLfSpec>& lfs);
+
+  /// The Figure 4 setup: class-balanced data with n conditionally
+  /// independent LFs of equal accuracy and propensity.
+  static Result<SyntheticDataset> GenerateIid(size_t num_points, size_t num_lfs,
+                                              double accuracy,
+                                              double propensity,
+                                              uint64_t seed);
+
+  /// The Example 3.1 pathology: `num_correlated` perfectly correlated LFs of
+  /// accuracy `corr_accuracy` plus `num_independent` conditionally
+  /// independent LFs of accuracy `indep_accuracy`, all with full coverage.
+  static Result<SyntheticDataset> GenerateExample31(
+      size_t num_points, size_t num_correlated, size_t num_independent,
+      double corr_accuracy, double indep_accuracy, uint64_t seed);
+
+  /// The Figure 5 (left) simulation: `num_clusters` clusters of
+  /// `cluster_size` LFs whose members copy the cluster head with probability
+  /// `copy_prob`, plus `num_independent` independent LFs.
+  static Result<SyntheticDataset> GenerateClustered(
+      size_t num_points, size_t num_clusters, size_t cluster_size,
+      size_t num_independent, double accuracy, double propensity,
+      double copy_prob, uint64_t seed);
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_SYNTH_SYNTHETIC_MATRIX_H_

@@ -1,0 +1,78 @@
+#include "synth/user_study.h"
+
+#include <string>
+
+#include "lf/declarative.h"
+#include "util/random.h"
+
+namespace snorkel {
+
+Result<UserStudyPool> MakeUserStudyPool(const UserStudyOptions& options) {
+  if (options.num_users == 0 ||
+      options.min_lfs_per_user > options.max_lfs_per_user) {
+    return Status::InvalidArgument("degenerate user-study sizes");
+  }
+  auto task = MakeSpousesTask(options.seed, options.corpus_scale);
+  if (!task.ok()) return task.status();
+
+  UserStudyPool pool;
+  pool.task = std::move(task).value();
+  Rng rng(options.seed + 1);
+
+  // Idea banks users draw from. Good ideas mirror the real LF suite; users
+  // frequently rediscover the same keywords (near-duplicates across users).
+  const std::vector<std::vector<std::string>> kGoodKeywords = {
+      {"married"}, {"wife"},   {"husband"}, {"wed"},
+      {"spouse"},  {"married", "wed"}, {"honeymoon"}};
+  const std::vector<std::vector<std::string>> kGoodNegKeywords = {
+      {"brother"}, {"sister"}, {"colleague"}, {"coworker", "boss"}};
+  const std::vector<std::vector<std::string>> kAmbiguousKeywords = {
+      {"partner"}, {"dated"}, {"met"}, {"with"}};
+  // Spurious ideas: generic filler words carry no relation signal.
+  const std::vector<std::vector<std::string>> kSpuriousKeywords = {
+      {"w3"}, {"w17"}, {"w42"}, {"w99"}, {"w123"}};
+
+  auto pick = [&](const std::vector<std::vector<std::string>>& bank) {
+    return bank[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bank.size()) - 1))];
+  };
+
+  for (size_t u = 0; u < options.num_users; ++u) {
+    size_t begin = pool.pool.size();
+    size_t num_lfs = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_lfs_per_user),
+                       static_cast<int64_t>(options.max_lfs_per_user)));
+    for (size_t k = 0; k < num_lfs; ++k) {
+      std::string name = "user" + std::to_string(u) + "_lf" +
+                         std::to_string(k);
+      double r = rng.Uniform();
+      bool stem = rng.Bernoulli(0.7);  // Users vary raw vs stemmed matching.
+      if (r < options.good_idea_rate) {
+        if (rng.Bernoulli(0.7)) {
+          pool.pool.Add(MakeKeywordBetweenLF(name, pick(kGoodKeywords), 1,
+                                             stem));
+        } else {
+          pool.pool.Add(MakeKeywordBetweenLF(name, pick(kGoodNegKeywords), -1,
+                                             stem));
+        }
+      } else if (r < options.good_idea_rate + options.ambiguous_idea_rate) {
+        pool.pool.Add(MakeKeywordBetweenLF(name, pick(kAmbiguousKeywords),
+                                           rng.Bernoulli(0.7) ? 1 : -1, stem));
+      } else {
+        pool.pool.Add(MakeKeywordBetweenLF(name, pick(kSpuriousKeywords),
+                                           rng.Bernoulli(0.5) ? 1 : -1, stem));
+      }
+    }
+    // Some users also wire up distant supervision.
+    if (rng.Bernoulli(0.3)) {
+      pool.pool.Add(MakeOntologyLF(
+          "user" + std::to_string(u) + "_kb", pool.task.kb.get(), "PrimaryA",
+          1, true));
+      ++num_lfs;
+    }
+    pool.user_lf_ranges.push_back({begin, begin + num_lfs});
+  }
+  return pool;
+}
+
+}  // namespace snorkel

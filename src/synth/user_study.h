@@ -1,0 +1,43 @@
+#ifndef SNORKEL_SYNTH_USER_STUDY_H_
+#define SNORKEL_SYNTH_USER_STUDY_H_
+
+#include <utility>
+#include <vector>
+
+#include "lf/labeling_function.h"
+#include "synth/relation_task.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Simulation of the §4.2 user study: each synthetic "user" writes a small
+/// set of labeling functions of varying quality for the Spouses task. The
+/// combined pool (the paper merges all 125 participant LFs for the Figure 5
+/// right panel) contains near-duplicates and spurious functions, exactly the
+/// redundancy structure learning is meant to absorb.
+struct UserStudyPool {
+  /// The underlying Spouses-analog task.
+  RelationTask task;
+  /// All users' LFs concatenated; column ranges below index into it.
+  LabelingFunctionSet pool;
+  /// Per-user [begin, end) ranges of pool columns.
+  std::vector<std::pair<size_t, size_t>> user_lf_ranges;
+};
+
+struct UserStudyOptions {
+  size_t num_users = 14;  // Analysis population of the paper's study.
+  size_t min_lfs_per_user = 4;
+  size_t max_lfs_per_user = 10;
+  /// Probability mix of LF quality per authored function.
+  double good_idea_rate = 0.50;
+  double ambiguous_idea_rate = 0.25;  // Remainder is spurious (~chance).
+  /// Scale of the underlying Spouses corpus.
+  double corpus_scale = 0.5;
+  uint64_t seed = 42;
+};
+
+Result<UserStudyPool> MakeUserStudyPool(const UserStudyOptions& options = {});
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_SYNTH_USER_STUDY_H_

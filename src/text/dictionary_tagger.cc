@@ -1,0 +1,70 @@
+#include "text/dictionary_tagger.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace snorkel {
+
+void DictionaryTagger::AddEntry(const std::string& phrase,
+                                const std::string& entity_type,
+                                const std::string& canonical_id) {
+  size_t num_words = SplitWhitespace(phrase).size();
+  if (num_words == 0) return;
+  max_phrase_words_ = std::max(max_phrase_words_, num_words);
+  entries_[ToLower(phrase)] = Entry{entity_type, canonical_id, num_words};
+}
+
+void DictionaryTagger::TagSentence(Sentence* sentence) const {
+  const auto& words = sentence->words;
+  std::vector<bool> covered(words.size(), false);
+  for (const Mention& m : sentence->mentions) {
+    for (size_t i = m.word_start; i < m.word_end && i < words.size(); ++i) {
+      covered[i] = true;
+    }
+  }
+
+  for (size_t start = 0; start < words.size(); ++start) {
+    if (covered[start]) continue;
+    // Longest match first.
+    size_t max_len = std::min(max_phrase_words_, words.size() - start);
+    for (size_t len = max_len; len >= 1; --len) {
+      bool blocked = false;
+      std::string phrase;
+      for (size_t i = start; i < start + len; ++i) {
+        if (covered[i]) {
+          blocked = true;
+          break;
+        }
+        if (!phrase.empty()) phrase += ' ';
+        phrase += ToLower(words[i]);
+      }
+      if (blocked) continue;
+      auto it = entries_.find(phrase);
+      if (it == entries_.end()) continue;
+      Mention mention;
+      mention.word_start = static_cast<uint32_t>(start);
+      mention.word_end = static_cast<uint32_t>(start + len);
+      mention.entity_type = it->second.entity_type;
+      mention.canonical_id = it->second.canonical_id;
+      sentence->mentions.push_back(std::move(mention));
+      for (size_t i = start; i < start + len; ++i) covered[i] = true;
+      start += len - 1;  // Continue after the match.
+      break;
+    }
+  }
+  std::sort(sentence->mentions.begin(), sentence->mentions.end(),
+            [](const Mention& a, const Mention& b) {
+              return a.word_start < b.word_start;
+            });
+}
+
+void DictionaryTagger::TagCorpus(Corpus* corpus) const {
+  for (size_t d = 0; d < corpus->num_documents(); ++d) {
+    for (Sentence& sentence : corpus->mutable_document(d)->sentences) {
+      TagSentence(&sentence);
+    }
+  }
+}
+
+}  // namespace snorkel

@@ -1,0 +1,50 @@
+#ifndef SNORKEL_TEXT_DICTIONARY_TAGGER_H_
+#define SNORKEL_TEXT_DICTIONARY_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/context.h"
+
+namespace snorkel {
+
+/// Dictionary-driven named-entity tagger: matches known (multi-word) phrases
+/// against sentence tokens, longest match first, and attaches Mention tags
+/// with an entity type and canonical id. The stand-in for the paper's
+/// NER preprocessing (SpaCy NER for Spouses, provided chemical/disease tags
+/// for CDR).
+class DictionaryTagger {
+ public:
+  DictionaryTagger() = default;
+
+  /// Registers a phrase (tokens already lower-cased, space separated) for an
+  /// entity type, mapped to `canonical_id`. Later registrations overwrite.
+  void AddEntry(const std::string& phrase, const std::string& entity_type,
+                const std::string& canonical_id);
+
+  /// Number of registered phrases.
+  size_t size() const { return entries_.size(); }
+
+  /// Scans the sentence tokens and appends non-overlapping mentions, longest
+  /// match first, left to right. Existing mentions are preserved; words
+  /// covered by them are not re-tagged.
+  void TagSentence(Sentence* sentence) const;
+
+  /// Tags every sentence in the corpus.
+  void TagCorpus(Corpus* corpus) const;
+
+ private:
+  struct Entry {
+    std::string entity_type;
+    std::string canonical_id;
+    size_t num_words = 1;
+  };
+
+  std::unordered_map<std::string, Entry> entries_;
+  size_t max_phrase_words_ = 1;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_TEXT_DICTIONARY_TAGGER_H_

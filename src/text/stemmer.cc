@@ -1,0 +1,75 @@
+#include "text/stemmer.h"
+
+namespace snorkel {
+
+namespace {
+
+bool EndsWith(std::string_view word, std::string_view suffix) {
+  return word.size() >= suffix.size() &&
+         word.substr(word.size() - suffix.size()) == suffix;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool HasVowel(std::string_view word) {
+  for (char c : word) {
+    if (IsVowel(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Stemmer::Stem(std::string_view word) {
+  std::string w(word);
+  if (w.size() <= 3) return w;
+
+  // Plural / 3rd-person endings.
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ies")) {
+    w.resize(w.size() - 3);
+    w += 'y';
+  } else if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
+             w.size() > 3) {
+    w.resize(w.size() - 1);
+  }
+
+  // Verbal endings.
+  if (w.size() > 4 && EndsWith(w, "ing") &&
+      HasVowel(std::string_view(w).substr(0, w.size() - 3))) {
+    w.resize(w.size() - 3);
+    // "causing" -> "caus" -> restore the silent e heuristically when the
+    // stem ends consonant+s/c/v ("caus" -> "cause", "induc" -> "induce").
+    if (!w.empty() && (w.back() == 's' || w.back() == 'c' || w.back() == 'v')) {
+      w += 'e';
+    } else if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2] &&
+               !IsVowel(w.back())) {
+      w.resize(w.size() - 1);  // "stopping" -> "stop".
+    }
+  } else if (w.size() > 3 && EndsWith(w, "ed") &&
+             HasVowel(std::string_view(w).substr(0, w.size() - 2))) {
+    w.resize(w.size() - 2);
+    if (!w.empty() && (w.back() == 's' || w.back() == 'c' || w.back() == 'v')) {
+      w += 'e';
+    } else if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2] &&
+               !IsVowel(w.back())) {
+      w.resize(w.size() - 1);  // "stopped" -> "stop".
+    }
+  }
+
+  // Adjectival / nominal endings.
+  if (w.size() > 5 && EndsWith(w, "ation")) {
+    w.resize(w.size() - 5);
+    w += "ate";
+  } else if (w.size() > 4 && EndsWith(w, "ness")) {
+    w.resize(w.size() - 4);
+  } else if (w.size() > 4 && EndsWith(w, "ful")) {
+    w.resize(w.size() - 3);
+  }
+  return w;
+}
+
+}  // namespace snorkel

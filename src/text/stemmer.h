@@ -1,0 +1,22 @@
+#ifndef SNORKEL_TEXT_STEMMER_H_
+#define SNORKEL_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace snorkel {
+
+/// Lightweight suffix-stripping stemmer (Porter-style step-1 rules plus
+/// common verbal/adjectival suffixes). Labeling functions use it so that
+/// "causes", "caused" and "causing" all match the "cause" pattern —
+/// the paper observes LFs over raw tokens and their lemmatizations are a
+/// common correlated-input pair (§3.2).
+class Stemmer {
+ public:
+  /// Returns the stem of a single lower-case token.
+  static std::string Stem(std::string_view word);
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_TEXT_STEMMER_H_

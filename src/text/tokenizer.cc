@@ -1,0 +1,102 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace snorkel {
+
+namespace {
+
+bool IsPunct(char c) {
+  return std::ispunct(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Punctuation that may stay inside a word ("x-ray", "don't").
+bool IsInnerPunct(char c) { return c == '-' || c == '\''; }
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  auto emit = [&](std::string_view piece) {
+    if (piece.empty()) return;
+    tokens.emplace_back(options_.lowercase ? ToLower(piece)
+                                           : std::string(piece));
+  };
+
+  for (const std::string& raw : SplitWhitespace(text)) {
+    std::string_view word(raw);
+    // Detach leading punctuation.
+    while (!word.empty() && IsPunct(word.front()) &&
+           !IsInnerPunct(word.front())) {
+      emit(word.substr(0, 1));
+      word.remove_prefix(1);
+    }
+    // Detach trailing punctuation (remember it to emit in order).
+    std::vector<std::string_view> trailing;
+    while (!word.empty() && IsPunct(word.back()) &&
+           !IsInnerPunct(word.back())) {
+      trailing.push_back(word.substr(word.size() - 1, 1));
+      word.remove_suffix(1);
+    }
+    emit(word);
+    for (auto it = trailing.rbegin(); it != trailing.rend(); ++it) emit(*it);
+  }
+  return tokens;
+}
+
+std::vector<std::string> SentenceSplitter::Split(std::string_view text) const {
+  static const char* kAbbreviations[] = {"dr.",  "mr.",  "mrs.", "ms.",
+                                         "e.g.", "i.e.", "et",   "al.",
+                                         "fig.", "vs.",  "st."};
+  std::vector<std::string> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+
+    // Decimal number guard: "3.14".
+    if (c == '.' && i > 0 && i + 1 < text.size() &&
+        std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+        std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+      continue;
+    }
+
+    // Abbreviation guard: look back to the token containing this period.
+    if (c == '.') {
+      size_t tok_start = i;
+      while (tok_start > start &&
+             !std::isspace(static_cast<unsigned char>(text[tok_start - 1]))) {
+        --tok_start;
+      }
+      std::string token = ToLower(text.substr(tok_start, i - tok_start + 1));
+      bool is_abbrev = false;
+      for (const char* abbrev : kAbbreviations) {
+        if (token == abbrev) is_abbrev = true;
+      }
+      if (is_abbrev) continue;
+    }
+
+    // Must be followed by whitespace + uppercase, or end of text.
+    size_t next = i + 1;
+    while (next < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[next]))) {
+      ++next;
+    }
+    if (next < text.size() &&
+        !std::isupper(static_cast<unsigned char>(text[next]))) {
+      continue;
+    }
+
+    std::string sentence = Trim(text.substr(start, i - start + 1));
+    if (!sentence.empty()) sentences.push_back(std::move(sentence));
+    start = next;
+    i = next == 0 ? i : next - 1;
+  }
+  std::string tail = Trim(text.substr(start));
+  if (!tail.empty()) sentences.push_back(std::move(tail));
+  return sentences;
+}
+
+}  // namespace snorkel

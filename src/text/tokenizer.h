@@ -1,0 +1,40 @@
+#ifndef SNORKEL_TEXT_TOKENIZER_H_
+#define SNORKEL_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snorkel {
+
+/// Rule-based word tokenizer: splits on whitespace and detaches leading /
+/// trailing punctuation from tokens ("preeclampsia." -> "preeclampsia", ".").
+/// Intra-token punctuation (hyphens, apostrophes) is preserved. The
+/// single-node stand-in for the paper's CoreNLP/SpaCy preprocessing wrappers
+/// (Appendix C).
+class Tokenizer {
+ public:
+  struct Options {
+    bool lowercase = true;
+  };
+
+  explicit Tokenizer(Options options) : options_(options) {}
+  Tokenizer() : Tokenizer(Options{}) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  Options options_;
+};
+
+/// Rule-based sentence splitter: breaks on '.', '!', '?' followed by
+/// whitespace and an uppercase letter or end of text; guards common
+/// abbreviations ("Dr.", "e.g.") and decimal numbers.
+class SentenceSplitter {
+ public:
+  std::vector<std::string> Split(std::string_view text) const;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_TEXT_TOKENIZER_H_

@@ -1,0 +1,59 @@
+#ifndef SNORKEL_UTIL_ADAM_H_
+#define SNORKEL_UTIL_ADAM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace snorkel {
+
+/// Hyper-parameters for AdamOptimizer.
+struct AdamOptions {
+  double learning_rate = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Adam optimizer state (Kingma & Ba, 2014) — the paper trains both the
+/// generative and the discriminative models with Adam (§4.1).
+///
+/// Usage: call Step(params, grads) once per update; `grads` must be the
+/// gradient of the *loss* (i.e. Step performs a descent step).
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(size_t dim, AdamOptions options = {})
+      : options_(options), m_(dim, 0.0), v_(dim, 0.0) {}
+
+  size_t dim() const { return m_.size(); }
+
+  /// Applies one descent update: params <- params - lr * m̂ / (sqrt(v̂)+eps).
+  void Step(std::vector<double>* params, const std::vector<double>& grads) {
+    ++t_;
+    double bc1 = 1.0 - std::pow(options_.beta1, t_);
+    double bc2 = 1.0 - std::pow(options_.beta2, t_);
+    for (size_t i = 0; i < m_.size(); ++i) {
+      m_[i] = options_.beta1 * m_[i] + (1.0 - options_.beta1) * grads[i];
+      v_[i] = options_.beta2 * v_[i] + (1.0 - options_.beta2) * grads[i] * grads[i];
+      double mhat = m_[i] / bc1;
+      double vhat = v_[i] / bc2;
+      (*params)[i] -= options_.learning_rate * mhat / (std::sqrt(vhat) + options_.epsilon);
+    }
+  }
+
+  void Reset() {
+    t_ = 0;
+    std::fill(m_.begin(), m_.end(), 0.0);
+    std::fill(v_.begin(), v_.end(), 0.0);
+  }
+
+ private:
+  AdamOptions options_;
+  int64_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_ADAM_H_

@@ -1,0 +1,30 @@
+#ifndef SNORKEL_UTIL_HASH_H_
+#define SNORKEL_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace snorkel {
+
+/// 64-bit FNV-1a hash; stable across platforms and runs, which matters for
+/// the feature-hashing vectorizer (hashed feature indices must be
+/// reproducible between train and inference).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Combines two 64-bit hashes (boost::hash_combine-style mixing).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_HASH_H_

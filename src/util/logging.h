@@ -1,0 +1,45 @@
+#ifndef SNORKEL_UTIL_LOGGING_H_
+#define SNORKEL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace snorkel {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits to stderr on destruction when enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace snorkel
+
+#define SNORKEL_LOG(level)                                            \
+  ::snorkel::internal::LogMessage(::snorkel::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+#endif  // SNORKEL_UTIL_LOGGING_H_

@@ -1,0 +1,86 @@
+#include "util/math_util.h"
+
+#include <cassert>
+
+namespace snorkel {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogAddExp(double a, double b) {
+  double hi = std::max(a, b);
+  double lo = std::min(a, b);
+  if (std::isinf(hi) && hi < 0) return hi;  // log(0 + 0).
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  assert(!v.empty());
+  double hi = *std::max_element(v.begin(), v.end());
+  if (std::isinf(hi) && hi < 0) return hi;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - hi);
+  return hi + std::log(sum);
+}
+
+void SoftmaxInPlace(std::vector<double>* v) {
+  assert(v != nullptr && !v->empty());
+  double lse = LogSumExp(*v);
+  for (double& x : *v) x = std::exp(x - lse);
+}
+
+double Logit(double p) {
+  constexpr double kEps = 1e-12;
+  p = Clip(p, kEps, 1.0 - kEps);
+  return std::log(p / (1.0 - p));
+}
+
+double Clip(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double mu = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - mu) * (x - mu);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  assert(y != nullptr && x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+double Norm2(const std::vector<double>& v) {
+  return std::sqrt(Dot(v, v));
+}
+
+double SoftThreshold(double x, double t) {
+  assert(t >= 0.0);
+  if (x > t) return x - t;
+  if (x < -t) return x + t;
+  return 0.0;
+}
+
+}  // namespace snorkel

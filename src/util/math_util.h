@@ -1,0 +1,56 @@
+#ifndef SNORKEL_UTIL_MATH_UTIL_H_
+#define SNORKEL_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace snorkel {
+
+/// Numerically stable logistic sigmoid 1 / (1 + e^-x).
+double Sigmoid(double x);
+
+/// log(e^a + e^b) computed without overflow.
+double LogAddExp(double a, double b);
+
+/// log(sum_i e^{v_i}) computed without overflow. `v` must be non-empty.
+double LogSumExp(const std::vector<double>& v);
+
+/// In-place softmax: v_i <- e^{v_i} / sum_j e^{v_j}, numerically stable.
+void SoftmaxInPlace(std::vector<double>* v);
+
+/// Natural-log odds of probability p, clipped away from {0, 1}.
+double Logit(double p);
+
+/// Clamps x into [lo, hi].
+double Clip(double x, double lo, double hi);
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance; returns 0 for fewer than two elements.
+double Variance(const std::vector<double>& v);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// y <- y + alpha * x for equal-length vectors.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// L2 norm.
+double Norm2(const std::vector<double>& v);
+
+/// Soft-thresholding operator used by proximal (ISTA) updates for the
+/// l1-regularized structure-learning objective:
+///   sign(x) * max(|x| - t, 0).
+double SoftThreshold(double x, double t);
+
+/// True when |a - b| <= tol (absolute tolerance).
+inline bool NearlyEqual(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_MATH_UTIL_H_

@@ -1,0 +1,34 @@
+#ifndef SNORKEL_UTIL_STRING_UTIL_H_
+#define SNORKEL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snorkel {
+
+/// Splits `s` on the single character `sep`. Adjacent separators yield empty
+/// pieces; an empty input yields one empty piece.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace, discarding empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// True when `haystack` contains `needle`.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_STRING_UTIL_H_

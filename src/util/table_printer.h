@@ -1,0 +1,39 @@
+#ifndef SNORKEL_UTIL_TABLE_PRINTER_H_
+#define SNORKEL_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snorkel {
+
+/// Renders aligned ASCII tables; the benchmark harness uses it to print the
+/// same rows the paper's tables report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits.
+  static std::string Cell(double value, int precision = 1);
+  static std::string Cell(int64_t value);
+
+  /// Renders with a header rule, e.g.
+  ///   Task    | P    | R    | F1
+  ///   --------+------+------+-----
+  ///   Chem    | 11.2 | 41.2 | 17.6
+  std::string ToString() const;
+
+  /// Writes ToString() to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_TABLE_PRINTER_H_

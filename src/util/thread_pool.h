@@ -1,0 +1,52 @@
+#ifndef SNORKEL_UTIL_THREAD_POOL_H_
+#define SNORKEL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace snorkel {
+
+/// Fixed-size worker pool. Labeling-function application is embarrassingly
+/// parallel over candidates (paper, Appendix C "Execution Model"); this pool
+/// is the single-node replacement for the paper's multiprocessing / Spark
+/// layers.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the returned future resolves when it has run.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [begin, end) across the pool in contiguous chunks
+  /// and blocks until every index has been processed.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#ifndef SNORKEL_UTIL_TIMER_H_
+#define SNORKEL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace snorkel {
+
+/// Simple wall-clock stopwatch for the pipeline-speed experiments (§3.1-3.2
+/// report per-execution training-time savings).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_TIMER_H_

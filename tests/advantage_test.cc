@@ -1,0 +1,147 @@
+#include "core/advantage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/majority_vote.h"
+#include "synth/synthetic_matrix.h"
+#include "util/math_util.h"
+
+namespace snorkel {
+namespace {
+
+TEST(WeightMappingTest, AccuracyWeightRoundTrip) {
+  for (double alpha : {0.55, 0.62, 0.73, 0.82, 0.95}) {
+    EXPECT_NEAR(WeightToAccuracy(AccuracyToWeight(alpha)), alpha, 1e-9);
+  }
+}
+
+TEST(WeightMappingTest, Footnote8Defaults) {
+  // (w_min, w̄, w_max) = (0.5, 1.0, 1.5) correspond to accuracies between
+  // 62% and 82% with mean 73% (paper footnote 8).
+  EXPECT_NEAR(WeightToAccuracy(0.5), 0.62, 0.01);
+  EXPECT_NEAR(WeightToAccuracy(1.0), 0.73, 0.01);
+  EXPECT_NEAR(WeightToAccuracy(1.5), 0.82, 0.01);
+}
+
+TEST(ModelingAdvantageTest, UniformWeightsGiveZero) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(500, 8, 0.75, 0.3, 1);
+  ASSERT_TRUE(data.ok());
+  std::vector<double> uniform(8, 1.0);
+  EXPECT_DOUBLE_EQ(ModelingAdvantage(data->matrix, data->gold, uniform), 0.0);
+}
+
+TEST(ModelingAdvantageTest, CorrectDisagreementCountsPositive) {
+  // Row: LF0 votes +1, LF1 votes -1; gold +1. MV ties (<= 0 margin); the
+  // weighted vote resolves toward the accurate LF0.
+  auto m = LabelMatrix::FromDense({{1, -1}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(ModelingAdvantage(*m, {1}, {2.0, 0.5}), 1.0);
+  // With gold -1 the same disagreement is harmful... but f1 <= 0 too, so the
+  // "incorrectly disagrees" branch requires f1 > 0; here it contributes 0.
+  EXPECT_DOUBLE_EQ(ModelingAdvantage(*m, {-1}, {2.0, 0.5}), 0.0);
+}
+
+TEST(ModelingAdvantageTest, IncorrectDisagreementCountsNegative) {
+  // MV is correct (+1 majority); bad weights flip it.
+  auto m = LabelMatrix::FromDense({{1, 1, -1}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(ModelingAdvantage(*m, {1}, {0.1, 0.1, 5.0}), -1.0);
+}
+
+TEST(ModelingAdvantageTest, OptimalWeightsNeverHurtOnAverage) {
+  // With true log-odds weights, A_w* should be >= 0 on a reasonable sample
+  // (WMV* only diverges from MV when it helps in expectation).
+  std::vector<SyntheticLfSpec> lfs;
+  for (int j = 0; j < 6; ++j) {
+    lfs.push_back(SyntheticLfSpec{j < 3 ? 0.9 : 0.6, 0.4, -1, 1.0});
+  }
+  auto data = SyntheticMatrixGenerator::Generate({4000, 0.5, 7}, lfs);
+  ASSERT_TRUE(data.ok());
+  double adv = ModelingAdvantage(data->matrix, data->gold, data->true_weights);
+  EXPECT_GE(adv, 0.0);
+}
+
+TEST(PredictedAdvantageTest, ZeroWhenNoConflicts) {
+  // A single LF can never flip MV: Φ fails for the opposing class.
+  auto data = SyntheticMatrixGenerator::GenerateIid(500, 1, 0.8, 0.5, 3);
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(PredictedAdvantage(data->matrix), 0.0);
+}
+
+TEST(PredictedAdvantageTest, TiedConflictRowContributes) {
+  // One row, two conflicting votes: both classes have f1 = 0, Φ holds, and
+  // σ(0) = 0.5 each, so Ã* = 1.
+  auto m = LabelMatrix::FromDense({{1, -1}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(PredictedAdvantage(*m), 1.0);
+}
+
+TEST(PredictedAdvantageTest, UpperBoundsOptimalAdvantageOnSynthetic) {
+  // Proposition 2: E[A* | Λ] <= Ã*(Λ). Check the empirical analog with the
+  // planted optimal weights, allowing small sampling slack.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    auto data = SyntheticMatrixGenerator::GenerateIid(3000, 10, 0.75, 0.1, seed);
+    ASSERT_TRUE(data.ok());
+    double optimal =
+        ModelingAdvantage(data->matrix, data->gold, data->true_weights);
+    double predicted = PredictedAdvantage(data->matrix);
+    EXPECT_LE(optimal, predicted + 0.02) << "seed " << seed;
+  }
+}
+
+TEST(PredictedAdvantageTest, GrowsWithConflictRate) {
+  // Mid-density conflicting LFs should produce a larger bound than sparse,
+  // rarely-overlapping LFs.
+  auto sparse = SyntheticMatrixGenerator::GenerateIid(2000, 3, 0.75, 0.05, 21);
+  auto dense = SyntheticMatrixGenerator::GenerateIid(2000, 10, 0.6, 0.5, 22);
+  ASSERT_TRUE(sparse.ok() && dense.ok());
+  EXPECT_LT(PredictedAdvantage(sparse->matrix),
+            PredictedAdvantage(dense->matrix));
+}
+
+TEST(LowDensityBoundTest, QuadraticInDensity) {
+  // Bound = d̄² ᾱ(1-ᾱ).
+  EXPECT_DOUBLE_EQ(LowDensityBound(1.0, 0.75), 0.1875);
+  EXPECT_DOUBLE_EQ(LowDensityBound(2.0, 0.75), 0.75);
+  EXPECT_DOUBLE_EQ(LowDensityBound(0.0, 0.75), 0.0);
+}
+
+TEST(LowDensityBoundTest, BoundsEmpiricalAdvantageAtLowDensity) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(5000, 5, 0.75, 0.05, 31);
+  ASSERT_TRUE(data.ok());
+  double optimal =
+      ModelingAdvantage(data->matrix, data->gold, data->true_weights);
+  double bound = LowDensityBound(data->matrix.LabelDensity(), 0.75);
+  EXPECT_LE(optimal, bound + 0.01);
+}
+
+TEST(HighDensityBoundTest, DecaysExponentiallyWithDensity) {
+  double b1 = HighDensityBound(0.5, 0.75, 10.0);
+  double b2 = HighDensityBound(0.5, 0.75, 100.0);
+  EXPECT_LT(b2, b1);
+  EXPECT_NEAR(b1, std::exp(-2.0 * 0.5 * 0.25 * 0.25 * 10.0), 1e-12);
+}
+
+TEST(HighDensityBoundTest, NoDecayAtChanceAccuracy) {
+  EXPECT_DOUBLE_EQ(HighDensityBound(0.5, 0.5, 100.0), 1.0);
+}
+
+TEST(AdvantageRegimesTest, MidDensityBeatsBothExtremes) {
+  // The Figure 4 shape: the optimal advantage is larger in the mid-density
+  // regime than in the low- and high-density regimes.
+  auto low = SyntheticMatrixGenerator::GenerateIid(4000, 3, 0.75, 0.1, 41);
+  auto mid = SyntheticMatrixGenerator::GenerateIid(4000, 30, 0.75, 0.1, 42);
+  auto high = SyntheticMatrixGenerator::GenerateIid(4000, 500, 0.75, 0.1, 43);
+  ASSERT_TRUE(low.ok() && mid.ok() && high.ok());
+  double a_low = ModelingAdvantage(low->matrix, low->gold, low->true_weights);
+  double a_mid = ModelingAdvantage(mid->matrix, mid->gold, mid->true_weights);
+  double a_high =
+      ModelingAdvantage(high->matrix, high->gold, high->true_weights);
+  EXPECT_GT(a_mid, a_low);
+  EXPECT_GT(a_mid, a_high);
+}
+
+}  // namespace
+}  // namespace snorkel

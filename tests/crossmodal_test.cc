@@ -1,0 +1,188 @@
+#include "synth/crossmodal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dawid_skene.h"
+#include "eval/metrics.h"
+#include "lf/applier.h"
+#include "synth/user_study.h"
+
+namespace snorkel {
+namespace {
+
+TEST(RadiologyTaskTest, ValidatesOptions) {
+  RadiologyOptions options;
+  options.num_reports = 0;
+  EXPECT_FALSE(MakeRadiologyTask(options).ok());
+}
+
+TEST(RadiologyTaskTest, ShapesAndModalities) {
+  RadiologyOptions options;
+  options.num_reports = 400;
+  auto task = MakeRadiologyTask(options);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->candidates.size(), 400u);
+  EXPECT_EQ(task->gold.size(), 400u);
+  EXPECT_EQ(task->image_features.size(), 400u);
+  EXPECT_EQ(task->lfs.size(), 18u);  // Table 2.
+  for (const auto& image : task->image_features) {
+    EXPECT_EQ(image.size(), task->image_feature_dim);
+  }
+}
+
+TEST(RadiologyTaskTest, AbnormalRateMatchesTable2) {
+  RadiologyOptions options;
+  options.num_reports = 4000;
+  auto task = MakeRadiologyTask(options);
+  ASSERT_TRUE(task.ok());
+  double pos = 0;
+  for (Label y : task->gold) pos += y > 0 ? 1 : 0;
+  EXPECT_NEAR(pos / 4000.0, 0.36, 0.03);
+}
+
+TEST(RadiologyTaskTest, ReportLfsCarrySignal) {
+  RadiologyOptions options;
+  options.num_reports = 800;
+  auto task = MakeRadiologyTask(options);
+  ASSERT_TRUE(task.ok());
+  LFApplier applier;
+  auto matrix = applier.Apply(task->lfs, task->corpus, task->candidates);
+  ASSERT_TRUE(matrix.ok());
+  // The strongest abnormality cue LF should be quite accurate.
+  double best = 0.0;
+  for (size_t j = 0; j < matrix->num_lfs(); ++j) {
+    best = std::max(best, matrix->EmpiricalAccuracy(j, task->gold));
+  }
+  EXPECT_GT(best, 0.85);
+  EXPECT_GT(matrix->FractionCovered(), 0.7);
+}
+
+TEST(RadiologyTaskTest, ImageModalityIsInformativeButNoisy) {
+  RadiologyOptions options;
+  options.num_reports = 2000;
+  auto task = MakeRadiologyTask(options);
+  ASSERT_TRUE(task.ok());
+  // A trivial mean-difference classifier on images should beat chance but
+  // stay well below perfect (the paper's AUC is ~0.72-0.76).
+  std::vector<double> score(task->gold.size(), 0.0);
+  // Use feature 0..dim-1 signs learned from the first 500 items.
+  std::vector<double> direction(task->image_feature_dim, 0.0);
+  for (size_t i = 0; i < 500; ++i) {
+    for (const auto& [f, v] : task->image_features[i].entries) {
+      direction[f] += task->gold[i] * static_cast<double>(v);
+    }
+  }
+  for (size_t i = 0; i < task->gold.size(); ++i) {
+    for (const auto& [f, v] : task->image_features[i].entries) {
+      score[i] += direction[f] * static_cast<double>(v);
+    }
+  }
+  double auc = RocAuc(score, task->gold);
+  EXPECT_GT(auc, 0.6);
+  EXPECT_LT(auc, 0.95);
+}
+
+TEST(CrowdTaskTest, ValidatesOptions) {
+  CrowdOptions options;
+  options.num_items = 0;
+  EXPECT_FALSE(MakeCrowdTask(options).ok());
+  options = CrowdOptions();
+  options.min_worker_accuracy = 0.9;
+  options.max_worker_accuracy = 0.5;
+  EXPECT_FALSE(MakeCrowdTask(options).ok());
+}
+
+TEST(CrowdTaskTest, ShapesMatchTable2) {
+  auto task = MakeCrowdTask();
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->worker_matrix.num_rows(), 505u);
+  EXPECT_EQ(task->worker_matrix.num_lfs(), 102u);
+  EXPECT_EQ(task->worker_matrix.cardinality(), 5);
+  EXPECT_EQ(task->tweets.size(), 505u);
+  EXPECT_EQ(task->text_features.size(), 505u);
+  // ~20 votes per item.
+  EXPECT_NEAR(task->worker_matrix.LabelDensity(), 20.0, 4.0);
+}
+
+TEST(CrowdTaskTest, WorkersHaveConflicts) {
+  auto task = MakeCrowdTask();
+  ASSERT_TRUE(task.ok());
+  size_t conflict_rows = 0;
+  for (size_t i = 0; i < task->worker_matrix.num_rows(); ++i) {
+    const auto& row = task->worker_matrix.row(i);
+    for (size_t a = 1; a < row.size(); ++a) {
+      if (row[a].label != row[0].label) {
+        ++conflict_rows;
+        break;
+      }
+    }
+  }
+  // The paper stresses that worker conflicts are common on this task.
+  EXPECT_GT(conflict_rows, task->worker_matrix.num_rows() / 2);
+}
+
+TEST(CrowdTaskTest, DawidSkeneRecoversWorkerQuality) {
+  CrowdOptions options;
+  options.num_items = 1500;  // More items for tighter estimates.
+  auto task = MakeCrowdTask(options);
+  ASSERT_TRUE(task.ok());
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(task->worker_matrix).ok());
+  // Estimated accuracies correlate with the planted ones: check mean
+  // absolute error over workers.
+  double mae = 0.0;
+  for (size_t w = 0; w < task->worker_accuracies.size(); ++w) {
+    mae += std::fabs(model.WorkerAccuracy(w) - task->worker_accuracies[w]);
+  }
+  mae /= static_cast<double>(task->worker_accuracies.size());
+  EXPECT_LT(mae, 0.12);
+}
+
+TEST(UserStudyTest, PoolShapes) {
+  UserStudyOptions options;
+  options.corpus_scale = 0.1;
+  auto pool = MakeUserStudyPool(options);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool->user_lf_ranges.size(), 14u);
+  size_t total = 0;
+  for (auto [begin, end] : pool->user_lf_ranges) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end, pool->pool.size());
+    total += end - begin;
+  }
+  EXPECT_EQ(total, pool->pool.size());
+  // The merged pool approaches the paper's 125-LF scale.
+  EXPECT_GT(pool->pool.size(), 50u);
+}
+
+TEST(UserStudyTest, UsersVaryInQuality) {
+  UserStudyOptions options;
+  options.corpus_scale = 0.1;
+  auto pool = MakeUserStudyPool(options);
+  ASSERT_TRUE(pool.ok());
+  LFApplier applier;
+  auto matrix =
+      applier.Apply(pool->pool, pool->task.corpus, pool->task.candidates);
+  ASSERT_TRUE(matrix.ok());
+  // Accuracy spread across the pool: some LFs near chance, some strong.
+  double lo = 1.0;
+  double hi = 0.0;
+  for (size_t j = 0; j < matrix->num_lfs(); ++j) {
+    double acc = matrix->EmpiricalAccuracy(j, pool->task.gold);
+    lo = std::min(lo, acc);
+    hi = std::max(hi, acc);
+  }
+  EXPECT_LT(lo, 0.6);
+  EXPECT_GT(hi, 0.8);
+}
+
+TEST(UserStudyTest, ValidatesOptions) {
+  UserStudyOptions options;
+  options.num_users = 0;
+  EXPECT_FALSE(MakeUserStudyPool(options).ok());
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "data/candidate.h"
+#include "data/context.h"
+#include "data/knowledge_base.h"
+
+namespace snorkel {
+namespace {
+
+Corpus MakeCorpus() {
+  // "we study a patient who became quadriplegic after parenteral magnesium
+  //  administration for preeclampsia" with tagged chemical/disease mentions.
+  Sentence s;
+  s.words = {"we",         "study",      "a",   "patient",
+             "who",        "became",     "quadriplegic",
+             "after",      "parenteral", "magnesium",
+             "administration", "for",    "preeclampsia"};
+  s.mentions = {
+      Mention{6, 7, "disease", "D_quad"},
+      Mention{9, 10, "chemical", "C_mg"},
+      Mention{12, 13, "disease", "D_pre"},
+  };
+  Document doc;
+  doc.name = "doc0";
+  doc.sentences.push_back(std::move(s));
+  Corpus corpus;
+  corpus.AddDocument(std::move(doc));
+  return corpus;
+}
+
+TEST(ContextTest, SentenceText) {
+  Sentence s;
+  s.words = {"a", "b", "c"};
+  EXPECT_EQ(s.Text(), "a b c");
+  EXPECT_EQ(s.TextBetween(1, 3), "b c");
+  EXPECT_EQ(s.TextBetween(2, 99), "c");
+  EXPECT_EQ(s.TextBetween(3, 3), "");
+}
+
+TEST(ContextTest, CorpusCounts) {
+  Corpus corpus = MakeCorpus();
+  EXPECT_EQ(corpus.num_documents(), 1u);
+  EXPECT_EQ(corpus.NumSentences(), 1u);
+  EXPECT_EQ(corpus.NumMentions(), 3u);
+}
+
+TEST(ContextTest, GetSentenceBoundsChecked) {
+  Corpus corpus = MakeCorpus();
+  EXPECT_TRUE(corpus.GetSentence(0, 0).ok());
+  EXPECT_FALSE(corpus.GetSentence(1, 0).ok());
+  EXPECT_FALSE(corpus.GetSentence(0, 5).ok());
+}
+
+TEST(CandidateExtractorTest, ExtractsTypedPairs) {
+  Corpus corpus = MakeCorpus();
+  CandidateExtractor extractor("chemical", "disease");
+  auto candidates = extractor.Extract(corpus);
+  // magnesium pairs with both diseases.
+  ASSERT_EQ(candidates.size(), 2u);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(c.span1.entity_type, "chemical");
+    EXPECT_EQ(c.span2.entity_type, "disease");
+  }
+}
+
+TEST(CandidateExtractorTest, SameTypePairsEmittedOnce) {
+  Corpus corpus = MakeCorpus();
+  CandidateExtractor extractor("disease", "disease");
+  auto candidates = extractor.Extract(corpus);
+  ASSERT_EQ(candidates.size(), 1u);  // (quad, pre) once, not twice.
+  EXPECT_LE(candidates[0].span1.word_start, candidates[0].span2.word_start);
+}
+
+TEST(CandidateExtractorTest, NoMatchingTypesYieldsEmpty) {
+  Corpus corpus = MakeCorpus();
+  CandidateExtractor extractor("gene", "disease");
+  EXPECT_TRUE(extractor.Extract(corpus).empty());
+}
+
+TEST(CandidateViewTest, NavigationHelpers) {
+  Corpus corpus = MakeCorpus();
+  CandidateExtractor extractor("chemical", "disease");
+  auto candidates = extractor.Extract(corpus);
+  // Candidate 0: (magnesium, quadriplegic) — span2 precedes span1.
+  const Candidate* mg_quad = nullptr;
+  const Candidate* mg_pre = nullptr;
+  for (const auto& c : candidates) {
+    if (c.span2.canonical_id == "D_quad") mg_quad = &c;
+    if (c.span2.canonical_id == "D_pre") mg_pre = &c;
+  }
+  ASSERT_NE(mg_quad, nullptr);
+  ASSERT_NE(mg_pre, nullptr);
+
+  CandidateView quad_view(&corpus, mg_quad, 0);
+  EXPECT_EQ(quad_view.Span1Text(), "magnesium");
+  EXPECT_EQ(quad_view.Span2Text(), "quadriplegic");
+  EXPECT_FALSE(quad_view.Span1First());
+  EXPECT_EQ(quad_view.TextBetween(), "after parenteral");
+  EXPECT_EQ(quad_view.TokenDistance(), 2u);
+
+  CandidateView pre_view(&corpus, mg_pre, 1);
+  EXPECT_TRUE(pre_view.Span1First());
+  EXPECT_EQ(pre_view.TextBetween(), "administration for");
+  EXPECT_EQ(pre_view.index(), 1u);
+}
+
+TEST(CandidateViewTest, WindowHelpers) {
+  Corpus corpus = MakeCorpus();
+  CandidateExtractor extractor("chemical", "disease");
+  auto candidates = extractor.Extract(corpus);
+  const Candidate* mg_quad = nullptr;
+  for (const auto& c : candidates) {
+    if (c.span2.canonical_id == "D_quad") mg_quad = &c;
+  }
+  ASSERT_NE(mg_quad, nullptr);
+  CandidateView view(&corpus, mg_quad, 0);
+  // First span in sentence order is "quadriplegic" (index 6).
+  auto left = view.WordsLeftOfFirst(2);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0], "who");
+  EXPECT_EQ(left[1], "became");
+  // Second span is "magnesium" (index 9).
+  auto right = view.WordsRightOfSecond(2);
+  ASSERT_EQ(right.size(), 2u);
+  EXPECT_EQ(right[0], "administration");
+  EXPECT_EQ(right[1], "for");
+}
+
+TEST(CandidateViewTest, AdjacentSpansHaveEmptyBetween) {
+  Sentence s;
+  s.words = {"aspirin", "headache"};
+  s.mentions = {Mention{0, 1, "chemical", "C_asp"},
+                Mention{1, 2, "disease", "D_ha"}};
+  Document doc;
+  doc.sentences.push_back(s);
+  Corpus corpus;
+  corpus.AddDocument(std::move(doc));
+  auto candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  ASSERT_EQ(candidates.size(), 1u);
+  CandidateView view(&corpus, &candidates[0], 0);
+  EXPECT_EQ(view.TextBetween(), "");
+  EXPECT_EQ(view.TokenDistance(), 0u);
+  EXPECT_TRUE(view.WordsBetween().empty());
+}
+
+TEST(KnowledgeBaseTest, AddAndContains) {
+  KnowledgeBase kb;
+  kb.Add("Causes", "C_mg", "D_quad");
+  kb.Add("Treats", "C_mg", "D_pre");
+  EXPECT_TRUE(kb.Contains("Causes", "C_mg", "D_quad"));
+  EXPECT_FALSE(kb.Contains("Causes", "D_quad", "C_mg"));  // Directional.
+  EXPECT_FALSE(kb.Contains("Causes", "C_mg", "D_pre"));
+  EXPECT_TRUE(kb.Contains("Treats", "C_mg", "D_pre"));
+  EXPECT_FALSE(kb.Contains("Unknown", "C_mg", "D_quad"));
+}
+
+TEST(KnowledgeBaseTest, SubsetBookkeeping) {
+  KnowledgeBase kb;
+  kb.Add("A", "x", "y");
+  kb.Add("A", "x", "y");  // Duplicate.
+  kb.Add("A", "x", "z");
+  kb.Add("B", "q", "r");
+  EXPECT_EQ(kb.SubsetSize("A"), 2u);
+  EXPECT_EQ(kb.SubsetSize("B"), 1u);
+  EXPECT_EQ(kb.SubsetSize("C"), 0u);
+  ASSERT_EQ(kb.subset_names().size(), 2u);
+  EXPECT_EQ(kb.subset_names()[0], "A");
+}
+
+TEST(KnowledgeBaseTest, KeySeparatorAvoidsCollisions) {
+  KnowledgeBase kb;
+  kb.Add("S", "ab", "c");
+  EXPECT_FALSE(kb.Contains("S", "a", "bc"));
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,176 @@
+#include "core/dawid_skene.h"
+
+#include <gtest/gtest.h>
+
+#include "core/majority_vote.h"
+#include "eval/metrics.h"
+#include "synth/synthetic_matrix.h"
+#include "util/random.h"
+
+namespace snorkel {
+namespace {
+
+/// Simulates a K-class crowdsourcing matrix: each worker votes on each item
+/// with probability `propensity`, is correct with probability equal to its
+/// accuracy, and otherwise picks a uniformly random wrong class.
+struct CrowdData {
+  LabelMatrix matrix;
+  std::vector<Label> gold;
+};
+
+CrowdData MakeCrowd(size_t num_items, const std::vector<double>& worker_accs,
+                    int cardinality, double propensity, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Label> gold(num_items);
+  std::vector<std::vector<Label>> dense(
+      num_items, std::vector<Label>(worker_accs.size(), kAbstain));
+  for (size_t i = 0; i < num_items; ++i) {
+    gold[i] = static_cast<Label>(rng.UniformInt(1, cardinality));
+    for (size_t j = 0; j < worker_accs.size(); ++j) {
+      if (!rng.Bernoulli(propensity)) continue;
+      if (rng.Bernoulli(worker_accs[j])) {
+        dense[i][j] = gold[i];
+      } else {
+        Label wrong = static_cast<Label>(rng.UniformInt(1, cardinality - 1));
+        if (wrong >= gold[i]) ++wrong;
+        dense[i][j] = wrong;
+      }
+    }
+  }
+  auto matrix = LabelMatrix::FromDense(dense, cardinality);
+  EXPECT_TRUE(matrix.ok());
+  return CrowdData{std::move(matrix).value(), std::move(gold)};
+}
+
+TEST(DawidSkeneTest, RejectsEmptyMatrix) {
+  auto m = LabelMatrix::FromDense({});
+  ASSERT_TRUE(m.ok());
+  DawidSkeneModel model;
+  EXPECT_FALSE(model.Fit(*m).ok());
+}
+
+TEST(DawidSkeneTest, RecoversWorkerAccuraciesFiveClasses) {
+  std::vector<double> accs = {0.9, 0.9, 0.7, 0.5, 0.3};
+  CrowdData crowd = MakeCrowd(2000, accs, 5, 0.8, 17);
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+  for (size_t j = 0; j < accs.size(); ++j) {
+    EXPECT_NEAR(model.WorkerAccuracy(j), accs[j], 0.08) << "worker " << j;
+  }
+}
+
+TEST(DawidSkeneTest, BeatsPluralityVoteWithHeterogeneousWorkers) {
+  // Two excellent workers among six noisy ones; weighting should win.
+  std::vector<double> accs = {0.95, 0.95, 0.45, 0.45, 0.45, 0.45};
+  CrowdData crowd = MakeCrowd(3000, accs, 5, 0.7, 18);
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+  double ds_acc = MulticlassAccuracy(model.PredictLabels(crowd.matrix),
+                                     crowd.gold);
+  double mv_acc = MulticlassAccuracy(PluralityVotePredictions(crowd.matrix),
+                                     crowd.gold);
+  EXPECT_GT(ds_acc, mv_acc + 0.05);
+}
+
+TEST(DawidSkeneTest, BinaryMatrixLabelMapping) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(1500, 6, 0.85, 0.7, 19);
+  ASSERT_TRUE(data.ok());
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  EXPECT_EQ(model.cardinality(), 2);
+  EXPECT_EQ(model.ClassToLabel(0), 1);
+  EXPECT_EQ(model.ClassToLabel(1), -1);
+  EXPECT_EQ(model.LabelToClass(1), 0u);
+  EXPECT_EQ(model.LabelToClass(-1), 1u);
+  auto preds = model.PredictLabels(data->matrix);
+  auto conf = ComputeBinaryConfusion(preds, data->gold);
+  EXPECT_GT(conf.Accuracy(), 0.9);
+}
+
+TEST(DawidSkeneTest, AgreesWithGenerativeModelOnBinaryIid) {
+  // Both models estimate the same latent-class structure on independent
+  // binary data; their accuracy estimates should be close.
+  auto data = SyntheticMatrixGenerator::GenerateIid(4000, 5, 0.8, 0.6, 20);
+  ASSERT_TRUE(data.ok());
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(model.WorkerAccuracy(j), 0.8, 0.07);
+  }
+}
+
+TEST(DawidSkeneTest, PosteriorsSumToOne) {
+  CrowdData crowd = MakeCrowd(200, {0.8, 0.6, 0.4}, 3, 0.9, 21);
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+  auto proba = model.PredictProba(crowd.matrix);
+  for (const auto& row : proba) {
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DawidSkeneTest, AllAbstainRowGetsClassPriors) {
+  auto m = LabelMatrix::FromDense({{1, 1}, {1, 1}, {1, 0}, {2, 2}, {0, 0}}, 3);
+  ASSERT_TRUE(m.ok());
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(*m).ok());
+  auto proba = model.PredictProba(*m);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(proba[4][c], model.class_priors()[c], 1e-9);
+  }
+}
+
+TEST(DawidSkeneTest, EstimatesClassImbalance) {
+  // 80/20 binary imbalance with accurate workers.
+  Rng rng(22);
+  std::vector<std::vector<Label>> dense;
+  for (int i = 0; i < 2000; ++i) {
+    Label y = rng.Bernoulli(0.8) ? 1 : -1;
+    std::vector<Label> row(4, kAbstain);
+    for (int j = 0; j < 4; ++j) {
+      row[static_cast<size_t>(j)] =
+          rng.Bernoulli(0.9) ? y : static_cast<Label>(-y);
+    }
+    dense.push_back(std::move(row));
+  }
+  auto m = LabelMatrix::FromDense(dense);
+  ASSERT_TRUE(m.ok());
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(*m).ok());
+  // Class index 0 is +1.
+  EXPECT_NEAR(model.class_priors()[0], 0.8, 0.05);
+}
+
+TEST(DawidSkeneTest, UniformPriorsWhenBalanceEstimationDisabled) {
+  CrowdData crowd = MakeCrowd(500, {0.8, 0.7}, 4, 0.9, 23);
+  DawidSkeneOptions options;
+  options.estimate_class_balance = false;
+  DawidSkeneModel model(options);
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+  for (double p : model.class_priors()) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(DawidSkeneTest, ConvergesBeforeMaxIters) {
+  CrowdData crowd = MakeCrowd(800, {0.9, 0.8, 0.7}, 3, 0.9, 24);
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+  EXPECT_LT(model.iterations(), 200);
+}
+
+TEST(DawidSkeneTest, ConfusionRowsAreDistributions) {
+  CrowdData crowd = MakeCrowd(500, {0.75, 0.55}, 4, 0.8, 25);
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+  for (size_t j = 0; j < 2; ++j) {
+    for (size_t c = 0; c < 4; ++c) {
+      double sum = 0.0;
+      for (double v : model.Confusion(j)[c]) sum += v;
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snorkel

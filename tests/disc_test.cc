@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disc/features.h"
+#include "disc/linear_model.h"
+#include "disc/mlp.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+
+namespace snorkel {
+namespace {
+
+/// Linearly separable-ish synthetic features: class-dependent bag of
+/// "words" over a tiny vocabulary.
+struct DiscData {
+  std::vector<FeatureVector> features;
+  std::vector<Label> gold;
+  std::vector<double> soft;  // Noisy probabilistic labels.
+};
+
+DiscData MakeDiscData(size_t n, double label_noise, uint64_t seed,
+                      size_t num_buckets = 1 << 12) {
+  Rng rng(seed);
+  FeatureHasher hasher(num_buckets);
+  const std::vector<std::string> pos_words = {"good", "great", "win"};
+  const std::vector<std::string> neg_words = {"bad", "poor", "loss"};
+  const std::vector<std::string> shared = {"the", "a", "it", "was"};
+  DiscData data;
+  for (size_t i = 0; i < n; ++i) {
+    Label y = rng.Bernoulli(0.5) ? 1 : -1;
+    std::vector<std::string> words;
+    for (int w = 0; w < 6; ++w) {
+      if (rng.Bernoulli(0.5)) {
+        const auto& bank = y > 0 ? pos_words : neg_words;
+        words.push_back(bank[static_cast<size_t>(rng.UniformInt(0, 2))]);
+      } else {
+        words.push_back(shared[static_cast<size_t>(rng.UniformInt(0, 3))]);
+      }
+    }
+    data.features.push_back(HashBagOfWords(words, hasher, "bow"));
+    data.gold.push_back(y);
+    double target = y > 0 ? 0.9 : 0.1;
+    // Noisy probabilistic label, as the generative model would emit.
+    double soft = target + rng.Normal(0.0, label_noise);
+    data.soft.push_back(std::min(1.0, std::max(0.0, soft)));
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------- Features --
+
+TEST(FeatureHasherTest, DeterministicWithinRange) {
+  FeatureHasher hasher(1024);
+  EXPECT_EQ(hasher.Index("foo"), hasher.Index("foo"));
+  EXPECT_LT(hasher.Index("foo"), 1024u);
+  EXPECT_NE(hasher.Index("foo"), hasher.Index("bar"));
+}
+
+TEST(FeatureHasherTest, AddFeatureAppends) {
+  FeatureHasher hasher(64);
+  FeatureVector v;
+  hasher.AddFeature("a", 1.0f, &v);
+  hasher.AddFeature("b", 2.0f, &v);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries[1].second, 2.0f);
+}
+
+TEST(HashBagOfWordsTest, LowercasesAndPrefixes) {
+  FeatureHasher hasher(1 << 10);
+  auto a = HashBagOfWords({"Rain", "rain"}, hasher, "bow");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.entries[0].first, a.entries[1].first);
+  // Different prefix must land elsewhere (namespacing).
+  auto b = HashBagOfWords({"rain"}, hasher, "other");
+  EXPECT_NE(a.entries[0].first, b.entries[0].first);
+}
+
+TEST(TextFeaturizerTest, ProducesNamespacedFeatures) {
+  Corpus corpus;
+  Document doc;
+  Sentence s;
+  s.words = {"magnesium", "causes", "quadriplegia", "often"};
+  s.mentions = {Mention{0, 1, "chemical", "C_mg"},
+                Mention{2, 3, "disease", "D_quad"}};
+  doc.sentences = {s};
+  corpus.AddDocument(std::move(doc));
+  auto candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  ASSERT_EQ(candidates.size(), 1u);
+  CandidateView view(&corpus, &candidates[0], 0);
+
+  TextFeaturizer featurizer;
+  FeatureVector fv = featurizer.Featurize(view);
+  // At least: btw, btw_stem, span1, span2, type1, type2, order, dist, right.
+  EXPECT_GE(fv.size(), 9u);
+  for (const auto& [idx, val] : fv.entries) {
+    EXPECT_LT(idx, featurizer.num_buckets());
+    EXPECT_EQ(val, 1.0f);
+  }
+}
+
+TEST(TextFeaturizerTest, DeterministicAcrossCalls) {
+  Corpus corpus;
+  Document doc;
+  Sentence s;
+  s.words = {"a", "causes", "b"};
+  s.mentions = {Mention{0, 1, "chemical", "A"}, Mention{2, 3, "disease", "B"}};
+  doc.sentences = {s};
+  corpus.AddDocument(std::move(doc));
+  auto candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  CandidateView view(&corpus, &candidates[0], 0);
+  TextFeaturizer featurizer;
+  auto f1 = featurizer.Featurize(view);
+  auto f2 = featurizer.Featurize(view);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1.entries[i].first, f2.entries[i].first);
+  }
+}
+
+// ------------------------------------------------------ LogisticRegression --
+
+TEST(LogisticRegressionTest, ValidatesInputs) {
+  LogisticRegressionClassifier model;
+  EXPECT_FALSE(model.Fit({}, 16, {}).ok());
+  DiscData data = MakeDiscData(10, 0.0, 1);
+  std::vector<double> bad_labels(10, 1.5);
+  EXPECT_FALSE(model.Fit(data.features, 1 << 12, bad_labels).ok());
+  std::vector<double> short_labels(5, 0.5);
+  EXPECT_FALSE(model.Fit(data.features, 1 << 12, short_labels).ok());
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableProblem) {
+  DiscData data = MakeDiscData(2000, 0.0, 2);
+  LogisticRegressionClassifier model;
+  ASSERT_TRUE(model.Fit(data.features, 1 << 12, data.soft).ok());
+  auto conf = ComputeBinaryConfusion(model.PredictLabels(data.features),
+                                     data.gold);
+  EXPECT_GT(conf.Accuracy(), 0.95);
+}
+
+TEST(LogisticRegressionTest, NoiseAwareTrainingToleratesSoftLabels) {
+  // Noisy probabilistic labels should still yield a good classifier — the
+  // §2.3 noise-aware loss argument.
+  DiscData data = MakeDiscData(3000, 0.25, 3);
+  LogisticRegressionClassifier model;
+  ASSERT_TRUE(model.Fit(data.features, 1 << 12, data.soft).ok());
+  auto conf = ComputeBinaryConfusion(model.PredictLabels(data.features),
+                                     data.gold);
+  EXPECT_GT(conf.Accuracy(), 0.9);
+}
+
+TEST(LogisticRegressionTest, FitHardMatchesSoftExtremes) {
+  DiscData data = MakeDiscData(800, 0.0, 4);
+  LogisticRegressionClassifier hard;
+  ASSERT_TRUE(hard.FitHard(data.features, 1 << 12, data.gold).ok());
+  auto conf = ComputeBinaryConfusion(hard.PredictLabels(data.features),
+                                     data.gold);
+  EXPECT_GT(conf.Accuracy(), 0.95);
+}
+
+TEST(LogisticRegressionTest, DevSelectionKeepsReasonableModel) {
+  DiscData train = MakeDiscData(1500, 0.1, 5);
+  DiscData dev = MakeDiscData(300, 0.0, 6);
+  LogisticRegressionClassifier model;
+  ASSERT_TRUE(model.Fit(train.features, 1 << 12, train.soft, &dev.features,
+                        &dev.gold)
+                  .ok());
+  auto conf = ComputeBinaryConfusion(model.PredictLabels(dev.features),
+                                     dev.gold);
+  EXPECT_GT(conf.F1(), 0.9);
+}
+
+TEST(LogisticRegressionTest, ProbaAreCalibratedDirectionally) {
+  DiscData data = MakeDiscData(1500, 0.0, 7);
+  LogisticRegressionClassifier model;
+  ASSERT_TRUE(model.Fit(data.features, 1 << 12, data.soft).ok());
+  auto proba = model.PredictProba(data.features);
+  double pos_mean = 0, neg_mean = 0;
+  int pos = 0, neg = 0;
+  for (size_t i = 0; i < proba.size(); ++i) {
+    if (data.gold[i] > 0) {
+      pos_mean += proba[i];
+      ++pos;
+    } else {
+      neg_mean += proba[i];
+      ++neg;
+    }
+  }
+  EXPECT_GT(pos_mean / pos, 0.7);
+  EXPECT_LT(neg_mean / neg, 0.3);
+}
+
+TEST(LogisticRegressionTest, DeterministicGivenSeed) {
+  DiscData data = MakeDiscData(500, 0.1, 8);
+  LogisticRegressionClassifier a;
+  LogisticRegressionClassifier b;
+  ASSERT_TRUE(a.Fit(data.features, 1 << 12, data.soft).ok());
+  ASSERT_TRUE(b.Fit(data.features, 1 << 12, data.soft).ok());
+  auto pa = a.PredictProba(data.features);
+  auto pb = b.PredictProba(data.features);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+// -------------------------------------------------------- SoftmaxRegression --
+
+std::vector<std::vector<double>> OneHot(const std::vector<Label>& labels,
+                                        int k) {
+  std::vector<std::vector<double>> soft(
+      labels.size(), std::vector<double>(static_cast<size_t>(k), 0.0));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    soft[i][static_cast<size_t>(labels[i]) - 1] = 1.0;
+  }
+  return soft;
+}
+
+struct MultiData {
+  std::vector<FeatureVector> features;
+  std::vector<Label> gold;
+};
+
+MultiData MakeMultiData(size_t n, int k, uint64_t seed) {
+  Rng rng(seed);
+  FeatureHasher hasher(1 << 12);
+  MultiData data;
+  for (size_t i = 0; i < n; ++i) {
+    Label y = static_cast<Label>(rng.UniformInt(1, k));
+    std::vector<std::string> words;
+    for (int w = 0; w < 5; ++w) {
+      if (rng.Bernoulli(0.6)) {
+        words.push_back("sig" + std::to_string(y) + "_" +
+                        std::to_string(rng.UniformInt(0, 3)));
+      } else {
+        words.push_back("shared" + std::to_string(rng.UniformInt(0, 5)));
+      }
+    }
+    data.features.push_back(HashBagOfWords(words, hasher, "bow"));
+    data.gold.push_back(y);
+  }
+  return data;
+}
+
+TEST(SoftmaxRegressionTest, ValidatesInputs) {
+  SoftmaxRegressionClassifier model;
+  EXPECT_FALSE(model.Fit({}, 16, {}, 3).ok());
+  MultiData data = MakeMultiData(10, 3, 1);
+  EXPECT_FALSE(model.Fit(data.features, 1 << 12, OneHot(data.gold, 3), 1).ok());
+  auto wrong_k = OneHot(data.gold, 4);
+  EXPECT_FALSE(model.Fit(data.features, 1 << 12, wrong_k, 3).ok());
+}
+
+TEST(SoftmaxRegressionTest, LearnsFiveClassProblem) {
+  MultiData data = MakeMultiData(3000, 5, 2);
+  SoftmaxRegressionClassifier model;
+  ASSERT_TRUE(model.FitHard(data.features, 1 << 12, data.gold, 5).ok());
+  EXPECT_GT(MulticlassAccuracy(model.PredictLabels(data.features), data.gold),
+            0.9);
+}
+
+TEST(SoftmaxRegressionTest, SoftTargetsWork) {
+  MultiData data = MakeMultiData(2000, 3, 3);
+  // Smooth the one-hot targets (as a label model posterior would).
+  auto soft = OneHot(data.gold, 3);
+  for (auto& row : soft) {
+    for (auto& p : row) p = 0.8 * p + 0.2 / 3.0;
+  }
+  SoftmaxRegressionClassifier model;
+  ASSERT_TRUE(model.Fit(data.features, 1 << 12, soft, 3).ok());
+  EXPECT_GT(MulticlassAccuracy(model.PredictLabels(data.features), data.gold),
+            0.9);
+}
+
+TEST(SoftmaxRegressionTest, PosteriorsSumToOne) {
+  MultiData data = MakeMultiData(200, 4, 4);
+  SoftmaxRegressionClassifier model;
+  ASSERT_TRUE(model.FitHard(data.features, 1 << 12, data.gold, 4).ok());
+  for (const auto& row : model.PredictProba(data.features)) {
+    double sum = 0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SoftmaxRegressionTest, HardLabelRangeChecked) {
+  MultiData data = MakeMultiData(10, 3, 5);
+  SoftmaxRegressionClassifier model;
+  std::vector<Label> bad = data.gold;
+  bad[0] = 7;
+  EXPECT_FALSE(model.FitHard(data.features, 1 << 12, bad, 3).ok());
+}
+
+// -------------------------------------------------------------------- MLP --
+
+TEST(MlpTest, ValidatesInputs) {
+  MlpClassifier model;
+  EXPECT_FALSE(model.Fit({}, 16, {}).ok());
+}
+
+TEST(MlpTest, LearnsLinearProblem) {
+  DiscData data = MakeDiscData(2000, 0.1, 9);
+  MlpClassifier model;
+  ASSERT_TRUE(model.Fit(data.features, 1 << 12, data.soft).ok());
+  auto conf = ComputeBinaryConfusion(model.PredictLabels(data.features),
+                                     data.gold);
+  EXPECT_GT(conf.Accuracy(), 0.9);
+}
+
+TEST(MlpTest, LearnsXorLikeConjunction) {
+  // Label = +1 iff exactly one of two marker features fires: linearly
+  // inseparable, learnable by the hidden layer.
+  Rng rng(10);
+  FeatureHasher hasher(1 << 8);
+  std::vector<FeatureVector> features;
+  std::vector<double> soft;
+  std::vector<Label> gold;
+  for (int i = 0; i < 4000; ++i) {
+    bool a = rng.Bernoulli(0.5);
+    bool b = rng.Bernoulli(0.5);
+    FeatureVector fv;
+    hasher.AddFeature("bias_always", 1.0f, &fv);
+    if (a) hasher.AddFeature("marker_a", 1.0f, &fv);
+    if (b) hasher.AddFeature("marker_b", 1.0f, &fv);
+    Label y = (a != b) ? 1 : -1;
+    features.push_back(std::move(fv));
+    gold.push_back(y);
+    soft.push_back(y > 0 ? 1.0 : 0.0);
+  }
+  MlpClassifier::Options options;
+  options.hidden_units = 16;
+  options.train.epochs = 60;
+  options.train.learning_rate = 0.1;
+  MlpClassifier model(options);
+  ASSERT_TRUE(model.Fit(features, 1 << 8, soft).ok());
+  auto conf = ComputeBinaryConfusion(model.PredictLabels(features), gold);
+  EXPECT_GT(conf.Accuracy(), 0.95);
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  DiscData data = MakeDiscData(400, 0.1, 11);
+  MlpClassifier a;
+  MlpClassifier b;
+  ASSERT_TRUE(a.Fit(data.features, 1 << 12, data.soft).ok());
+  ASSERT_TRUE(b.Fit(data.features, 1 << 12, data.soft).ok());
+  auto pa = a.PredictProba(data.features);
+  auto pb = b.PredictProba(data.features);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,278 @@
+#include "core/generative_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/majority_vote.h"
+#include "eval/metrics.h"
+#include "synth/synthetic_matrix.h"
+#include "util/math_util.h"
+
+namespace snorkel {
+namespace {
+
+TEST(GenerativeModelTest, RejectsEmptyMatrix) {
+  auto m = LabelMatrix::FromDense({});
+  ASSERT_TRUE(m.ok());
+  GenerativeModel model;
+  EXPECT_FALSE(model.Fit(*m).ok());
+}
+
+TEST(GenerativeModelTest, RejectsMulticlassMatrix) {
+  auto m = LabelMatrix::FromDense({{1, 3}}, 3);
+  ASSERT_TRUE(m.ok());
+  GenerativeModel model;
+  Status s = model.Fit(*m);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GenerativeModelTest, RejectsBadCorrelationPairs) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(100, 4, 0.8, 0.5, 1);
+  ASSERT_TRUE(data.ok());
+  GenerativeModel model;
+  EXPECT_FALSE(model.Fit(data->matrix, {{1, 1}}).ok());
+  EXPECT_FALSE(model.Fit(data->matrix, {{0, 9}}).ok());
+}
+
+TEST(GenerativeModelTest, NormalizesAndDeduplicatesCorrelations) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(200, 4, 0.8, 0.5, 2);
+  ASSERT_TRUE(data.ok());
+  GenerativeModelOptions options;
+  options.epochs = 10;
+  GenerativeModel model(options);
+  ASSERT_TRUE(model.Fit(data->matrix, {{2, 0}, {0, 2}, {1, 3}}).ok());
+  ASSERT_EQ(model.correlations().size(), 2u);
+  EXPECT_EQ(model.correlations()[0], (CorrelationPair{0, 2}));
+  EXPECT_EQ(model.correlations()[1], (CorrelationPair{1, 3}));
+}
+
+TEST(GenerativeModelTest, RecoversHeterogeneousAccuracies) {
+  // Three strong LFs (90%) and three weak ones (60%): the learned accuracy
+  // estimates must rank every strong LF above every weak LF and land near
+  // the true values.
+  std::vector<SyntheticLfSpec> lfs;
+  for (int j = 0; j < 3; ++j) lfs.push_back({0.9, 0.5, -1, 1.0});
+  for (int j = 0; j < 3; ++j) lfs.push_back({0.6, 0.5, -1, 1.0});
+  auto data = SyntheticMatrixGenerator::Generate({6000, 0.5, 3}, lfs);
+  ASSERT_TRUE(data.ok());
+
+  GenerativeModel model;
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  auto acc = model.EstimatedAccuracies();
+  for (int strong = 0; strong < 3; ++strong) {
+    EXPECT_NEAR(acc[strong], 0.9, 0.07);
+    for (int weak = 3; weak < 6; ++weak) {
+      EXPECT_GT(acc[strong], acc[weak]);
+    }
+  }
+  for (int weak = 3; weak < 6; ++weak) EXPECT_NEAR(acc[weak], 0.6, 0.07);
+}
+
+TEST(GenerativeModelTest, RecoversPropensityThroughCoverage) {
+  // With learn_propensity the model's implied coverage
+  // P(Λ_j != ∅) = (e^wl + e^{wl+wa}) / z_j should match the data.
+  auto data = SyntheticMatrixGenerator::GenerateIid(5000, 5, 0.8, 0.3, 4);
+  ASSERT_TRUE(data.ok());
+  GenerativeModel model;
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  for (size_t j = 0; j < 5; ++j) {
+    double wl = model.propensity_weights()[j];
+    double wa = model.accuracy_weights()[j];
+    double z = 1.0 + std::exp(wl) + std::exp(wl + wa);
+    double implied_coverage = (std::exp(wl) + std::exp(wl + wa)) / z;
+    EXPECT_NEAR(implied_coverage, data->matrix.Coverage(j), 0.03);
+  }
+}
+
+TEST(GenerativeModelTest, PredictionsBeatMajorityVoteWithSkewedAccuracies) {
+  // One excellent LF among mediocre ones: weighting should beat MV accuracy
+  // on conflict rows (the Example 1.1 situation).
+  std::vector<SyntheticLfSpec> lfs = {
+      {0.95, 0.8, -1, 1.0}, {0.55, 0.8, -1, 1.0}, {0.55, 0.8, -1, 1.0}};
+  auto data = SyntheticMatrixGenerator::Generate({5000, 0.5, 5}, lfs);
+  ASSERT_TRUE(data.ok());
+
+  GenerativeModel model;
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  auto gm_conf = ComputeBinaryConfusion(model.PredictLabels(data->matrix),
+                                        data->gold);
+  auto mv_conf = ComputeBinaryConfusion(MajorityVotePredictions(data->matrix),
+                                        data->gold);
+  EXPECT_GT(gm_conf.Accuracy(), mv_conf.Accuracy() + 0.02);
+}
+
+TEST(GenerativeModelTest, PredictProbaMatchesSigmoidOfWeightedVote) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(300, 4, 0.8, 0.5, 6);
+  ASSERT_TRUE(data.ok());
+  GenerativeModelOptions options;
+  options.epochs = 50;
+  GenerativeModel model(options);
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  auto proba = model.PredictProba(data->matrix);
+  for (size_t i = 0; i < 20; ++i) {
+    double f = WeightedVote(data->matrix.row(i), model.accuracy_weights());
+    EXPECT_NEAR(proba[i], Sigmoid(f), 1e-9);
+  }
+}
+
+TEST(GenerativeModelTest, EmptyRowsGetClassBalance) {
+  auto m = LabelMatrix::FromDense({{1, 1}, {0, 0}});
+  ASSERT_TRUE(m.ok());
+  GenerativeModelOptions options;
+  options.epochs = 20;
+  options.class_balance = 0.3;
+  GenerativeModel model(options);
+  ASSERT_TRUE(model.Fit(*m).ok());
+  auto proba = model.PredictProba(*m);
+  EXPECT_NEAR(proba[1], 0.3, 1e-9);
+}
+
+TEST(GenerativeModelTest, PredictLabelsThresholdsProba) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(500, 5, 0.8, 0.5, 7);
+  ASSERT_TRUE(data.ok());
+  GenerativeModel model;
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  auto proba = model.PredictProba(data->matrix);
+  auto labels = model.PredictLabels(data->matrix);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (proba[i] > 0.5) {
+      EXPECT_EQ(labels[i], 1);
+    } else if (proba[i] < 0.5) {
+      EXPECT_EQ(labels[i], -1);
+    } else {
+      EXPECT_EQ(labels[i], kAbstain);
+    }
+  }
+}
+
+TEST(GenerativeModelTest, DeterministicGivenSeed) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(500, 6, 0.75, 0.3, 8);
+  ASSERT_TRUE(data.ok());
+  GenerativeModelOptions options;
+  options.epochs = 80;
+  GenerativeModel a(options);
+  GenerativeModel b(options);
+  ASSERT_TRUE(a.Fit(data->matrix).ok());
+  ASSERT_TRUE(b.Fit(data->matrix).ok());
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_DOUBLE_EQ(a.accuracy_weights()[j], b.accuracy_weights()[j]);
+  }
+}
+
+TEST(GenerativeModelTest, FittingImprovesMarginalLikelihood) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(2000, 8, 0.85, 0.4, 9);
+  ASSERT_TRUE(data.ok());
+  GenerativeModelOptions barely;
+  barely.epochs = 1;
+  barely.em_warm_start_iters = 0;  // Cold start: genuinely underfit.
+  GenerativeModel underfit(barely);
+  ASSERT_TRUE(underfit.Fit(data->matrix).ok());
+  GenerativeModel fit;
+  ASSERT_TRUE(fit.Fit(data->matrix).ok());
+  auto ll_under = underfit.LogMarginalLikelihood(data->matrix);
+  auto ll_fit = fit.LogMarginalLikelihood(data->matrix);
+  ASSERT_TRUE(ll_under.ok() && ll_fit.ok());
+  EXPECT_GT(*ll_fit, *ll_under);
+}
+
+TEST(GenerativeModelTest, MarginalLikelihoodUnavailableWithCorrelations) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(200, 4, 0.8, 0.5, 10);
+  ASSERT_TRUE(data.ok());
+  GenerativeModelOptions options;
+  options.epochs = 10;
+  GenerativeModel model(options);
+  ASSERT_TRUE(model.Fit(data->matrix, {{0, 1}}).ok());
+  auto ll = model.LogMarginalLikelihood(data->matrix);
+  EXPECT_FALSE(ll.ok());
+  EXPECT_EQ(ll.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GenerativeModelTest, GibbsTrainingAgreesWithExactTraining) {
+  // Ablation A1: the sampled negative phase must land near the closed-form
+  // one on an independent model.
+  auto data = SyntheticMatrixGenerator::GenerateIid(3000, 6, 0.8, 0.4, 11);
+  ASSERT_TRUE(data.ok());
+  GenerativeModel exact;
+  ASSERT_TRUE(exact.Fit(data->matrix).ok());
+  GenerativeModelOptions gibbs_options;
+  gibbs_options.force_gibbs = true;
+  gibbs_options.num_chains = 64;
+  GenerativeModel gibbs(gibbs_options);
+  ASSERT_TRUE(gibbs.Fit(data->matrix).ok());
+  auto exact_acc = exact.EstimatedAccuracies();
+  auto gibbs_acc = gibbs.EstimatedAccuracies();
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(exact_acc[j], gibbs_acc[j], 0.1) << "lf " << j;
+  }
+}
+
+TEST(GenerativeModelTest, CorrelationModelingFixesExample31) {
+  // Example 3.1: 5 perfectly correlated LFs at 50% accuracy plus 5
+  // independent LFs at 90%. The independent model over-credits the
+  // correlated block; modeling the correlations restores the ordering.
+  auto data = SyntheticMatrixGenerator::GenerateExample31(
+      /*num_points=*/2000, /*num_correlated=*/5, /*num_independent=*/5,
+      /*corr_accuracy=*/0.5, /*indep_accuracy=*/0.9, /*seed=*/12);
+  ASSERT_TRUE(data.ok());
+
+  GenerativeModelOptions options;
+  options.epochs = 400;
+  GenerativeModel independent(options);
+  ASSERT_TRUE(independent.Fit(data->matrix).ok());
+
+  GenerativeModelOptions corr_options;
+  corr_options.epochs = 600;
+  corr_options.num_chains = 64;
+  GenerativeModel correlated(corr_options);
+  // All within-block pairs.
+  std::vector<CorrelationPair> pairs;
+  for (size_t j = 0; j < 5; ++j) {
+    for (size_t k = j + 1; k < 5; ++k) pairs.push_back({j, k});
+  }
+  ASSERT_TRUE(correlated.Fit(data->matrix, pairs).ok());
+
+  auto indep_acc = independent.EstimatedAccuracies();
+  auto corr_acc = correlated.EstimatedAccuracies();
+  double indep_block = 0.0;
+  double indep_good = 0.0;
+  double corr_block = 0.0;
+  double corr_good = 0.0;
+  for (size_t j = 0; j < 5; ++j) {
+    indep_block += indep_acc[j] / 5;
+    corr_block += corr_acc[j] / 5;
+    indep_good += indep_acc[j + 5] / 5;
+    corr_good += corr_acc[j + 5] / 5;
+  }
+  // Pathology: the independent model inflates the correlated block above the
+  // truly accurate LFs.
+  EXPECT_GT(indep_block, indep_good);
+  // Fix: with correlation factors, the accurate LFs win.
+  EXPECT_GT(corr_good, corr_block);
+
+  // Downstream, predictions improve substantially.
+  auto indep_conf = ComputeBinaryConfusion(
+      independent.PredictLabels(data->matrix), data->gold);
+  auto corr_conf = ComputeBinaryConfusion(
+      correlated.PredictLabels(data->matrix), data->gold);
+  EXPECT_GT(corr_conf.Accuracy(), indep_conf.Accuracy() + 0.1);
+}
+
+TEST(GenerativeModelTest, LearnedWeightsTrackTrueWeightsOrdering) {
+  // Spearman-style check: estimated weights must be monotone in the true
+  // accuracies for a spread of LF qualities.
+  std::vector<SyntheticLfSpec> lfs;
+  std::vector<double> accs = {0.55, 0.65, 0.75, 0.85, 0.95};
+  for (double a : accs) lfs.push_back({a, 0.6, -1, 1.0});
+  auto data = SyntheticMatrixGenerator::Generate({8000, 0.5, 13}, lfs);
+  ASSERT_TRUE(data.ok());
+  GenerativeModel model;
+  ASSERT_TRUE(model.Fit(data->matrix).ok());
+  auto est = model.EstimatedAccuracies();
+  for (size_t j = 0; j + 1 < est.size(); ++j) {
+    EXPECT_LT(est[j], est[j + 1]) << "accuracy ordering violated at " << j;
+  }
+}
+
+}  // namespace
+}  // namespace snorkel

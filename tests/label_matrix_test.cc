@@ -1,0 +1,246 @@
+#include "core/label_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "core/majority_vote.h"
+
+namespace snorkel {
+namespace {
+
+// A small 4x3 binary matrix used across tests:
+//   row0: [+1, -1,  0]
+//   row1: [+1,  0,  0]
+//   row2: [ 0,  0,  0]
+//   row3: [-1, -1, +1]
+LabelMatrix SmallMatrix() {
+  auto result = LabelMatrix::FromDense(
+      {{1, -1, 0}, {1, 0, 0}, {0, 0, 0}, {-1, -1, 1}});
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(LabelMatrixTest, FromDenseBasicShape) {
+  LabelMatrix m = SmallMatrix();
+  EXPECT_EQ(m.num_rows(), 4u);
+  EXPECT_EQ(m.num_lfs(), 3u);
+  EXPECT_EQ(m.cardinality(), 2);
+  EXPECT_EQ(m.NumNonAbstains(), 6u);
+}
+
+TEST(LabelMatrixTest, AtReturnsVotesAndAbstains) {
+  LabelMatrix m = SmallMatrix();
+  EXPECT_EQ(m.At(0, 0), 1);
+  EXPECT_EQ(m.At(0, 1), -1);
+  EXPECT_EQ(m.At(0, 2), kAbstain);
+  EXPECT_EQ(m.At(2, 1), kAbstain);
+  EXPECT_EQ(m.At(3, 2), 1);
+}
+
+TEST(LabelMatrixTest, FromDenseRejectsRaggedRows) {
+  auto result = LabelMatrix::FromDense({{1, -1}, {1}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LabelMatrixTest, FromDenseRejectsInvalidBinaryLabel) {
+  auto result = LabelMatrix::FromDense({{1, 2}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LabelMatrixTest, FromDenseRejectsBadCardinality) {
+  auto result = LabelMatrix::FromDense({{1}}, 1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LabelMatrixTest, MulticlassLabelsValidated) {
+  auto good = LabelMatrix::FromDense({{1, 3}, {2, 0}}, 3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->cardinality(), 3);
+  auto bad = LabelMatrix::FromDense({{1, 4}}, 3);
+  EXPECT_FALSE(bad.ok());
+  auto negative = LabelMatrix::FromDense({{-1, 1}}, 3);
+  EXPECT_FALSE(negative.ok());
+}
+
+TEST(LabelMatrixTest, FromTripletsMatchesDense) {
+  auto from_triplets = LabelMatrix::FromTriplets(
+      4, 3, {{0, 0, 1}, {0, 1, -1}, {1, 0, 1}, {3, 0, -1}, {3, 1, -1}, {3, 2, 1}});
+  ASSERT_TRUE(from_triplets.ok());
+  LabelMatrix dense = SmallMatrix();
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(from_triplets->At(i, j), dense.At(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(LabelMatrixTest, FromTripletsRejectsOutOfRange) {
+  EXPECT_FALSE(LabelMatrix::FromTriplets(2, 2, {{2, 0, 1}}).ok());
+  EXPECT_FALSE(LabelMatrix::FromTriplets(2, 2, {{0, 2, 1}}).ok());
+}
+
+TEST(LabelMatrixTest, FromTripletsRejectsDuplicateVote) {
+  auto result = LabelMatrix::FromTriplets(2, 2, {{0, 1, 1}, {0, 1, -1}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LabelMatrixTest, FromTripletsSkipsExplicitAbstains) {
+  auto result = LabelMatrix::FromTriplets(1, 1, {{0, 0, kAbstain}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->NumNonAbstains(), 0u);
+}
+
+TEST(LabelMatrixTest, LabelDensity) {
+  LabelMatrix m = SmallMatrix();
+  EXPECT_DOUBLE_EQ(m.LabelDensity(), 6.0 / 4.0);
+}
+
+TEST(LabelMatrixTest, CoverageOverlapConflict) {
+  LabelMatrix m = SmallMatrix();
+  // LF0 votes on rows 0,1,3.
+  EXPECT_DOUBLE_EQ(m.Coverage(0), 0.75);
+  // LF0 overlaps (another LF voted) on rows 0 and 3.
+  EXPECT_DOUBLE_EQ(m.Overlap(0), 0.5);
+  // LF0 conflicts on row 0 (vs LF1) and row 3 (vs LF2).
+  EXPECT_DOUBLE_EQ(m.Conflict(0), 0.5);
+  // LF2 votes only on row 3 and conflicts with both other LFs there.
+  EXPECT_DOUBLE_EQ(m.Coverage(2), 0.25);
+  EXPECT_DOUBLE_EQ(m.Conflict(2), 0.25);
+}
+
+TEST(LabelMatrixTest, FractionCovered) {
+  LabelMatrix m = SmallMatrix();
+  EXPECT_DOUBLE_EQ(m.FractionCovered(), 0.75);  // Row 2 is empty.
+}
+
+TEST(LabelMatrixTest, CountLabels) {
+  LabelMatrix m = SmallMatrix();
+  EXPECT_EQ(m.CountLabels(0, 1), 1);
+  EXPECT_EQ(m.CountLabels(0, -1), 1);
+  EXPECT_EQ(m.CountLabels(3, -1), 2);
+  EXPECT_EQ(m.CountLabels(2, 1), 0);
+}
+
+TEST(LabelMatrixTest, PolarityCounts) {
+  LabelMatrix m = SmallMatrix();
+  auto [pos0, neg0] = m.PolarityCounts(0);
+  EXPECT_EQ(pos0, 2);
+  EXPECT_EQ(neg0, 1);
+  auto [pos1, neg1] = m.PolarityCounts(1);
+  EXPECT_EQ(pos1, 0);
+  EXPECT_EQ(neg1, 2);
+}
+
+TEST(LabelMatrixTest, EmpiricalAccuracy) {
+  LabelMatrix m = SmallMatrix();
+  std::vector<Label> gold = {1, 1, -1, -1};
+  // LF0: votes +1,+1,-1 on rows 0,1,3 -> all correct.
+  EXPECT_DOUBLE_EQ(m.EmpiricalAccuracy(0, gold), 1.0);
+  // LF1: votes -1 on row 0 (wrong), -1 on row 3 (right).
+  EXPECT_DOUBLE_EQ(m.EmpiricalAccuracy(1, gold), 0.5);
+  // LF2: votes +1 on row 3 (wrong).
+  EXPECT_DOUBLE_EQ(m.EmpiricalAccuracy(2, gold), 0.0);
+}
+
+TEST(LabelMatrixTest, EmpiricalAccuracyOfSilentLfIsHalf) {
+  auto m = LabelMatrix::FromDense({{0, 1}, {0, -1}});
+  ASSERT_TRUE(m.ok());
+  std::vector<Label> gold = {1, -1};
+  EXPECT_DOUBLE_EQ(m->EmpiricalAccuracy(0, gold), 0.5);
+}
+
+TEST(LabelMatrixTest, SelectColumnsReindexes) {
+  LabelMatrix m = SmallMatrix();
+  LabelMatrix sub = m.SelectColumns({2, 0});
+  EXPECT_EQ(sub.num_lfs(), 2u);
+  EXPECT_EQ(sub.num_rows(), 4u);
+  EXPECT_EQ(sub.At(3, 0), 1);   // Old LF2.
+  EXPECT_EQ(sub.At(3, 1), -1);  // Old LF0.
+  EXPECT_EQ(sub.At(0, 0), kAbstain);
+  EXPECT_EQ(sub.At(0, 1), 1);
+}
+
+TEST(LabelMatrixTest, SelectRowsPreservesOrder) {
+  LabelMatrix m = SmallMatrix();
+  LabelMatrix sub = m.SelectRows({3, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.At(0, 2), 1);  // Old row 3.
+  EXPECT_EQ(sub.At(1, 0), 1);  // Old row 0.
+}
+
+TEST(LabelMatrixTest, SummaryTableContainsNamesAndStats) {
+  LabelMatrix m = SmallMatrix();
+  std::vector<std::string> names = {"lf_causes", "lf_treats", "lf_kb"};
+  std::vector<Label> gold = {1, 1, -1, -1};
+  std::string table = m.SummaryTable(&names, &gold);
+  EXPECT_NE(table.find("lf_causes"), std::string::npos);
+  EXPECT_NE(table.find("Coverage"), std::string::npos);
+  EXPECT_NE(table.find("Emp. Acc"), std::string::npos);
+}
+
+TEST(LabelMatrixTest, EmptyMatrixStats) {
+  auto m = LabelMatrix::FromDense({});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->LabelDensity(), 0.0);
+  EXPECT_DOUBLE_EQ(m->FractionCovered(), 0.0);
+}
+
+// ----------------------------------------------------------- MajorityVote --
+
+TEST(MajorityVoteTest, UnweightedVoteSumsLabels) {
+  LabelMatrix m = SmallMatrix();
+  EXPECT_DOUBLE_EQ(UnweightedVote(m.row(0)), 0.0);
+  EXPECT_DOUBLE_EQ(UnweightedVote(m.row(1)), 1.0);
+  EXPECT_DOUBLE_EQ(UnweightedVote(m.row(3)), -1.0);
+}
+
+TEST(MajorityVoteTest, WeightedVoteUsesWeights) {
+  LabelMatrix m = SmallMatrix();
+  std::vector<double> w = {2.0, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(WeightedVote(m.row(0), w), 1.5);
+  EXPECT_DOUBLE_EQ(WeightedVote(m.row(3), w), -2.4);
+}
+
+TEST(MajorityVoteTest, PredictionsWithTiesAbstain) {
+  LabelMatrix m = SmallMatrix();
+  auto preds = MajorityVotePredictions(m);
+  EXPECT_EQ(preds[0], kAbstain);  // +1 vs -1 tie.
+  EXPECT_EQ(preds[1], 1);
+  EXPECT_EQ(preds[2], kAbstain);  // No votes.
+  EXPECT_EQ(preds[3], -1);
+}
+
+TEST(MajorityVoteTest, WeightedPredictionsBreakTies) {
+  LabelMatrix m = SmallMatrix();
+  std::vector<double> w = {2.0, 0.5, 0.1};
+  auto preds = WeightedMajorityVotePredictions(m, w);
+  EXPECT_EQ(preds[0], 1);  // LF0 outweighs LF1.
+  EXPECT_EQ(preds[3], -1);
+}
+
+TEST(MajorityVoteTest, UnweightedAverageProbs) {
+  LabelMatrix m = SmallMatrix();
+  auto probs = UnweightedAverageProbs(m);
+  EXPECT_DOUBLE_EQ(probs[0], 0.5);        // 1 pos, 1 neg.
+  EXPECT_DOUBLE_EQ(probs[1], 1.0);        // 1 pos.
+  EXPECT_DOUBLE_EQ(probs[2], 0.5);        // All abstain -> prior.
+  EXPECT_DOUBLE_EQ(probs[3], 1.0 / 3.0);  // 1 pos, 2 neg.
+}
+
+TEST(MajorityVoteTest, PluralityVoteMulticlass) {
+  auto m = LabelMatrix::FromDense({{1, 1, 3}, {2, 3, 3}, {0, 0, 0}}, 3);
+  ASSERT_TRUE(m.ok());
+  auto preds = PluralityVotePredictions(*m);
+  EXPECT_EQ(preds[0], 1);
+  EXPECT_EQ(preds[1], 3);
+  EXPECT_EQ(preds[2], kAbstain);
+}
+
+TEST(MajorityVoteTest, PluralityTieBreaksTowardSmallestLabel) {
+  auto m = LabelMatrix::FromDense({{1, 2}}, 3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(PluralityVotePredictions(*m)[0], 1);
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,128 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace snorkel {
+namespace {
+
+TEST(BinaryConfusionTest, HandComputedCounts) {
+  // preds: +1 +1 -1 -1 0   gold: +1 -1 +1 -1 +1
+  BinaryConfusion c = ComputeBinaryConfusion({1, 1, -1, -1, 0},
+                                             {1, -1, 1, -1, 1});
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 2);  // Abstain on a positive counts as a miss.
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_EQ(c.total(), 5);
+}
+
+TEST(BinaryConfusionTest, DerivedScores) {
+  BinaryConfusion c{.tp = 8, .fp = 2, .tn = 5, .fn = 4};
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.8);
+  EXPECT_NEAR(c.Recall(), 8.0 / 12.0, 1e-12);
+  double p = 0.8;
+  double r = 8.0 / 12.0;
+  EXPECT_NEAR(c.F1(), 2 * p * r / (p + r), 1e-12);
+  EXPECT_NEAR(c.Accuracy(), 13.0 / 19.0, 1e-12);
+}
+
+TEST(BinaryConfusionTest, DegenerateScoresAreZero) {
+  BinaryConfusion empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+}
+
+TEST(BinaryConfusionTest, ToStringMentionsCounts) {
+  BinaryConfusion c{.tp = 1, .fp = 2, .tn = 3, .fn = 4};
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("tp=1"), std::string::npos);
+  EXPECT_NE(s.find("fn=4"), std::string::npos);
+}
+
+TEST(ScoreProbabilisticTest, ThresholdsAtHalfByDefault) {
+  BinaryConfusion c = ScoreProbabilistic({0.9, 0.4, 0.6, 0.1},
+                                         {1, 1, -1, -1});
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(ScoreProbabilisticTest, CustomThreshold) {
+  BinaryConfusion strict = ScoreProbabilistic({0.9, 0.7}, {1, -1}, 0.8);
+  EXPECT_EQ(strict.tp, 1);
+  EXPECT_EQ(strict.tn, 1);
+}
+
+TEST(RocAucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, -1, -1}), 1.0);
+}
+
+TEST(RocAucTest, ReversedSeparationIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, -1, -1}), 0.0);
+}
+
+TEST(RocAucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {1, 1, -1, -1}), 0.5);
+}
+
+TEST(RocAucTest, SingleClassGivesHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.3, 0.7}, {1, 1}), 0.5);
+}
+
+TEST(RocAucTest, HandComputedMixedCase) {
+  // Pairs (pos, neg): (0.8 vs 0.3)=1, (0.8 vs 0.6)=1, (0.4 vs 0.3)=1,
+  // (0.4 vs 0.6)=0 -> AUC = 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc({0.8, 0.4, 0.3, 0.6}, {1, 1, -1, -1}), 0.75);
+}
+
+TEST(RocAucTest, TieBetweenClassesCountsHalf) {
+  // (0.5 vs 0.5) = 0.5, so AUC = 0.5.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5}, {1, -1}), 0.5);
+}
+
+TEST(MulticlassAccuracyTest, CountsExactMatches) {
+  EXPECT_DOUBLE_EQ(MulticlassAccuracy({1, 2, 3, 1}, {1, 2, 1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(MulticlassAccuracy({}, {}), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PlacesCountsAtGoldRowPredCol) {
+  auto m = ConfusionMatrix({1, 2, 2, 3}, {1, 1, 2, 3}, 3);
+  EXPECT_EQ(m[0][0], 1);  // gold 1 pred 1.
+  EXPECT_EQ(m[0][1], 1);  // gold 1 pred 2.
+  EXPECT_EQ(m[1][1], 1);  // gold 2 pred 2.
+  EXPECT_EQ(m[2][2], 1);  // gold 3 pred 3.
+  EXPECT_EQ(m[1][0], 0);
+}
+
+TEST(ConfusionMatrixTest, IgnoresOutOfRangeLabels) {
+  auto m = ConfusionMatrix({0, 5, 1}, {1, 1, 1}, 3);
+  EXPECT_EQ(m[0][0], 1);  // Only the in-range pair counted.
+}
+
+TEST(ErrorBucketsTest, PartitionCoversAllIndices) {
+  auto buckets = BucketErrors({1, 1, -1, 0}, {1, -1, -1, 1});
+  EXPECT_EQ(buckets.true_positives, std::vector<size_t>{0});
+  EXPECT_EQ(buckets.false_positives, std::vector<size_t>{1});
+  EXPECT_EQ(buckets.true_negatives, std::vector<size_t>{2});
+  EXPECT_EQ(buckets.false_negatives, std::vector<size_t>{3});
+  size_t total = buckets.true_positives.size() + buckets.false_positives.size() +
+                 buckets.true_negatives.size() + buckets.false_negatives.size();
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(ErrorBucketsTest, BucketsConsistentWithConfusion) {
+  std::vector<Label> preds = {1, -1, 1, -1, 0, 1};
+  std::vector<Label> gold = {1, 1, -1, -1, 1, 1};
+  auto buckets = BucketErrors(preds, gold);
+  auto confusion = ComputeBinaryConfusion(preds, gold);
+  EXPECT_EQ(static_cast<int64_t>(buckets.true_positives.size()), confusion.tp);
+  EXPECT_EQ(static_cast<int64_t>(buckets.false_positives.size()), confusion.fp);
+  EXPECT_EQ(static_cast<int64_t>(buckets.true_negatives.size()), confusion.tn);
+  EXPECT_EQ(static_cast<int64_t>(buckets.false_negatives.size()), confusion.fn);
+}
+
+}  // namespace
+}  // namespace snorkel

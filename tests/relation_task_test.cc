@@ -1,0 +1,175 @@
+#include "synth/relation_task.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lf/applier.h"
+
+namespace snorkel {
+namespace {
+
+TEST(RelationTaskTest, ValidatesSpec) {
+  RelationTaskSpec spec;
+  spec.cues.strong_pos = {{"causes"}};
+  spec.cues.neutral = {{"and"}};
+  spec.num_documents = 0;
+  EXPECT_FALSE(GenerateRelationTask(spec).ok());
+  spec.num_documents = 10;
+  spec.positive_rate = 0.0;
+  EXPECT_FALSE(GenerateRelationTask(spec).ok());
+  spec.positive_rate = 0.3;
+  spec.cues.strong_pos.clear();
+  EXPECT_FALSE(GenerateRelationTask(spec).ok());
+}
+
+class TaskFixture : public ::testing::TestWithParam<const char*> {
+ protected:
+  Result<RelationTask> Make() {
+    std::string name = GetParam();
+    if (name == "CDR") return MakeCdrTask(7, 0.1);
+    if (name == "Spouses") return MakeSpousesTask(7, 0.1);
+    if (name == "EHR") return MakeEhrTask(7, 0.05);
+    return MakeChemTask(7, 0.1);
+  }
+};
+
+TEST_P(TaskFixture, ShapesAreConsistent) {
+  auto task = Make();
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  EXPECT_GT(task->candidates.size(), 100u);
+  EXPECT_EQ(task->candidates.size(), task->gold.size());
+  EXPECT_EQ(task->candidates.size(), task->ds_labels.size());
+  EXPECT_EQ(task->lfs.size(), task->lf_groups.size());
+  EXPECT_GE(task->lfs.size(), 11u);
+  // Splits partition the candidates.
+  EXPECT_EQ(task->train_idx.size() + task->dev_idx.size() +
+                task->test_idx.size(),
+            task->candidates.size());
+  std::set<size_t> all(task->train_idx.begin(), task->train_idx.end());
+  all.insert(task->dev_idx.begin(), task->dev_idx.end());
+  all.insert(task->test_idx.begin(), task->test_idx.end());
+  EXPECT_EQ(all.size(), task->candidates.size());
+}
+
+TEST_P(TaskFixture, LfGroupsAreKnown)  {
+  auto task = Make();
+  ASSERT_TRUE(task.ok());
+  for (const auto& group : task->lf_groups) {
+    EXPECT_TRUE(group == "pattern" || group == "distant" ||
+                group == "structure")
+        << group;
+  }
+}
+
+TEST_P(TaskFixture, LfsApplyCleanly) {
+  auto task = Make();
+  ASSERT_TRUE(task.ok());
+  LFApplier applier;
+  auto matrix = applier.Apply(task->lfs, task->corpus, task->candidates);
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+  EXPECT_EQ(matrix->num_rows(), task->candidates.size());
+  EXPECT_EQ(matrix->num_lfs(), task->lfs.size());
+  // Most candidates get at least some supervision signal.
+  EXPECT_GT(matrix->FractionCovered(), 0.5);
+  // Density is in the paper's regime (Table 1 reports 1.2 - 2.3).
+  EXPECT_GT(matrix->LabelDensity(), 0.45);
+  EXPECT_LT(matrix->LabelDensity(), 8.0);
+}
+
+TEST_P(TaskFixture, DeterministicGivenSeed) {
+  auto a = Make();
+  auto b = Make();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->gold.size(), b->gold.size());
+  EXPECT_EQ(a->gold, b->gold);
+  EXPECT_EQ(a->ds_labels, b->ds_labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskFixture,
+                         ::testing::Values("CDR", "Spouses", "EHR", "Chem"));
+
+TEST(RelationTaskTest, PositiveFractionsMatchTable2) {
+  auto cdr = MakeCdrTask(11, 0.2);
+  auto spouses = MakeSpousesTask(11, 0.2);
+  auto ehr = MakeEhrTask(11, 0.1);
+  auto chem = MakeChemTask(11, 0.2);
+  ASSERT_TRUE(cdr.ok() && spouses.ok() && ehr.ok() && chem.ok());
+  EXPECT_NEAR(cdr->PositiveFraction(), 0.246, 0.03);
+  EXPECT_NEAR(spouses->PositiveFraction(), 0.083, 0.02);
+  EXPECT_NEAR(ehr->PositiveFraction(), 0.368, 0.03);
+  EXPECT_NEAR(chem->PositiveFraction(), 0.041, 0.015);
+}
+
+TEST(RelationTaskTest, LfCountsMatchTable2) {
+  auto cdr = MakeCdrTask(1, 0.05);
+  auto spouses = MakeSpousesTask(1, 0.05);
+  auto ehr = MakeEhrTask(1, 0.05);
+  auto chem = MakeChemTask(1, 0.05);
+  ASSERT_TRUE(cdr.ok() && spouses.ok() && ehr.ok() && chem.ok());
+  EXPECT_EQ(cdr->lfs.size(), 33u);
+  EXPECT_EQ(spouses->lfs.size(), 11u);
+  EXPECT_EQ(ehr->lfs.size(), 24u);
+  EXPECT_EQ(chem->lfs.size(), 16u);
+}
+
+TEST(RelationTaskTest, DistantSupervisionIsNoisy) {
+  // The DS baseline must have meaningfully lower precision than perfect —
+  // related pairs co-occur in non-asserting sentences (Table 3 shape).
+  auto task = MakeCdrTask(13, 0.3);
+  ASSERT_TRUE(task.ok());
+  int64_t tp = 0;
+  int64_t fp = 0;
+  for (size_t i = 0; i < task->gold.size(); ++i) {
+    if (task->ds_labels[i] > 0) {
+      if (task->gold[i] > 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+  }
+  ASSERT_GT(tp + fp, 0);
+  double precision =
+      static_cast<double>(tp) / static_cast<double>(tp + fp);
+  EXPECT_LT(precision, 0.7);
+  EXPECT_GT(precision, 0.1);
+}
+
+TEST(RelationTaskTest, EhrBaselineIsRegexNotKb) {
+  auto task = MakeEhrTask(17, 0.05);
+  ASSERT_TRUE(task.ok());
+  // The EHR spec disables the KB entirely.
+  EXPECT_EQ(task->kb->SubsetSize("PrimaryA"), 0u);
+  // Its regex-style baseline is high precision (paper: 81.4).
+  int64_t tp = 0;
+  int64_t fp = 0;
+  for (size_t i = 0; i < task->gold.size(); ++i) {
+    if (task->ds_labels[i] > 0) {
+      (task->gold[i] > 0 ? tp : fp) += 1;
+    }
+  }
+  ASSERT_GT(tp + fp, 0);
+  EXPECT_GT(static_cast<double>(tp) / static_cast<double>(tp + fp), 0.7);
+}
+
+TEST(RelationTaskTest, ChemIsSameTypeRelation) {
+  auto task = MakeChemTask(19, 0.1);
+  ASSERT_TRUE(task.ok());
+  for (size_t i = 0; i < std::min<size_t>(task->candidates.size(), 50); ++i) {
+    EXPECT_EQ(task->candidates[i].span1.entity_type, "compound");
+    EXPECT_EQ(task->candidates[i].span2.entity_type, "compound");
+    EXPECT_NE(task->candidates[i].span1.canonical_id,
+              task->candidates[i].span2.canonical_id);
+  }
+}
+
+TEST(RelationTaskTest, ScaleShrinksCorpus) {
+  auto small = MakeCdrTask(23, 0.05);
+  auto large = MakeCdrTask(23, 0.2);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(small->corpus.num_documents(), large->corpus.num_documents());
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,134 @@
+#include "synth/synthetic_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/advantage.h"
+
+namespace snorkel {
+namespace {
+
+TEST(SyntheticMatrixTest, ValidatesParameters) {
+  EXPECT_FALSE(SyntheticMatrixGenerator::Generate({0, 0.5, 1}, {}).ok());
+  EXPECT_FALSE(SyntheticMatrixGenerator::Generate({10, 0.0, 1}, {}).ok());
+  EXPECT_FALSE(SyntheticMatrixGenerator::Generate({10, 1.0, 1}, {}).ok());
+  EXPECT_FALSE(
+      SyntheticMatrixGenerator::Generate({10, 0.5, 1}, {{1.5, 0.5, -1, 1.0}})
+          .ok());
+  // copy_of must reference a lower index.
+  EXPECT_FALSE(
+      SyntheticMatrixGenerator::Generate({10, 0.5, 1}, {{0.8, 0.5, 0, 1.0}})
+          .ok());
+}
+
+TEST(SyntheticMatrixTest, ShapesAndGold) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(500, 7, 0.75, 0.3, 1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->matrix.num_rows(), 500u);
+  EXPECT_EQ(data->matrix.num_lfs(), 7u);
+  EXPECT_EQ(data->gold.size(), 500u);
+  for (Label y : data->gold) EXPECT_TRUE(y == 1 || y == -1);
+  EXPECT_EQ(data->true_weights.size(), 7u);
+  EXPECT_TRUE(data->true_correlations.empty());
+}
+
+TEST(SyntheticMatrixTest, EmpiricalAccuracyMatchesSpec) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(20000, 3, 0.8, 0.5, 2);
+  ASSERT_TRUE(data.ok());
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(data->matrix.EmpiricalAccuracy(j, data->gold), 0.8, 0.02);
+    EXPECT_NEAR(data->matrix.Coverage(j), 0.5, 0.02);
+  }
+}
+
+TEST(SyntheticMatrixTest, ClassBalanceRespected) {
+  auto data = SyntheticMatrixGenerator::Generate({20000, 0.25, 3},
+                                                 {{0.8, 0.5, -1, 1.0}});
+  ASSERT_TRUE(data.ok());
+  double pos = 0;
+  for (Label y : data->gold) pos += y > 0 ? 1 : 0;
+  EXPECT_NEAR(pos / 20000.0, 0.25, 0.02);
+}
+
+TEST(SyntheticMatrixTest, TrueWeightsAreLogOdds) {
+  auto data = SyntheticMatrixGenerator::GenerateIid(10, 2, 0.75, 0.5, 4);
+  ASSERT_TRUE(data.ok());
+  EXPECT_NEAR(data->true_weights[0], AccuracyToWeight(0.75), 1e-12);
+}
+
+TEST(SyntheticMatrixTest, PerfectCopiesAreIdenticalColumns) {
+  auto data = SyntheticMatrixGenerator::GenerateExample31(500, 3, 2, 0.6, 0.9, 5);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < 500; ++i) {
+    Label head = data->matrix.At(i, 0);
+    EXPECT_EQ(data->matrix.At(i, 1), head);
+    EXPECT_EQ(data->matrix.At(i, 2), head);
+  }
+  // Planted correlations point copies at the head.
+  ASSERT_EQ(data->true_correlations.size(), 2u);
+  EXPECT_EQ(data->true_correlations[0], (CorrelationPair{0, 1}));
+  EXPECT_EQ(data->true_correlations[1], (CorrelationPair{0, 2}));
+}
+
+TEST(SyntheticMatrixTest, PartialCopiesAgreeMoreThanChance) {
+  auto data = SyntheticMatrixGenerator::GenerateClustered(
+      10000, 1, 2, 0, 0.75, 1.0, 0.6, 6);
+  ASSERT_TRUE(data.ok());
+  double agree = 0;
+  for (size_t i = 0; i < data->matrix.num_rows(); ++i) {
+    if (data->matrix.At(i, 0) == data->matrix.At(i, 1)) agree += 1;
+  }
+  agree /= static_cast<double>(data->matrix.num_rows());
+  // Two independent 75% LFs agree 62.5% of the time; the copier agrees
+  // 60% + 40% * 62.5% = 85%.
+  EXPECT_NEAR(agree, 0.85, 0.02);
+}
+
+TEST(SyntheticMatrixTest, ClusteredLayoutAndPlantedPairs) {
+  auto data = SyntheticMatrixGenerator::GenerateClustered(
+      100, /*num_clusters=*/2, /*cluster_size=*/3, /*num_independent=*/4,
+      0.8, 0.5, 0.9, 7);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->matrix.num_lfs(), 10u);
+  // Copies reference heads 0 and 3.
+  ASSERT_EQ(data->true_correlations.size(), 4u);
+  EXPECT_EQ(data->true_correlations[0], (CorrelationPair{0, 1}));
+  EXPECT_EQ(data->true_correlations[2], (CorrelationPair{3, 4}));
+}
+
+TEST(SyntheticMatrixTest, DeterministicGivenSeed) {
+  auto a = SyntheticMatrixGenerator::GenerateIid(300, 5, 0.7, 0.3, 9);
+  auto b = SyntheticMatrixGenerator::GenerateIid(300, 5, 0.7, 0.3, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->gold, b->gold);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(a->matrix.At(i, j), b->matrix.At(i, j));
+    }
+  }
+}
+
+TEST(SyntheticMatrixTest, DifferentSeedsDiffer) {
+  auto a = SyntheticMatrixGenerator::GenerateIid(300, 5, 0.7, 0.3, 10);
+  auto b = SyntheticMatrixGenerator::GenerateIid(300, 5, 0.7, 0.3, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = a->gold != b->gold;
+  for (size_t i = 0; i < 300 && !any_diff; ++i) {
+    for (size_t j = 0; j < 5 && !any_diff; ++j) {
+      any_diff = a->matrix.At(i, j) != b->matrix.At(i, j);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticMatrixTest, AdversarialAccuracyBelowChance) {
+  auto data = SyntheticMatrixGenerator::Generate({10000, 0.5, 12},
+                                                 {{0.2, 0.8, -1, 1.0}});
+  ASSERT_TRUE(data.ok());
+  EXPECT_NEAR(data->matrix.EmpiricalAccuracy(0, data->gold), 0.2, 0.02);
+  EXPECT_LT(data->true_weights[0], 0.0);
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "text/dictionary_tagger.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+
+namespace snorkel {
+namespace {
+
+TEST(TokenizerTest, SplitsWordsAndPunctuation) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Magnesium causes quadriplegia.");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "magnesium");
+  EXPECT_EQ(tokens[2], "quadriplegia");
+  EXPECT_EQ(tokens[3], ".");
+}
+
+TEST(TokenizerTest, DetachesMultiplePunctuation) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("(aspirin), \"headache\"!");
+  // ( aspirin ) , " headache " !
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0], "(");
+  EXPECT_EQ(tokens[1], "aspirin");
+  EXPECT_EQ(tokens[2], ")");
+  EXPECT_EQ(tokens[3], ",");
+  EXPECT_EQ(tokens[7], "!");
+}
+
+TEST(TokenizerTest, KeepsInnerHyphenAndApostrophe) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("x-ray don't");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "x-ray");
+  EXPECT_EQ(tokens[1], "don't");
+}
+
+TEST(TokenizerTest, CasePreservingMode) {
+  Tokenizer tokenizer(Tokenizer::Options{.lowercase = false});
+  auto tokens = tokenizer.Tokenize("John married Mary");
+  EXPECT_EQ(tokens[0], "John");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("   \t\n ").empty());
+}
+
+TEST(SentenceSplitterTest, SplitsOnTerminators) {
+  SentenceSplitter splitter;
+  auto sentences = splitter.Split(
+      "Magnesium causes weakness. The patient recovered! Was it reported?");
+  ASSERT_EQ(sentences.size(), 3u);
+  EXPECT_EQ(sentences[0], "Magnesium causes weakness.");
+  EXPECT_EQ(sentences[1], "The patient recovered!");
+  EXPECT_EQ(sentences[2], "Was it reported?");
+}
+
+TEST(SentenceSplitterTest, GuardsAbbreviationsAndDecimals) {
+  SentenceSplitter splitter;
+  auto sentences =
+      splitter.Split("Dr. Smith measured 3.5 mg. The dose was low.");
+  ASSERT_EQ(sentences.size(), 2u);
+  EXPECT_EQ(sentences[0], "Dr. Smith measured 3.5 mg.");
+}
+
+TEST(SentenceSplitterTest, SingleSentenceWithoutTerminator) {
+  SentenceSplitter splitter;
+  auto sentences = splitter.Split("no terminator here");
+  ASSERT_EQ(sentences.size(), 1u);
+  EXPECT_EQ(sentences[0], "no terminator here");
+}
+
+TEST(StemmerTest, VerbFormsCollapse) {
+  EXPECT_EQ(Stemmer::Stem("causes"), "cause");
+  EXPECT_EQ(Stemmer::Stem("caused"), "cause");
+  EXPECT_EQ(Stemmer::Stem("causing"), "cause");
+  EXPECT_EQ(Stemmer::Stem("cause"), "cause");
+}
+
+TEST(StemmerTest, PluralForms) {
+  EXPECT_EQ(Stemmer::Stem("diseases"), "disease");
+  EXPECT_EQ(Stemmer::Stem("studies"), "study");
+  EXPECT_EQ(Stemmer::Stem("classes"), "class");  // sses -> ss rule.
+}
+
+TEST(StemmerTest, DoubleConsonantUndoubling) {
+  EXPECT_EQ(Stemmer::Stem("stopped"), "stop");
+  EXPECT_EQ(Stemmer::Stem("stopping"), "stop");
+}
+
+TEST(StemmerTest, ShortWordsUntouched) {
+  EXPECT_EQ(Stemmer::Stem("is"), "is");
+  EXPECT_EQ(Stemmer::Stem("was"), "was");
+  EXPECT_EQ(Stemmer::Stem("gas"), "gas");
+}
+
+TEST(StemmerTest, InducedAndInduces) {
+  EXPECT_EQ(Stemmer::Stem("induces"), Stemmer::Stem("induced"));
+}
+
+TEST(DictionaryTaggerTest, TagsSingleWordEntities) {
+  DictionaryTagger tagger;
+  tagger.AddEntry("magnesium", "chemical", "C_mg");
+  Sentence s;
+  s.words = {"patient", "took", "magnesium", "daily"};
+  tagger.TagSentence(&s);
+  ASSERT_EQ(s.mentions.size(), 1u);
+  EXPECT_EQ(s.mentions[0].word_start, 2u);
+  EXPECT_EQ(s.mentions[0].word_end, 3u);
+  EXPECT_EQ(s.mentions[0].entity_type, "chemical");
+  EXPECT_EQ(s.mentions[0].canonical_id, "C_mg");
+}
+
+TEST(DictionaryTaggerTest, LongestMatchWins) {
+  DictionaryTagger tagger;
+  tagger.AddEntry("myasthenia", "disease", "D_short");
+  tagger.AddEntry("myasthenia gravis", "disease", "D_long");
+  Sentence s;
+  s.words = {"diagnosed", "with", "myasthenia", "gravis", "today"};
+  tagger.TagSentence(&s);
+  ASSERT_EQ(s.mentions.size(), 1u);
+  EXPECT_EQ(s.mentions[0].canonical_id, "D_long");
+  EXPECT_EQ(s.mentions[0].word_end, 4u);
+}
+
+TEST(DictionaryTaggerTest, CaseInsensitiveMatching) {
+  DictionaryTagger tagger;
+  tagger.AddEntry("Aspirin", "chemical", "C_asp");
+  Sentence s;
+  s.words = {"ASPIRIN", "helps"};
+  tagger.TagSentence(&s);
+  ASSERT_EQ(s.mentions.size(), 1u);
+}
+
+TEST(DictionaryTaggerTest, PreservesExistingMentions) {
+  DictionaryTagger tagger;
+  tagger.AddEntry("magnesium", "chemical", "C_mg");
+  Sentence s;
+  s.words = {"magnesium", "level"};
+  s.mentions = {Mention{0, 1, "custom", "X"}};
+  tagger.TagSentence(&s);
+  ASSERT_EQ(s.mentions.size(), 1u);  // No double tag over covered words.
+  EXPECT_EQ(s.mentions[0].entity_type, "custom");
+}
+
+TEST(DictionaryTaggerTest, MentionsSortedByPosition) {
+  DictionaryTagger tagger;
+  tagger.AddEntry("aspirin", "chemical", "C_asp");
+  tagger.AddEntry("headache", "disease", "D_ha");
+  Sentence s;
+  s.words = {"headache", "treated", "with", "aspirin"};
+  tagger.TagSentence(&s);
+  ASSERT_EQ(s.mentions.size(), 2u);
+  EXPECT_LT(s.mentions[0].word_start, s.mentions[1].word_start);
+}
+
+TEST(DictionaryTaggerTest, TagCorpusTouchesAllSentences) {
+  DictionaryTagger tagger;
+  tagger.AddEntry("aspirin", "chemical", "C_asp");
+  Corpus corpus;
+  Document doc;
+  Sentence s1;
+  s1.words = {"aspirin", "works"};
+  Sentence s2;
+  s2.words = {"more", "aspirin"};
+  doc.sentences = {s1, s2};
+  corpus.AddDocument(std::move(doc));
+  tagger.TagCorpus(&corpus);
+  EXPECT_EQ(corpus.NumMentions(), 2u);
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/adam.h"
+#include "util/hash.h"
+#include "util/math_util.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace snorkel {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllFactoryMethodsProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(3), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(3), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Status FailsThrough() {
+  SNORKEL_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------ Math --
+
+TEST(MathTest, SigmoidBasics) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1.0) + Sigmoid(-1.0), 1.0, 1e-12);
+}
+
+TEST(MathTest, SigmoidNoOverflowAtExtremes) {
+  EXPECT_TRUE(std::isfinite(Sigmoid(1e6)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1e6)));
+}
+
+TEST(MathTest, LogAddExp) {
+  EXPECT_NEAR(LogAddExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAddExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogAddExp(-1000.0, 0.0), 0.0, 1e-9);
+}
+
+TEST(MathTest, LogSumExpMatchesDirectForSmallValues) {
+  std::vector<double> v = {0.1, 0.2, 0.3};
+  double direct = std::log(std::exp(0.1) + std::exp(0.2) + std::exp(0.3));
+  EXPECT_NEAR(LogSumExp(v), direct, 1e-12);
+}
+
+TEST(MathTest, SoftmaxSumsToOneAndIsShiftInvariant) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1001.0, 1002.0, 1003.0};
+  SoftmaxInPlace(&a);
+  SoftmaxInPlace(&b);
+  double sum = a[0] + a[1] + a[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  EXPECT_LT(a[0], a[1]);
+  EXPECT_LT(a[1], a[2]);
+}
+
+TEST(MathTest, LogitInvertsSigmoid) {
+  for (double p : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(Sigmoid(Logit(p)), p, 1e-9);
+  }
+}
+
+TEST(MathTest, LogitClipsBoundaries) {
+  EXPECT_TRUE(std::isfinite(Logit(0.0)));
+  EXPECT_TRUE(std::isfinite(Logit(1.0)));
+}
+
+TEST(MathTest, SoftThreshold) {
+  EXPECT_DOUBLE_EQ(SoftThreshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-0.5, 1.0), 0.0);
+}
+
+TEST(MathTest, MeanVarianceDotAxpyNorm) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(Variance(v), 5.0 / 3.0, 1e-12);
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {2.0, 5.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 2.0);
+  Axpy(2.0, a, &b);
+  EXPECT_DOUBLE_EQ(b[0], 4.0);
+  EXPECT_DOUBLE_EQ(b[1], 5.0);
+  EXPECT_DOUBLE_EQ(Norm2(std::vector<double>{3.0, 4.0}), 5.0);
+}
+
+TEST(MathTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+// ---------------------------------------------------------------- Random --
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(3);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(4);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    size_t c = rng.Categorical(w);
+    ASSERT_LT(c, 2u);
+    ones += c == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(6);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::multiset<int> ms(v.begin(), v.end());
+  EXPECT_EQ(ms, (std::multiset<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.Fork();
+  // The child stream should not be identical to a fresh parent-seeded one.
+  Rng b(7);
+  (void)b.Uniform();  // Advance once as Fork() did.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ---------------------------------------------------------------- String --
+
+TEST(StringTest, SplitBasic) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+}
+
+TEST(StringTest, SplitEmptyInput) {
+  auto pieces = Split("", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "");
+}
+
+TEST(StringTest, SplitWhitespaceDiscardsEmpties) {
+  auto pieces = SplitWhitespace("  hello   world \t x\n");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "hello");
+  EXPECT_EQ(pieces[2], "x");
+}
+
+TEST(StringTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringTest, ToLowerAndTrimAndContains) {
+  EXPECT_EQ(ToLower("AbC9!"), "abc9!");
+  EXPECT_EQ(Trim("  x y \n"), "x y");
+  EXPECT_TRUE(Contains("magnesium causes paralysis", "causes"));
+  EXPECT_FALSE(Contains("abc", "z"));
+}
+
+TEST(StringTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, Fnv1aIsStableAndDistinguishes) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ----------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+// -------------------------------------------------------- TablePrinter --
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Task", "F1"});
+  table.AddRow({"Chem", "17.6"});
+  table.AddRow({"Radiology", "72.0"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("Task"), std::string::npos);
+  EXPECT_NE(out.find("Radiology | 72.0"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"x"});
+  EXPECT_NO_FATAL_FAILURE(table.ToString());
+}
+
+TEST(TablePrinterTest, CellFormatters) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 1), "3.1");
+  EXPECT_EQ(TablePrinter::Cell(static_cast<int64_t>(42)), "42");
+}
+
+// ------------------------------------------------------------------ Adam --
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2 + (y + 1)^2.
+  std::vector<double> params = {0.0, 0.0};
+  AdamOptimizer adam(2, {.learning_rate = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> grads = {2.0 * (params[0] - 3.0),
+                                 2.0 * (params[1] + 1.0)};
+    adam.Step(&params, grads);
+  }
+  EXPECT_NEAR(params[0], 3.0, 1e-3);
+  EXPECT_NEAR(params[1], -1.0, 1e-3);
+}
+
+TEST(AdamTest, ResetClearsState) {
+  std::vector<double> params = {0.0};
+  AdamOptimizer adam(1, {.learning_rate = 0.5});
+  adam.Step(&params, {1.0});
+  double after_one = params[0];
+  adam.Reset();
+  params[0] = 0.0;
+  adam.Step(&params, {1.0});
+  EXPECT_DOUBLE_EQ(params[0], after_one);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, MeasuresNonNegativeTime) {
+  WallTimer timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  timer.Restart();
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace snorkel
