@@ -26,6 +26,44 @@ struct GibbsChain {
 GenerativeModel::GenerativeModel(GenerativeModelOptions options)
     : options_(options) {}
 
+Status GenerativeModel::RestoreWeights(
+    size_t num_lfs, std::vector<double> acc_weights,
+    std::vector<double> lab_weights, std::vector<double> corr_weights,
+    std::vector<CorrelationPair> correlations) {
+  if (num_lfs == 0) {
+    return Status::InvalidArgument("cannot restore a model over zero LFs");
+  }
+  if (acc_weights.size() != num_lfs || lab_weights.size() != num_lfs) {
+    return Status::InvalidArgument(
+        "accuracy/propensity weight count does not match num_lfs");
+  }
+  if (corr_weights.size() != correlations.size()) {
+    return Status::InvalidArgument(
+        "correlation weight count does not match correlation pair count");
+  }
+  // Require the exact invariant Fit establishes — normalized pairs, sorted,
+  // no duplicates — so a restored model is always a state Fit could have
+  // produced (a duplicated pair would double-count its correlation factor).
+  for (size_t i = 0; i < correlations.size(); ++i) {
+    const CorrelationPair& pair = correlations[i];
+    if (pair.j >= pair.k || pair.k >= num_lfs) {
+      return Status::InvalidArgument(
+          "restored correlation pair is not normalized or out of range");
+    }
+    if (i > 0 && !(correlations[i - 1] < pair)) {
+      return Status::InvalidArgument(
+          "restored correlation set is not sorted and duplicate-free");
+    }
+  }
+  num_lfs_ = num_lfs;
+  acc_weights_ = std::move(acc_weights);
+  lab_weights_ = std::move(lab_weights);
+  corr_weights_ = std::move(corr_weights);
+  correlations_ = std::move(correlations);
+  is_fit_ = true;
+  return Status::OK();
+}
+
 Status GenerativeModel::Fit(const LabelMatrix& matrix,
                             const std::vector<CorrelationPair>& correlations) {
   if (matrix.cardinality() != 2) {

@@ -103,6 +103,22 @@ class GenerativeModel {
 
   bool is_fit() const { return is_fit_; }
 
+  /// Restores a fitted model from serialized weights (the snapshot-store
+  /// hook, serve/snapshot.h): validates shapes, requires the correlation
+  /// set in Fit's normalized form (j < k, sorted, duplicate-free), and
+  /// marks the model fit. Posteriors computed after a restore are
+  /// bitwise-identical to the model that produced the weights.
+  Status RestoreWeights(size_t num_lfs, std::vector<double> acc_weights,
+                        std::vector<double> lab_weights,
+                        std::vector<double> corr_weights,
+                        std::vector<CorrelationPair> correlations);
+
+  /// Number of labeling functions the model was fit (or restored) over.
+  size_t num_lfs() const { return num_lfs_; }
+
+  /// The class-balance prior applied at prediction time.
+  double class_balance() const { return options_.class_balance; }
+
   /// Posterior p(y = +1 | Λ_i) for every row. With `apply_class_balance`
   /// (default) the class-balance prior enters as a log-odds shift and rows
   /// with no votes get the prior; without it the posterior is the paper's

@@ -31,6 +31,17 @@ LogisticRegressionClassifier::LogisticRegressionClassifier(
     DiscModelOptions options)
     : options_(options) {}
 
+Status LogisticRegressionClassifier::Restore(std::vector<double> weights,
+                                             double bias) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("cannot restore a zero-bucket classifier");
+  }
+  weights_ = std::move(weights);
+  bias_ = bias;
+  is_fit_ = true;
+  return Status::OK();
+}
+
 Status LogisticRegressionClassifier::Fit(
     const std::vector<FeatureVector>& features, size_t num_buckets,
     const std::vector<double>& soft_labels,

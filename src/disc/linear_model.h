@@ -58,6 +58,15 @@ class LogisticRegressionClassifier {
 
   double Score(const FeatureVector& features) const;
 
+  /// Learned per-bucket weights (size = num_buckets after Fit/Restore).
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  /// Restores a fitted classifier from serialized weights (the snapshot
+  /// hook, serve/snapshot.h). `weights.size()` must equal the feature
+  /// hasher's bucket count used at training time.
+  Status Restore(std::vector<double> weights, double bias);
+
  private:
   DiscModelOptions options_;
   bool is_fit_ = false;

@@ -30,6 +30,31 @@ bool AnyKeyword(const std::vector<std::string>& words,
   return false;
 }
 
+/// Deterministic encoding of a factory's parameters, hashed (with the LF
+/// name) into the behaviour fingerprint. Any parameter change then changes
+/// the fingerprint, so the incremental applier's column cache and the
+/// snapshot compatibility check observe declarative LF edits with no manual
+/// version bump. Custom callables stay opaque — callers wrapping arbitrary
+/// code use the (name, version, fn) constructor and bump the version
+/// themselves.
+std::string Params(std::initializer_list<std::string> parts) {
+  std::string tag;
+  for (const auto& part : parts) {
+    tag += part;
+    tag += '\x1f';  // Unit separator: parts never contain it.
+  }
+  return tag;
+}
+
+std::string JoinKeywords(const std::vector<std::string>& keywords) {
+  std::string joined;
+  for (const auto& kw : keywords) {
+    joined += kw;
+    joined += '\x1e';
+  }
+  return joined;
+}
+
 }  // namespace
 
 LabelingFunction MakeKeywordBetweenLF(std::string name,
@@ -37,8 +62,10 @@ LabelingFunction MakeKeywordBetweenLF(std::string name,
                                       Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
   return LabelingFunction(
-      std::move(name), [set = std::move(set), label, stem](
-                           const CandidateView& view) -> Label {
+      std::move(name),
+      Params({"kw_between", JoinKeywords(keywords), std::to_string(label),
+              std::to_string(stem)}),
+      [set = std::move(set), label, stem](const CandidateView& view) -> Label {
         return AnyKeyword(view.WordsBetween(), set, stem) ? label : kAbstain;
       });
 }
@@ -50,6 +77,8 @@ LabelingFunction MakeDirectionalKeywordLF(std::string name,
   auto set = BuildKeywordSet(keywords, stem);
   return LabelingFunction(
       std::move(name),
+      Params({"dir_kw", JoinKeywords(keywords), std::to_string(label_forward),
+              std::to_string(label_reverse), std::to_string(stem)}),
       [set = std::move(set), label_forward, label_reverse,
        stem](const CandidateView& view) -> Label {
         if (!AnyKeyword(view.WordsBetween(), set, stem)) return kAbstain;
@@ -62,7 +91,8 @@ LabelingFunction MakeRegexBetweenLF(std::string name, const std::string& regex,
   auto pattern = std::make_shared<std::regex>(
       regex, std::regex::ECMAScript | std::regex::icase);
   return LabelingFunction(
-      std::move(name), [pattern, label](const CandidateView& view) -> Label {
+      std::move(name), Params({"regex_between", regex, std::to_string(label)}),
+      [pattern, label](const CandidateView& view) -> Label {
         return std::regex_search(view.TextBetween(), *pattern) ? label
                                                                : kAbstain;
       });
@@ -73,8 +103,11 @@ LabelingFunction MakeContextKeywordLF(std::string name,
                                       size_t window, Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
   return LabelingFunction(
-      std::move(name), [set = std::move(set), window, label,
-                        stem](const CandidateView& view) -> Label {
+      std::move(name),
+      Params({"ctx_kw", JoinKeywords(keywords), std::to_string(window),
+              std::to_string(label), std::to_string(stem)}),
+      [set = std::move(set), window, label,
+       stem](const CandidateView& view) -> Label {
         if (AnyKeyword(view.WordsLeftOfFirst(window), set, stem) ||
             AnyKeyword(view.WordsRightOfSecond(window), set, stem)) {
           return label;
@@ -86,7 +119,9 @@ LabelingFunction MakeContextKeywordLF(std::string name,
 LabelingFunction MakeDistanceLF(std::string name, size_t max_tokens,
                                 Label label) {
   return LabelingFunction(
-      std::move(name), [max_tokens, label](const CandidateView& view) -> Label {
+      std::move(name),
+      Params({"distance", std::to_string(max_tokens), std::to_string(label)}),
+      [max_tokens, label](const CandidateView& view) -> Label {
         return view.TokenDistance() > max_tokens ? label : kAbstain;
       });
 }
@@ -96,8 +131,11 @@ LabelingFunction MakeSentenceKeywordLF(std::string name,
                                        Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
   return LabelingFunction(
-      std::move(name), [set = std::move(set), label,
-                        stem](const CandidateView& view) -> Label {
+      std::move(name),
+      Params({"sent_kw", JoinKeywords(keywords), std::to_string(label),
+              std::to_string(stem)}),
+      [set = std::move(set), label,
+       stem](const CandidateView& view) -> Label {
         return AnyKeyword(view.sentence().words, set, stem) ? label : kAbstain;
       });
 }
@@ -107,8 +145,11 @@ LabelingFunction MakeDocumentKeywordLF(std::string name,
                                        Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
   return LabelingFunction(
-      std::move(name), [set = std::move(set), label,
-                        stem](const CandidateView& view) -> Label {
+      std::move(name),
+      Params({"doc_kw", JoinKeywords(keywords), std::to_string(label),
+              std::to_string(stem)}),
+      [set = std::move(set), label,
+       stem](const CandidateView& view) -> Label {
         const Document& doc =
             view.corpus().document(view.candidate().span1.doc);
         for (const Sentence& sentence : doc.sentences) {
@@ -121,9 +162,15 @@ LabelingFunction MakeDocumentKeywordLF(std::string name,
 LabelingFunction MakeOntologyLF(std::string name, const KnowledgeBase* kb,
                                 std::string subset, Label label,
                                 bool symmetric) {
+  // The subset's size stands in for the KB contents (hashing every pair on
+  // each construction would be O(|KB|)); mutating the KB in place after
+  // building the LF is not observed — rebuild the LF set instead.
   return LabelingFunction(
-      std::move(name), [kb, subset = std::move(subset), label,
-                        symmetric](const CandidateView& view) -> Label {
+      std::move(name),
+      Params({"ontology", subset, std::to_string(label),
+              std::to_string(symmetric), std::to_string(kb->SubsetSize(subset))}),
+      [kb, subset = std::move(subset), label,
+       symmetric](const CandidateView& view) -> Label {
         const std::string& id1 = view.candidate().span1.canonical_id;
         const std::string& id2 = view.candidate().span2.canonical_id;
         if (kb->Contains(subset, id1, id2)) return label;
@@ -147,9 +194,13 @@ std::vector<LabelingFunction> MakeOntologyLFs(
 LabelingFunction MakeWeakClassifierLF(
     std::string name, std::function<double(const CandidateView&)> score,
     double lower, double upper) {
+  // The scoring callable is opaque; only the thresholds enter the
+  // fingerprint. Version the name when the underlying classifier changes.
   return LabelingFunction(
-      std::move(name), [score = std::move(score), lower,
-                        upper](const CandidateView& view) -> Label {
+      std::move(name),
+      Params({"weak_clf", std::to_string(lower), std::to_string(upper)}),
+      [score = std::move(score), lower,
+       upper](const CandidateView& view) -> Label {
         double p = score(view);
         if (p > upper) return 1;
         if (p < lower) return -1;
@@ -159,8 +210,17 @@ LabelingFunction MakeWeakClassifierLF(
 
 LabelingFunction MakeCrowdWorkerLF(std::string name,
                                    std::map<size_t, Label> votes) {
+  // The vote table IS the behaviour; fold it in (std::map iterates in key
+  // order, so the encoding is deterministic).
+  std::string vote_tag = "crowd";
+  for (const auto& [index, label] : votes) {
+    vote_tag += '\x1f';
+    vote_tag += std::to_string(index);
+    vote_tag += ':';
+    vote_tag += std::to_string(label);
+  }
   return LabelingFunction(
-      std::move(name),
+      std::move(name), std::move(vote_tag),
       [votes = std::move(votes)](const CandidateView& view) -> Label {
         auto it = votes.find(view.index());
         return it == votes.end() ? kAbstain : it->second;
@@ -182,8 +242,11 @@ std::vector<LabelingFunction> MakeCrowdWorkerLFs(
 LabelingFunction MakeGuardedLF(
     std::string name, LabelingFunction lf,
     std::function<bool(const CandidateView&)> guard) {
+  // The guard callable is opaque; the wrapped LF's fingerprint is folded
+  // in so edits to it propagate through the combinator.
+  std::string tag = Params({"guarded", std::to_string(lf.fingerprint())});
   return LabelingFunction(
-      std::move(name),
+      std::move(name), std::move(tag),
       [lf = std::move(lf), guard = std::move(guard)](
           const CandidateView& view) -> Label {
         return guard(view) ? lf.Apply(view) : kAbstain;
@@ -192,8 +255,13 @@ LabelingFunction MakeGuardedLF(
 
 LabelingFunction MakeFirstVoteLF(std::string name,
                                  std::vector<LabelingFunction> lfs) {
+  std::string tag = "first_vote";
+  for (const auto& lf : lfs) {
+    tag += '\x1f';
+    tag += std::to_string(lf.fingerprint());
+  }
   return LabelingFunction(
-      std::move(name),
+      std::move(name), std::move(tag),
       [lfs = std::move(lfs)](const CandidateView& view) -> Label {
         for (const auto& lf : lfs) {
           Label vote = lf.Apply(view);

@@ -1,6 +1,19 @@
 #include "lf/labeling_function.h"
 
+#include "util/hash.h"
+
 namespace snorkel {
+
+LabelingFunction::LabelingFunction(std::string name, Fn fn)
+    : name_(std::move(name)),
+      fingerprint_(Fnv1a64(name_)),
+      fn_(std::move(fn)) {}
+
+LabelingFunction::LabelingFunction(std::string name, std::string version,
+                                   Fn fn)
+    : name_(std::move(name)),
+      fingerprint_(HashCombine(Fnv1a64(name_), Fnv1a64(version))),
+      fn_(std::move(fn)) {}
 
 size_t LabelingFunctionSet::Add(LabelingFunction lf) {
   lfs_.push_back(std::move(lf));
@@ -16,6 +29,13 @@ std::vector<std::string> LabelingFunctionSet::Names() const {
   names.reserve(lfs_.size());
   for (const auto& lf : lfs_) names.push_back(lf.name());
   return names;
+}
+
+std::vector<uint64_t> LabelingFunctionSet::Fingerprints() const {
+  std::vector<uint64_t> fps;
+  fps.reserve(lfs_.size());
+  for (const auto& lf : lfs_) fps.push_back(lf.fingerprint());
+  return fps;
 }
 
 }  // namespace snorkel

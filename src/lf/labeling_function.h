@@ -22,16 +22,27 @@ class LabelingFunction {
  public:
   using Fn = std::function<Label(const CandidateView&)>;
 
-  LabelingFunction(std::string name, Fn fn)
-      : name_(std::move(name)), fn_(std::move(fn)) {}
+  LabelingFunction(std::string name, Fn fn);
+
+  /// Constructs an LF with an explicit version tag. The fingerprint hashes
+  /// (name, version); bump the version whenever the function's *behaviour*
+  /// changes so caches keyed on the fingerprint (serve/incremental_applier.h)
+  /// invalidate exactly that column.
+  LabelingFunction(std::string name, std::string version, Fn fn);
 
   const std::string& name() const { return name_; }
+
+  /// Behaviour identity of this LF: hash of (name, version). Two LFs with
+  /// equal fingerprints are assumed to label identically — the contract the
+  /// incremental applier and snapshot compatibility checks rely on.
+  uint64_t fingerprint() const { return fingerprint_; }
 
   /// Applies the LF to one candidate.
   Label Apply(const CandidateView& view) const { return fn_(view); }
 
  private:
   std::string name_;
+  uint64_t fingerprint_ = 0;
   Fn fn_;
 };
 
@@ -53,6 +64,9 @@ class LabelingFunctionSet {
 
   /// LF names in column order (for analysis tables).
   std::vector<std::string> Names() const;
+
+  /// LF fingerprints in column order (for caches and snapshot metadata).
+  std::vector<uint64_t> Fingerprints() const;
 
  private:
   std::vector<LabelingFunction> lfs_;

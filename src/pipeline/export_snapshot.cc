@@ -1,0 +1,85 @@
+#include "pipeline/export_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snorkel {
+
+Result<ModelSnapshot> TrainSnapshot(const RelationTask& task,
+                                    const ExportSnapshotOptions& options) {
+  // ---- Apply LFs (Figure 2, step 2). ----
+  LFApplier applier(LFApplier::Options{options.num_threads, 2});
+  auto matrix_result = applier.Apply(task.lfs, task.corpus, task.candidates);
+  if (!matrix_result.ok()) return matrix_result.status();
+  LabelMatrix matrix = std::move(matrix_result).value();
+  LabelMatrix train_matrix = matrix.SelectRows(task.train_idx);
+
+  // Class balance from the labeled dev split, as in RunRelationPipeline.
+  double pos = 0.0;
+  for (size_t i : task.dev_idx) pos += task.gold[i] > 0 ? 1.0 : 0.0;
+  double class_balance =
+      task.dev_idx.empty()
+          ? 0.5
+          : std::clamp(pos / static_cast<double>(task.dev_idx.size()), 0.02,
+                       0.98);
+
+  // ---- Model the label sources. ----
+  std::vector<CorrelationPair> correlations;
+  if (options.use_optimizer) {
+    ModelingStrategyOptimizer optimizer(options.optimizer);
+    auto decision = optimizer.Choose(train_matrix);
+    if (!decision.ok()) return decision.status();
+    // A snapshot always embeds a generative model: when Algorithm 1 picks
+    // majority vote the independent GM is its learned-weight analog, so we
+    // keep only the correlation decision.
+    if (decision->strategy == ModelingStrategy::kGenerativeModel) {
+      correlations = decision->correlations;
+    }
+  }
+  GenerativeModelOptions gen_options = options.gen;
+  gen_options.class_balance = class_balance;
+  GenerativeModel gen(gen_options);
+  SNORKEL_RETURN_IF_ERROR(gen.Fit(train_matrix, correlations));
+
+  auto snapshot_result =
+      ModelSnapshot::Capture(gen, task.lfs.Names(), task.lfs.Fingerprints());
+  if (!snapshot_result.ok()) return snapshot_result.status();
+  ModelSnapshot snapshot = std::move(snapshot_result).value();
+
+  // ---- Noise-aware discriminative model on the probabilistic labels. ----
+  if (options.include_disc_model) {
+    TextFeaturizer featurizer(options.features);
+    std::vector<double> train_probs =
+        gen.PredictProba(train_matrix, /*apply_class_balance=*/false);
+    std::vector<FeatureVector> features;
+    std::vector<double> soft_labels;
+    constexpr double kNeutralBand = 0.02;
+    for (size_t r = 0; r < task.train_idx.size(); ++r) {
+      if (train_matrix.row(r).empty()) continue;
+      if (std::fabs(train_probs[r] - 0.5) <= kNeutralBand) continue;
+      size_t i = task.train_idx[r];
+      CandidateView view(&task.corpus, &task.candidates[i], i);
+      features.push_back(featurizer.Featurize(view));
+      soft_labels.push_back(train_probs[r]);
+    }
+    if (features.empty()) {
+      return Status::FailedPrecondition("no covered training candidates");
+    }
+    LogisticRegressionClassifier disc(options.disc);
+    SNORKEL_RETURN_IF_ERROR(
+        disc.Fit(features, featurizer.num_buckets(), soft_labels));
+    SNORKEL_RETURN_IF_ERROR(
+        snapshot.AttachDiscModel(disc, featurizer.num_buckets()));
+  }
+  return snapshot;
+}
+
+Status ExportSnapshot(const RelationTask& task,
+                      const ExportSnapshotOptions& options,
+                      const std::string& path) {
+  auto snapshot = TrainSnapshot(task, options);
+  if (!snapshot.ok()) return snapshot.status();
+  return SaveSnapshot(*snapshot, path);
+}
+
+}  // namespace snorkel

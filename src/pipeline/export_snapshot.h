@@ -1,0 +1,42 @@
+#ifndef SNORKEL_PIPELINE_EXPORT_SNAPSHOT_H_
+#define SNORKEL_PIPELINE_EXPORT_SNAPSHOT_H_
+
+#include <string>
+
+#include "pipeline/pipeline.h"
+#include "serve/snapshot.h"
+#include "synth/relation_task.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// The pipeline step that turns one Figure 2 training run into a servable
+/// artifact: apply LFs on the train split, estimate class balance from dev,
+/// fit the generative model (with the optimizer's correlation structure when
+/// enabled), optionally fit the noise-aware discriminative model on the
+/// resulting probabilistic labels, and capture everything in a
+/// ModelSnapshot for serve/label_service.h.
+struct ExportSnapshotOptions {
+  GenerativeModelOptions gen;
+  DiscModelOptions disc;
+  TextFeaturizer::Options features;
+  /// Run Algorithm 1 and honor its learned correlation set.
+  bool use_optimizer = false;
+  OptimizerOptions optimizer;
+  /// Also train and embed the discriminative model.
+  bool include_disc_model = true;
+  size_t num_threads = 0;
+};
+
+/// Trains on `task` and returns the servable snapshot (in memory).
+Result<ModelSnapshot> TrainSnapshot(const RelationTask& task,
+                                    const ExportSnapshotOptions& options);
+
+/// TrainSnapshot + SaveSnapshot(path).
+Status ExportSnapshot(const RelationTask& task,
+                      const ExportSnapshotOptions& options,
+                      const std::string& path);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_PIPELINE_EXPORT_SNAPSHOT_H_

@@ -1,0 +1,172 @@
+#include "serve/incremental_applier.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace snorkel {
+
+namespace {
+
+uint64_t HashSpan(uint64_t h, const Span& span) {
+  h = HashCombine(h, (static_cast<uint64_t>(span.doc) << 32) | span.sentence);
+  h = HashCombine(
+      h, (static_cast<uint64_t>(span.word_start) << 32) | span.word_end);
+  h = HashCombine(h, Fnv1a64(span.entity_type));
+  h = HashCombine(h, Fnv1a64(span.canonical_id));
+  return h;
+}
+
+bool VoteValidFor(Label label, int cardinality) {
+  if (label == kAbstain) return true;
+  if (cardinality == 2) return label == 1 || label == -1;
+  return label >= 1 && label <= cardinality;
+}
+
+}  // namespace
+
+uint64_t FingerprintCandidates(const std::vector<Candidate>& candidates) {
+  uint64_t h = Fnv1a64("candidates");
+  h = HashCombine(h, candidates.size());
+  for (const Candidate& c : candidates) {
+    h = HashSpan(h, c.span1);
+    h = HashSpan(h, c.span2);
+  }
+  return h;
+}
+
+IncrementalApplier::IncrementalApplier(Options options) : options_(options) {}
+
+void IncrementalApplier::InvalidateAll() {
+  cache_.clear();
+  candidate_fingerprint_ = 0;
+  candidate_count_ = 0;
+}
+
+void IncrementalApplier::Invalidate(uint64_t fingerprint) {
+  cache_.erase(fingerprint);
+}
+
+Result<LabelMatrix> IncrementalApplier::Apply(
+    const LabelingFunctionSet& lfs, const Corpus& corpus,
+    const std::vector<Candidate>& candidates) {
+  size_t m = candidates.size();
+  size_t n = lfs.size();
+  ++use_counter_;
+
+  // A different candidate set invalidates every cached column: the cache key
+  // is (LF fingerprint, candidate-set fingerprint) with the second component
+  // held globally.
+  uint64_t cand_fp = FingerprintCandidates(candidates);
+  if (cand_fp != candidate_fingerprint_ || m != candidate_count_) {
+    if (!cache_.empty()) ++stats_.candidate_set_changes;
+    cache_.clear();
+    candidate_fingerprint_ = cand_fp;
+    candidate_count_ = m;
+  }
+
+  // Partition columns into cache hits and misses. Duplicate fingerprints in
+  // one LF set share a single computed column.
+  std::vector<size_t> miss;
+  std::unordered_set<uint64_t> scheduled;
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t fp = lfs.at(j).fingerprint();
+    auto it = cache_.find(fp);
+    if (it != cache_.end()) {
+      it->second.last_used = use_counter_;
+      ++stats_.columns_reused;
+    } else if (scheduled.insert(fp).second) {
+      miss.push_back(j);
+    }
+  }
+
+  // Recompute missing columns, sharded over candidates like LFApplier. An
+  // out-of-range vote is recorded (first one wins) and fails the whole call
+  // without polluting the cache.
+  std::vector<std::vector<Label>> fresh(miss.size(),
+                                        std::vector<Label>(m, kAbstain));
+  std::atomic<bool> has_error{false};
+  std::atomic<size_t> error_col{0};
+  std::atomic<Label> error_label{0};
+  auto label_one = [&](size_t i) {
+    CandidateView view(&corpus, &candidates[i], i);
+    for (size_t c = 0; c < miss.size(); ++c) {
+      Label label = lfs.at(miss[c]).Apply(view);
+      if (!VoteValidFor(label, options_.cardinality)) {
+        bool expected = false;
+        if (has_error.compare_exchange_strong(expected, true)) {
+          error_col.store(miss[c]);
+          error_label.store(label);
+        }
+        return;
+      }
+      fresh[c][i] = label;
+    }
+  };
+  if (!miss.empty()) {
+    if (options_.num_threads == 1 || m < 64) {
+      for (size_t i = 0; i < m; ++i) label_one(i);
+    } else {
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+      }
+      pool_->ParallelFor(0, m, label_one);
+    }
+    stats_.columns_computed += miss.size();
+  }
+  if (has_error.load()) {
+    return Status::InvalidArgument(
+        "LF '" + lfs.at(error_col.load()).name() + "' voted " +
+        std::to_string(error_label.load()) + ", invalid for cardinality " +
+        std::to_string(options_.cardinality));
+  }
+
+  // Commit fresh columns, then assemble Λ from the (now stable) cache.
+  for (size_t c = 0; c < miss.size(); ++c) {
+    CachedColumn column;
+    column.labels = std::move(fresh[c]);
+    column.last_used = use_counter_;
+    cache_[lfs.at(miss[c]).fingerprint()] = std::move(column);
+  }
+  EvictIfNeeded();
+
+  std::vector<std::tuple<size_t, size_t, Label>> triplets;
+  for (size_t j = 0; j < n; ++j) {
+    auto it = cache_.find(lfs.at(j).fingerprint());
+    if (it == cache_.end()) {
+      // Evicted between commit and assembly only if max_cached_columns < n;
+      // treat as an explicit misconfiguration rather than recomputing.
+      return Status::FailedPrecondition(
+          "max_cached_columns smaller than the LF set; raise the cap");
+    }
+    const std::vector<Label>& column = it->second.labels;
+    for (size_t i = 0; i < m; ++i) {
+      if (column[i] != kAbstain) triplets.emplace_back(i, j, column[i]);
+    }
+  }
+  return LabelMatrix::FromTriplets(m, n, triplets, options_.cardinality);
+}
+
+void IncrementalApplier::EvictIfNeeded() {
+  while (cache_.size() > options_.max_cached_columns) {
+    auto victim = cache_.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      // Never evict columns touched by the in-flight Apply.
+      if (it->second.last_used == use_counter_) continue;
+      if (it->second.last_used < oldest) {
+        oldest = it->second.last_used;
+        victim = it;
+      }
+    }
+    if (victim == cache_.end()) break;  // Everything is current.
+    cache_.erase(victim);
+  }
+}
+
+}  // namespace snorkel

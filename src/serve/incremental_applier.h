@@ -1,0 +1,97 @@
+#ifndef SNORKEL_SERVE_INCREMENTAL_APPLIER_H_
+#define SNORKEL_SERVE_INCREMENTAL_APPLIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/label_matrix.h"
+#include "data/candidate.h"
+#include "lf/labeling_function.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace snorkel {
+
+/// An LF-application cache for the rapid iteration loop of §4.1: users edit
+/// ONE labeling function at a time, yet a plain LFApplier re-runs all |LFs|
+/// functions over all n candidates. This applier memoizes each LF's dense
+/// label column keyed by (LF fingerprint, candidate-set fingerprint), so an
+/// edit to one LF re-computes only that column — O(n) instead of O(|LFs|·n)
+/// per iteration — while any change to the candidate set invalidates
+/// everything. Misses are recomputed over the thread pool with the same
+/// contiguous-range sharding as LFApplier.
+///
+/// Not thread-safe: one applier per serving thread / session (the service
+/// layer serializes access; see label_service.cc).
+class IncrementalApplier {
+ public:
+  struct Options {
+    /// Worker threads; 0 = hardware concurrency, 1 = serial.
+    size_t num_threads = 0;
+    /// Cardinality of the resulting matrix (2 = binary ±1).
+    int cardinality = 2;
+    /// Upper bound on cached columns; oldest-unused columns are evicted
+    /// beyond it (a serving process should not grow without bound as LFs
+    /// are iterated on).
+    size_t max_cached_columns = 1024;
+  };
+
+  struct Stats {
+    /// Columns answered from cache vs recomputed, cumulative.
+    uint64_t columns_reused = 0;
+    uint64_t columns_computed = 0;
+    /// Full invalidations due to a changed candidate set.
+    uint64_t candidate_set_changes = 0;
+  };
+
+  explicit IncrementalApplier(Options options);
+  IncrementalApplier() : IncrementalApplier(Options{}) {}
+
+  /// Produces Λ for (lfs, candidates), reusing cached columns when both the
+  /// LF fingerprint and the candidate set match the cached entry. Same
+  /// semantics as LFApplier::Apply: an out-of-range vote surfaces as
+  /// InvalidArgument and the offending column is not cached.
+  Result<LabelMatrix> Apply(const LabelingFunctionSet& lfs,
+                            const Corpus& corpus,
+                            const std::vector<Candidate>& candidates);
+
+  /// Drops every cached column (e.g. after mutating the corpus in place,
+  /// which the candidate fingerprint cannot observe).
+  void InvalidateAll();
+
+  /// Drops the cached column for one LF fingerprint (no-op when absent).
+  void Invalidate(uint64_t fingerprint);
+
+  const Stats& stats() const { return stats_; }
+  size_t cached_columns() const { return cache_.size(); }
+
+ private:
+  struct CachedColumn {
+    std::vector<Label> labels;  // Dense, length = num candidates.
+    uint64_t last_used = 0;     // For LRU eviction.
+  };
+
+  void EvictIfNeeded();
+
+  Options options_;
+  Stats stats_;
+  /// Fingerprint of the candidate set the cache is valid for.
+  uint64_t candidate_fingerprint_ = 0;
+  size_t candidate_count_ = 0;
+  uint64_t use_counter_ = 0;
+  std::unordered_map<uint64_t, CachedColumn> cache_;
+  /// Lazily created, persistent across Apply calls (serving amortizes
+  /// thread start-up, unlike the per-call pool in LFApplier).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Content fingerprint of a candidate set: hashes every span's coordinates.
+/// Two candidate vectors with equal fingerprints are assumed to denote the
+/// same rows in the same order.
+uint64_t FingerprintCandidates(const std::vector<Candidate>& candidates);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_SERVE_INCREMENTAL_APPLIER_H_

@@ -1,0 +1,142 @@
+#include "serve/label_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lf/applier.h"
+#include "util/timer.h"
+
+namespace snorkel {
+
+namespace {
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+LabelService::LabelService(GenerativeModel model, LabelingFunctionSet lfs,
+                           Options options)
+    : options_(options),
+      model_(std::move(model)),
+      lfs_(std::move(lfs)),
+      applier_(IncrementalApplier::Options{
+          .num_threads = options.num_threads,
+          .cardinality = 2,
+          .max_cached_columns = std::max<size_t>(1024, 4 * lfs_.size())}),
+      mu_(std::make_unique<std::mutex>()) {}
+
+Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
+                                          LabelingFunctionSet lfs,
+                                          Options options) {
+  if (snapshot.cardinality != 2) {
+    return Status::InvalidArgument(
+        "LabelService serves binary snapshots; got cardinality " +
+        std::to_string(snapshot.cardinality));
+  }
+  if (lfs.size() != snapshot.num_lfs()) {
+    return Status::InvalidArgument(
+        "LF set has " + std::to_string(lfs.size()) + " functions; snapshot " +
+        "was trained over " + std::to_string(snapshot.num_lfs()));
+  }
+  for (size_t j = 0; j < lfs.size(); ++j) {
+    if (lfs.at(j).name() != snapshot.lf_names[j]) {
+      return Status::InvalidArgument(
+          "LF column " + std::to_string(j) + " is '" + lfs.at(j).name() +
+          "' but the snapshot was trained with '" + snapshot.lf_names[j] +
+          "' there; columns must align with the learned weights");
+    }
+    if (lfs.at(j).fingerprint() != snapshot.lf_fingerprints[j]) {
+      return Status::InvalidArgument(
+          "LF '" + lfs.at(j).name() + "' has a different fingerprint than " +
+          "at training time; its behaviour changed, so the snapshot's " +
+          "weights no longer apply (re-train and re-export)");
+    }
+  }
+  auto model = snapshot.RestoreGenerativeModel(options.gen);
+  if (!model.ok()) return model.status();
+  return LabelService(std::move(*model), std::move(lfs), options);
+}
+
+Result<LabelService> LabelService::FromFile(const std::string& path,
+                                            LabelingFunctionSet lfs,
+                                            Options options) {
+  auto snapshot = LoadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return Create(*snapshot, std::move(lfs), options);
+}
+
+Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
+  if (request.corpus == nullptr || request.candidates == nullptr) {
+    return Status::InvalidArgument("request missing corpus or candidates");
+  }
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(*mu_);
+
+  Result<LabelMatrix> matrix(Status::Internal("unset"));
+  if (options_.use_incremental_cache) {
+    matrix = applier_.Apply(lfs_, *request.corpus, *request.candidates);
+  } else {
+    LFApplier::Options apply_options;
+    apply_options.num_threads = options_.num_threads;
+    apply_options.cardinality = 2;
+    matrix = LFApplier(apply_options)
+                 .Apply(lfs_, *request.corpus, *request.candidates);
+  }
+  if (!matrix.ok()) return matrix.status();
+
+  LabelResponse response;
+  response.posteriors =
+      model_.PredictProba(*matrix, request.apply_class_balance);
+  response.hard_labels.resize(response.posteriors.size());
+  for (size_t i = 0; i < response.posteriors.size(); ++i) {
+    if (response.posteriors[i] > 0.5) {
+      response.hard_labels[i] = 1;
+    } else if (response.posteriors[i] < 0.5) {
+      response.hard_labels[i] = -1;
+    } else {
+      response.hard_labels[i] = kAbstain;
+    }
+  }
+  if (request.include_votes) response.votes = std::move(*matrix);
+  response.latency_ms = timer.ElapsedMillis();
+
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(response.latency_ms);
+  } else {
+    latency_window_[latency_next_] = response.latency_ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+  ++num_requests_;
+  num_candidates_ += request.candidates->size();
+  total_latency_ms_ += response.latency_ms;
+  max_latency_ms_ = std::max(max_latency_ms_, response.latency_ms);
+  return response;
+}
+
+ServiceStats LabelService::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ServiceStats stats;
+  stats.num_requests = num_requests_;
+  stats.num_candidates = num_candidates_;
+  std::vector<double> sorted = latency_window_;
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50_latency_ms = Quantile(sorted, 0.5);
+  stats.p99_latency_ms = Quantile(sorted, 0.99);
+  stats.max_latency_ms = max_latency_ms_;
+  stats.throughput_cps =
+      total_latency_ms_ > 0.0
+          ? static_cast<double>(num_candidates_) / (total_latency_ms_ / 1e3)
+          : 0.0;
+  stats.lf_columns_reused = applier_.stats().columns_reused;
+  stats.lf_columns_computed = applier_.stats().columns_computed;
+  return stats;
+}
+
+}  // namespace snorkel

@@ -1,0 +1,137 @@
+#ifndef SNORKEL_SERVE_LABEL_SERVICE_H_
+#define SNORKEL_SERVE_LABEL_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/generative_model.h"
+#include "core/label_matrix.h"
+#include "data/candidate.h"
+#include "lf/labeling_function.h"
+#include "serve/incremental_applier.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// One batched labeling request: a set of candidates (rows) drawn from a
+/// corpus, to be labeled under the snapshot's model.
+struct LabelRequest {
+  const Corpus* corpus = nullptr;
+  const std::vector<Candidate>* candidates = nullptr;
+  /// Include the per-LF vote matrix Λ in the response (costs a copy).
+  bool include_votes = false;
+  /// Apply the snapshot's class-balance prior (off = the class-symmetric
+  /// posterior used as discriminative training targets).
+  bool apply_class_balance = true;
+};
+
+/// The serving result for one batch.
+struct LabelResponse {
+  /// P(y = +1 | Λ_i) per candidate, in request order.
+  std::vector<double> posteriors;
+  /// Hard labels at threshold 0.5 (0 = abstain at exactly 0.5).
+  std::vector<Label> hard_labels;
+  /// Per-LF votes (populated when LabelRequest::include_votes).
+  LabelMatrix votes;
+  /// Wall-clock for this request, milliseconds.
+  double latency_ms = 0.0;
+};
+
+/// Cumulative serving counters. Latency quantiles are exact over a sliding
+/// window of the most recent requests (bounded memory for long-lived
+/// serving processes); counts and throughput are all-time.
+struct ServiceStats {
+  uint64_t num_requests = 0;
+  uint64_t num_candidates = 0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  /// Candidates per second over the summed request latencies.
+  double throughput_cps = 0.0;
+  /// Column-cache effectiveness, forwarded from the incremental applier.
+  uint64_t lf_columns_reused = 0;
+  uint64_t lf_columns_computed = 0;
+};
+
+/// The label-serving front end: loads one model snapshot, binds it to the
+/// live LabelingFunctionSet, and answers batched LabelRequests — apply LFs
+/// (cached + sharded over the thread pool), run the generative posterior,
+/// record latency. This is the Snorkel-DryBell-shaped deployment surface:
+/// the Figure 2 training loop happens offline, a snapshot is shipped, and
+/// fresh candidates are labeled online without refitting anything.
+///
+/// Thread-safe: concurrent Label() calls serialize on an internal mutex
+/// (LF application itself fans out over the worker pool, so the mutex guards
+/// bookkeeping, not the heavy loop... the applier cache is stateful).
+class LabelService {
+ public:
+  struct Options {
+    size_t num_threads = 0;
+    /// Reuse memoized LF columns across requests with identical candidate
+    /// sets (the §4.1 iterate loop); identical posteriors either way.
+    bool use_incremental_cache = true;
+    /// Forwarded to GenerativeModel at restore time.
+    GenerativeModelOptions gen;
+  };
+
+  /// Binds `snapshot` to the live LF set. Every LF must match the snapshot's
+  /// per-column name AND fingerprint — a renamed, reordered, or re-versioned
+  /// LF set would silently misalign Λ's columns with the learned weights, so
+  /// mismatches are an InvalidArgument at load time, not a serving-time bug.
+  static Result<LabelService> Create(const ModelSnapshot& snapshot,
+                                     LabelingFunctionSet lfs, Options options);
+  static Result<LabelService> Create(const ModelSnapshot& snapshot,
+                                     LabelingFunctionSet lfs) {
+    return Create(snapshot, std::move(lfs), Options());
+  }
+
+  /// LoadSnapshot + Create.
+  static Result<LabelService> FromFile(const std::string& path,
+                                       LabelingFunctionSet lfs,
+                                       Options options);
+  static Result<LabelService> FromFile(const std::string& path,
+                                       LabelingFunctionSet lfs) {
+    return FromFile(path, std::move(lfs), Options());
+  }
+
+  LabelService(LabelService&&) = default;
+
+  /// Labels one batch.
+  Result<LabelResponse> Label(const LabelRequest& request);
+
+  /// Snapshot of the cumulative serving counters.
+  ServiceStats stats() const;
+
+  const GenerativeModel& model() const { return model_; }
+  size_t num_lfs() const { return lfs_.size(); }
+
+ private:
+  LabelService(GenerativeModel model, LabelingFunctionSet lfs,
+               Options options);
+
+  Options options_;
+  GenerativeModel model_;
+  LabelingFunctionSet lfs_;
+  IncrementalApplier applier_;
+
+  /// Latency-window capacity for the stats() quantiles.
+  static constexpr size_t kLatencyWindow = 4096;
+
+  /// Heap-held so the service stays movable (Result<LabelService> needs it).
+  mutable std::unique_ptr<std::mutex> mu_;
+  /// Ring buffer of the most recent request latencies.
+  std::vector<double> latency_window_;
+  size_t latency_next_ = 0;
+  uint64_t num_requests_ = 0;
+  uint64_t num_candidates_ = 0;
+  double total_latency_ms_ = 0.0;
+  double max_latency_ms_ = 0.0;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_SERVE_LABEL_SERVICE_H_

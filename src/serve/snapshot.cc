@@ -1,0 +1,186 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/hash.h"
+
+namespace snorkel {
+
+Result<ModelSnapshot> ModelSnapshot::Capture(
+    const GenerativeModel& model, std::vector<std::string> lf_names,
+    std::vector<uint64_t> lf_fingerprints) {
+  if (!model.is_fit()) {
+    return Status::FailedPrecondition("cannot snapshot an unfit model");
+  }
+  if (lf_names.size() != model.num_lfs() ||
+      lf_fingerprints.size() != model.num_lfs()) {
+    return Status::InvalidArgument(
+        "LF metadata does not align with the model's columns");
+  }
+  ModelSnapshot snapshot;
+  snapshot.lf_names = std::move(lf_names);
+  snapshot.lf_fingerprints = std::move(lf_fingerprints);
+  snapshot.class_balance = model.class_balance();
+  snapshot.acc_weights = model.accuracy_weights();
+  snapshot.lab_weights = model.propensity_weights();
+  snapshot.corr_weights = model.correlation_weights();
+  snapshot.correlations = model.correlations();
+  return snapshot;
+}
+
+Status ModelSnapshot::AttachDiscModel(const LogisticRegressionClassifier& disc,
+                                      uint64_t feature_buckets) {
+  if (!disc.is_fit()) {
+    return Status::FailedPrecondition("cannot snapshot an unfit classifier");
+  }
+  if (disc.weights().size() != feature_buckets) {
+    return Status::InvalidArgument(
+        "classifier weight count does not match feature_buckets");
+  }
+  has_disc_model = true;
+  this->feature_buckets = feature_buckets;
+  disc_weights = disc.weights();
+  disc_bias = disc.bias();
+  return Status::OK();
+}
+
+Result<GenerativeModel> ModelSnapshot::RestoreGenerativeModel(
+    GenerativeModelOptions options) const {
+  options.class_balance = class_balance;
+  GenerativeModel model(options);
+  Status status = model.RestoreWeights(lf_names.size(), acc_weights,
+                                       lab_weights, corr_weights, correlations);
+  if (!status.ok()) return status;
+  return model;
+}
+
+Result<LogisticRegressionClassifier> ModelSnapshot::RestoreDiscModel(
+    DiscModelOptions options) const {
+  if (!has_disc_model) {
+    return Status::FailedPrecondition("snapshot carries no disc model");
+  }
+  LogisticRegressionClassifier disc(options);
+  Status status = disc.Restore(disc_weights, disc_bias);
+  if (!status.ok()) return status;
+  return disc;
+}
+
+std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
+  BinaryWriter payload;
+  payload.WriteStringVector(snapshot.lf_names);
+  payload.WriteU64Vector(snapshot.lf_fingerprints);
+  payload.WriteI32(snapshot.cardinality);
+  payload.WriteF64(snapshot.class_balance);
+  payload.WriteF64Vector(snapshot.acc_weights);
+  payload.WriteF64Vector(snapshot.lab_weights);
+  payload.WriteF64Vector(snapshot.corr_weights);
+  payload.WriteU64(snapshot.correlations.size());
+  for (const CorrelationPair& pair : snapshot.correlations) {
+    payload.WriteU64(pair.j);
+    payload.WriteU64(pair.k);
+  }
+  payload.WriteU32(snapshot.has_disc_model ? 1 : 0);
+  if (snapshot.has_disc_model) {
+    payload.WriteU64(snapshot.feature_buckets);
+    payload.WriteF64Vector(snapshot.disc_weights);
+    payload.WriteF64(snapshot.disc_bias);
+  }
+
+  std::string buffer(kSnapshotMagic, sizeof(kSnapshotMagic));
+  BinaryWriter header;
+  header.WriteU32(kSnapshotVersion);
+  header.WriteU64(payload.buffer().size());
+  buffer += header.buffer();
+  buffer += payload.buffer();
+  BinaryWriter checksum;
+  checksum.WriteU64(Fnv1a64(payload.buffer()));
+  buffer += checksum.buffer();
+  return buffer;
+}
+
+Result<ModelSnapshot> DeserializeSnapshot(std::string_view data) {
+  if (data.size() < sizeof(kSnapshotMagic) + sizeof(uint32_t) +
+                        sizeof(uint64_t) + sizeof(uint64_t)) {
+    return Status::IOError("snapshot file shorter than its header");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("bad snapshot magic; not a snapshot file");
+  }
+  BinaryReader header(data.substr(sizeof(kSnapshotMagic)));
+  uint32_t version = header.ReadU32();
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  uint64_t payload_size = header.ReadU64();
+  size_t payload_begin = sizeof(kSnapshotMagic) + header.position();
+  if (payload_size + sizeof(uint64_t) > data.size() - payload_begin) {
+    return Status::IOError("snapshot truncated: payload extends past EOF");
+  }
+  std::string_view payload = data.substr(payload_begin, payload_size);
+  BinaryReader trailer(data.substr(payload_begin + payload_size));
+  uint64_t expected_checksum = trailer.ReadU64();
+  if (Fnv1a64(payload) != expected_checksum) {
+    return Status::IOError("snapshot checksum mismatch: payload corrupted");
+  }
+
+  BinaryReader reader(payload);
+  ModelSnapshot snapshot;
+  snapshot.lf_names = reader.ReadStringVector();
+  snapshot.lf_fingerprints = reader.ReadU64Vector();
+  snapshot.cardinality = reader.ReadI32();
+  snapshot.class_balance = reader.ReadF64();
+  snapshot.acc_weights = reader.ReadF64Vector();
+  snapshot.lab_weights = reader.ReadF64Vector();
+  snapshot.corr_weights = reader.ReadF64Vector();
+  uint64_t num_corr = reader.ReadU64();
+  if (reader.ok() && num_corr > snapshot.lf_names.size() *
+                                    std::max<uint64_t>(
+                                        snapshot.lf_names.size(), 1)) {
+    return Status::IOError("snapshot correlation count implausibly large");
+  }
+  snapshot.correlations.reserve(reader.ok() ? num_corr : 0);
+  for (uint64_t i = 0; reader.ok() && i < num_corr; ++i) {
+    CorrelationPair pair;
+    pair.j = reader.ReadU64();
+    pair.k = reader.ReadU64();
+    snapshot.correlations.push_back(pair);
+  }
+  snapshot.has_disc_model = reader.ReadU32() != 0;
+  if (snapshot.has_disc_model) {
+    snapshot.feature_buckets = reader.ReadU64();
+    snapshot.disc_weights = reader.ReadF64Vector();
+    snapshot.disc_bias = reader.ReadF64();
+  }
+  if (!reader.ok()) return reader.status();
+
+  // Structural validation so a loaded snapshot can never restore into an
+  // inconsistent model.
+  if (snapshot.lf_names.size() != snapshot.lf_fingerprints.size() ||
+      snapshot.acc_weights.size() != snapshot.lf_names.size() ||
+      snapshot.lab_weights.size() != snapshot.lf_names.size() ||
+      snapshot.corr_weights.size() != snapshot.correlations.size()) {
+    return Status::IOError("snapshot sections disagree on LF count");
+  }
+  if (snapshot.has_disc_model &&
+      snapshot.disc_weights.size() != snapshot.feature_buckets) {
+    return Status::IOError("snapshot disc weights disagree on bucket count");
+  }
+  return snapshot;
+}
+
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
+  return WriteFileBytes(path, SerializeSnapshot(snapshot));
+}
+
+Result<ModelSnapshot> LoadSnapshot(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeSnapshot(*bytes);
+}
+
+}  // namespace snorkel

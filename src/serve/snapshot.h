@@ -1,0 +1,89 @@
+#ifndef SNORKEL_SERVE_SNAPSHOT_H_
+#define SNORKEL_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/generative_model.h"
+#include "core/types.h"
+#include "disc/linear_model.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// On-disk snapshot format version this build writes and reads. Loading a
+/// file with any other version fails with FailedPrecondition — version gates
+/// are checked before a single payload byte is decoded.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// File layout: magic "SNKS" | version u32 | payload_size u64 | payload |
+/// fnv1a64(payload). The checksum makes truncation and bit corruption a
+/// detected IOError instead of silently-wrong posteriors.
+inline constexpr char kSnapshotMagic[4] = {'S', 'N', 'K', 'S'};
+
+/// Everything needed to serve labels without re-running the Figure 2 loop:
+/// the fitted generative label model (weights + learned correlation
+/// structure + class balance), the labeling-function metadata it was fit
+/// over, and optionally the noise-aware discriminative model with its
+/// feature-space size. LF *code* cannot be serialized — callers re-supply
+/// the LabelingFunctionSet at load time and the service validates it against
+/// the stored names/fingerprints (LabelService::Create).
+struct ModelSnapshot {
+  // ---- LF-set metadata (identity of the Λ columns). ----
+  std::vector<std::string> lf_names;
+  std::vector<uint64_t> lf_fingerprints;
+  int32_t cardinality = 2;
+
+  // ---- Generative label model. ----
+  double class_balance = 0.5;
+  std::vector<double> acc_weights;
+  std::vector<double> lab_weights;
+  std::vector<double> corr_weights;
+  std::vector<CorrelationPair> correlations;
+
+  // ---- Discriminative model (optional). ----
+  bool has_disc_model = false;
+  uint64_t feature_buckets = 0;
+  std::vector<double> disc_weights;
+  double disc_bias = 0.0;
+
+  /// Captures a fitted generative model plus the LF metadata it was trained
+  /// over. `lf_names`/`lf_fingerprints` must align with the model's columns.
+  static Result<ModelSnapshot> Capture(
+      const GenerativeModel& model, std::vector<std::string> lf_names,
+      std::vector<uint64_t> lf_fingerprints);
+
+  /// Attaches a fitted discriminative model (feature_buckets = the hasher's
+  /// bucket count, required to rebuild an index-compatible featurizer).
+  Status AttachDiscModel(const LogisticRegressionClassifier& disc,
+                         uint64_t feature_buckets);
+
+  /// Rebuilds the generative model; posteriors match the captured model
+  /// bitwise. `options` seeds everything except the restored weights and
+  /// class balance.
+  Result<GenerativeModel> RestoreGenerativeModel(
+      GenerativeModelOptions options = {}) const;
+
+  /// Rebuilds the discriminative model (FailedPrecondition when the
+  /// snapshot carries none).
+  Result<LogisticRegressionClassifier> RestoreDiscModel(
+      DiscModelOptions options = {}) const;
+
+  size_t num_lfs() const { return lf_names.size(); }
+};
+
+/// Encodes a snapshot to the versioned checksummed wire format.
+std::string SerializeSnapshot(const ModelSnapshot& snapshot);
+
+/// Decodes a snapshot; rejects bad magic (InvalidArgument), unknown versions
+/// (FailedPrecondition), and truncation / checksum mismatch (IOError).
+Result<ModelSnapshot> DeserializeSnapshot(std::string_view data);
+
+/// Serialize-to-file / load-from-file conveniences.
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
+Result<ModelSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_SERVE_SNAPSHOT_H_

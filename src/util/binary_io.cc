@@ -1,0 +1,40 @@
+#include "util/binary_io.h"
+
+#include <cstdio>
+
+namespace snorkel {
+
+Status WriteFileBytes(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  bool flush_ok = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != data.size() || !flush_ok) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("read error on " + path);
+  }
+  return out;
+}
+
+}  // namespace snorkel

@@ -1,0 +1,157 @@
+#ifndef SNORKEL_UTIL_BINARY_IO_H_
+#define SNORKEL_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Append-only little-endian binary encoder for on-disk artifacts (model
+/// snapshots). Fixed-width integers and IEEE-754 doubles only, so encodings
+/// are byte-stable across platforms and runs — a snapshot written by one
+/// build must load bit-identically in another.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed (u64) byte string.
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  /// Length-prefixed vector of doubles.
+  void WriteF64Vector(const std::vector<double>& v) {
+    WriteU64(v.size());
+    for (double x : v) WriteF64(x);
+  }
+
+  /// Length-prefixed vector of u64.
+  void WriteU64Vector(const std::vector<uint64_t>& v) {
+    WriteU64(v.size());
+    for (uint64_t x : v) WriteU64(x);
+  }
+
+  /// Length-prefixed vector of length-prefixed strings.
+  void WriteStringVector(const std::vector<std::string>& v) {
+    WriteU64(v.size());
+    for (const auto& s : v) WriteString(s);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  void AppendRaw(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string buffer_;
+};
+
+/// Streaming decoder over a byte buffer. Reads never run past the end:
+/// the first truncated read latches an IOError status and every subsequent
+/// read returns zero values, so decoders can read a whole record and check
+/// `status()` once at the end (corrupted input surfaces as an error, not UB).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint32_t ReadU32() { return ReadScalar<uint32_t>(); }
+  uint64_t ReadU64() { return ReadScalar<uint64_t>(); }
+  int32_t ReadI32() { return ReadScalar<int32_t>(); }
+  double ReadF64() { return ReadScalar<double>(); }
+
+  std::string ReadString() {
+    uint64_t size = ReadU64();
+    if (!CheckAvailable(size)) return {};
+    std::string out(data_.substr(pos_, size));
+    pos_ += size;
+    return out;
+  }
+
+  std::vector<double> ReadF64Vector() {
+    uint64_t size = ReadU64();
+    // Guard against corrupted lengths before allocating (division, not
+    // multiplication: size * sizeof(T) could wrap for huge sizes).
+    if (!CheckElements(size, sizeof(double))) return {};
+    std::vector<double> out(size);
+    for (auto& x : out) x = ReadF64();
+    return out;
+  }
+
+  std::vector<uint64_t> ReadU64Vector() {
+    uint64_t size = ReadU64();
+    if (!CheckElements(size, sizeof(uint64_t))) return {};
+    std::vector<uint64_t> out(size);
+    for (auto& x : out) x = ReadU64();
+    return out;
+  }
+
+  std::vector<std::string> ReadStringVector() {
+    uint64_t size = ReadU64();
+    // Each entry carries at least its u64 length prefix.
+    if (!CheckElements(size, sizeof(uint64_t))) return {};
+    std::vector<std::string> out;
+    out.reserve(size);
+    for (uint64_t i = 0; i < size; ++i) out.push_back(ReadString());
+    return out;
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T ReadScalar() {
+    if (!CheckAvailable(sizeof(T))) return T{};
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool CheckAvailable(uint64_t size) {
+    if (!status_.ok()) return false;
+    if (size > data_.size() - pos_) {
+      status_ = Status::IOError("truncated binary payload");
+      return false;
+    }
+    return true;
+  }
+
+  /// Overflow-safe form of CheckAvailable(count * elem_size).
+  bool CheckElements(uint64_t count, size_t elem_size) {
+    if (!status_.ok()) return false;
+    if (count > (data_.size() - pos_) / elem_size) {
+      status_ = Status::IOError("truncated binary payload");
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+/// Writes `data` to `path` atomically-ish (write then rename would need
+/// dirfd sync; plain write suffices for single-writer snapshot stores).
+Status WriteFileBytes(const std::string& path, std::string_view data);
+
+/// Reads the whole file at `path` into `out`.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_BINARY_IO_H_

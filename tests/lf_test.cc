@@ -195,6 +195,35 @@ TEST(DeclarativeTest, FirstVoteLF) {
   EXPECT_EQ(first.Apply(fx.View(0)), kAbstain);
 }
 
+TEST(DeclarativeTest, FingerprintTracksFactoryParameters) {
+  // Same name, same factory: identical parameters ⇒ identical fingerprint;
+  // ANY parameter change ⇒ new fingerprint (so the serve-layer column cache
+  // and snapshot checks observe declarative edits without a version bump).
+  auto base = MakeKeywordBetweenLF("lf", {"cause"}, 1);
+  EXPECT_EQ(base.fingerprint(),
+            MakeKeywordBetweenLF("lf", {"cause"}, 1).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            MakeKeywordBetweenLF("lf", {"cause", "induce"}, 1).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            MakeKeywordBetweenLF("lf", {"cause"}, -1).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            MakeKeywordBetweenLF("lf", {"cause"}, 1, false).fingerprint());
+  EXPECT_NE(base.fingerprint(), MakeDistanceLF("lf", 1, 1).fingerprint());
+
+  // Combinators fold the wrapped LF's fingerprint in.
+  auto guard = [](const CandidateView&) { return true; };
+  EXPECT_NE(
+      MakeGuardedLF("g", MakeKeywordBetweenLF("lf", {"cause"}, 1), guard)
+          .fingerprint(),
+      MakeGuardedLF("g", MakeKeywordBetweenLF("lf", {"treat"}, 1), guard)
+          .fingerprint());
+
+  // The explicit-version constructor distinguishes opaque callables.
+  auto fn = [](const CandidateView&) -> Label { return 1; };
+  EXPECT_NE(LabelingFunction("lf", "v1", fn).fingerprint(),
+            LabelingFunction("lf", "v2", fn).fingerprint());
+}
+
 // ----------------------------------------------------------------- Applier --
 
 TEST(LFApplierTest, BuildsLabelMatrix) {
@@ -253,6 +282,40 @@ TEST(LFApplierTest, BuggyLfSurfacesError) {
   auto matrix = applier.Apply(lfs, fx.corpus, fx.candidates);
   EXPECT_FALSE(matrix.ok());
   EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: an out-of-range vote must surface as InvalidArgument — never a
+// corrupted Λ — on both the serial and the sharded multi-threaded path (the
+// candidate set is large enough that the threaded applier actually shards).
+TEST(LFApplierTest, OutOfRangeVoteErrorsUnderSerialAndParallel) {
+  Corpus corpus;
+  for (int d = 0; d < 256; ++d) {
+    Document doc;
+    Sentence s;
+    s.words = {"magnesium", "causes", "quadriplegia"};
+    s.mentions = {Mention{0, 1, "chemical", "C_mg"},
+                  Mention{2, 3, "disease", "D_quad"}};
+    doc.sentences = {s};
+    corpus.AddDocument(std::move(doc));
+  }
+  auto candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  ASSERT_EQ(candidates.size(), 256u);
+
+  LabelingFunctionSet lfs;
+  lfs.Add(MakeKeywordBetweenLF("lf_good", {"cause"}, 1));
+  // Votes out of range on exactly one candidate, deep in the range.
+  lfs.Add(LabelingFunction("lf_buggy", [](const CandidateView& view) -> Label {
+    return view.index() == 200 ? 9 : kAbstain;
+  }));
+
+  for (size_t num_threads : {size_t{1}, size_t{4}}) {
+    LFApplier applier(LFApplier::Options{.num_threads = num_threads,
+                                         .cardinality = 2});
+    auto matrix = applier.Apply(lfs, corpus, candidates);
+    ASSERT_FALSE(matrix.ok()) << "num_threads=" << num_threads;
+    EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument)
+        << "num_threads=" << num_threads;
+  }
 }
 
 TEST(LFApplierTest, EmptyCandidatesYieldEmptyMatrix) {

@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "lf/applier.h"
+#include "lf/declarative.h"
+#include "pipeline/export_snapshot.h"
+#include "serve/incremental_applier.h"
+#include "serve/label_service.h"
+#include "serve/snapshot.h"
+#include "synth/synthetic_matrix.h"
+#include "util/binary_io.h"
+#include "util/hash.h"
+
+namespace snorkel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+GenerativeModelOptions FastGenOptions() {
+  GenerativeModelOptions options;
+  options.epochs = 60;
+  return options;
+}
+
+/// A small synthetic Λ plus a generative model fit on it (independent
+/// factors, so training is fast and deterministic).
+struct FittedModel {
+  LabelMatrix matrix;
+  GenerativeModel model{FastGenOptions()};
+
+  FittedModel() {
+    auto synth = SyntheticMatrixGenerator::GenerateIid(
+        /*num_points=*/400, /*num_lfs=*/6, /*accuracy=*/0.75,
+        /*propensity=*/0.5, /*seed=*/7);
+    EXPECT_TRUE(synth.ok()) << synth.status().ToString();
+    matrix = synth->matrix;
+    Status status = model.Fit(matrix);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    for (size_t j = 0; j < matrix.num_lfs(); ++j) {
+      names.push_back("lf_" + std::to_string(j));
+    }
+    return names;
+  }
+  std::vector<uint64_t> Fingerprints() const {
+    std::vector<uint64_t> fps;
+    for (const auto& name : Names()) fps.push_back(Fnv1a64(name));
+    return fps;
+  }
+};
+
+// ------------------------------------------------------------- snapshots --
+
+TEST(SnapshotTest, InMemoryRoundTripIsBitwiseIdentical) {
+  FittedModel fx;
+  auto snapshot = ModelSnapshot::Capture(fx.model, fx.Names(),
+                                         fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  std::string bytes = SerializeSnapshot(*snapshot);
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Bitwise-equal weights...
+  EXPECT_EQ(loaded->acc_weights, fx.model.accuracy_weights());
+  EXPECT_EQ(loaded->lab_weights, fx.model.propensity_weights());
+  EXPECT_EQ(loaded->lf_names, fx.Names());
+  EXPECT_EQ(loaded->class_balance, fx.model.class_balance());
+
+  // ...and identical posteriors on a held-out batch.
+  auto restored = loaded->RestoreGenerativeModel();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::vector<double> expected = fx.model.PredictProba(fx.matrix);
+  std::vector<double> actual = restored->PredictProba(fx.matrix);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << "posterior drift at row " << i;
+  }
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  FittedModel fx;
+  auto snapshot =
+      ModelSnapshot::Capture(fx.model, fx.Names(), fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok());
+  std::string path = TempPath("roundtrip.snk");
+  ASSERT_TRUE(SaveSnapshot(*snapshot, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->acc_weights, snapshot->acc_weights);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CorrelatedModelRoundTripsStructure) {
+  auto synth = SyntheticMatrixGenerator::GenerateExample31(
+      /*num_points=*/300, /*num_correlated=*/2, /*num_independent=*/3,
+      /*corr_accuracy=*/0.7, /*indep_accuracy=*/0.75, /*seed=*/11);
+  ASSERT_TRUE(synth.ok());
+  GenerativeModelOptions options;
+  options.epochs = 30;
+  options.num_chains = 8;
+  GenerativeModel model(options);
+  ASSERT_TRUE(model.Fit(synth->matrix, {{0, 1}}).ok());
+
+  std::vector<std::string> names;
+  std::vector<uint64_t> fps;
+  for (size_t j = 0; j < synth->matrix.num_lfs(); ++j) {
+    names.push_back("lf_" + std::to_string(j));
+    fps.push_back(j);
+  }
+  auto snapshot = ModelSnapshot::Capture(model, names, fps);
+  ASSERT_TRUE(snapshot.ok());
+  auto loaded = DeserializeSnapshot(SerializeSnapshot(*snapshot));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->correlations.size(), 1u);
+  EXPECT_EQ(loaded->correlations[0].j, 0u);
+  EXPECT_EQ(loaded->correlations[0].k, 1u);
+  EXPECT_EQ(loaded->corr_weights, model.correlation_weights());
+}
+
+TEST(SnapshotTest, DiscModelRoundTrip) {
+  FittedModel fx;
+  auto snapshot =
+      ModelSnapshot::Capture(fx.model, fx.Names(), fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok());
+
+  // Tiny classifier over 8 buckets.
+  std::vector<FeatureVector> features(50);
+  std::vector<double> soft(50);
+  for (size_t i = 0; i < 50; ++i) {
+    features[i].Add(static_cast<uint32_t>(i % 8), 1.0f);
+    soft[i] = (i % 8) < 4 ? 0.9 : 0.1;
+  }
+  LogisticRegressionClassifier disc;
+  ASSERT_TRUE(disc.Fit(features, 8, soft).ok());
+  ASSERT_TRUE(snapshot->AttachDiscModel(disc, 8).ok());
+
+  auto loaded = DeserializeSnapshot(SerializeSnapshot(*snapshot));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->has_disc_model);
+  auto restored = loaded->RestoreDiscModel();
+  ASSERT_TRUE(restored.ok());
+  std::vector<double> expected = disc.PredictProba(features);
+  std::vector<double> actual = restored->PredictProba(features);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  FittedModel fx;
+  auto snapshot =
+      ModelSnapshot::Capture(fx.model, fx.Names(), fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok());
+  std::string bytes = SerializeSnapshot(*snapshot);
+  bytes[0] = 'X';
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, WrongVersionRejected) {
+  FittedModel fx;
+  auto snapshot =
+      ModelSnapshot::Capture(fx.model, fx.Names(), fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok());
+  std::string bytes = SerializeSnapshot(*snapshot);
+  bytes[4] = static_cast<char>(kSnapshotVersion + 1);  // Version field.
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, TruncationAndCorruptionAreIOErrors) {
+  FittedModel fx;
+  auto snapshot =
+      ModelSnapshot::Capture(fx.model, fx.Names(), fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok());
+  std::string bytes = SerializeSnapshot(*snapshot);
+
+  // Truncation at every prefix length must error, never crash.
+  for (size_t len : {size_t{0}, size_t{3}, size_t{15}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    auto loaded = DeserializeSnapshot(std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(loaded.ok()) << "prefix length " << len;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  }
+
+  // A flipped payload byte fails the checksum.
+  std::string corrupted = bytes;
+  corrupted[bytes.size() / 2] ^= 0x40;
+  auto loaded = DeserializeSnapshot(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotTest, RestoreWeightsValidatesShapes) {
+  GenerativeModel model;
+  EXPECT_EQ(model.RestoreWeights(0, {}, {}, {}, {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.RestoreWeights(2, {1.0}, {1.0, 1.0}, {}, {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      model.RestoreWeights(2, {1.0, 1.0}, {1.0, 1.0}, {0.5}, {}).code(),
+      StatusCode::kInvalidArgument);
+  // Unnormalized pair (j >= k).
+  EXPECT_EQ(model
+                .RestoreWeights(2, {1.0, 1.0}, {1.0, 1.0}, {0.5},
+                                {CorrelationPair{1, 0}})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(model
+                  .RestoreWeights(2, {1.0, 1.0}, {1.0, 1.0}, {0.5},
+                                  {CorrelationPair{0, 1}})
+                  .ok());
+  EXPECT_TRUE(model.is_fit());
+}
+
+// -------------------------------------------------- incremental applier --
+
+/// Corpus of `n` sentences, half "causes", half "treats".
+struct ServeFixture {
+  Corpus corpus;
+  std::vector<Candidate> candidates;
+
+  explicit ServeFixture(int num_docs = 100) {
+    for (int d = 0; d < num_docs; ++d) {
+      Document doc;
+      Sentence s;
+      if (d % 2 == 0) {
+        s.words = {"magnesium", "causes", "quadriplegia"};
+      } else {
+        s.words = {"aspirin", "treats", "headache"};
+      }
+      const std::string id = std::to_string(d);
+      s.mentions = {Mention{0, 1, "chemical", "C" + id},
+                    Mention{2, 3, "disease", "D" + id}};
+      doc.sentences = {s};
+      corpus.AddDocument(std::move(doc));
+    }
+    candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  }
+
+  LabelingFunctionSet MakeLfs() const {
+    LabelingFunctionSet lfs;
+    lfs.Add(MakeKeywordBetweenLF("lf_causes", {"cause"}, 1));
+    lfs.Add(MakeKeywordBetweenLF("lf_treats", {"treat"}, -1));
+    lfs.Add(MakeDistanceLF("lf_far", 4, -1));
+    return lfs;
+  }
+};
+
+TEST(IncrementalApplierTest, MatchesPlainApplier) {
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  auto expected = LFApplier().Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(expected.ok());
+  IncrementalApplier applier;
+  auto actual = applier.Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  ASSERT_EQ(actual->num_rows(), expected->num_rows());
+  ASSERT_EQ(actual->num_lfs(), expected->num_lfs());
+  for (size_t i = 0; i < expected->num_rows(); ++i) {
+    for (size_t j = 0; j < expected->num_lfs(); ++j) {
+      EXPECT_EQ(actual->At(i, j), expected->At(i, j));
+    }
+  }
+}
+
+TEST(IncrementalApplierTest, EditingOneLfRecomputesOneColumn) {
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  IncrementalApplier applier;
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, fx.candidates).ok());
+  EXPECT_EQ(applier.stats().columns_computed, 3u);
+  EXPECT_EQ(applier.stats().columns_reused, 0u);
+
+  // Unchanged LF set: all columns reused.
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, fx.candidates).ok());
+  EXPECT_EQ(applier.stats().columns_computed, 3u);
+  EXPECT_EQ(applier.stats().columns_reused, 3u);
+
+  // The §4.1 iterate loop: edit ONE LF (same name, new version ⇒ new
+  // fingerprint); exactly one column recomputes.
+  LabelingFunctionSet edited;
+  edited.Add(MakeKeywordBetweenLF("lf_causes", {"cause"}, 1));
+  edited.Add(LabelingFunction("lf_treats", "v2",
+                              [](const CandidateView& view) -> Label {
+                                for (const auto& w : view.WordsBetween()) {
+                                  if (w == "treats") return -1;
+                                }
+                                return kAbstain;
+                              }));
+  edited.Add(MakeDistanceLF("lf_far", 4, -1));
+  auto matrix = applier.Apply(edited, fx.corpus, fx.candidates);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(applier.stats().columns_computed, 4u);  // +1, not +3.
+  EXPECT_EQ(applier.stats().columns_reused, 5u);    // +2 untouched columns.
+  EXPECT_EQ(matrix->At(1, 1), -1);                  // New column is live.
+}
+
+TEST(IncrementalApplierTest, CandidateSetChangeInvalidates) {
+  ServeFixture big(100);
+  ServeFixture small(40);
+  LabelingFunctionSet lfs = big.MakeLfs();
+  IncrementalApplier applier;
+  ASSERT_TRUE(applier.Apply(lfs, big.corpus, big.candidates).ok());
+  ASSERT_TRUE(applier.Apply(lfs, small.corpus, small.candidates).ok());
+  EXPECT_EQ(applier.stats().candidate_set_changes, 1u);
+  EXPECT_EQ(applier.stats().columns_computed, 6u);  // Nothing reusable.
+}
+
+TEST(IncrementalApplierTest, BuggyLfSurfacesErrorWithoutPoisoningCache) {
+  ServeFixture fx;
+  LabelingFunctionSet lfs;
+  lfs.Add(LabelingFunction("lf_buggy",
+                           [](const CandidateView&) -> Label { return 7; }));
+  IncrementalApplier applier;
+  auto matrix = applier.Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_FALSE(matrix.ok());
+  EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(applier.cached_columns(), 0u);
+}
+
+TEST(IncrementalApplierTest, SerialAndParallelAgree) {
+  ServeFixture fx(200);
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  IncrementalApplier serial(
+      IncrementalApplier::Options{.num_threads = 1, .cardinality = 2});
+  IncrementalApplier parallel(
+      IncrementalApplier::Options{.num_threads = 4, .cardinality = 2});
+  auto a = serial.Apply(lfs, fx.corpus, fx.candidates);
+  auto b = parallel.Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    for (size_t j = 0; j < a->num_lfs(); ++j) {
+      EXPECT_EQ(a->At(i, j), b->At(i, j));
+    }
+  }
+}
+
+// ------------------------------------------------------- label service --
+
+/// Fits a model over the fixture's LF votes and captures a snapshot.
+ModelSnapshot MakeServableSnapshot(const ServeFixture& fx,
+                                   const LabelingFunctionSet& lfs) {
+  auto matrix = LFApplier().Apply(lfs, fx.corpus, fx.candidates);
+  EXPECT_TRUE(matrix.ok());
+  GenerativeModelOptions options;
+  options.epochs = 60;
+  GenerativeModel model(options);
+  EXPECT_TRUE(model.Fit(*matrix).ok());
+  auto snapshot =
+      ModelSnapshot::Capture(model, lfs.Names(), lfs.Fingerprints());
+  EXPECT_TRUE(snapshot.ok());
+  return *snapshot;
+}
+
+TEST(LabelServiceTest, ServesPosteriorsMatchingDirectModel) {
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, lfs);
+
+  auto service = LabelService::Create(snapshot, fx.MakeLfs());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  request.include_votes = true;
+  auto response = service->Label(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->posteriors.size(), fx.candidates.size());
+
+  // Must equal the direct (offline) computation exactly.
+  auto matrix = LFApplier().Apply(lfs, fx.corpus, fx.candidates);
+  auto model = snapshot.RestoreGenerativeModel();
+  ASSERT_TRUE(model.ok());
+  std::vector<double> expected = model->PredictProba(*matrix);
+  EXPECT_EQ(response->posteriors, expected);
+  EXPECT_EQ(response->votes.num_lfs(), lfs.size());
+  EXPECT_GT(response->latency_ms, 0.0);
+
+  // "causes" rows serve positive, "treats" rows negative.
+  EXPECT_EQ(response->hard_labels[0], 1);
+  EXPECT_EQ(response->hard_labels[1], -1);
+}
+
+TEST(LabelServiceTest, RepeatBatchesHitTheColumnCache) {
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+  auto service = LabelService::Create(snapshot, fx.MakeLfs());
+  ASSERT_TRUE(service.ok());
+
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(service->Label(request).ok());
+  }
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.num_requests, 5u);
+  EXPECT_EQ(stats.num_candidates, 5 * fx.candidates.size());
+  EXPECT_EQ(stats.lf_columns_computed, 3u);
+  EXPECT_EQ(stats.lf_columns_reused, 12u);
+  EXPECT_GT(stats.throughput_cps, 0.0);
+  EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
+}
+
+TEST(LabelServiceTest, RejectsMisalignedLfSet) {
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+
+  // Wrong count.
+  LabelingFunctionSet too_few;
+  too_few.Add(MakeKeywordBetweenLF("lf_causes", {"cause"}, 1));
+  EXPECT_EQ(LabelService::Create(snapshot, std::move(too_few)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Wrong name in one column.
+  LabelingFunctionSet renamed;
+  renamed.Add(MakeKeywordBetweenLF("lf_causes", {"cause"}, 1));
+  renamed.Add(MakeKeywordBetweenLF("lf_cures", {"treat"}, -1));
+  renamed.Add(MakeDistanceLF("lf_far", 4, -1));
+  EXPECT_EQ(LabelService::Create(snapshot, std::move(renamed)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Same name, changed behaviour (bumped version ⇒ new fingerprint).
+  LabelingFunctionSet rebehaved;
+  rebehaved.Add(MakeKeywordBetweenLF("lf_causes", {"cause"}, 1));
+  rebehaved.Add(LabelingFunction(
+      "lf_treats", "v2", [](const CandidateView&) -> Label { return -1; }));
+  rebehaved.Add(MakeDistanceLF("lf_far", 4, -1));
+  EXPECT_EQ(
+      LabelService::Create(snapshot, std::move(rebehaved)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(LabelServiceTest, FromFileEndToEnd) {
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+  std::string path = TempPath("service.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  auto service = LabelService::FromFile(path, fx.MakeLfs());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  EXPECT_TRUE(service->Label(request).ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- pipeline export step --
+
+TEST(ExportSnapshotTest, TrainedTaskProducesServableArtifact) {
+  auto task = MakeCdrTask(/*seed=*/3, /*scale=*/0.1);
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  ExportSnapshotOptions options;
+  options.gen.epochs = 40;
+  options.disc.epochs = 5;
+  std::string path = TempPath("cdr.snk");
+  ASSERT_TRUE(ExportSnapshot(*task, options, path).ok());
+
+  auto service = LabelService::FromFile(path, task->lfs);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  LabelRequest request;
+  request.corpus = &task->corpus;
+  request.candidates = &task->candidates;
+  auto response = service->Label(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->posteriors.size(), task->candidates.size());
+
+  // The embedded disc model restores too.
+  auto snapshot = LoadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(snapshot->has_disc_model);
+  EXPECT_TRUE(snapshot->RestoreDiscModel().ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ binary io --
+
+TEST(BinaryIoTest, ScalarAndVectorRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  writer.WriteF64(-1.5);
+  writer.WriteString("hello");
+  writer.WriteF64Vector({1.0, 2.0});
+  writer.WriteStringVector({"a", "bb"});
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU32(), 7u);
+  EXPECT_EQ(reader.ReadF64(), -1.5);
+  EXPECT_EQ(reader.ReadString(), "hello");
+  EXPECT_EQ(reader.ReadF64Vector(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(reader.ReadStringVector(), (std::vector<std::string>{"a", "bb"}));
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(BinaryIoTest, TruncatedReadLatchesError) {
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU64(), 0u);  // 8 bytes requested, 4 available.
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(reader.ReadU32(), 0u);  // Still latched.
+}
+
+}  // namespace
+}  // namespace snorkel
