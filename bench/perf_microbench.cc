@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/advantage.h"
 #include "core/generative_model.h"
 #include "core/majority_vote.h"
@@ -64,6 +66,43 @@ void BM_GenerativeModelFitCorrelated(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerativeModelFitCorrelated)->Arg(0)->Arg(10)->Arg(40);
+
+/// Same correlated fit at explicit worker-pool sizes. Fitted weights are
+/// bitwise-identical across these arms (fixed shard grain + per-chain RNG
+/// streams); the arms measure pure scaling.
+void BM_GenerativeModelFitCorrelatedThreads(benchmark::State& state) {
+  const auto& data = SharedMatrix();
+  std::vector<CorrelationPair> correlations;
+  for (int c = 0; c < 40; ++c) {
+    size_t j = static_cast<size_t>(c) % 49;
+    correlations.push_back({j, j + 1});
+  }
+  GenerativeModelOptions options;
+  options.epochs = 30;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    GenerativeModel gen(options);
+    benchmark::DoNotOptimize(gen.Fit(data.matrix, correlations).ok());
+  }
+}
+BENCHMARK(BM_GenerativeModelFitCorrelatedThreads)->Arg(1)->Arg(2)->Arg(8);
+
+/// Posterior inference p(y | Λ) over the full matrix — the serving hot path
+/// behind LabelService.
+void BM_PredictProba(benchmark::State& state) {
+  const auto& data = SharedMatrix();
+  static const GenerativeModel* model = [] {
+    GenerativeModelOptions options;
+    options.epochs = 50;
+    auto* gen = new GenerativeModel(options);
+    if (!gen->Fit(SharedMatrix().matrix).ok()) std::abort();
+    return gen;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->PredictProba(data.matrix));
+  }
+}
+BENCHMARK(BM_PredictProba);
 
 /// §3.2: one structure-learning pass (pseudolikelihood, exact gradients).
 void BM_StructureLearning(benchmark::State& state) {

@@ -1,15 +1,23 @@
 // Label-serving benchmark for the serve/ subsystem: trains one relation
 // task offline, exports a versioned snapshot, then measures
 //   (1) batched serving throughput (candidates/sec, p50/p99 request latency)
-//     through LabelService over fresh candidate batches, and
-//   (2) the incremental-applier speedup for the §4.1 iterate loop: editing
+//     through LabelService over fresh candidate batches,
+//   (2) concurrent-caller throughput: N threads sharing one service — the
+//     posterior path is lock-free, so callers overlap compute instead of
+//     serializing on a service-wide mutex, and
+//   (3) the incremental-applier speedup for the §4.1 iterate loop: editing
 //     1 of k LFs should re-label in roughly 1/k of the full Apply time.
+//
+// Pass --json <path> to also write the headline numbers as JSON (consumed
+// by scripts/bench.sh for the benchmark trajectory).
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/csr_kernels.h"
 #include "lf/applier.h"
 #include "pipeline/export_snapshot.h"
 #include "serve/incremental_applier.h"
@@ -17,8 +25,13 @@
 #include "util/table_printer.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snorkel;
+
+  std::string json_path;
+  for (int a = 1; a + 1 < argc; ++a) {
+    if (std::string(argv[a]) == "--json") json_path = argv[a + 1];
+  }
 
   auto task = MakeCdrTask(/*seed=*/42, /*scale=*/bench::kScale);
   if (!task.ok()) {
@@ -26,8 +39,9 @@ int main() {
                  task.status().ToString().c_str());
     return 1;
   }
-  std::printf("Task %s: %zu candidates, %zu LFs\n\n", task->name.c_str(),
-              task->candidates.size(), task->lfs.size());
+  std::printf("Task %s: %zu candidates, %zu LFs (posterior kernels: %s)\n\n",
+              task->name.c_str(), task->candidates.size(), task->lfs.size(),
+              CsrKernelIsa());
 
   // ---- Offline: train and export the servable snapshot. ----
   ExportSnapshotOptions export_options;
@@ -90,6 +104,59 @@ int main() {
   std::printf("\nBatched serving (batch=%zu, %d rounds):\n%s", kBatchSize,
               kRounds, serving.ToString().c_str());
 
+  // ---- Concurrent callers sharing one service. Each caller applies LFs
+  // serially (num_threads = 1) so the measurement isolates request overlap
+  // — the narrow-critical-section win — from intra-request sharding. ----
+  std::vector<std::pair<int, double>> concurrent_cps;
+  for (int callers : {1, 2, 4}) {
+    LabelService::Options cc_options;
+    cc_options.use_incremental_cache = false;
+    cc_options.num_threads = 1;
+    auto cc_service = LabelService::Create(*snapshot, task->lfs, cc_options);
+    if (!cc_service.ok()) {
+      std::fprintf(stderr, "service creation failed: %s\n",
+                   cc_service.status().ToString().c_str());
+      return 1;
+    }
+    constexpr int kConcurrentRounds = 3;
+    WallTimer cc_timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(callers));
+    for (int t = 0; t < callers; ++t) {
+      threads.emplace_back([&, t] {
+        // Callers stride over the batch list so each batch is served
+        // exactly kConcurrentRounds times in total regardless of T.
+        for (int round = 0; round < kConcurrentRounds; ++round) {
+          for (size_t b = static_cast<size_t>(t); b < batches.size();
+               b += static_cast<size_t>(callers)) {
+            LabelRequest request;
+            request.corpus = &task->corpus;
+            request.candidates = &batches[b];
+            auto response = cc_service->Label(request);
+            if (!response.ok()) {
+              std::fprintf(stderr, "concurrent serving failed: %s\n",
+                           response.status().ToString().c_str());
+              std::abort();
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    double wall = cc_timer.ElapsedSeconds();
+    double served = static_cast<double>(cc_service->stats().num_candidates);
+    concurrent_cps.emplace_back(callers, served / wall);
+  }
+  TablePrinter concurrent({"Callers", "cand/s (wall)", "Vs 1 caller"});
+  for (auto& [callers, cps] : concurrent_cps) {
+    concurrent.AddRow({TablePrinter::Cell(static_cast<int64_t>(callers)),
+                       TablePrinter::Cell(cps, 0),
+                       TablePrinter::Cell(cps / concurrent_cps[0].second, 2)});
+  }
+  std::printf("\nConcurrent callers (shared service, serial per-request "
+              "apply):\n%s",
+              concurrent.ToString().c_str());
+
   // ---- Iterate loop: edit 1 of k LFs, re-label with the column cache. ----
   const size_t k = task->lfs.size();
   IncrementalApplier applier(
@@ -145,5 +212,36 @@ int main() {
   std::printf("\ncache: %llu columns computed, %llu reused\n",
               static_cast<unsigned long long>(applier.stats().columns_computed),
               static_cast<unsigned long long>(applier.stats().columns_reused));
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"task\": {\"candidates\": %zu, \"lfs\": %zu},\n"
+                 "  \"serving\": {\"throughput_cps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f},\n",
+                 task->candidates.size(), task->lfs.size(),
+                 stats.throughput_cps, stats.p50_latency_ms,
+                 stats.p99_latency_ms);
+    std::fprintf(out, "  \"concurrent_cps\": {");
+    for (size_t i = 0; i < concurrent_cps.size(); ++i) {
+      std::fprintf(out, "%s\"%d\": %.1f", i == 0 ? "" : ", ",
+                   concurrent_cps[i].first, concurrent_cps[i].second);
+    }
+    std::fprintf(out,
+                 "},\n"
+                 "  \"incremental\": {\"full_apply_s\": %.4f, "
+                 "\"edit_one_lf_s\": %.4f, \"ratio\": %.3f, "
+                 "\"ideal_ratio\": %.3f}\n}\n",
+                 full_seconds, incremental_seconds,
+                 incremental_seconds / full_seconds,
+                 1.0 / static_cast<double>(k));
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Benchmark trajectory: runs the perf microbenchmarks and the serving
+# benchmark, then writes one machine-readable JSON file mapping benchmark
+# name -> wall time / throughput, so future PRs can diff against the
+# committed BENCH_*.json files and catch regressions.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BUILD_DIR=build         build directory (configured + built if missing)
+#   BENCH_MIN_TIME=0.15     google-benchmark --benchmark_min_time seconds
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH.json}"
+MIN_TIME="${BENCH_MIN_TIME:-0.15}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+      --target bench_serve_throughput > /dev/null
+if ! cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+      --target bench_perf_microbench > /dev/null 2>&1; then
+  echo "google-benchmark not available; perf_microbench skipped" >&2
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+MICRO_JSON="${TMP_DIR}/micro.json"
+if [[ -x "${BUILD_DIR}/bench_perf_microbench" ]]; then
+  # Benchmark >= 1.8 wants a unit suffix on min_time; older versions reject
+  # it. Try the bare form first.
+  "${BUILD_DIR}/bench_perf_microbench" \
+      --benchmark_min_time="${MIN_TIME}" \
+      --benchmark_out="${MICRO_JSON}" --benchmark_out_format=json \
+      > /dev/null 2>&1 ||
+  "${BUILD_DIR}/bench_perf_microbench" \
+      --benchmark_min_time="${MIN_TIME}s" \
+      --benchmark_out="${MICRO_JSON}" --benchmark_out_format=json \
+      > /dev/null
+fi
+
+SERVE_JSON="${TMP_DIR}/serve.json"
+"${BUILD_DIR}/bench_serve_throughput" --json "${SERVE_JSON}" > /dev/null
+
+python3 - "$OUT" "$SERVE_JSON" "$MICRO_JSON" << 'EOF'
+import json
+import sys
+
+out_path, serve_path, micro_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+result = {"microbench_ms": {}, "serve": {}}
+
+try:
+    with open(micro_path) as f:
+        micro = json.load(f)
+    for bench in micro.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        # google-benchmark reports real_time in the configured time_unit.
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+        result["microbench_ms"][bench["name"]] = round(
+            bench["real_time"] * scale, 4)
+except FileNotFoundError:
+    pass
+
+with open(serve_path) as f:
+    result["serve"] = json.load(f)
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF

@@ -5,8 +5,19 @@
 
 #include "core/majority_vote.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace snorkel {
+
+namespace {
+
+/// Rows per shard for the sharded Λ passes. Per-shard partial sums are
+/// reduced in shard order, and shard boundaries depend only on this
+/// constant, so both functions below return bitwise-identical values for
+/// any worker-pool size.
+constexpr size_t kRowGrain = 4096;
+
+}  // namespace
 
 double AccuracyToWeight(double alpha) {
   return Logit(alpha);
@@ -21,51 +32,71 @@ double ModelingAdvantage(const LabelMatrix& matrix,
                          const std::vector<double>& weights) {
   assert(gold.size() == matrix.num_rows());
   assert(weights.size() == matrix.num_lfs());
-  if (matrix.num_rows() == 0) return 0.0;
+  size_t m = matrix.num_rows();
+  if (m == 0) return 0.0;
+  size_t num_shards = (m + kRowGrain - 1) / kRowGrain;
+  std::vector<int64_t> shard_net(num_shards, 0);
+  SharedThreadPool().ParallelForShards(
+      0, m, kRowGrain, [&](size_t shard, size_t lo, size_t hi) {
+        int64_t net = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          double y = static_cast<double>(gold[i]);
+          double fw = y * WeightedVote(matrix.row(i), weights);
+          double f1 = y * UnweightedVote(matrix.row(i));
+          if (fw > 0 && f1 <= 0) {
+            ++net;  // f_w correctly disagrees with f_1.
+          } else if (fw <= 0 && f1 > 0) {
+            --net;  // f_w incorrectly disagrees with f_1.
+          }
+        }
+        shard_net[shard] = net;
+      });
   int64_t net = 0;
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    double y = static_cast<double>(gold[i]);
-    double fw = y * WeightedVote(matrix.row(i), weights);
-    double f1 = y * UnweightedVote(matrix.row(i));
-    if (fw > 0 && f1 <= 0) {
-      ++net;  // f_w correctly disagrees with f_1.
-    } else if (fw <= 0 && f1 > 0) {
-      --net;  // f_w incorrectly disagrees with f_1.
-    }
-  }
-  return static_cast<double>(net) / static_cast<double>(matrix.num_rows());
+  for (int64_t v : shard_net) net += v;
+  return static_cast<double>(net) / static_cast<double>(m);
 }
 
 double PredictedAdvantage(const LabelMatrix& matrix,
                           const AdvantageOptions& options) {
-  if (matrix.num_rows() == 0) return 0.0;
+  size_t m = matrix.num_rows();
+  if (m == 0) return 0.0;
+  size_t num_shards = (m + kRowGrain - 1) / kRowGrain;
+  std::vector<double> shard_total(num_shards, 0.0);
+  SharedThreadPool().ParallelForShards(
+      0, m, kRowGrain, [&](size_t shard, size_t lo, size_t hi) {
+        double total = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          LabelMatrix::RowSpan row = matrix.row(i);
+          double f1 = UnweightedVote(row);
+          // f_w̄: every weight set to the mean w̄, i.e. w̄ * f_1.
+          double fw_mean = options.w_mean * f1;
+          int c_pos = 0;
+          int c_neg = 0;
+          for (const auto& e : row) {
+            if (e.label > 0) {
+              ++c_pos;
+            } else {
+              ++c_neg;
+            }
+          }
+          for (int y : {+1, -1}) {
+            if (static_cast<double>(y) * f1 > 0) {
+              continue;  // MV already right for y.
+            }
+            int cy = y > 0 ? c_pos : c_neg;
+            int cny = y > 0 ? c_neg : c_pos;
+            // Φ: could a best-case weighting output y at all?
+            bool phi = static_cast<double>(cy) * options.w_max >
+                       static_cast<double>(cny) * options.w_min;
+            if (!phi) continue;
+            total += Sigmoid(2.0 * fw_mean * static_cast<double>(y));
+          }
+        }
+        shard_total[shard] = total;
+      });
   double total = 0.0;
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    const auto& row = matrix.row(i);
-    double f1 = UnweightedVote(row);
-    // f_w̄: every weight set to the mean w̄, i.e. w̄ * f_1.
-    double fw_mean = options.w_mean * f1;
-    int c_pos = 0;
-    int c_neg = 0;
-    for (const auto& e : row) {
-      if (e.label > 0) {
-        ++c_pos;
-      } else {
-        ++c_neg;
-      }
-    }
-    for (int y : {+1, -1}) {
-      if (static_cast<double>(y) * f1 > 0) continue;  // MV already right for y.
-      int cy = y > 0 ? c_pos : c_neg;
-      int cny = y > 0 ? c_neg : c_pos;
-      // Φ: could a best-case weighting output y at all?
-      bool phi = static_cast<double>(cy) * options.w_max >
-                 static_cast<double>(cny) * options.w_min;
-      if (!phi) continue;
-      total += Sigmoid(2.0 * fw_mean * static_cast<double>(y));
-    }
-  }
-  return total / static_cast<double>(matrix.num_rows());
+  for (double v : shard_total) total += v;
+  return total / static_cast<double>(m);
 }
 
 double LowDensityBound(double mean_density, double mean_accuracy) {

@@ -1,0 +1,385 @@
+#include "core/csr_kernels.h"
+
+#include <cmath>
+
+#if defined(__x86_64__) || defined(__i386__)
+// GCC's gather intrinsics without a source operand expand through an
+// uninitialized placeholder register, which trips -Wmaybe-uninitialized at
+// -O3 inside the intrinsic headers themselves; the pattern is well-defined.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+#include <immintrin.h>
+#define SNORKEL_X86 1
+#endif
+
+namespace snorkel {
+
+CsrView CsrView::FromMatrix(const LabelMatrix& matrix) {
+  CsrView view;
+  size_t nnz = matrix.entries().size();
+  view.lf.resize(nnz);
+  view.row.resize(nnz);
+  view.sign.resize(nnz);
+  view.offsets = matrix.row_offsets().data();
+  view.num_rows = matrix.num_rows();
+  view.num_lfs = matrix.num_lfs();
+  const auto& offsets = matrix.row_offsets();
+  const auto& entries = matrix.entries();
+  for (size_t i = 0; i < view.num_rows; ++i) {
+    for (size_t t = offsets[i]; t < offsets[i + 1]; ++t) {
+      view.lf[t] = entries[t].lf;
+      view.row[t] = static_cast<uint32_t>(i);
+      view.sign[t] = entries[t].label > 0 ? 1.0 : -1.0;
+    }
+  }
+  return view;
+}
+
+CscView CscView::FromMatrix(const LabelMatrix& matrix) {
+  CscView view;
+  size_t n = matrix.num_lfs();
+  size_t m = matrix.num_rows();
+  const auto& entries = matrix.entries();
+  const auto& offsets = matrix.row_offsets();
+  view.num_lfs = n;
+  view.offsets.assign(n + 1, 0);
+  for (const auto& e : entries) ++view.offsets[e.lf + 1];
+  for (size_t j = 0; j < n; ++j) view.offsets[j + 1] += view.offsets[j];
+  view.row.resize(entries.size());
+  view.sign.resize(entries.size());
+  std::vector<size_t> cursor(view.offsets.begin(), view.offsets.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t t = offsets[i]; t < offsets[i + 1]; ++t) {
+      size_t dst = cursor[entries[t].lf]++;
+      view.row[dst] = static_cast<uint32_t>(i);
+      view.sign[dst] = entries[t].label > 0 ? 1.0 : -1.0;
+    }
+  }
+  return view;
+}
+
+namespace {
+
+// Numerically stable scalar sigmoid (used by the scalar path and vector
+// tails). Deterministic for a fixed sharding because tail positions are a
+// function of shard boundaries, not thread count.
+inline double ScalarSigmoid(double x) {
+  if (x >= 0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+// ------------------------------------------------------------- scalar path --
+
+void WeightedRowSumsScalar(const CsrView& view, const double* weights,
+                           double bias, size_t row_lo, size_t row_hi,
+                           double* f) {
+  for (size_t i = row_lo; i < row_hi; ++i) {
+    double fi = bias;
+    for (size_t t = view.offsets[i]; t < view.offsets[i + 1]; ++t) {
+      fi += weights[view.lf[t]] * view.sign[t];
+    }
+    f[i] = fi;
+  }
+}
+
+void SigmoidBatchScalar(const double* x, double* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) out[i] = ScalarSigmoid(x[i]);
+}
+
+void ColumnSignedSumsScalar(const CscView& view, const double* q,
+                            size_t col_lo, size_t col_hi, double* acc) {
+  for (size_t j = col_lo; j < col_hi; ++j) {
+    double sum = 0.0;
+    for (size_t t = view.offsets[j]; t < view.offsets[j + 1]; ++t) {
+      sum += view.sign[t] * q[view.row[t]];
+    }
+    acc[j] = sum;
+  }
+}
+
+#ifdef SNORKEL_X86
+
+// --------------------------------------------------------------- AVX2 path --
+
+// exp(x) for 4 doubles: 2^k * exp(r) with r = x - k·ln2 (hi/lo split) and a
+// degree-11 Taylor polynomial on |r| <= ln2/2 (~2 ulp over the sigmoid's
+// clamped domain). The per-element operation sequence is identical in every
+// lane, so vector width does not change results element-wise.
+__attribute__((target("avx2,fma"))) inline __m256d Exp4(__m256d x) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634074);
+  const __m256d ln2_hi = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d ln2_lo = _mm256_set1_pd(1.42860682030941723212e-6);
+  __m256d k = _mm256_round_pd(_mm256_mul_pd(x, log2e),
+                              _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(k, ln2_hi, x);
+  r = _mm256_fnmadd_pd(k, ln2_lo, r);
+  __m256d p = _mm256_set1_pd(1.0 / 39916800.0);
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 3628800.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 362880.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 40320.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 5040.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 720.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 120.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 24.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 6.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(0.5));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+  // Scale by 2^k via the exponent bits; |k| <= 58 after the sigmoid clamp,
+  // so no overflow into sign/subnormals.
+  __m128i ki = _mm256_cvtpd_epi32(k);
+  __m256i ki64 = _mm256_cvtepi32_epi64(ki);
+  __m256i bits = _mm256_castpd_si256(p);
+  bits = _mm256_add_epi64(bits, _mm256_slli_epi64(ki64, 52));
+  return _mm256_castsi256_pd(bits);
+}
+
+__attribute__((target("avx2,fma"))) inline __m256d Sigmoid4(__m256d x) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d cap = _mm256_set1_pd(40.0);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d cx = _mm256_min_pd(_mm256_max_pd(x, _mm256_sub_pd(zero, cap)), cap);
+  __m256d nax = _mm256_or_pd(_mm256_andnot_pd(sign_mask, cx), sign_mask);
+  __m256d e = Exp4(nax);  // exp(-|x|), always in (0, 1].
+  __m256d s = _mm256_div_pd(e, _mm256_add_pd(one, e));  // sigmoid(-|x|).
+  __m256d pos = _mm256_cmp_pd(x, zero, _CMP_GT_OQ);
+  return _mm256_blendv_pd(s, _mm256_sub_pd(one, s), pos);
+}
+
+__attribute__((target("avx2,fma"))) double HSum4(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(lo) + _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+}
+
+__attribute__((target("avx2,fma")))
+void WeightedRowSumsAvx2(const CsrView& view, const double* weights,
+                         double bias, size_t row_lo, size_t row_hi,
+                         double* f) {
+  for (size_t i = row_lo; i < row_hi; ++i) {
+    size_t b = view.offsets[i];
+    size_t e = view.offsets[i + 1];
+    size_t t = b;
+    __m256d acc = _mm256_setzero_pd();
+    for (; t + 4 <= e; t += 4) {
+      __m128i vi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(view.lf.data() + t));
+      __m256d w = _mm256_i32gather_pd(weights, vi, 8);
+      __m256d s = _mm256_loadu_pd(view.sign.data() + t);
+      acc = _mm256_fmadd_pd(w, s, acc);
+    }
+    double fi = bias + HSum4(acc);
+    for (; t < e; ++t) fi += weights[view.lf[t]] * view.sign[t];
+    f[i] = fi;
+  }
+}
+
+__attribute__((target("avx2,fma")))
+void SigmoidBatchAvx2(const double* x, double* out, size_t count) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    _mm256_storeu_pd(out + i, Sigmoid4(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < count; ++i) out[i] = ScalarSigmoid(x[i]);
+}
+
+__attribute__((target("avx2,fma")))
+void ColumnSignedSumsAvx2(const CscView& view, const double* q, size_t col_lo,
+                          size_t col_hi, double* acc) {
+  for (size_t j = col_lo; j < col_hi; ++j) {
+    size_t t = view.offsets[j];
+    size_t e = view.offsets[j + 1];
+    __m256d vacc = _mm256_setzero_pd();
+    for (; t + 4 <= e; t += 4) {
+      __m128i vr = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(view.row.data() + t));
+      __m256d qv = _mm256_i32gather_pd(q, vr, 8);
+      __m256d s = _mm256_loadu_pd(view.sign.data() + t);
+      vacc = _mm256_fmadd_pd(qv, s, vacc);
+    }
+    double sum = HSum4(vacc);
+    for (; t < e; ++t) sum += view.sign[t] * q[view.row[t]];
+    acc[j] = sum;
+  }
+}
+
+// ------------------------------------------------------------ AVX-512 path --
+// Same structure 8 lanes wide; gathers are the win, the sigmoid polynomial
+// is operation-for-operation the AVX2 one.
+
+__attribute__((target("avx512f"))) inline __m512d Exp8(__m512d x) {
+  const __m512d log2e = _mm512_set1_pd(1.4426950408889634074);
+  const __m512d ln2_hi = _mm512_set1_pd(6.93145751953125e-1);
+  const __m512d ln2_lo = _mm512_set1_pd(1.42860682030941723212e-6);
+  __m512d k = _mm512_roundscale_pd(_mm512_mul_pd(x, log2e),
+                                   _MM_FROUND_TO_NEAREST_INT |
+                                       _MM_FROUND_NO_EXC);
+  __m512d r = _mm512_fnmadd_pd(k, ln2_hi, x);
+  r = _mm512_fnmadd_pd(k, ln2_lo, r);
+  __m512d p = _mm512_set1_pd(1.0 / 39916800.0);
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 3628800.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 362880.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 40320.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 5040.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 720.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 120.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 24.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0 / 6.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(0.5));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0));
+  __m256i ki = _mm512_cvtpd_epi32(k);
+  __m512i ki64 = _mm512_cvtepi32_epi64(ki);
+  __m512i bits = _mm512_castpd_si512(p);
+  bits = _mm512_add_epi64(bits, _mm512_slli_epi64(ki64, 52));
+  return _mm512_castsi512_pd(bits);
+}
+
+__attribute__((target("avx512f"))) inline __m512d Sigmoid8(__m512d x) {
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d cap = _mm512_set1_pd(40.0);
+  __m512d cx = _mm512_min_pd(_mm512_max_pd(x, _mm512_sub_pd(zero, cap)), cap);
+  __m512d ax = _mm512_abs_pd(cx);
+  __m512d nax = _mm512_sub_pd(zero, ax);
+  __m512d e = Exp8(nax);
+  __m512d s = _mm512_div_pd(e, _mm512_add_pd(one, e));
+  __mmask8 pos = _mm512_cmp_pd_mask(x, zero, _CMP_GT_OQ);
+  return _mm512_mask_sub_pd(s, pos, one, s);
+}
+
+__attribute__((target("avx512f")))
+void WeightedRowSumsAvx512(const CsrView& view, const double* weights,
+                           double bias, size_t row_lo, size_t row_hi,
+                           double* f) {
+  for (size_t i = row_lo; i < row_hi; ++i) {
+    size_t b = view.offsets[i];
+    size_t e = view.offsets[i + 1];
+    size_t t = b;
+    __m512d acc = _mm512_setzero_pd();
+    for (; t + 8 <= e; t += 8) {
+      __m256i vi = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(view.lf.data() + t));
+      __m512d w = _mm512_i32gather_pd(vi, weights, 8);
+      __m512d s = _mm512_loadu_pd(view.sign.data() + t);
+      acc = _mm512_fmadd_pd(w, s, acc);
+    }
+    double fi = bias + _mm512_reduce_add_pd(acc);
+    for (; t < e; ++t) fi += weights[view.lf[t]] * view.sign[t];
+    f[i] = fi;
+  }
+}
+
+__attribute__((target("avx512f")))
+void SigmoidBatchAvx512(const double* x, double* out, size_t count) {
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    _mm512_storeu_pd(out + i, Sigmoid8(_mm512_loadu_pd(x + i)));
+  }
+  for (; i < count; ++i) out[i] = ScalarSigmoid(x[i]);
+}
+
+__attribute__((target("avx512f")))
+void ColumnSignedSumsAvx512(const CscView& view, const double* q,
+                            size_t col_lo, size_t col_hi, double* acc) {
+  for (size_t j = col_lo; j < col_hi; ++j) {
+    size_t t = view.offsets[j];
+    size_t e = view.offsets[j + 1];
+    __m512d vacc = _mm512_setzero_pd();
+    for (; t + 8 <= e; t += 8) {
+      __m256i vr = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(view.row.data() + t));
+      __m512d qv = _mm512_i32gather_pd(vr, q, 8);
+      __m512d s = _mm512_loadu_pd(view.sign.data() + t);
+      vacc = _mm512_fmadd_pd(qv, s, vacc);
+    }
+    double sum = _mm512_reduce_add_pd(vacc);
+    for (; t < e; ++t) sum += view.sign[t] * q[view.row[t]];
+    acc[j] = sum;
+  }
+}
+
+#endif  // SNORKEL_X86
+
+enum class Isa { kScalar, kAvx2, kAvx512 };
+
+Isa DetectIsa() {
+#ifdef SNORKEL_X86
+  static const Isa isa = [] {
+    if (__builtin_cpu_supports("avx512f")) return Isa::kAvx512;
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return Isa::kAvx2;
+    }
+    return Isa::kScalar;
+  }();
+  return isa;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+}  // namespace
+
+const char* CsrKernelIsa() {
+  switch (DetectIsa()) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+void WeightedRowSums(const CsrView& view, const double* weights, double bias,
+                     size_t row_lo, size_t row_hi, double* f) {
+#ifdef SNORKEL_X86
+  switch (DetectIsa()) {
+    case Isa::kAvx512:
+      return WeightedRowSumsAvx512(view, weights, bias, row_lo, row_hi, f);
+    case Isa::kAvx2:
+      return WeightedRowSumsAvx2(view, weights, bias, row_lo, row_hi, f);
+    default:
+      break;
+  }
+#endif
+  WeightedRowSumsScalar(view, weights, bias, row_lo, row_hi, f);
+}
+
+void SigmoidBatch(const double* x, double* out, size_t count) {
+#ifdef SNORKEL_X86
+  switch (DetectIsa()) {
+    case Isa::kAvx512:
+      return SigmoidBatchAvx512(x, out, count);
+    case Isa::kAvx2:
+      return SigmoidBatchAvx2(x, out, count);
+    default:
+      break;
+  }
+#endif
+  SigmoidBatchScalar(x, out, count);
+}
+
+void ColumnSignedSums(const CscView& view, const double* q, size_t col_lo,
+                      size_t col_hi, double* acc) {
+#ifdef SNORKEL_X86
+  switch (DetectIsa()) {
+    case Isa::kAvx512:
+      return ColumnSignedSumsAvx512(view, q, col_lo, col_hi, acc);
+    case Isa::kAvx2:
+      return ColumnSignedSumsAvx2(view, q, col_lo, col_hi, acc);
+    default:
+      break;
+  }
+#endif
+  ColumnSignedSumsScalar(view, q, col_lo, col_hi, acc);
+}
+
+}  // namespace snorkel

@@ -1,0 +1,66 @@
+#ifndef SNORKEL_CORE_CSR_KERNELS_H_
+#define SNORKEL_CORE_CSR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/label_matrix.h"
+
+namespace snorkel {
+
+/// Structure-of-arrays mirror of a binary label matrix's CSR entries, laid
+/// out for the SIMD hot loops: LF indices and row ids as gather indices and
+/// the vote sign (+1/-1) premultiplied into a double. Built once per
+/// fit/predict pass; `offsets` aliases the matrix's row-offset array, so the
+/// view must not outlive the matrix.
+struct CsrView {
+  std::vector<uint32_t> lf;    // nnz LF indices.
+  std::vector<uint32_t> row;   // nnz row ids.
+  std::vector<double> sign;    // nnz vote signs, +1.0 / -1.0.
+  const size_t* offsets = nullptr;  // num_rows + 1 row offsets.
+  size_t num_rows = 0;
+  size_t num_lfs = 0;
+
+  static CsrView FromMatrix(const LabelMatrix& matrix);
+};
+
+/// Column-major (CSC) companion to CsrView: entry row ids and signs grouped
+/// by LF, for the accumulation passes that reduce into per-LF statistics.
+/// A column sum is then a pure gather-reduce — no scatter writes at all.
+struct CscView {
+  std::vector<size_t> offsets;  // num_lfs + 1 column offsets.
+  std::vector<uint32_t> row;    // nnz row ids, grouped by LF.
+  std::vector<double> sign;     // nnz vote signs, +1.0 / -1.0.
+  size_t num_lfs = 0;
+
+  static CscView FromMatrix(const LabelMatrix& matrix);
+};
+
+/// f[i] = bias + Σ_{entries t of row i} weights[lf[t]] * sign[t], for every
+/// row i in [row_lo, row_hi). The sparse-matrix · dense-vector product at
+/// the heart of both the training positive phase and posterior inference.
+void WeightedRowSums(const CsrView& view, const double* weights, double bias,
+                     size_t row_lo, size_t row_hi, double* f);
+
+/// out[i] = sigmoid(x[i]) for i in [0, count). Uses a vectorized
+/// polynomial exp (~2 ulp) on AVX2/AVX-512 hardware; the instruction
+/// sequence per element is independent of how the caller shards its data,
+/// so results do not depend on thread count.
+void SigmoidBatch(const double* x, double* out, size_t count);
+
+/// acc[j] = Σ_{entries t of column j} sign[t] * q[row[t]] for every column
+/// j in [col_lo, col_hi). Each column is an independent gather-reduce —
+/// no scatter writes — so sharding over columns needs no per-shard
+/// accumulators (and the result is independent of the sharding by
+/// construction).
+void ColumnSignedSums(const CscView& view, const double* q, size_t col_lo,
+                      size_t col_hi, double* acc);
+
+/// The instruction-set level the kernels dispatched to ("scalar", "avx2",
+/// "avx512"); fixed for the lifetime of the process.
+const char* CsrKernelIsa();
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_CORE_CSR_KERNELS_H_

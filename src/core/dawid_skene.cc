@@ -5,8 +5,23 @@
 #include <cmath>
 
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace snorkel {
+
+namespace {
+
+/// Rows per shard in the EM loops; a constant (never the pool size), so
+/// per-shard partials reduced in shard order make Fit deterministic for any
+/// thread count.
+constexpr size_t kRowGrain = 2048;
+
+/// Cap on M-step shards: each one carries an O(n·k²) sufficient-statistics
+/// buffer, so the shard count must not scale with num_rows. The grain is
+/// still a pure function of m, preserving thread-count determinism.
+constexpr size_t kMaxMStepShards = 64;
+
+}  // namespace
 
 DawidSkeneModel::DawidSkeneModel(DawidSkeneOptions options)
     : options_(options) {}
@@ -49,14 +64,42 @@ Status DawidSkeneModel::Fit(const LabelMatrix& matrix) {
   confusions_.assign(n, std::vector<std::vector<double>>(
                             k, std::vector<double>(k, 1.0 / k)));
 
+  // EM row loops shard over the worker pool with fixed-grain shards and
+  // shard-ordered reduction (the generative model's warm start runs through
+  // here, so the same determinism guarantee applies).
+  ScopedPool pool(options_.num_threads);
+  size_t m_grain =
+      std::max(kRowGrain, (m + kMaxMStepShards - 1) / kMaxMStepShards);
+  size_t num_m_shards = (m + m_grain - 1) / m_grain;
+  size_t num_e_shards = (m + kRowGrain - 1) / kRowGrain;
+  std::vector<double> shard_conf(num_m_shards * n * k * k);
+  std::vector<double> shard_prior(num_m_shards * k);
+  std::vector<double> shard_max(num_e_shards);
+
   iterations_ = 0;
   for (int iter = 0; iter < options_.max_iters; ++iter) {
     ++iterations_;
-    // ---- M-step. ----
+    // ---- M-step: per-shard sufficient statistics, reduced in shard order.
+    std::fill(shard_conf.begin(), shard_conf.end(), 0.0);
+    std::fill(shard_prior.begin(), shard_prior.end(), 0.0);
+    pool->ParallelForShards(
+        0, m, m_grain, [&](size_t shard, size_t lo, size_t hi) {
+          double* prior_acc = shard_prior.data() + shard * k;
+          double* conf_acc = shard_conf.data() + shard * n * k * k;
+          for (size_t i = lo; i < hi; ++i) {
+            for (size_t c = 0; c < k; ++c) prior_acc[c] += posterior[i][c];
+            for (const auto& e : matrix.row(i)) {
+              size_t emitted = LabelToClass(e.label);
+              for (size_t c = 0; c < k; ++c) {
+                conf_acc[(e.lf * k + c) * k + emitted] += posterior[i][c];
+              }
+            }
+          }
+        });
     if (options_.estimate_class_balance) {
       std::vector<double> prior(k, s);
-      for (size_t i = 0; i < m; ++i) {
-        for (size_t c = 0; c < k; ++c) prior[c] += posterior[i][c];
+      for (size_t shard = 0; shard < num_m_shards; ++shard) {
+        for (size_t c = 0; c < k; ++c) prior[c] += shard_prior[shard * k + c];
       }
       double z = 0.0;
       for (double p : prior) z += p;
@@ -65,11 +108,13 @@ Status DawidSkeneModel::Fit(const LabelMatrix& matrix) {
     for (size_t j = 0; j < n; ++j) {
       for (auto& row : confusions_[j]) std::fill(row.begin(), row.end(), s);
     }
-    for (size_t i = 0; i < m; ++i) {
-      for (const auto& e : matrix.row(i)) {
-        size_t emitted = LabelToClass(e.label);
+    for (size_t shard = 0; shard < num_m_shards; ++shard) {
+      const double* conf_acc = shard_conf.data() + shard * n * k * k;
+      for (size_t j = 0; j < n; ++j) {
         for (size_t c = 0; c < k; ++c) {
-          confusions_[e.lf][c][emitted] += posterior[i][c];
+          for (size_t e = 0; e < k; ++e) {
+            confusions_[j][c][e] += conf_acc[(j * k + c) * k + e];
+          }
         }
       }
     }
@@ -81,26 +126,34 @@ Status DawidSkeneModel::Fit(const LabelMatrix& matrix) {
       }
     }
 
-    // ---- E-step. ----
+    // ---- E-step: disjoint per-row posterior writes; the convergence
+    // statistic is a max, reduced over shards. ----
+    std::fill(shard_max.begin(), shard_max.end(), 0.0);
+    pool->ParallelForShards(
+        0, m, kRowGrain, [&](size_t shard, size_t lo, size_t hi) {
+          double shard_change = 0.0;
+          std::vector<double> log_post(k);
+          for (size_t i = lo; i < hi; ++i) {
+            for (size_t c = 0; c < k; ++c) {
+              log_post[c] = std::log(class_priors_[c]);
+            }
+            for (const auto& e : matrix.row(i)) {
+              size_t emitted = LabelToClass(e.label);
+              for (size_t c = 0; c < k; ++c) {
+                log_post[c] += std::log(confusions_[e.lf][c][emitted]);
+              }
+            }
+            SoftmaxInPlace(&log_post);
+            for (size_t c = 0; c < k; ++c) {
+              shard_change = std::max(
+                  shard_change, std::fabs(log_post[c] - posterior[i][c]));
+              posterior[i][c] = log_post[c];
+            }
+          }
+          shard_max[shard] = shard_change;
+        });
     double max_change = 0.0;
-    std::vector<double> log_post(k);
-    for (size_t i = 0; i < m; ++i) {
-      for (size_t c = 0; c < k; ++c) {
-        log_post[c] = std::log(class_priors_[c]);
-      }
-      for (const auto& e : matrix.row(i)) {
-        size_t emitted = LabelToClass(e.label);
-        for (size_t c = 0; c < k; ++c) {
-          log_post[c] += std::log(confusions_[e.lf][c][emitted]);
-        }
-      }
-      SoftmaxInPlace(&log_post);
-      for (size_t c = 0; c < k; ++c) {
-        max_change = std::max(max_change,
-                              std::fabs(log_post[c] - posterior[i][c]));
-        posterior[i][c] = log_post[c];
-      }
-    }
+    for (double v : shard_max) max_change = std::max(max_change, v);
     if (max_change < options_.tol) break;
   }
 

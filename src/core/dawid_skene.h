@@ -18,6 +18,10 @@ struct DawidSkeneOptions {
   double smoothing = 0.1;
   /// When false, class priors stay uniform.
   bool estimate_class_balance = true;
+  /// Worker threads for the sharded EM row loops: 0 uses the process-wide
+  /// SharedThreadPool. Shard boundaries are fixed constants, so the fitted
+  /// model is identical for any value.
+  int num_threads = 0;
 };
 
 /// The classic Dawid-Skene latent-class model [13], fit with EM. Snorkel's

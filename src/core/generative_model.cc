@@ -6,20 +6,152 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/csr_kernels.h"
 #include "util/adam.h"
 #include "util/math_util.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace snorkel {
 
 namespace {
 
+/// Rows per shard in the sharded positive-phase / inference loops. A
+/// constant (never derived from the pool size), so per-shard partial sums
+/// reduced in shard order are bitwise-identical for any thread count.
+constexpr size_t kRowGrain = 1024;
+
+/// Columns per shard in the column-major accumulation pass; each column is
+/// an independent gather-reduce, so the partition cannot affect results.
+constexpr size_t kColGrain = 8;
+
+/// Cap on the dense column-major vote copy used to compute the correlation
+/// sufficient statistics with vectorizable column compares; larger matrices
+/// fall back to the sparse per-row scan.
+constexpr size_t kDenseVoteBytesCap = 64u << 20;
+
 /// One persistent Gibbs chain over a generic data point (y, λ_1..λ_n). Used
-/// to estimate the model expectation E_{p_w}[φ] in the negative phase.
+/// to estimate the model expectation E_{p_w}[φ] in the negative phase. Each
+/// chain owns an RNG stream seeded from (options.seed, chain index), so
+/// chains sweep concurrently yet reproduce bitwise for a fixed seed no
+/// matter how they are scheduled.
 struct GibbsChain {
-  int y = 1;                  // Latent label in {+1, -1}.
-  std::vector<Label> votes;   // λ_j in {-1, 0, +1}.
+  int8_t y = 1;                // Latent label in {+1, -1}.
+  std::vector<int8_t> votes;   // λ_j in {-1, 0, +1}.
+  SplitMix64 rng{0};
 };
+
+/// Correlation adjacency in CSR form: neighbors of LF j (and the index of
+/// the correlation coupling them) live at [offsets[j], offsets[j+1]).
+struct CorrAdjacency {
+  std::vector<size_t> offsets;
+  std::vector<uint32_t> other;
+  std::vector<uint32_t> corr;
+};
+
+CorrAdjacency BuildAdjacency(const std::vector<CorrelationPair>& correlations,
+                             size_t n) {
+  CorrAdjacency adj;
+  std::vector<size_t> degree(n, 0);
+  for (const auto& pair : correlations) {
+    ++degree[pair.j];
+    ++degree[pair.k];
+  }
+  adj.offsets.assign(n + 1, 0);
+  for (size_t j = 0; j < n; ++j) adj.offsets[j + 1] = adj.offsets[j] + degree[j];
+  adj.other.resize(adj.offsets[n]);
+  adj.corr.resize(adj.offsets[n]);
+  std::vector<size_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+  for (size_t c = 0; c < correlations.size(); ++c) {
+    size_t j = correlations[c].j;
+    size_t k = correlations[c].k;
+    adj.other[cursor[j]] = static_cast<uint32_t>(k);
+    adj.corr[cursor[j]++] = static_cast<uint32_t>(c);
+    adj.other[cursor[k]] = static_cast<uint32_t>(j);
+    adj.corr[cursor[k]++] = static_cast<uint32_t>(c);
+  }
+  return adj;
+}
+
+/// One Gibbs sweep in multiplicative form: the three vote-state scores are
+/// products of per-epoch-precomputed exp(weight) factors, so the inner loop
+/// does no exp at all (the original form paid three exps per LF resample).
+/// Factors are bounded by exp(±weight_clamp) per term; if a pathological
+/// hub LF's products ever approach double overflow, that LF falls back to
+/// a log-space (max-subtracted) recompute. Neighbor contributions and the
+/// vote draw are branchless — the sampled states are near-uniformly
+/// random, so data-dependent branches here would mispredict about half the
+/// time.
+///
+/// `e_lab[j]` = exp(w^Lab_j); `e_lab_acc[j]` = exp(w^Lab_j + w^Acc_j), the
+/// score of the vote state that agrees with y (φ^Acc fires when λ_j = y).
+void SweepChain(GibbsChain* chain, size_t n, const double* params,
+                const double* e_lab_acc, const double* e_lab,
+                const double* e_corr, const CorrAdjacency& adj,
+                double prior_logit) {
+  // Resample each vote λ_j given (y, λ_rest).
+  for (size_t j = 0; j < n; ++j) {
+    bool y_pos = chain->y > 0;
+    double p_abstain = 1.0;
+    double p_pos = y_pos ? e_lab_acc[j] : e_lab[j];
+    double p_neg = y_pos ? e_lab[j] : e_lab_acc[j];
+    for (size_t a = adj.offsets[j]; a < adj.offsets[j + 1]; ++a) {
+      // Conditional *selects* (not branches): the neighbor's state is
+      // near-uniform, so each factor multiplies exactly one score via cmov.
+      double wc = e_corr[adj.corr[a]];
+      int8_t lo = chain->votes[adj.other[a]];
+      p_abstain *= lo == 0 ? wc : 1.0;
+      p_pos *= lo > 0 ? wc : 1.0;
+      p_neg *= lo < 0 ? wc : 1.0;
+    }
+    double total = p_abstain + p_pos + p_neg;
+    if (!(total >= 1e-300 && total < 1e300)) {
+      // Degenerate hub LF (correlation degree in the hundreds): the
+      // products can overflow — or, with strongly negative correlation
+      // weights, underflow to 0.0, which would turn the draw below into a
+      // constant -1. Recompute this LF's scores in log space with the
+      // classic max-subtraction, which is immune to magnitude either way
+      // (the condition also catches inf/NaN).
+      double s_abstain = 0.0;
+      double s_pos = params[n + j];
+      double s_neg = params[n + j];
+      if (y_pos) {
+        s_pos += params[j];
+      } else {
+        s_neg += params[j];
+      }
+      for (size_t a = adj.offsets[j]; a < adj.offsets[j + 1]; ++a) {
+        double wc = params[2 * n + adj.corr[a]];
+        int8_t lo = chain->votes[adj.other[a]];
+        if (lo == 0) {
+          s_abstain += wc;
+        } else if (lo > 0) {
+          s_pos += wc;
+        } else {
+          s_neg += wc;
+        }
+      }
+      double hi = std::max({s_abstain, s_pos, s_neg});
+      p_abstain = std::exp(s_abstain - hi);
+      p_pos = std::exp(s_pos - hi);
+      p_neg = std::exp(s_neg - hi);
+      total = p_abstain + p_pos + p_neg;
+    }
+    double r = chain->rng.Uniform() * total;
+    // r < p_abstain                 -> abstain (0)
+    // p_abstain <= r < p_abs + p_pos -> +1
+    // otherwise                     -> -1
+    double take_neg = p_abstain + p_pos;
+    chain->votes[j] = static_cast<int8_t>(static_cast<int>(r >= p_abstain) -
+                                          2 * static_cast<int>(r >= take_neg));
+  }
+  // Resample y given the votes (class prior included).
+  double f = prior_logit;
+  for (size_t j = 0; j < n; ++j) {
+    f += params[j] * static_cast<double>(chain->votes[j]);
+  }
+  chain->y = chain->rng.Uniform() < Sigmoid(f) ? 1 : -1;
+}
 
 }  // namespace
 
@@ -102,6 +234,11 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix,
   size_t num_corr = correlations_.size();
   bool use_gibbs = num_corr > 0 || options_.force_gibbs;
 
+  // The worker pool shared by every sharded loop below. Shard boundaries
+  // are functions of (m, kRowGrain) and chain indices only, so the fitted
+  // weights do not depend on the pool size.
+  ScopedPool pool(options_.num_threads);
+
   // Correlation degree of each LF, for the degree-scaled initialization.
   std::vector<int> corr_degree(n, 0);
   for (const auto& pair : correlations_) {
@@ -135,6 +272,7 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix,
     DawidSkeneOptions ds_options;
     ds_options.max_iters = options_.em_warm_start_iters;
     ds_options.smoothing = 1.0;
+    ds_options.num_threads = options_.num_threads;
     DawidSkeneModel warm(ds_options);
     double acc_floor =
         options_.allow_adversarial ? -options_.acc_weight_cap : 0.02;
@@ -152,6 +290,25 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix,
     }
   }
 
+  // Flat SoA views over Λ for the SIMD kernels; one linear pass replaces
+  // the per-row heap walk everywhere below. CSR drives the row-major
+  // posterior sweep, CSC the column-major accumulation into per-LF
+  // statistics.
+  CsrView view = CsrView::FromMatrix(matrix);
+  CscView col_view = CscView::FromMatrix(matrix);
+  size_t nnz = view.lf.size();
+
+  // ---- Positive-phase sufficient statistics that do not depend on w. ----
+  // coverage[j] = fraction of rows LF j votes on; neg_count[j] = number of
+  // negative votes (the w-independent part of the accuracy statistic:
+  // Σ_i [Λ_ij > 0] q_i + [Λ_ij < 0] (1 - q_i) = neg_count_j + Σ sign·q).
+  std::vector<double> coverage(n, 0.0);
+  std::vector<double> neg_count(n, 0.0);
+  for (size_t t = 0; t < nnz; ++t) {
+    coverage[view.lf[t]] += 1.0;
+    if (view.sign[t] < 0.0) neg_count[view.lf[t]] += 1.0;
+  }
+
   // Moment-matched propensity init: choose w^Lab_j so the model's implied
   // coverage equals the observed coverage at the warm-started accuracy
   // weights,
@@ -159,98 +316,85 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix,
   //   wl = logit(c_j) - log(1 + e^{wa}).
   // This puts the SGD refinement at a near-stationary point of the
   // marginal likelihood instead of handing it a huge init transient.
-  {
-    std::vector<double> vote_count(n, 0.0);
-    for (size_t i = 0; i < m; ++i) {
-      for (const auto& e : matrix.row(i)) vote_count[e.lf] += 1.0;
-    }
-    for (size_t j = 0; j < n; ++j) {
-      double c = Clip(vote_count[j] / static_cast<double>(m), 1e-4,
-                      1.0 - 1e-4);
-      params[n + j] = Clip(Logit(c) - std::log(1.0 + std::exp(params[j])),
-                           -options_.weight_clamp, options_.weight_clamp);
-    }
-  }
-
-  // ---- Positive-phase sufficient statistics that do not depend on w. ----
-  std::vector<double> coverage(n, 0.0);
-  for (size_t i = 0; i < m; ++i) {
-    for (const auto& e : matrix.row(i)) coverage[e.lf] += 1.0;
+  for (size_t j = 0; j < n; ++j) {
+    double c = Clip(coverage[j] / static_cast<double>(m), 1e-4, 1.0 - 1e-4);
+    params[n + j] = Clip(Logit(c) - std::log(1.0 + std::exp(params[j])),
+                         -options_.weight_clamp, options_.weight_clamp);
   }
   for (double& c : coverage) c /= static_cast<double>(m);
 
   std::vector<double> pos_corr(num_corr, 0.0);
   if (num_corr > 0) {
-    std::vector<Label> dense_row(n, kAbstain);
-    for (size_t i = 0; i < m; ++i) {
-      for (const auto& e : matrix.row(i)) dense_row[e.lf] = e.label;
+    // φ^Corr counts agreement INCLUDING joint abstention, so the statistic
+    // needs dense columns. Small matrices get a dense column-major vote
+    // copy whose per-pair equality scan the compiler vectorizes; large ones
+    // fall back to the sparse row-at-a-time scan.
+    if (m * n <= kDenseVoteBytesCap) {
+      std::vector<int8_t> col_votes(m * n, 0);
+      for (size_t t = 0; t < nnz; ++t) {
+        col_votes[static_cast<size_t>(view.lf[t]) * m + view.row[t]] =
+            view.sign[t] > 0.0 ? 1 : -1;
+      }
       for (size_t c = 0; c < num_corr; ++c) {
-        if (dense_row[correlations_[c].j] == dense_row[correlations_[c].k]) {
-          pos_corr[c] += 1.0;
-        }
+        const int8_t* a = col_votes.data() + correlations_[c].j * m;
+        const int8_t* b = col_votes.data() + correlations_[c].k * m;
+        size_t equal = 0;
+        for (size_t i = 0; i < m; ++i) equal += a[i] == b[i];
+        pos_corr[c] = static_cast<double>(equal) / static_cast<double>(m);
       }
-      for (const auto& e : matrix.row(i)) dense_row[e.lf] = kAbstain;
+    } else {
+      std::vector<Label> dense_row(n, kAbstain);
+      for (size_t i = 0; i < m; ++i) {
+        for (const auto& e : matrix.row(i)) dense_row[e.lf] = e.label;
+        for (size_t c = 0; c < num_corr; ++c) {
+          if (dense_row[correlations_[c].j] == dense_row[correlations_[c].k]) {
+            pos_corr[c] += 1.0;
+          }
+        }
+        for (const auto& e : matrix.row(i)) dense_row[e.lf] = kAbstain;
+      }
+      for (double& p : pos_corr) p /= static_cast<double>(m);
     }
-    for (double& p : pos_corr) p /= static_cast<double>(m);
   }
 
-  // Correlation adjacency for the Gibbs sampler: lf -> [(other, corr idx)].
-  std::vector<std::vector<std::pair<size_t, size_t>>> adjacency(n);
-  for (size_t c = 0; c < num_corr; ++c) {
-    adjacency[correlations_[c].j].push_back({correlations_[c].k, c});
-    adjacency[correlations_[c].k].push_back({correlations_[c].j, c});
-  }
+  CorrAdjacency adj = BuildAdjacency(correlations_, n);
 
-  Rng rng(options_.seed);
-  std::vector<GibbsChain> chains;
-  auto sweep_chain = [&](GibbsChain* chain) {
-    // Resample each vote λ_j given (y, λ_rest).
+  // ---- Persistent Gibbs chains: one RNG stream per chain, seeded from
+  // (seed, chain index), so chains initialize, burn in, and sweep
+  // concurrently with bitwise-reproducible results at any thread count. ----
+  size_t num_chains = use_gibbs ? static_cast<size_t>(options_.num_chains) : 0;
+  std::vector<GibbsChain> chains(num_chains);
+  // Per-epoch exp(weight) factor tables for the multiplicative sweep.
+  std::vector<double> e_lab_acc(n), e_lab(n), e_corr(num_corr);
+  auto refresh_exp_tables = [&] {
     for (size_t j = 0; j < n; ++j) {
-      double s_abstain = 0.0;
-      double s_pos = params[n + j];   // w^Lab_j.
-      double s_neg = params[n + j];
-      if (chain->y > 0) {
-        s_pos += params[j];  // w^Acc_j fires when λ_j = y.
-      } else {
-        s_neg += params[j];
-      }
-      for (const auto& [other, c] : adjacency[j]) {
-        double wc = params[2 * n + c];
-        Label lo = chain->votes[other];
-        if (lo == kAbstain) {
-          s_abstain += wc;
-        } else if (lo > 0) {
-          s_pos += wc;
-        } else {
-          s_neg += wc;
-        }
-      }
-      double hi = std::max({s_abstain, s_pos, s_neg});
-      double p0 = std::exp(s_abstain - hi);
-      double pp = std::exp(s_pos - hi);
-      double pn = std::exp(s_neg - hi);
-      double r = rng.Uniform() * (p0 + pp + pn);
-      chain->votes[j] = r < p0 ? kAbstain : (r < p0 + pp ? 1 : -1);
+      e_lab_acc[j] = std::exp(params[n + j] + params[j]);
+      e_lab[j] = std::exp(params[n + j]);
     }
-    // Resample y given the votes (class prior included).
-    double f = Logit(options_.class_balance);
-    for (size_t j = 0; j < n; ++j) {
-      f += params[j] * static_cast<double>(chain->votes[j]);
+    for (size_t c = 0; c < num_corr; ++c) {
+      e_corr[c] = std::exp(params[2 * n + c]);
     }
-    chain->y = rng.Bernoulli(Sigmoid(f)) ? 1 : -1;
   };
-
   if (use_gibbs) {
-    chains.resize(static_cast<size_t>(options_.num_chains));
-    for (auto& chain : chains) {
-      chain.votes.assign(n, kAbstain);
-      chain.y = rng.Bernoulli(0.5) ? 1 : -1;
-      for (size_t j = 0; j < n; ++j) {
-        double r = rng.Uniform();
-        chain.votes[j] = r < 1.0 / 3 ? kAbstain : (r < 2.0 / 3 ? 1 : -1);
-      }
-      for (int s = 0; s < options_.burn_in_sweeps; ++s) sweep_chain(&chain);
-    }
+    refresh_exp_tables();
+    double prior_logit = Logit(options_.class_balance);
+    pool->ParallelForShards(
+        0, num_chains, 1, [&](size_t, size_t lo, size_t hi) {
+          for (size_t c = lo; c < hi; ++c) {
+            GibbsChain& chain = chains[c];
+            chain.rng = SplitMix64(options_.seed, c);
+            chain.votes.assign(n, 0);
+            chain.y = chain.rng.Uniform() < 0.5 ? 1 : -1;
+            for (size_t j = 0; j < n; ++j) {
+              double r = chain.rng.Uniform();
+              chain.votes[j] = r < 1.0 / 3 ? 0 : (r < 2.0 / 3 ? 1 : -1);
+            }
+            for (int s = 0; s < options_.burn_in_sweeps; ++s) {
+              SweepChain(&chain, n, params.data(), e_lab_acc.data(), e_lab.data(),
+                         e_corr.data(), adj, prior_logit);
+            }
+          }
+        });
   }
 
   AdamOptimizer adam(params.size(), {.learning_rate = options_.learning_rate});
@@ -260,25 +404,40 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix,
   std::vector<double> neg_acc(n, 0.0);
   std::vector<double> neg_corr(num_corr, 0.0);
 
+  // Scratch for the sharded loops, allocated once. Positive-phase per-LF
+  // sums come from the column pass (one column = one shard-independent
+  // reduction); negative-phase tallies are integer counts (exactly
+  // associative, so the chain partition cannot change results even in
+  // principle).
+  std::vector<double> f_buf(m), q_buf(m);
+  std::vector<double> pos_sum(n, 0.0);
+  size_t counts_stride = 2 * n + num_corr;
+  std::vector<uint32_t> chain_counts(num_chains * counts_stride, 0);
+
+  double prior_shift = Logit(options_.class_balance);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     // ---- Positive phase: E_{Y|Λ,w}[φ], exact (only φ^Acc depends on y).
     // The class-balance prior enters here as a fixed log-odds factor on y;
     // without it the class-symmetric factor graph has an "all-positive"
     // mode on unbalanced data in which every negative-polarity LF looks
     // inaccurate. The prior does not alter the (y-symmetric) negative
-    // phase. ----
-    double prior_shift = Logit(options_.class_balance);
-    std::fill(pos_acc.begin(), pos_acc.end(), 0.0);
-    for (size_t i = 0; i < m; ++i) {
-      const auto& row = matrix.row(i);
-      double f = prior_shift;
-      for (const auto& e : row) f += params[e.lf] * static_cast<double>(e.label);
-      double q = Sigmoid(f);  // p(y = +1 | Λ_i).
-      for (const auto& e : row) {
-        pos_acc[e.lf] += e.label > 0 ? q : 1.0 - q;
-      }
+    // phase. Two sharded passes with the SIMD kernels: a row-major sweep
+    // computing q = σ(f), then a column-major gather-reduce into the per-LF
+    // statistic. ----
+    pool->ParallelForShards(
+        0, m, kRowGrain, [&](size_t, size_t lo, size_t hi) {
+          WeightedRowSums(view, params.data(), prior_shift, lo, hi,
+                          f_buf.data());
+          SigmoidBatch(f_buf.data() + lo, q_buf.data() + lo, hi - lo);
+        });
+    pool->ParallelForShards(0, n, kColGrain,
+                            [&](size_t, size_t lo, size_t hi) {
+                              ColumnSignedSums(col_view, q_buf.data(), lo, hi,
+                                               pos_sum.data());
+                            });
+    for (size_t j = 0; j < n; ++j) {
+      pos_acc[j] = (neg_count[j] + pos_sum[j]) / static_cast<double>(m);
     }
-    for (double& p : pos_acc) p /= static_cast<double>(m);
 
     // ---- Negative phase: E_{p_w}[φ]. ----
     if (!use_gibbs) {
@@ -286,33 +445,54 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix,
       for (size_t j = 0; j < n; ++j) {
         double wl = params[n + j];
         double wa = params[j];
-        double e_lab = std::exp(wl);
+        double e_lab_j = std::exp(wl);
         double e_both = std::exp(wl + wa);
-        double z = 1.0 + e_lab + e_both;
-        neg_lab[j] = (e_lab + e_both) / z;
+        double z = 1.0 + e_lab_j + e_both;
+        neg_lab[j] = (e_lab_j + e_both) / z;
         neg_acc[j] = e_both / z;
       }
     } else {
-      std::fill(neg_lab.begin(), neg_lab.end(), 0.0);
-      std::fill(neg_acc.begin(), neg_acc.end(), 0.0);
-      std::fill(neg_corr.begin(), neg_corr.end(), 0.0);
-      for (auto& chain : chains) {
-        for (int s = 0; s < options_.gibbs_sweeps; ++s) sweep_chain(&chain);
-        for (size_t j = 0; j < n; ++j) {
-          if (chain.votes[j] != kAbstain) neg_lab[j] += 1.0;
-          if (chain.votes[j] == chain.y) neg_acc[j] += 1.0;
+      refresh_exp_tables();
+      std::fill(chain_counts.begin(), chain_counts.end(), 0);
+      pool->ParallelForShards(
+          0, num_chains, 1, [&](size_t, size_t clo, size_t chi) {
+            for (size_t c = clo; c < chi; ++c) {
+              GibbsChain& chain = chains[c];
+              for (int s = 0; s < options_.gibbs_sweeps; ++s) {
+                SweepChain(&chain, n, params.data(), e_lab_acc.data(),
+                           e_lab.data(), e_corr.data(), adj, prior_shift);
+              }
+              uint32_t* counts = chain_counts.data() + c * counts_stride;
+              for (size_t j = 0; j < n; ++j) {
+                if (chain.votes[j] != 0) ++counts[j];
+                if (chain.votes[j] == chain.y) ++counts[n + j];
+              }
+              for (size_t cc = 0; cc < num_corr; ++cc) {
+                if (chain.votes[correlations_[cc].j] ==
+                    chain.votes[correlations_[cc].k]) {
+                  ++counts[2 * n + cc];
+                }
+              }
+            }
+          });
+      double inv = 1.0 / static_cast<double>(num_chains);
+      for (size_t j = 0; j < n; ++j) {
+        uint64_t lab = 0;
+        uint64_t acc = 0;
+        for (size_t c = 0; c < num_chains; ++c) {
+          lab += chain_counts[c * counts_stride + j];
+          acc += chain_counts[c * counts_stride + n + j];
         }
-        for (size_t c = 0; c < num_corr; ++c) {
-          if (chain.votes[correlations_[c].j] ==
-              chain.votes[correlations_[c].k]) {
-            neg_corr[c] += 1.0;
-          }
-        }
+        neg_lab[j] = static_cast<double>(lab) * inv;
+        neg_acc[j] = static_cast<double>(acc) * inv;
       }
-      double inv = 1.0 / static_cast<double>(chains.size());
-      for (double& v : neg_lab) v *= inv;
-      for (double& v : neg_acc) v *= inv;
-      for (double& v : neg_corr) v *= inv;
+      for (size_t cc = 0; cc < num_corr; ++cc) {
+        uint64_t corr = 0;
+        for (size_t c = 0; c < num_chains; ++c) {
+          corr += chain_counts[c * counts_stride + 2 * n + cc];
+        }
+        neg_corr[cc] = static_cast<double>(corr) * inv;
+      }
     }
 
     // ---- Loss gradient = neg - pos. ----
@@ -360,15 +540,28 @@ std::vector<double> GenerativeModel::PredictProba(
     const LabelMatrix& matrix, bool apply_class_balance) const {
   assert(is_fit_);
   assert(matrix.num_lfs() == num_lfs_);
+  size_t m = matrix.num_rows();
+  std::vector<double> out(m);
+  if (m == 0) return out;
   double prior_shift = apply_class_balance ? Logit(options_.class_balance) : 0.0;
-  std::vector<double> out(matrix.num_rows());
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    double f = prior_shift;
-    for (const auto& e : matrix.row(i)) {
-      f += acc_weights_[e.lf] * static_cast<double>(e.label);
-    }
-    out[i] = Sigmoid(f);
+  CsrView view = CsrView::FromMatrix(matrix);
+  std::vector<double> f(m);
+  if (m <= kRowGrain) {
+    // One shard: identical to what ParallelForShards would run inline, but
+    // skips pool resolution — serving-sized batches stay free of any
+    // thread spawn even when num_threads pins a dedicated training pool.
+    WeightedRowSums(view, acc_weights_.data(), prior_shift, 0, m, f.data());
+    SigmoidBatch(f.data(), out.data(), m);
+    return out;
   }
+  ScopedPool pool(options_.num_threads);
+  pool->ParallelForShards(0, m, kRowGrain,
+                          [&](size_t, size_t lo, size_t hi) {
+                            WeightedRowSums(view, acc_weights_.data(),
+                                            prior_shift, lo, hi, f.data());
+                            SigmoidBatch(f.data() + lo, out.data() + lo,
+                                         hi - lo);
+                          });
   return out;
 }
 

@@ -70,6 +70,12 @@ struct GenerativeModelOptions {
   /// exact-vs-sampled ablation (the exact path is available because the
   /// independent model's partition function factorizes, Appendix A.1).
   bool force_gibbs = false;
+  /// Worker threads for the sharded training / inference loops: 0 uses the
+  /// process-wide SharedThreadPool, any other value spins up a dedicated
+  /// pool of that size. Shard boundaries and per-chain RNG streams are
+  /// functions of the data and `seed` alone, so fitted weights and
+  /// posteriors are bitwise-identical for every value of this knob.
+  int num_threads = 0;
   uint64_t seed = 42;
 };
 

@@ -29,14 +29,15 @@ Result<LabelMatrix> LabelMatrix::FromDense(
     return Status::InvalidArgument("cardinality must be >= 2");
   }
   size_t num_lfs = dense.empty() ? 0 : dense[0].size();
-  std::vector<std::vector<Entry>> rows;
-  rows.reserve(dense.size());
+  std::vector<Entry> entries;
+  std::vector<size_t> offsets;
+  offsets.reserve(dense.size() + 1);
+  offsets.push_back(0);
   for (size_t i = 0; i < dense.size(); ++i) {
     if (dense[i].size() != num_lfs) {
       return Status::InvalidArgument("ragged dense label matrix at row " +
                                      std::to_string(i));
     }
-    std::vector<Entry> row;
     for (size_t j = 0; j < num_lfs; ++j) {
       Label label = dense[i][j];
       if (label == kAbstain) continue;
@@ -45,11 +46,12 @@ Result<LabelMatrix> LabelMatrix::FromDense(
             "label " + std::to_string(label) + " invalid for cardinality " +
             std::to_string(cardinality));
       }
-      row.push_back(Entry{static_cast<uint32_t>(j), label});
+      entries.push_back(Entry{static_cast<uint32_t>(j), label});
     }
-    rows.push_back(std::move(row));
+    offsets.push_back(entries.size());
   }
-  return LabelMatrix(std::move(rows), num_lfs, cardinality);
+  return LabelMatrix(std::move(entries), std::move(offsets), num_lfs,
+                     cardinality);
 }
 
 Result<LabelMatrix> LabelMatrix::FromTriplets(
@@ -59,7 +61,9 @@ Result<LabelMatrix> LabelMatrix::FromTriplets(
   if (cardinality < 2) {
     return Status::InvalidArgument("cardinality must be >= 2");
   }
-  std::vector<std::vector<Entry>> rows(num_rows);
+  // Counting sort into CSR: count per row, prefix-sum, fill, then sort each
+  // (short) row by LF index.
+  std::vector<size_t> counts(num_rows, 0);
   for (const auto& [i, j, label] : triplets) {
     if (i >= num_rows || j >= num_lfs) {
       return Status::OutOfRange("triplet index out of range");
@@ -70,110 +74,123 @@ Result<LabelMatrix> LabelMatrix::FromTriplets(
                                      " invalid for cardinality " +
                                      std::to_string(cardinality));
     }
-    rows[i].push_back(Entry{static_cast<uint32_t>(j), label});
+    ++counts[i];
   }
-  for (auto& row : rows) {
-    std::sort(row.begin(), row.end(),
+  std::vector<size_t> offsets(num_rows + 1, 0);
+  for (size_t i = 0; i < num_rows; ++i) offsets[i + 1] = offsets[i] + counts[i];
+  std::vector<Entry> entries(offsets[num_rows]);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [i, j, label] : triplets) {
+    if (label == kAbstain) continue;
+    entries[cursor[i]++] = Entry{static_cast<uint32_t>(j), label};
+  }
+  for (size_t i = 0; i < num_rows; ++i) {
+    Entry* begin = entries.data() + offsets[i];
+    Entry* end = entries.data() + offsets[i + 1];
+    std::sort(begin, end,
               [](const Entry& a, const Entry& b) { return a.lf < b.lf; });
     // Duplicate (row, lf) pairs are a caller bug.
-    for (size_t k = 1; k < row.size(); ++k) {
-      if (row[k].lf == row[k - 1].lf) {
+    for (Entry* e = begin + 1; e < end; ++e) {
+      if (e->lf == (e - 1)->lf) {
         return Status::InvalidArgument("duplicate vote for lf " +
-                                       std::to_string(row[k].lf));
+                                       std::to_string(e->lf));
       }
     }
   }
-  return LabelMatrix(std::move(rows), num_lfs, cardinality);
+  return LabelMatrix(std::move(entries), std::move(offsets), num_lfs,
+                     cardinality);
 }
 
 Label LabelMatrix::At(size_t i, size_t j) const {
-  assert(i < rows_.size() && j < num_lfs_);
-  const auto& row = rows_[i];
-  auto it = std::lower_bound(
-      row.begin(), row.end(), static_cast<uint32_t>(j),
+  assert(i + 1 < row_offsets_.size() && j < num_lfs_);
+  RowSpan r = row(i);
+  const Entry* it = std::lower_bound(
+      r.begin(), r.end(), static_cast<uint32_t>(j),
       [](const Entry& e, uint32_t lf) { return e.lf < lf; });
-  if (it != row.end() && it->lf == j) return it->label;
+  if (it != r.end() && it->lf == j) return it->label;
   return kAbstain;
 }
 
-size_t LabelMatrix::NumNonAbstains() const {
-  size_t total = 0;
-  for (const auto& row : rows_) total += row.size();
-  return total;
-}
-
 int LabelMatrix::CountLabels(size_t i, Label y) const {
-  assert(i < rows_.size());
+  assert(i + 1 < row_offsets_.size());
   int count = 0;
-  for (const Entry& e : rows_[i]) {
+  for (const Entry& e : row(i)) {
     if (e.label == y) ++count;
   }
   return count;
 }
 
 double LabelMatrix::LabelDensity() const {
-  if (rows_.empty()) return 0.0;
-  return static_cast<double>(NumNonAbstains()) /
-         static_cast<double>(rows_.size());
+  if (num_rows() == 0) return 0.0;
+  return static_cast<double>(entries_.size()) /
+         static_cast<double>(num_rows());
 }
 
 double LabelMatrix::Coverage(size_t j) const {
-  if (rows_.empty()) return 0.0;
+  size_t m = num_rows();
+  if (m == 0) return 0.0;
   int64_t votes = 0;
-  for (const auto& row : rows_) {
-    for (const Entry& e : row) {
+  for (size_t i = 0; i < m; ++i) {
+    for (const Entry& e : row(i)) {
       if (e.lf == j) {
         ++votes;
         break;
       }
     }
   }
-  return static_cast<double>(votes) / static_cast<double>(rows_.size());
+  return static_cast<double>(votes) / static_cast<double>(m);
 }
 
 double LabelMatrix::Overlap(size_t j) const {
-  if (rows_.empty()) return 0.0;
+  size_t m = num_rows();
+  if (m == 0) return 0.0;
   int64_t overlapping = 0;
-  for (const auto& row : rows_) {
-    bool has_j = false;
-    for (const Entry& e : row) {
-      if (e.lf == j) has_j = true;
+  for (size_t i = 0; i < m; ++i) {
+    RowSpan r = row(i);
+    if (r.size() < 2) continue;
+    for (const Entry& e : r) {
+      if (e.lf == j) {
+        ++overlapping;
+        break;
+      }
     }
-    if (has_j && row.size() >= 2) ++overlapping;
   }
-  return static_cast<double>(overlapping) / static_cast<double>(rows_.size());
+  return static_cast<double>(overlapping) / static_cast<double>(m);
 }
 
 double LabelMatrix::Conflict(size_t j) const {
-  if (rows_.empty()) return 0.0;
+  size_t m = num_rows();
+  if (m == 0) return 0.0;
   int64_t conflicting = 0;
-  for (const auto& row : rows_) {
+  for (size_t i = 0; i < m; ++i) {
+    RowSpan r = row(i);
     Label own = kAbstain;
-    for (const Entry& e : row) {
-      if (e.lf == j) own = e.label;
+    for (const Entry& e : r) {
+      if (e.lf == j) {
+        own = e.label;
+        break;
+      }
     }
     if (own == kAbstain) continue;
-    for (const Entry& e : row) {
+    for (const Entry& e : r) {
       if (e.lf != j && e.label != own) {
         ++conflicting;
         break;
       }
     }
   }
-  return static_cast<double>(conflicting) / static_cast<double>(rows_.size());
+  return static_cast<double>(conflicting) / static_cast<double>(m);
 }
 
 std::pair<int64_t, int64_t> LabelMatrix::PolarityCounts(size_t j) const {
   int64_t pos = 0;
   int64_t neg = 0;
-  for (const auto& row : rows_) {
-    for (const Entry& e : row) {
-      if (e.lf != j) continue;
-      if (e.label > 0) {
-        ++pos;
-      } else {
-        ++neg;
-      }
+  for (const Entry& e : entries_) {
+    if (e.lf != j) continue;
+    if (e.label > 0) {
+      ++pos;
+    } else {
+      ++neg;
     }
   }
   return {pos, neg};
@@ -181,14 +198,16 @@ std::pair<int64_t, int64_t> LabelMatrix::PolarityCounts(size_t j) const {
 
 double LabelMatrix::EmpiricalAccuracy(size_t j,
                                       const std::vector<Label>& gold) const {
-  assert(gold.size() == rows_.size());
+  size_t m = num_rows();
+  assert(gold.size() == m);
   int64_t votes = 0;
   int64_t correct = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    for (const Entry& e : rows_[i]) {
+  for (size_t i = 0; i < m; ++i) {
+    for (const Entry& e : row(i)) {
       if (e.lf != j) continue;
       ++votes;
       if (e.label == gold[i]) ++correct;
+      break;
     }
   }
   if (votes == 0) return 0.5;
@@ -196,12 +215,13 @@ double LabelMatrix::EmpiricalAccuracy(size_t j,
 }
 
 double LabelMatrix::FractionCovered() const {
-  if (rows_.empty()) return 0.0;
+  size_t m = num_rows();
+  if (m == 0) return 0.0;
   int64_t covered = 0;
-  for (const auto& row : rows_) {
-    if (!row.empty()) ++covered;
+  for (size_t i = 0; i < m; ++i) {
+    if (row_offsets_[i + 1] > row_offsets_[i]) ++covered;
   }
-  return static_cast<double>(covered) / static_cast<double>(rows_.size());
+  return static_cast<double>(covered) / static_cast<double>(m);
 }
 
 LabelMatrix LabelMatrix::SelectColumns(const std::vector<size_t>& cols) const {
@@ -210,28 +230,44 @@ LabelMatrix LabelMatrix::SelectColumns(const std::vector<size_t>& cols) const {
     assert(cols[new_j] < num_lfs_);
     remap[cols[new_j]] = static_cast<uint32_t>(new_j);
   }
-  std::vector<std::vector<Entry>> rows(rows_.size());
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    for (const Entry& e : rows_[i]) {
+  size_t m = num_rows();
+  std::vector<Entry> entries;
+  std::vector<size_t> offsets;
+  offsets.reserve(m + 1);
+  offsets.push_back(0);
+  for (size_t i = 0; i < m; ++i) {
+    size_t row_begin = entries.size();
+    for (const Entry& e : row(i)) {
       if (remap[e.lf] != UINT32_MAX) {
-        rows[i].push_back(Entry{remap[e.lf], e.label});
+        entries.push_back(Entry{remap[e.lf], e.label});
       }
     }
-    std::sort(rows[i].begin(), rows[i].end(),
+    // Remapping may permute LF order within the row; restore sortedness.
+    std::sort(entries.begin() + static_cast<long>(row_begin), entries.end(),
               [](const Entry& a, const Entry& b) { return a.lf < b.lf; });
+    offsets.push_back(entries.size());
   }
-  return LabelMatrix(std::move(rows), cols.size(), cardinality_);
+  return LabelMatrix(std::move(entries), std::move(offsets), cols.size(),
+                     cardinality_);
 }
 
 LabelMatrix LabelMatrix::SelectRows(
     const std::vector<size_t>& row_indices) const {
-  std::vector<std::vector<Entry>> rows;
-  rows.reserve(row_indices.size());
+  std::vector<size_t> offsets;
+  offsets.reserve(row_indices.size() + 1);
+  offsets.push_back(0);
   for (size_t i : row_indices) {
-    assert(i < rows_.size());
-    rows.push_back(rows_[i]);
+    assert(i + 1 < row_offsets_.size());
+    offsets.push_back(offsets.back() + (row_offsets_[i + 1] - row_offsets_[i]));
   }
-  return LabelMatrix(std::move(rows), num_lfs_, cardinality_);
+  std::vector<Entry> entries;
+  entries.reserve(offsets.back());
+  for (size_t i : row_indices) {
+    RowSpan r = row(i);
+    entries.insert(entries.end(), r.begin(), r.end());
+  }
+  return LabelMatrix(std::move(entries), std::move(offsets), num_lfs_,
+                     cardinality_);
 }
 
 std::string LabelMatrix::SummaryTable(

@@ -16,6 +16,12 @@ namespace snorkel {
 /// layer (paper §2): every downstream component — majority vote, generative
 /// model, structure learning, the modeling-strategy optimizer — consumes
 /// only Λ.
+///
+/// Storage is CSR (compressed sparse row): one flat, row-major `Entry` array
+/// plus a row-offset array, so a full pass over Λ is a single linear scan
+/// with no per-row heap indirection. This is the layout the training and
+/// inference hot loops (GenerativeModel, majority vote, structure learning)
+/// stream over.
 class LabelMatrix {
  public:
   /// One non-abstention vote: labeling function `lf` voted `label`.
@@ -26,6 +32,27 @@ class LabelMatrix {
     friend bool operator==(const Entry& a, const Entry& b) {
       return a.lf == b.lf && a.label == b.label;
     }
+  };
+
+  /// Lightweight view of one row's non-abstention entries (sorted by LF
+  /// index) inside the flat CSR array. Cheap to copy; valid as long as the
+  /// owning LabelMatrix is alive and unmodified.
+  class RowSpan {
+   public:
+    RowSpan() = default;
+    RowSpan(const Entry* begin, const Entry* end) : begin_(begin), end_(end) {}
+
+    const Entry* begin() const { return begin_; }
+    const Entry* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+    const Entry& operator[](size_t idx) const { return begin_[idx]; }
+    const Entry& front() const { return *begin_; }
+    const Entry& back() const { return *(end_ - 1); }
+
+   private:
+    const Entry* begin_ = nullptr;
+    const Entry* end_ = nullptr;
   };
 
   LabelMatrix() = default;
@@ -42,18 +69,30 @@ class LabelMatrix {
       const std::vector<std::tuple<size_t, size_t, Label>>& triplets,
       int cardinality = 2);
 
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return row_offsets_.size() - 1; }
   size_t num_lfs() const { return num_lfs_; }
   int cardinality() const { return cardinality_; }
 
   /// Non-abstention entries of row i, sorted by LF index.
-  const std::vector<Entry>& row(size_t i) const { return rows_[i]; }
+  RowSpan row(size_t i) const {
+    return RowSpan(entries_.data() + row_offsets_[i],
+                   entries_.data() + row_offsets_[i + 1]);
+  }
 
-  /// LF j's vote on row i (kAbstain when j did not vote).
+  /// The flat row-major entry array (CSR values); rows are delimited by
+  /// row_offsets(). Hot loops stream this directly.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// CSR row-offset array of size num_rows() + 1; row i occupies
+  /// entries()[row_offsets()[i] .. row_offsets()[i+1]).
+  const std::vector<size_t>& row_offsets() const { return row_offsets_; }
+
+  /// LF j's vote on row i (kAbstain when j did not vote). Binary-searches
+  /// the sorted row.
   Label At(size_t i, size_t j) const;
 
   /// Number of non-abstention votes across the matrix.
-  size_t NumNonAbstains() const;
+  size_t NumNonAbstains() const { return entries_.size(); }
 
   /// c_y(Λ_i): number of LFs voting `y` on row i (y != kAbstain).
   int CountLabels(size_t i, Label y) const;
@@ -95,14 +134,19 @@ class LabelMatrix {
                            const std::vector<Label>* gold = nullptr) const;
 
  private:
-  LabelMatrix(std::vector<std::vector<Entry>> rows, size_t num_lfs,
-              int cardinality)
-      : rows_(std::move(rows)), num_lfs_(num_lfs), cardinality_(cardinality) {}
+  LabelMatrix(std::vector<Entry> entries, std::vector<size_t> row_offsets,
+              size_t num_lfs, int cardinality)
+      : entries_(std::move(entries)),
+        row_offsets_(std::move(row_offsets)),
+        num_lfs_(num_lfs),
+        cardinality_(cardinality) {}
 
   /// True iff `label` is valid for this matrix's cardinality.
   bool ValidLabel(Label label) const;
 
-  std::vector<std::vector<Entry>> rows_;
+  std::vector<Entry> entries_;
+  /// Always num_rows + 1 elements; {0} for the empty matrix.
+  std::vector<size_t> row_offsets_ = {0};
   size_t num_lfs_ = 0;
   int cardinality_ = 2;
 };

@@ -2,25 +2,16 @@
 
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace snorkel {
 
-double UnweightedVote(const std::vector<LabelMatrix::Entry>& row) {
-  double sum = 0.0;
-  for (const auto& e : row) sum += static_cast<double>(e.label);
-  return sum;
-}
-
-double WeightedVote(const std::vector<LabelMatrix::Entry>& row,
-                    const std::vector<double>& weights) {
-  double sum = 0.0;
-  for (const auto& e : row) {
-    assert(e.lf < weights.size());
-    sum += weights[e.lf] * static_cast<double>(e.label);
-  }
-  return sum;
-}
-
 namespace {
+
+/// Rows per shard when fanning row loops out over the shared pool; a
+/// constant, so output is identical for any pool size (rows are written
+/// disjointly). Matrices smaller than one shard run inline.
+constexpr size_t kRowGrain = 4096;
 
 Label SignOrZero(double v) {
   if (v > 0) return 1;
@@ -30,11 +21,30 @@ Label SignOrZero(double v) {
 
 }  // namespace
 
+double UnweightedVote(LabelMatrix::RowSpan row) {
+  double sum = 0.0;
+  for (const auto& e : row) sum += static_cast<double>(e.label);
+  return sum;
+}
+
+double WeightedVote(LabelMatrix::RowSpan row,
+                    const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (const auto& e : row) {
+    assert(e.lf < weights.size());
+    sum += weights[e.lf] * static_cast<double>(e.label);
+  }
+  return sum;
+}
+
 std::vector<Label> MajorityVotePredictions(const LabelMatrix& matrix) {
   std::vector<Label> out(matrix.num_rows(), kAbstain);
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    out[i] = SignOrZero(UnweightedVote(matrix.row(i)));
-  }
+  SharedThreadPool().ParallelForShards(
+      0, matrix.num_rows(), kRowGrain, [&](size_t, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          out[i] = SignOrZero(UnweightedVote(matrix.row(i)));
+        }
+      });
   return out;
 }
 
@@ -42,50 +52,61 @@ std::vector<Label> WeightedMajorityVotePredictions(
     const LabelMatrix& matrix, const std::vector<double>& weights) {
   assert(weights.size() == matrix.num_lfs());
   std::vector<Label> out(matrix.num_rows(), kAbstain);
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    out[i] = SignOrZero(WeightedVote(matrix.row(i), weights));
-  }
+  SharedThreadPool().ParallelForShards(
+      0, matrix.num_rows(), kRowGrain, [&](size_t, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          out[i] = SignOrZero(WeightedVote(matrix.row(i), weights));
+        }
+      });
   return out;
 }
 
 std::vector<double> UnweightedAverageProbs(const LabelMatrix& matrix) {
   std::vector<double> out(matrix.num_rows(), 0.5);
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    int pos = 0;
-    int neg = 0;
-    for (const auto& e : matrix.row(i)) {
-      if (e.label > 0) {
-        ++pos;
-      } else {
-        ++neg;
-      }
-    }
-    if (pos + neg > 0) {
-      out[i] = static_cast<double>(pos) / static_cast<double>(pos + neg);
-    }
-  }
+  SharedThreadPool().ParallelForShards(
+      0, matrix.num_rows(), kRowGrain, [&](size_t, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          int pos = 0;
+          int neg = 0;
+          for (const auto& e : matrix.row(i)) {
+            if (e.label > 0) {
+              ++pos;
+            } else {
+              ++neg;
+            }
+          }
+          if (pos + neg > 0) {
+            out[i] = static_cast<double>(pos) / static_cast<double>(pos + neg);
+          }
+        }
+      });
   return out;
 }
 
 std::vector<Label> PluralityVotePredictions(const LabelMatrix& matrix) {
   int k = matrix.cardinality();
   std::vector<Label> out(matrix.num_rows(), kAbstain);
-  std::vector<int> counts(static_cast<size_t>(k) + 1, 0);
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    std::fill(counts.begin(), counts.end(), 0);
-    for (const auto& e : matrix.row(i)) {
-      if (e.label >= 1 && e.label <= k) ++counts[static_cast<size_t>(e.label)];
-    }
-    int best = 0;
-    Label best_label = kAbstain;
-    for (Label y = 1; y <= k; ++y) {
-      if (counts[static_cast<size_t>(y)] > best) {
-        best = counts[static_cast<size_t>(y)];
-        best_label = y;
-      }
-    }
-    out[i] = best_label;
-  }
+  SharedThreadPool().ParallelForShards(
+      0, matrix.num_rows(), kRowGrain, [&](size_t, size_t lo, size_t hi) {
+        std::vector<int> counts(static_cast<size_t>(k) + 1, 0);
+        for (size_t i = lo; i < hi; ++i) {
+          std::fill(counts.begin(), counts.end(), 0);
+          for (const auto& e : matrix.row(i)) {
+            if (e.label >= 1 && e.label <= k) {
+              ++counts[static_cast<size_t>(e.label)];
+            }
+          }
+          int best = 0;
+          Label best_label = kAbstain;
+          for (Label y = 1; y <= k; ++y) {
+            if (counts[static_cast<size_t>(y)] > best) {
+              best = counts[static_cast<size_t>(y)];
+              best_label = y;
+            }
+          }
+          out[i] = best_label;
+        }
+      });
   return out;
 }
 

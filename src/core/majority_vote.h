@@ -9,14 +9,15 @@
 namespace snorkel {
 
 /// Unweighted vote f_1(Λ_i) = Σ_j Λ_ij for binary rows (abstain = 0).
-double UnweightedVote(const std::vector<LabelMatrix::Entry>& row);
+double UnweightedVote(LabelMatrix::RowSpan row);
 
 /// Weighted vote f_w(Λ_i) = Σ_j w_j Λ_ij for binary rows.
-double WeightedVote(const std::vector<LabelMatrix::Entry>& row,
+double WeightedVote(LabelMatrix::RowSpan row,
                     const std::vector<double>& weights);
 
 /// Hard unweighted majority-vote predictions for a binary matrix; ties and
-/// all-abstain rows yield 0 (no label).
+/// all-abstain rows yield 0 (no label). Row-sharded over the shared worker
+/// pool for large matrices (identical output at any thread count).
 std::vector<Label> MajorityVotePredictions(const LabelMatrix& matrix);
 
 /// Hard weighted majority-vote predictions (WMV); ties yield 0.

@@ -7,6 +7,7 @@
 
 #include "util/math_util.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace snorkel {
 
@@ -26,9 +27,10 @@ struct ThetaState {
         lab(n, 0.0) {}
 };
 
-/// Subsampled view of the label matrix with per-row vote counts.
+/// Subsampled view of the label matrix with per-row vote counts. Rows are
+/// CSR spans into the (caller-owned) matrix — no copying.
 struct Workset {
-  std::vector<std::vector<LabelMatrix::Entry>> rows;
+  std::vector<LabelMatrix::RowSpan> rows;
   std::vector<int> c_pos;
   std::vector<int> c_neg;
 };
@@ -49,7 +51,7 @@ Workset BuildWorkset(const LabelMatrix& matrix, size_t max_rows,
   ws.c_pos.reserve(indices.size());
   ws.c_neg.reserve(indices.size());
   for (size_t i : indices) {
-    const auto& row = matrix.row(i);
+    LabelMatrix::RowSpan row = matrix.row(i);
     int cp = 0;
     int cn = 0;
     for (const auto& e : row) {
@@ -165,6 +167,20 @@ void FitConditional(const Workset& ws, size_t n, size_t j, double epsilon,
   }
 }
 
+/// Fits all n per-LF conditionals concurrently. Each conditional is an
+/// independent regression writing only its own slice of `state`
+/// (pair_weights[j], acc[j], lab[j]), so the schedule cannot affect the
+/// result — the paper's "n independent pseudolikelihood problems" structure
+/// made literal.
+void FitAllConditionals(const Workset& ws, size_t n, double epsilon,
+                        int epochs, double lr, double mean_acc_weight,
+                        int num_threads, ThetaState* state) {
+  ScopedPool pool(num_threads);
+  pool->ParallelFor(0, n, [&](size_t j) {
+    FitConditional(ws, n, j, epsilon, epochs, lr, mean_acc_weight, state);
+  });
+}
+
 std::vector<CorrelationPair> SelectPairs(const ThetaState& state, size_t n,
                                          double epsilon) {
   std::vector<CorrelationPair> selected;
@@ -203,10 +219,8 @@ Result<std::vector<CorrelationPair>> StructureLearner::LearnStructure(
 
   Workset ws = BuildWorkset(matrix, options_.max_rows, options_.seed);
   ThetaState state(n);
-  for (size_t j = 0; j < n; ++j) {
-    FitConditional(ws, n, j, epsilon, options_.epochs, options_.learning_rate,
-                   options_.mean_acc_weight, &state);
-  }
+  FitAllConditionals(ws, n, epsilon, options_.epochs, options_.learning_rate,
+                     options_.mean_acc_weight, options_.num_threads, &state);
   return SelectPairs(state, n, epsilon);
 }
 
@@ -238,10 +252,8 @@ Result<std::vector<StructureSweepPoint>> StructureLearner::Sweep(
   for (double eps : sorted) {
     int epochs = first ? options_.epochs : options_.sweep_epochs;
     first = false;
-    for (size_t j = 0; j < n; ++j) {
-      FitConditional(ws, n, j, eps, epochs, options_.learning_rate,
-                     options_.mean_acc_weight, &state);
-    }
+    FitAllConditionals(ws, n, eps, epochs, options_.learning_rate,
+                       options_.mean_acc_weight, options_.num_threads, &state);
     sweep.push_back({eps, SelectPairs(state, n, eps).size()});
   }
   return sweep;

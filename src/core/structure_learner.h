@@ -28,6 +28,11 @@ struct StructureLearnerOptions {
   /// per-LF regression, so a few thousand rows suffice (the paper reports
   /// 15 s for 100 LFs x 10k points vs 45 min for full MLE).
   size_t max_rows = 8000;
+  /// Worker threads for the per-LF conditional fits, which are independent
+  /// regressions and run concurrently: 0 uses the process-wide
+  /// SharedThreadPool. Each LF's conditional touches only its own slice of
+  /// the optimization state, so results are identical for any value.
+  int num_threads = 0;
   uint64_t seed = 42;
 };
 

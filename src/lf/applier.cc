@@ -28,6 +28,11 @@ Result<LabelMatrix> LFApplier::Apply(
 
   if (options_.num_threads == 1 || m < 64) {
     for (size_t i = 0; i < m; ++i) label_one(i);
+  } else if (options_.num_threads == 0) {
+    // Default: the process-wide pool. Spawning a pool per Apply call is
+    // measurable overhead once concurrent serving requests stopped
+    // serializing on the LabelService mutex.
+    SharedThreadPool().ParallelFor(0, m, label_one);
   } else {
     ThreadPool pool(options_.num_threads);
     pool.ParallelFor(0, m, label_one);

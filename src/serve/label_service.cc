@@ -30,7 +30,8 @@ LabelService::LabelService(GenerativeModel model, LabelingFunctionSet lfs,
           .num_threads = options.num_threads,
           .cardinality = 2,
           .max_cached_columns = std::max<size_t>(1024, 4 * lfs_.size())}),
-      mu_(std::make_unique<std::mutex>()) {}
+      apply_mu_(std::make_unique<std::mutex>()),
+      stats_mu_(std::make_unique<std::mutex>()) {}
 
 Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
                                           LabelingFunctionSet lfs,
@@ -77,10 +78,13 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
     return Status::InvalidArgument("request missing corpus or candidates");
   }
   WallTimer timer;
-  std::lock_guard<std::mutex> lock(*mu_);
 
+  // LF application: only the incremental applier's column cache is stateful
+  // and needs the lock; the stateless path lets concurrent batches fan out
+  // over the worker pool side by side.
   Result<LabelMatrix> matrix(Status::Internal("unset"));
   if (options_.use_incremental_cache) {
+    std::lock_guard<std::mutex> lock(*apply_mu_);
     matrix = applier_.Apply(lfs_, *request.corpus, *request.candidates);
   } else {
     LFApplier::Options apply_options;
@@ -91,6 +95,7 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   }
   if (!matrix.ok()) return matrix.status();
 
+  // Posterior computation reads the immutable restored model: lock-free.
   LabelResponse response;
   response.posteriors =
       model_.PredictProba(*matrix, request.apply_class_balance);
@@ -107,35 +112,43 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   if (request.include_votes) response.votes = std::move(*matrix);
   response.latency_ms = timer.ElapsedMillis();
 
-  if (latency_window_.size() < kLatencyWindow) {
-    latency_window_.push_back(response.latency_ms);
-  } else {
-    latency_window_[latency_next_] = response.latency_ms;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    if (latency_window_.size() < kLatencyWindow) {
+      latency_window_.push_back(response.latency_ms);
+    } else {
+      latency_window_[latency_next_] = response.latency_ms;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+    ++num_requests_;
+    num_candidates_ += request.candidates->size();
+    total_latency_ms_ += response.latency_ms;
+    max_latency_ms_ = std::max(max_latency_ms_, response.latency_ms);
   }
-  ++num_requests_;
-  num_candidates_ += request.candidates->size();
-  total_latency_ms_ += response.latency_ms;
-  max_latency_ms_ = std::max(max_latency_ms_, response.latency_ms);
   return response;
 }
 
 ServiceStats LabelService::stats() const {
-  std::lock_guard<std::mutex> lock(*mu_);
   ServiceStats stats;
-  stats.num_requests = num_requests_;
-  stats.num_candidates = num_candidates_;
-  std::vector<double> sorted = latency_window_;
-  std::sort(sorted.begin(), sorted.end());
-  stats.p50_latency_ms = Quantile(sorted, 0.5);
-  stats.p99_latency_ms = Quantile(sorted, 0.99);
-  stats.max_latency_ms = max_latency_ms_;
-  stats.throughput_cps =
-      total_latency_ms_ > 0.0
-          ? static_cast<double>(num_candidates_) / (total_latency_ms_ / 1e3)
-          : 0.0;
-  stats.lf_columns_reused = applier_.stats().columns_reused;
-  stats.lf_columns_computed = applier_.stats().columns_computed;
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    stats.num_requests = num_requests_;
+    stats.num_candidates = num_candidates_;
+    std::vector<double> sorted = latency_window_;
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50_latency_ms = Quantile(sorted, 0.5);
+    stats.p99_latency_ms = Quantile(sorted, 0.99);
+    stats.max_latency_ms = max_latency_ms_;
+    stats.throughput_cps =
+        total_latency_ms_ > 0.0
+            ? static_cast<double>(num_candidates_) / (total_latency_ms_ / 1e3)
+            : 0.0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(*apply_mu_);
+    stats.lf_columns_reused = applier_.stats().columns_reused;
+    stats.lf_columns_computed = applier_.stats().columns_computed;
+  }
   return stats;
 }
 

@@ -64,9 +64,11 @@ struct ServiceStats {
 /// the Figure 2 training loop happens offline, a snapshot is shipped, and
 /// fresh candidates are labeled online without refitting anything.
 ///
-/// Thread-safe: concurrent Label() calls serialize on an internal mutex
-/// (LF application itself fans out over the worker pool, so the mutex guards
-/// bookkeeping, not the heavy loop... the applier cache is stateful).
+/// Thread-safe, with narrow critical sections: the posterior computation is
+/// read-only on the restored model and runs lock-free, so concurrent
+/// Label() callers overlap their compute. Only the stateful pieces
+/// serialize — the incremental applier's column cache (skipped entirely on
+/// the non-cached path) and the latency/throughput counters.
 class LabelService {
  public:
   struct Options {
@@ -121,8 +123,12 @@ class LabelService {
   /// Latency-window capacity for the stats() quantiles.
   static constexpr size_t kLatencyWindow = 4096;
 
-  /// Heap-held so the service stays movable (Result<LabelService> needs it).
-  mutable std::unique_ptr<std::mutex> mu_;
+  /// Guards the incremental applier's stateful column cache. Heap-held so
+  /// the service stays movable (Result<LabelService> needs it).
+  mutable std::unique_ptr<std::mutex> apply_mu_;
+  /// Guards the serving counters below; never held across LF application or
+  /// posterior computation.
+  mutable std::unique_ptr<std::mutex> stats_mu_;
   /// Ring buffer of the most recent request latencies.
   std::vector<double> latency_window_;
   size_t latency_next_ = 0;

@@ -53,6 +53,48 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   for (std::future<void>& f : futures) f.get();
 }
 
+void ThreadPool::ParallelForShards(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  size_t total = end - begin;
+  size_t num_shards = (total + grain - 1) / grain;
+  // Inline fast path: shard boundaries are identical either way, so results
+  // match the pooled path bit for bit.
+  if (num_shards == 1 || workers_.size() == 1) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      size_t lo = begin + s * grain;
+      size_t hi = std::min(end, lo + grain);
+      fn(s, lo, hi);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    size_t lo = begin + s * grain;
+    size_t hi = std::min(end, lo + grain);
+    futures.push_back(Submit([s, lo, hi, &fn] { fn(s, lo, hi); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+ScopedPool::ScopedPool(int num_threads) {
+  if (num_threads == 0) {
+    pool_ = &SharedThreadPool();
+  } else {
+    owned_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(std::max(1, num_threads)));
+    pool_ = owned_.get();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;

@@ -160,6 +160,69 @@ TEST(GenerativeModelTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(GenerativeModelTest, BitwiseDeterministicAcrossThreadCounts) {
+  // The parallel training loops use fixed shard boundaries and one RNG
+  // stream per Gibbs chain, so the fitted weights must be bitwise-identical
+  // for any worker-pool size at a fixed seed. Correlations are included so
+  // the Gibbs negative phase (chains swept concurrently) is exercised too.
+  auto data = SyntheticMatrixGenerator::GenerateIid(1500, 8, 0.75, 0.3, 21);
+  ASSERT_TRUE(data.ok());
+  std::vector<CorrelationPair> correlations = {{0, 1}, {2, 5}, {3, 4}};
+
+  auto fit_with_threads = [&](int num_threads) {
+    GenerativeModelOptions options;
+    options.epochs = 60;
+    options.num_threads = num_threads;
+    GenerativeModel model(options);
+    EXPECT_TRUE(model.Fit(data->matrix, correlations).ok());
+    return model;
+  };
+  GenerativeModel one = fit_with_threads(1);
+  GenerativeModel two = fit_with_threads(2);
+  GenerativeModel eight = fit_with_threads(8);
+
+  for (size_t j = 0; j < 8; ++j) {
+    // EXPECT_EQ on doubles is exact equality — bitwise, not approximate.
+    EXPECT_EQ(one.accuracy_weights()[j], two.accuracy_weights()[j]) << j;
+    EXPECT_EQ(one.accuracy_weights()[j], eight.accuracy_weights()[j]) << j;
+    EXPECT_EQ(one.propensity_weights()[j], two.propensity_weights()[j]) << j;
+    EXPECT_EQ(one.propensity_weights()[j], eight.propensity_weights()[j]) << j;
+  }
+  for (size_t c = 0; c < correlations.size(); ++c) {
+    EXPECT_EQ(one.correlation_weights()[c], two.correlation_weights()[c]) << c;
+    EXPECT_EQ(one.correlation_weights()[c], eight.correlation_weights()[c])
+        << c;
+  }
+  // Inference shards the same way: posteriors must match bitwise as well.
+  auto p1 = one.PredictProba(data->matrix);
+  auto p8 = eight.PredictProba(data->matrix);
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i], p8[i]) << "row " << i;
+  }
+}
+
+TEST(GenerativeModelTest, ThreadCountDeterminismWithWarmStart) {
+  // Unbalanced class prior routes training through the Dawid-Skene EM warm
+  // start, whose row loops are sharded too; the guarantee must hold there.
+  auto data = SyntheticMatrixGenerator::GenerateIid(1200, 6, 0.8, 0.4, 22);
+  ASSERT_TRUE(data.ok());
+  auto fit_with_threads = [&](int num_threads) {
+    GenerativeModelOptions options;
+    options.epochs = 40;
+    options.class_balance = 0.2;
+    options.num_threads = num_threads;
+    GenerativeModel model(options);
+    EXPECT_TRUE(model.Fit(data->matrix).ok());
+    return model;
+  };
+  GenerativeModel one = fit_with_threads(1);
+  GenerativeModel eight = fit_with_threads(8);
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(one.accuracy_weights()[j], eight.accuracy_weights()[j]) << j;
+    EXPECT_EQ(one.propensity_weights()[j], eight.propensity_weights()[j]) << j;
+  }
+}
+
 TEST(GenerativeModelTest, FittingImprovesMarginalLikelihood) {
   auto data = SyntheticMatrixGenerator::GenerateIid(2000, 8, 0.85, 0.4, 9);
   ASSERT_TRUE(data.ok());

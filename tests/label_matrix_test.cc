@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+
+#include "core/csr_kernels.h"
 #include "core/majority_vote.h"
 
 namespace snorkel {
@@ -183,6 +187,208 @@ TEST(LabelMatrixTest, EmptyMatrixStats) {
   ASSERT_TRUE(m.ok());
   EXPECT_DOUBLE_EQ(m->LabelDensity(), 0.0);
   EXPECT_DOUBLE_EQ(m->FractionCovered(), 0.0);
+}
+
+// ------------------------------------------------- CSR equivalence (fuzz) --
+// The CSR layout must behave exactly like the dense matrix it was built
+// from, on every accessor. Randomized matrices deliberately include empty
+// rows and all-abstain columns.
+
+struct DenseCase {
+  std::vector<std::vector<Label>> dense;
+  LabelMatrix matrix;
+};
+
+DenseCase RandomDenseCase(uint64_t seed, size_t m, size_t n,
+                          double density) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::vector<Label>> dense(m, std::vector<Label>(n, kAbstain));
+  // Column n-1 stays all-abstain; rows divisible by 7 stay empty.
+  for (size_t i = 0; i < m; ++i) {
+    if (i % 7 == 0) continue;
+    for (size_t j = 0; j + 1 < n; ++j) {
+      if (unit(rng) < density) dense[i][j] = unit(rng) < 0.6 ? 1 : -1;
+    }
+  }
+  auto matrix = LabelMatrix::FromDense(dense);
+  EXPECT_TRUE(matrix.ok()) << matrix.status().ToString();
+  return DenseCase{std::move(dense), std::move(*matrix)};
+}
+
+TEST(LabelMatrixCsrEquivalenceTest, AtAndRowMatchDense) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    DenseCase c = RandomDenseCase(seed, 97, 11, 0.3);
+    ASSERT_EQ(c.matrix.num_rows(), c.dense.size());
+    for (size_t i = 0; i < c.dense.size(); ++i) {
+      size_t nonabstain = 0;
+      for (size_t j = 0; j < c.dense[i].size(); ++j) {
+        EXPECT_EQ(c.matrix.At(i, j), c.dense[i][j]) << i << "," << j;
+        if (c.dense[i][j] != kAbstain) ++nonabstain;
+      }
+      LabelMatrix::RowSpan row = c.matrix.row(i);
+      EXPECT_EQ(row.size(), nonabstain);
+      uint32_t prev_lf = 0;
+      bool first = true;
+      for (const auto& e : row) {
+        EXPECT_EQ(e.label, c.dense[i][e.lf]);
+        if (!first) {
+          EXPECT_LT(prev_lf, e.lf) << "row not sorted by LF";
+        }
+        prev_lf = e.lf;
+        first = false;
+      }
+    }
+  }
+}
+
+TEST(LabelMatrixCsrEquivalenceTest, StatsMatchDenseReference) {
+  for (uint64_t seed : {4u, 5u}) {
+    DenseCase c = RandomDenseCase(seed, 83, 9, 0.35);
+    size_t m = c.dense.size();
+    size_t n = c.dense[0].size();
+    std::vector<Label> gold(m);
+    std::mt19937_64 rng(seed + 100);
+    for (auto& g : gold) g = rng() % 2 == 0 ? 1 : -1;
+
+    size_t nnz = 0;
+    size_t covered_rows = 0;
+    for (size_t i = 0; i < m; ++i) {
+      size_t row_votes = 0;
+      for (size_t j = 0; j < n; ++j) {
+        if (c.dense[i][j] != kAbstain) ++row_votes;
+      }
+      nnz += row_votes;
+      if (row_votes > 0) ++covered_rows;
+      // CountLabels per row.
+      for (Label y : {1, -1}) {
+        int expect = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (c.dense[i][j] == y) ++expect;
+        }
+        EXPECT_EQ(c.matrix.CountLabels(i, y), expect);
+      }
+    }
+    EXPECT_EQ(c.matrix.NumNonAbstains(), nnz);
+    EXPECT_DOUBLE_EQ(c.matrix.LabelDensity(),
+                     static_cast<double>(nnz) / static_cast<double>(m));
+    EXPECT_DOUBLE_EQ(c.matrix.FractionCovered(),
+                     static_cast<double>(covered_rows) /
+                         static_cast<double>(m));
+
+    for (size_t j = 0; j < n; ++j) {
+      int64_t votes = 0;
+      int64_t overlap = 0;
+      int64_t conflict = 0;
+      int64_t pos = 0;
+      int64_t neg = 0;
+      int64_t correct = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (c.dense[i][j] == kAbstain) continue;
+        ++votes;
+        if (c.dense[i][j] > 0) {
+          ++pos;
+        } else {
+          ++neg;
+        }
+        if (c.dense[i][j] == gold[i]) ++correct;
+        bool other_votes = false;
+        bool other_disagrees = false;
+        for (size_t k = 0; k < n; ++k) {
+          if (k == j || c.dense[i][k] == kAbstain) continue;
+          other_votes = true;
+          if (c.dense[i][k] != c.dense[i][j]) other_disagrees = true;
+        }
+        if (other_votes) ++overlap;
+        if (other_disagrees) ++conflict;
+      }
+      double dm = static_cast<double>(m);
+      EXPECT_DOUBLE_EQ(c.matrix.Coverage(j), votes / dm) << "lf " << j;
+      EXPECT_DOUBLE_EQ(c.matrix.Overlap(j), overlap / dm) << "lf " << j;
+      EXPECT_DOUBLE_EQ(c.matrix.Conflict(j), conflict / dm) << "lf " << j;
+      auto [got_pos, got_neg] = c.matrix.PolarityCounts(j);
+      EXPECT_EQ(got_pos, pos);
+      EXPECT_EQ(got_neg, neg);
+      double expect_acc =
+          votes == 0 ? 0.5
+                     : static_cast<double>(correct) / static_cast<double>(votes);
+      EXPECT_DOUBLE_EQ(c.matrix.EmpiricalAccuracy(j, gold), expect_acc);
+    }
+    // The all-abstain column reports neutral stats.
+    EXPECT_DOUBLE_EQ(c.matrix.Coverage(n - 1), 0.0);
+    EXPECT_DOUBLE_EQ(c.matrix.EmpiricalAccuracy(n - 1, gold), 0.5);
+  }
+}
+
+TEST(LabelMatrixCsrEquivalenceTest, SelectRowsMatchesDense) {
+  DenseCase c = RandomDenseCase(6, 41, 7, 0.4);
+  std::vector<size_t> picks = {40, 0, 7, 7, 13, 2};  // Repeats allowed.
+  LabelMatrix sub = c.matrix.SelectRows(picks);
+  ASSERT_EQ(sub.num_rows(), picks.size());
+  EXPECT_EQ(sub.num_lfs(), c.matrix.num_lfs());
+  for (size_t i = 0; i < picks.size(); ++i) {
+    for (size_t j = 0; j < c.dense[0].size(); ++j) {
+      EXPECT_EQ(sub.At(i, j), c.dense[picks[i]][j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(LabelMatrixCsrEquivalenceTest, SelectColumnsMatchesDense) {
+  DenseCase c = RandomDenseCase(7, 53, 8, 0.4);
+  std::vector<size_t> cols = {5, 0, 3, 7};  // Permuted; includes abstain col.
+  LabelMatrix sub = c.matrix.SelectColumns(cols);
+  ASSERT_EQ(sub.num_lfs(), cols.size());
+  ASSERT_EQ(sub.num_rows(), c.matrix.num_rows());
+  for (size_t i = 0; i < c.dense.size(); ++i) {
+    for (size_t new_j = 0; new_j < cols.size(); ++new_j) {
+      EXPECT_EQ(sub.At(i, new_j), c.dense[i][cols[new_j]]) << i << "," << new_j;
+    }
+    // Rows must stay sorted by (new) LF index after the permutation.
+    uint32_t prev = 0;
+    bool first = true;
+    for (const auto& e : sub.row(i)) {
+      if (!first) {
+        EXPECT_LT(prev, e.lf);
+      }
+      prev = e.lf;
+      first = false;
+    }
+  }
+}
+
+TEST(LabelMatrixCsrEquivalenceTest, KernelViewsMatchDense) {
+  DenseCase c = RandomDenseCase(8, 65, 6, 0.45);
+  size_t m = c.dense.size();
+  size_t n = c.dense[0].size();
+  CsrView csr = CsrView::FromMatrix(c.matrix);
+  CscView csc = CscView::FromMatrix(c.matrix);
+  std::vector<double> weights = {0.3, -1.2, 0.9, 2.0, -0.4, 1.1};
+  std::vector<double> f(m, 0.0);
+  WeightedRowSums(csr, weights.data(), 0.25, 0, m, f.data());
+  std::vector<double> q(m, 0.0);
+  SigmoidBatch(f.data(), q.data(), m);
+  std::vector<double> col_acc(n, 0.0);
+  ColumnSignedSums(csc, q.data(), 0, n, col_acc.data());
+  for (size_t i = 0; i < m; ++i) {
+    double expect = 0.25;
+    for (size_t j = 0; j < n; ++j) {
+      if (c.dense[i][j] != kAbstain) {
+        expect += weights[j] * (c.dense[i][j] > 0 ? 1.0 : -1.0);
+      }
+    }
+    EXPECT_NEAR(f[i], expect, 1e-12) << "row " << i;
+    double sig = 1.0 / (1.0 + std::exp(-f[i]));
+    EXPECT_NEAR(q[i], sig, 1e-12) << "row " << i;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    double expect = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      if (c.dense[i][j] != kAbstain) {
+        expect += (c.dense[i][j] > 0 ? 1.0 : -1.0) * q[i];
+      }
+    }
+    EXPECT_NEAR(col_acc[j], expect, 1e-9) << "lf " << j;
+  }
 }
 
 // ----------------------------------------------------------- MajorityVote --
