@@ -6,12 +6,18 @@
 //     posterior path is lock-free, so callers overlap compute instead of
 //     serializing on a service-wide mutex, and
 //   (3) the incremental-applier speedup for the §4.1 iterate loop: editing
-//     1 of k LFs should re-label in roughly 1/k of the full Apply time.
+//     1 of k LFs should re-label in roughly 1/k of the full Apply time, and
+//   (4) the sharded tier: ShardRouter (hash partition → bounded queues →
+//     per-shard workers with burst fusion) vs. direct unsharded Label()
+//     under the same bursty concurrent-caller workload, at 1/2/4 shards.
 //
 // Pass --json <path> to also write the headline numbers as JSON (consumed
 // by scripts/bench.sh for the benchmark trajectory).
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +28,7 @@
 #include "pipeline/export_snapshot.h"
 #include "serve/incremental_applier.h"
 #include "serve/label_service.h"
+#include "shard/shard_router.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -157,6 +164,139 @@ int main(int argc, char** argv) {
               "apply):\n%s",
               concurrent.ToString().c_str());
 
+  // ---- Sharded tier vs. direct unsharded serving, bursty concurrent
+  // callers. Small requests make per-request fixed costs visible — exactly
+  // the regime the per-shard queues pipeline and fuse away. Both paths use
+  // identical serve options (cache off, serial per-request apply) so the
+  // comparison isolates the tier itself. Trials are INTERLEAVED across
+  // configs (unsharded, 1/2/4 shards, unsharded, ...) and each config takes
+  // its best trial, so ambient machine noise cannot bias one whole config's
+  // block of measurements. ----
+  constexpr size_t kShardBatchSize = 128;
+  constexpr int kShardCallers = 4;
+  constexpr int kShardRounds = 6;
+  // Trial 0 is a discarded warmup (page faults, allocator growth, branch
+  // history); the remaining trials are recorded best-of.
+  constexpr int kTrials = 6;
+  std::vector<std::vector<Candidate>> small_batches;
+  for (size_t begin = 0; begin < task->candidates.size();
+       begin += kShardBatchSize) {
+    size_t end = std::min(begin + kShardBatchSize, task->candidates.size());
+    small_batches.emplace_back(task->candidates.begin() + begin,
+                               task->candidates.begin() + end);
+  }
+
+  // One workload for every config: kShardCallers threads striding the batch
+  // list for kShardRounds rounds; `label` maps a batch to a response.
+  auto run_callers = [&](const std::function<bool(const std::vector<Candidate>&)>&
+                             label) -> double {
+    WallTimer wall;
+    std::vector<std::thread> callers;
+    std::atomic<bool> failed{false};
+    size_t served = 0;
+    for (int t = 0; t < kShardCallers; ++t) {
+      callers.emplace_back([&, t] {
+        for (int round = 0; round < kShardRounds; ++round) {
+          for (size_t b = static_cast<size_t>(t); b < small_batches.size();
+               b += static_cast<size_t>(kShardCallers)) {
+            if (!label(small_batches[b])) failed.store(true);
+          }
+        }
+      });
+    }
+    for (auto& th : callers) th.join();
+    if (failed.load()) {
+      std::fprintf(stderr, "sharded-section serving failed\n");
+      std::abort();
+    }
+    for (const auto& batch : small_batches) served += batch.size();
+    return static_cast<double>(served) * kShardRounds / wall.ElapsedSeconds();
+  };
+
+  const std::vector<size_t> kShardCounts = {1, 2, 4};
+  // Two unsharded baselines: the default service configuration (column
+  // cache ON — concurrent callers serialize the whole LF application behind
+  // the cache mutex, and alternating candidate sets thrash the cache), and
+  // a hand-tuned one with the cache disabled (lock-free apply). The tier is
+  // built to replace the former; the latter shows the residual cost of the
+  // queue/merge indirection at equal per-candidate work.
+  double unsharded_cps = 0.0;          // Default config (cached).
+  double unsharded_nocache_cps = 0.0;  // Tuned (cache off).
+  std::vector<std::pair<size_t, double>> sharded_cps;
+  for (size_t shards : kShardCounts) sharded_cps.emplace_back(shards, 0.0);
+  uint64_t last_fused = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Unsharded direct calls, default and tuned configs.
+    for (bool cached : {true, false}) {
+      LabelService::Options direct_options;
+      direct_options.use_incremental_cache = cached;
+      // Default config keeps num_threads = 0 (the process-wide shared
+      // pool); the tuned config pins serial in-thread apply.
+      direct_options.num_threads = cached ? 0 : 1;
+      auto direct = LabelService::Create(*snapshot, task->lfs, direct_options);
+      if (!direct.ok()) {
+        std::fprintf(stderr, "service creation failed: %s\n",
+                     direct.status().ToString().c_str());
+        return 1;
+      }
+      double cps = run_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &task->corpus;
+        request.candidates = &batch;
+        return direct->Label(request).ok();
+      });
+      if (trial == 0) continue;  // Warmup.
+      double& slot = cached ? unsharded_cps : unsharded_nocache_cps;
+      slot = std::max(slot, cps);
+    }
+
+    // Router at each shard count.
+    for (size_t c = 0; c < kShardCounts.size(); ++c) {
+      ShardRouter::Options router_options;
+      router_options.num_shards = kShardCounts[c];
+      router_options.queue_capacity = 256;
+      router_options.workers_per_shard = 1;
+      router_options.max_fuse = 8;
+      router_options.service.num_threads = 1;
+      auto router = ShardRouter::Create(*snapshot, task->lfs, router_options);
+      if (!router.ok()) {
+        std::fprintf(stderr, "router creation failed: %s\n",
+                     router.status().ToString().c_str());
+        return 1;
+      }
+      double cps = run_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &task->corpus;
+        request.candidates = &batch;
+        return router->Label(request).ok();
+      });
+      if (trial > 0 && cps > sharded_cps[c].second) {
+        sharded_cps[c].second = cps;
+        last_fused = router->stats().fused_jobs;
+      }
+      router->Shutdown();
+    }
+  }
+
+  TablePrinter sharded({"Config", "cand/s (wall)", "Vs unsharded"});
+  sharded.AddRow({"unsharded direct (default, cached)",
+                  TablePrinter::Cell(unsharded_cps, 0), "1.00"});
+  sharded.AddRow({"unsharded direct (cache off)",
+                  TablePrinter::Cell(unsharded_nocache_cps, 0),
+                  TablePrinter::Cell(unsharded_nocache_cps / unsharded_cps,
+                                     2)});
+  for (auto& [shards, cps] : sharded_cps) {
+    sharded.AddRow({"router, " + std::to_string(shards) + " shard" +
+                        (shards == 1 ? "" : "s"),
+                    TablePrinter::Cell(cps, 0),
+                    TablePrinter::Cell(cps / unsharded_cps, 2)});
+  }
+  std::printf("\nSharded tier (%d concurrent callers, batch=%zu, best of %d "
+              "trials after warmup; last router fused %llu sub-batches):\n%s",
+              kShardCallers, kShardBatchSize, kTrials - 1,
+              static_cast<unsigned long long>(last_fused),
+              sharded.ToString().c_str());
+
   // ---- Iterate loop: edit 1 of k LFs, re-label with the column cache. ----
   const size_t k = task->lfs.size();
   IncrementalApplier applier(
@@ -232,8 +372,23 @@ int main(int argc, char** argv) {
       std::fprintf(out, "%s\"%d\": %.1f", i == 0 ? "" : ", ",
                    concurrent_cps[i].first, concurrent_cps[i].second);
     }
+    double best_sharded = 0.0;
+    for (auto& [shards, cps] : sharded_cps) {
+      best_sharded = std::max(best_sharded, cps);
+    }
     std::fprintf(out,
                  "},\n"
+                 "  \"sharded\": {\"callers\": %d, \"batch\": %zu, "
+                 "\"unsharded_cps\": %.1f, \"unsharded_nocache_cps\": %.1f, "
+                 "\"best_sharded_cps\": %.1f, \"shards_cps\": {",
+                 kShardCallers, kShardBatchSize, unsharded_cps,
+                 unsharded_nocache_cps, best_sharded);
+    for (size_t i = 0; i < sharded_cps.size(); ++i) {
+      std::fprintf(out, "%s\"%zu\": %.1f", i == 0 ? "" : ", ",
+                   sharded_cps[i].first, sharded_cps[i].second);
+    }
+    std::fprintf(out,
+                 "}},\n"
                  "  \"incremental\": {\"full_apply_s\": %.4f, "
                  "\"edit_one_lf_s\": %.4f, \"ratio\": %.3f, "
                  "\"ideal_ratio\": %.3f}\n}\n",

@@ -68,6 +68,18 @@ except FileNotFoundError:
 with open(serve_path) as f:
     result["serve"] = json.load(f)
 
+# The sharded-tier section (PR 3) must be present: regressions that silently
+# drop it from the serving benchmark would otherwise go unnoticed in the
+# trajectory diff.
+sharded = result["serve"].get("sharded")
+if not sharded:
+    sys.exit("serve benchmark JSON is missing the 'sharded' section")
+print(
+    "sharded tier: unsharded {:.0f} cand/s vs best sharded {:.0f} cand/s "
+    "({} callers)".format(
+        sharded["unsharded_cps"], sharded["best_sharded_cps"],
+        sharded["callers"]))
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")

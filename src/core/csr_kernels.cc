@@ -61,9 +61,13 @@ CscView CscView::FromMatrix(const LabelMatrix& matrix) {
 
 namespace {
 
-// Numerically stable scalar sigmoid (used by the scalar path and vector
-// tails). Deterministic for a fixed sharding because tail positions are a
-// function of shard boundaries, not thread count.
+// Numerically stable scalar sigmoid (scalar-ISA path only). The vector
+// paths must NOT fall back to this for tails: std::exp and the polynomial
+// Exp4/Exp8 differ in final ULPs, so a scalar tail would make an element's
+// result depend on its position within the batch — which breaks the shard
+// router's bitwise sub-batch/merge equivalence (shard/shard_router.h).
+// Vector tails instead pad into a full lane vector and reuse the vector
+// kernel, keeping SigmoidBatch strictly elementwise.
 inline double ScalarSigmoid(double x) {
   if (x >= 0) {
     double e = std::exp(-x);
@@ -187,7 +191,15 @@ void SigmoidBatchAvx2(const double* x, double* out, size_t count) {
   for (; i + 4 <= count; i += 4) {
     _mm256_storeu_pd(out + i, Sigmoid4(_mm256_loadu_pd(x + i)));
   }
-  for (; i < count; ++i) out[i] = ScalarSigmoid(x[i]);
+  if (i < count) {
+    // Padded tail through the SAME kernel: element results are a function
+    // of the element alone, never of batch length or offset.
+    double in[4] = {0.0, 0.0, 0.0, 0.0};
+    double res[4];
+    for (size_t t = i; t < count; ++t) in[t - i] = x[t];
+    _mm256_storeu_pd(res, Sigmoid4(_mm256_loadu_pd(in)));
+    for (size_t t = i; t < count; ++t) out[t] = res[t - i];
+  }
 }
 
 __attribute__((target("avx2,fma")))
@@ -283,7 +295,14 @@ void SigmoidBatchAvx512(const double* x, double* out, size_t count) {
   for (; i + 8 <= count; i += 8) {
     _mm512_storeu_pd(out + i, Sigmoid8(_mm512_loadu_pd(x + i)));
   }
-  for (; i < count; ++i) out[i] = ScalarSigmoid(x[i]);
+  if (i < count) {
+    // Padded tail through the SAME kernel (see SigmoidBatchAvx2).
+    double in[8] = {0.0};
+    double res[8];
+    for (size_t t = i; t < count; ++t) in[t - i] = x[t];
+    _mm512_storeu_pd(res, Sigmoid8(_mm512_loadu_pd(in)));
+    for (size_t t = i; t < count; ++t) out[t] = res[t - i];
+  }
 }
 
 __attribute__((target("avx512f")))

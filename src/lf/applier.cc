@@ -7,16 +7,31 @@
 
 namespace snorkel {
 
+std::vector<CandidateRef> MakeCandidateRefs(
+    const std::vector<Candidate>& candidates) {
+  std::vector<CandidateRef> refs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    refs[i] = CandidateRef{&candidates[i], i};
+  }
+  return refs;
+}
+
 Result<LabelMatrix> LFApplier::Apply(
     const LabelingFunctionSet& lfs, const Corpus& corpus,
     const std::vector<Candidate>& candidates) const {
-  size_t m = candidates.size();
+  return ApplyRefs(lfs, corpus, MakeCandidateRefs(candidates));
+}
+
+Result<LabelMatrix> LFApplier::ApplyRefs(
+    const LabelingFunctionSet& lfs, const Corpus& corpus,
+    const std::vector<CandidateRef>& rows) const {
+  size_t m = rows.size();
   size_t n = lfs.size();
 
   // Per-candidate sparse vote buffers, filled in parallel without locking.
   std::vector<std::vector<LabelMatrix::Entry>> votes(m);
   auto label_one = [&](size_t i) {
-    CandidateView view(&corpus, &candidates[i], i);
+    CandidateView view(&corpus, rows[i].candidate, rows[i].index);
     for (size_t j = 0; j < n; ++j) {
       Label label = lfs.at(j).Apply(view);
       if (label != kAbstain) {

@@ -10,6 +10,21 @@
 
 namespace snorkel {
 
+/// One row of an LF-application request, by reference: the candidate to
+/// label plus the index CandidateView::index() reports for it. The sharded
+/// serving tier fans a request out as refs so sub-batches neither copy
+/// candidates nor renumber them — an index-dependent LF (e.g. a crowd-vote
+/// LF keyed on the stored row index) sees exactly the indices it would see
+/// in the unsharded request.
+struct CandidateRef {
+  const Candidate* candidate = nullptr;
+  size_t index = 0;
+};
+
+/// Builds the identity ref view of `candidates` (row i ↦ {&candidates[i], i}).
+std::vector<CandidateRef> MakeCandidateRefs(
+    const std::vector<Candidate>& candidates);
+
 /// Applies a labeling-function set over a candidate set to produce the label
 /// matrix Λ. Candidates are independent, so application is embarrassingly
 /// parallel (paper Appendix C "Execution Model"); the applier shards the
@@ -33,6 +48,13 @@ class LFApplier {
   Result<LabelMatrix> Apply(const LabelingFunctionSet& lfs,
                             const Corpus& corpus,
                             const std::vector<Candidate>& candidates) const;
+
+  /// Same, over borrowed rows: matrix row i is rows[i].candidate, and each
+  /// LF's CandidateView reports rows[i].index. The referenced candidates
+  /// must stay alive for the duration of the call.
+  Result<LabelMatrix> ApplyRefs(const LabelingFunctionSet& lfs,
+                                const Corpus& corpus,
+                                const std::vector<CandidateRef>& rows) const;
 
  private:
   Options options_;

@@ -68,30 +68,45 @@ Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
 Result<LabelService> LabelService::FromFile(const std::string& path,
                                             LabelingFunctionSet lfs,
                                             Options options) {
-  auto snapshot = LoadSnapshot(path);
+  // Mapped load: replicas opening the same artifact share one page-cache
+  // copy of its bytes (identical validation to the read-copy path).
+  auto snapshot = LoadSnapshotMapped(path);
   if (!snapshot.ok()) return snapshot.status();
   return Create(*snapshot, std::move(lfs), options);
 }
 
 Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
-  if (request.corpus == nullptr || request.candidates == nullptr) {
-    return Status::InvalidArgument("request missing corpus or candidates");
+  if (request.corpus == nullptr) {
+    return Status::InvalidArgument("request missing corpus");
   }
+  const bool by_refs = request.candidate_refs != nullptr;
+  if (by_refs == (request.candidates != nullptr)) {
+    return Status::InvalidArgument(
+        "request must set exactly one of candidates / candidate_refs");
+  }
+  const size_t num_candidates =
+      by_refs ? request.candidate_refs->size() : request.candidates->size();
+  const auto request_start = std::chrono::steady_clock::now();
   WallTimer timer;
 
   // LF application: only the incremental applier's column cache is stateful
   // and needs the lock; the stateless path lets concurrent batches fan out
-  // over the worker pool side by side.
+  // over the worker pool side by side. Ref requests (the sharded tier's
+  // zero-copy fan-out) always take the stateless path — the column cache
+  // keys on owned candidate sets.
   Result<LabelMatrix> matrix(Status::Internal("unset"));
-  if (options_.use_incremental_cache) {
+  if (!by_refs && options_.use_incremental_cache) {
     std::lock_guard<std::mutex> lock(*apply_mu_);
     matrix = applier_.Apply(lfs_, *request.corpus, *request.candidates);
   } else {
     LFApplier::Options apply_options;
     apply_options.num_threads = options_.num_threads;
     apply_options.cardinality = 2;
-    matrix = LFApplier(apply_options)
-                 .Apply(lfs_, *request.corpus, *request.candidates);
+    LFApplier applier(apply_options);
+    matrix = by_refs ? applier.ApplyRefs(lfs_, *request.corpus,
+                                         *request.candidate_refs)
+                     : applier.Apply(lfs_, *request.corpus,
+                                     *request.candidates);
   }
   if (!matrix.ok()) return matrix.status();
 
@@ -121,9 +136,18 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
       latency_next_ = (latency_next_ + 1) % kLatencyWindow;
     }
     ++num_requests_;
-    num_candidates_ += request.candidates->size();
-    total_latency_ms_ += response.latency_ms;
+    num_candidates_ += num_candidates;
     max_latency_ms_ = std::max(max_latency_ms_, response.latency_ms);
+    if (!has_served_) {
+      first_request_start_ = request_start;
+      has_served_ = true;
+    } else if (request_start < first_request_start_) {
+      // Concurrent callers can retire out of order; anchor on the earliest
+      // request START so the span covers all overlapping work exactly once.
+      first_request_start_ = request_start;
+    }
+    const auto done = std::chrono::steady_clock::now();
+    if (done > last_request_done_) last_request_done_ = done;
   }
   return response;
 }
@@ -139,10 +163,18 @@ ServiceStats LabelService::stats() const {
     stats.p50_latency_ms = Quantile(sorted, 0.5);
     stats.p99_latency_ms = Quantile(sorted, 0.99);
     stats.max_latency_ms = max_latency_ms_;
-    stats.throughput_cps =
-        total_latency_ms_ > 0.0
-            ? static_cast<double>(num_candidates_) / (total_latency_ms_ / 1e3)
-            : 0.0;
+    // Wall-clock throughput: earliest request start to latest completion.
+    // Summing per-request latencies here would count every overlapping
+    // concurrent request's time separately and understate throughput.
+    if (has_served_) {
+      stats.busy_span_s = std::chrono::duration<double>(last_request_done_ -
+                                                        first_request_start_)
+                              .count();
+      stats.throughput_cps =
+          stats.busy_span_s > 0.0
+              ? static_cast<double>(num_candidates_) / stats.busy_span_s
+              : 0.0;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(*apply_mu_);

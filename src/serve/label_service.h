@@ -1,6 +1,7 @@
 #ifndef SNORKEL_SERVE_LABEL_SERVICE_H_
 #define SNORKEL_SERVE_LABEL_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "core/generative_model.h"
 #include "core/label_matrix.h"
 #include "data/candidate.h"
+#include "lf/applier.h"
 #include "lf/labeling_function.h"
 #include "serve/incremental_applier.h"
 #include "serve/snapshot.h"
@@ -18,10 +20,18 @@
 namespace snorkel {
 
 /// One batched labeling request: a set of candidates (rows) drawn from a
-/// corpus, to be labeled under the snapshot's model.
+/// corpus, to be labeled under the snapshot's model. Rows are given either
+/// as an owned vector (`candidates`) or as borrowed, index-preserving refs
+/// (`candidate_refs`) — exactly one must be set. The ref form is the
+/// zero-copy fan-out path used by the sharded tier: sub-batches reference
+/// the original request's candidates and keep their original indices, so
+/// even index-dependent LFs behave identically under sharding. Ref requests
+/// always run the stateless applier (the incremental column cache keys on
+/// owned candidate sets).
 struct LabelRequest {
   const Corpus* corpus = nullptr;
   const std::vector<Candidate>* candidates = nullptr;
+  const std::vector<CandidateRef>* candidate_refs = nullptr;
   /// Include the per-LF vote matrix Λ in the response (costs a copy).
   bool include_votes = false;
   /// Apply the snapshot's class-balance prior (off = the class-symmetric
@@ -50,8 +60,13 @@ struct ServiceStats {
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
-  /// Candidates per second over the summed request latencies.
+  /// Candidates per second over WALL CLOCK: all-time candidates divided by
+  /// the span from the first request's start to the latest request's
+  /// completion. (Dividing by *summed* request latencies would double-count
+  /// elapsed time under concurrent callers and understate true throughput.)
   double throughput_cps = 0.0;
+  /// The wall-clock span the throughput is measured over, seconds.
+  double busy_span_s = 0.0;
   /// Column-cache effectiveness, forwarded from the incremental applier.
   uint64_t lf_columns_reused = 0;
   uint64_t lf_columns_computed = 0;
@@ -134,8 +149,12 @@ class LabelService {
   size_t latency_next_ = 0;
   uint64_t num_requests_ = 0;
   uint64_t num_candidates_ = 0;
-  double total_latency_ms_ = 0.0;
   double max_latency_ms_ = 0.0;
+  /// Wall-clock anchors for throughput: start of the first request ever and
+  /// completion of the most recent one (guarded by stats_mu_).
+  std::chrono::steady_clock::time_point first_request_start_{};
+  std::chrono::steady_clock::time_point last_request_done_{};
+  bool has_served_ = false;
 };
 
 }  // namespace snorkel

@@ -5,6 +5,7 @@
 
 #include "util/binary_io.h"
 #include "util/hash.h"
+#include "util/mmap_file.h"
 
 namespace snorkel {
 
@@ -181,6 +182,20 @@ Result<ModelSnapshot> LoadSnapshot(const std::string& path) {
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
   return DeserializeSnapshot(*bytes);
+}
+
+Result<ModelSnapshot> LoadSnapshotMapped(const std::string& path,
+                                         SnapshotLoadInfo* info) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  if (info != nullptr) {
+    info->used_mmap = file->is_mapped();
+    info->file_bytes = file->size();
+  }
+  // Decode (and checksum-validate) straight off the mapped pages; the
+  // mapping is released when `file` goes out of scope, after the snapshot's
+  // owned vectors have been populated.
+  return DeserializeSnapshot(file->view());
 }
 
 }  // namespace snorkel

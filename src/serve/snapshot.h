@@ -84,6 +84,27 @@ Result<ModelSnapshot> DeserializeSnapshot(std::string_view data);
 Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
 Result<ModelSnapshot> LoadSnapshot(const std::string& path);
 
+/// How LoadSnapshotMapped actually got the bytes.
+struct SnapshotLoadInfo {
+  /// True when the file was decoded from an mmap'd view (the artifact bytes
+  /// are page-cache shared across every process that maps the same file);
+  /// false when the read-copy fallback ran.
+  bool used_mmap = false;
+  size_t file_bytes = 0;
+};
+
+/// LoadSnapshot via an mmap'd view of the file instead of a heap read-copy:
+/// the decode runs directly over the mapped pages, so no file-sized
+/// intermediate buffer is materialized and all serving replicas in a process
+/// tree share one page-cache copy of the weight payload (cold-start for the
+/// Nth replica is page faults, not a full read). Checksum, version-gate, and
+/// truncation validation are identical to LoadSnapshot — corruption on the
+/// mapped path is the same detected IOError. Falls back to a read-copy on
+/// platforms (or filesystems) without mmap; `info` (optional) reports which
+/// path ran.
+Result<ModelSnapshot> LoadSnapshotMapped(const std::string& path,
+                                         SnapshotLoadInfo* info = nullptr);
+
 }  // namespace snorkel
 
 #endif  // SNORKEL_SERVE_SNAPSHOT_H_

@@ -1,0 +1,480 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "util/bounded_queue.h"
+#include "util/timer.h"
+
+namespace snorkel {
+
+namespace {
+
+/// Completion latch shared by all of one request's shard jobs: each worker
+/// writes its result slot and decrements; the caller sleeps until every
+/// admitted job has reported. One latch per request instead of one
+/// promise/future pair per shard job — a single caller wakeup and zero
+/// shared-state heap allocations on the per-request hot path.
+struct RequestLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Jobs armed but not yet completed. Armed BEFORE each push (a worker can
+  /// complete a job before the push even returns) and un-armed if the push
+  /// is rejected; workers decrement on completion, so the count stays
+  /// consistent no matter how fan-out and completions interleave.
+  size_t remaining = 0;
+
+  void Arm() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++remaining;
+  }
+
+  /// Reverts an Arm() whose push was not admitted.
+  void Disarm() {
+    std::lock_guard<std::mutex> lock(mu);
+    --remaining;
+  }
+
+  void Complete() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_one();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+};
+
+/// One shard-bound unit of work: a borrowed, zero-copy ref sub-batch plus
+/// the request flags it must be served under. EVERYTHING the job points at
+/// (corpus, rows, slot, latch) is owned by the caller's Label() frame —
+/// which is why the router always waits for every admitted job, even on a
+/// rejected or failed request, before returning.
+struct ShardJob {
+  const Corpus* corpus = nullptr;
+  const std::vector<CandidateRef>* rows = nullptr;
+  bool include_votes = false;
+  bool apply_class_balance = true;
+  /// Where the worker writes this job's result (caller-owned, stable).
+  std::optional<Result<LabelResponse>>* slot = nullptr;
+  RequestLatch* latch = nullptr;
+
+  void Finish(Result<LabelResponse> result) {
+    slot->emplace(std::move(result));
+    latch->Complete();
+  }
+};
+
+bool Fusable(const ShardJob& a, const ShardJob& b) {
+  return a.corpus == b.corpus && a.apply_class_balance == b.apply_class_balance;
+}
+
+}  // namespace
+
+struct ShardRouter::Impl {
+  struct Shard {
+    std::unique_ptr<LabelService> replica;
+    std::unique_ptr<BoundedQueue<ShardJob>> queue;
+    std::vector<std::thread> workers;
+  };
+
+  Options options;
+  CandidatePartitioner partitioner;
+  size_t lf_count = 0;
+  std::vector<Shard> shards;
+  std::atomic<bool> shutdown{false};
+  std::once_flag shutdown_once;
+
+  mutable std::mutex stats_mu;
+  uint64_t num_requests = 0;
+  uint64_t num_candidates = 0;
+  uint64_t rejected_requests = 0;
+  uint64_t failed_requests = 0;
+  uint64_t fused_jobs = 0;
+  /// High-water gauge, atomic so the admission hot path never touches the
+  /// shared stats lock.
+  std::atomic<size_t> max_queue_depth{0};
+  bool has_served = false;
+
+  void RecordQueueDepth(size_t depth) {
+    size_t seen = max_queue_depth.load(std::memory_order_relaxed);
+    while (depth > seen && !max_queue_depth.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+  std::chrono::steady_clock::time_point first_request_start{};
+  std::chrono::steady_clock::time_point last_request_done{};
+
+  explicit Impl(Options opts)
+      : options(opts), partitioner(opts.num_shards) {}
+
+  void ServeOne(Shard& shard, ShardJob& job) {
+    LabelRequest request;
+    request.corpus = job.corpus;
+    request.candidate_refs = job.rows;
+    request.include_votes = job.include_votes;
+    request.apply_class_balance = job.apply_class_balance;
+    job.Finish(shard.replica->Label(request));
+  }
+
+  /// Serves a run of queued jobs, fusing consecutive compatible sub-batches
+  /// into one model pass. Correctness relies on every per-row stage being
+  /// content-pure (LF votes per candidate, WeightedRowSums per row,
+  /// SigmoidBatch per element): concatenating sub-batches changes only how
+  /// much work one pass does, never any row's bits.
+  void ServeRun(Shard& shard, std::vector<ShardJob>& run) {
+    size_t begin = 0;
+    while (begin < run.size()) {
+      size_t end = begin + 1;
+      while (end < run.size() && Fusable(run[begin], run[end])) ++end;
+      if (end - begin == 1) {
+        ServeOne(shard, run[begin]);
+      } else {
+        ServeFused(shard, run, begin, end);
+      }
+      begin = end;
+    }
+  }
+
+  void ServeFused(Shard& shard, std::vector<ShardJob>& run, size_t begin,
+                  size_t end) {
+    size_t total = 0;
+    bool any_votes = false;
+    for (size_t g = begin; g < end; ++g) {
+      total += run[g].rows->size();
+      any_votes = any_votes || run[g].include_votes;
+    }
+    // Concatenating refs is 16 bytes per row — the fused pass never copies
+    // a candidate.
+    std::vector<CandidateRef> fused;
+    fused.reserve(total);
+    for (size_t g = begin; g < end; ++g) {
+      fused.insert(fused.end(), run[g].rows->begin(), run[g].rows->end());
+    }
+    LabelRequest request;
+    request.corpus = run[begin].corpus;
+    request.candidate_refs = &fused;
+    request.include_votes = any_votes;
+    request.apply_class_balance = run[begin].apply_class_balance;
+    auto response = shard.replica->Label(request);
+    if (!response.ok()) {
+      // Isolate the failure: one poisoned sub-batch must not fail the
+      // unrelated requests that happened to be fused with it.
+      for (size_t g = begin; g < end; ++g) ServeOne(shard, run[g]);
+      return;
+    }
+    size_t offset = 0;
+    for (size_t g = begin; g < end; ++g) {
+      ShardJob& job = run[g];
+      size_t n = job.rows->size();
+      LabelResponse out;
+      out.posteriors.assign(response->posteriors.begin() + offset,
+                            response->posteriors.begin() + offset + n);
+      out.hard_labels.assign(response->hard_labels.begin() + offset,
+                             response->hard_labels.begin() + offset + n);
+      if (job.include_votes) {
+        std::vector<size_t> rows(n);
+        std::iota(rows.begin(), rows.end(), offset);
+        out.votes = response->votes.SelectRows(rows);
+      }
+      out.latency_ms = response->latency_ms;
+      job.Finish(std::move(out));
+      offset += n;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    fused_jobs += (end - begin) - 1;
+  }
+
+  void WorkerLoop(size_t shard_index) {
+    Shard& shard = shards[shard_index];
+    while (auto first = shard.queue->Pop()) {
+      std::vector<ShardJob> run;
+      run.push_back(std::move(*first));
+      // Coalesce whatever burst is already queued (bounded by max_fuse);
+      // never wait for more traffic.
+      while (run.size() < std::max<size_t>(1, options.max_fuse)) {
+        auto next = shard.queue->TryPop();
+        if (!next) break;
+        run.push_back(std::move(*next));
+      }
+      ServeRun(shard, run);
+    }
+  }
+};
+
+ShardRouter::ShardRouter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+ShardRouter& ShardRouter::operator=(ShardRouter&& other) {
+  if (this != &other) {
+    // A defaulted move would destroy a live Impl with joinable workers
+    // (std::terminate) — drain and join this tier before adopting other's.
+    Shutdown();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+ShardRouter::~ShardRouter() { Shutdown(); }
+
+size_t ShardRouter::num_shards() const { return impl_->shards.size(); }
+
+Result<ShardRouter> ShardRouter::Create(const ModelSnapshot& snapshot,
+                                        const LabelingFunctionSet& lfs,
+                                        Options options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("ShardRouter needs at least one shard");
+  }
+  auto impl = std::make_unique<Impl>(options);
+  impl->lf_count = lfs.size();
+  impl->shards.resize(options.num_shards);
+  for (size_t s = 0; s < options.num_shards; ++s) {
+    auto replica = LabelService::Create(snapshot, lfs, options.service);
+    if (!replica.ok()) return replica.status();
+    impl->shards[s].replica =
+        std::make_unique<LabelService>(std::move(*replica));
+    impl->shards[s].queue =
+        std::make_unique<BoundedQueue<ShardJob>>(options.queue_capacity);
+  }
+  // Workers start only after every shard is fully constructed (WorkerLoop
+  // indexes impl->shards).
+  size_t workers = std::max<size_t>(1, options.workers_per_shard);
+  for (size_t s = 0; s < options.num_shards; ++s) {
+    for (size_t w = 0; w < workers; ++w) {
+      impl->shards[s].workers.emplace_back(
+          [raw = impl.get(), s] { raw->WorkerLoop(s); });
+    }
+  }
+  return ShardRouter(std::move(impl));
+}
+
+Result<ShardRouter> ShardRouter::FromFile(const std::string& path,
+                                          const LabelingFunctionSet& lfs,
+                                          Options options,
+                                          SnapshotLoadInfo* load_info) {
+  auto snapshot = LoadSnapshotMapped(path, load_info);
+  if (!snapshot.ok()) return snapshot.status();
+  return Create(*snapshot, lfs, options);
+}
+
+void ShardRouter::Shutdown() {
+  if (impl_ == nullptr) return;  // Moved-from.
+  std::call_once(impl_->shutdown_once, [this] {
+    impl_->shutdown.store(true, std::memory_order_release);
+    for (auto& shard : impl_->shards) shard.queue->Close();
+    for (auto& shard : impl_->shards) {
+      for (auto& worker : shard.workers) {
+        if (worker.joinable()) worker.join();
+      }
+    }
+  });
+}
+
+Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
+  Impl& impl = *impl_;
+  if (request.corpus == nullptr) {
+    return Status::InvalidArgument("request missing corpus");
+  }
+  const bool by_refs = request.candidate_refs != nullptr;
+  if (by_refs == (request.candidates != nullptr)) {
+    return Status::InvalidArgument(
+        "request must set exactly one of candidates / candidate_refs");
+  }
+  if (impl.shutdown.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("router is shut down");
+  }
+  const auto request_start = std::chrono::steady_clock::now();
+  WallTimer timer;
+
+  // Zero-copy fan-out: sub-batches borrow the request's candidates (and
+  // keep the caller-visible indices), so sharding neither copies a
+  // candidate nor renumbers what index-dependent LFs observe.
+  std::vector<CandidateRef> identity;
+  if (!by_refs) identity = MakeCandidateRefs(*request.candidates);
+  const std::vector<CandidateRef>& base =
+      by_refs ? *request.candidate_refs : identity;
+  ShardedRefBatch parts = impl.partitioner.PartitionRefs(base);
+
+  // ---- Fan out: admit one job per non-empty shard. All jobs share one
+  // completion latch; slots are preallocated so their addresses stay stable
+  // while workers hold them. ----
+  struct Pending {
+    size_t shard = 0;
+    std::vector<size_t> to_request;
+    std::optional<Result<LabelResponse>>* slot = nullptr;
+  };
+  RequestLatch latch;
+  std::vector<std::optional<Result<LabelResponse>>> slots(impl.shards.size());
+  std::vector<Pending> pending;
+  pending.reserve(impl.shards.size());
+  size_t admitted = 0;
+  Status admit = Status::OK();
+  // Reject policy: admission is per-shard, not transactional — a request
+  // rejected at shard s has already committed its sub-batches to shards
+  // < s, whose (discarded) results the caller still waits for. To keep
+  // rejection cheap under overload, probe every needed queue first and
+  // shed before committing anything; the probe is advisory (another caller
+  // can fill a queue between probe and push), so the per-shard rejection
+  // path below still backstops it.
+  if (!impl.options.block_on_full) {
+    for (size_t s = 0; s < impl.shards.size(); ++s) {
+      auto& queue = *impl.shards[s].queue;
+      if (!parts.shard_rows[s].empty() &&
+          queue.size() >= queue.capacity()) {
+        std::lock_guard<std::mutex> lock(impl.stats_mu);
+        ++impl.rejected_requests;
+        return Status::ResourceExhausted(
+            "shard " + std::to_string(s) + "/" +
+            std::to_string(impl.shards.size()) + " queue full (capacity " +
+            std::to_string(queue.capacity()) + "); request rejected");
+      }
+    }
+  }
+  for (size_t s = 0; s < impl.shards.size() && admit.ok(); ++s) {
+    if (parts.shard_rows[s].empty()) continue;
+    ShardJob job;
+    job.corpus = request.corpus;
+    job.rows = &parts.shard_rows[s];
+    job.include_votes = request.include_votes;
+    job.apply_class_balance = request.apply_class_balance;
+    job.slot = &slots[s];
+    job.latch = &latch;
+    latch.Arm();  // A worker may Complete() before the push even returns.
+    auto& queue = *impl.shards[s].queue;
+    using PushResult = BoundedQueue<ShardJob>::PushResult;
+    PushResult pushed = impl.options.block_on_full
+                            ? queue.Push(std::move(job))
+                            : queue.TryPush(std::move(job));
+    switch (pushed) {
+      case PushResult::kOk:
+        ++admitted;
+        pending.push_back(
+            Pending{s, std::move(parts.shard_to_request[s]), &slots[s]});
+        impl.RecordQueueDepth(queue.size());
+        break;
+      case PushResult::kQueueFull:
+        latch.Disarm();  // Not consumed.
+        admit = Status::ResourceExhausted(
+            "shard " + std::to_string(s) + "/" +
+            std::to_string(impl.shards.size()) + " queue full (capacity " +
+            std::to_string(queue.capacity()) + "); request rejected");
+        break;
+      case PushResult::kClosed:
+        latch.Disarm();
+        admit = Status::FailedPrecondition("router is shut down");
+        break;
+    }
+  }
+
+  // ---- Collect. Always wait for EVERY admitted job before returning:
+  // enqueued sub-batches reference the caller's corpus, latch, and slots,
+  // so even a rejected or failed request must not race its own workers. ----
+  if (admitted > 0) latch.Wait();
+
+  if (!admit.ok()) {
+    if (admit.code() == StatusCode::kResourceExhausted) {
+      std::lock_guard<std::mutex> lock(impl.stats_mu);
+      ++impl.rejected_requests;
+    }
+    return admit;
+  }
+  for (const Pending& p : pending) {
+    const Result<LabelResponse>& result = **p.slot;
+    if (!result.ok()) {
+      // A failed shard fails the whole request, typed, with shard context —
+      // never a partially-filled response.
+      const Status& cause = result.status();
+      std::lock_guard<std::mutex> lock(impl.stats_mu);
+      ++impl.failed_requests;
+      return Status(cause.code(), "shard " + std::to_string(p.shard) + "/" +
+                                      std::to_string(impl.shards.size()) +
+                                      " failed: " + cause.message());
+    }
+  }
+
+  // ---- Merge back into request order. ----
+  LabelResponse response;
+  response.posteriors.resize(parts.total);
+  response.hard_labels.resize(parts.total);
+  // `Label` names this method here, so qualify the vote type.
+  std::vector<std::tuple<size_t, size_t, snorkel::Label>> vote_triplets;
+  for (size_t p = 0; p < pending.size(); ++p) {
+    const Result<LabelResponse>& slot_result = **pending[p].slot;
+    const LabelResponse& shard_response = *slot_result;
+    const std::vector<size_t>& to_request = pending[p].to_request;
+    for (size_t t = 0; t < to_request.size(); ++t) {
+      response.posteriors[to_request[t]] = shard_response.posteriors[t];
+      response.hard_labels[to_request[t]] = shard_response.hard_labels[t];
+    }
+    if (request.include_votes) {
+      for (size_t t = 0; t < to_request.size(); ++t) {
+        for (const auto& entry : shard_response.votes.row(t)) {
+          vote_triplets.emplace_back(to_request[t], entry.lf, entry.label);
+        }
+      }
+    }
+  }
+  if (request.include_votes) {
+    auto votes = LabelMatrix::FromTriplets(parts.total, impl.lf_count,
+                                           vote_triplets);
+    if (!votes.ok()) {
+      // Unreachable from well-formed shard matrices; surface, don't hide.
+      return Status::Internal("vote reassembly failed: " +
+                              votes.status().message());
+    }
+    response.votes = std::move(*votes);
+  }
+  response.latency_ms = timer.ElapsedMillis();
+
+  {
+    std::lock_guard<std::mutex> lock(impl.stats_mu);
+    ++impl.num_requests;
+    impl.num_candidates += parts.total;
+    if (!impl.has_served || request_start < impl.first_request_start) {
+      impl.first_request_start = request_start;
+      impl.has_served = true;
+    }
+    const auto done = std::chrono::steady_clock::now();
+    if (done > impl.last_request_done) impl.last_request_done = done;
+  }
+  return response;
+}
+
+RouterStats ShardRouter::stats() const {
+  const Impl& impl = *impl_;
+  RouterStats out;
+  {
+    std::lock_guard<std::mutex> lock(impl.stats_mu);
+    out.num_requests = impl.num_requests;
+    out.num_candidates = impl.num_candidates;
+    out.rejected_requests = impl.rejected_requests;
+    out.failed_requests = impl.failed_requests;
+    out.fused_jobs = impl.fused_jobs;
+    out.max_queue_depth = impl.max_queue_depth.load(std::memory_order_relaxed);
+    if (impl.has_served) {
+      out.busy_span_s = std::chrono::duration<double>(impl.last_request_done -
+                                                      impl.first_request_start)
+                            .count();
+      out.throughput_cps =
+          out.busy_span_s > 0.0
+              ? static_cast<double>(impl.num_candidates) / out.busy_span_s
+              : 0.0;
+    }
+  }
+  for (const auto& shard : impl.shards) {
+    out.queue_depth += shard.queue->size();
+    out.per_shard.push_back(shard.replica->stats());
+  }
+  return out;
+}
+
+}  // namespace snorkel

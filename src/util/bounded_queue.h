@@ -1,0 +1,139 @@
+#ifndef SNORKEL_UTIL_BOUNDED_QUEUE_H_
+#define SNORKEL_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace snorkel {
+
+/// A bounded multi-producer / multi-consumer queue with explicit
+/// backpressure — the admission primitive of the sharded serving tier
+/// (shard/shard_router.h). Capacity is a hard bound: producers either block
+/// until space frees up (`Push`) or get a typed `kQueueFull` rejection
+/// (`TryPush`) so the caller can shed load instead of queueing unboundedly.
+///
+/// Shutdown is two-phase: `Close()` refuses every subsequent push (and wakes
+/// blocked producers with `kClosed`) while consumers keep draining whatever
+/// was admitted; once the queue is empty, `Pop` returns nullopt and workers
+/// exit. Nothing admitted is ever dropped — the clean-drain contract the
+/// router's shutdown path relies on.
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class PushResult {
+    kOk = 0,
+    /// The queue is at capacity (TryPush only); the item was NOT consumed.
+    kQueueFull,
+    /// Close() was called; the item was NOT consumed.
+    kClosed,
+  };
+
+  /// `capacity` is clamped to at least 1.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full; moves from `item` only on kOk.
+  PushResult Push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) {
+      ++waiting_producers_;
+      not_full_.wait(lock);
+      --waiting_producers_;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(item));
+    NotifyConsumer();
+    return PushResult::kOk;
+  }
+
+  /// Non-blocking admission; moves from `item` only on kOk.
+  PushResult TryPush(T&& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kQueueFull;
+    items_.push_back(std::move(item));
+    NotifyConsumer();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND drained
+  /// (then returns nullopt — the consumer's exit signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!closed_ && items_.empty()) {
+      ++waiting_consumers_;
+      not_empty_.wait(lock);
+      --waiting_consumers_;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    NotifyProducer();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty (closed or not). The
+  /// router's workers use this to coalesce a run of queued jobs into one
+  /// fused model pass without ever waiting for more traffic.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    NotifyProducer();
+    return item;
+  }
+
+  /// Refuses all future pushes; consumers drain the remaining items.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous depth (a gauge; stale by the time the caller reads it).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Wake suppression (callers hold mu_): a busy consumer drains via
+  /// TryPop without ever sleeping, so signalling every push would be a
+  /// wasted futex syscall on the hot path. Only threads actually parked in
+  /// wait() are counted, and only then is a signal issued.
+  void NotifyConsumer() {
+    if (waiting_consumers_ > 0) not_empty_.notify_one();
+  }
+  void NotifyProducer() {
+    if (waiting_producers_ > 0) not_full_.notify_one();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t waiting_consumers_ = 0;
+  size_t waiting_producers_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,72 @@
+#include "util/mmap_file.h"
+
+#include "util/binary_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SNORKEL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace snorkel {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+#ifdef SNORKEL_HAVE_MMAP
+    if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+#endif
+    map_base_ = other.map_base_;
+    map_size_ = other.map_size_;
+    fallback_ = std::move(other.fallback_);
+    other.map_base_ = nullptr;
+    other.map_size_ = 0;
+    other.fallback_.clear();
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#ifdef SNORKEL_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+#endif
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#ifdef SNORKEL_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat: " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap of length 0 is EINVAL; an empty file is an empty (owned) view.
+    ::close(fd);
+    MappedFile file;
+    return file;
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping outlives the descriptor.
+  if (base != MAP_FAILED) {
+    MappedFile file;
+    file.map_base_ = base;
+    file.map_size_ = size;
+    return file;
+  }
+  // Fall through to the read-copy path (e.g. a filesystem without mmap
+  // support); same bytes, just not page-cache shared.
+#endif
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  MappedFile file;
+  file.fallback_ = std::move(*bytes);
+  return file;
+}
+
+}  // namespace snorkel

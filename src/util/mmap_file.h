@@ -1,0 +1,60 @@
+#ifndef SNORKEL_UTIL_MMAP_FILE_H_
+#define SNORKEL_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace snorkel {
+
+/// A read-only view of a whole file, backed by mmap where the platform has
+/// it and by a heap read-copy everywhere else. Mapping matters for the
+/// serving tier: every LabelService replica in a process tree that opens the
+/// same snapshot shares ONE page-cache copy of the weight payload, so
+/// spinning up the Nth replica costs no additional physical memory for the
+/// artifact bytes and cold-start is bounded by page faults, not a full-file
+/// read+copy.
+///
+/// Movable, not copyable; the mapping (or buffer) is released on
+/// destruction. `view()` stays valid for the lifetime of the object.
+class MappedFile {
+ public:
+  /// Opens and maps `path` (NotFound / IOError on failure). On platforms
+  /// without mmap — or if mapping fails — falls back to reading the file
+  /// into an owned buffer; `is_mapped()` reports which path was taken.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// The file's bytes; valid while this object is alive.
+  std::string_view view() const {
+    return map_base_ != nullptr
+               ? std::string_view(static_cast<const char*>(map_base_),
+                                  map_size_)
+               : std::string_view(fallback_);
+  }
+
+  size_t size() const { return view().size(); }
+
+  /// True when the bytes come from an mmap'd region (page-cache shared),
+  /// false when the read-copy fallback was used.
+  bool is_mapped() const { return map_base_ != nullptr; }
+
+ private:
+  MappedFile() = default;
+
+  void* map_base_ = nullptr;  // Non-null iff mmap'd.
+  size_t map_size_ = 0;
+  std::string fallback_;      // Owned bytes on the read-copy path.
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_MMAP_FILE_H_

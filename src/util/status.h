@@ -19,6 +19,10 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kIOError,
+  /// A bounded resource (serving queue, admission budget) is at capacity;
+  /// the caller should shed load or retry later. Backpressure rejections
+  /// from the sharded serving tier carry this code.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +64,9 @@ class Status {
   }
   static Status IOError(std::string message) {
     return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "lf/applier.h"
 #include "lf/declarative.h"
@@ -410,6 +412,64 @@ TEST(LabelServiceTest, RepeatBatchesHitTheColumnCache) {
   EXPECT_EQ(stats.lf_columns_reused, 12u);
   EXPECT_GT(stats.throughput_cps, 0.0);
   EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
+}
+
+TEST(LabelServiceTest, RefRequestsMatchOwnedRequestsBitwise) {
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+  auto service = LabelService::Create(snapshot, fx.MakeLfs());
+  ASSERT_TRUE(service.ok());
+
+  LabelRequest owned;
+  owned.corpus = &fx.corpus;
+  owned.candidates = &fx.candidates;
+  auto expected = service->Label(owned);
+  ASSERT_TRUE(expected.ok());
+
+  // The zero-copy ref form of the same request: identical response.
+  std::vector<CandidateRef> refs = MakeCandidateRefs(fx.candidates);
+  LabelRequest by_ref;
+  by_ref.corpus = &fx.corpus;
+  by_ref.candidate_refs = &refs;
+  auto actual = service->Label(by_ref);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(actual->posteriors, expected->posteriors);
+  EXPECT_EQ(actual->hard_labels, expected->hard_labels);
+
+  // Setting both forms (or neither) is a typed misuse.
+  LabelRequest both;
+  both.corpus = &fx.corpus;
+  both.candidates = &fx.candidates;
+  both.candidate_refs = &refs;
+  EXPECT_EQ(service->Label(both).status().code(),
+            StatusCode::kInvalidArgument);
+  LabelRequest neither;
+  neither.corpus = &fx.corpus;
+  EXPECT_EQ(service->Label(neither).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LabelServiceTest, ThroughputIsWallClockNotSummedLatency) {
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+  auto service = LabelService::Create(snapshot, fx.MakeLfs());
+  ASSERT_TRUE(service.ok());
+
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  ASSERT_TRUE(service->Label(request).ok());
+  // Idle gap between requests. The old definition divided by SUMMED request
+  // latencies, which excludes this gap (and double-counts overlapped time
+  // under concurrent callers); wall-clock throughput must include it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(service->Label(request).ok());
+
+  ServiceStats stats = service->stats();
+  EXPECT_GE(stats.busy_span_s, 0.09);
+  EXPECT_LE(stats.throughput_cps,
+            static_cast<double>(stats.num_candidates) / 0.09);
+  EXPECT_GT(stats.throughput_cps, 0.0);
 }
 
 TEST(LabelServiceTest, RejectsMisalignedLfSet) {

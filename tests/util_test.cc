@@ -5,7 +5,9 @@
 #include <set>
 
 #include "util/adam.h"
+#include "util/bounded_queue.h"
 #include "util/hash.h"
+#include "util/mmap_file.h"
 #include "util/math_util.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -309,6 +311,130 @@ TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
 TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardware) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+// ---------------------------------------------------------- BoundedQueue --
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  using PushResult = BoundedQueue<int>::PushResult;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(queue.Push(std::move(i)), PushResult::kOk);
+  }
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFullWithoutConsuming) {
+  BoundedQueue<std::unique_ptr<int>> queue(1);
+  using PushResult = BoundedQueue<std::unique_ptr<int>>::PushResult;
+  auto first = std::make_unique<int>(1);
+  EXPECT_EQ(queue.TryPush(std::move(first)), PushResult::kOk);
+
+  // kQueueFull — the typed backpressure rejection — must leave the item
+  // with the caller, who still owns the associated work.
+  auto second = std::make_unique<int>(2);
+  EXPECT_EQ(queue.TryPush(std::move(second)), PushResult::kQueueFull);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, 2);
+
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(std::move(second)), PushResult::kClosed);
+  ASSERT_NE(second, nullptr);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksProducerAndDrainsConsumers) {
+  BoundedQueue<int> queue(1);
+  using PushResult = BoundedQueue<int>::PushResult;
+  EXPECT_EQ(queue.Push(1), PushResult::kOk);
+
+  // A producer blocked on the full queue must wake with kClosed.
+  std::atomic<int> blocked_result{-1};
+  std::thread producer([&] {
+    int item = 2;
+    blocked_result.store(static_cast<int>(queue.Push(std::move(item))));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  EXPECT_EQ(blocked_result.load(), static_cast<int>(PushResult::kClosed));
+
+  // Items admitted before Close still drain; then Pop signals exit.
+  auto drained = queue.Pop();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(*drained, 1);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(8);
+  using PushResult = BoundedQueue<int>::PushResult;
+
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        ASSERT_EQ(queue.Push(std::move(item)), PushResult::kOk);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) seen[*item]++;
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+// ------------------------------------------------------------ MappedFile --
+
+TEST(MappedFileTest, MapsFileContentsReadOnly) {
+  std::string path = ::testing::TempDir() + "/mapped_util.bin";
+  const std::string payload("snorkel mapped bytes\0with nul", 29);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), f),
+              payload.size());
+    std::fclose(f);
+  }
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->view(), std::string_view(payload));
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(file->is_mapped());
+#endif
+  // Move keeps the view alive and empties the source.
+  MappedFile moved = std::move(*file);
+  EXPECT_EQ(moved.view(), std::string_view(payload));
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsNotFoundAndEmptyFileIsEmptyView) {
+  auto missing = MappedFile::Open("/nonexistent/snorkel/file.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  std::string path = ::testing::TempDir() + "/empty_util.bin";
+  std::fclose(std::fopen(path.c_str(), "wb"));
+  auto empty = MappedFile::Open(path);
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty->size(), 0u);
+  std::remove(path.c_str());
 }
 
 // -------------------------------------------------------- TablePrinter --
