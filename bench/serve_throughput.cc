@@ -11,6 +11,11 @@
 //     per-shard workers with burst fusion) vs. direct unsharded Label()
 //     under the same bursty concurrent-caller workload, at 1/2/4 shards.
 //
+//   (5) the K-class (Crowd-shaped, §4.1.2) serving path: a 5-class,
+//     102-worker Dawid-Skene snapshot served through LabelService and the
+//     ShardRouter — the vector-posterior hot path (DAWD snapshot v2
+//     section + batched row-softmax E-step kernel).
+//
 // Pass --json <path> to also write the headline numbers as JSON (consumed
 // by scripts/bench.sh for the benchmark trajectory).
 
@@ -29,6 +34,7 @@
 #include "serve/incremental_applier.h"
 #include "serve/label_service.h"
 #include "shard/shard_router.h"
+#include "synth/crossmodal.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -297,6 +303,136 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(last_fused),
               sharded.ToString().c_str());
 
+  // ---- K-class (Crowd-shaped) serving: 5 sentiment classes, one LF per
+  // crowd worker (paper Table 2 shape: 505 items × 102 workers), served
+  // from a DAWD snapshot through the vector-posterior path. Same
+  // interleaved best-of methodology as the binary sharded section. ----
+  CrowdServingOptions crowd_options;
+  crowd_options.num_items = 505;
+  crowd_options.num_workers = 102;
+  auto crowd = MakeCrowdServingTask(crowd_options);
+  if (!crowd.ok()) {
+    std::fprintf(stderr, "crowd task generation failed: %s\n",
+                 crowd.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer crowd_train_timer;
+  auto crowd_snapshot = TrainKClassSnapshot(
+      crowd->lfs, crowd->corpus, crowd->candidates, crowd->cardinality);
+  if (!crowd_snapshot.ok()) {
+    std::fprintf(stderr, "crowd training failed: %s\n",
+                 crowd_snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nCrowd task: %zu items, %zu workers, K = %d "
+              "(Dawid-Skene fit + DAWD capture in %.2fs, %zu wire bytes)\n",
+              crowd->candidates.size(), crowd->lfs.size(),
+              crowd->cardinality, crowd_train_timer.ElapsedSeconds(),
+              SerializeSnapshot(*crowd_snapshot).size());
+
+  constexpr size_t kCrowdBatchSize = 128;
+  constexpr int kCrowdCallers = 4;
+  constexpr int kCrowdRounds = 6;
+  constexpr int kCrowdTrials = 4;  // Trial 0 is a discarded warmup.
+  std::vector<std::vector<Candidate>> crowd_batches;
+  for (size_t begin = 0; begin < crowd->candidates.size();
+       begin += kCrowdBatchSize) {
+    size_t end = std::min(begin + kCrowdBatchSize, crowd->candidates.size());
+    crowd_batches.emplace_back(crowd->candidates.begin() + begin,
+                               crowd->candidates.begin() + end);
+  }
+  auto run_crowd_callers =
+      [&](const std::function<bool(const std::vector<Candidate>&)>& label)
+      -> double {
+    WallTimer wall;
+    std::vector<std::thread> callers;
+    std::atomic<bool> failed{false};
+    for (int t = 0; t < kCrowdCallers; ++t) {
+      callers.emplace_back([&, t] {
+        for (int round = 0; round < kCrowdRounds; ++round) {
+          for (size_t b = static_cast<size_t>(t); b < crowd_batches.size();
+               b += static_cast<size_t>(kCrowdCallers)) {
+            if (!label(crowd_batches[b])) failed.store(true);
+          }
+        }
+      });
+    }
+    for (auto& th : callers) th.join();
+    if (failed.load()) {
+      std::fprintf(stderr, "K-class serving failed\n");
+      std::abort();
+    }
+    size_t served = 0;
+    for (const auto& batch : crowd_batches) served += batch.size();
+    return static_cast<double>(served) * kCrowdRounds /
+           wall.ElapsedSeconds();
+  };
+
+  double kclass_unsharded_cps = 0.0;
+  std::vector<std::pair<size_t, double>> kclass_sharded_cps;
+  for (size_t shards : kShardCounts) kclass_sharded_cps.emplace_back(shards, 0.0);
+  for (int trial = 0; trial < kCrowdTrials; ++trial) {
+    {
+      LabelService::Options direct_options;
+      direct_options.use_incremental_cache = false;
+      direct_options.num_threads = 1;
+      auto direct =
+          LabelService::Create(*crowd_snapshot, crowd->lfs, direct_options);
+      if (!direct.ok()) {
+        std::fprintf(stderr, "K-class service creation failed: %s\n",
+                     direct.status().ToString().c_str());
+        return 1;
+      }
+      double cps = run_crowd_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &crowd->corpus;
+        request.candidates = &batch;
+        return direct->Label(request).ok();
+      });
+      if (trial > 0) kclass_unsharded_cps = std::max(kclass_unsharded_cps, cps);
+    }
+    for (size_t c = 0; c < kShardCounts.size(); ++c) {
+      ShardRouter::Options router_options;
+      router_options.num_shards = kShardCounts[c];
+      router_options.queue_capacity = 256;
+      router_options.workers_per_shard = 1;
+      router_options.max_fuse = 8;
+      router_options.service.num_threads = 1;
+      auto router =
+          ShardRouter::Create(*crowd_snapshot, crowd->lfs, router_options);
+      if (!router.ok()) {
+        std::fprintf(stderr, "K-class router creation failed: %s\n",
+                     router.status().ToString().c_str());
+        return 1;
+      }
+      double cps = run_crowd_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &crowd->corpus;
+        request.candidates = &batch;
+        return router->Label(request).ok();
+      });
+      if (trial > 0) {
+        kclass_sharded_cps[c].second =
+            std::max(kclass_sharded_cps[c].second, cps);
+      }
+      router->Shutdown();
+    }
+  }
+
+  TablePrinter kclass({"Config", "cand/s (wall)", "Vs unsharded"});
+  kclass.AddRow({"unsharded direct",
+                 TablePrinter::Cell(kclass_unsharded_cps, 0), "1.00"});
+  for (auto& [shards, cps] : kclass_sharded_cps) {
+    kclass.AddRow({"router, " + std::to_string(shards) + " shard" +
+                       (shards == 1 ? "" : "s"),
+                   TablePrinter::Cell(cps, 0),
+                   TablePrinter::Cell(cps / kclass_unsharded_cps, 2)});
+  }
+  std::printf("\nK-class serving (K=%d, %d concurrent callers, batch=%zu, "
+              "best of %d trials after warmup):\n%s",
+              crowd->cardinality, kCrowdCallers, kCrowdBatchSize,
+              kCrowdTrials - 1, kclass.ToString().c_str());
+
   // ---- Iterate loop: edit 1 of k LFs, re-label with the column cache. ----
   const size_t k = task->lfs.size();
   IncrementalApplier applier(
@@ -386,6 +522,23 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < sharded_cps.size(); ++i) {
       std::fprintf(out, "%s\"%zu\": %.1f", i == 0 ? "" : ", ",
                    sharded_cps[i].first, sharded_cps[i].second);
+    }
+    double best_kclass = 0.0;
+    for (auto& [shards, cps] : kclass_sharded_cps) {
+      best_kclass = std::max(best_kclass, cps);
+    }
+    std::fprintf(out,
+                 "}},\n"
+                 "  \"kclass\": {\"cardinality\": %d, \"items\": %zu, "
+                 "\"workers\": %zu, \"callers\": %d, \"batch\": %zu, "
+                 "\"unsharded_cps\": %.1f, \"best_sharded_cps\": %.1f, "
+                 "\"shards_cps\": {",
+                 crowd->cardinality, crowd->candidates.size(),
+                 crowd->lfs.size(), kCrowdCallers, kCrowdBatchSize,
+                 kclass_unsharded_cps, best_kclass);
+    for (size_t i = 0; i < kclass_sharded_cps.size(); ++i) {
+      std::fprintf(out, "%s\"%zu\": %.1f", i == 0 ? "" : ", ",
+                   kclass_sharded_cps[i].first, kclass_sharded_cps[i].second);
     }
     std::fprintf(out,
                  "}},\n"

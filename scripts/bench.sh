@@ -80,6 +80,17 @@ print(
         sharded["unsharded_cps"], sharded["best_sharded_cps"],
         sharded["callers"]))
 
+# The K-class (Crowd-shaped, PR 4) section likewise: the vector-posterior
+# serving path must stay on the trajectory.
+kclass = result["serve"].get("kclass")
+if not kclass:
+    sys.exit("serve benchmark JSON is missing the 'kclass' section")
+print(
+    "K-class tier: K={} x {} workers, unsharded {:.0f} cand/s vs best "
+    "sharded {:.0f} cand/s".format(
+        kclass["cardinality"], kclass["workers"], kclass["unsharded_cps"],
+        kclass["best_sharded_cps"]))
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")

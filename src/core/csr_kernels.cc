@@ -59,6 +59,25 @@ CscView CscView::FromMatrix(const LabelMatrix& matrix) {
   return view;
 }
 
+KClassCsrView KClassCsrView::FromMatrix(const LabelMatrix& matrix) {
+  KClassCsrView view;
+  size_t nnz = matrix.entries().size();
+  view.lf.resize(nnz);
+  view.emitted.resize(nnz);
+  view.offsets = matrix.row_offsets().data();
+  view.num_rows = matrix.num_rows();
+  view.num_lfs = matrix.num_lfs();
+  view.cardinality = matrix.cardinality();
+  const auto& entries = matrix.entries();
+  const bool binary = matrix.cardinality() == 2;
+  for (size_t t = 0; t < nnz; ++t) {
+    view.lf[t] = entries[t].lf;
+    view.emitted[t] = binary ? (entries[t].label > 0 ? 0u : 1u)
+                             : static_cast<uint32_t>(entries[t].label - 1);
+  }
+  return view;
+}
+
 namespace {
 
 // Numerically stable scalar sigmoid (scalar-ISA path only). The vector
@@ -77,6 +96,20 @@ inline double ScalarSigmoid(double x) {
   return e / (1.0 + e);
 }
 
+// Fixed-order stable softmax over one k-row, bitwise-matching
+// SoftmaxInPlace (util/math_util.h): first-max pivot, in-order exp sum,
+// exp(x - lse) normalization. Shared by every ISA path — only the additive
+// accumulation below is vectorized, because a vectorized reduction here
+// would reassociate the sum and change the bits.
+inline void RowSoftmaxInPlace(double* row, size_t k) {
+  double hi = row[0];
+  for (size_t c = 1; c < k; ++c) hi = std::max(hi, row[c]);
+  double sum = 0.0;
+  for (size_t c = 0; c < k; ++c) sum += std::exp(row[c] - hi);
+  double lse = hi + std::log(sum);
+  for (size_t c = 0; c < k; ++c) row[c] = std::exp(row[c] - lse);
+}
+
 // ------------------------------------------------------------- scalar path --
 
 void WeightedRowSumsScalar(const CsrView& view, const double* weights,
@@ -93,6 +126,24 @@ void WeightedRowSumsScalar(const CsrView& view, const double* weights,
 
 void SigmoidBatchScalar(const double* x, double* out, size_t count) {
   for (size_t i = 0; i < count; ++i) out[i] = ScalarSigmoid(x[i]);
+}
+
+void KClassPosteriorRowsScalar(const KClassCsrView& view,
+                               const double* log_priors,
+                               const double* log_conf_emit, size_t row_lo,
+                               size_t row_hi, double* out) {
+  const size_t k = static_cast<size_t>(view.cardinality);
+  for (size_t i = row_lo; i < row_hi; ++i) {
+    double* row = out + i * k;
+    for (size_t c = 0; c < k; ++c) row[c] = log_priors[c];
+    for (size_t t = view.offsets[i]; t < view.offsets[i + 1]; ++t) {
+      const double* conf =
+          log_conf_emit +
+          (static_cast<size_t>(view.lf[t]) * k + view.emitted[t]) * k;
+      for (size_t c = 0; c < k; ++c) row[c] += conf[c];
+    }
+    RowSoftmaxInPlace(row, k);
+  }
 }
 
 void ColumnSignedSumsScalar(const CscView& view, const double* q,
@@ -202,6 +253,33 @@ void SigmoidBatchAvx2(const double* x, double* out, size_t count) {
   }
 }
 
+// Only the per-entry class-vector accumulation vectorizes (elementwise
+// adds, bit-for-bit the scalar loop); the softmax reduction stays the
+// shared fixed-order scalar RowSoftmaxInPlace.
+__attribute__((target("avx2,fma")))
+void KClassPosteriorRowsAvx2(const KClassCsrView& view,
+                             const double* log_priors,
+                             const double* log_conf_emit, size_t row_lo,
+                             size_t row_hi, double* out) {
+  const size_t k = static_cast<size_t>(view.cardinality);
+  for (size_t i = row_lo; i < row_hi; ++i) {
+    double* row = out + i * k;
+    for (size_t c = 0; c < k; ++c) row[c] = log_priors[c];
+    for (size_t t = view.offsets[i]; t < view.offsets[i + 1]; ++t) {
+      const double* conf =
+          log_conf_emit +
+          (static_cast<size_t>(view.lf[t]) * k + view.emitted[t]) * k;
+      size_t c = 0;
+      for (; c + 4 <= k; c += 4) {
+        _mm256_storeu_pd(row + c, _mm256_add_pd(_mm256_loadu_pd(row + c),
+                                                _mm256_loadu_pd(conf + c)));
+      }
+      for (; c < k; ++c) row[c] += conf[c];
+    }
+    RowSoftmaxInPlace(row, k);
+  }
+}
+
 __attribute__((target("avx2,fma")))
 void ColumnSignedSumsAvx2(const CscView& view, const double* q, size_t col_lo,
                           size_t col_hi, double* acc) {
@@ -306,6 +384,30 @@ void SigmoidBatchAvx512(const double* x, double* out, size_t count) {
 }
 
 __attribute__((target("avx512f")))
+void KClassPosteriorRowsAvx512(const KClassCsrView& view,
+                               const double* log_priors,
+                               const double* log_conf_emit, size_t row_lo,
+                               size_t row_hi, double* out) {
+  const size_t k = static_cast<size_t>(view.cardinality);
+  for (size_t i = row_lo; i < row_hi; ++i) {
+    double* row = out + i * k;
+    for (size_t c = 0; c < k; ++c) row[c] = log_priors[c];
+    for (size_t t = view.offsets[i]; t < view.offsets[i + 1]; ++t) {
+      const double* conf =
+          log_conf_emit +
+          (static_cast<size_t>(view.lf[t]) * k + view.emitted[t]) * k;
+      size_t c = 0;
+      for (; c + 8 <= k; c += 8) {
+        _mm512_storeu_pd(row + c, _mm512_add_pd(_mm512_loadu_pd(row + c),
+                                                _mm512_loadu_pd(conf + c)));
+      }
+      for (; c < k; ++c) row[c] += conf[c];
+    }
+    RowSoftmaxInPlace(row, k);
+  }
+}
+
+__attribute__((target("avx512f")))
 void ColumnSignedSumsAvx512(const CscView& view, const double* q,
                             size_t col_lo, size_t col_hi, double* acc) {
   for (size_t j = col_lo; j < col_hi; ++j) {
@@ -384,6 +486,25 @@ void SigmoidBatch(const double* x, double* out, size_t count) {
   }
 #endif
   SigmoidBatchScalar(x, out, count);
+}
+
+void KClassPosteriorRows(const KClassCsrView& view, const double* log_priors,
+                         const double* log_conf_emit, size_t row_lo,
+                         size_t row_hi, double* out) {
+#ifdef SNORKEL_X86
+  switch (DetectIsa()) {
+    case Isa::kAvx512:
+      return KClassPosteriorRowsAvx512(view, log_priors, log_conf_emit,
+                                       row_lo, row_hi, out);
+    case Isa::kAvx2:
+      return KClassPosteriorRowsAvx2(view, log_priors, log_conf_emit, row_lo,
+                                     row_hi, out);
+    default:
+      break;
+  }
+#endif
+  KClassPosteriorRowsScalar(view, log_priors, log_conf_emit, row_lo, row_hi,
+                            out);
 }
 
 void ColumnSignedSums(const CscView& view, const double* q, size_t col_lo,

@@ -37,6 +37,38 @@ struct CscView {
   static CscView FromMatrix(const LabelMatrix& matrix);
 };
 
+/// SoA mirror of a K-class label matrix for the Dawid-Skene posterior
+/// (E-step) serving hot path: per-entry LF indices and emitted CLASS
+/// indices (0-based). The label→class mapping matches DawidSkeneModel:
+/// binary {+1, -1} → {0, 1}, K-class {1..K} → {0..K-1}. `offsets` aliases
+/// the matrix's row-offset array, so the view must not outlive the matrix.
+struct KClassCsrView {
+  std::vector<uint32_t> lf;       // nnz LF indices.
+  std::vector<uint32_t> emitted;  // nnz emitted class indices.
+  const size_t* offsets = nullptr;  // num_rows + 1 row offsets.
+  size_t num_rows = 0;
+  size_t num_lfs = 0;
+  int cardinality = 2;
+
+  static KClassCsrView FromMatrix(const LabelMatrix& matrix);
+};
+
+/// Batched Dawid-Skene E-step over rows [row_lo, row_hi): accumulates
+///   out[i*k + c] = log_priors[c] + Σ_{entries t of row i}
+///                  log_conf_emit[(lf[t]*k + emitted[t])*k + c]
+/// then applies a numerically-stable row softmax (bitwise-matching
+/// SoftmaxInPlace: first-max pivot, in-order exp sum). `log_conf_emit` is
+/// the confusion log-table TRANSPOSED to [lf][emitted][class], so every
+/// entry contributes one CONTIGUOUS k-vector — the SIMD-friendly layout.
+/// Each row's result is a pure function of that row's entries alone: the
+/// [row_lo, row_hi) split, worker-side sub-batch fusion, and the
+/// scalar/AVX2/AVX-512 dispatch all leave the bits unchanged (the vector
+/// paths do elementwise adds only; the softmax reduction stays fixed-order
+/// scalar).
+void KClassPosteriorRows(const KClassCsrView& view, const double* log_priors,
+                         const double* log_conf_emit, size_t row_lo,
+                         size_t row_hi, double* out);
+
 /// f[i] = bias + Σ_{entries t of row i} weights[lf[t]] * sign[t], for every
 /// row i in [row_lo, row_hi). The sparse-matrix · dense-vector product at
 /// the heart of both the training positive phase and posterior inference.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/csr_kernels.h"
 #include "util/math_util.h"
 #include "util/thread_pool.h"
 
@@ -158,34 +159,122 @@ Status DawidSkeneModel::Fit(const LabelMatrix& matrix) {
   }
 
   is_fit_ = true;
+  BuildLogTables();
   return Status::OK();
 }
 
-std::vector<std::vector<double>> DawidSkeneModel::EStep(
-    const LabelMatrix& matrix) const {
+void DawidSkeneModel::BuildLogTables() {
   size_t k = static_cast<size_t>(cardinality_);
-  std::vector<std::vector<double>> posterior(matrix.num_rows());
-  std::vector<double> log_post(k);
-  for (size_t i = 0; i < matrix.num_rows(); ++i) {
-    for (size_t c = 0; c < k; ++c) log_post[c] = std::log(class_priors_[c]);
-    for (const auto& e : matrix.row(i)) {
-      size_t emitted = LabelToClass(e.label);
-      for (size_t c = 0; c < k; ++c) {
-        log_post[c] += std::log(confusions_[e.lf][c][emitted]);
+  log_priors_.resize(k);
+  for (size_t c = 0; c < k; ++c) log_priors_[c] = std::log(class_priors_[c]);
+  // Transposed to [j][emitted][class]: the E-step kernel looks an entry's
+  // (lf, emitted) pair up once and adds one contiguous k-vector.
+  log_conf_emit_.resize(num_lfs_ * k * k);
+  for (size_t j = 0; j < num_lfs_; ++j) {
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t e = 0; e < k; ++e) {
+        log_conf_emit_[(j * k + e) * k + c] = std::log(confusions_[j][c][e]);
       }
     }
-    SoftmaxInPlace(&log_post);
-    posterior[i] = log_post;
   }
-  return posterior;
 }
 
-std::vector<std::vector<double>> DawidSkeneModel::PredictProba(
+Status DawidSkeneModel::Restore(int cardinality, size_t num_lfs,
+                                std::vector<double> class_priors,
+                                const std::vector<double>& flat_confusions) {
+  if (cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  if (num_lfs == 0) {
+    return Status::InvalidArgument("restore needs at least one LF column");
+  }
+  size_t k = static_cast<size_t>(cardinality);
+  if (class_priors.size() != k) {
+    return Status::InvalidArgument(
+        "class_priors has " + std::to_string(class_priors.size()) +
+        " entries; cardinality is " + std::to_string(cardinality));
+  }
+  if (flat_confusions.size() != num_lfs * k * k) {
+    return Status::InvalidArgument(
+        "flat_confusions has " + std::to_string(flat_confusions.size()) +
+        " entries; expected num_lfs * k^2 = " +
+        std::to_string(num_lfs * k * k));
+  }
+  // Every parameter is log'd by the E-step, so zeros/negatives/NaNs would
+  // poison posteriors silently — reject them here instead.
+  for (double p : class_priors) {
+    if (!(p > 0.0) || !std::isfinite(p)) {
+      return Status::InvalidArgument("class priors must be finite and > 0");
+    }
+  }
+  for (double p : flat_confusions) {
+    if (!(p > 0.0) || !std::isfinite(p)) {
+      return Status::InvalidArgument(
+          "confusion entries must be finite and > 0");
+    }
+  }
+  cardinality_ = cardinality;
+  num_lfs_ = num_lfs;
+  class_priors_ = std::move(class_priors);
+  confusions_.assign(num_lfs, std::vector<std::vector<double>>(
+                                  k, std::vector<double>(k, 0.0)));
+  for (size_t j = 0; j < num_lfs; ++j) {
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t e = 0; e < k; ++e) {
+        confusions_[j][c][e] = flat_confusions[(j * k + c) * k + e];
+      }
+    }
+  }
+  iterations_ = 0;
+  is_fit_ = true;
+  BuildLogTables();
+  return Status::OK();
+}
+
+std::vector<double> DawidSkeneModel::FlatConfusions() const {
+  size_t k = static_cast<size_t>(cardinality_);
+  std::vector<double> flat(num_lfs_ * k * k);
+  for (size_t j = 0; j < num_lfs_; ++j) {
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t e = 0; e < k; ++e) {
+        flat[(j * k + c) * k + e] = confusions_[j][c][e];
+      }
+    }
+  }
+  return flat;
+}
+
+std::vector<double> DawidSkeneModel::PredictProbaFlat(
     const LabelMatrix& matrix) const {
   assert(is_fit_);
   assert(matrix.num_lfs() == num_lfs_);
   assert(matrix.cardinality() == cardinality_);
-  return EStep(matrix);
+  size_t k = static_cast<size_t>(cardinality_);
+  size_t m = matrix.num_rows();
+  std::vector<double> out(m * k);
+  if (m == 0) return out;
+  KClassCsrView view = KClassCsrView::FromMatrix(matrix);
+  // Row-pure kernel + fixed-grain shards: the flat posteriors are
+  // bitwise-identical for any thread count and any row-range split.
+  ScopedPool pool(options_.num_threads);
+  pool->ParallelForShards(0, m, kRowGrain,
+                          [&](size_t /*shard*/, size_t lo, size_t hi) {
+                            KClassPosteriorRows(view, log_priors_.data(),
+                                                log_conf_emit_.data(), lo, hi,
+                                                out.data());
+                          });
+  return out;
+}
+
+std::vector<std::vector<double>> DawidSkeneModel::PredictProba(
+    const LabelMatrix& matrix) const {
+  size_t k = static_cast<size_t>(cardinality_);
+  std::vector<double> flat = PredictProbaFlat(matrix);
+  std::vector<std::vector<double>> posterior(matrix.num_rows());
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    posterior[i].assign(flat.begin() + i * k, flat.begin() + (i + 1) * k);
+  }
+  return posterior;
 }
 
 std::vector<Label> DawidSkeneModel::PredictLabels(

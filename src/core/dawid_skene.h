@@ -42,14 +42,38 @@ class DawidSkeneModel {
   /// plurality-vote posterior.
   Status Fit(const LabelMatrix& matrix);
 
+  /// Restores a fitted model from serialized parameters (the snapshot-store
+  /// hook, serve/snapshot.h). `flat_confusions` is row-major [j][c][c']
+  /// (j < num_lfs, c = true class, c' = emitted class), the layout
+  /// FlatConfusions() produces. Validates shapes and strict positivity
+  /// (every probability is log'd), then marks the model fit; posteriors
+  /// computed after a restore are bitwise-identical to the model that
+  /// produced the parameters.
+  Status Restore(int cardinality, size_t num_lfs,
+                 std::vector<double> class_priors,
+                 const std::vector<double>& flat_confusions);
+
   bool is_fit() const { return is_fit_; }
   int cardinality() const { return cardinality_; }
+  /// Number of labeling functions the model was fit (or restored) over.
+  size_t num_lfs() const { return num_lfs_; }
   /// Number of EM iterations actually run.
   int iterations() const { return iterations_; }
 
   /// Posterior P(Y = c | Λ_i) for each row; columns ordered by class index
   /// (see ClassToLabel for the mapping back to labels).
   std::vector<std::vector<double>> PredictProba(const LabelMatrix& matrix) const;
+
+  /// PredictProba in the serving layout: one flat row-major buffer of
+  /// num_rows × cardinality posteriors, computed with the batched
+  /// KClassPosteriorRows kernel over precomputed log-tables and sharded
+  /// over the worker pool. Bitwise-identical to PredictProba row for row,
+  /// for any num_threads (fixed-grain shards, row-pure kernel).
+  std::vector<double> PredictProbaFlat(const LabelMatrix& matrix) const;
+
+  /// Confusion matrices flattened row-major to [j][c][c'] — the
+  /// serialization layout Restore() accepts.
+  std::vector<double> FlatConfusions() const;
 
   /// Hard MAP labels (in the matrix's label convention).
   std::vector<Label> PredictLabels(const LabelMatrix& matrix) const;
@@ -73,8 +97,11 @@ class DawidSkeneModel {
   size_t LabelToClass(Label y) const;
 
  private:
-  /// One E-step: posterior over classes for each row of `matrix`.
-  std::vector<std::vector<double>> EStep(const LabelMatrix& matrix) const;
+  /// Precomputes the log-space tables PredictProbaFlat streams over:
+  /// log_priors_ and the confusion log-table transposed to
+  /// [j][emitted][class] so the E-step kernel adds contiguous k-vectors.
+  /// Called at the end of Fit() and Restore().
+  void BuildLogTables();
 
   DawidSkeneOptions options_;
   bool is_fit_ = false;
@@ -84,6 +111,9 @@ class DawidSkeneModel {
   std::vector<double> class_priors_;
   // confusions_[j][c][c'].
   std::vector<std::vector<std::vector<double>>> confusions_;
+  // Serving tables (see BuildLogTables).
+  std::vector<double> log_priors_;
+  std::vector<double> log_conf_emit_;
 };
 
 }  // namespace snorkel

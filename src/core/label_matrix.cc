@@ -9,18 +9,10 @@
 
 namespace snorkel {
 
-namespace {
-
-bool LabelValidFor(Label label, int cardinality) {
-  if (label == kAbstain) return false;  // Abstains are never stored.
-  if (cardinality == 2) return label == 1 || label == -1;
-  return label >= 1 && label <= cardinality;
-}
-
-}  // namespace
-
 bool LabelMatrix::ValidLabel(Label label) const {
-  return LabelValidFor(label, cardinality_);
+  // Abstains are never stored as entries; otherwise defer to the shared
+  // vote-validity rule (core/types.h) the appliers use.
+  return label != kAbstain && LabelValidFor(label, cardinality_);
 }
 
 Result<LabelMatrix> LabelMatrix::FromDense(

@@ -17,6 +17,17 @@ using Label = int32_t;
 /// The abstention marker ∅.
 inline constexpr Label kAbstain = 0;
 
+/// True iff `label` is expressible for a task of the given cardinality:
+/// ∅ is always valid, binary tasks use {+1, -1}, K-class tasks {1..K}.
+/// This is THE vote-validity rule — the label matrix constructors and both
+/// LF appliers (lf/applier.h, serve/incremental_applier.h) share it, so a
+/// vote can never be "valid" on one layer and rejected by another.
+inline bool LabelValidFor(Label label, int cardinality) {
+  if (label == kAbstain) return true;
+  if (cardinality == 2) return label == 1 || label == -1;
+  return label >= 1 && label <= cardinality;
+}
+
 /// A pair of labeling-function indices (j, k), j < k, modeled as correlated
 /// via the pairwise factor φ^Corr_{i,j,k} = 1{Λ_ij = Λ_ik}.
 struct CorrelationPair {

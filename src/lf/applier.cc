@@ -29,11 +29,25 @@ Result<LabelMatrix> LFApplier::ApplyRefs(
   size_t n = lfs.size();
 
   // Per-candidate sparse vote buffers, filled in parallel without locking.
+  // Votes are checked against the shared validity rule (core/types.h) as
+  // they are produced, so a buggy LF fails the call with ITS name attached
+  // (first offender wins) instead of an anonymous matrix-construction error.
   std::vector<std::vector<LabelMatrix::Entry>> votes(m);
+  std::atomic<bool> has_error{false};
+  std::atomic<size_t> error_col{0};
+  std::atomic<Label> error_label{0};
   auto label_one = [&](size_t i) {
     CandidateView view(&corpus, rows[i].candidate, rows[i].index);
     for (size_t j = 0; j < n; ++j) {
       Label label = lfs.at(j).Apply(view);
+      if (!LabelValidFor(label, options_.cardinality)) {
+        bool expected = false;
+        if (has_error.compare_exchange_strong(expected, true)) {
+          error_col.store(j);
+          error_label.store(label);
+        }
+        return;
+      }
       if (label != kAbstain) {
         votes[i].push_back(
             LabelMatrix::Entry{static_cast<uint32_t>(j), label});
@@ -53,7 +67,14 @@ Result<LabelMatrix> LFApplier::ApplyRefs(
     pool.ParallelFor(0, m, label_one);
   }
 
-  // Funnel through FromTriplets for label validation.
+  if (has_error.load()) {
+    return Status::InvalidArgument(
+        "LF '" + lfs.at(error_col.load()).name() + "' voted " +
+        std::to_string(error_label.load()) + ", invalid for cardinality " +
+        std::to_string(options_.cardinality));
+  }
+
+  // FromTriplets re-validates structurally (belt and suspenders).
   std::vector<std::tuple<size_t, size_t, Label>> triplets;
   for (size_t i = 0; i < m; ++i) {
     for (const auto& e : votes[i]) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/dawid_skene.h"
+
 namespace snorkel {
 
 Result<ModelSnapshot> TrainSnapshot(const RelationTask& task,
@@ -80,6 +82,30 @@ Status ExportSnapshot(const RelationTask& task,
   auto snapshot = TrainSnapshot(task, options);
   if (!snapshot.ok()) return snapshot.status();
   return SaveSnapshot(*snapshot, path);
+}
+
+Result<ModelSnapshot> TrainKClassSnapshot(
+    const LabelingFunctionSet& lfs, const Corpus& corpus,
+    const std::vector<Candidate>& candidates, int cardinality,
+    const KClassExportOptions& options) {
+  if (cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  // Apply at the task's cardinality: a worker-LF vote outside {1..K} fails
+  // here, typed, instead of poisoning the fitted confusion matrices.
+  LFApplier applier(LFApplier::Options{options.num_threads, cardinality});
+  auto matrix = applier.Apply(lfs, corpus, candidates);
+  if (!matrix.ok()) return matrix.status();
+
+  DawidSkeneModel model(options.ds);
+  SNORKEL_RETURN_IF_ERROR(model.Fit(*matrix));
+  if (model.cardinality() != cardinality) {
+    // Fit infers cardinality from the matrix, which inherits the applier's;
+    // a mismatch here would mean the plumbing above broke.
+    return Status::Internal("fitted cardinality disagrees with the task's");
+  }
+  return ModelSnapshot::CaptureDawidSkene(model, lfs.Names(),
+                                          lfs.Fingerprints());
 }
 
 }  // namespace snorkel

@@ -37,6 +37,20 @@ Status ExportSnapshot(const RelationTask& task,
                       const ExportSnapshotOptions& options,
                       const std::string& path);
 
+/// K-class analog of TrainSnapshot for Crowd-shaped tasks (§4.1.2): applies
+/// the LF set at the task's cardinality, fits the Dawid-Skene label model,
+/// and captures a DAWD (snapshot v2) servable artifact.
+struct KClassExportOptions {
+  DawidSkeneOptions ds;
+  /// Worker threads for LF application.
+  size_t num_threads = 0;
+};
+
+Result<ModelSnapshot> TrainKClassSnapshot(
+    const LabelingFunctionSet& lfs, const Corpus& corpus,
+    const std::vector<Candidate>& candidates, int cardinality,
+    const KClassExportOptions& options = {});
+
 }  // namespace snorkel
 
 #endif  // SNORKEL_PIPELINE_EXPORT_SNAPSHOT_H_

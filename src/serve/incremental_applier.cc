@@ -22,12 +22,6 @@ uint64_t HashSpan(uint64_t h, const Span& span) {
   return h;
 }
 
-bool VoteValidFor(Label label, int cardinality) {
-  if (label == kAbstain) return true;
-  if (cardinality == 2) return label == 1 || label == -1;
-  return label >= 1 && label <= cardinality;
-}
-
 }  // namespace
 
 uint64_t FingerprintCandidates(const std::vector<Candidate>& candidates) {
@@ -97,7 +91,7 @@ Result<LabelMatrix> IncrementalApplier::Apply(
     CandidateView view(&corpus, &candidates[i], i);
     for (size_t c = 0; c < miss.size(); ++c) {
       Label label = lfs.at(miss[c]).Apply(view);
-      if (!VoteValidFor(label, options_.cardinality)) {
+      if (!LabelValidFor(label, options_.cardinality)) {
         bool expected = false;
         if (has_error.compare_exchange_strong(expected, true)) {
           error_col.store(miss[c]);

@@ -21,14 +21,17 @@ double Quantile(const std::vector<double>& sorted, double q) {
 
 }  // namespace
 
-LabelService::LabelService(GenerativeModel model, LabelingFunctionSet lfs,
+LabelService::LabelService(GenerativeModel model, DawidSkeneModel ds_model,
+                           int cardinality, LabelingFunctionSet lfs,
                            Options options)
     : options_(options),
+      cardinality_(cardinality),
       model_(std::move(model)),
+      ds_model_(std::move(ds_model)),
       lfs_(std::move(lfs)),
       applier_(IncrementalApplier::Options{
           .num_threads = options.num_threads,
-          .cardinality = 2,
+          .cardinality = cardinality,
           .max_cached_columns = std::max<size_t>(1024, 4 * lfs_.size())}),
       apply_mu_(std::make_unique<std::mutex>()),
       stats_mu_(std::make_unique<std::mutex>()) {}
@@ -36,9 +39,9 @@ LabelService::LabelService(GenerativeModel model, LabelingFunctionSet lfs,
 Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
                                           LabelingFunctionSet lfs,
                                           Options options) {
-  if (snapshot.cardinality != 2) {
+  if (snapshot.cardinality < 2) {
     return Status::InvalidArgument(
-        "LabelService serves binary snapshots; got cardinality " +
+        "snapshot cardinality must be >= 2; got " +
         std::to_string(snapshot.cardinality));
   }
   if (lfs.size() != snapshot.num_lfs()) {
@@ -60,9 +63,27 @@ Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
           "weights no longer apply (re-train and re-export)");
     }
   }
-  auto model = snapshot.RestoreGenerativeModel(options.gen);
-  if (!model.ok()) return model.status();
-  return LabelService(std::move(*model), std::move(lfs), options);
+  // Dispatch on what the snapshot carries: a binary snapshot serves a
+  // scalar posterior — from the generative model (GENM) when present, else
+  // from a binary Dawid-Skene model's P(class +1) — and a K-class snapshot
+  // serves the Dawid-Skene class distribution (DAWD required).
+  if (snapshot.cardinality == 2 && snapshot.has_gen_model) {
+    auto model = snapshot.RestoreGenerativeModel(options.gen);
+    if (!model.ok()) return model.status();
+    return LabelService(std::move(*model), DawidSkeneModel(), 2,
+                        std::move(lfs), options);
+  }
+  if (!snapshot.has_ds_model) {
+    return Status::InvalidArgument(
+        "cardinality-" + std::to_string(snapshot.cardinality) +
+        " snapshot carries no label model to serve (needs " +
+        (snapshot.cardinality == 2 ? "a GENM or DAWD" : "a DAWD") +
+        " section)");
+  }
+  auto ds_model = snapshot.RestoreDawidSkeneModel(options.ds);
+  if (!ds_model.ok()) return ds_model.status();
+  return LabelService(GenerativeModel(), std::move(*ds_model),
+                      snapshot.cardinality, std::move(lfs), options);
 }
 
 Result<LabelService> LabelService::FromFile(const std::string& path,
@@ -101,7 +122,7 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   } else {
     LFApplier::Options apply_options;
     apply_options.num_threads = options_.num_threads;
-    apply_options.cardinality = 2;
+    apply_options.cardinality = cardinality_;
     LFApplier applier(apply_options);
     matrix = by_refs ? applier.ApplyRefs(lfs_, *request.corpus,
                                          *request.candidate_refs)
@@ -112,16 +133,46 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
 
   // Posterior computation reads the immutable restored model: lock-free.
   LabelResponse response;
-  response.posteriors =
-      model_.PredictProba(*matrix, request.apply_class_balance);
-  response.hard_labels.resize(response.posteriors.size());
-  for (size_t i = 0; i < response.posteriors.size(); ++i) {
-    if (response.posteriors[i] > 0.5) {
-      response.hard_labels[i] = 1;
-    } else if (response.posteriors[i] < 0.5) {
-      response.hard_labels[i] = -1;
+  response.cardinality = cardinality_;
+  if (cardinality_ == 2) {
+    if (ds_model_.is_fit()) {
+      // Binary Dawid-Skene snapshot: the scalar posterior is P(class 0),
+      // i.e. P(y = +1) under the model's label mapping. The DS posterior
+      // has no class-symmetric form, so its own priors always apply
+      // (request.apply_class_balance is a generative-model knob).
+      std::vector<double> flat = ds_model_.PredictProbaFlat(*matrix);
+      response.posteriors.resize(num_candidates);
+      for (size_t i = 0; i < num_candidates; ++i) {
+        response.posteriors[i] = flat[i * 2];
+      }
     } else {
-      response.hard_labels[i] = kAbstain;
+      response.posteriors =
+          model_.PredictProba(*matrix, request.apply_class_balance);
+    }
+    response.hard_labels.resize(response.posteriors.size());
+    for (size_t i = 0; i < response.posteriors.size(); ++i) {
+      if (response.posteriors[i] > 0.5) {
+        response.hard_labels[i] = 1;
+      } else if (response.posteriors[i] < 0.5) {
+        response.hard_labels[i] = -1;
+      } else {
+        response.hard_labels[i] = kAbstain;
+      }
+    }
+  } else {
+    // K-class: the batched Dawid-Skene E-step kernel over precomputed
+    // log-tables; hard labels are the MAP class (first-max tie break,
+    // exactly DawidSkeneModel::PredictLabels).
+    const size_t k = static_cast<size_t>(cardinality_);
+    response.class_posteriors = ds_model_.PredictProbaFlat(*matrix);
+    response.hard_labels.resize(num_candidates);
+    for (size_t i = 0; i < num_candidates; ++i) {
+      const double* row = response.class_posteriors.data() + i * k;
+      size_t best = 0;
+      for (size_t c = 1; c < k; ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      response.hard_labels[i] = ds_model_.ClassToLabel(best);
     }
   }
   if (request.include_votes) response.votes = std::move(*matrix);

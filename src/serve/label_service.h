@@ -39,12 +39,24 @@ struct LabelRequest {
   bool apply_class_balance = true;
 };
 
-/// The serving result for one batch.
+/// The serving result for one batch. Binary snapshots fill the scalar
+/// fields exactly as they always have (`posteriors` = P(y=+1), hard labels
+/// in {+1, -1, ∅}); K-class snapshots fill `class_posteriors` — a flat
+/// row-major num_candidates × K distribution — plus MAP `hard_labels` in
+/// {1..K}, and leave `posteriors` empty. `cardinality` says which shape
+/// this response carries.
 struct LabelResponse {
-  /// P(y = +1 | Λ_i) per candidate, in request order.
+  /// Task cardinality of the serving snapshot (2 = binary).
+  int cardinality = 2;
+  /// Binary only: P(y = +1 | Λ_i) per candidate, in request order.
   std::vector<double> posteriors;
-  /// Hard labels at threshold 0.5 (0 = abstain at exactly 0.5).
+  /// Hard labels: binary thresholded at 0.5 (∅ at exactly 0.5); K-class
+  /// MAP over the class posterior (first-max tie break, matching
+  /// DawidSkeneModel::PredictLabels).
   std::vector<Label> hard_labels;
+  /// K-class only: flat row-major num_candidates × K class posteriors,
+  /// row i at [i*K, (i+1)*K), class index c ↦ label c+1.
+  std::vector<double> class_posteriors;
   /// Per-LF votes (populated when LabelRequest::include_votes).
   LabelMatrix votes;
   /// Wall-clock for this request, milliseconds.
@@ -74,10 +86,18 @@ struct ServiceStats {
 
 /// The label-serving front end: loads one model snapshot, binds it to the
 /// live LabelingFunctionSet, and answers batched LabelRequests — apply LFs
-/// (cached + sharded over the thread pool), run the generative posterior,
+/// (cached + sharded over the thread pool), run the label-model posterior,
 /// record latency. This is the Snorkel-DryBell-shaped deployment surface:
 /// the Figure 2 training loop happens offline, a snapshot is shipped, and
 /// fresh candidates are labeled online without refitting anything.
+///
+/// Create() dispatches on what the snapshot carries: binary snapshots
+/// serve a scalar posterior — the generative model's (GENM section) when
+/// present, else P(y=+1) from a binary Dawid-Skene model — while K-class
+/// snapshots (e.g. the §4.1.2 five-class Crowd task) serve the Dawid-Skene
+/// class distribution (DAWD section) through the batched K-class E-step
+/// kernel. LF votes are validated against the snapshot's cardinality on
+/// every path.
 ///
 /// Thread-safe, with narrow critical sections: the posterior computation is
 /// read-only on the restored model and runs lock-free, so concurrent
@@ -91,8 +111,10 @@ class LabelService {
     /// Reuse memoized LF columns across requests with identical candidate
     /// sets (the §4.1 iterate loop); identical posteriors either way.
     bool use_incremental_cache = true;
-    /// Forwarded to GenerativeModel at restore time.
+    /// Forwarded to GenerativeModel at restore time (binary snapshots).
     GenerativeModelOptions gen;
+    /// Forwarded to DawidSkeneModel at restore time (K-class snapshots).
+    DawidSkeneOptions ds;
   };
 
   /// Binds `snapshot` to the live LF set. Every LF must match the snapshot's
@@ -123,15 +145,23 @@ class LabelService {
   /// Snapshot of the cumulative serving counters.
   ServiceStats stats() const;
 
+  /// The restored generative model (meaningful for binary services only).
   const GenerativeModel& model() const { return model_; }
+  /// The restored Dawid-Skene model (meaningful for K-class services only).
+  const DawidSkeneModel& ds_model() const { return ds_model_; }
+  /// Task cardinality this service serves (2 = binary).
+  int cardinality() const { return cardinality_; }
   size_t num_lfs() const { return lfs_.size(); }
 
  private:
-  LabelService(GenerativeModel model, LabelingFunctionSet lfs,
-               Options options);
+  LabelService(GenerativeModel model, DawidSkeneModel ds_model,
+               int cardinality, LabelingFunctionSet lfs, Options options);
 
   Options options_;
+  /// 2 serves model_ (scalar posterior); >2 serves ds_model_ (K columns).
+  int cardinality_ = 2;
   GenerativeModel model_;
+  DawidSkeneModel ds_model_;
   LabelingFunctionSet lfs_;
   IncrementalApplier applier_;
 

@@ -2,12 +2,309 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 
 #include "util/binary_io.h"
 #include "util/hash.h"
 #include "util/mmap_file.h"
 
 namespace snorkel {
+
+namespace {
+
+bool TagIs(const char* tag, const char expected[4]) {
+  return std::memcmp(tag, expected, 4) == 0;
+}
+
+bool KnownTag(const char* tag) {
+  return TagIs(tag, kSectionLfMetadata) || TagIs(tag, kSectionGenModel) ||
+         TagIs(tag, kSectionDawidSkene) || TagIs(tag, kSectionDiscModel);
+}
+
+/// Frames one section: tag | u64 payload_size | payload | u64 checksum.
+void AppendSection(std::string* buffer, const char tag[4],
+                   const std::string& payload) {
+  buffer->append(tag, 4);
+  BinaryWriter framing;
+  framing.WriteU64(payload.size());
+  *buffer += framing.buffer();
+  *buffer += payload;
+  BinaryWriter checksum;
+  checksum.WriteU64(Fnv1a64(payload));
+  *buffer += checksum.buffer();
+}
+
+/// Structural validation shared by the v1 and v2 readers, so a loaded
+/// snapshot can never restore into an inconsistent model.
+Status ValidateSnapshot(const ModelSnapshot& snapshot) {
+  size_t n = snapshot.lf_names.size();
+  if (snapshot.lf_fingerprints.size() != n) {
+    return Status::IOError("snapshot sections disagree on LF count");
+  }
+  if (snapshot.cardinality < 2) {
+    return Status::IOError("snapshot cardinality must be >= 2");
+  }
+  if (snapshot.has_gen_model &&
+      (snapshot.acc_weights.size() != n || snapshot.lab_weights.size() != n ||
+       snapshot.corr_weights.size() != snapshot.correlations.size())) {
+    return Status::IOError("snapshot sections disagree on LF count");
+  }
+  if (snapshot.has_ds_model) {
+    size_t k = static_cast<size_t>(snapshot.cardinality);
+    if (snapshot.ds_class_priors.size() != k ||
+        snapshot.ds_confusions.size() != n * k * k) {
+      return Status::IOError(
+          "snapshot DAWD section disagrees on cardinality or LF count");
+    }
+  }
+  if (snapshot.has_disc_model &&
+      snapshot.disc_weights.size() != snapshot.feature_buckets) {
+    return Status::IOError("snapshot disc weights disagree on bucket count");
+  }
+  return Status::OK();
+}
+
+// ---- Section payload encoders (v2). ----
+
+std::string EncodeLfMetadata(const ModelSnapshot& snapshot) {
+  BinaryWriter payload;
+  payload.WriteStringVector(snapshot.lf_names);
+  payload.WriteU64Vector(snapshot.lf_fingerprints);
+  payload.WriteI32(snapshot.cardinality);
+  return payload.TakeBuffer();
+}
+
+std::string EncodeGenModel(const ModelSnapshot& snapshot) {
+  BinaryWriter payload;
+  payload.WriteF64(snapshot.class_balance);
+  payload.WriteF64Vector(snapshot.acc_weights);
+  payload.WriteF64Vector(snapshot.lab_weights);
+  payload.WriteF64Vector(snapshot.corr_weights);
+  payload.WriteU64(snapshot.correlations.size());
+  for (const CorrelationPair& pair : snapshot.correlations) {
+    payload.WriteU64(pair.j);
+    payload.WriteU64(pair.k);
+  }
+  return payload.TakeBuffer();
+}
+
+std::string EncodeDawidSkene(const ModelSnapshot& snapshot) {
+  BinaryWriter payload;
+  payload.WriteI32(snapshot.cardinality);
+  payload.WriteU64(snapshot.lf_names.size());
+  payload.WriteF64Vector(snapshot.ds_class_priors);
+  payload.WriteF64Vector(snapshot.ds_confusions);
+  return payload.TakeBuffer();
+}
+
+std::string EncodeDiscModel(const ModelSnapshot& snapshot) {
+  BinaryWriter payload;
+  payload.WriteU64(snapshot.feature_buckets);
+  payload.WriteF64Vector(snapshot.disc_weights);
+  payload.WriteF64(snapshot.disc_bias);
+  return payload.TakeBuffer();
+}
+
+// ---- Field decoders, shared by the v1 record and the v2 sections (one
+// concatenates them over a single reader; the other frames each group in
+// its own section). Known v2 sections tolerate TRAILING payload bytes (a
+// newer writer may append fields within a section), but a short read is
+// corrupt framing — the caller turns it into a typed IOError naming the
+// section. ----
+
+Status DecodeLfMetadataFields(BinaryReader& reader, ModelSnapshot* snapshot) {
+  snapshot->lf_names = reader.ReadStringVector();
+  snapshot->lf_fingerprints = reader.ReadU64Vector();
+  snapshot->cardinality = reader.ReadI32();
+  return reader.status();
+}
+
+Status DecodeGenModelFields(BinaryReader& reader, ModelSnapshot* snapshot) {
+  snapshot->class_balance = reader.ReadF64();
+  snapshot->acc_weights = reader.ReadF64Vector();
+  snapshot->lab_weights = reader.ReadF64Vector();
+  snapshot->corr_weights = reader.ReadF64Vector();
+  uint64_t num_corr = reader.ReadU64();
+  if (reader.ok() &&
+      num_corr > snapshot->acc_weights.size() *
+                     std::max<uint64_t>(snapshot->acc_weights.size(), 1)) {
+    return Status::IOError("snapshot correlation count implausibly large");
+  }
+  snapshot->correlations.clear();
+  snapshot->correlations.reserve(reader.ok() ? num_corr : 0);
+  for (uint64_t i = 0; reader.ok() && i < num_corr; ++i) {
+    CorrelationPair pair;
+    pair.j = reader.ReadU64();
+    pair.k = reader.ReadU64();
+    snapshot->correlations.push_back(pair);
+  }
+  if (!reader.ok()) return reader.status();
+  snapshot->has_gen_model = true;
+  return Status::OK();
+}
+
+Status DecodeDawidSkene(std::string_view payload, ModelSnapshot* snapshot) {
+  BinaryReader reader(payload);
+  int32_t cardinality = reader.ReadI32();
+  uint64_t num_lfs = reader.ReadU64();
+  snapshot->ds_class_priors = reader.ReadF64Vector();
+  snapshot->ds_confusions = reader.ReadF64Vector();
+  if (!reader.ok()) return reader.status();
+  // The section's self-declared shape must agree with what it carries; the
+  // cross-check against LFMD happens in ValidateSnapshot (section order is
+  // not guaranteed).
+  if (cardinality < 2 ||
+      snapshot->ds_class_priors.size() != static_cast<size_t>(cardinality) ||
+      snapshot->ds_confusions.size() !=
+          num_lfs * static_cast<uint64_t>(cardinality) *
+              static_cast<uint64_t>(cardinality)) {
+    return Status::IOError("DAWD section shape is inconsistent");
+  }
+  snapshot->has_ds_model = true;
+  return Status::OK();
+}
+
+Status DecodeDiscModelFields(BinaryReader& reader, ModelSnapshot* snapshot) {
+  snapshot->feature_buckets = reader.ReadU64();
+  snapshot->disc_weights = reader.ReadF64Vector();
+  snapshot->disc_bias = reader.ReadF64();
+  if (!reader.ok()) return reader.status();
+  snapshot->has_disc_model = true;
+  return Status::OK();
+}
+
+/// The pre-sections v1 payload: one concatenated record of the same field
+/// groups the v2 sections frame individually, under one whole-payload
+/// checksum; the generative model is always present.
+Result<ModelSnapshot> DeserializeV1(std::string_view data,
+                                    size_t header_end) {
+  BinaryReader header(data.substr(header_end));
+  uint64_t payload_size = header.ReadU64();
+  size_t payload_begin = header_end + header.position();
+  // Overflow-safe bounds: never form payload_size + checksum_size, which a
+  // corrupt near-2^64 length would wrap.
+  size_t remaining = header.ok() ? data.size() - payload_begin : 0;
+  if (!header.ok() || remaining < sizeof(uint64_t) ||
+      payload_size > remaining - sizeof(uint64_t)) {
+    return Status::IOError("snapshot truncated: payload extends past EOF");
+  }
+  std::string_view payload = data.substr(payload_begin, payload_size);
+  BinaryReader trailer(data.substr(payload_begin + payload_size));
+  uint64_t expected_checksum = trailer.ReadU64();
+  if (Fnv1a64(payload) != expected_checksum) {
+    return Status::IOError("snapshot checksum mismatch: payload corrupted");
+  }
+
+  BinaryReader reader(payload);
+  ModelSnapshot snapshot;
+  Status decoded = DecodeLfMetadataFields(reader, &snapshot);
+  if (decoded.ok()) decoded = DecodeGenModelFields(reader, &snapshot);
+  if (!decoded.ok()) return decoded;
+  if (reader.ReadU32() != 0) {
+    decoded = DecodeDiscModelFields(reader, &snapshot);
+    if (!decoded.ok()) return decoded;
+  }
+  if (!reader.ok()) return reader.status();
+  Status valid = ValidateSnapshot(snapshot);
+  if (!valid.ok()) return valid;
+  return snapshot;
+}
+
+/// Walks the v2 section frames after the file header: validates framing
+/// with overflow-safe bounds checks, computes each section's checksum, and
+/// hands (tag, payload, recorded checksum, checksum_ok) to `fn` in file
+/// order. A non-OK status from `fn` stops the walk and propagates. The
+/// ONLY v2 framing loop — the loader and the section lister both consume
+/// it, so they can never disagree about a file's structure.
+Status WalkV2Sections(
+    std::string_view data, size_t pos, uint32_t section_count,
+    const std::function<Status(const char* tag, std::string_view payload,
+                               uint64_t recorded_checksum, bool checksum_ok)>&
+        fn) {
+  for (uint32_t s = 0; s < section_count; ++s) {
+    if (data.size() - pos < 4 + sizeof(uint64_t)) {
+      return Status::IOError("snapshot truncated in a section header");
+    }
+    const char* tag = data.data() + pos;
+    BinaryReader framing(data.substr(pos + 4));
+    uint64_t payload_size = framing.ReadU64();
+    pos += 4 + sizeof(uint64_t);
+    // Overflow-safe: payload_size + checksum_size could wrap for corrupt
+    // near-2^64 lengths, so compare against the remainder instead.
+    size_t remaining = data.size() - pos;
+    if (remaining < sizeof(uint64_t) ||
+        payload_size > remaining - sizeof(uint64_t)) {
+      return Status::IOError("snapshot truncated: section '" +
+                             std::string(tag, 4) + "' extends past EOF");
+    }
+    std::string_view payload = data.substr(pos, payload_size);
+    BinaryReader trailer(data.substr(pos + payload_size));
+    uint64_t recorded_checksum = trailer.ReadU64();
+    pos += payload_size + sizeof(uint64_t);
+    Status handled = fn(tag, payload, recorded_checksum,
+                        Fnv1a64(payload) == recorded_checksum);
+    if (!handled.ok()) return handled;
+  }
+  if (pos != data.size()) {
+    return Status::IOError("snapshot has trailing bytes after its sections");
+  }
+  return Status::OK();
+}
+
+/// The sectioned v2 payload: named, length-prefixed, individually
+/// checksummed sections with skip-unknown semantics.
+Result<ModelSnapshot> DeserializeV2(std::string_view data,
+                                    size_t header_end) {
+  BinaryReader header(data.substr(header_end));
+  uint32_t section_count = header.ReadU32();
+  if (!header.ok()) {
+    return Status::IOError("snapshot truncated in the section table");
+  }
+
+  ModelSnapshot snapshot;
+  bool have_lf_metadata = false;
+  Status walked = WalkV2Sections(
+      data, header_end + header.position(), section_count,
+      [&](const char* tag, std::string_view payload,
+          uint64_t /*recorded_checksum*/, bool checksum_ok) -> Status {
+        std::string tag_str(tag, 4);
+        if (!checksum_ok) {
+          return Status::IOError("snapshot section '" + tag_str +
+                                 "' checksum mismatch: payload corrupted");
+        }
+        Status decoded = Status::OK();
+        BinaryReader reader(payload);
+        if (TagIs(tag, kSectionLfMetadata)) {
+          decoded = DecodeLfMetadataFields(reader, &snapshot);
+          have_lf_metadata = decoded.ok();
+        } else if (TagIs(tag, kSectionGenModel)) {
+          decoded = DecodeGenModelFields(reader, &snapshot);
+        } else if (TagIs(tag, kSectionDawidSkene)) {
+          decoded = DecodeDawidSkene(payload, &snapshot);
+        } else if (TagIs(tag, kSectionDiscModel)) {
+          decoded = DecodeDiscModelFields(reader, &snapshot);
+        } else {
+          // Skip-unknown: a newer writer added a section this build does
+          // not know. Its checksum was verified above; its meaning is
+          // ignored.
+          ++snapshot.skipped_sections;
+        }
+        if (!decoded.ok()) {
+          return Status::IOError("snapshot section '" + tag_str +
+                                 "' is corrupt: " + decoded.message());
+        }
+        return Status::OK();
+      });
+  if (!walked.ok()) return walked;
+  if (!have_lf_metadata) {
+    return Status::IOError("snapshot is missing the LFMD section");
+  }
+  Status valid = ValidateSnapshot(snapshot);
+  if (!valid.ok()) return valid;
+  return snapshot;
+}
+
+}  // namespace
 
 Result<ModelSnapshot> ModelSnapshot::Capture(
     const GenerativeModel& model, std::vector<std::string> lf_names,
@@ -23,11 +320,33 @@ Result<ModelSnapshot> ModelSnapshot::Capture(
   ModelSnapshot snapshot;
   snapshot.lf_names = std::move(lf_names);
   snapshot.lf_fingerprints = std::move(lf_fingerprints);
+  snapshot.has_gen_model = true;
   snapshot.class_balance = model.class_balance();
   snapshot.acc_weights = model.accuracy_weights();
   snapshot.lab_weights = model.propensity_weights();
   snapshot.corr_weights = model.correlation_weights();
   snapshot.correlations = model.correlations();
+  return snapshot;
+}
+
+Result<ModelSnapshot> ModelSnapshot::CaptureDawidSkene(
+    const DawidSkeneModel& model, std::vector<std::string> lf_names,
+    std::vector<uint64_t> lf_fingerprints) {
+  if (!model.is_fit()) {
+    return Status::FailedPrecondition("cannot snapshot an unfit model");
+  }
+  if (lf_names.size() != model.num_lfs() ||
+      lf_fingerprints.size() != model.num_lfs()) {
+    return Status::InvalidArgument(
+        "LF metadata does not align with the model's columns");
+  }
+  ModelSnapshot snapshot;
+  snapshot.lf_names = std::move(lf_names);
+  snapshot.lf_fingerprints = std::move(lf_fingerprints);
+  snapshot.cardinality = model.cardinality();
+  snapshot.has_ds_model = true;
+  snapshot.ds_class_priors = model.class_priors();
+  snapshot.ds_confusions = model.FlatConfusions();
   return snapshot;
 }
 
@@ -49,10 +368,27 @@ Status ModelSnapshot::AttachDiscModel(const LogisticRegressionClassifier& disc,
 
 Result<GenerativeModel> ModelSnapshot::RestoreGenerativeModel(
     GenerativeModelOptions options) const {
+  if (!has_gen_model) {
+    return Status::FailedPrecondition(
+        "snapshot carries no generative model (GENM section)");
+  }
   options.class_balance = class_balance;
   GenerativeModel model(options);
   Status status = model.RestoreWeights(lf_names.size(), acc_weights,
                                        lab_weights, corr_weights, correlations);
+  if (!status.ok()) return status;
+  return model;
+}
+
+Result<DawidSkeneModel> ModelSnapshot::RestoreDawidSkeneModel(
+    DawidSkeneOptions options) const {
+  if (!has_ds_model) {
+    return Status::FailedPrecondition(
+        "snapshot carries no Dawid-Skene model (DAWD section)");
+  }
+  DawidSkeneModel model(options);
+  Status status = model.Restore(cardinality, lf_names.size(), ds_class_priors,
+                                ds_confusions);
   if (!status.ok()) return status;
   return model;
 }
@@ -69,6 +405,36 @@ Result<LogisticRegressionClassifier> ModelSnapshot::RestoreDiscModel(
 }
 
 std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
+  std::string buffer(kSnapshotMagic, sizeof(kSnapshotMagic));
+  uint32_t section_count = 1 + (snapshot.has_gen_model ? 1 : 0) +
+                           (snapshot.has_ds_model ? 1 : 0) +
+                           (snapshot.has_disc_model ? 1 : 0);
+  BinaryWriter header;
+  header.WriteU32(kSnapshotVersion);
+  header.WriteU32(section_count);
+  buffer += header.buffer();
+  AppendSection(&buffer, kSectionLfMetadata, EncodeLfMetadata(snapshot));
+  if (snapshot.has_gen_model) {
+    AppendSection(&buffer, kSectionGenModel, EncodeGenModel(snapshot));
+  }
+  if (snapshot.has_ds_model) {
+    AppendSection(&buffer, kSectionDawidSkene, EncodeDawidSkene(snapshot));
+  }
+  if (snapshot.has_disc_model) {
+    AppendSection(&buffer, kSectionDiscModel, EncodeDiscModel(snapshot));
+  }
+  return buffer;
+}
+
+Result<std::string> SerializeSnapshotV1(const ModelSnapshot& snapshot) {
+  if (snapshot.has_ds_model) {
+    return Status::InvalidArgument(
+        "version-1 snapshots cannot express a Dawid-Skene (DAWD) section");
+  }
+  if (!snapshot.has_gen_model) {
+    return Status::InvalidArgument(
+        "version-1 snapshots require a generative model");
+  }
   BinaryWriter payload;
   payload.WriteStringVector(snapshot.lf_names);
   payload.WriteU64Vector(snapshot.lf_fingerprints);
@@ -91,7 +457,7 @@ std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
 
   std::string buffer(kSnapshotMagic, sizeof(kSnapshotMagic));
   BinaryWriter header;
-  header.WriteU32(kSnapshotVersion);
+  header.WriteU32(kSnapshotVersionV1);
   header.WriteU64(payload.buffer().size());
   buffer += header.buffer();
   buffer += payload.buffer();
@@ -102,8 +468,7 @@ std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
 }
 
 Result<ModelSnapshot> DeserializeSnapshot(std::string_view data) {
-  if (data.size() < sizeof(kSnapshotMagic) + sizeof(uint32_t) +
-                        sizeof(uint64_t) + sizeof(uint64_t)) {
+  if (data.size() < sizeof(kSnapshotMagic) + sizeof(uint32_t)) {
     return Status::IOError("snapshot file shorter than its header");
   }
   if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
@@ -111,67 +476,55 @@ Result<ModelSnapshot> DeserializeSnapshot(std::string_view data) {
   }
   BinaryReader header(data.substr(sizeof(kSnapshotMagic)));
   uint32_t version = header.ReadU32();
-  if (version != kSnapshotVersion) {
+  size_t header_end = sizeof(kSnapshotMagic) + header.position();
+  if (version == kSnapshotVersionV1) {
+    return DeserializeV1(data, header_end);
+  }
+  if (version == kSnapshotVersion) {
+    return DeserializeV2(data, header_end);
+  }
+  return Status::FailedPrecondition(
+      "unsupported snapshot version " + std::to_string(version) +
+      " (this build reads versions up to " + std::to_string(kSnapshotVersion) +
+      ")");
+}
+
+Result<std::vector<SnapshotSectionInfo>> ListSnapshotSections(
+    std::string_view data) {
+  if (data.size() < sizeof(kSnapshotMagic) + 2 * sizeof(uint32_t)) {
+    return Status::IOError("snapshot file shorter than its header");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("bad snapshot magic; not a snapshot file");
+  }
+  BinaryReader header(data.substr(sizeof(kSnapshotMagic)));
+  uint32_t version = header.ReadU32();
+  if (version == kSnapshotVersionV1) {
     return Status::FailedPrecondition(
-        "unsupported snapshot version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
-        ")");
+        "version-1 snapshots are unsectioned; load them instead");
   }
-  uint64_t payload_size = header.ReadU64();
-  size_t payload_begin = sizeof(kSnapshotMagic) + header.position();
-  if (payload_size + sizeof(uint64_t) > data.size() - payload_begin) {
-    return Status::IOError("snapshot truncated: payload extends past EOF");
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition("unsupported snapshot version " +
+                                      std::to_string(version));
   }
-  std::string_view payload = data.substr(payload_begin, payload_size);
-  BinaryReader trailer(data.substr(payload_begin + payload_size));
-  uint64_t expected_checksum = trailer.ReadU64();
-  if (Fnv1a64(payload) != expected_checksum) {
-    return Status::IOError("snapshot checksum mismatch: payload corrupted");
-  }
-
-  BinaryReader reader(payload);
-  ModelSnapshot snapshot;
-  snapshot.lf_names = reader.ReadStringVector();
-  snapshot.lf_fingerprints = reader.ReadU64Vector();
-  snapshot.cardinality = reader.ReadI32();
-  snapshot.class_balance = reader.ReadF64();
-  snapshot.acc_weights = reader.ReadF64Vector();
-  snapshot.lab_weights = reader.ReadF64Vector();
-  snapshot.corr_weights = reader.ReadF64Vector();
-  uint64_t num_corr = reader.ReadU64();
-  if (reader.ok() && num_corr > snapshot.lf_names.size() *
-                                    std::max<uint64_t>(
-                                        snapshot.lf_names.size(), 1)) {
-    return Status::IOError("snapshot correlation count implausibly large");
-  }
-  snapshot.correlations.reserve(reader.ok() ? num_corr : 0);
-  for (uint64_t i = 0; reader.ok() && i < num_corr; ++i) {
-    CorrelationPair pair;
-    pair.j = reader.ReadU64();
-    pair.k = reader.ReadU64();
-    snapshot.correlations.push_back(pair);
-  }
-  snapshot.has_disc_model = reader.ReadU32() != 0;
-  if (snapshot.has_disc_model) {
-    snapshot.feature_buckets = reader.ReadU64();
-    snapshot.disc_weights = reader.ReadF64Vector();
-    snapshot.disc_bias = reader.ReadF64();
-  }
-  if (!reader.ok()) return reader.status();
-
-  // Structural validation so a loaded snapshot can never restore into an
-  // inconsistent model.
-  if (snapshot.lf_names.size() != snapshot.lf_fingerprints.size() ||
-      snapshot.acc_weights.size() != snapshot.lf_names.size() ||
-      snapshot.lab_weights.size() != snapshot.lf_names.size() ||
-      snapshot.corr_weights.size() != snapshot.correlations.size()) {
-    return Status::IOError("snapshot sections disagree on LF count");
-  }
-  if (snapshot.has_disc_model &&
-      snapshot.disc_weights.size() != snapshot.feature_buckets) {
-    return Status::IOError("snapshot disc weights disagree on bucket count");
-  }
-  return snapshot;
+  uint32_t section_count = header.ReadU32();
+  std::vector<SnapshotSectionInfo> sections;
+  sections.reserve(section_count);
+  Status walked = WalkV2Sections(
+      data, sizeof(kSnapshotMagic) + header.position(), section_count,
+      [&](const char* tag, std::string_view payload,
+          uint64_t recorded_checksum, bool checksum_ok) -> Status {
+        SnapshotSectionInfo info;
+        info.tag = std::string(tag, 4);
+        info.known = KnownTag(tag);
+        info.payload_size = payload.size();
+        info.checksum = recorded_checksum;
+        info.checksum_ok = checksum_ok;
+        sections.push_back(std::move(info));
+        return Status::OK();
+      });
+  if (!walked.ok()) return walked;
+  return sections;
 }
 
 Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {

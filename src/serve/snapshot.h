@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dawid_skene.h"
 #include "core/generative_model.h"
 #include "core/types.h"
 #include "disc/linear_model.h"
@@ -12,46 +13,85 @@
 
 namespace snorkel {
 
-/// On-disk snapshot format version this build writes and reads. Loading a
-/// file with any other version fails with FailedPrecondition — version gates
-/// are checked before a single payload byte is decoded.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// On-disk snapshot format version this build writes. Version 2 is a
+/// SECTIONED format (see below); version-1 files remain loadable through a
+/// compat path. Versions above kSnapshotVersion fail with
+/// FailedPrecondition before a single payload byte is decoded.
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersionV1 = 1;
 
-/// File layout: magic "SNKS" | version u32 | payload_size u64 | payload |
-/// fnv1a64(payload). The checksum makes truncation and bit corruption a
-/// detected IOError instead of silently-wrong posteriors.
 inline constexpr char kSnapshotMagic[4] = {'S', 'N', 'K', 'S'};
 
+/// Version-2 file layout:
+///
+///   magic "SNKS" | u32 version=2 | u32 section_count |
+///   section_count × ( tag[4] | u64 payload_size | payload
+///                     | u64 fnv1a64(payload) )
+///
+/// Every section is named, length-prefixed, and individually checksummed,
+/// with SKIP-UNKNOWN semantics: a reader that does not recognize a tag
+/// verifies its checksum and skips it (counted in
+/// ModelSnapshot::skipped_sections), so old binaries read
+/// forward-compatible files written by newer ones. Known sections tolerate
+/// TRAILING payload bytes for the same reason (a newer writer may append
+/// fields). Corruption or truncation anywhere — in a known or unknown
+/// section — is a typed IOError naming the section, never UB.
+inline constexpr char kSectionLfMetadata[4] = {'L', 'F', 'M', 'D'};
+inline constexpr char kSectionGenModel[4] = {'G', 'E', 'N', 'M'};
+inline constexpr char kSectionDawidSkene[4] = {'D', 'A', 'W', 'D'};
+inline constexpr char kSectionDiscModel[4] = {'D', 'I', 'S', 'C'};
+
 /// Everything needed to serve labels without re-running the Figure 2 loop:
-/// the fitted generative label model (weights + learned correlation
-/// structure + class balance), the labeling-function metadata it was fit
-/// over, and optionally the noise-aware discriminative model with its
-/// feature-space size. LF *code* cannot be serialized — callers re-supply
-/// the LabelingFunctionSet at load time and the service validates it against
+/// the LF metadata identifying Λ's columns (LFMD, always present), then one
+/// label model — the binary generative model (GENM) and/or the K-class
+/// Dawid-Skene model (DAWD) — and optionally the noise-aware discriminative
+/// model (DISC). LF *code* cannot be serialized — callers re-supply the
+/// LabelingFunctionSet at load time and the service validates it against
 /// the stored names/fingerprints (LabelService::Create).
 struct ModelSnapshot {
-  // ---- LF-set metadata (identity of the Λ columns). ----
+  // ---- LFMD: identity of the Λ columns. ----
   std::vector<std::string> lf_names;
   std::vector<uint64_t> lf_fingerprints;
   int32_t cardinality = 2;
 
-  // ---- Generative label model. ----
+  // ---- GENM: binary generative label model. ----
+  bool has_gen_model = false;
   double class_balance = 0.5;
   std::vector<double> acc_weights;
   std::vector<double> lab_weights;
   std::vector<double> corr_weights;
   std::vector<CorrelationPair> correlations;
 
-  // ---- Discriminative model (optional). ----
+  // ---- DAWD: K-class Dawid-Skene label model. ----
+  bool has_ds_model = false;
+  /// Class priors, length = cardinality.
+  std::vector<double> ds_class_priors;
+  /// Confusion matrices flattened row-major [j][c][c'] (true class c,
+  /// emitted class c'), length = num_lfs · cardinality².
+  std::vector<double> ds_confusions;
+
+  // ---- DISC: discriminative model (optional). ----
   bool has_disc_model = false;
   uint64_t feature_buckets = 0;
   std::vector<double> disc_weights;
   double disc_bias = 0.0;
 
-  /// Captures a fitted generative model plus the LF metadata it was trained
-  /// over. `lf_names`/`lf_fingerprints` must align with the model's columns.
+  /// Unknown sections skipped (checksum-verified) during the last
+  /// deserialization of this snapshot; 0 for captured snapshots.
+  uint32_t skipped_sections = 0;
+
+  /// Captures a fitted binary generative model plus the LF metadata it was
+  /// trained over. `lf_names`/`lf_fingerprints` must align with the model's
+  /// columns.
   static Result<ModelSnapshot> Capture(
       const GenerativeModel& model, std::vector<std::string> lf_names,
+      std::vector<uint64_t> lf_fingerprints);
+
+  /// Captures a fitted Dawid-Skene model (any cardinality) — the K-class
+  /// Crowd-task serving artifact. The snapshot's cardinality is the
+  /// model's.
+  static Result<ModelSnapshot> CaptureDawidSkene(
+      const DawidSkeneModel& model, std::vector<std::string> lf_names,
       std::vector<uint64_t> lf_fingerprints);
 
   /// Attaches a fitted discriminative model (feature_buckets = the hasher's
@@ -59,11 +99,16 @@ struct ModelSnapshot {
   Status AttachDiscModel(const LogisticRegressionClassifier& disc,
                          uint64_t feature_buckets);
 
-  /// Rebuilds the generative model; posteriors match the captured model
-  /// bitwise. `options` seeds everything except the restored weights and
-  /// class balance.
+  /// Rebuilds the generative model (FailedPrecondition when the snapshot
+  /// carries none); posteriors match the captured model bitwise. `options`
+  /// seeds everything except the restored weights and class balance.
   Result<GenerativeModel> RestoreGenerativeModel(
       GenerativeModelOptions options = {}) const;
+
+  /// Rebuilds the Dawid-Skene model (FailedPrecondition when the snapshot
+  /// carries none); posteriors match the captured model bitwise.
+  Result<DawidSkeneModel> RestoreDawidSkeneModel(
+      DawidSkeneOptions options = {}) const;
 
   /// Rebuilds the discriminative model (FailedPrecondition when the
   /// snapshot carries none).
@@ -73,12 +118,36 @@ struct ModelSnapshot {
   size_t num_lfs() const { return lf_names.size(); }
 };
 
-/// Encodes a snapshot to the versioned checksummed wire format.
+/// Encodes a snapshot to the version-2 sectioned wire format.
 std::string SerializeSnapshot(const ModelSnapshot& snapshot);
 
-/// Decodes a snapshot; rejects bad magic (InvalidArgument), unknown versions
-/// (FailedPrecondition), and truncation / checksum mismatch (IOError).
+/// Legacy version-1 writer, kept for downgrade paths and the committed
+/// format-evolution fixtures. V1 has no sections, so it cannot express a
+/// Dawid-Skene model (InvalidArgument) and requires a generative model
+/// (v1's payload unconditionally carries one).
+Result<std::string> SerializeSnapshotV1(const ModelSnapshot& snapshot);
+
+/// Decodes a version-1 or version-2 snapshot; rejects bad magic
+/// (InvalidArgument), versions above kSnapshotVersion (FailedPrecondition),
+/// and truncation / per-section checksum mismatch (IOError). Unknown v2
+/// sections are skipped, not errors.
 Result<ModelSnapshot> DeserializeSnapshot(std::string_view data);
+
+/// One section's framing as it appears in a v2 file, for tooling
+/// (tools/snapshot_diff) and tests.
+struct SnapshotSectionInfo {
+  std::string tag;        // 4 bytes.
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;  // As recorded in the file.
+  bool checksum_ok = false;
+  bool known = false;     // Tag recognized by this build.
+};
+
+/// Walks a v2 file's section table without decoding payloads (checksums
+/// are still verified and reported). V1 files are a FailedPrecondition
+/// (unsectioned); framing-level truncation is an IOError.
+Result<std::vector<SnapshotSectionInfo>> ListSnapshotSections(
+    std::string_view data);
 
 /// Serialize-to-file / load-from-file conveniences.
 Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);

@@ -90,6 +90,10 @@ struct ShardRouter::Impl {
   Options options;
   CandidatePartitioner partitioner;
   size_t lf_count = 0;
+  /// Task cardinality of the snapshot every replica serves (2 = binary);
+  /// K-class responses carry flat m×K class_posteriors the merge scatters
+  /// K doubles at a time.
+  int cardinality = 2;
   std::vector<Shard> shards;
   std::atomic<bool> shutdown{false};
   std::once_flag shutdown_once;
@@ -173,14 +177,25 @@ struct ShardRouter::Impl {
       return;
     }
     size_t offset = 0;
+    const size_t k = static_cast<size_t>(response->cardinality);
     for (size_t g = begin; g < end; ++g) {
       ShardJob& job = run[g];
       size_t n = job.rows->size();
       LabelResponse out;
-      out.posteriors.assign(response->posteriors.begin() + offset,
-                            response->posteriors.begin() + offset + n);
+      out.cardinality = response->cardinality;
+      if (!response->posteriors.empty()) {
+        out.posteriors.assign(response->posteriors.begin() + offset,
+                              response->posteriors.begin() + offset + n);
+      }
       out.hard_labels.assign(response->hard_labels.begin() + offset,
                              response->hard_labels.begin() + offset + n);
+      if (!response->class_posteriors.empty()) {
+        // K-class rows are k doubles wide; slicing a fused pass cannot
+        // change a row's bits (the E-step kernel is row-pure).
+        out.class_posteriors.assign(
+            response->class_posteriors.begin() + offset * k,
+            response->class_posteriors.begin() + (offset + n) * k);
+      }
       if (job.include_votes) {
         std::vector<size_t> rows(n);
         std::iota(rows.begin(), rows.end(), offset);
@@ -236,6 +251,7 @@ Result<ShardRouter> ShardRouter::Create(const ModelSnapshot& snapshot,
   }
   auto impl = std::make_unique<Impl>(options);
   impl->lf_count = lfs.size();
+  impl->cardinality = snapshot.cardinality;
   impl->shards.resize(options.num_shards);
   for (size_t s = 0; s < options.num_shards; ++s) {
     auto replica = LabelService::Create(snapshot, lfs, options.service);
@@ -401,9 +417,18 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
     }
   }
 
-  // ---- Merge back into request order. ----
+  // ---- Merge back into request order. Binary responses scatter one
+  // scalar per row; K-class responses scatter one K-vector per row. Either
+  // way every per-row value is copied verbatim from its shard's response,
+  // so the merged batch is bitwise-identical to one unsharded pass. ----
+  const size_t k = static_cast<size_t>(impl.cardinality);
   LabelResponse response;
-  response.posteriors.resize(parts.total);
+  response.cardinality = impl.cardinality;
+  if (impl.cardinality == 2) {
+    response.posteriors.resize(parts.total);
+  } else {
+    response.class_posteriors.resize(parts.total * k);
+  }
   response.hard_labels.resize(parts.total);
   // `Label` names this method here, so qualify the vote type.
   std::vector<std::tuple<size_t, size_t, snorkel::Label>> vote_triplets;
@@ -412,8 +437,14 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
     const LabelResponse& shard_response = *slot_result;
     const std::vector<size_t>& to_request = pending[p].to_request;
     for (size_t t = 0; t < to_request.size(); ++t) {
-      response.posteriors[to_request[t]] = shard_response.posteriors[t];
       response.hard_labels[to_request[t]] = shard_response.hard_labels[t];
+      if (impl.cardinality == 2) {
+        response.posteriors[to_request[t]] = shard_response.posteriors[t];
+      } else {
+        std::copy(shard_response.class_posteriors.begin() + t * k,
+                  shard_response.class_posteriors.begin() + (t + 1) * k,
+                  response.class_posteriors.begin() + to_request[t] * k);
+      }
     }
     if (request.include_votes) {
       for (size_t t = 0; t < to_request.size(); ++t) {
@@ -425,7 +456,7 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
   }
   if (request.include_votes) {
     auto votes = LabelMatrix::FromTriplets(parts.total, impl.lf_count,
-                                           vote_triplets);
+                                           vote_triplets, impl.cardinality);
     if (!votes.ok()) {
       // Unreachable from well-formed shard matrices; surface, don't hide.
       return Status::Internal("vote reassembly failed: " +

@@ -57,7 +57,8 @@ struct RouterStats {
 ///     └─ merge: responses reassembled into request order
 ///
 /// Guarantees:
-///  - Posteriors, hard labels, and (with include_votes) the reassembled
+///  - Posteriors (the binary scalar AND the K-class per-row class
+///    distribution), hard labels, and (with include_votes) the reassembled
 ///    vote matrix are BITWISE-IDENTICAL to one unsharded LabelService
 ///    answering the same request: every per-row kernel is content-pure, so
 ///    neither the partition, the sub-batch sizes, nor worker-side fusion

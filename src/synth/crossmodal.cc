@@ -3,6 +3,7 @@
 #include <tuple>
 
 #include "lf/declarative.h"
+#include "util/hash.h"
 #include "util/random.h"
 
 namespace snorkel {
@@ -262,6 +263,95 @@ Result<CrowdTask> MakeCrowdTask(const CrowdOptions& options) {
   task.dev_idx.assign(order.begin() + static_cast<long>(train_end),
                       order.begin() + static_cast<long>(dev_end));
   task.test_idx.assign(order.begin() + static_cast<long>(dev_end), order.end());
+  return task;
+}
+
+namespace {
+
+/// Deterministic per-(stream, index) random double in [0, 1): the vote
+/// source for simulated crowd workers. A pure function of its arguments —
+/// every replica, shard, and re-application reproduces the same vote.
+double CrowdUniform(uint64_t seed, uint64_t stream, uint64_t index) {
+  SplitMix64 mix(HashCombine(HashCombine(seed, stream + 1), index + 1));
+  return mix.Uniform();
+}
+
+/// Maps an internal 1..K class draw to the matrix label convention:
+/// K-class tasks vote {1..K} directly; binary tasks vote {+1, -1}
+/// (class 1 ↦ +1, class 2 ↦ -1, matching DawidSkeneModel::ClassToLabel).
+Label CrowdClassToLabel(Label cls, int k) {
+  if (k != 2) return cls;
+  return cls == 1 ? 1 : -1;
+}
+
+}  // namespace
+
+Result<CrowdServingTask> MakeCrowdServingTask(
+    const CrowdServingOptions& options) {
+  if (options.num_items == 0 || options.num_workers == 0) {
+    return Status::InvalidArgument("degenerate crowd serving task sizes");
+  }
+  if (options.cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  if (!(options.coverage > 0.0) || options.coverage > 1.0 ||
+      options.min_accuracy <= 0.0 || options.max_accuracy > 1.0 ||
+      options.min_accuracy > options.max_accuracy) {
+    return Status::InvalidArgument("crowd serving rates out of range");
+  }
+  CrowdServingTask task;
+  task.cardinality = options.cardinality;
+  const uint64_t seed = options.seed;
+  const int k = options.cardinality;
+
+  // One document per item; distinct canonical ids give every candidate a
+  // distinct content-hash shard key.
+  for (size_t i = 0; i < options.num_items; ++i) {
+    const std::string id = std::to_string(i);
+    Document doc;
+    doc.name = "tweet" + id;
+    Sentence s;
+    s.words = {"tweet", id, "text"};
+    s.mentions = {Mention{0, 1, "item", "I" + id},
+                  Mention{2, 3, "anchor", "A" + id}};
+    doc.sentences = {s};
+    task.corpus.AddDocument(std::move(doc));
+    task.gold.push_back(CrowdClassToLabel(
+        static_cast<Label>(CrowdUniform(seed, 0, i) * k) + 1, k));
+  }
+  task.candidates = CandidateExtractor("item", "anchor").Extract(task.corpus);
+  if (task.candidates.size() != options.num_items) {
+    return Status::Internal("crowd serving candidate extraction mismatch");
+  }
+
+  // One LF per worker: abstain/vote and correct/confused decisions are
+  // drawn from disjoint deterministic streams keyed on (worker, row index).
+  for (size_t j = 0; j < options.num_workers; ++j) {
+    double accuracy =
+        options.min_accuracy +
+        (options.max_accuracy - options.min_accuracy) *
+            (options.num_workers == 1
+                 ? 1.0
+                 : static_cast<double>(j) /
+                       static_cast<double>(options.num_workers - 1));
+    double coverage = options.coverage;
+    task.lfs.Add(LabelingFunction(
+        "worker_" + std::to_string(j), "v1",
+        [seed, j, k, coverage, accuracy](const CandidateView& view) -> Label {
+          uint64_t i = view.index();
+          if (CrowdUniform(seed, 1000 + j, i) >= coverage) return kAbstain;
+          Label gold = static_cast<Label>(CrowdUniform(seed, 0, i) * k) + 1;
+          if (CrowdUniform(seed, 2000 + j, i) < accuracy) {
+            return CrowdClassToLabel(gold, k);
+          }
+          // Uniform over the k-1 wrong classes.
+          Label wrong = static_cast<Label>(CrowdUniform(seed, 3000 + j, i) *
+                                           (k - 1)) +
+                        1;
+          if (wrong >= gold) ++wrong;
+          return CrowdClassToLabel(wrong, k);
+        }));
+  }
   return task;
 }
 

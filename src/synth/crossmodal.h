@@ -80,6 +80,41 @@ struct CrowdOptions {
 
 Result<CrowdTask> MakeCrowdTask(const CrowdOptions& options = {});
 
+/// Crowd-SERVING variant of the §4.1.2 task: unlike CrowdTask (whose worker
+/// votes are materialized directly as a LabelMatrix), every simulated
+/// worker here is a real LabelingFunction over a corpus of candidate items,
+/// so the full deployment stack — LF application at cardinality K, DAWD
+/// snapshot capture, LabelService, ShardRouter — can run the K-class
+/// workload end-to-end. Worker votes are pure functions of
+/// (seed, worker, row index): deterministic, recomputable on any replica,
+/// and index-dependent (exercising the sharded tier's index-preserving ref
+/// fan-out). Each item's candidate carries a distinct canonical id, so
+/// content-hash shard placement spreads traffic.
+struct CrowdServingTask {
+  std::string name = "CrowdServing";
+  Corpus corpus;
+  std::vector<Candidate> candidates;  // One per item.
+  LabelingFunctionSet lfs;            // One per worker.
+  std::vector<Label> gold;            // Planted, 1..K.
+  int cardinality = 5;
+};
+
+struct CrowdServingOptions {
+  size_t num_items = 500;
+  size_t num_workers = 24;
+  int cardinality = 5;  // K sentiment classes.
+  /// P(a worker votes on an item).
+  double coverage = 0.4;
+  /// Worker accuracy range (P(vote = gold | votes)); worker j interpolates
+  /// linearly between the two.
+  double min_accuracy = 0.35;
+  double max_accuracy = 0.75;
+  uint64_t seed = 7;
+};
+
+Result<CrowdServingTask> MakeCrowdServingTask(
+    const CrowdServingOptions& options = {});
+
 }  // namespace snorkel
 
 #endif  // SNORKEL_SYNTH_CROSSMODAL_H_

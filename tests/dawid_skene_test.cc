@@ -172,5 +172,79 @@ TEST(DawidSkeneTest, ConfusionRowsAreDistributions) {
   }
 }
 
+TEST(DawidSkeneTest, FlatPosteriorsMatchNestedAndAnyThreadCount) {
+  CrowdData crowd = MakeCrowd(700, {0.8, 0.6, 0.45, 0.7}, 5, 0.7, 31);
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+
+  auto nested = model.PredictProba(crowd.matrix);
+  std::vector<double> flat = model.PredictProbaFlat(crowd.matrix);
+  ASSERT_EQ(flat.size(), nested.size() * 5);
+  for (size_t i = 0; i < nested.size(); ++i) {
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(flat[i * 5 + c], nested[i][c])
+          << "flat/nested drift at (" << i << ", " << c << ")";
+    }
+  }
+
+  // The serving kernel shards over fixed-grain rows: any thread count must
+  // produce the same bits.
+  for (int threads : {1, 2, 8}) {
+    DawidSkeneOptions options;
+    options.num_threads = threads;
+    DawidSkeneModel threaded(options);
+    ASSERT_TRUE(threaded
+                    .Restore(model.cardinality(), model.num_lfs(),
+                             model.class_priors(), model.FlatConfusions())
+                    .ok());
+    EXPECT_EQ(threaded.PredictProbaFlat(crowd.matrix), flat)
+        << "thread count " << threads << " drifted";
+  }
+}
+
+TEST(DawidSkeneTest, RestoreRoundTripsBitwise) {
+  CrowdData crowd = MakeCrowd(400, {0.85, 0.5, 0.65}, 3, 0.75, 13);
+  DawidSkeneModel model;
+  ASSERT_TRUE(model.Fit(crowd.matrix).ok());
+
+  DawidSkeneModel restored;
+  ASSERT_TRUE(restored
+                  .Restore(model.cardinality(), model.num_lfs(),
+                           model.class_priors(), model.FlatConfusions())
+                  .ok());
+  EXPECT_TRUE(restored.is_fit());
+  EXPECT_EQ(restored.cardinality(), 3);
+  EXPECT_EQ(restored.num_lfs(), 3u);
+  EXPECT_EQ(restored.PredictProbaFlat(crowd.matrix),
+            model.PredictProbaFlat(crowd.matrix));
+  EXPECT_EQ(restored.PredictLabels(crowd.matrix),
+            model.PredictLabels(crowd.matrix));
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(restored.WorkerAccuracy(j), model.WorkerAccuracy(j));
+  }
+}
+
+TEST(DawidSkeneTest, RestoreValidatesShapesAndPositivity) {
+  DawidSkeneModel model;
+  // Wrong prior length.
+  EXPECT_EQ(model.Restore(3, 1, {0.5, 0.5}, std::vector<double>(9, 1.0 / 3))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong confusion length.
+  EXPECT_EQ(model.Restore(3, 1, {0.4, 0.3, 0.3}, std::vector<double>(8, 0.1))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A zero probability would be log'd to -inf.
+  std::vector<double> with_zero(9, 1.0 / 3);
+  with_zero[4] = 0.0;
+  EXPECT_EQ(model.Restore(3, 1, {0.4, 0.3, 0.3}, with_zero).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(model.is_fit());
+  EXPECT_TRUE(
+      model.Restore(3, 1, {0.4, 0.3, 0.3}, std::vector<double>(9, 1.0 / 3))
+          .ok());
+  EXPECT_TRUE(model.is_fit());
+}
+
 }  // namespace
 }  // namespace snorkel

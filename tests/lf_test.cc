@@ -315,6 +315,10 @@ TEST(LFApplierTest, OutOfRangeVoteErrorsUnderSerialAndParallel) {
     ASSERT_FALSE(matrix.ok()) << "num_threads=" << num_threads;
     EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument)
         << "num_threads=" << num_threads;
+    // The shared validity check runs inside the applier, so the error names
+    // the offending LF instead of an anonymous matrix-construction failure.
+    EXPECT_NE(matrix.status().message().find("lf_buggy"), std::string::npos)
+        << matrix.status().ToString();
   }
 }
 

@@ -11,6 +11,7 @@
 #include "serve/incremental_applier.h"
 #include "serve/label_service.h"
 #include "serve/snapshot.h"
+#include "synth/crossmodal.h"
 #include "synth/synthetic_matrix.h"
 #include "util/binary_io.h"
 #include "util/hash.h"
@@ -541,6 +542,471 @@ TEST(ExportSnapshotTest, TrainedTaskProducesServableArtifact) {
   EXPECT_TRUE(snapshot->has_disc_model);
   EXPECT_TRUE(snapshot->RestoreDiscModel().ok());
   std::remove(path.c_str());
+}
+
+// ------------------------------------- snapshot format v2 + evolution --
+
+std::string TestDataPath(const std::string& name) {
+  return std::string(SNORKEL_TEST_DATA_DIR) + "/" + name;
+}
+
+/// A fitted Dawid-Skene model over a small K-class crowd fixture, plus the
+/// captured DAWD snapshot.
+struct KClassFixture {
+  CrowdServingTask task;
+  ModelSnapshot snapshot;
+
+  explicit KClassFixture(size_t num_items = 80, size_t num_workers = 8) {
+    CrowdServingOptions options;
+    options.num_items = num_items;
+    options.num_workers = num_workers;
+    auto made = MakeCrowdServingTask(options);
+    EXPECT_TRUE(made.ok()) << made.status().ToString();
+    task = std::move(*made);
+    auto captured = TrainKClassSnapshot(task.lfs, task.corpus,
+                                        task.candidates, task.cardinality);
+    EXPECT_TRUE(captured.ok()) << captured.status().ToString();
+    snapshot = std::move(*captured);
+  }
+};
+
+/// Appends one extra section with an unrecognized tag (simulating a file
+/// written by a FUTURE build) and bumps the section count.
+std::string WithUnknownSection(std::string bytes, const std::string& payload) {
+  uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 8, sizeof(count));
+  ++count;
+  std::memcpy(bytes.data() + 8, &count, sizeof(count));
+  bytes.append("XTRA", 4);
+  BinaryWriter framing;
+  framing.WriteU64(payload.size());
+  bytes += framing.buffer();
+  bytes += payload;
+  BinaryWriter checksum;
+  checksum.WriteU64(Fnv1a64(payload));
+  bytes += checksum.buffer();
+  return bytes;
+}
+
+/// Byte offset of section `index`'s payload within a v2 file.
+size_t SectionPayloadOffset(const std::string& bytes, size_t index) {
+  auto sections = ListSnapshotSections(bytes);
+  EXPECT_TRUE(sections.ok());
+  size_t pos = 4 + 4 + 4;  // magic | version | section count.
+  for (size_t s = 0; s < index; ++s) {
+    pos += 4 + 8 + (*sections)[s].payload_size + 8;
+  }
+  return pos + 4 + 8;  // This section's tag + size prefix.
+}
+
+TEST(SnapshotFormatTest, V2SectionedRoundTripWithDawidSkene) {
+  KClassFixture fx;
+  EXPECT_TRUE(fx.snapshot.has_ds_model);
+  EXPECT_FALSE(fx.snapshot.has_gen_model);
+  EXPECT_EQ(fx.snapshot.cardinality, 5);
+
+  std::string bytes = SerializeSnapshot(fx.snapshot);
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->lf_names, fx.snapshot.lf_names);
+  EXPECT_EQ(loaded->lf_fingerprints, fx.snapshot.lf_fingerprints);
+  EXPECT_EQ(loaded->cardinality, 5);
+  EXPECT_EQ(loaded->ds_class_priors, fx.snapshot.ds_class_priors);
+  EXPECT_EQ(loaded->ds_confusions, fx.snapshot.ds_confusions);
+  EXPECT_EQ(loaded->skipped_sections, 0u);
+
+  // Restored posteriors are bitwise the captured model's.
+  auto restored = loaded->RestoreDawidSkeneModel();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  LFApplier applier(LFApplier::Options{0, fx.task.cardinality});
+  auto matrix =
+      applier.Apply(fx.task.lfs, fx.task.corpus, fx.task.candidates);
+  ASSERT_TRUE(matrix.ok());
+  auto original = fx.snapshot.RestoreDawidSkeneModel();
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(restored->PredictProbaFlat(*matrix),
+            original->PredictProbaFlat(*matrix));
+
+  // Model-kind mismatches are typed.
+  EXPECT_EQ(loaded->RestoreGenerativeModel().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotFormatTest, V2SectionTableListsTagsInOrder) {
+  FittedModel fx;
+  auto snapshot =
+      ModelSnapshot::Capture(fx.model, fx.Names(), fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok());
+  std::string bytes = SerializeSnapshot(*snapshot);
+  auto sections = ListSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  ASSERT_EQ(sections->size(), 2u);
+  EXPECT_EQ((*sections)[0].tag, "LFMD");
+  EXPECT_EQ((*sections)[1].tag, "GENM");
+  for (const auto& section : *sections) {
+    EXPECT_TRUE(section.known);
+    EXPECT_TRUE(section.checksum_ok);
+    EXPECT_GT(section.payload_size, 0u);
+  }
+}
+
+TEST(SnapshotFormatTest, GoldenV1FixtureStillLoadsOnThisBinary) {
+  // Committed bytes written by the v1 writer: the compatibility contract.
+  auto loaded = LoadSnapshot(TestDataPath("golden_v1.snk"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->lf_names,
+            (std::vector<std::string>{"lf_a", "lf_b", "lf_c"}));
+  EXPECT_EQ(loaded->lf_fingerprints, (std::vector<uint64_t>{11, 22, 33}));
+  EXPECT_EQ(loaded->cardinality, 2);
+  EXPECT_TRUE(loaded->has_gen_model);
+  EXPECT_EQ(loaded->class_balance, 0.625);
+  EXPECT_EQ(loaded->acc_weights, (std::vector<double>{0.5, -0.25, 1.5}));
+  EXPECT_EQ(loaded->lab_weights, (std::vector<double>{0.125, 0.25, 0.375}));
+  EXPECT_EQ(loaded->corr_weights, (std::vector<double>{0.75}));
+  ASSERT_EQ(loaded->correlations.size(), 1u);
+  EXPECT_EQ(loaded->correlations[0], (CorrelationPair{0, 1}));
+  ASSERT_TRUE(loaded->has_disc_model);
+  EXPECT_EQ(loaded->disc_weights,
+            (std::vector<double>{0.5, -0.5, 0.25, 0.0}));
+  EXPECT_EQ(loaded->disc_bias, -0.125);
+  EXPECT_TRUE(loaded->RestoreGenerativeModel().ok());
+  EXPECT_TRUE(loaded->RestoreDiscModel().ok());
+  // V1 predates the DAWD section.
+  EXPECT_FALSE(loaded->has_ds_model);
+  EXPECT_EQ(loaded->RestoreDawidSkeneModel().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotFormatTest, GoldenV2FixtureLoadsExactly) {
+  auto loaded = LoadSnapshot(TestDataPath("golden_v2.snk"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->lf_names,
+            (std::vector<std::string>{"worker_0", "worker_1"}));
+  EXPECT_EQ(loaded->cardinality, 3);
+  EXPECT_TRUE(loaded->has_ds_model);
+  EXPECT_FALSE(loaded->has_gen_model);
+  EXPECT_EQ(loaded->ds_class_priors, (std::vector<double>{0.25, 0.25, 0.5}));
+  ASSERT_EQ(loaded->ds_confusions.size(), 18u);
+  EXPECT_EQ(loaded->ds_confusions[0], 0.75);
+
+  auto model = loaded->RestoreDawidSkeneModel();
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Prior-weighted diagonals of the exactly-representable fixtures.
+  EXPECT_EQ(model->WorkerAccuracy(0), 0.75);
+  EXPECT_EQ(model->WorkerAccuracy(1), 0.5);
+  // Unanimous class-2 votes decode to the MAP label 2.
+  auto matrix = LabelMatrix::FromDense({{2, 2}}, 3);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(model->PredictLabels(*matrix), (std::vector<Label>{2}));
+}
+
+TEST(SnapshotFormatTest, FreshV1BytesLoadOnThisBinary) {
+  FittedModel fx;
+  auto snapshot =
+      ModelSnapshot::Capture(fx.model, fx.Names(), fx.Fingerprints());
+  ASSERT_TRUE(snapshot.ok());
+  auto v1_bytes = SerializeSnapshotV1(*snapshot);
+  ASSERT_TRUE(v1_bytes.ok()) << v1_bytes.status().ToString();
+  auto loaded = DeserializeSnapshot(*v1_bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->acc_weights, snapshot->acc_weights);
+  EXPECT_EQ(loaded->lab_weights, snapshot->lab_weights);
+  EXPECT_EQ(loaded->class_balance, snapshot->class_balance);
+  EXPECT_TRUE(loaded->has_gen_model);
+
+  // The legacy writer cannot express sections v1 never had.
+  KClassFixture kclass(40, 4);
+  EXPECT_EQ(SerializeSnapshotV1(kclass.snapshot).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotFormatTest, V1ArtifactServesBitwiseIdenticalToV2) {
+  // The binary-snapshot regression contract: the same captured model,
+  // shipped as v1 bytes and as v2 bytes, must serve byte-identical
+  // responses through the refactored stack.
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+  auto v1_bytes = SerializeSnapshotV1(snapshot);
+  ASSERT_TRUE(v1_bytes.ok());
+  auto from_v1 = DeserializeSnapshot(*v1_bytes);
+  auto from_v2 = DeserializeSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_TRUE(from_v1.ok() && from_v2.ok());
+
+  auto service_v1 = LabelService::Create(*from_v1, fx.MakeLfs());
+  auto service_v2 = LabelService::Create(*from_v2, fx.MakeLfs());
+  ASSERT_TRUE(service_v1.ok() && service_v2.ok());
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  request.include_votes = true;
+  auto response_v1 = service_v1->Label(request);
+  auto response_v2 = service_v2->Label(request);
+  ASSERT_TRUE(response_v1.ok() && response_v2.ok());
+  EXPECT_EQ(response_v1->posteriors, response_v2->posteriors);
+  EXPECT_EQ(response_v1->hard_labels, response_v2->hard_labels);
+  EXPECT_EQ(response_v1->cardinality, 2);
+  EXPECT_TRUE(response_v1->class_posteriors.empty());
+  for (size_t i = 0; i < response_v2->votes.num_rows(); ++i) {
+    for (size_t j = 0; j < response_v2->votes.num_lfs(); ++j) {
+      EXPECT_EQ(response_v1->votes.At(i, j), response_v2->votes.At(i, j));
+    }
+  }
+}
+
+TEST(SnapshotFormatTest, UnknownSectionIsSkippedNotFatal) {
+  KClassFixture fx(40, 4);
+  std::string bytes = SerializeSnapshot(fx.snapshot);
+  std::string future =
+      WithUnknownSection(bytes, "payload from a future format revision");
+  auto loaded = DeserializeSnapshot(future);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->skipped_sections, 1u);
+  EXPECT_EQ(loaded->ds_confusions, fx.snapshot.ds_confusions);
+
+  // The section lister reports it as present-but-unknown.
+  auto sections = ListSnapshotSections(future);
+  ASSERT_TRUE(sections.ok());
+  EXPECT_EQ(sections->back().tag, "XTRA");
+  EXPECT_FALSE(sections->back().known);
+  EXPECT_TRUE(sections->back().checksum_ok);
+
+  // But a CORRUPT unknown section is still fatal: skip-unknown skips
+  // meaning, not integrity.
+  std::string corrupt_future = future;
+  corrupt_future[corrupt_future.size() - 12] ^= 0x01;  // Inside payload.
+  auto rejected = DeserializeSnapshot(corrupt_future);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotFormatTest, PerSectionCorruptionIsTypedAndNamesTheSection) {
+  KClassFixture fx(40, 4);
+  std::string bytes = SerializeSnapshot(fx.snapshot);
+  auto sections = ListSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ((*sections)[1].tag, "DAWD");
+
+  // Flip one byte inside the DAWD payload: IOError naming the section.
+  std::string corrupted = bytes;
+  size_t offset = SectionPayloadOffset(bytes, 1);
+  corrupted[offset + (*sections)[1].payload_size / 2] ^= 0x10;
+  auto loaded = DeserializeSnapshot(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("DAWD"), std::string::npos)
+      << "error lacks section context: " << loaded.status().ToString();
+
+  // LFMD corruption names LFMD.
+  corrupted = bytes;
+  corrupted[SectionPayloadOffset(bytes, 0) + 2] ^= 0x10;
+  loaded = DeserializeSnapshot(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("LFMD"), std::string::npos);
+}
+
+TEST(SnapshotFormatTest, HugeSectionLengthIsTruncationNotOverflow) {
+  KClassFixture fx(40, 4);
+  std::string bytes = SerializeSnapshot(fx.snapshot);
+  // Overwrite the first section's u64 payload_size with a near-2^64 value:
+  // a naive `size + 8 > remaining` check would wrap and pass. Must be a
+  // typed truncation error, never a hang or OOB read.
+  uint64_t huge = ~uint64_t{0} - 7;
+  std::memcpy(bytes.data() + 12 + 4, &huge, sizeof(huge));
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  auto sections = ListSnapshotSections(bytes);
+  ASSERT_FALSE(sections.ok());
+  EXPECT_EQ(sections.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotFormatTest, V2TruncationAtEveryBoundaryIsIOError) {
+  KClassFixture fx(40, 4);
+  std::string bytes = SerializeSnapshot(fx.snapshot);
+  // Mid-header, mid-section-table, mid-payload, mid-checksum, one short.
+  for (size_t len : {size_t{0}, size_t{6}, size_t{13},
+                     SectionPayloadOffset(bytes, 1) + 4, bytes.size() - 1}) {
+    auto loaded = DeserializeSnapshot(std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(loaded.ok()) << "prefix length " << len;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError)
+        << "prefix length " << len;
+  }
+  // Trailing garbage after the declared sections is also detected.
+  auto loaded = DeserializeSnapshot(bytes + "junk");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------- K-class label service --
+
+TEST(KClassServiceTest, ServesClassPosteriorsMatchingDirectModel) {
+  KClassFixture fx;
+  auto service = LabelService::Create(fx.snapshot, fx.task.lfs);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(service->cardinality(), 5);
+
+  LabelRequest request;
+  request.corpus = &fx.task.corpus;
+  request.candidates = &fx.task.candidates;
+  request.include_votes = true;
+  auto response = service->Label(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  const size_t n = fx.task.candidates.size();
+  const size_t k = 5;
+  EXPECT_EQ(response->cardinality, 5);
+  EXPECT_TRUE(response->posteriors.empty()) << "binary field on a K-class "
+                                               "response";
+  ASSERT_EQ(response->class_posteriors.size(), n * k);
+  ASSERT_EQ(response->hard_labels.size(), n);
+
+  // Must equal the direct (offline) Dawid-Skene computation bitwise.
+  LFApplier applier(LFApplier::Options{0, 5});
+  auto matrix =
+      applier.Apply(fx.task.lfs, fx.task.corpus, fx.task.candidates);
+  ASSERT_TRUE(matrix.ok());
+  auto model = fx.snapshot.RestoreDawidSkeneModel();
+  ASSERT_TRUE(model.ok());
+  auto expected = model->PredictProba(*matrix);
+  for (size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      EXPECT_EQ(response->class_posteriors[i * k + c], expected[i][c])
+          << "posterior drift at (" << i << ", " << c << ")";
+      row_sum += response->class_posteriors[i * k + c];
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-9);
+  }
+  EXPECT_EQ(response->hard_labels, model->PredictLabels(*matrix));
+  for (Label y : response->hard_labels) {
+    EXPECT_GE(y, 1);
+    EXPECT_LE(y, 5);
+  }
+
+  // The vote matrix is the K-class Λ.
+  EXPECT_EQ(response->votes.cardinality(), 5);
+  EXPECT_EQ(response->votes.num_lfs(), fx.task.lfs.size());
+}
+
+TEST(KClassServiceTest, ColumnCacheServesIdenticalKClassResponses) {
+  KClassFixture fx(60, 6);
+  LabelService::Options options;
+  options.use_incremental_cache = true;
+  auto service = LabelService::Create(fx.snapshot, fx.task.lfs, options);
+  ASSERT_TRUE(service.ok());
+
+  LabelRequest request;
+  request.corpus = &fx.task.corpus;
+  request.candidates = &fx.task.candidates;
+  auto first = service->Label(request);
+  auto second = service->Label(request);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->class_posteriors, second->class_posteriors);
+  EXPECT_EQ(first->hard_labels, second->hard_labels);
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.lf_columns_computed, 6u);
+  EXPECT_EQ(stats.lf_columns_reused, 6u);
+}
+
+TEST(KClassServiceTest, KClassSnapshotThroughV2FileAndMmap) {
+  KClassFixture fx(60, 6);
+  std::string path = TempPath("kclass.snk");
+  ASSERT_TRUE(SaveSnapshot(fx.snapshot, path).ok());
+
+  auto in_memory = LabelService::Create(fx.snapshot, fx.task.lfs);
+  auto from_file = LabelService::FromFile(path, fx.task.lfs);
+  ASSERT_TRUE(in_memory.ok() && from_file.ok())
+      << from_file.status().ToString();
+  LabelRequest request;
+  request.corpus = &fx.task.corpus;
+  request.candidates = &fx.task.candidates;
+  auto expected = in_memory->Label(request);
+  auto actual = from_file->Label(request);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  EXPECT_EQ(actual->class_posteriors, expected->class_posteriors);
+  EXPECT_EQ(actual->hard_labels, expected->hard_labels);
+  std::remove(path.c_str());
+}
+
+TEST(KClassServiceTest, BinaryDawidSkeneSnapshotServesScalarPosterior) {
+  // A cardinality-2 Dawid-Skene snapshot (no GENM section) is a valid
+  // artifact and serves the scalar posterior P(class 0) = P(y = +1).
+  CrowdServingOptions options;
+  options.num_items = 60;
+  options.num_workers = 6;
+  options.cardinality = 2;
+  auto task = MakeCrowdServingTask(options);
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  for (Label y : task->gold) {
+    EXPECT_TRUE(y == 1 || y == -1) << "binary crowd gold must be ±1";
+  }
+  auto snapshot =
+      TrainKClassSnapshot(task->lfs, task->corpus, task->candidates, 2);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_TRUE(snapshot->has_ds_model);
+  EXPECT_FALSE(snapshot->has_gen_model);
+  EXPECT_EQ(snapshot->cardinality, 2);
+
+  auto service = LabelService::Create(*snapshot, task->lfs);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(service->cardinality(), 2);
+  LabelRequest request;
+  request.corpus = &task->corpus;
+  request.candidates = &task->candidates;
+  auto response = service->Label(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->cardinality, 2);
+  EXPECT_TRUE(response->class_posteriors.empty());
+  ASSERT_EQ(response->posteriors.size(), task->candidates.size());
+
+  // Scalar = the DS model's class-0 column, bitwise.
+  LFApplier applier(LFApplier::Options{0, 2});
+  auto matrix = applier.Apply(task->lfs, task->corpus, task->candidates);
+  ASSERT_TRUE(matrix.ok());
+  auto model = snapshot->RestoreDawidSkeneModel();
+  ASSERT_TRUE(model.ok());
+  std::vector<double> flat = model->PredictProbaFlat(*matrix);
+  for (size_t i = 0; i < response->posteriors.size(); ++i) {
+    EXPECT_EQ(response->posteriors[i], flat[i * 2]) << "row " << i;
+    EXPECT_TRUE(response->hard_labels[i] == 1 ||
+                response->hard_labels[i] == -1 ||
+                response->hard_labels[i] == kAbstain);
+  }
+}
+
+TEST(KClassServiceTest, KClassSnapshotWithoutDawdSectionRejected) {
+  KClassFixture fx(40, 4);
+  ModelSnapshot stripped = fx.snapshot;
+  stripped.has_ds_model = false;
+  stripped.ds_class_priors.clear();
+  stripped.ds_confusions.clear();
+  auto service = LabelService::Create(stripped, fx.task.lfs);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KClassServiceTest, OutOfRangeWorkerVoteFailsTypedWithLfName) {
+  KClassFixture fx(40, 4);
+  // Same (name, version) fingerprints as the snapshot — the replicas accept
+  // the set — but worker_0 now votes outside {1..5}.
+  LabelingFunctionSet bad;
+  bad.Add(LabelingFunction("worker_0", "v1",
+                           [](const CandidateView&) -> Label { return 9; }));
+  for (size_t j = 1; j < fx.task.lfs.size(); ++j) {
+    bad.Add(fx.task.lfs.at(j));
+  }
+  auto service = LabelService::Create(fx.snapshot, std::move(bad));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  LabelRequest request;
+  request.corpus = &fx.task.corpus;
+  request.candidates = &fx.task.candidates;
+  auto response = service->Label(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(response.status().message().find("worker_0"), std::string::npos)
+      << "error lacks the offending LF's name: "
+      << response.status().ToString();
 }
 
 // ------------------------------------------------------------ binary io --

@@ -15,9 +15,11 @@
 
 #include "lf/applier.h"
 #include "lf/declarative.h"
+#include "pipeline/export_snapshot.h"
 #include "serve/snapshot.h"
 #include "shard/partitioner.h"
 #include "shard/shard_router.h"
+#include "synth/crossmodal.h"
 
 namespace snorkel {
 namespace {
@@ -314,6 +316,155 @@ TEST(ShardRouterTest, EmptyRequestYieldsEmptyResponse) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response->posteriors.empty());
   EXPECT_TRUE(response->hard_labels.empty());
+}
+
+// ------------------------------------------------- K-class (Crowd) tier --
+
+/// Crowd-shaped K-class serving fixture: 5 classes, one LF per simulated
+/// worker (index-dependent votes), snapshot carrying the fitted Dawid-Skene
+/// model in a DAWD section.
+struct KClassShardFixture {
+  CrowdServingTask task;
+  ModelSnapshot snapshot;
+
+  explicit KClassShardFixture(size_t num_items = 120,
+                              size_t num_workers = 10) {
+    CrowdServingOptions options;
+    options.num_items = num_items;
+    options.num_workers = num_workers;
+    auto made = MakeCrowdServingTask(options);
+    EXPECT_TRUE(made.ok()) << made.status().ToString();
+    task = std::move(*made);
+    auto captured = TrainKClassSnapshot(task.lfs, task.corpus,
+                                        task.candidates, task.cardinality);
+    EXPECT_TRUE(captured.ok()) << captured.status().ToString();
+    snapshot = std::move(*captured);
+  }
+};
+
+TEST(KClassShardRouterTest, MergedClassPosteriorsBitwiseIdenticalToUnsharded) {
+  KClassShardFixture fx;
+  const size_t k = 5;
+
+  // Ground truth twice over: ONE unsharded service, and the direct
+  // DawidSkeneModel::PredictProba on the same K-class matrix.
+  auto unsharded = LabelService::Create(fx.snapshot, fx.task.lfs);
+  ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+  LabelRequest request;
+  request.corpus = &fx.task.corpus;
+  request.candidates = &fx.task.candidates;
+  request.include_votes = true;
+  auto expected = unsharded->Label(request);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  LFApplier applier(LFApplier::Options{0, fx.task.cardinality});
+  auto matrix =
+      applier.Apply(fx.task.lfs, fx.task.corpus, fx.task.candidates);
+  ASSERT_TRUE(matrix.ok());
+  auto model = fx.snapshot.RestoreDawidSkeneModel();
+  ASSERT_TRUE(model.ok());
+  auto direct = model->PredictProba(*matrix);
+  ASSERT_EQ(expected->class_posteriors.size(), direct.size() * k);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      ASSERT_EQ(expected->class_posteriors[i * k + c], direct[i][c])
+          << "service drifted from the direct model at (" << i << ", " << c
+          << ")";
+    }
+  }
+
+  for (size_t shards : {2u, 3u, 4u}) {
+    ShardRouter::Options options;
+    options.num_shards = shards;
+    auto router = ShardRouter::Create(fx.snapshot, fx.task.lfs, options);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+    auto actual = router->Label(request);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(actual->cardinality, 5);
+    EXPECT_TRUE(actual->posteriors.empty());
+
+    // The merged K-vector posteriors must match BITWISE, index-preserving.
+    ASSERT_EQ(actual->class_posteriors.size(),
+              expected->class_posteriors.size());
+    for (size_t t = 0; t < expected->class_posteriors.size(); ++t) {
+      EXPECT_EQ(actual->class_posteriors[t], expected->class_posteriors[t])
+          << "class-posterior bits drifted at flat index " << t << " with "
+          << shards << " shards";
+    }
+    EXPECT_EQ(actual->hard_labels, expected->hard_labels);
+
+    // include_votes: the reassembled K-class Λ matches cell for cell.
+    ASSERT_EQ(actual->votes.num_rows(), expected->votes.num_rows());
+    ASSERT_EQ(actual->votes.num_lfs(), expected->votes.num_lfs());
+    for (size_t i = 0; i < expected->votes.num_rows(); ++i) {
+      for (size_t j = 0; j < expected->votes.num_lfs(); ++j) {
+        EXPECT_EQ(actual->votes.At(i, j), expected->votes.At(i, j))
+            << "vote mismatch at (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(KClassShardRouterTest, ConcurrentCallersWithFusionStayBitwise) {
+  KClassShardFixture fx(160, 8);
+
+  // Batches of 24; expected K-vectors per batch from an unsharded service.
+  constexpr size_t kBatch = 24;
+  std::vector<std::vector<Candidate>> batches;
+  for (size_t b = 0; b < fx.task.candidates.size(); b += kBatch) {
+    size_t e = std::min(b + kBatch, fx.task.candidates.size());
+    batches.emplace_back(fx.task.candidates.begin() + b,
+                         fx.task.candidates.begin() + e);
+  }
+  auto unsharded = LabelService::Create(fx.snapshot, fx.task.lfs);
+  ASSERT_TRUE(unsharded.ok());
+  std::vector<std::vector<double>> expected;
+  for (const auto& batch : batches) {
+    LabelRequest request;
+    request.corpus = &fx.task.corpus;
+    request.candidates = &batch;
+    auto response = unsharded->Label(request);
+    ASSERT_TRUE(response.ok());
+    expected.push_back(response->class_posteriors);
+  }
+
+  // Hammer the router from 4 threads with fusion-friendly settings; every
+  // K-vector response must still be exact (fused passes slice at k-row
+  // boundaries).
+  ShardRouter::Options options;
+  options.num_shards = 2;
+  options.queue_capacity = 64;
+  options.max_fuse = 8;
+  auto router = ShardRouter::Create(fx.snapshot, fx.task.lfs, options);
+  ASSERT_TRUE(router.ok());
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (size_t b = static_cast<size_t>(t); b < batches.size();
+             b += kThreads) {
+          LabelRequest request;
+          request.corpus = &fx.task.corpus;
+          request.candidates = &batches[b];
+          auto response = router->Label(request);
+          if (!response.ok() ||
+              response->class_posteriors != expected[b]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  RouterStats stats = router->stats();
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.num_requests,
+            static_cast<uint64_t>(kRounds) * batches.size());
 }
 
 // ------------------------------------------- backpressure and shutdown --

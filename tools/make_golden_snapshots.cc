@@ -1,0 +1,90 @@
+// Regenerates the committed format-evolution fixtures consumed by
+// tests/serve_test.cc:
+//
+//   tests/data/golden_v1.snk  — version-1 (unsectioned) binary snapshot
+//   tests/data/golden_v2.snk  — version-2 sectioned K-class (DAWD) snapshot
+//
+// Every parameter below is an exactly-representable double, so the tests
+// can assert VALUE equality against the same literals on any platform. Run
+// from the repo root after an intentional format change:
+//
+//   build/make_golden_snapshots [output_dir=tests/data]
+//
+// Do NOT regenerate casually — the committed bytes are the compatibility
+// contract: a v2 binary must keep loading the v1 bytes as written by the
+// v1 writer, byte for byte.
+
+#include <cstdio>
+#include <string>
+
+#include "serve/snapshot.h"
+#include "util/binary_io.h"
+
+namespace {
+
+snorkel::ModelSnapshot GoldenV1Snapshot() {
+  snorkel::ModelSnapshot snapshot;
+  snapshot.lf_names = {"lf_a", "lf_b", "lf_c"};
+  snapshot.lf_fingerprints = {11, 22, 33};
+  snapshot.cardinality = 2;
+  snapshot.has_gen_model = true;
+  snapshot.class_balance = 0.625;
+  snapshot.acc_weights = {0.5, -0.25, 1.5};
+  snapshot.lab_weights = {0.125, 0.25, 0.375};
+  snapshot.corr_weights = {0.75};
+  snapshot.correlations = {snorkel::CorrelationPair{0, 1}};
+  snapshot.has_disc_model = true;
+  snapshot.feature_buckets = 4;
+  snapshot.disc_weights = {0.5, -0.5, 0.25, 0.0};
+  snapshot.disc_bias = -0.125;
+  return snapshot;
+}
+
+snorkel::ModelSnapshot GoldenV2Snapshot() {
+  snorkel::ModelSnapshot snapshot;
+  snapshot.lf_names = {"worker_0", "worker_1"};
+  snapshot.lf_fingerprints = {101, 102};
+  snapshot.cardinality = 3;
+  snapshot.has_ds_model = true;
+  snapshot.ds_class_priors = {0.25, 0.25, 0.5};
+  // worker_0: 0.75 diagonal mass; worker_1: 0.5.
+  snapshot.ds_confusions = {
+      // worker_0, true class 0..2.
+      0.75, 0.125, 0.125,  //
+      0.125, 0.75, 0.125,  //
+      0.125, 0.125, 0.75,  //
+      // worker_1.
+      0.5, 0.25, 0.25,  //
+      0.25, 0.5, 0.25,  //
+      0.25, 0.25, 0.5,  //
+  };
+  return snapshot;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : "tests/data";
+
+  auto v1 = snorkel::SerializeSnapshotV1(GoldenV1Snapshot());
+  if (!v1.ok()) {
+    std::fprintf(stderr, "v1 serialize failed: %s\n",
+                 v1.status().ToString().c_str());
+    return 1;
+  }
+  std::string v2 = snorkel::SerializeSnapshot(GoldenV2Snapshot());
+
+  for (const auto& [name, bytes] :
+       {std::pair<std::string, std::string>{"golden_v1.snk", *v1},
+        {"golden_v2.snk", v2}}) {
+    std::string path = out_dir + "/" + name;
+    snorkel::Status written = snorkel::WriteFileBytes(path, bytes);
+    if (!written.ok()) {
+      std::fprintf(stderr, "write %s failed: %s\n", path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+  }
+  return 0;
+}

@@ -1,0 +1,261 @@
+// snapshot_diff: compares two model-snapshot artifacts and reports drift —
+// the ROADMAP's "snapshot diffing for LF-weight drift monitoring" tool.
+//
+//   snapshot_diff A.snk B.snk [--fail-over X]
+//
+// Reports, for any mix of v1/v2 artifacts:
+//   * file version + v2 section table (tag, bytes, checksum, known/unknown),
+//   * LF-set membership changes (added / removed / re-fingerprinted LFs),
+//   * generative-model drift: per-LF accuracy/propensity weight deltas,
+//     correlation-set changes, class-balance delta,
+//   * Dawid-Skene drift: per-LF worker-accuracy deltas (prior-weighted
+//     confusion diagonals) and max confusion-entry delta,
+//   * discriminative-model drift summary.
+//
+// With --fail-over X the process exits 2 when the largest absolute label-
+// model weight/parameter delta exceeds X (for CI drift gates); load errors
+// exit 1.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot.h"
+#include "util/binary_io.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using snorkel::ModelSnapshot;
+
+/// Reads the u32 version field without decoding the artifact.
+uint32_t PeekVersion(const std::string& bytes) {
+  if (bytes.size() < 8) return 0;
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  return version;
+}
+
+void PrintSections(const char* label, const std::string& bytes) {
+  uint32_t version = PeekVersion(bytes);
+  std::printf("%s: version %u, %zu bytes\n", label, version, bytes.size());
+  auto sections = snorkel::ListSnapshotSections(bytes);
+  if (!sections.ok()) {
+    std::printf("  (unsectioned: %s)\n",
+                sections.status().message().c_str());
+    return;
+  }
+  snorkel::TablePrinter table({"Section", "Bytes", "Checksum", "Known"});
+  for (const auto& section : *sections) {
+    table.AddRow({section.tag,
+                  snorkel::TablePrinter::Cell(
+                      static_cast<int64_t>(section.payload_size)),
+                  section.checksum_ok ? "ok" : "MISMATCH",
+                  section.known ? "yes" : "no (skipped)"});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+/// Prior-weighted diagonal of LF j's confusion matrix: P(vote correct).
+double WorkerAccuracyOf(const ModelSnapshot& snapshot, size_t j) {
+  size_t k = static_cast<size_t>(snapshot.cardinality);
+  double acc = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    acc += snapshot.ds_class_priors[c] *
+           snapshot.ds_confusions[(j * k + c) * k + c];
+  }
+  return acc;
+}
+
+struct DriftSummary {
+  double max_abs_delta = 0.0;
+  void Observe(double delta) {
+    max_abs_delta = std::max(max_abs_delta, std::fabs(delta));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snorkel;
+  std::string path_a, path_b;
+  double fail_over = -1.0;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--fail-over" && a + 1 < argc) {
+      fail_over = std::atof(argv[++a]);
+    } else if (path_a.empty()) {
+      path_a = arg;
+    } else if (path_b.empty()) {
+      path_b = arg;
+    }
+  }
+  if (path_a.empty() || path_b.empty()) {
+    std::fprintf(stderr,
+                 "usage: snapshot_diff <a.snk> <b.snk> [--fail-over X]\n");
+    return 1;
+  }
+
+  auto bytes_a = ReadFileBytes(path_a);
+  auto bytes_b = ReadFileBytes(path_b);
+  if (!bytes_a.ok() || !bytes_b.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 (!bytes_a.ok() ? bytes_a : bytes_b).status().ToString()
+                     .c_str());
+    return 1;
+  }
+  auto a = DeserializeSnapshot(*bytes_a);
+  auto b = DeserializeSnapshot(*bytes_b);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 (!a.ok() ? a : b).status().ToString().c_str());
+    return 1;
+  }
+
+  PrintSections("A", *bytes_a);
+  PrintSections("B", *bytes_b);
+  std::printf("\n");
+
+  if (a->cardinality != b->cardinality) {
+    std::printf("cardinality: %d -> %d (NOT comparable as the same task)\n",
+                a->cardinality, b->cardinality);
+  }
+
+  // ---- LF-set membership by name; fingerprints detect re-versioned LFs.
+  std::map<std::string, size_t> index_a, index_b;
+  for (size_t j = 0; j < a->lf_names.size(); ++j) index_a[a->lf_names[j]] = j;
+  for (size_t j = 0; j < b->lf_names.size(); ++j) index_b[b->lf_names[j]] = j;
+  size_t added = 0, removed = 0, refingered = 0;
+  for (const auto& [name, j] : index_b) {
+    if (index_a.find(name) == index_a.end()) {
+      std::printf("LF added:   %s\n", name.c_str());
+      ++added;
+    } else if (a->lf_fingerprints[index_a[name]] != b->lf_fingerprints[j]) {
+      std::printf("LF re-fingerprinted (behaviour changed): %s\n",
+                  name.c_str());
+      ++refingered;
+    }
+  }
+  for (const auto& [name, j] : index_a) {
+    (void)j;
+    if (index_b.find(name) == index_b.end()) {
+      std::printf("LF removed: %s\n", name.c_str());
+      ++removed;
+    }
+  }
+  std::printf("LF set: %zu -> %zu columns (%zu added, %zu removed, "
+              "%zu re-fingerprinted)\n\n",
+              a->lf_names.size(), b->lf_names.size(), added, removed,
+              refingered);
+
+  DriftSummary drift;
+
+  // ---- Generative-model weight drift over the common LF names. ----
+  if (a->has_gen_model && b->has_gen_model) {
+    TablePrinter table({"LF", "acc A", "acc B", "Δacc", "Δlab"});
+    double max_acc = 0.0, sum_acc = 0.0;
+    size_t common = 0;
+    for (const auto& [name, ja] : index_a) {
+      auto it = index_b.find(name);
+      if (it == index_b.end()) continue;
+      size_t jb = it->second;
+      double d_acc = b->acc_weights[jb] - a->acc_weights[ja];
+      double d_lab = b->lab_weights[jb] - a->lab_weights[ja];
+      drift.Observe(d_acc);
+      drift.Observe(d_lab);
+      max_acc = std::max(max_acc, std::fabs(d_acc));
+      sum_acc += std::fabs(d_acc);
+      ++common;
+      table.AddRow({name, TablePrinter::Cell(a->acc_weights[ja], 4),
+                    TablePrinter::Cell(b->acc_weights[jb], 4),
+                    TablePrinter::Cell(d_acc, 4),
+                    TablePrinter::Cell(d_lab, 4)});
+    }
+    std::printf("Generative model (GENM), %zu common LFs:\n%s", common,
+                table.ToString().c_str());
+    std::printf("acc-weight drift: max |Δ| %.6f, mean |Δ| %.6f\n",
+                max_acc, common > 0 ? sum_acc / common : 0.0);
+    double d_balance = b->class_balance - a->class_balance;
+    drift.Observe(d_balance);
+    std::printf("class balance: %.4f -> %.4f (Δ %.6f)\n", a->class_balance,
+                b->class_balance, d_balance);
+    if (a->correlations != b->correlations) {
+      std::printf("correlation set changed: %zu -> %zu pairs\n",
+                  a->correlations.size(), b->correlations.size());
+    }
+    std::printf("\n");
+  } else if (a->has_gen_model != b->has_gen_model) {
+    std::printf("GENM section: %s -> %s\n\n",
+                a->has_gen_model ? "present" : "absent",
+                b->has_gen_model ? "present" : "absent");
+  }
+
+  // ---- Dawid-Skene drift. ----
+  if (a->has_ds_model && b->has_ds_model &&
+      a->cardinality == b->cardinality) {
+    TablePrinter table({"LF", "worker acc A", "worker acc B", "Δ"});
+    double max_conf = 0.0;
+    size_t common = 0;
+    for (const auto& [name, ja] : index_a) {
+      auto it = index_b.find(name);
+      if (it == index_b.end()) continue;
+      size_t jb = it->second;
+      double wa = WorkerAccuracyOf(*a, ja);
+      double wb = WorkerAccuracyOf(*b, jb);
+      drift.Observe(wb - wa);
+      size_t k = static_cast<size_t>(a->cardinality);
+      for (size_t c = 0; c < k; ++c) {
+        for (size_t e = 0; e < k; ++e) {
+          double delta = b->ds_confusions[(jb * k + c) * k + e] -
+                         a->ds_confusions[(ja * k + c) * k + e];
+          drift.Observe(delta);
+          max_conf = std::max(max_conf, std::fabs(delta));
+        }
+      }
+      ++common;
+      table.AddRow({name, TablePrinter::Cell(wa, 4),
+                    TablePrinter::Cell(wb, 4),
+                    TablePrinter::Cell(wb - wa, 4)});
+    }
+    std::printf("Dawid-Skene model (DAWD), K = %d, %zu common LFs:\n%s",
+                a->cardinality, common, table.ToString().c_str());
+    std::printf("max confusion-entry |Δ|: %.6f\n\n", max_conf);
+  } else if (a->has_ds_model != b->has_ds_model) {
+    std::printf("DAWD section: %s -> %s\n\n",
+                a->has_ds_model ? "present" : "absent",
+                b->has_ds_model ? "present" : "absent");
+  }
+
+  // ---- Discriminative model summary. ----
+  if (a->has_disc_model && b->has_disc_model) {
+    if (a->feature_buckets != b->feature_buckets) {
+      std::printf("DISC: feature buckets %llu -> %llu (not comparable)\n",
+                  static_cast<unsigned long long>(a->feature_buckets),
+                  static_cast<unsigned long long>(b->feature_buckets));
+    } else {
+      double max_w = 0.0;
+      for (size_t i = 0; i < a->disc_weights.size(); ++i) {
+        max_w = std::max(max_w,
+                         std::fabs(b->disc_weights[i] - a->disc_weights[i]));
+      }
+      std::printf("DISC: max weight |Δ| %.6f, bias Δ %.6f\n", max_w,
+                  b->disc_bias - a->disc_bias);
+    }
+  } else if (a->has_disc_model != b->has_disc_model) {
+    std::printf("DISC section: %s -> %s\n",
+                a->has_disc_model ? "present" : "absent",
+                b->has_disc_model ? "present" : "absent");
+  }
+
+  std::printf("\nlabel-model max |Δ|: %.6f\n", drift.max_abs_delta);
+  if (fail_over >= 0.0 && drift.max_abs_delta > fail_over) {
+    std::fprintf(stderr, "drift %.6f exceeds --fail-over %.6f\n",
+                 drift.max_abs_delta, fail_over);
+    return 2;
+  }
+  return 0;
+}
