@@ -91,6 +91,26 @@ print(
         kclass["cardinality"], kclass["workers"], kclass["unsharded_cps"],
         kclass["best_sharded_cps"]))
 
+# The multi-set cache sections (PR 5): alternating-set serving must show
+# near-total column reuse from the second cycle on, and the append-only
+# stream must be extending cached columns rather than recomputing.
+altset = result["serve"].get("altset")
+if not altset:
+    sys.exit("serve benchmark JSON is missing the 'altset' section")
+print(
+    "alternating sets: cached {:.0f} vs cache-off {:.0f} cand/s "
+    "({} callers, second-cycle reuse {:.0%})".format(
+        altset["cached_cps"], altset["nocache_cps"], altset["callers"],
+        altset["second_cycle_reuse"]))
+stream = result["serve"].get("appendstream")
+if not stream:
+    sys.exit("serve benchmark JSON is missing the 'appendstream' section")
+print(
+    "append-only stream: cached {:.3f}s vs cache-off {:.3f}s over {} steps "
+    "({:.1f}x, {} tail rows appended)".format(
+        stream["cached_s"], stream["nocache_s"], stream["steps"],
+        stream["speedup"], stream["appended_rows"]))
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")

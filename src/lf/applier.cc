@@ -7,6 +7,13 @@
 
 namespace snorkel {
 
+LFApplier::LFApplier(Options options)
+    : options_(options), pool_(MakeDedicatedPool(options.num_threads)) {}
+
+LFApplier::LFApplier(LFApplier&&) noexcept = default;
+LFApplier& LFApplier::operator=(LFApplier&&) noexcept = default;
+LFApplier::~LFApplier() = default;
+
 std::vector<CandidateRef> MakeCandidateRefs(
     const std::vector<Candidate>& candidates) {
   std::vector<CandidateRef> refs(candidates.size());
@@ -55,17 +62,10 @@ Result<LabelMatrix> LFApplier::ApplyRefs(
     }
   };
 
-  if (options_.num_threads == 1 || m < 64) {
-    for (size_t i = 0; i < m; ++i) label_one(i);
-  } else if (options_.num_threads == 0) {
-    // Default: the process-wide pool. Spawning a pool per Apply call is
-    // measurable overhead once concurrent serving requests stopped
-    // serializing on the LabelService mutex.
-    SharedThreadPool().ParallelFor(0, m, label_one);
-  } else {
-    ThreadPool pool(options_.num_threads);
-    pool.ParallelFor(0, m, label_one);
-  }
+  // Shared applier threading convention (util/thread_pool.h): serial
+  // inline, this applier's lifetime pool, or the process-wide pool — never
+  // a pool spun up per call.
+  ParallelApplyRows(pool_.get(), options_.num_threads, 0, m, label_one);
 
   if (has_error.load()) {
     return Status::InvalidArgument(

@@ -1,6 +1,7 @@
 #ifndef SNORKEL_LF_APPLIER_H_
 #define SNORKEL_LF_APPLIER_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/label_matrix.h"
@@ -9,6 +10,8 @@
 #include "util/status.h"
 
 namespace snorkel {
+
+class ThreadPool;
 
 /// One row of an LF-application request, by reference: the candidate to
 /// label plus the index CandidateView::index() reports for it. The sharded
@@ -39,8 +42,17 @@ class LFApplier {
     int cardinality = 2;
   };
 
-  explicit LFApplier(Options options) : options_(options) {}
+  /// `num_threads > 1` creates this applier's dedicated pool ONCE, here —
+  /// never per Apply call (a per-call pool paid thread start-up on every
+  /// serving request; see serve/incremental_applier.h). `num_threads == 0`
+  /// routes every apply through the process-wide SharedThreadPool().
+  explicit LFApplier(Options options);
   LFApplier() : LFApplier(Options{}) {}
+
+  // Out-of-line: the dedicated pool is an incomplete type here.
+  LFApplier(LFApplier&&) noexcept;
+  LFApplier& operator=(LFApplier&&) noexcept;
+  ~LFApplier();
 
   /// Runs every LF on every candidate. Votes outside the valid label range
   /// for the configured cardinality surface as an InvalidArgument error
@@ -58,6 +70,9 @@ class LFApplier {
 
  private:
   Options options_;
+  /// Dedicated workers when num_threads > 1; null otherwise (serial, or the
+  /// shared pool).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace snorkel

@@ -3,94 +3,185 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/label_matrix.h"
 #include "data/candidate.h"
+#include "lf/applier.h"
 #include "lf/labeling_function.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace snorkel {
 
-/// An LF-application cache for the rapid iteration loop of §4.1: users edit
-/// ONE labeling function at a time, yet a plain LFApplier re-runs all |LFs|
-/// functions over all n candidates. This applier memoizes each LF's dense
-/// label column keyed by (LF fingerprint, candidate-set fingerprint), so an
-/// edit to one LF re-computes only that column — O(n) instead of O(|LFs|·n)
-/// per iteration — while any change to the candidate set invalidates
-/// everything. Misses are recomputed over the thread pool with the same
-/// contiguous-range sharding as LFApplier.
+/// Content fingerprint of a candidate set, in a form that supports
+/// append-only extension. `chain` is the running hash after folding in every
+/// row (content + the index the row's CandidateView reports) into a salted
+/// seed; `digest` seals the chain with the row count and is the cache key.
+/// Two sets with equal digests are assumed to denote the same rows, in the
+/// same order, with the same reported indices, under the same salt. Because
+/// `chain` does not bake in the length, a set that extends another by
+/// appending rows passes through the shorter set's chain value — which is
+/// what lets a cache recognize "the same log, grown".
 ///
-/// Not thread-safe: one applier per serving thread / session (the service
-/// layer serializes access; see label_service.cc).
+/// The hash covers the candidates' span coordinates and entity strings, NOT
+/// the corpus text the LFs read — the applier salts the chain with the
+/// corpus's identity (its address) so same-shaped candidate sets from
+/// different corpora cannot collide. Mutating a corpus in place (or tearing
+/// one down and allocating another at the same address) is invisible to the
+/// fingerprint: call InvalidateAll() after either.
+struct SetFingerprint {
+  uint64_t digest = 0;
+  uint64_t chain = 0;
+  uint64_t count = 0;
+};
+
+/// Incremental fingerprint builder: feed rows in order, read the chain at
+/// any prefix, seal with Finish(). The applier uses the intermediate chain
+/// values to detect that a request's prefix matches an already-cached set.
+class CandidateFingerprinter {
+ public:
+  /// `salt` scopes the fingerprint (the applier passes the corpus
+  /// identity); 0 yields the bare content fingerprint.
+  explicit CandidateFingerprinter(uint64_t salt = 0);
+
+  /// Folds one row into the chain: the candidate's span content plus the
+  /// index its CandidateView will report.
+  void Add(const Candidate& candidate, size_t index);
+
+  uint64_t chain() const { return chain_; }
+  uint64_t count() const { return count_; }
+
+  /// Seals (chain, count) into the set digest.
+  SetFingerprint Finish() const;
+
+ private:
+  uint64_t chain_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// Fingerprints `candidates` as served by the owned-request path (row i
+/// reports index i).
+SetFingerprint FingerprintCandidates(const std::vector<Candidate>& candidates,
+                                     uint64_t salt = 0);
+
+/// Fingerprints a borrowed ref batch (row i reports rows[i].index) — the
+/// sharded tier's zero-copy fan-out shape.
+SetFingerprint FingerprintCandidateRefs(const std::vector<CandidateRef>& rows,
+                                        uint64_t salt = 0);
+
+/// A concurrent, multi-candidate-set LF-column cache for the rapid iteration
+/// loop of §4.1 and for repeat serving traffic: label columns are memoized
+/// per (LF fingerprint, candidate-set fingerprint) pair, organized as
+/// per-set column maps under an LRU over sets with a byte budget. An edit to
+/// one LF recomputes only that column; alternating request batches (A/B/A/B)
+/// each keep their own columns and hit every time; and a set that extends a
+/// cached one by appending rows (the "candidates arrive in a growing log"
+/// shape) reuses the cached prefix and computes only the tail rows.
+///
+/// Thread-safe, read-mostly: cache hits take shared locks and per-entry
+/// atomics only — no exclusive lock anywhere on the hit path. Concurrent
+/// misses for DIFFERENT columns compute in parallel (each caller claims the
+/// columns it will compute); duplicate misses for the SAME (LF, set) key
+/// collapse onto one computation — losers wait on the winner's result
+/// instead of recomputing. Eviction can race in-flight readers safely:
+/// entries are shared_ptr-held and an Apply pins its set for its duration,
+/// so the byte budget is soft by at most the pinned sets' size.
 class IncrementalApplier {
  public:
   struct Options {
-    /// Worker threads; 0 = hardware concurrency, 1 = serial.
+    /// Worker threads for miss computation; 0 = the process-wide shared
+    /// pool, 1 = serial, n > 1 = a dedicated pool owned by this applier.
     size_t num_threads = 0;
     /// Cardinality of the resulting matrix (2 = binary ±1).
     int cardinality = 2;
-    /// Upper bound on cached columns; oldest-unused columns are evicted
-    /// beyond it (a serving process should not grow without bound as LFs
-    /// are iterated on).
-    size_t max_cached_columns = 1024;
+    /// Byte budget over all cached label columns, across candidate sets.
+    /// Least-recently-used sets are evicted beyond it; sets pinned by
+    /// in-flight Apply calls are never evicted, so the budget is soft by
+    /// the pinned working set.
+    size_t max_cached_bytes = 64ull << 20;
   };
 
   struct Stats {
-    /// Columns answered from cache vs recomputed, cumulative.
+    /// Columns answered from cache vs recomputed, cumulative. A column
+    /// extended from a cached prefix counts as computed (its tail ran).
     uint64_t columns_reused = 0;
     uint64_t columns_computed = 0;
-    /// Full invalidations due to a changed candidate set.
-    uint64_t candidate_set_changes = 0;
+    /// Apply calls whose candidate set was already cached vs not.
+    uint64_t set_hits = 0;
+    uint64_t set_misses = 0;
+    /// Label bytes currently resident across all cached sets.
+    uint64_t bytes_cached = 0;
+    /// Rows computed as appended tails of a cached prefix (summed per
+    /// column): the work the append-only extension did NOT save is
+    /// columns_computed-sized; the work it did save is the prefix rows.
+    uint64_t appended_rows = 0;
+    /// Sets dropped by the byte-budget LRU.
+    uint64_t evicted_sets = 0;
   };
 
   explicit IncrementalApplier(Options options);
   IncrementalApplier() : IncrementalApplier(Options{}) {}
 
+  // Out-of-line: State is an incomplete type here.
+  IncrementalApplier(IncrementalApplier&&) noexcept;
+  IncrementalApplier& operator=(IncrementalApplier&&) noexcept;
+  ~IncrementalApplier();
+
   /// Produces Λ for (lfs, candidates), reusing cached columns when both the
-  /// LF fingerprint and the candidate set match the cached entry. Same
-  /// semantics as LFApplier::Apply: an out-of-range vote surfaces as
-  /// InvalidArgument and the offending column is not cached.
+  /// LF fingerprint and the candidate-set fingerprint match. Same semantics
+  /// as LFApplier::Apply: an out-of-range vote surfaces as InvalidArgument
+  /// and the offending column is never cached. Safe to call from any number
+  /// of threads concurrently.
   Result<LabelMatrix> Apply(const LabelingFunctionSet& lfs,
                             const Corpus& corpus,
                             const std::vector<Candidate>& candidates);
 
-  /// Drops every cached column (e.g. after mutating the corpus in place,
-  /// which the candidate fingerprint cannot observe).
+  /// Same, over borrowed index-preserving rows (the sharded tier's fan-out
+  /// form). An identity ref view of a vector fingerprints identically to
+  /// the owned form, so the two paths share cached columns.
+  Result<LabelMatrix> ApplyRefs(const LabelingFunctionSet& lfs,
+                                const Corpus& corpus,
+                                const std::vector<CandidateRef>& rows);
+
+  /// Drops every cached set (e.g. after mutating the corpus in place, which
+  /// the candidate fingerprint cannot observe). In-flight Apply calls
+  /// finish against their pinned entries and publish into them harmlessly.
   void InvalidateAll();
 
-  /// Drops the cached column for one LF fingerprint (no-op when absent).
+  /// Drops the cached column for one LF fingerprint from every set (no-op
+  /// when absent).
   void Invalidate(uint64_t fingerprint);
 
-  const Stats& stats() const { return stats_; }
-  size_t cached_columns() const { return cache_.size(); }
+  /// Consistent snapshot of the cumulative counters (atomics; never blocks
+  /// behind a miss computation).
+  Stats stats() const;
+
+  /// Total cached columns across all sets / currently cached sets.
+  size_t cached_columns() const;
+  size_t cached_sets() const;
 
  private:
-  struct CachedColumn {
-    std::vector<Label> labels;  // Dense, length = num candidates.
-    uint64_t last_used = 0;     // For LRU eviction.
+  struct State;
+
+  /// One request's rows in either form; row i is (candidate(i), index(i)).
+  struct RowSource {
+    const Candidate* owned = nullptr;      // index(i) == i
+    const CandidateRef* refs = nullptr;    // index(i) == refs[i].index
+    size_t size = 0;
+
+    const Candidate& candidate(size_t i) const {
+      return owned != nullptr ? owned[i] : *refs[i].candidate;
+    }
+    size_t index(size_t i) const {
+      return owned != nullptr ? i : refs[i].index;
+    }
   };
 
-  void EvictIfNeeded();
+  Result<LabelMatrix> ApplyInternal(const LabelingFunctionSet& lfs,
+                                    const Corpus& corpus, RowSource rows);
 
-  Options options_;
-  Stats stats_;
-  /// Fingerprint of the candidate set the cache is valid for.
-  uint64_t candidate_fingerprint_ = 0;
-  size_t candidate_count_ = 0;
-  uint64_t use_counter_ = 0;
-  std::unordered_map<uint64_t, CachedColumn> cache_;
-  /// Lazily created, persistent across Apply calls (serving amortizes
-  /// thread start-up, unlike the per-call pool in LFApplier).
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<State> state_;
 };
-
-/// Content fingerprint of a candidate set: hashes every span's coordinates.
-/// Two candidate vectors with equal fingerprints are assumed to denote the
-/// same rows in the same order.
-uint64_t FingerprintCandidates(const std::vector<Candidate>& candidates);
 
 }  // namespace snorkel
 

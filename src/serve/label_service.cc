@@ -29,11 +29,17 @@ LabelService::LabelService(GenerativeModel model, DawidSkeneModel ds_model,
       model_(std::move(model)),
       ds_model_(std::move(ds_model)),
       lfs_(std::move(lfs)),
+      // Exactly one of the two appliers serves this service's requests;
+      // pin the unused one serial so an explicit num_threads never spawns
+      // a second, idle dedicated pool.
       applier_(IncrementalApplier::Options{
-          .num_threads = options.num_threads,
-          .cardinality = cardinality,
-          .max_cached_columns = std::max<size_t>(1024, 4 * lfs_.size())}),
-      apply_mu_(std::make_unique<std::mutex>()),
+          .num_threads =
+              options.use_incremental_cache ? options.num_threads : 1,
+          .cardinality = cardinality}),
+      stateless_applier_(LFApplier::Options{
+          .num_threads =
+              options.use_incremental_cache ? 1 : options.num_threads,
+          .cardinality = cardinality}),
       stats_mu_(std::make_unique<std::mutex>()) {}
 
 Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
@@ -110,24 +116,23 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   const auto request_start = std::chrono::steady_clock::now();
   WallTimer timer;
 
-  // LF application: only the incremental applier's column cache is stateful
-  // and needs the lock; the stateless path lets concurrent batches fan out
-  // over the worker pool side by side. Ref requests (the sharded tier's
-  // zero-copy fan-out) always take the stateless path — the column cache
-  // keys on owned candidate sets.
+  // LF application: both the cached and the stateless path run without any
+  // service-level lock. The concurrent column cache lets callers overlap —
+  // hits read under shared locks, misses for different LFs compute in
+  // parallel, and duplicate misses collapse onto one computation. Ref
+  // requests (the sharded tier's zero-copy fan-out) cache by content +
+  // reported index, so repeat sub-batches hit like owned batches do.
   Result<LabelMatrix> matrix(Status::Internal("unset"));
-  if (!by_refs && options_.use_incremental_cache) {
-    std::lock_guard<std::mutex> lock(*apply_mu_);
-    matrix = applier_.Apply(lfs_, *request.corpus, *request.candidates);
+  if (options_.use_incremental_cache) {
+    matrix = by_refs ? applier_.ApplyRefs(lfs_, *request.corpus,
+                                          *request.candidate_refs)
+                     : applier_.Apply(lfs_, *request.corpus,
+                                      *request.candidates);
   } else {
-    LFApplier::Options apply_options;
-    apply_options.num_threads = options_.num_threads;
-    apply_options.cardinality = cardinality_;
-    LFApplier applier(apply_options);
-    matrix = by_refs ? applier.ApplyRefs(lfs_, *request.corpus,
-                                         *request.candidate_refs)
-                     : applier.Apply(lfs_, *request.corpus,
-                                     *request.candidates);
+    matrix = by_refs ? stateless_applier_.ApplyRefs(lfs_, *request.corpus,
+                                                    *request.candidate_refs)
+                     : stateless_applier_.Apply(lfs_, *request.corpus,
+                                                *request.candidates);
   }
   if (!matrix.ok()) return matrix.status();
 
@@ -203,6 +208,8 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   return response;
 }
 
+void LabelService::InvalidateCache() { applier_.InvalidateAll(); }
+
 ServiceStats LabelService::stats() const {
   ServiceStats stats;
   {
@@ -227,11 +234,15 @@ ServiceStats LabelService::stats() const {
               : 0.0;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(*apply_mu_);
-    stats.lf_columns_reused = applier_.stats().columns_reused;
-    stats.lf_columns_computed = applier_.stats().columns_computed;
-  }
+  // The applier's counters are atomics: no lock, and never blocked behind
+  // an in-flight miss computation.
+  IncrementalApplier::Stats cache = applier_.stats();
+  stats.lf_columns_reused = cache.columns_reused;
+  stats.lf_columns_computed = cache.columns_computed;
+  stats.cache_set_hits = cache.set_hits;
+  stats.cache_set_misses = cache.set_misses;
+  stats.cache_bytes = cache.bytes_cached;
+  stats.cache_appended_rows = cache.appended_rows;
   return stats;
 }
 

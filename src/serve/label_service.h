@@ -25,9 +25,10 @@ namespace snorkel {
 /// (`candidate_refs`) — exactly one must be set. The ref form is the
 /// zero-copy fan-out path used by the sharded tier: sub-batches reference
 /// the original request's candidates and keep their original indices, so
-/// even index-dependent LFs behave identically under sharding. Ref requests
-/// always run the stateless applier (the incremental column cache keys on
-/// owned candidate sets).
+/// even index-dependent LFs behave identically under sharding. Both forms
+/// go through the incremental column cache when it is enabled (ref batches
+/// fingerprint by content + reported index, and an identity ref view of a
+/// vector shares cached columns with the owned form).
 struct LabelRequest {
   const Corpus* corpus = nullptr;
   const std::vector<Candidate>* candidates = nullptr;
@@ -79,9 +80,17 @@ struct ServiceStats {
   double throughput_cps = 0.0;
   /// The wall-clock span the throughput is measured over, seconds.
   double busy_span_s = 0.0;
-  /// Column-cache effectiveness, forwarded from the incremental applier.
+  /// Column-cache effectiveness, forwarded from the incremental applier
+  /// (see IncrementalApplier::Stats for the exact semantics).
   uint64_t lf_columns_reused = 0;
   uint64_t lf_columns_computed = 0;
+  /// Candidate-set-level cache behaviour: requests whose set was already
+  /// cached vs not, resident cached label bytes, and rows computed as
+  /// appended tails of a cached prefix (the append-only stream path).
+  uint64_t cache_set_hits = 0;
+  uint64_t cache_set_misses = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_appended_rows = 0;
 };
 
 /// The label-serving front end: loads one model snapshot, binds it to the
@@ -100,16 +109,20 @@ struct ServiceStats {
 /// every path.
 ///
 /// Thread-safe, with narrow critical sections: the posterior computation is
-/// read-only on the restored model and runs lock-free, so concurrent
-/// Label() callers overlap their compute. Only the stateful pieces
-/// serialize — the incremental applier's column cache (skipped entirely on
-/// the non-cached path) and the latency/throughput counters.
+/// read-only on the restored model and runs lock-free, and the incremental
+/// applier's column cache is itself concurrent (shared-lock hits, per-column
+/// miss collapse) — so concurrent Label() callers overlap their compute on
+/// BOTH the cached and the stateless path. Only the latency/throughput
+/// counters take a (tiny) exclusive lock.
 class LabelService {
  public:
   struct Options {
     size_t num_threads = 0;
-    /// Reuse memoized LF columns across requests with identical candidate
-    /// sets (the §4.1 iterate loop); identical posteriors either way.
+    /// Reuse memoized LF columns across requests (the §4.1 iterate loop,
+    /// repeat/alternating serving batches, and append-only candidate
+    /// streams); identical posteriors either way. The cache is concurrent:
+    /// hits take no exclusive lock and misses for the same column collapse
+    /// onto one computation across callers.
     bool use_incremental_cache = true;
     /// Forwarded to GenerativeModel at restore time (binary snapshots).
     GenerativeModelOptions gen;
@@ -145,6 +158,13 @@ class LabelService {
   /// Snapshot of the cumulative serving counters.
   ServiceStats stats() const;
 
+  /// Drops every cached LF column. Call after reusing a corpus the cache
+  /// cannot observe changing — mutating one in place, or tearing one down
+  /// and allocating another at the same address (the cache scopes entries
+  /// by corpus identity, which address reuse defeats). Safe concurrently
+  /// with Label(); in-flight requests finish against their pinned entries.
+  void InvalidateCache();
+
   /// The restored generative model (meaningful for binary services only).
   const GenerativeModel& model() const { return model_; }
   /// The restored Dawid-Skene model (meaningful for K-class services only).
@@ -163,16 +183,19 @@ class LabelService {
   GenerativeModel model_;
   DawidSkeneModel ds_model_;
   LabelingFunctionSet lfs_;
+  /// Concurrent multi-set column cache (when enabled); no service-level
+  /// lock guards it — concurrent callers hit, miss, and wait inside it.
   IncrementalApplier applier_;
+  /// Stateless fallback (cache disabled); persistent so an explicit
+  /// num_threads pool is created once, not per request.
+  LFApplier stateless_applier_;
 
   /// Latency-window capacity for the stats() quantiles.
   static constexpr size_t kLatencyWindow = 4096;
 
-  /// Guards the incremental applier's stateful column cache. Heap-held so
-  /// the service stays movable (Result<LabelService> needs it).
-  mutable std::unique_ptr<std::mutex> apply_mu_;
   /// Guards the serving counters below; never held across LF application or
-  /// posterior computation.
+  /// posterior computation. Heap-held so the service stays movable
+  /// (Result<LabelService> needs it).
   mutable std::unique_ptr<std::mutex> stats_mu_;
   /// Ring buffer of the most recent request latencies.
   std::vector<double> latency_window_;

@@ -480,6 +480,10 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
   return response;
 }
 
+void ShardRouter::InvalidateCache() {
+  for (auto& shard : impl_->shards) shard.replica->InvalidateCache();
+}
+
 RouterStats ShardRouter::stats() const {
   const Impl& impl = *impl_;
   RouterStats out;
@@ -504,6 +508,13 @@ RouterStats ShardRouter::stats() const {
   for (const auto& shard : impl.shards) {
     out.queue_depth += shard.queue->size();
     out.per_shard.push_back(shard.replica->stats());
+    const ServiceStats& replica = out.per_shard.back();
+    out.lf_columns_reused += replica.lf_columns_reused;
+    out.lf_columns_computed += replica.lf_columns_computed;
+    out.cache_set_hits += replica.cache_set_hits;
+    out.cache_set_misses += replica.cache_set_misses;
+    out.cache_bytes += replica.cache_bytes;
+    out.cache_appended_rows += replica.cache_appended_rows;
   }
   return out;
 }

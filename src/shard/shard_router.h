@@ -37,6 +37,14 @@ struct RouterStats {
   /// ServiceStats::throughput_cps).
   double throughput_cps = 0.0;
   double busy_span_s = 0.0;
+  /// Column-cache effectiveness summed over every replica (each replica's
+  /// ServiceStats cache fields; see IncrementalApplier::Stats).
+  uint64_t lf_columns_reused = 0;
+  uint64_t lf_columns_computed = 0;
+  uint64_t cache_set_hits = 0;
+  uint64_t cache_set_misses = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_appended_rows = 0;
   /// Per-replica serving stats, indexed by shard. A shard's num_requests
   /// counts model passes (fused sub-batches count once), not client
   /// requests.
@@ -95,13 +103,11 @@ class ShardRouter {
     /// results (see the bitwise guarantee above). 1 disables fusion.
     size_t max_fuse = 8;
     /// Options for each shard's LabelService replica. The column cache
-    /// defaults OFF here: a sharded tier serves fresh traffic, where the
-    /// cache's whole-set invalidation only adds lock pressure.
-    LabelService::Options service = [] {
-      LabelService::Options options;
-      options.use_incremental_cache = false;
-      return options;
-    }();
+    /// defaults ON (matching LabelService): it is concurrent and
+    /// multi-set, and sub-batches fingerprint by content + preserved index,
+    /// so repeat/alternating traffic hits per shard instead of serializing
+    /// behind an apply mutex (the pre-PR-5 reason it defaulted off here).
+    LabelService::Options service;
   };
 
   /// Builds `num_shards` replicas from one snapshot; every replica
@@ -131,6 +137,10 @@ class ShardRouter {
 
   /// Aggregated router + per-shard counters.
   RouterStats stats() const;
+
+  /// Drops every replica's cached LF columns (see
+  /// LabelService::InvalidateCache for when this is required).
+  void InvalidateCache();
 
   /// Closes every shard queue (subsequent Label() calls fail typed), lets
   /// the workers drain everything already admitted, and joins them.

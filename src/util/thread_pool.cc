@@ -1,8 +1,28 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace snorkel {
+
+namespace {
+
+/// Waits for EVERY future before rethrowing the first captured exception:
+/// bailing on the first get() would unwind the caller's frame (and
+/// everything the submitted closures capture) while other chunks still run.
+void WaitAll(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -50,7 +70,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
       for (size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (std::future<void>& f : futures) f.get();
+  WaitAll(futures);
 }
 
 void ThreadPool::ParallelForShards(
@@ -77,12 +97,30 @@ void ThreadPool::ParallelForShards(
     size_t hi = std::min(end, lo + grain);
     futures.push_back(Submit([s, lo, hi, &fn] { fn(s, lo, hi); }));
   }
-  for (std::future<void>& f : futures) f.get();
+  WaitAll(futures);
 }
 
 ThreadPool& SharedThreadPool() {
   static ThreadPool* pool = new ThreadPool(0);
   return *pool;
+}
+
+std::unique_ptr<ThreadPool> MakeDedicatedPool(size_t num_threads) {
+  if (num_threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
+void ParallelApplyRows(ThreadPool* dedicated, size_t num_threads,
+                       size_t begin, size_t end,
+                       const std::function<void(size_t)>& fn) {
+  constexpr size_t kInlineRows = 64;
+  if (num_threads == 1 || end - begin < kInlineRows) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  } else if (dedicated != nullptr) {
+    dedicated->ParallelFor(begin, end, fn);
+  } else {
+    SharedThreadPool().ParallelFor(begin, end, fn);
+  }
 }
 
 ScopedPool::ScopedPool(int num_threads) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -307,15 +309,130 @@ TEST(IncrementalApplierTest, EditingOneLfRecomputesOneColumn) {
   EXPECT_EQ(matrix->At(1, 1), -1);                  // New column is live.
 }
 
-TEST(IncrementalApplierTest, CandidateSetChangeInvalidates) {
-  ServeFixture big(100);
-  ServeFixture small(40);
-  LabelingFunctionSet lfs = big.MakeLfs();
+TEST(IncrementalApplierTest, AlternatingSetsBothStayCached) {
+  // The pre-PR-5 cache remembered ONE candidate set, so alternating batches
+  // (A/B/A/B) invalidated each other and got zero reuse. The multi-set
+  // cache keeps a column map per set: after the first A and B, every later
+  // request of either set reuses all of its columns.
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  std::vector<Candidate> a(fx.candidates.begin(), fx.candidates.begin() + 50);
+  std::vector<Candidate> b(fx.candidates.begin() + 50, fx.candidates.end());
+  auto expected_a = LFApplier().Apply(lfs, fx.corpus, a);
+  auto expected_b = LFApplier().Apply(lfs, fx.corpus, b);
+  ASSERT_TRUE(expected_a.ok() && expected_b.ok());
+
   IncrementalApplier applier;
-  ASSERT_TRUE(applier.Apply(lfs, big.corpus, big.candidates).ok());
-  ASSERT_TRUE(applier.Apply(lfs, small.corpus, small.candidates).ok());
-  EXPECT_EQ(applier.stats().candidate_set_changes, 1u);
-  EXPECT_EQ(applier.stats().columns_computed, 6u);  // Nothing reusable.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (const auto* batch : {&a, &b}) {
+      auto matrix = applier.Apply(lfs, fx.corpus, *batch);
+      ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+      const LabelMatrix& expected =
+          batch == &a ? *expected_a : *expected_b;
+      for (size_t i = 0; i < expected.num_rows(); ++i) {
+        for (size_t j = 0; j < expected.num_lfs(); ++j) {
+          EXPECT_EQ(matrix->At(i, j), expected.At(i, j));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(applier.stats().columns_computed, 6u);   // 3 per set, once.
+  EXPECT_EQ(applier.stats().columns_reused, 12u);    // 2 cycles × 2 sets × 3.
+  EXPECT_EQ(applier.stats().set_misses, 2u);
+  EXPECT_EQ(applier.stats().set_hits, 4u);
+  EXPECT_EQ(applier.cached_sets(), 2u);
+  EXPECT_GT(applier.stats().bytes_cached, 0u);
+}
+
+TEST(IncrementalApplierTest, AppendOnlyStreamComputesOnlyTailRows) {
+  // The "candidates arrive in a growing log" serving shape: a request whose
+  // prefix is a cached set extends the cached columns instead of
+  // recomputing all rows.
+  ServeFixture fx(120);
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  std::vector<Candidate> prefix(fx.candidates.begin(),
+                                fx.candidates.begin() + 80);
+
+  IncrementalApplier applier;
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, prefix).ok());
+  EXPECT_EQ(applier.stats().appended_rows, 0u);
+
+  auto matrix = applier.Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+  // The extended set's columns count as computed, but only the 40-row tails
+  // actually ran the LFs.
+  EXPECT_EQ(applier.stats().columns_computed, 6u);
+  EXPECT_EQ(applier.stats().appended_rows, 3u * 40u);
+  EXPECT_EQ(applier.stats().set_misses, 2u);
+
+  // Bitwise-identical to a fresh stateless apply of the full set.
+  auto expected = LFApplier().Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(expected.ok());
+  for (size_t i = 0; i < expected->num_rows(); ++i) {
+    for (size_t j = 0; j < expected->num_lfs(); ++j) {
+      EXPECT_EQ(matrix->At(i, j), expected->At(i, j));
+    }
+  }
+
+  // The grown set is now cached whole: serving it again reuses everything.
+  uint64_t computed_before = applier.stats().columns_computed;
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, fx.candidates).ok());
+  EXPECT_EQ(applier.stats().columns_computed, computed_before);
+}
+
+TEST(IncrementalApplierTest, ByteBudgetEvictsLeastRecentlyUsedSet) {
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  std::vector<Candidate> a(fx.candidates.begin(), fx.candidates.begin() + 50);
+  std::vector<Candidate> b(fx.candidates.begin() + 50, fx.candidates.end());
+  const size_t set_bytes = 3 * 50 * sizeof(Label);  // 3 columns × 50 rows.
+
+  // Budget fits ONE set's columns: the in-use set always survives (it is
+  // pinned during Apply), the other is evicted.
+  IncrementalApplier applier(IncrementalApplier::Options{
+      .num_threads = 1, .cardinality = 2, .max_cached_bytes = set_bytes});
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, a).ok());
+  EXPECT_EQ(applier.stats().bytes_cached, set_bytes);
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, b).ok());
+  EXPECT_EQ(applier.cached_sets(), 1u);  // A evicted under pressure from B.
+  EXPECT_EQ(applier.stats().evicted_sets, 1u);
+  EXPECT_EQ(applier.stats().bytes_cached, set_bytes);
+
+  // A comes back as a fresh miss (and evicts B in turn).
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, a).ok());
+  EXPECT_EQ(applier.stats().columns_computed, 9u);
+  EXPECT_EQ(applier.stats().evicted_sets, 2u);
+}
+
+TEST(IncrementalApplierTest, OwnedAndRefRequestsShareCachedColumns) {
+  // An identity ref view fingerprints like the owned vector (content +
+  // reported index), so the sharded tier's ref path and the owned path
+  // share one set of cached columns.
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  IncrementalApplier applier;
+  auto owned = applier.Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(owned.ok());
+  EXPECT_EQ(applier.stats().columns_computed, 3u);
+
+  std::vector<CandidateRef> refs = MakeCandidateRefs(fx.candidates);
+  auto by_ref = applier.ApplyRefs(lfs, fx.corpus, refs);
+  ASSERT_TRUE(by_ref.ok()) << by_ref.status().ToString();
+  EXPECT_EQ(applier.stats().columns_computed, 3u);  // All reused.
+  EXPECT_EQ(applier.stats().set_hits, 1u);
+  for (size_t i = 0; i < owned->num_rows(); ++i) {
+    for (size_t j = 0; j < owned->num_lfs(); ++j) {
+      EXPECT_EQ(by_ref->At(i, j), owned->At(i, j));
+    }
+  }
+
+  // A ref batch with DIFFERENT reported indices is a different set: an
+  // index-dependent LF would label it differently, so it must not reuse.
+  std::vector<CandidateRef> shifted = refs;
+  for (auto& row : shifted) row.index += 1000;
+  ASSERT_TRUE(applier.ApplyRefs(lfs, fx.corpus, shifted).ok());
+  EXPECT_EQ(applier.stats().set_misses, 2u);
+  EXPECT_EQ(applier.stats().columns_computed, 6u);
 }
 
 TEST(IncrementalApplierTest, BuggyLfSurfacesErrorWithoutPoisoningCache) {
@@ -328,6 +445,100 @@ TEST(IncrementalApplierTest, BuggyLfSurfacesErrorWithoutPoisoningCache) {
   ASSERT_FALSE(matrix.ok());
   EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(applier.cached_columns(), 0u);
+  // The failed request's set entry is reclaimed too: a stream of failing
+  // requests over fresh sets must not grow the set map without bound
+  // (zero-byte entries are invisible to the byte-budget eviction).
+  EXPECT_EQ(applier.cached_sets(), 0u);
+  for (int d = 0; d < 5; ++d) {
+    ServeFixture other(20 + d);
+    ASSERT_FALSE(applier.Apply(lfs, other.corpus, other.candidates).ok());
+  }
+  EXPECT_EQ(applier.cached_sets(), 0u);
+}
+
+TEST(IncrementalApplierTest, SameShapedSetsFromDifferentCorporaDoNotCollide) {
+  // LFs read corpus TEXT, which the candidate-row hash does not cover: two
+  // corpora whose candidates have identical span coordinates, entity types,
+  // and canonical ids but different words must not share cached columns
+  // (the fingerprint is salted with the corpus identity).
+  ServeFixture fx;
+  Corpus flipped;  // Same shape as fx.corpus, "causes"/"treats" swapped.
+  for (int d = 0; d < 100; ++d) {
+    Document doc;
+    Sentence s;
+    if (d % 2 == 0) {
+      s.words = {"aspirin", "treats", "headache"};
+    } else {
+      s.words = {"magnesium", "causes", "quadriplegia"};
+    }
+    const std::string id = std::to_string(d);
+    s.mentions = {Mention{0, 1, "chemical", "C" + id},
+                  Mention{2, 3, "disease", "D" + id}};
+    doc.sentences = {s};
+    flipped.AddDocument(std::move(doc));
+  }
+
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  IncrementalApplier applier;
+  auto original = applier.Apply(lfs, fx.corpus, fx.candidates);
+  auto swapped = applier.Apply(lfs, flipped, fx.candidates);
+  ASSERT_TRUE(original.ok() && swapped.ok());
+  EXPECT_EQ(applier.stats().set_misses, 2u) << "corpora shared a cache set";
+  // Row 0 reads "causes" in fx.corpus and "treats" in the flipped corpus.
+  EXPECT_EQ(original->At(0, 0), 1);
+  EXPECT_EQ(swapped->At(0, 0), kAbstain);
+  EXPECT_EQ(swapped->At(0, 1), -1);
+}
+
+TEST(IncrementalApplierTest, ThrowingLfFailsClaimsWithoutWedgingTheSet) {
+  // An LF that THROWS (user code) unwinds out of Apply. The claimed
+  // columns must not be left in a computing state — that would block every
+  // later request for this candidate set forever.
+  ServeFixture fx;
+  LabelingFunctionSet throwing;
+  throwing.Add(LabelingFunction("lf_throws",
+                                [](const CandidateView&) -> Label {
+                                  throw std::runtime_error("LF bug");
+                                }));
+  IncrementalApplier applier;
+  EXPECT_THROW(applier.Apply(throwing, fx.corpus, fx.candidates),
+               std::runtime_error);
+  EXPECT_EQ(applier.cached_columns(), 0u);
+  EXPECT_EQ(applier.cached_sets(), 0u);
+
+  // The same set is not wedged: it throws again (no silent cache), and a
+  // healthy LF set over the same candidates serves normally.
+  EXPECT_THROW(applier.Apply(throwing, fx.corpus, fx.candidates),
+               std::runtime_error);
+  auto matrix = applier.Apply(fx.MakeLfs(), fx.corpus, fx.candidates);
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+}
+
+TEST(IncrementalApplierTest, InvalidateDropsOneColumnEverywhere) {
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  std::vector<Candidate> a(fx.candidates.begin(), fx.candidates.begin() + 50);
+  std::vector<Candidate> b(fx.candidates.begin() + 50, fx.candidates.end());
+  IncrementalApplier applier;
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, a).ok());
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, b).ok());
+  ASSERT_EQ(applier.cached_columns(), 6u);
+  uint64_t bytes_before = applier.stats().bytes_cached;
+
+  applier.Invalidate(lfs.at(1).fingerprint());
+  EXPECT_EQ(applier.cached_columns(), 4u);  // Dropped from BOTH sets.
+  EXPECT_EQ(applier.stats().bytes_cached,
+            bytes_before - 2 * 50 * sizeof(Label));
+
+  // Re-serving recomputes exactly the invalidated column per set.
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, a).ok());
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, b).ok());
+  EXPECT_EQ(applier.stats().columns_computed, 8u);
+  EXPECT_EQ(applier.cached_columns(), 6u);
+
+  applier.InvalidateAll();
+  EXPECT_EQ(applier.cached_sets(), 0u);
+  EXPECT_EQ(applier.stats().bytes_cached, 0u);
 }
 
 TEST(IncrementalApplierTest, SerialAndParallelAgree) {
@@ -345,6 +556,166 @@ TEST(IncrementalApplierTest, SerialAndParallelAgree) {
       EXPECT_EQ(a->At(i, j), b->At(i, j));
     }
   }
+}
+
+// ------------------------------------ concurrent column cache (TSan'd) --
+
+/// Cell-for-cell equality against a reference matrix (bitwise: labels are
+/// integers, so equality IS bit equality).
+bool MatrixEquals(const LabelMatrix& actual, const LabelMatrix& expected) {
+  if (actual.num_rows() != expected.num_rows() ||
+      actual.num_lfs() != expected.num_lfs()) {
+    return false;
+  }
+  for (size_t i = 0; i < expected.num_rows(); ++i) {
+    for (size_t j = 0; j < expected.num_lfs(); ++j) {
+      if (actual.At(i, j) != expected.At(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(ConcurrentCacheTest, HitStormSharesColumnsWithoutRecomputation) {
+  ServeFixture fx(200);
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  auto expected = LFApplier().Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(expected.ok());
+
+  IncrementalApplier applier(
+      IncrementalApplier::Options{.num_threads = 1, .cardinality = 2});
+  ASSERT_TRUE(applier.Apply(lfs, fx.corpus, fx.candidates).ok());  // Warm.
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int it = 0; it < kIterations; ++it) {
+        auto matrix = applier.Apply(lfs, fx.corpus, fx.candidates);
+        if (!matrix.ok() || !MatrixEquals(*matrix, *expected)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every concurrent call was answered from cache: the columns were
+  // computed exactly once, by the warming call.
+  EXPECT_EQ(applier.stats().columns_computed, 3u);
+  EXPECT_EQ(applier.stats().columns_reused,
+            3u * static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST(ConcurrentCacheTest, DuplicateMissesCollapseToOneComputation) {
+  // All threads miss the same cold (LF, set) keys simultaneously: exactly
+  // one computation may run per column; losers wait for the winner and
+  // still return the correct matrix.
+  ServeFixture fx(200);
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  auto expected = LFApplier().Apply(lfs, fx.corpus, fx.candidates);
+  ASSERT_TRUE(expected.ok());
+
+  for (int round = 0; round < 5; ++round) {
+    IncrementalApplier applier(
+        IncrementalApplier::Options{.num_threads = 1, .cardinality = 2});
+    constexpr int kThreads = 8;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto matrix = applier.Apply(lfs, fx.corpus, fx.candidates);
+        if (!matrix.ok() || !MatrixEquals(*matrix, *expected)) {
+          mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(applier.stats().columns_computed, 3u)
+        << "a duplicate miss escaped the collapse in round " << round;
+    EXPECT_EQ(applier.stats().set_misses, 1u);
+  }
+}
+
+TEST(ConcurrentCacheTest, EvictionUnderBytePressureRacesReadersSafely) {
+  // Four alternating sets under a budget that fits roughly one: every Apply
+  // triggers eviction while other threads read the entries being evicted.
+  // Entries are shared_ptr-held and pinned while in use, so readers must
+  // always see complete, correct columns.
+  ServeFixture fx(160);
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  constexpr size_t kSets = 4;
+  std::vector<std::vector<Candidate>> sets;
+  std::vector<LabelMatrix> expected;
+  for (size_t s = 0; s < kSets; ++s) {
+    sets.emplace_back(fx.candidates.begin() + s * 40,
+                      fx.candidates.begin() + (s + 1) * 40);
+    auto fresh = LFApplier().Apply(lfs, fx.corpus, sets.back());
+    ASSERT_TRUE(fresh.ok());
+    expected.push_back(std::move(*fresh));
+  }
+
+  IncrementalApplier applier(IncrementalApplier::Options{
+      .num_threads = 1,
+      .cardinality = 2,
+      .max_cached_bytes = 3 * 40 * sizeof(Label)});
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIterations; ++it) {
+        size_t s = static_cast<size_t>(t + it) % kSets;
+        auto matrix = applier.Apply(lfs, fx.corpus, sets[s]);
+        if (!matrix.ok() || !MatrixEquals(*matrix, expected[s])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(applier.stats().evicted_sets, 0u);
+  // Quiescent: nothing pinned, so the budget holds (= one resident set).
+  EXPECT_LE(applier.stats().bytes_cached, 3u * 40u * sizeof(Label));
+}
+
+TEST(ConcurrentCacheTest, ConcurrentAppendExtensionsStayBitwise) {
+  // Growing-log shape under concurrency: callers serve different prefixes
+  // of one stream; extensions must reuse cached prefixes and stay bitwise.
+  ServeFixture fx(160);
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  constexpr size_t kSteps = 4;
+  std::vector<std::vector<Candidate>> prefixes;
+  std::vector<LabelMatrix> expected;
+  for (size_t s = 1; s <= kSteps; ++s) {
+    prefixes.emplace_back(fx.candidates.begin(),
+                          fx.candidates.begin() + s * 40);
+    auto fresh = LFApplier().Apply(lfs, fx.corpus, prefixes.back());
+    ASSERT_TRUE(fresh.ok());
+    expected.push_back(std::move(*fresh));
+  }
+
+  IncrementalApplier applier(
+      IncrementalApplier::Options{.num_threads = 1, .cardinality = 2});
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t s = 0; s < kSteps; ++s) {
+        auto matrix = applier.Apply(lfs, fx.corpus, prefixes[s]);
+        if (!matrix.ok() || !MatrixEquals(*matrix, expected[s])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 // ------------------------------------------------------- label service --
@@ -411,8 +782,20 @@ TEST(LabelServiceTest, RepeatBatchesHitTheColumnCache) {
   EXPECT_EQ(stats.num_candidates, 5 * fx.candidates.size());
   EXPECT_EQ(stats.lf_columns_computed, 3u);
   EXPECT_EQ(stats.lf_columns_reused, 12u);
+  // Set-level cache counters surface through the service stats chain.
+  EXPECT_EQ(stats.cache_set_misses, 1u);
+  EXPECT_EQ(stats.cache_set_hits, 4u);
+  EXPECT_EQ(stats.cache_bytes, 3 * fx.candidates.size() * sizeof(Label));
+  EXPECT_EQ(stats.cache_appended_rows, 0u);
   EXPECT_GT(stats.throughput_cps, 0.0);
   EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
+
+  // The serving-layer escape hatch for corpus reuse the fingerprint cannot
+  // observe: dropping the cache forces recomputation on the next request.
+  service->InvalidateCache();
+  EXPECT_EQ(service->stats().cache_bytes, 0u);
+  ASSERT_TRUE(service->Label(request).ok());
+  EXPECT_EQ(service->stats().lf_columns_computed, 6u);
 }
 
 TEST(LabelServiceTest, RefRequestsMatchOwnedRequestsBitwise) {
@@ -436,6 +819,9 @@ TEST(LabelServiceTest, RefRequestsMatchOwnedRequestsBitwise) {
   ASSERT_TRUE(actual.ok()) << actual.status().ToString();
   EXPECT_EQ(actual->posteriors, expected->posteriors);
   EXPECT_EQ(actual->hard_labels, expected->hard_labels);
+  // The identity ref view shares the owned request's cached columns.
+  EXPECT_EQ(service->stats().lf_columns_computed, 3u);
+  EXPECT_EQ(service->stats().cache_set_hits, 1u);
 
   // Setting both forms (or neither) is a typed misuse.
   LabelRequest both;
@@ -448,6 +834,57 @@ TEST(LabelServiceTest, RefRequestsMatchOwnedRequestsBitwise) {
   neither.corpus = &fx.corpus;
   EXPECT_EQ(service->Label(neither).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(LabelServiceTest, ConcurrentCachedCallersServeIdenticalResponses) {
+  // The cached path no longer serializes callers behind an apply mutex:
+  // concurrent requests over alternating sets must all hit the concurrent
+  // cache and return exactly the single-threaded responses.
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+  LabelService::Options options;
+  options.num_threads = 1;  // Callers provide the concurrency.
+  auto service = LabelService::Create(snapshot, fx.MakeLfs(), options);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<Candidate> a(fx.candidates.begin(), fx.candidates.begin() + 50);
+  std::vector<Candidate> b(fx.candidates.begin() + 50, fx.candidates.end());
+  std::vector<std::vector<double>> expected;
+  for (const auto* batch : {&a, &b}) {
+    LabelRequest request;
+    request.corpus = &fx.corpus;
+    request.candidates = batch;
+    auto response = service->Label(request);
+    ASSERT_TRUE(response.ok());
+    expected.push_back(response->posteriors);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 15;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIterations; ++it) {
+        size_t which = static_cast<size_t>(t + it) % 2;
+        LabelRequest request;
+        request.corpus = &fx.corpus;
+        request.candidates = which == 0 ? &a : &b;
+        auto response = service->Label(request);
+        if (!response.ok() || response->posteriors != expected[which]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Both sets stayed cached throughout: nothing recomputed after warmup.
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.lf_columns_computed, 6u);
+  EXPECT_EQ(stats.cache_set_misses, 2u);
+  EXPECT_EQ(stats.num_requests,
+            2u + static_cast<uint64_t>(kThreads) * kIterations);
 }
 
 TEST(LabelServiceTest, ThroughputIsWallClockNotSummedLatency) {

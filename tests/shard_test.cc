@@ -177,6 +177,48 @@ TEST(ShardRouterTest, BitwiseIdenticalToUnshardedService) {
   }
 }
 
+TEST(ShardRouterTest, RepeatRequestsHitEveryReplicaCacheAndAggregate) {
+  // The shard workers serve index-preserving ref sub-batches; the
+  // concurrent column cache fingerprints them by content + index, so a
+  // repeated request hits on every shard — and the per-replica cache
+  // counters aggregate through RouterStats.
+  ShardFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  ModelSnapshot snapshot = fx.MakeSnapshot(lfs);
+
+  ShardRouter::Options options;
+  options.num_shards = 2;
+  auto router = ShardRouter::Create(snapshot, fx.MakeLfs(), options);
+  ASSERT_TRUE(router.ok());
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  auto first = router->Label(request);
+  auto second = router->Label(request);
+  auto third = router->Label(request);
+  ASSERT_TRUE(first.ok() && second.ok() && third.ok());
+  EXPECT_EQ(second->posteriors, first->posteriors);
+  EXPECT_EQ(third->posteriors, first->posteriors);
+
+  RouterStats stats = router->stats();
+  // Request 1 computed 3 columns per shard; requests 2 and 3 reused them.
+  EXPECT_EQ(stats.lf_columns_computed, 2u * 3u);
+  EXPECT_EQ(stats.lf_columns_reused, 2u * 2u * 3u);
+  EXPECT_EQ(stats.cache_set_misses, 2u);
+  EXPECT_EQ(stats.cache_set_hits, 2u * 2u);
+  EXPECT_EQ(stats.cache_bytes, 3u * fx.candidates.size() * sizeof(Label));
+  // The aggregates are exactly the per-shard sums.
+  uint64_t reused = 0;
+  for (const auto& shard : stats.per_shard) reused += shard.lf_columns_reused;
+  EXPECT_EQ(stats.lf_columns_reused, reused);
+
+  // Tier-wide cache invalidation reaches every replica.
+  router->InvalidateCache();
+  EXPECT_EQ(router->stats().cache_bytes, 0u);
+  ASSERT_TRUE(router->Label(request).ok());
+  EXPECT_EQ(router->stats().lf_columns_computed, 2u * 2u * 3u);
+}
+
 TEST(ShardRouterTest, ConcurrentCallersStayBitwiseCorrectUnderFusion) {
   ShardFixture fx(160);
   LabelingFunctionSet lfs = fx.MakeLfs();
