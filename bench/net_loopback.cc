@@ -1,0 +1,295 @@
+// Networked-fabric benchmark (PR 6): measures what the wire costs and what
+// hedging buys, on loopback.
+//
+//   (1) in-process LabelService vs the SAME replica behind a loopback TCP
+//       ShardServer driven through RemoteShardClient — the RPC tax
+//       (framing + checksums + corpus slice + syscalls) at serving batch
+//       sizes, and
+//   (2) a 2-shard RemoteShardRouter over two loopback servers vs the single
+//       loopback client — what cross-process fan-out adds, and
+//   (3) a hedged-retry tail probe: a server that sleeps on every 2nd request
+//       (inject_delay_every_n) gives a bimodal latency distribution; the
+//       hedging client must pull p99 down to roughly the fast mode.
+//
+// CAVEAT: loopback numbers bound the PROTOCOL cost only. Real deployments
+// add NIC latency, congestion, and cross-machine clock effects that
+// loopback cannot see; treat the in-process vs loopback gap as a floor for
+// the network tax, not an estimate of datacenter behaviour.
+//
+// Pass --json <path> to write the headline numbers (consumed by
+// scripts/bench.sh into the "net" trajectory section).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lf/applier.h"
+#include "net/remote_client.h"
+#include "net/remote_router.h"
+#include "net/shard_server.h"
+#include "pipeline/export_snapshot.h"
+#include "serve/label_service.h"
+#include "serve/snapshot.h"
+#include "synth/relation_task.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snorkel;
+
+  std::string json_path;
+  for (int a = 1; a + 1 < argc; ++a) {
+    if (std::string(argv[a]) == "--json") json_path = argv[a + 1];
+  }
+
+  auto task = MakeCdrTask(/*seed=*/42, /*scale=*/0.5);
+  if (!task.ok()) {
+    std::fprintf(stderr, "task generation failed: %s\n",
+                 task.status().ToString().c_str());
+    return 1;
+  }
+  ExportSnapshotOptions export_options;
+  export_options.gen.epochs = 100;
+  export_options.disc.epochs = 5;
+  auto snapshot = TrainSnapshot(*task, export_options);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::string path = ::std::string("/tmp/net_loopback_bench_") +
+                     std::to_string(getpid()) + ".snk";
+  if (!SaveSnapshot(*snapshot, path).ok()) {
+    std::fprintf(stderr, "cannot save snapshot\n");
+    return 1;
+  }
+  std::printf("Task %s: %zu candidates, %zu LFs\n\n", task->name.c_str(),
+              task->candidates.size(), task->lfs.size());
+
+  constexpr size_t kBatchSize = 256;
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 4;
+  constexpr int kTrials = 4;  // Trial 0 is a discarded warmup.
+  std::vector<std::vector<Candidate>> batches;
+  for (size_t begin = 0; begin < task->candidates.size();
+       begin += kBatchSize) {
+    size_t end = std::min(begin + kBatchSize, task->candidates.size());
+    batches.emplace_back(task->candidates.begin() + begin,
+                         task->candidates.begin() + end);
+  }
+  size_t total_candidates = 0;
+  for (const auto& b : batches) total_candidates += b.size();
+
+  // One workload for every transport: kCallers threads striding the batch
+  // list; `label` serves one batch, returning ok.
+  auto run_callers =
+      [&](const std::function<bool(const std::vector<Candidate>&)>& label)
+      -> double {
+    WallTimer wall;
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+      callers.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          for (size_t b = static_cast<size_t>(t); b < batches.size();
+               b += static_cast<size_t>(kCallers)) {
+            if (!label(batches[b])) failed.store(true);
+          }
+        }
+      });
+    }
+    for (auto& th : callers) th.join();
+    if (failed.load()) {
+      std::fprintf(stderr, "net-bench serving failed\n");
+      std::abort();
+    }
+    return static_cast<double>(total_candidates) * kRounds /
+           wall.ElapsedSeconds();
+  };
+
+  // ---- (1) + (2): in-process vs loopback RPC vs 2-shard fleet,
+  // interleaved best-of so machine noise cannot bias one config. ----
+  double inprocess_cps = 0.0;
+  double loopback_cps = 0.0;
+  double router2_cps = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    {
+      LabelService::Options options;
+      options.num_threads = 1;
+      auto service = LabelService::Create(*snapshot, task->lfs, options);
+      if (!service.ok()) return 1;
+      double cps = run_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &task->corpus;
+        request.candidates = &batch;
+        return service->Label(request).ok();
+      });
+      if (trial > 0) inprocess_cps = std::max(inprocess_cps, cps);
+    }
+    {
+      ShardServer::Options options;
+      options.num_workers = kCallers;
+      options.queue_capacity = 64;
+      options.service.num_threads = 1;
+      auto server = ShardServer::Serve(path, task->lfs, options);
+      if (!server.ok()) {
+        std::fprintf(stderr, "serve failed: %s\n",
+                     server.status().ToString().c_str());
+        return 1;
+      }
+      RemoteShardClient::Options client_options;
+      client_options.port = server->port();
+      client_options.max_pooled_connections = kCallers;
+      RemoteShardClient client = RemoteShardClient::Create(client_options);
+      double cps = run_callers([&](const std::vector<Candidate>& batch) {
+        return client
+            .Label(task->corpus, MakeCandidateRefs(batch), false, true,
+                   60'000)
+            .ok();
+      });
+      if (trial > 0) loopback_cps = std::max(loopback_cps, cps);
+      server->Shutdown();
+    }
+    {
+      ShardServer::Options options;
+      options.num_workers = 2;
+      options.queue_capacity = 64;
+      options.service.num_threads = 1;
+      auto s0 = ShardServer::Serve(path, task->lfs, options);
+      auto s1 = ShardServer::Serve(path, task->lfs, options);
+      if (!s0.ok() || !s1.ok()) return 1;
+      RemoteShardRouter::Options router_options;
+      router_options.client.max_pooled_connections = kCallers;
+      router_options.request_timeout_ms = 60'000;
+      auto router = RemoteShardRouter::Create(
+          {{"127.0.0.1", s0->port()}, {"127.0.0.1", s1->port()}},
+          router_options);
+      if (!router.ok()) return 1;
+      double cps = run_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &task->corpus;
+        request.candidates = &batch;
+        return router->Label(request).ok();
+      });
+      if (trial > 0) router2_cps = std::max(router2_cps, cps);
+      s0->Shutdown();
+      s1->Shutdown();
+    }
+  }
+
+  TablePrinter transports({"Transport", "cand/s (wall)", "Vs in-process"});
+  transports.AddRow({"in-process LabelService",
+                     TablePrinter::Cell(inprocess_cps, 0), "1.00"});
+  transports.AddRow({"loopback RPC (1 shard)",
+                     TablePrinter::Cell(loopback_cps, 0),
+                     TablePrinter::Cell(loopback_cps / inprocess_cps, 2)});
+  transports.AddRow({"loopback router (2 shards)",
+                     TablePrinter::Cell(router2_cps, 0),
+                     TablePrinter::Cell(router2_cps / inprocess_cps, 2)});
+  std::printf("Loopback RPC tax (%d callers, batch=%zu, best of %d trials "
+              "after warmup):\n%s",
+              kCallers, kBatchSize, kTrials - 1,
+              transports.ToString().c_str());
+  std::printf("(loopback bounds protocol cost only — real networks add NIC "
+              "latency and congestion on top)\n");
+
+  // ---- (3) hedged-retry tail probe: every 2nd request sleeps
+  // kInjectMs server-side, so sequential calls alternate fast/slow and the
+  // no-hedge p99 sits at the slow mode. The hedging client launches a
+  // second attempt after hedge_delay_ms; the hedge lands on the next
+  // (fast) injection slot and wins, pulling p99 back down. ----
+  constexpr uint64_t kInjectMs = 40;
+  constexpr int kProbeCalls = 60;
+  const std::vector<Candidate> probe(task->candidates.begin(),
+                                     task->candidates.begin() + 64);
+  const std::vector<CandidateRef> probe_rows = MakeCandidateRefs(probe);
+  double p99_nohedge = 0.0;
+  double p99_hedge = 0.0;
+  double p50_nohedge = 0.0;
+  double p50_hedge = 0.0;
+  uint64_t hedged_wins = 0;
+  for (bool hedge : {false, true}) {
+    ShardServer::Options options;
+    options.num_workers = 4;  // Hedges must not queue behind sleepers.
+    options.queue_capacity = 64;
+    options.service.num_threads = 1;
+    options.inject_delay_every_n = 2;
+    options.inject_delay_ms = kInjectMs;
+    auto server = ShardServer::Serve(path, task->lfs, options);
+    if (!server.ok()) return 1;
+    RemoteShardClient::Options client_options;
+    client_options.port = server->port();
+    client_options.enable_hedging = hedge;
+    client_options.hedge_delay_ms = 10;
+    RemoteShardClient client = RemoteShardClient::Create(client_options);
+    std::vector<double> latencies;
+    latencies.reserve(kProbeCalls);
+    for (int i = 0; i < kProbeCalls; ++i) {
+      WallTimer call;
+      if (!client.Label(task->corpus, probe_rows, false, true, 60'000).ok()) {
+        std::fprintf(stderr, "tail probe failed\n");
+        return 1;
+      }
+      latencies.push_back(call.ElapsedSeconds() * 1e3);
+    }
+    (hedge ? p99_hedge : p99_nohedge) = Percentile(latencies, 0.99);
+    (hedge ? p50_hedge : p50_nohedge) = Percentile(latencies, 0.50);
+    if (hedge) hedged_wins = client.stats().hedged_wins;
+    server->Shutdown();
+  }
+  TablePrinter tail({"Client", "p50 ms", "p99 ms"});
+  tail.AddRow({"no hedging", TablePrinter::Cell(p50_nohedge, 2),
+               TablePrinter::Cell(p99_nohedge, 2)});
+  tail.AddRow({"hedged (delay 10ms)", TablePrinter::Cell(p50_hedge, 2),
+               TablePrinter::Cell(p99_hedge, 2)});
+  std::printf("\nHedged-retry tail probe (every 2nd request +%llums "
+              "server-side, %d calls, %llu hedged wins):\n%s",
+              static_cast<unsigned long long>(kInjectMs), kProbeCalls,
+              static_cast<unsigned long long>(hedged_wins),
+              tail.ToString().c_str());
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"callers\": %d, \"batch\": %zu,\n"
+        "  \"inprocess_cps\": %.1f, \"loopback_cps\": %.1f, "
+        "\"router2_cps\": %.1f,\n"
+        "  \"hedge\": {\"inject_ms\": %llu, \"calls\": %d, "
+        "\"p50_nohedge_ms\": %.2f, \"p99_nohedge_ms\": %.2f, "
+        "\"p50_hedge_ms\": %.2f, \"p99_hedge_ms\": %.2f, "
+        "\"hedged_wins\": %llu}\n"
+        "}\n",
+        kCallers, kBatchSize, inprocess_cps, loopback_cps, router2_cps,
+        static_cast<unsigned long long>(kInjectMs), kProbeCalls,
+        p50_nohedge, p99_nohedge, p50_hedge, p99_hedge,
+        static_cast<unsigned long long>(hedged_wins));
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  std::remove(path.c_str());
+  return 0;
+}

@@ -17,7 +17,7 @@ MIN_TIME="${BENCH_MIN_TIME:-0.15}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-      --target bench_serve_throughput > /dev/null
+      --target bench_serve_throughput bench_net_loopback > /dev/null
 if ! cmake --build "${BUILD_DIR}" -j "$(nproc)" \
       --target bench_perf_microbench > /dev/null 2>&1; then
   echo "google-benchmark not available; perf_microbench skipped" >&2
@@ -43,13 +43,17 @@ fi
 SERVE_JSON="${TMP_DIR}/serve.json"
 "${BUILD_DIR}/bench_serve_throughput" --json "${SERVE_JSON}" > /dev/null
 
-python3 - "$OUT" "$SERVE_JSON" "$MICRO_JSON" << 'EOF'
+NET_JSON="${TMP_DIR}/net.json"
+"${BUILD_DIR}/bench_net_loopback" --json "${NET_JSON}" > /dev/null
+
+python3 - "$OUT" "$SERVE_JSON" "$MICRO_JSON" "$NET_JSON" << 'EOF'
 import json
 import sys
 
-out_path, serve_path, micro_path = sys.argv[1], sys.argv[2], sys.argv[3]
+out_path, serve_path, micro_path, net_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
 
-result = {"microbench_ms": {}, "serve": {}}
+result = {"microbench_ms": {}, "serve": {}, "net": {}}
 
 try:
     with open(micro_path) as f:
@@ -110,6 +114,21 @@ print(
     "({:.1f}x, {} tail rows appended)".format(
         stream["cached_s"], stream["nocache_s"], stream["steps"],
         stream["speedup"], stream["appended_rows"]))
+
+# The networked-fabric section (PR 6): the loopback RPC tax and the hedged
+# tail probe must stay on the trajectory. Loopback bounds protocol cost
+# only — real networks add NIC latency and congestion on top, so these
+# numbers are a floor for the wire tax, not a datacenter estimate.
+with open(net_path) as f:
+    result["net"] = json.load(f)
+net = result["net"]
+if "loopback_cps" not in net or "hedge" not in net:
+    sys.exit("net benchmark JSON is missing the loopback/hedge sections")
+print(
+    "net fabric: in-process {:.0f} vs loopback {:.0f} cand/s ({} callers); "
+    "tail probe p99 {:.1f} -> {:.1f} ms with hedging".format(
+        net["inprocess_cps"], net["loopback_cps"], net["callers"],
+        net["hedge"]["p99_nohedge_ms"], net["hedge"]["p99_hedge_ms"]))
 
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)

@@ -1,0 +1,352 @@
+#include "net/remote_client.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace snorkel {
+
+namespace {
+
+/// Milliseconds left until `deadline` (0 when none / already expired —
+/// callers have checked expiry separately).
+uint64_t RemainingMs(SocketDeadline deadline) {
+  if (deadline == kNoDeadline) return 0;
+  auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count());
+}
+
+/// First-completion-wins rendezvous between the primary and hedge attempts.
+struct PendingCall {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  int winner = -1;
+  Result<LabelResponse> result{Status::Internal("pending")};
+};
+
+}  // namespace
+
+struct RemoteShardClient::Impl {
+  Options options;
+
+  std::mutex pool_mu;
+  std::vector<Socket> pool;
+
+  mutable std::mutex health_mu;
+  size_t consecutive_failures = 0;
+  std::chrono::steady_clock::time_point unhealthy_until{};
+
+  /// In-flight attempt threads (hedge losers included); the destructor
+  /// waits for all of them so no detached thread outlives the impl's user.
+  std::mutex flight_mu;
+  std::condition_variable flight_cv;
+  size_t in_flight = 0;
+
+  std::atomic<uint64_t> next_request_id{1};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> hedged_attempts{0};
+  std::atomic<uint64_t> hedged_wins{0};
+  std::atomic<uint64_t> fail_fast{0};
+  std::atomic<uint64_t> pooled_reuses{0};
+
+  explicit Impl(Options opts) : options(std::move(opts)) {
+    if (options.max_pooled_connections == 0) {
+      options.max_pooled_connections = 1;
+    }
+    if (options.unhealthy_threshold == 0) options.unhealthy_threshold = 1;
+  }
+
+  // ---- Pool. ----
+
+  Result<Socket> AcquireConnection(SocketDeadline deadline) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu);
+      if (!pool.empty()) {
+        Socket socket = std::move(pool.back());
+        pool.pop_back();
+        pooled_reuses.fetch_add(1, std::memory_order_relaxed);
+        return socket;
+      }
+    }
+    SocketDeadline connect_deadline = deadline;
+    if (options.connect_timeout_ms > 0) {
+      SocketDeadline bound = DeadlineAfterMs(options.connect_timeout_ms);
+      if (bound < connect_deadline) connect_deadline = bound;
+    }
+    return Socket::Connect(options.host, options.port, connect_deadline);
+  }
+
+  void ReleaseConnection(Socket socket) {
+    std::lock_guard<std::mutex> lock(pool_mu);
+    if (pool.size() < options.max_pooled_connections) {
+      pool.push_back(std::move(socket));
+    }
+    // Else: dropped — Socket's destructor closes it.
+  }
+
+  // ---- Health. ----
+
+  /// OK to attempt? kUnavailable fail-fast during the cooldown; the first
+  /// call after the cooldown is the half-open probe.
+  Status CheckHealth() {
+    std::lock_guard<std::mutex> lock(health_mu);
+    if (consecutive_failures < options.unhealthy_threshold) {
+      return Status::OK();
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now < unhealthy_until) {
+      fail_fast.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          options.host + ":" + std::to_string(options.port) +
+          " is marked unhealthy (failing fast during cooldown)");
+    }
+    // Half-open: let this attempt probe. Push the window forward so a
+    // burst of concurrent callers doesn't all probe a dead endpoint.
+    unhealthy_until =
+        now + std::chrono::milliseconds(options.unhealthy_cooldown_ms);
+    return Status::OK();
+  }
+
+  void RecordOutcome(bool transport_ok) {
+    std::lock_guard<std::mutex> lock(health_mu);
+    if (transport_ok) {
+      consecutive_failures = 0;
+      return;
+    }
+    ++consecutive_failures;
+    if (consecutive_failures >= options.unhealthy_threshold) {
+      unhealthy_until =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options.unhealthy_cooldown_ms);
+    }
+  }
+
+  // ---- One exchange on one socket. ----
+
+  /// Sends `frame_bytes`, receives the reply, verifies correlation, decodes.
+  /// `transport_ok` reports whether the CONNECTION behaved (a typed error
+  /// frame is transport_ok = true); used for pooling and health.
+  Result<Frame> Exchange(const std::string& frame_bytes, uint64_t request_id,
+                         SocketDeadline deadline, bool* transport_ok) {
+    *transport_ok = false;
+    auto socket = AcquireConnection(deadline);
+    if (!socket.ok()) return socket.status();
+    Status sent = socket->SendAll(frame_bytes, deadline);
+    if (!sent.ok()) {
+      // A pooled connection can go stale (server dropped it between
+      // requests); retry ONCE on a fresh connection. Only the send — once
+      // bytes of a reply are in flight a retry could double-serve.
+      auto fresh = Socket::Connect(options.host, options.port, deadline);
+      if (!fresh.ok()) return fresh.status();
+      socket = std::move(fresh);
+      sent = socket->SendAll(frame_bytes, deadline);
+      if (!sent.ok()) return sent;
+    }
+    auto reply = RecvFrame(*socket, deadline);
+    if (!reply.ok()) return reply.status();
+    if (reply->request_id != request_id) {
+      // Stream desync (a previous caller abandoned a reply?) — this
+      // connection can't be trusted; drop it.
+      return Status::Unavailable("response correlation mismatch");
+    }
+    *transport_ok = true;
+    ReleaseConnection(std::move(*socket));
+    return reply;
+  }
+
+  /// One full label attempt over pre-encoded frame bytes (encoded in the
+  /// caller's thread — attempt threads must not borrow the caller's
+  /// corpus/rows, which may go out of scope once the winning attempt
+  /// returns).
+  Result<LabelResponse> LabelAttempt(const std::string& frame_bytes,
+                                     uint64_t request_id,
+                                     SocketDeadline deadline) {
+    bool transport_ok = false;
+    auto reply = Exchange(frame_bytes, request_id, deadline, &transport_ok);
+    RecordOutcome(transport_ok);
+    if (!reply.ok()) return reply.status();
+    if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+    return DecodeLabelResponse(*reply);
+  }
+};
+
+RemoteShardClient::RemoteShardClient(std::shared_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+RemoteShardClient RemoteShardClient::Create(Options options) {
+  return RemoteShardClient(std::make_shared<Impl>(std::move(options)));
+}
+
+RemoteShardClient::~RemoteShardClient() {
+  if (impl_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(impl_->flight_mu);
+  impl_->flight_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+}
+
+const RemoteShardClient::Options& RemoteShardClient::options() const {
+  return impl_->options;
+}
+
+Result<LabelResponse> RemoteShardClient::Label(
+    const Corpus& corpus, const std::vector<CandidateRef>& rows,
+    bool include_votes, bool apply_class_balance, uint64_t deadline_ms) {
+  Impl& impl = *impl_;
+  impl.requests.fetch_add(1, std::memory_order_relaxed);
+  Status healthy = impl.CheckHealth();
+  if (!healthy.ok()) {
+    impl.failures.fetch_add(1, std::memory_order_relaxed);
+    return healthy;
+  }
+  if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
+  SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
+
+  auto pending = std::make_shared<PendingCall>();
+  // Encode every attempt's frame UP-FRONT in this thread: attempt threads
+  // are detached and may outlive this call (hedge losers), so they must not
+  // borrow the caller's corpus or rows. Each attempt carries its own
+  // request id — a loser's late reply can never be mistaken for the
+  // winner's on a pooled connection.
+  struct AttemptPayload {
+    uint64_t request_id = 0;
+    std::string bytes;
+  };
+  auto payloads = std::make_shared<std::vector<AttemptPayload>>();
+  size_t num_attempts = impl.options.enable_hedging ? 2 : 1;
+  for (size_t a = 0; a < num_attempts; ++a) {
+    AttemptPayload payload;
+    payload.request_id =
+        impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
+    payload.bytes = EncodeFrame(EncodeLabelRequest(
+        payload.request_id, corpus, rows, include_votes, apply_class_balance,
+        RemainingMs(deadline)));
+    payloads->push_back(std::move(payload));
+  }
+
+  auto launch = [this, pending, payloads, deadline](int attempt) {
+    // Each attempt holds the impl (keep-alive past the stub) and runs on
+    // its own socket; first completion wins, the loser still finishes its
+    // exchange so its connection pools cleanly.
+    std::shared_ptr<Impl> impl_keepalive = impl_;
+    {
+      std::lock_guard<std::mutex> lock(impl_keepalive->flight_mu);
+      ++impl_keepalive->in_flight;
+    }
+    std::thread([impl_keepalive, pending, payloads, deadline, attempt] {
+      const AttemptPayload& payload =
+          (*payloads)[static_cast<size_t>(attempt)];
+      auto result = impl_keepalive->LabelAttempt(payload.bytes,
+                                                 payload.request_id, deadline);
+      {
+        std::lock_guard<std::mutex> lock(pending->mu);
+        if (!pending->done) {
+          pending->done = true;
+          pending->winner = attempt;
+          pending->result = std::move(result);
+          pending->cv.notify_all();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(impl_keepalive->flight_mu);
+        --impl_keepalive->in_flight;
+        impl_keepalive->flight_cv.notify_all();
+      }
+    }).detach();
+  };
+
+  launch(0);
+  std::unique_lock<std::mutex> lock(pending->mu);
+  if (impl.options.enable_hedging) {
+    bool completed = pending->cv.wait_for(
+        lock, std::chrono::milliseconds(impl.options.hedge_delay_ms),
+        [&] { return pending->done; });
+    if (!completed &&
+        (deadline == kNoDeadline ||
+         std::chrono::steady_clock::now() < deadline)) {
+      impl.hedged_attempts.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      launch(1);
+      lock.lock();
+    }
+  }
+  // Attempts enforce the deadline through every socket operation, which
+  // bounds how long this wait can last whenever a deadline is set.
+  pending->cv.wait(lock, [&] { return pending->done; });
+  if (pending->winner == 1) {
+    impl.hedged_wins.fetch_add(1, std::memory_order_relaxed);
+  }
+  Result<LabelResponse> result = std::move(pending->result);
+  if (!result.ok() && (result.status().code() == StatusCode::kUnavailable ||
+                       result.status().code() ==
+                           StatusCode::kDeadlineExceeded)) {
+    impl.failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Status RemoteShardClient::Ping(uint64_t deadline_ms) {
+  Impl& impl = *impl_;
+  if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
+  SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
+  uint64_t request_id =
+      impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = request_id;
+  bool transport_ok = false;
+  auto reply =
+      impl.Exchange(EncodeFrame(ping), request_id, deadline, &transport_ok);
+  impl.RecordOutcome(transport_ok);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+  if (reply->type != FrameType::kPong) {
+    return Status::IOError("ping answered by a non-pong frame");
+  }
+  return Status::OK();
+}
+
+Result<WireServerStats> RemoteShardClient::GetStats(uint64_t deadline_ms) {
+  Impl& impl = *impl_;
+  if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
+  SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
+  uint64_t request_id =
+      impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
+  Frame request;
+  request.type = FrameType::kStatsRequest;
+  request.request_id = request_id;
+  bool transport_ok = false;
+  auto reply =
+      impl.Exchange(EncodeFrame(request), request_id, deadline, &transport_ok);
+  impl.RecordOutcome(transport_ok);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+  return DecodeStatsResponse(*reply);
+}
+
+RemoteShardClient::Stats RemoteShardClient::stats() const {
+  const Impl& impl = *impl_;
+  Stats stats;
+  stats.requests = impl.requests.load(std::memory_order_relaxed);
+  stats.failures = impl.failures.load(std::memory_order_relaxed);
+  stats.hedged_attempts = impl.hedged_attempts.load(std::memory_order_relaxed);
+  stats.hedged_wins = impl.hedged_wins.load(std::memory_order_relaxed);
+  stats.fail_fast = impl.fail_fast.load(std::memory_order_relaxed);
+  stats.pooled_reuses = impl.pooled_reuses.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl.health_mu);
+    stats.healthy =
+        impl.consecutive_failures < impl.options.unhealthy_threshold;
+  }
+  return stats;
+}
+
+}  // namespace snorkel

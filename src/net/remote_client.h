@@ -1,0 +1,117 @@
+#ifndef SNORKEL_NET_REMOTE_CLIENT_H_
+#define SNORKEL_NET_REMOTE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/candidate.h"
+#include "data/context.h"
+#include "lf/applier.h"
+#include "net/wire.h"
+#include "serve/label_service.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Client stub for one remote ShardServer: connection pooling, per-call
+/// deadlines, health tracking with fail-fast, and optional hedged retries on
+/// the latency tail.
+///
+///  - POOLING: completed exchanges return their connection for reuse
+///    (bounded pool); transport failures close it. A typed error FRAME
+///    (e.g. kResourceExhausted backpressure) is a healthy exchange — the
+///    server answered — so the connection is still pooled.
+///  - HEALTH: `unhealthy_threshold` consecutive TRANSPORT failures mark the
+///    endpoint unhealthy; for `unhealthy_cooldown_ms` every call fails fast
+///    with kUnavailable (no connect storm against a dead shard), after which
+///    one half-open probe either revives the endpoint or re-arms the
+///    cooldown.
+///  - HEDGING: when enabled, a label call that hasn't completed within
+///    `hedge_delay_ms` launches ONE second attempt on its own fresh
+///    connection; the first completion wins. The loser runs to completion
+///    in the background (its socket is independent, so no stream desync) and
+///    still returns its connection to the pool. Hedging trades duplicate
+///    server work for tail latency — results are bit-identical either way,
+///    so the race is safe.
+///
+/// Thread-safe; calls from any thread. The destructor waits for in-flight
+/// hedge attempts to finish (bounded by their deadlines).
+class RemoteShardClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    uint64_t connect_timeout_ms = 1000;
+    /// Default per-call budget when the call passes deadline_ms = 0;
+    /// 0 here too = wait forever.
+    uint64_t request_timeout_ms = 0;
+    /// Max idle pooled connections (clamped to >= 1).
+    size_t max_pooled_connections = 4;
+    bool enable_hedging = false;
+    uint64_t hedge_delay_ms = 50;
+    /// Consecutive transport failures before fail-fast kicks in (clamped
+    /// to >= 1).
+    size_t unhealthy_threshold = 3;
+    uint64_t unhealthy_cooldown_ms = 1000;
+  };
+
+  struct Stats {
+    uint64_t requests = 0;
+    /// Calls whose final outcome was a transport failure or deadline.
+    uint64_t failures = 0;
+    /// Second attempts actually launched.
+    uint64_t hedged_attempts = 0;
+    /// Calls won by the hedge attempt (attempt #2 completed first).
+    uint64_t hedged_wins = 0;
+    /// Calls failed immediately because the endpoint was in cooldown.
+    uint64_t fail_fast = 0;
+    /// Exchanges that reused a pooled connection.
+    uint64_t pooled_reuses = 0;
+    bool healthy = true;
+  };
+
+  /// Builds a client stub (no I/O yet — connections are made per call and
+  /// pooled; an unreachable server surfaces on the first call, or use
+  /// Ping()).
+  static RemoteShardClient Create(Options options);
+
+  RemoteShardClient(RemoteShardClient&&) noexcept = default;
+  RemoteShardClient& operator=(RemoteShardClient&&) noexcept = default;
+  ~RemoteShardClient();
+
+  /// Labels `rows` (borrowed refs into the caller's candidates, original
+  /// LF-visible indices preserved) against the remote shard. `deadline_ms`
+  /// 0 = Options::request_timeout_ms. Typed failures: kUnavailable
+  /// (unreachable / broke mid-exchange / cooldown), kDeadlineExceeded,
+  /// kResourceExhausted (server backpressure), or any status the server
+  /// itself returned.
+  Result<LabelResponse> Label(const Corpus& corpus,
+                              const std::vector<CandidateRef>& rows,
+                              bool include_votes, bool apply_class_balance,
+                              uint64_t deadline_ms = 0);
+
+  /// Round-trips a ping frame.
+  Status Ping(uint64_t deadline_ms = 0);
+
+  /// Fetches the server's wire stats (snapshot version/checksum — the
+  /// rollout observability hook).
+  Result<WireServerStats> GetStats(uint64_t deadline_ms = 0);
+
+  Stats stats() const;
+
+  const Options& options() const;
+
+ private:
+  struct Impl;
+  explicit RemoteShardClient(std::shared_ptr<Impl> impl);
+
+  /// shared_ptr: background hedge attempts keep the impl alive past the
+  /// stub if the caller destroys it mid-flight.
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_NET_REMOTE_CLIENT_H_

@@ -1,0 +1,236 @@
+#include "net/remote_router.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "lf/applier.h"
+#include "shard/partitioner.h"
+#include "util/timer.h"
+
+namespace snorkel {
+
+struct RemoteShardRouter::Impl {
+  Options options;
+  CandidatePartitioner partitioner;
+  std::vector<RemoteShardClient> clients;
+
+  mutable std::mutex stats_mu;
+  uint64_t num_requests = 0;
+  uint64_t num_candidates = 0;
+  uint64_t failed_requests = 0;
+  uint64_t degraded_requests = 0;
+
+  Impl(Options opts, size_t num_shards)
+      : options(std::move(opts)), partitioner(num_shards) {}
+};
+
+RemoteShardRouter::RemoteShardRouter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+RemoteShardRouter::~RemoteShardRouter() = default;
+
+size_t RemoteShardRouter::num_shards() const { return impl_->clients.size(); }
+
+RemoteShardClient& RemoteShardRouter::shard(size_t i) {
+  return impl_->clients[i];
+}
+
+Result<RemoteShardRouter> RemoteShardRouter::Create(
+    const std::vector<std::pair<std::string, uint16_t>>& endpoints,
+    Options options) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument(
+        "RemoteShardRouter needs at least one endpoint");
+  }
+  auto impl = std::make_unique<Impl>(options, endpoints.size());
+  impl->clients.reserve(endpoints.size());
+  for (const auto& [host, port] : endpoints) {
+    RemoteShardClient::Options client_options = options.client;
+    client_options.host = host;
+    client_options.port = port;
+    impl->clients.push_back(
+        RemoteShardClient::Create(std::move(client_options)));
+  }
+  return RemoteShardRouter(std::move(impl));
+}
+
+Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
+  Impl& impl = *impl_;
+  if (request.corpus == nullptr) {
+    return Status::InvalidArgument("request missing corpus");
+  }
+  const bool by_refs = request.candidate_refs != nullptr;
+  if (by_refs == (request.candidates != nullptr)) {
+    return Status::InvalidArgument(
+        "request must set exactly one of candidates / candidate_refs");
+  }
+  WallTimer timer;
+
+  // Identical placement to the in-process tier: stable content hash, so a
+  // mixed fleet of local routers and remote routers agrees on which shard
+  // owns every candidate.
+  std::vector<CandidateRef> identity;
+  if (!by_refs) identity = MakeCandidateRefs(*request.candidates);
+  const std::vector<CandidateRef>& base =
+      by_refs ? *request.candidate_refs : identity;
+  ShardedRefBatch parts = impl.partitioner.PartitionRefs(base);
+
+  // ---- Fan out: one RPC per non-empty shard, concurrently. Each slot is
+  // written by exactly one thread, then joined before any read. ----
+  struct Pending {
+    size_t shard = 0;
+    const std::vector<size_t>* to_request = nullptr;
+    Result<LabelResponse> result{Status::Internal("pending")};
+  };
+  std::vector<Pending> pending;
+  pending.reserve(impl.clients.size());
+  for (size_t s = 0; s < impl.clients.size(); ++s) {
+    if (parts.shard_rows[s].empty()) continue;
+    Pending p;
+    p.shard = s;
+    p.to_request = &parts.shard_to_request[s];
+    pending.push_back(std::move(p));
+  }
+  {
+    std::vector<std::thread> rpcs;
+    rpcs.reserve(pending.size());
+    for (Pending& p : pending) {
+      rpcs.emplace_back([&impl, &request, &parts, &p] {
+        p.result = impl.clients[p.shard].Label(
+            *request.corpus, parts.shard_rows[p.shard], request.include_votes,
+            request.apply_class_balance, impl.options.request_timeout_ms);
+      });
+    }
+    for (std::thread& rpc : rpcs) rpc.join();
+  }
+
+  // ---- Collect: default policy fails the whole request on any failed
+  // sub-batch, typed, naming the shard; allow_partial degrades instead. ----
+  std::vector<ShardOutcome> failed_outcomes;
+  std::vector<const Pending*> served;
+  served.reserve(pending.size());
+  for (const Pending& p : pending) {
+    if (p.result.ok()) {
+      served.push_back(&p);
+      continue;
+    }
+    const Status& cause = p.result.status();
+    if (!request.allow_partial) {
+      std::lock_guard<std::mutex> lock(impl.stats_mu);
+      ++impl.failed_requests;
+      return Status(cause.code(),
+                    "shard " + std::to_string(p.shard) + "/" +
+                        std::to_string(impl.clients.size()) +
+                        " failed: " + cause.message());
+    }
+    failed_outcomes.push_back(ShardOutcome{p.shard, p.to_request->size(),
+                                           cause.code(), cause.message()});
+  }
+  if (request.allow_partial && served.empty() && !failed_outcomes.empty()) {
+    // Zero coverage is a failure wearing a success type — fail typed.
+    const ShardOutcome& first = failed_outcomes.front();
+    std::lock_guard<std::mutex> lock(impl.stats_mu);
+    ++impl.failed_requests;
+    return Status(first.code, "shard " + std::to_string(first.shard) + "/" +
+                                  std::to_string(impl.clients.size()) +
+                                  " failed (no shard survived): " +
+                                  first.message);
+  }
+
+  // ---- Merge into request order (same scatter as ShardRouter: every value
+  // copied verbatim from its shard's response, so the merged batch is
+  // bitwise what one unsharded service would produce). ----
+  const int cardinality = served.empty() ? 2 : (*served.front()).result->cardinality;
+  const size_t k = static_cast<size_t>(cardinality);
+  LabelResponse response;
+  response.cardinality = cardinality;
+  if (cardinality == 2) {
+    response.posteriors.resize(parts.total);
+  } else {
+    response.class_posteriors.resize(parts.total * k);
+  }
+  response.hard_labels.resize(parts.total);
+  const bool degraded = !failed_outcomes.empty();
+  if (degraded) {
+    response.is_partial = true;
+    response.covered.assign((parts.total + 63) / 64, 0);
+    response.shard_outcomes = std::move(failed_outcomes);
+  }
+  size_t num_lfs = 0;
+  std::vector<std::tuple<size_t, size_t, snorkel::Label>> vote_triplets;
+  for (const Pending* p : served) {
+    const LabelResponse& shard_response = *p->result;
+    const std::vector<size_t>& to_request = *p->to_request;
+    if (degraded) {
+      response.shard_outcomes.push_back(
+          ShardOutcome{p->shard, to_request.size(), StatusCode::kOk, ""});
+      for (size_t t = 0; t < to_request.size(); ++t) {
+        response.covered[to_request[t] / 64] |= uint64_t{1}
+                                                << (to_request[t] % 64);
+      }
+    }
+    for (size_t t = 0; t < to_request.size(); ++t) {
+      response.hard_labels[to_request[t]] = shard_response.hard_labels[t];
+      if (cardinality == 2) {
+        response.posteriors[to_request[t]] = shard_response.posteriors[t];
+      } else {
+        std::copy(shard_response.class_posteriors.begin() + t * k,
+                  shard_response.class_posteriors.begin() + (t + 1) * k,
+                  response.class_posteriors.begin() + to_request[t] * k);
+      }
+    }
+    if (request.include_votes) {
+      num_lfs = std::max(num_lfs, shard_response.votes.num_lfs());
+      for (size_t t = 0; t < to_request.size(); ++t) {
+        for (const auto& entry : shard_response.votes.row(t)) {
+          vote_triplets.emplace_back(to_request[t], entry.lf, entry.label);
+        }
+      }
+    }
+  }
+  if (request.include_votes) {
+    auto votes = LabelMatrix::FromTriplets(parts.total, num_lfs,
+                                           vote_triplets, cardinality);
+    if (!votes.ok()) {
+      return Status::Internal("vote reassembly failed: " +
+                              votes.status().message());
+    }
+    response.votes = std::move(*votes);
+  }
+  if (degraded) {
+    std::sort(response.shard_outcomes.begin(), response.shard_outcomes.end(),
+              [](const ShardOutcome& a, const ShardOutcome& b) {
+                return a.shard < b.shard;
+              });
+  }
+  response.latency_ms = timer.ElapsedMillis();
+
+  {
+    std::lock_guard<std::mutex> lock(impl.stats_mu);
+    if (degraded) ++impl.degraded_requests;
+    ++impl.num_requests;
+    impl.num_candidates += parts.total;
+  }
+  return response;
+}
+
+RemoteRouterStats RemoteShardRouter::stats() const {
+  const Impl& impl = *impl_;
+  RemoteRouterStats out;
+  {
+    std::lock_guard<std::mutex> lock(impl.stats_mu);
+    out.num_requests = impl.num_requests;
+    out.num_candidates = impl.num_candidates;
+    out.failed_requests = impl.failed_requests;
+    out.degraded_requests = impl.degraded_requests;
+  }
+  for (const RemoteShardClient& client : impl.clients) {
+    out.per_shard.push_back(client.stats());
+  }
+  return out;
+}
+
+}  // namespace snorkel

@@ -1,0 +1,87 @@
+#ifndef SNORKEL_NET_REMOTE_ROUTER_H_
+#define SNORKEL_NET_REMOTE_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/remote_client.h"
+#include "serve/label_service.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Router-side counters for the networked tier.
+struct RemoteRouterStats {
+  uint64_t num_requests = 0;
+  uint64_t num_candidates = 0;
+  /// Whole-request typed failures (default mode: any failed shard).
+  uint64_t failed_requests = 0;
+  /// allow_partial requests answered with is_partial == true.
+  uint64_t degraded_requests = 0;
+  /// Per-shard client stats (pool/hedge/health), indexed by shard.
+  std::vector<RemoteShardClient::Stats> per_shard;
+};
+
+/// The cross-process ShardRouter: partitions a request over N remote
+/// ShardServer processes with the SAME stable content-hash placement as the
+/// in-process tier (shard/partitioner.h), fans sub-batches out concurrently
+/// through RemoteShardClient stubs, and merges responses back into request
+/// order.
+///
+/// Guarantees (the fabric-level extension of ShardRouter's):
+///  - All shards healthy → the merged response is BITWISE-IDENTICAL to one
+///    unsharded in-process LabelService answering the same request (doubles
+///    cross the wire as raw IEEE-754 bytes; corpus slices preserve original
+///    document indices; merge order is deterministic).
+///  - Default mode: any failed sub-batch fails the WHOLE request with a
+///    typed status naming the shard — never silent partial data.
+///  - LabelRequest::allow_partial opts into typed degraded service: covered
+///    rows stay bit-identical, failed sub-batches come back as uncovered
+///    rows (covered bitmap + per-shard ShardOutcome), and only a request
+///    with NO surviving sub-batch fails outright.
+///
+/// Thread-safe: concurrent Label() calls fan out independently.
+class RemoteShardRouter {
+ public:
+  struct Options {
+    /// Per-shard client options (host/port filled per endpoint).
+    RemoteShardClient::Options client;
+    /// Per-call deadline forwarded to every sub-batch RPC; 0 = none.
+    uint64_t request_timeout_ms = 0;
+  };
+
+  /// One stub per endpoint; placement = CandidateShardKey % endpoints.size().
+  /// Endpoint order IS shard order — every router over the same ordered
+  /// endpoint list agrees on placement.
+  static Result<RemoteShardRouter> Create(
+      const std::vector<std::pair<std::string, uint16_t>>& endpoints,
+      Options options);
+
+  RemoteShardRouter(RemoteShardRouter&&) noexcept = default;
+  RemoteShardRouter& operator=(RemoteShardRouter&&) noexcept = default;
+  ~RemoteShardRouter();
+
+  /// Labels one batch across the remote fleet (LabelRequest semantics as in
+  /// serve/label_service.h; include_votes is supported and reassembles the
+  /// vote matrix bitwise).
+  Result<LabelResponse> Label(const LabelRequest& request);
+
+  RemoteRouterStats stats() const;
+
+  size_t num_shards() const;
+
+  /// Direct access to a shard's client stub (health probes, stats RPCs).
+  RemoteShardClient& shard(size_t i);
+
+ private:
+  struct Impl;
+  explicit RemoteShardRouter(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_NET_REMOTE_ROUTER_H_

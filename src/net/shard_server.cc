@@ -1,0 +1,430 @@
+#include "net/shard_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/snapshot_store.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/snapshot.h"
+#include "util/bounded_queue.h"
+#include "util/hash.h"
+#include "util/mmap_file.h"
+
+namespace snorkel {
+
+namespace {
+
+/// One immutable serving generation: the replica plus the mapped artifact it
+/// was decoded from, swapped wholesale on rollout. In-flight requests pin a
+/// generation through shared_ptr, so a hot-swap never invalidates the mmap
+/// under a request that is still reading model state — the old mapping is
+/// unmapped only when the last in-flight holder drains.
+struct ServingState {
+  LabelService service;
+  std::shared_ptr<MappedFile> mapping;  // Null on non-file paths.
+  uint64_t version = 0;
+  uint64_t checksum = 0;
+
+  ServingState(LabelService s, std::shared_ptr<MappedFile> m, uint64_t v,
+               uint64_t c)
+      : service(std::move(s)), mapping(std::move(m)), version(v), checksum(c) {}
+};
+
+/// Builds a serving generation from an artifact file: mmap, decode over the
+/// mapped view, validate against the live LF set.
+Result<std::shared_ptr<ServingState>> LoadServingState(
+    const std::string& path, uint64_t store_version,
+    const LabelingFunctionSet& lfs, const LabelService::Options& options) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto mapping = std::make_shared<MappedFile>(std::move(*file));
+  auto snapshot = DeserializeSnapshot(mapping->view());
+  if (!snapshot.ok()) return snapshot.status();
+  snapshot->artifact_version = store_version;
+  auto service = LabelService::Create(*snapshot, lfs, options);
+  if (!service.ok()) return service.status();
+  return std::make_shared<ServingState>(std::move(*service),
+                                        std::move(mapping), store_version,
+                                        snapshot->CanonicalChecksum());
+}
+
+/// A decoded label request cached per connectionless admission: the corpus
+/// slice is interned process-wide (below) so repeat traffic keys the same
+/// Corpus object and the replica's incremental column cache — which scopes
+/// entries by corpus identity — hits across requests and connections.
+struct Job {
+  uint64_t request_id = 0;
+  std::shared_ptr<const Corpus> corpus;
+  std::vector<Candidate> candidates;
+  std::vector<CandidateRef> refs;
+  bool include_votes = false;
+  bool apply_class_balance = true;
+  /// Absolute deadline derived from the request's remaining budget at
+  /// decode time; kNoDeadline when the request carried none.
+  SocketDeadline deadline = kNoDeadline;
+  std::promise<Result<LabelResponse>> result;
+};
+
+}  // namespace
+
+struct ShardServer::Impl {
+  Options options;
+  LabelingFunctionSet lfs;
+  std::optional<SnapshotStore> store;
+
+  ListenSocket listener;
+
+  /// Current serving generation; swapped atomically under state_mu.
+  mutable std::mutex state_mu;
+  std::shared_ptr<ServingState> state;
+
+  BoundedQueue<std::unique_ptr<Job>> queue;
+  std::vector<std::thread> workers;
+  std::thread accept_thread;
+  std::thread watcher_thread;
+
+  /// Connection handler threads (one per accepted connection; clients pool
+  /// connections so this stays bounded by pool size, not request count).
+  std::mutex conn_mu;
+  std::list<std::thread> conn_threads;
+
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> shut_down{false};
+
+  // ---- Counters. ----
+  std::atomic<uint64_t> requests_served{0};
+  std::atomic<uint64_t> candidates_served{0};
+  std::atomic<uint64_t> queue_rejections{0};
+  std::atomic<uint64_t> deadline_rejections{0};
+  std::atomic<uint64_t> snapshot_swaps{0};
+  std::atomic<uint64_t> rejected_swaps{0};
+  std::atomic<uint64_t> label_request_counter{0};
+
+  /// Process-wide corpus intern table: CORP payload bytes -> decoded Corpus.
+  /// Keyed by content hash and verified by full payload comparison (a hash
+  /// collision must never alias two different corpora — the column cache
+  /// trusts corpus identity). Bounded; eviction drops the oldest entry, and
+  /// in-flight requests keep evicted corpora alive via shared_ptr.
+  struct CorpusEntry {
+    std::string payload;
+    std::shared_ptr<const Corpus> corpus;
+  };
+  static constexpr size_t kMaxCachedCorpora = 16;
+  std::mutex corpus_mu;
+  std::list<std::pair<uint64_t, CorpusEntry>> corpus_cache;
+
+  explicit Impl(Options opts, LabelingFunctionSet lf_set)
+      : options(opts),
+        lfs(std::move(lf_set)),
+        queue(opts.queue_capacity == 0 ? 1 : opts.queue_capacity) {}
+
+  std::shared_ptr<ServingState> CurrentState() const {
+    std::lock_guard<std::mutex> lock(state_mu);
+    return state;
+  }
+
+  Result<std::shared_ptr<const Corpus>> InternCorpus(
+      const std::string& payload, Corpus&& decoded_fallback,
+      bool* decoded_used) {
+    uint64_t key = Fnv1a64(payload);
+    std::lock_guard<std::mutex> lock(corpus_mu);
+    for (auto it = corpus_cache.begin(); it != corpus_cache.end(); ++it) {
+      if (it->first == key && it->second.payload == payload) {
+        // Refresh LRU position.
+        corpus_cache.splice(corpus_cache.end(), corpus_cache, it);
+        *decoded_used = false;
+        return corpus_cache.back().second.corpus;
+      }
+    }
+    auto corpus = std::make_shared<const Corpus>(std::move(decoded_fallback));
+    corpus_cache.push_back({key, CorpusEntry{payload, corpus}});
+    if (corpus_cache.size() > kMaxCachedCorpora) corpus_cache.pop_front();
+    *decoded_used = true;
+    return corpus;
+  }
+
+  // ---- Label path. ----
+
+  void Worker() {
+    while (auto job_opt = queue.Pop()) {
+      std::unique_ptr<Job> job = std::move(*job_opt);
+      if (job->deadline != kNoDeadline &&
+          std::chrono::steady_clock::now() > job->deadline) {
+        deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+        job->result.set_value(Status::DeadlineExceeded(
+            "request budget spent before a worker picked it up"));
+        continue;
+      }
+      uint64_t n =
+          label_request_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.inject_delay_every_n > 0 &&
+          n % options.inject_delay_every_n == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.inject_delay_ms));
+      }
+      // Pin the current generation for the whole request: a concurrent
+      // hot-swap retires the old state only after this shared_ptr drops.
+      std::shared_ptr<ServingState> generation = CurrentState();
+      LabelRequest request;
+      request.corpus = job->corpus.get();
+      request.candidate_refs = &job->refs;
+      request.include_votes = job->include_votes;
+      request.apply_class_balance = job->apply_class_balance;
+      auto response = generation->service.Label(request);
+      if (response.ok()) {
+        requests_served.fetch_add(1, std::memory_order_relaxed);
+        candidates_served.fetch_add(job->refs.size(),
+                                    std::memory_order_relaxed);
+      }
+      job->result.set_value(std::move(response));
+    }
+  }
+
+  // ---- Connection handling. ----
+
+  Frame HandleStatsRequest(uint64_t request_id) {
+    std::shared_ptr<ServingState> generation = CurrentState();
+    WireServerStats stats;
+    stats.snapshot_version = generation->version;
+    stats.snapshot_checksum = generation->checksum;
+    stats.requests_served = requests_served.load(std::memory_order_relaxed);
+    stats.candidates_served =
+        candidates_served.load(std::memory_order_relaxed);
+    stats.queue_rejections = queue_rejections.load(std::memory_order_relaxed);
+    stats.snapshot_swaps = snapshot_swaps.load(std::memory_order_relaxed);
+    stats.cardinality = generation->service.cardinality();
+    return EncodeStatsResponse(request_id, stats);
+  }
+
+  Frame HandleLabelRequest(const Frame& frame) {
+    auto wire = DecodeLabelRequest(frame);
+    if (!wire.ok()) return EncodeErrorFrame(frame.request_id, wire.status());
+
+    auto job = std::make_unique<Job>();
+    job->request_id = frame.request_id;
+    job->include_votes = wire->include_votes;
+    job->apply_class_balance = wire->apply_class_balance;
+    if (wire->deadline_ms > 0) {
+      job->deadline = DeadlineAfterMs(wire->deadline_ms);
+    }
+
+    const FrameSection* corpus_section = frame.Find(kSectionCorpus);
+    bool decoded_used = false;
+    auto corpus = InternCorpus(corpus_section->payload,
+                               std::move(wire->corpus), &decoded_used);
+    if (!corpus.ok()) {
+      return EncodeErrorFrame(frame.request_id, corpus.status());
+    }
+    job->corpus = *corpus;
+    job->candidates = std::move(wire->candidates);
+    job->refs.reserve(job->candidates.size());
+    for (size_t i = 0; i < job->candidates.size(); ++i) {
+      job->refs.push_back(CandidateRef{&job->candidates[i],
+                                       static_cast<size_t>(wire->indices[i])});
+    }
+
+    std::future<Result<LabelResponse>> result = job->result.get_future();
+    switch (queue.TryPush(std::move(job))) {
+      case BoundedQueue<std::unique_ptr<Job>>::PushResult::kOk:
+        break;
+      case BoundedQueue<std::unique_ptr<Job>>::PushResult::kQueueFull:
+        queue_rejections.fetch_add(1, std::memory_order_relaxed);
+        return EncodeErrorFrame(
+            frame.request_id,
+            Status::ResourceExhausted("shard admission queue is full"));
+      case BoundedQueue<std::unique_ptr<Job>>::PushResult::kClosed:
+        return EncodeErrorFrame(
+            frame.request_id,
+            Status::Unavailable("shard is shutting down"));
+    }
+    Result<LabelResponse> response = result.get();
+    if (!response.ok()) {
+      return EncodeErrorFrame(frame.request_id, response.status());
+    }
+    return EncodeLabelResponse(frame.request_id, *response);
+  }
+
+  void HandleConnection(Socket socket) {
+    while (!stopping.load(std::memory_order_acquire)) {
+      // Bounded receive wait so this thread notices shutdown; a timeout
+      // between frames just re-arms the wait.
+      auto frame = RecvFrame(socket, DeadlineAfterMs(100), /*eof_ok=*/true);
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kDeadlineExceeded) continue;
+        if (frame.status().code() == StatusCode::kNotFound) return;  // EOF.
+        // Framing/protocol error: answer typed if the stream still works,
+        // then drop the connection (framing state is unrecoverable).
+        (void)SendFrame(socket, EncodeErrorFrame(0, frame.status()),
+                        DeadlineAfterMs(1000));
+        return;
+      }
+      Frame reply;
+      switch (frame->type) {
+        case FrameType::kPing:
+          reply.type = FrameType::kPong;
+          reply.request_id = frame->request_id;
+          break;
+        case FrameType::kStatsRequest:
+          reply = HandleStatsRequest(frame->request_id);
+          break;
+        case FrameType::kLabelRequest:
+          reply = HandleLabelRequest(*frame);
+          break;
+        default:
+          reply = EncodeErrorFrame(
+              frame->request_id,
+              Status::InvalidArgument("unsupported frame type " +
+                                      std::to_string(static_cast<uint32_t>(
+                                          frame->type))));
+          break;
+      }
+      if (!SendFrame(socket, reply, kNoDeadline).ok()) return;
+    }
+  }
+
+  void AcceptLoop() {
+    while (!stopping.load(std::memory_order_acquire)) {
+      auto socket = listener.Accept(/*timeout_ms=*/100);
+      if (!socket.ok()) continue;  // Timeout (stop check) or transient.
+      std::lock_guard<std::mutex> lock(conn_mu);
+      if (stopping.load(std::memory_order_acquire)) return;
+      conn_threads.emplace_back(
+          [this, s = std::make_shared<Socket>(std::move(*socket))]() mutable {
+            HandleConnection(std::move(*s));
+          });
+    }
+  }
+
+  // ---- Snapshot watcher (store mode). ----
+
+  void WatchLoop() {
+    uint64_t last_rejected = 0;
+    while (!stopping.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.watch_interval_ms));
+      if (stopping.load(std::memory_order_acquire)) return;
+      auto current = store->CurrentVersion();
+      if (!current.ok()) continue;
+      uint64_t serving = CurrentState()->version;
+      if (*current <= serving || *current == last_rejected) continue;
+      auto next = LoadServingState(store->PathFor(*current), *current, lfs,
+                                   options.service);
+      if (!next.ok()) {
+        // A bad artifact must not take the shard down: reject the swap,
+        // keep serving the old generation, and don't retry this version.
+        rejected_swaps.fetch_add(1, std::memory_order_relaxed);
+        last_rejected = *current;
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        state = std::move(*next);
+      }
+      snapshot_swaps.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void Start() {
+    for (size_t i = 0; i < std::max<size_t>(1, options.num_workers); ++i) {
+      workers.emplace_back([this] { Worker(); });
+    }
+    accept_thread = std::thread([this] { AcceptLoop(); });
+    if (store.has_value()) {
+      watcher_thread = std::thread([this] { WatchLoop(); });
+    }
+  }
+
+  void Shutdown() {
+    if (shut_down.exchange(true)) return;
+    stopping.store(true, std::memory_order_release);
+    if (accept_thread.joinable()) accept_thread.join();
+    if (watcher_thread.joinable()) watcher_thread.join();
+    listener.Close();
+    // Connection handlers notice `stopping` within one receive wait; any
+    // label job they already admitted drains below before workers exit.
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      for (std::thread& thread : conn_threads) thread.join();
+      conn_threads.clear();
+    }
+    queue.Close();
+    for (std::thread& worker : workers) worker.join();
+    workers.clear();
+  }
+};
+
+ShardServer::ShardServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+ShardServer::ShardServer(ShardServer&&) noexcept = default;
+ShardServer& ShardServer::operator=(ShardServer&&) noexcept = default;
+
+ShardServer::~ShardServer() {
+  if (impl_ != nullptr) impl_->Shutdown();
+}
+
+Result<ShardServer> ShardServer::Serve(const std::string& snapshot_path,
+                                       const LabelingFunctionSet& lfs,
+                                       Options options) {
+  auto state = LoadServingState(snapshot_path, /*store_version=*/0, lfs,
+                                options.service);
+  if (!state.ok()) return state.status();
+  auto impl = std::make_unique<Impl>(options, lfs);
+  impl->state = std::move(*state);
+  auto listener = ListenSocket::Listen(options.port);
+  if (!listener.ok()) return listener.status();
+  impl->listener = std::move(*listener);
+  impl->Start();
+  return ShardServer(std::move(impl));
+}
+
+Result<ShardServer> ShardServer::ServeFromStore(const std::string& store_dir,
+                                                const LabelingFunctionSet& lfs,
+                                                Options options) {
+  auto store = SnapshotStore::Open(store_dir);
+  if (!store.ok()) return store.status();
+  auto version = store->CurrentVersion();
+  if (!version.ok()) return version.status();
+  auto state = LoadServingState(store->PathFor(*version), *version, lfs,
+                                options.service);
+  if (!state.ok()) return state.status();
+  auto impl = std::make_unique<Impl>(options, lfs);
+  impl->store = std::move(*store);
+  impl->state = std::move(*state);
+  auto listener = ListenSocket::Listen(options.port);
+  if (!listener.ok()) return listener.status();
+  impl->listener = std::move(*listener);
+  impl->Start();
+  return ShardServer(std::move(impl));
+}
+
+uint16_t ShardServer::port() const { return impl_->listener.port(); }
+
+ShardServer::Stats ShardServer::stats() const {
+  Stats stats;
+  auto state = impl_->CurrentState();
+  stats.requests_served =
+      impl_->requests_served.load(std::memory_order_relaxed);
+  stats.candidates_served =
+      impl_->candidates_served.load(std::memory_order_relaxed);
+  stats.queue_rejections =
+      impl_->queue_rejections.load(std::memory_order_relaxed);
+  stats.deadline_rejections =
+      impl_->deadline_rejections.load(std::memory_order_relaxed);
+  stats.snapshot_swaps = impl_->snapshot_swaps.load(std::memory_order_relaxed);
+  stats.rejected_swaps = impl_->rejected_swaps.load(std::memory_order_relaxed);
+  stats.snapshot_version = state->version;
+  stats.snapshot_checksum = state->checksum;
+  stats.cardinality = state->service.cardinality();
+  return stats;
+}
+
+void ShardServer::Shutdown() { impl_->Shutdown(); }
+
+}  // namespace snorkel

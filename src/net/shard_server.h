@@ -1,0 +1,112 @@
+#ifndef SNORKEL_NET_SHARD_SERVER_H_
+#define SNORKEL_NET_SHARD_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lf/labeling_function.h"
+#include "serve/label_service.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// One serving process of the networked shard fabric: a LabelService replica
+/// behind a listening TCP socket speaking the net/wire.h frame protocol.
+///
+///   accept loop ── per-connection handler threads
+///        │            decode frame → BoundedQueue admission
+///        │                 │ (full → kResourceExhausted error frame,
+///        │                 │  closed → kUnavailable — typed backpressure,
+///        │                 │  never an unbounded in-memory queue)
+///        │            worker threads: pop job, run the CURRENT replica,
+///        │            fulfil the connection's pending response
+///        └─ snapshot watcher (store mode): polls the SnapshotStore and
+///           hot-swaps the replica to a newer artifact version with zero
+///           downtime — in-flight requests keep the OLD service (and its
+///           mmap) alive through a shared_ptr until they drain, new requests
+///           land on the new version, and not one request fails or blocks
+///           on the transition. A candidate artifact that fails validation
+///           (LabelService::Create) is rejected and the old version keeps
+///           serving (rejected_swaps counts it).
+///
+/// Results over the wire are BITWISE-IDENTICAL to calling the wrapped
+/// LabelService in-process: requests ship raw IEEE-754 bytes and the corpus
+/// slice preserves original document indices, so not one bit of a posterior
+/// can differ across the hop (the fabric-level extension of the repo's
+/// sharding guarantee).
+///
+/// A request whose deadline_ms budget is already spent when a worker picks
+/// it up fails kDeadlineExceeded without running the model (no dead work).
+class ShardServer {
+ public:
+  struct Options {
+    /// TCP port to bind on loopback; 0 = kernel-assigned (read port()).
+    uint16_t port = 0;
+    /// Bounded admission queue capacity (jobs); clamped to >= 1.
+    size_t queue_capacity = 64;
+    /// Label worker threads; clamped to >= 1.
+    size_t num_workers = 1;
+    /// Options for the wrapped LabelService replica.
+    LabelService::Options service;
+    /// Store mode: how often the watcher polls for a newer version.
+    uint64_t watch_interval_ms = 100;
+    /// Fault injection for tests and the hedged-retry tail probe: every Nth
+    /// label request (1-based, process-wide) sleeps `inject_delay_ms`
+    /// before serving. 0 disables. Injected latency only — results stay
+    /// bit-identical.
+    uint64_t inject_delay_every_n = 0;
+    uint64_t inject_delay_ms = 0;
+  };
+
+  /// Server-side counters (also served over the wire via kStatsRequest).
+  struct Stats {
+    uint64_t requests_served = 0;
+    uint64_t candidates_served = 0;
+    /// Admission failures: queue at capacity (wire kResourceExhausted).
+    uint64_t queue_rejections = 0;
+    /// Jobs dequeued after their deadline budget was spent.
+    uint64_t deadline_rejections = 0;
+    /// Successful hot-swaps onto a newer store version.
+    uint64_t snapshot_swaps = 0;
+    /// Newer store versions that failed validation and were NOT swapped in.
+    uint64_t rejected_swaps = 0;
+    uint64_t snapshot_version = 0;
+    uint64_t snapshot_checksum = 0;
+    int32_t cardinality = 2;
+  };
+
+  /// Serves a single artifact file (no watcher; snapshot_version is the
+  /// artifact's store version if its name encodes one, else 0).
+  static Result<ShardServer> Serve(const std::string& snapshot_path,
+                                   const LabelingFunctionSet& lfs,
+                                   Options options);
+
+  /// Serves the CURRENT version of a SnapshotStore directory and watches it
+  /// for newer versions (NotFound when the store is empty).
+  static Result<ShardServer> ServeFromStore(const std::string& store_dir,
+                                            const LabelingFunctionSet& lfs,
+                                            Options options);
+
+  ShardServer(ShardServer&&) noexcept;
+  ShardServer& operator=(ShardServer&&) noexcept;
+  ~ShardServer();
+
+  /// The bound port (resolved when Options::port was 0).
+  uint16_t port() const;
+
+  Stats stats() const;
+
+  /// Stops accepting, drains admitted jobs, joins every thread. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Impl;
+  explicit ShardServer(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_NET_SHARD_SERVER_H_

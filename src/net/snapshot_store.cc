@@ -1,0 +1,118 @@
+#include "net/snapshot_store.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/binary_io.h"
+
+namespace snorkel {
+
+namespace {
+
+constexpr char kPrefix[] = "snapshot-";
+constexpr char kSuffix[] = ".snk";
+
+/// Parses "snapshot-<version>.snk"; false for anything else (incl. temp
+/// files, which start with '.').
+bool ParseVersion(const char* name, uint64_t* version) {
+  size_t len = std::strlen(name);
+  size_t prefix_len = sizeof(kPrefix) - 1;
+  size_t suffix_len = sizeof(kSuffix) - 1;
+  if (len <= prefix_len + suffix_len) return false;
+  if (std::strncmp(name, kPrefix, prefix_len) != 0) return false;
+  if (std::strcmp(name + len - suffix_len, kSuffix) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = prefix_len; i < len - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *version = v;
+  return true;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Result<SnapshotStore> SnapshotStore::Open(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create snapshot store at '" + dir +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError("snapshot store path '" + dir +
+                           "' is not a directory");
+  }
+  return SnapshotStore(dir);
+}
+
+std::string SnapshotStore::PathFor(uint64_t version) const {
+  return dir_ + "/" + kPrefix + std::to_string(version) + kSuffix;
+}
+
+Result<std::vector<uint64_t>> SnapshotStore::ListVersions() const {
+  DIR* handle = ::opendir(dir_.c_str());
+  if (handle == nullptr) {
+    return Status::IOError("cannot list snapshot store '" + dir_ +
+                           "': " + std::strerror(errno));
+  }
+  std::vector<uint64_t> versions;
+  while (struct dirent* entry = ::readdir(handle)) {
+    uint64_t version = 0;
+    if (ParseVersion(entry->d_name, &version)) versions.push_back(version);
+  }
+  ::closedir(handle);
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+Result<uint64_t> SnapshotStore::CurrentVersion() const {
+  auto versions = ListVersions();
+  if (!versions.ok()) return versions.status();
+  if (versions->empty()) {
+    return Status::NotFound("snapshot store '" + dir_ + "' is empty");
+  }
+  return versions->back();
+}
+
+Status SnapshotStore::Publish(uint64_t version, std::string_view bytes) const {
+  std::string final_path = PathFor(version);
+  if (FileExists(final_path)) {
+    return Status::AlreadyExists("snapshot version " +
+                                 std::to_string(version) +
+                                 " already exists in '" + dir_ + "'");
+  }
+  // Temp name starts with '.', so a concurrent ListVersions never sees it.
+  std::string temp_path = dir_ + "/.publish-" + std::to_string(version) +
+                          "-" + std::to_string(::getpid());
+  SNORKEL_RETURN_IF_ERROR(WriteFileBytes(temp_path, bytes));
+  if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    Status status = Status::IOError("cannot publish snapshot version " +
+                                    std::to_string(version) + ": " +
+                                    std::strerror(errno));
+    (void)std::remove(temp_path.c_str());
+    return status;
+  }
+  return Status::OK();
+}
+
+Status SnapshotStore::PromoteFile(const std::string& source_path,
+                                  uint64_t version) const {
+  auto bytes = ReadFileBytes(source_path);
+  if (!bytes.ok()) return bytes.status();
+  return Publish(version, *bytes);
+}
+
+}  // namespace snorkel

@@ -1,0 +1,63 @@
+#ifndef SNORKEL_NET_SNAPSHOT_STORE_H_
+#define SNORKEL_NET_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snorkel {
+
+/// The on-disk artifact store the rollout machinery revolves around: a
+/// directory of immutable, versioned snapshot files
+///
+///   <dir>/snapshot-<version>.snk
+///
+/// where the highest version present is the current one. Publication is
+/// write-to-temp + atomic rename, so a watcher never observes a partially
+/// written artifact: a version either does not exist yet or is complete.
+/// Versions are never overwritten (AlreadyExists) — rollback is publishing
+/// the old bytes at a NEW higher version, which keeps the history linear and
+/// every transition observable.
+///
+/// Serving processes poll CurrentVersion() (see ShardServer's watcher) and
+/// hot-swap replicas when it moves; tools/snapshot_diff --promote is the
+/// gated path for putting a candidate artifact into the store.
+class SnapshotStore {
+ public:
+  /// Opens (creating the directory if needed) the store at `dir`.
+  static Result<SnapshotStore> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The store path an artifact at `version` lives at (whether or not it
+  /// exists yet).
+  std::string PathFor(uint64_t version) const;
+
+  /// All versions present, ascending. An empty store returns an empty list.
+  Result<std::vector<uint64_t>> ListVersions() const;
+
+  /// The highest version present; NotFound when the store is empty.
+  Result<uint64_t> CurrentVersion() const;
+
+  /// Publishes `bytes` as `version` atomically. AlreadyExists when the
+  /// version is taken (store versions are immutable).
+  Status Publish(uint64_t version, std::string_view bytes) const;
+
+  /// Moves an existing artifact file into the store at `version` via
+  /// write-to-temp + atomic rename of a COPY (the source is left in place;
+  /// promotion must not destroy the candidate if validation of a later step
+  /// fails). AlreadyExists when the version is taken.
+  Status PromoteFile(const std::string& source_path, uint64_t version) const;
+
+ private:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_NET_SNAPSHOT_STORE_H_

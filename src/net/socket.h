@@ -1,0 +1,106 @@
+#ifndef SNORKEL_NET_SOCKET_H_
+#define SNORKEL_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace snorkel {
+
+/// Absolute deadline for a socket operation (steady clock, so wall-clock
+/// jumps cannot spuriously expire a request). kNoDeadline = wait forever.
+using SocketDeadline = std::chrono::steady_clock::time_point;
+inline constexpr SocketDeadline kNoDeadline = SocketDeadline::max();
+
+/// Deadline `timeout_ms` milliseconds from now; 0 = kNoDeadline.
+SocketDeadline DeadlineAfterMs(uint64_t timeout_ms);
+
+/// A connected TCP stream socket (RAII over the fd, move-only). All IO is
+/// non-blocking under the hood with poll()-based waits, so every call takes
+/// an absolute deadline and fails typed instead of hanging:
+///   - kDeadlineExceeded: the deadline expired mid-operation.
+///   - kUnavailable: the peer is unreachable or the connection broke
+///     (ECONNREFUSED/ECONNRESET/EPIPE/EOF mid-message).
+/// SIGPIPE is suppressed per-send (MSG_NOSIGNAL); no global signal state.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an fd (already connected; switched to non-blocking).
+  explicit Socket(int fd);
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  /// Connects to host:port within the deadline. `host` is a dotted-quad or
+  /// resolvable name ("127.0.0.1", "localhost").
+  static Result<Socket> Connect(const std::string& host, uint16_t port,
+                                SocketDeadline deadline);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes all of `bytes` or fails typed.
+  Status SendAll(std::string_view bytes, SocketDeadline deadline);
+
+  /// Reads exactly `size` bytes into `out` or fails typed. EOF before
+  /// `size` bytes is kUnavailable (the peer hung up mid-message); EOF at
+  /// offset 0 with `eof_ok` reports kNotFound so callers can distinguish a
+  /// clean peer close from a mid-frame break.
+  Status RecvExact(char* out, size_t size, SocketDeadline deadline,
+                   bool eof_ok = false);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (the fabric is a single-host /
+/// trusted-network tier; binding loopback by default keeps test servers off
+/// external interfaces). Accept() polls with a bounded wait so server loops
+/// can interleave accepts with their own stop checks.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ~ListenSocket();
+
+  /// Binds and listens on `port` (0 = kernel-assigned ephemeral port; read
+  /// it back from port()).
+  static Result<ListenSocket> Listen(uint16_t port, int backlog = 64);
+
+  /// The bound port (resolved after Listen with port 0).
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Accepts one connection, waiting at most `timeout_ms`. Returns
+  /// kDeadlineExceeded when nothing arrived in time (the server loop's
+  /// chance to check its stop flag) and kUnavailable once the socket is
+  /// closed.
+  Result<Socket> Accept(uint64_t timeout_ms);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Writes one encoded frame to the stream.
+Status SendFrame(Socket& socket, const Frame& frame, SocketDeadline deadline);
+
+/// Reads one frame (header, then body) from the stream. `eof_ok` as in
+/// RecvExact: a clean close between frames decodes as kNotFound.
+Result<Frame> RecvFrame(Socket& socket, SocketDeadline deadline,
+                        bool eof_ok = false);
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_NET_SOCKET_H_

@@ -1,0 +1,595 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "util/binary_io.h"
+#include "util/hash.h"
+
+namespace snorkel {
+
+namespace {
+
+bool TagIs(const std::string& tag, const char expected[4]) {
+  return tag.size() == 4 && std::memcmp(tag.data(), expected, 4) == 0;
+}
+
+std::string TagString(const char tag[4]) { return std::string(tag, 4); }
+
+void WriteSpan(BinaryWriter* writer, const Span& span) {
+  writer->WriteU32(span.doc);
+  writer->WriteU32(span.sentence);
+  writer->WriteU32(span.word_start);
+  writer->WriteU32(span.word_end);
+  writer->WriteString(span.entity_type);
+  writer->WriteString(span.canonical_id);
+}
+
+Span ReadSpan(BinaryReader* reader) {
+  Span span;
+  span.doc = reader->ReadU32();
+  span.sentence = reader->ReadU32();
+  span.word_start = reader->ReadU32();
+  span.word_end = reader->ReadU32();
+  span.entity_type = reader->ReadString();
+  span.canonical_id = reader->ReadString();
+  return span;
+}
+
+/// Corpus slice: only the documents the candidates reference, shipped at
+/// their ORIGINAL indices. The server rebuilds a sparse corpus with empty
+/// filler documents below the highest shipped index, so every span's
+/// (doc, sentence) coordinates — and therefore every LF observable — are
+/// byte-identical to the client's corpus.
+std::string EncodeCorpusSlice(const Corpus& corpus,
+                              const std::vector<CandidateRef>& rows) {
+  std::vector<uint32_t> doc_indices;
+  doc_indices.reserve(rows.size() * 2);
+  for (const CandidateRef& ref : rows) {
+    doc_indices.push_back(ref.candidate->span1.doc);
+    doc_indices.push_back(ref.candidate->span2.doc);
+  }
+  std::sort(doc_indices.begin(), doc_indices.end());
+  doc_indices.erase(std::unique(doc_indices.begin(), doc_indices.end()),
+                    doc_indices.end());
+
+  BinaryWriter writer;
+  writer.WriteU64(doc_indices.size());
+  for (uint32_t d : doc_indices) {
+    const Document& doc = corpus.document(d);
+    writer.WriteU64(d);
+    writer.WriteString(doc.name);
+    writer.WriteU64(doc.sentences.size());
+    for (const Sentence& sentence : doc.sentences) {
+      writer.WriteStringVector(sentence.words);
+      writer.WriteU64(sentence.mentions.size());
+      for (const Mention& mention : sentence.mentions) {
+        writer.WriteU32(mention.word_start);
+        writer.WriteU32(mention.word_end);
+        writer.WriteString(mention.entity_type);
+        writer.WriteString(mention.canonical_id);
+      }
+    }
+  }
+  return writer.TakeBuffer();
+}
+
+Result<Corpus> DecodeCorpusSlice(std::string_view payload) {
+  BinaryReader reader(payload);
+  uint64_t num_docs = reader.ReadU64();
+  Corpus corpus;
+  for (uint64_t i = 0; i < num_docs && reader.ok(); ++i) {
+    uint64_t index = reader.ReadU64();
+    // Sparse reconstruction: pad with empty documents so shipped documents
+    // land at their original indices. Shipped indices are sorted ascending,
+    // so a backwards index is corruption.
+    if (index < corpus.num_documents()) {
+      return Status::IOError("CORP section: document indices out of order");
+    }
+    if (index > payload.size()) {
+      // More filler docs than the payload could possibly describe: corrupt
+      // index field (guards the pad loop below against huge values).
+      return Status::IOError("CORP section: corrupt document index");
+    }
+    while (corpus.num_documents() < index) corpus.AddDocument(Document{});
+    Document doc;
+    doc.name = reader.ReadString();
+    uint64_t num_sentences = reader.ReadU64();
+    if (num_sentences > payload.size()) {
+      return Status::IOError("CORP section: corrupt sentence count");
+    }
+    for (uint64_t s = 0; s < num_sentences && reader.ok(); ++s) {
+      Sentence sentence;
+      sentence.words = reader.ReadStringVector();
+      uint64_t num_mentions = reader.ReadU64();
+      if (num_mentions > payload.size()) {
+        return Status::IOError("CORP section: corrupt mention count");
+      }
+      for (uint64_t m = 0; m < num_mentions && reader.ok(); ++m) {
+        Mention mention;
+        mention.word_start = reader.ReadU32();
+        mention.word_end = reader.ReadU32();
+        mention.entity_type = reader.ReadString();
+        mention.canonical_id = reader.ReadString();
+        sentence.mentions.push_back(std::move(mention));
+      }
+      doc.sentences.push_back(std::move(sentence));
+    }
+    corpus.AddDocument(std::move(doc));
+  }
+  if (!reader.ok()) {
+    return Status::IOError("CORP section: " + reader.status().message());
+  }
+  return corpus;
+}
+
+std::string EncodeCandidates(const std::vector<CandidateRef>& rows) {
+  BinaryWriter writer;
+  writer.WriteU64(rows.size());
+  for (const CandidateRef& ref : rows) {
+    WriteSpan(&writer, ref.candidate->span1);
+    WriteSpan(&writer, ref.candidate->span2);
+    writer.WriteU64(ref.index);
+  }
+  return writer.TakeBuffer();
+}
+
+Status DecodeCandidates(std::string_view payload, WireLabelRequest* out) {
+  BinaryReader reader(payload);
+  uint64_t count = reader.ReadU64();
+  if (count > payload.size()) {
+    return Status::IOError("CAND section: corrupt candidate count");
+  }
+  out->candidates.reserve(count);
+  out->indices.reserve(count);
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    Candidate candidate;
+    candidate.span1 = ReadSpan(&reader);
+    candidate.span2 = ReadSpan(&reader);
+    out->indices.push_back(reader.ReadU64());
+    out->candidates.push_back(std::move(candidate));
+  }
+  if (!reader.ok()) {
+    return Status::IOError("CAND section: " + reader.status().message());
+  }
+  return Status::OK();
+}
+
+std::string EncodeVotes(const LabelMatrix& votes) {
+  BinaryWriter writer;
+  writer.WriteU64(votes.num_rows());
+  writer.WriteU64(votes.num_lfs());
+  writer.WriteI32(votes.cardinality());
+  uint64_t entries = 0;
+  for (size_t i = 0; i < votes.num_rows(); ++i) {
+    for ([[maybe_unused]] const auto& entry : votes.row(i)) ++entries;
+  }
+  writer.WriteU64(entries);
+  for (size_t i = 0; i < votes.num_rows(); ++i) {
+    for (const auto& entry : votes.row(i)) {
+      writer.WriteU64(i);
+      writer.WriteU64(entry.lf);
+      writer.WriteI32(entry.label);
+    }
+  }
+  return writer.TakeBuffer();
+}
+
+Result<LabelMatrix> DecodeVotes(std::string_view payload) {
+  BinaryReader reader(payload);
+  uint64_t rows = reader.ReadU64();
+  uint64_t lfs = reader.ReadU64();
+  int32_t cardinality = reader.ReadI32();
+  uint64_t entries = reader.ReadU64();
+  if (entries > payload.size()) {
+    return Status::IOError("VOTE section: corrupt entry count");
+  }
+  std::vector<std::tuple<size_t, size_t, Label>> triplets;
+  triplets.reserve(entries);
+  for (uint64_t e = 0; e < entries && reader.ok(); ++e) {
+    uint64_t row = reader.ReadU64();
+    uint64_t lf = reader.ReadU64();
+    Label label = reader.ReadI32();
+    triplets.emplace_back(row, lf, label);
+  }
+  if (!reader.ok()) {
+    return Status::IOError("VOTE section: " + reader.status().message());
+  }
+  auto matrix = LabelMatrix::FromTriplets(rows, lfs, triplets, cardinality);
+  if (!matrix.ok()) {
+    return Status::IOError("VOTE section: " + matrix.status().message());
+  }
+  return matrix;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- framing --
+
+uint32_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kFailedPrecondition:
+      return 3;
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kAlreadyExists:
+      return 5;
+    case StatusCode::kInternal:
+      return 6;
+    case StatusCode::kIOError:
+      return 7;
+    case StatusCode::kResourceExhausted:
+      return 8;
+    case StatusCode::kUnavailable:
+      return 9;
+    case StatusCode::kDeadlineExceeded:
+      return 10;
+  }
+  return 6;  // kInternal.
+}
+
+StatusCode StatusCodeFromWire(uint32_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kFailedPrecondition;
+    case 4:
+      return StatusCode::kOutOfRange;
+    case 5:
+      return StatusCode::kAlreadyExists;
+    case 6:
+      return StatusCode::kInternal;
+    case 7:
+      return StatusCode::kIOError;
+    case 8:
+      return StatusCode::kResourceExhausted;
+    case 9:
+      return StatusCode::kUnavailable;
+    case 10:
+      return StatusCode::kDeadlineExceeded;
+    default:
+      // A code minted by a newer peer: surface as an internal error rather
+      // than inventing semantics for it.
+      return StatusCode::kInternal;
+  }
+}
+
+const FrameSection* Frame::Find(const char tag[4]) const {
+  for (const FrameSection& section : sections) {
+    if (TagIs(section.tag, tag)) return &section;
+  }
+  return nullptr;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  BinaryWriter preamble;
+  preamble.WriteU32(static_cast<uint32_t>(frame.type));
+  preamble.WriteU64(frame.request_id);
+  preamble.WriteU32(static_cast<uint32_t>(frame.sections.size()));
+  std::string body = preamble.TakeBuffer();
+  for (const FrameSection& section : frame.sections) {
+    body.append(section.tag.data(), 4);
+    BinaryWriter trailer;
+    trailer.WriteU64(section.payload.size());
+    body += trailer.buffer();
+    body += section.payload;
+    BinaryWriter checksum;
+    checksum.WriteU64(Fnv1a64(section.payload));
+    body += checksum.buffer();
+  }
+  std::string bytes(kWireMagic, sizeof(kWireMagic));
+  BinaryWriter header;
+  header.WriteU32(kWireVersion);
+  header.WriteU64(body.size());
+  bytes += header.buffer();
+  bytes += body;
+  return bytes;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes) {
+  if (bytes.size() != kWireHeaderBytes) {
+    return Status::IOError("wire header: expected " +
+                           std::to_string(kWireHeaderBytes) + " bytes, got " +
+                           std::to_string(bytes.size()));
+  }
+  if (std::memcmp(bytes.data(), kWireMagic, sizeof(kWireMagic)) != 0) {
+    return Status::InvalidArgument("wire header: bad magic");
+  }
+  BinaryReader reader(bytes.substr(4));
+  FrameHeader header;
+  header.version = reader.ReadU32();
+  header.body_size = reader.ReadU64();
+  if (header.version > kWireVersion) {
+    return Status::FailedPrecondition(
+        "wire version " + std::to_string(header.version) +
+        " is newer than this build speaks (" + std::to_string(kWireVersion) +
+        ")");
+  }
+  if (header.body_size > kMaxWireFrameBytes) {
+    return Status::IOError("wire frame body of " +
+                           std::to_string(header.body_size) +
+                           " bytes exceeds the frame bound");
+  }
+  return header;
+}
+
+Result<Frame> DecodeFrameBody(std::string_view body) {
+  BinaryReader reader(body);
+  Frame frame;
+  frame.type = static_cast<FrameType>(reader.ReadU32());
+  frame.request_id = reader.ReadU64();
+  uint32_t section_count = reader.ReadU32();
+  if (!reader.ok()) {
+    return Status::IOError("wire body: truncated frame preamble");
+  }
+  size_t cursor = reader.position();
+  for (uint32_t s = 0; s < section_count; ++s) {
+    if (body.size() - cursor < 4 + sizeof(uint64_t)) {
+      return Status::IOError("wire body: truncated section header");
+    }
+    std::string tag(body.substr(cursor, 4));
+    uint64_t payload_size = 0;
+    std::memcpy(&payload_size, body.data() + cursor + 4, sizeof(payload_size));
+    size_t after_header = cursor + 4 + sizeof(uint64_t);
+    if (payload_size > body.size() - after_header ||
+        body.size() - after_header - payload_size < sizeof(uint64_t)) {
+      return Status::IOError("wire body: truncated section '" + tag + "'");
+    }
+    std::string payload(body.substr(after_header, payload_size));
+    uint64_t stored = 0;
+    std::memcpy(&stored, body.data() + after_header + payload_size,
+                sizeof(stored));
+    if (stored != Fnv1a64(payload)) {
+      return Status::IOError("wire body: checksum mismatch in section '" +
+                             tag + "'");
+    }
+    frame.sections.push_back(FrameSection{std::move(tag), std::move(payload)});
+    cursor = after_header + payload_size + sizeof(uint64_t);
+  }
+  if (cursor != body.size()) {
+    return Status::IOError("wire body: trailing garbage after last section");
+  }
+  return frame;
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes) {
+  if (bytes.size() < kWireHeaderBytes) {
+    return Status::IOError("wire frame: shorter than the fixed header");
+  }
+  auto header = DecodeFrameHeader(bytes.substr(0, kWireHeaderBytes));
+  if (!header.ok()) return header.status();
+  if (bytes.size() - kWireHeaderBytes != header->body_size) {
+    return Status::IOError("wire frame: body size mismatch");
+  }
+  return DecodeFrameBody(bytes.substr(kWireHeaderBytes));
+}
+
+// --------------------------------------------------------------- payloads --
+
+Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
+                         const std::vector<CandidateRef>& rows,
+                         bool include_votes, bool apply_class_balance,
+                         uint64_t deadline_ms) {
+  Frame frame;
+  frame.type = FrameType::kLabelRequest;
+  frame.request_id = request_id;
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionCorpus), EncodeCorpusSlice(corpus, rows)});
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionCandidates), EncodeCandidates(rows)});
+  BinaryWriter options;
+  options.WriteU32(include_votes ? 1 : 0);
+  options.WriteU32(apply_class_balance ? 1 : 0);
+  options.WriteU64(deadline_ms);
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionRequestOptions), options.TakeBuffer()});
+  return frame;
+}
+
+Result<WireLabelRequest> DecodeLabelRequest(const Frame& frame) {
+  if (frame.type != FrameType::kLabelRequest) {
+    return Status::InvalidArgument("frame is not a label request");
+  }
+  const FrameSection* corpus_section = frame.Find(kSectionCorpus);
+  const FrameSection* candidates_section = frame.Find(kSectionCandidates);
+  if (corpus_section == nullptr || candidates_section == nullptr) {
+    return Status::IOError(
+        "label request frame is missing its CORP/CAND sections");
+  }
+  WireLabelRequest request;
+  auto corpus = DecodeCorpusSlice(corpus_section->payload);
+  if (!corpus.ok()) return corpus.status();
+  request.corpus = std::move(*corpus);
+  Status candidates_status =
+      DecodeCandidates(candidates_section->payload, &request);
+  if (!candidates_status.ok()) return candidates_status;
+  for (const Candidate& candidate : request.candidates) {
+    if (candidate.span1.doc >= request.corpus.num_documents() ||
+        candidate.span2.doc >= request.corpus.num_documents()) {
+      return Status::IOError(
+          "label request references a document outside its corpus slice");
+    }
+  }
+  if (const FrameSection* options = frame.Find(kSectionRequestOptions)) {
+    BinaryReader reader(options->payload);
+    request.include_votes = reader.ReadU32() != 0;
+    request.apply_class_balance = reader.ReadU32() != 0;
+    request.deadline_ms = reader.ReadU64();
+    if (!reader.ok()) {
+      return Status::IOError("ROPT section: " + reader.status().message());
+    }
+    // Trailing bytes tolerated: a newer client may append option fields.
+  }
+  return request;
+}
+
+Frame EncodeLabelResponse(uint64_t request_id, const LabelResponse& response) {
+  Frame frame;
+  frame.type = FrameType::kLabelResponse;
+  frame.request_id = request_id;
+  BinaryWriter meta;
+  meta.WriteI32(response.cardinality);
+  meta.WriteU64(response.hard_labels.size());
+  meta.WriteF64(response.latency_ms);
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionResponseMeta), meta.TakeBuffer()});
+  if (!response.posteriors.empty()) {
+    BinaryWriter posteriors;
+    posteriors.WriteF64Vector(response.posteriors);
+    frame.sections.push_back(FrameSection{TagString(kSectionPosteriors),
+                                          posteriors.TakeBuffer()});
+  }
+  if (!response.class_posteriors.empty()) {
+    BinaryWriter class_posteriors;
+    class_posteriors.WriteF64Vector(response.class_posteriors);
+    frame.sections.push_back(FrameSection{TagString(kSectionClassPosteriors),
+                                          class_posteriors.TakeBuffer()});
+  }
+  BinaryWriter hard;
+  hard.WriteU64(response.hard_labels.size());
+  for (Label label : response.hard_labels) hard.WriteI32(label);
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionHardLabels), hard.TakeBuffer()});
+  if (response.votes.num_rows() > 0) {
+    frame.sections.push_back(
+        FrameSection{TagString(kSectionVotes), EncodeVotes(response.votes)});
+  }
+  return frame;
+}
+
+Result<LabelResponse> DecodeLabelResponse(const Frame& frame) {
+  if (frame.type != FrameType::kLabelResponse) {
+    return Status::InvalidArgument("frame is not a label response");
+  }
+  const FrameSection* meta = frame.Find(kSectionResponseMeta);
+  const FrameSection* hard = frame.Find(kSectionHardLabels);
+  if (meta == nullptr || hard == nullptr) {
+    return Status::IOError(
+        "label response frame is missing its RMET/HARD sections");
+  }
+  LabelResponse response;
+  uint64_t rows = 0;
+  {
+    BinaryReader reader(meta->payload);
+    response.cardinality = reader.ReadI32();
+    rows = reader.ReadU64();
+    response.latency_ms = reader.ReadF64();
+    if (!reader.ok()) {
+      return Status::IOError("RMET section: " + reader.status().message());
+    }
+  }
+  {
+    BinaryReader reader(hard->payload);
+    uint64_t count = reader.ReadU64();
+    if (count != rows) {
+      return Status::IOError("HARD section: row count mismatch");
+    }
+    response.hard_labels.reserve(count);
+    for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+      response.hard_labels.push_back(reader.ReadI32());
+    }
+    if (!reader.ok()) {
+      return Status::IOError("HARD section: " + reader.status().message());
+    }
+  }
+  if (const FrameSection* posteriors = frame.Find(kSectionPosteriors)) {
+    BinaryReader reader(posteriors->payload);
+    response.posteriors = reader.ReadF64Vector();
+    if (!reader.ok() || response.posteriors.size() != rows) {
+      return Status::IOError("POST section: truncated or wrong row count");
+    }
+  }
+  if (const FrameSection* class_posteriors =
+          frame.Find(kSectionClassPosteriors)) {
+    BinaryReader reader(class_posteriors->payload);
+    response.class_posteriors = reader.ReadF64Vector();
+    if (!reader.ok() ||
+        response.class_posteriors.size() !=
+            rows * static_cast<uint64_t>(response.cardinality)) {
+      return Status::IOError("KPST section: truncated or wrong shape");
+    }
+  }
+  if (const FrameSection* votes = frame.Find(kSectionVotes)) {
+    auto matrix = DecodeVotes(votes->payload);
+    if (!matrix.ok()) return matrix.status();
+    response.votes = std::move(*matrix);
+  }
+  return response;
+}
+
+Frame EncodeErrorFrame(uint64_t request_id, const Status& status) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.request_id = request_id;
+  BinaryWriter writer;
+  writer.WriteU32(StatusCodeToWire(status.code()));
+  writer.WriteString(status.message());
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionError), writer.TakeBuffer()});
+  return frame;
+}
+
+Status DecodeErrorFrame(const Frame& frame) {
+  const FrameSection* error = frame.Find(kSectionError);
+  if (frame.type != FrameType::kError || error == nullptr) {
+    return Status::IOError("frame is not a well-formed error frame");
+  }
+  BinaryReader reader(error->payload);
+  uint32_t wire_code = reader.ReadU32();
+  std::string message = reader.ReadString();
+  if (!reader.ok()) {
+    return Status::IOError("ERRS section: " + reader.status().message());
+  }
+  return Status(StatusCodeFromWire(wire_code), std::move(message));
+}
+
+Frame EncodeStatsResponse(uint64_t request_id, const WireServerStats& stats) {
+  Frame frame;
+  frame.type = FrameType::kStatsResponse;
+  frame.request_id = request_id;
+  BinaryWriter writer;
+  writer.WriteU64(stats.snapshot_version);
+  writer.WriteU64(stats.snapshot_checksum);
+  writer.WriteU64(stats.requests_served);
+  writer.WriteU64(stats.candidates_served);
+  writer.WriteU64(stats.queue_rejections);
+  writer.WriteU64(stats.snapshot_swaps);
+  writer.WriteI32(stats.cardinality);
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionServerStats), writer.TakeBuffer()});
+  return frame;
+}
+
+Result<WireServerStats> DecodeStatsResponse(const Frame& frame) {
+  const FrameSection* section = frame.Find(kSectionServerStats);
+  if (frame.type != FrameType::kStatsResponse || section == nullptr) {
+    return Status::IOError("frame is not a well-formed stats response");
+  }
+  BinaryReader reader(section->payload);
+  WireServerStats stats;
+  stats.snapshot_version = reader.ReadU64();
+  stats.snapshot_checksum = reader.ReadU64();
+  stats.requests_served = reader.ReadU64();
+  stats.candidates_served = reader.ReadU64();
+  stats.queue_rejections = reader.ReadU64();
+  stats.snapshot_swaps = reader.ReadU64();
+  stats.cardinality = reader.ReadI32();
+  if (!reader.ok()) {
+    return Status::IOError("SVST section: " + reader.status().message());
+  }
+  return stats;
+}
+
+}  // namespace snorkel

@@ -73,11 +73,19 @@ Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
   // scalar posterior — from the generative model (GENM) when present, else
   // from a binary Dawid-Skene model's P(class +1) — and a K-class snapshot
   // serves the Dawid-Skene class distribution (DAWD required).
+  // Artifact identity surfaced in stats (rollout observability): the
+  // store version the snapshot was loaded at plus its canonical content
+  // checksum.
+  const uint64_t artifact_version = snapshot.artifact_version;
+  const uint64_t artifact_checksum = snapshot.CanonicalChecksum();
   if (snapshot.cardinality == 2 && snapshot.has_gen_model) {
     auto model = snapshot.RestoreGenerativeModel(options.gen);
     if (!model.ok()) return model.status();
-    return LabelService(std::move(*model), DawidSkeneModel(), 2,
-                        std::move(lfs), options);
+    LabelService service(std::move(*model), DawidSkeneModel(), 2,
+                         std::move(lfs), options);
+    service.snapshot_version_ = artifact_version;
+    service.snapshot_checksum_ = artifact_checksum;
+    return service;
   }
   if (!snapshot.has_ds_model) {
     return Status::InvalidArgument(
@@ -88,8 +96,11 @@ Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
   }
   auto ds_model = snapshot.RestoreDawidSkeneModel(options.ds);
   if (!ds_model.ok()) return ds_model.status();
-  return LabelService(GenerativeModel(), std::move(*ds_model),
-                      snapshot.cardinality, std::move(lfs), options);
+  LabelService service(GenerativeModel(), std::move(*ds_model),
+                       snapshot.cardinality, std::move(lfs), options);
+  service.snapshot_version_ = artifact_version;
+  service.snapshot_checksum_ = artifact_checksum;
+  return service;
 }
 
 Result<LabelService> LabelService::FromFile(const std::string& path,
@@ -243,6 +254,8 @@ ServiceStats LabelService::stats() const {
   stats.cache_set_misses = cache.set_misses;
   stats.cache_bytes = cache.bytes_cached;
   stats.cache_appended_rows = cache.appended_rows;
+  stats.snapshot_version = snapshot_version_;
+  stats.snapshot_checksum = snapshot_checksum_;
   return stats;
 }
 

@@ -38,6 +38,24 @@ struct LabelRequest {
   /// Apply the snapshot's class-balance prior (off = the class-symmetric
   /// posterior used as discriminative training targets).
   bool apply_class_balance = true;
+  /// Router-tier degradation policy (ignored by an unsharded service, which
+  /// has no shards to lose). Default false: any failed shard fails the
+  /// whole request with a typed status — never partial data. True opts this
+  /// request into typed PARTIAL results: rows on healthy shards come back
+  /// bit-identical to the unsharded answer, rows on failed shards are
+  /// marked uncovered (LabelResponse::covered/shard_outcomes), and the
+  /// response reports is_partial instead of failing.
+  bool allow_partial = false;
+};
+
+/// Outcome of one shard's sub-batch within a request served under
+/// allow_partial: which shard, how many of the request's rows it owned, and
+/// the typed status its replica returned (kOk for covered rows).
+struct ShardOutcome {
+  size_t shard = 0;
+  size_t rows = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
 };
 
 /// The serving result for one batch. Binary snapshots fill the scalar
@@ -62,6 +80,26 @@ struct LabelResponse {
   LabelMatrix votes;
   /// Wall-clock for this request, milliseconds.
   double latency_ms = 0.0;
+
+  /// ---- Partial-degradation fields (allow_partial requests only). ----
+  /// True when at least one shard failed and its rows are uncovered. A
+  /// response with is_partial == false is complete: every row is exactly
+  /// what the unsharded service would have produced.
+  bool is_partial = false;
+  /// Covered-index bitmap, one bit per request row (row i at word i/64, bit
+  /// i%64). Empty means "all rows covered". Uncovered rows hold kAbstain
+  /// hard labels and zeroed posteriors — placeholders, not model output.
+  std::vector<uint64_t> covered;
+  /// Per-sub-batch status for allow_partial requests (covered shards
+  /// report kOk); empty otherwise.
+  std::vector<ShardOutcome> shard_outcomes;
+
+  /// True when row `i` carries real model output (always true for
+  /// non-partial responses).
+  bool RowCovered(size_t i) const {
+    if (covered.empty()) return true;
+    return (covered[i / 64] >> (i % 64)) & 1u;
+  }
 };
 
 /// Cumulative serving counters. Latency quantiles are exact over a sliding
@@ -91,6 +129,12 @@ struct ServiceStats {
   uint64_t cache_set_misses = 0;
   uint64_t cache_bytes = 0;
   uint64_t cache_appended_rows = 0;
+  /// Identity of the snapshot this service is serving: the artifact's store
+  /// version (0 = not store-managed) and the canonical content checksum
+  /// (ModelSnapshot::CanonicalChecksum). During a rollout, a fleet's stats
+  /// show per shard which replicas have swapped onto the new artifact.
+  uint64_t snapshot_version = 0;
+  uint64_t snapshot_checksum = 0;
 };
 
 /// The label-serving front end: loads one model snapshot, binds it to the
@@ -172,6 +216,10 @@ class LabelService {
   /// Task cardinality this service serves (2 = binary).
   int cardinality() const { return cardinality_; }
   size_t num_lfs() const { return lfs_.size(); }
+  /// Artifact identity of the serving snapshot (see
+  /// ServiceStats::snapshot_version/snapshot_checksum).
+  uint64_t snapshot_version() const { return snapshot_version_; }
+  uint64_t snapshot_checksum() const { return snapshot_checksum_; }
 
  private:
   LabelService(GenerativeModel model, DawidSkeneModel ds_model,
@@ -180,6 +228,9 @@ class LabelService {
   Options options_;
   /// 2 serves model_ (scalar posterior); >2 serves ds_model_ (K columns).
   int cardinality_ = 2;
+  /// Immutable after Create: the serving artifact's identity.
+  uint64_t snapshot_version_ = 0;
+  uint64_t snapshot_checksum_ = 0;
   GenerativeModel model_;
   DawidSkeneModel ds_model_;
   LabelingFunctionSet lfs_;

@@ -404,6 +404,10 @@ Result<LogisticRegressionClassifier> ModelSnapshot::RestoreDiscModel(
   return disc;
 }
 
+uint64_t ModelSnapshot::CanonicalChecksum() const {
+  return Fnv1a64(SerializeSnapshot(*this));
+}
+
 std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
   std::string buffer(kSnapshotMagic, sizeof(kSnapshotMagic));
   uint32_t section_count = 1 + (snapshot.has_gen_model ? 1 : 0) +

@@ -80,6 +80,19 @@ struct ModelSnapshot {
   /// deserialization of this snapshot; 0 for captured snapshots.
   uint32_t skipped_sections = 0;
 
+  /// Rollout identity of the ARTIFACT this snapshot came from, not part of
+  /// the wire payload: the store version a SnapshotStore loaded it at
+  /// (0 = not store-managed — captured in memory or loaded from a bare
+  /// file). Services surface it in their stats so a fleet-wide snapshot
+  /// rollout is observable per shard.
+  uint64_t artifact_version = 0;
+
+  /// Content identity of this snapshot: FNV-1a64 over its canonical v2
+  /// serialization. Stable across processes and load paths (a v1 file and
+  /// the v2 re-encode of the same model agree), so two shards report equal
+  /// checksums exactly when they serve the same model bytes.
+  uint64_t CanonicalChecksum() const;
+
   /// Captures a fitted binary generative model plus the LF metadata it was
   /// trained over. `lf_names`/`lf_fingerprints` must align with the model's
   /// columns.

@@ -103,6 +103,7 @@ struct ShardRouter::Impl {
   uint64_t num_candidates = 0;
   uint64_t rejected_requests = 0;
   uint64_t failed_requests = 0;
+  uint64_t degraded_requests = 0;
   uint64_t fused_jobs = 0;
   /// High-water gauge, atomic so the admission hot path never touches the
   /// shared stats lock.
@@ -334,14 +335,19 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
   pending.reserve(impl.shards.size());
   size_t admitted = 0;
   Status admit = Status::OK();
+  // Typed failures per sub-batch, recorded instead of failing the request
+  // when allow_partial (admission rejections and shard errors both land
+  // here; merged with the successful shards' kOk outcomes below).
+  std::vector<ShardOutcome> failed_outcomes;
   // Reject policy: admission is per-shard, not transactional — a request
   // rejected at shard s has already committed its sub-batches to shards
   // < s, whose (discarded) results the caller still waits for. To keep
   // rejection cheap under overload, probe every needed queue first and
   // shed before committing anything; the probe is advisory (another caller
   // can fill a queue between probe and push), so the per-shard rejection
-  // path below still backstops it.
-  if (!impl.options.block_on_full) {
+  // path below still backstops it. (allow_partial requests skip the probe:
+  // a full queue degrades that shard's rows, it does not shed the request.)
+  if (!impl.options.block_on_full && !request.allow_partial) {
     for (size_t s = 0; s < impl.shards.size(); ++s) {
       auto& queue = *impl.shards[s].queue;
       if (!parts.shard_rows[s].empty() &&
@@ -379,10 +385,18 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
         break;
       case PushResult::kQueueFull:
         latch.Disarm();  // Not consumed.
-        admit = Status::ResourceExhausted(
-            "shard " + std::to_string(s) + "/" +
-            std::to_string(impl.shards.size()) + " queue full (capacity " +
-            std::to_string(queue.capacity()) + "); request rejected");
+        if (request.allow_partial) {
+          // Degrade just this shard's rows; keep admitting the rest.
+          failed_outcomes.push_back(ShardOutcome{
+              s, parts.shard_rows[s].size(), StatusCode::kResourceExhausted,
+              "queue full (capacity " + std::to_string(queue.capacity()) +
+                  ")"});
+        } else {
+          admit = Status::ResourceExhausted(
+              "shard " + std::to_string(s) + "/" +
+              std::to_string(impl.shards.size()) + " queue full (capacity " +
+              std::to_string(queue.capacity()) + "); request rejected");
+        }
         break;
       case PushResult::kClosed:
         latch.Disarm();
@@ -403,18 +417,43 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
     }
     return admit;
   }
+  // Which admitted sub-batches actually served. Default policy: any failure
+  // fails the whole request, typed, with shard context — never a
+  // partially-filled response. allow_partial: failures become uncovered
+  // rows; only a request with NO surviving sub-batch fails outright.
+  std::vector<const Pending*> served;
+  served.reserve(pending.size());
   for (const Pending& p : pending) {
     const Result<LabelResponse>& result = **p.slot;
-    if (!result.ok()) {
-      // A failed shard fails the whole request, typed, with shard context —
-      // never a partially-filled response.
-      const Status& cause = result.status();
+    if (result.ok()) {
+      served.push_back(&p);
+      continue;
+    }
+    const Status& cause = result.status();
+    if (!request.allow_partial) {
       std::lock_guard<std::mutex> lock(impl.stats_mu);
       ++impl.failed_requests;
       return Status(cause.code(), "shard " + std::to_string(p.shard) + "/" +
                                       std::to_string(impl.shards.size()) +
                                       " failed: " + cause.message());
     }
+    failed_outcomes.push_back(ShardOutcome{p.shard, p.to_request.size(),
+                                           cause.code(), cause.message()});
+  }
+  if (request.allow_partial && served.empty() && !failed_outcomes.empty()) {
+    // Nothing survived — a zero-coverage "partial" response would be a
+    // failure wearing a success type. Fail typed like the default policy.
+    const ShardOutcome& first = failed_outcomes.front();
+    std::lock_guard<std::mutex> lock(impl.stats_mu);
+    if (first.code == StatusCode::kResourceExhausted) {
+      ++impl.rejected_requests;
+    } else {
+      ++impl.failed_requests;
+    }
+    return Status(first.code, "shard " + std::to_string(first.shard) + "/" +
+                                  std::to_string(impl.shards.size()) +
+                                  " failed (no shard survived): " +
+                                  first.message);
   }
 
   // ---- Merge back into request order. Binary responses scatter one
@@ -430,12 +469,28 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
     response.class_posteriors.resize(parts.total * k);
   }
   response.hard_labels.resize(parts.total);
+  // Degradation bookkeeping: covered-index bitmap + per-sub-batch status
+  // (kOk rows merged below; failed ones stay uncovered).
+  const bool degraded = !failed_outcomes.empty();
+  if (degraded) {
+    response.is_partial = true;
+    response.covered.assign((parts.total + 63) / 64, 0);
+    response.shard_outcomes = std::move(failed_outcomes);
+  }
   // `Label` names this method here, so qualify the vote type.
   std::vector<std::tuple<size_t, size_t, snorkel::Label>> vote_triplets;
-  for (size_t p = 0; p < pending.size(); ++p) {
-    const Result<LabelResponse>& slot_result = **pending[p].slot;
+  for (const Pending* served_p : served) {
+    const Result<LabelResponse>& slot_result = **served_p->slot;
     const LabelResponse& shard_response = *slot_result;
-    const std::vector<size_t>& to_request = pending[p].to_request;
+    const std::vector<size_t>& to_request = served_p->to_request;
+    if (degraded) {
+      response.shard_outcomes.push_back(ShardOutcome{
+          served_p->shard, to_request.size(), StatusCode::kOk, ""});
+      for (size_t t = 0; t < to_request.size(); ++t) {
+        response.covered[to_request[t] / 64] |= uint64_t{1}
+                                                << (to_request[t] % 64);
+      }
+    }
     for (size_t t = 0; t < to_request.size(); ++t) {
       response.hard_labels[to_request[t]] = shard_response.hard_labels[t];
       if (impl.cardinality == 2) {
@@ -464,10 +519,18 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
     }
     response.votes = std::move(*votes);
   }
+  if (degraded) {
+    // Deterministic report order regardless of completion interleaving.
+    std::sort(response.shard_outcomes.begin(), response.shard_outcomes.end(),
+              [](const ShardOutcome& a, const ShardOutcome& b) {
+                return a.shard < b.shard;
+              });
+  }
   response.latency_ms = timer.ElapsedMillis();
 
   {
     std::lock_guard<std::mutex> lock(impl.stats_mu);
+    if (degraded) ++impl.degraded_requests;
     ++impl.num_requests;
     impl.num_candidates += parts.total;
     if (!impl.has_served || request_start < impl.first_request_start) {
@@ -493,6 +556,7 @@ RouterStats ShardRouter::stats() const {
     out.num_candidates = impl.num_candidates;
     out.rejected_requests = impl.rejected_requests;
     out.failed_requests = impl.failed_requests;
+    out.degraded_requests = impl.degraded_requests;
     out.fused_jobs = impl.fused_jobs;
     out.max_queue_depth = impl.max_queue_depth.load(std::memory_order_relaxed);
     if (impl.has_served) {
@@ -504,6 +568,12 @@ RouterStats ShardRouter::stats() const {
               ? static_cast<double>(impl.num_candidates) / out.busy_span_s
               : 0.0;
     }
+  }
+  if (!impl.shards.empty()) {
+    // Replicas were built from one snapshot; any replica's identity is the
+    // tier's.
+    out.snapshot_version = impl.shards[0].replica->snapshot_version();
+    out.snapshot_checksum = impl.shards[0].replica->snapshot_checksum();
   }
   for (const auto& shard : impl.shards) {
     out.queue_depth += shard.queue->size();

@@ -26,6 +26,10 @@ struct RouterStats {
   uint64_t rejected_requests = 0;
   /// Requests failed by a shard error (typed status propagated to caller).
   uint64_t failed_requests = 0;
+  /// allow_partial requests answered with is_partial == true: at least one
+  /// sub-batch failed and its rows were returned uncovered instead of
+  /// failing the whole request.
+  uint64_t degraded_requests = 0;
   /// Sub-batches that were coalesced into an immediately preceding model
   /// pass by a shard worker (queue pipelining at work).
   uint64_t fused_jobs = 0;
@@ -45,6 +49,11 @@ struct RouterStats {
   uint64_t cache_set_misses = 0;
   uint64_t cache_bytes = 0;
   uint64_t cache_appended_rows = 0;
+  /// Artifact identity every replica serves (replicas of one router always
+  /// agree — they were built from the same snapshot): the store version and
+  /// canonical content checksum, for rollout observability.
+  uint64_t snapshot_version = 0;
+  uint64_t snapshot_checksum = 0;
   /// Per-replica serving stats, indexed by shard. A shard's num_requests
   /// counts model passes (fused sub-batches count once), not client
   /// requests.
@@ -71,8 +80,14 @@ struct RouterStats {
 ///    answering the same request: every per-row kernel is content-pure, so
 ///    neither the partition, the sub-batch sizes, nor worker-side fusion
 ///    can perturb a single bit.
-///  - A failed shard fails the whole request with a typed status naming the
-///    shard ("shard 2/4: ..."); the router never returns partial results.
+///  - By default a failed shard fails the whole request with a typed status
+///    naming the shard ("shard 2/4: ..."); the router never returns
+///    partially-filled data silently. A request may instead opt into typed
+///    DEGRADED service with LabelRequest::allow_partial: covered rows are
+///    still bitwise-identical to the unsharded answer, failed sub-batches
+///    surface as uncovered rows (LabelResponse::covered bitmap +
+///    per-sub-batch ShardOutcome), and only a request with NO surviving
+///    sub-batch fails outright.
 ///  - Requests admitted before Shutdown() drain to completion; Label()
 ///    after shutdown is a typed FailedPrecondition.
 ///

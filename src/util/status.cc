@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,15 @@ enum class StatusCode {
   /// the caller should shed load or retry later. Backpressure rejections
   /// from the sharded serving tier carry this code.
   kResourceExhausted,
+  /// The target cannot serve right now — a remote shard is unreachable,
+  /// its connection broke mid-exchange, or the endpoint is marked unhealthy
+  /// by the client's failure tracker. Retrying (another replica, or after
+  /// the health cooldown) is reasonable; the request itself was fine.
+  kUnavailable,
+  /// The caller's deadline expired before the operation completed: connect,
+  /// send, or receive timed out, or a request arrived at a server with its
+  /// deadline already spent. The work may or may not have happened remotely.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -67,6 +76,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

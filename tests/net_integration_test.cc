@@ -1,0 +1,377 @@
+// Process-level integration tests for the networked shard fabric: spawn
+// REAL shard_server processes (the tools/shard_server.cc binary), route to
+// them over loopback TCP with RemoteShardRouter, and verify
+//   - bitwise parity with an unsharded in-process LabelService under
+//     concurrent callers,
+//   - typed whole-request failure / typed partial degradation when a shard
+//     process is killed mid-fleet,
+//   - the full rollout path: snapshot_diff --promote publishes a new version
+//     into a SnapshotStore, the serving process hot-swaps onto it with ZERO
+//     failed requests, and the transition is observable over the stats RPC.
+//
+// The binaries' paths arrive via compile definitions (see CMakeLists.txt);
+// the fixture's LF set must stay in lock-step with the CLI's built-in
+// "cdr-demo" set, which the snapshot's fingerprints enforce.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lf/applier.h"
+#include "lf/declarative.h"
+#include "net/remote_client.h"
+#include "net/remote_router.h"
+#include "net/snapshot_store.h"
+#include "serve/snapshot.h"
+#include "shard/partitioner.h"
+#include "util/binary_io.h"
+
+#ifndef SNORKEL_SHARD_SERVER_BIN
+#define SNORKEL_SHARD_SERVER_BIN ""
+#endif
+#ifndef SNORKEL_SNAPSHOT_DIFF_BIN
+#define SNORKEL_SNAPSHOT_DIFF_BIN ""
+#endif
+
+namespace snorkel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Same corpus and LF set as tools/shard_server.cc's "cdr-demo" built-in.
+struct ProcessFixture {
+  Corpus corpus;
+  std::vector<Candidate> candidates;
+
+  explicit ProcessFixture(int num_docs = 96) {
+    for (int d = 0; d < num_docs; ++d) {
+      Document doc;
+      Sentence s;
+      if (d % 2 == 0) {
+        s.words = {"magnesium", "causes", "quadriplegia"};
+      } else {
+        s.words = {"aspirin", "treats", "headache"};
+      }
+      const std::string id = std::to_string(d);
+      s.mentions = {Mention{0, 1, "chemical", "C" + id},
+                    Mention{2, 3, "disease", "D" + id}};
+      doc.sentences = {s};
+      corpus.AddDocument(std::move(doc));
+    }
+    candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  }
+
+  LabelingFunctionSet MakeLfs() const {
+    LabelingFunctionSet lfs;
+    lfs.Add(MakeKeywordBetweenLF("lf_causes", {"cause"}, 1));
+    lfs.Add(MakeKeywordBetweenLF("lf_treats", {"treat"}, -1));
+    lfs.Add(MakeDistanceLF("lf_far", 4, -1));
+    return lfs;
+  }
+
+  ModelSnapshot MakeSnapshot(int epochs = 60) const {
+    LabelingFunctionSet lfs = MakeLfs();
+    auto matrix = LFApplier().Apply(lfs, corpus, candidates);
+    EXPECT_TRUE(matrix.ok());
+    GenerativeModelOptions options;
+    options.epochs = epochs;
+    GenerativeModel model(options);
+    EXPECT_TRUE(model.Fit(*matrix).ok());
+    auto snapshot =
+        ModelSnapshot::Capture(model, lfs.Names(), lfs.Fingerprints());
+    EXPECT_TRUE(snapshot.ok());
+    return *snapshot;
+  }
+
+  LabelResponse Expected(const ModelSnapshot& snapshot) const {
+    auto service = LabelService::Create(snapshot, MakeLfs());
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    LabelRequest request;
+    request.corpus = &corpus;
+    request.candidates = &candidates;
+    auto response = service->Label(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return *response;
+  }
+};
+
+/// One spawned shard_server process: fork/exec, port discovery via
+/// --port-file, SIGTERM (graceful) or SIGKILL (crash injection) teardown.
+class ServerProcess {
+ public:
+  ServerProcess() = default;
+  ServerProcess(const ServerProcess&) = delete;
+  ServerProcess& operator=(const ServerProcess&) = delete;
+  ~ServerProcess() { Kill(SIGKILL); }
+
+  /// Spawns `shard_server <args...> --port-file <tmp>` and waits for the
+  /// port file. Returns false (with a gtest failure) if the server never
+  /// came up.
+  bool Start(const std::vector<std::string>& args, const std::string& tag) {
+    port_file_ = TempPath("port_" + tag + "_" + std::to_string(getpid()));
+    std::remove(port_file_.c_str());
+    std::vector<std::string> full = {SNORKEL_SHARD_SERVER_BIN};
+    full.insert(full.end(), args.begin(), args.end());
+    full.push_back("--port-file");
+    full.push_back(port_file_);
+    std::vector<char*> argv;
+    argv.reserve(full.size() + 1);
+    for (std::string& arg : full) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    pid_ = fork();
+    if (pid_ == 0) {
+      execv(argv[0], argv.data());
+      _exit(127);  // exec failed.
+    }
+    if (pid_ < 0) {
+      ADD_FAILURE() << "fork failed";
+      return false;
+    }
+    // Port discovery: the server writes the bound port once listening.
+    for (int i = 0; i < 500; ++i) {
+      auto bytes = ReadFileBytes(port_file_);
+      if (bytes.ok() && !bytes->empty() && bytes->back() == '\n') {
+        port_ = static_cast<uint16_t>(std::atoi(bytes->c_str()));
+        return port_ != 0;
+      }
+      // A dead child will never write the file; fail fast.
+      int status = 0;
+      if (waitpid(pid_, &status, WNOHANG) == pid_) {
+        ADD_FAILURE() << "shard_server exited during startup, status "
+                      << status;
+        pid_ = -1;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "shard_server never wrote its port file";
+    return false;
+  }
+
+  uint16_t port() const { return port_; }
+
+  void Kill(int sig) {
+    if (pid_ <= 0) return;
+    kill(pid_, sig);
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+    std::remove(port_file_.c_str());
+  }
+
+ private:
+  pid_t pid_ = -1;
+  uint16_t port_ = 0;
+  std::string port_file_;
+};
+
+/// Runs a tool binary synchronously; returns its exit code (or -1).
+int RunTool(const std::vector<std::string>& command) {
+  std::vector<std::string> owned = command;
+  std::vector<char*> argv;
+  for (std::string& arg : owned) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  pid_t pid = fork();
+  if (pid == 0) {
+    // Quiet the tool's report output; its exit code is the contract.
+    std::freopen("/dev/null", "w", stdout);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  if (pid < 0) return -1;
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(NetIntegrationTest, TwoProcessFleetIsBitwiseIdenticalAndFailsTyped) {
+  ASSERT_NE(std::string(SNORKEL_SHARD_SERVER_BIN), "");
+  ProcessFixture fx;
+  ModelSnapshot snapshot = fx.MakeSnapshot();
+  std::string path = TempPath("fleet_proc.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  LabelResponse expected = fx.Expected(snapshot);
+
+  ServerProcess shard0, shard1;
+  ASSERT_TRUE(shard0.Start({"--snapshot", path, "--workers", "2"}, "s0"));
+  ASSERT_TRUE(shard1.Start({"--snapshot", path, "--workers", "2"}, "s1"));
+
+  RemoteShardRouter::Options options;
+  options.client.connect_timeout_ms = 1000;
+  options.request_timeout_ms = 10'000;
+  auto router = RemoteShardRouter::Create(
+      {{"127.0.0.1", shard0.port()}, {"127.0.0.1", shard1.port()}}, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Concurrent callers against the two-process fleet: every response must
+  // be bitwise what ONE in-process unsharded service produces.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        LabelRequest request;
+        request.corpus = &fx.corpus;
+        request.candidates = &fx.candidates;
+        auto response = router->Label(request);
+        if (!response.ok() ||
+            response->posteriors != expected.posteriors ||
+            response->hard_labels != expected.hard_labels) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(router->stats().failed_requests, 0u);
+
+  // Crash shard 1 (SIGKILL — no graceful drain). Default policy: the whole
+  // request fails TYPED, naming the shard; never a hang, never garbage.
+  shard1.Kill(SIGKILL);
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  auto whole = router->Label(request);
+  ASSERT_FALSE(whole.ok());
+  EXPECT_EQ(whole.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(whole.status().message().find("shard 1/2"), std::string::npos)
+      << whole.status().ToString();
+
+  // Opt-in partial degradation: surviving rows bitwise, dead rows flagged.
+  request.allow_partial = true;
+  auto partial = router->Label(request);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->is_partial);
+  for (size_t i = 0; i < fx.candidates.size(); ++i) {
+    bool dead = CandidateShardKey(fx.candidates[i]) % 2 == 1;
+    EXPECT_EQ(partial->RowCovered(i), !dead);
+    if (!dead) {
+      EXPECT_EQ(partial->posteriors[i], expected.posteriors[i]);
+    }
+  }
+  ASSERT_EQ(partial->shard_outcomes.size(), 2u);
+  EXPECT_EQ(partial->shard_outcomes[1].code, StatusCode::kUnavailable);
+
+  shard0.Kill(SIGTERM);
+  std::remove(path.c_str());
+}
+
+TEST(NetIntegrationTest, PromoteGateRollsOutHotSwapWithZeroFailedRequests) {
+  ASSERT_NE(std::string(SNORKEL_SHARD_SERVER_BIN), "");
+  ASSERT_NE(std::string(SNORKEL_SNAPSHOT_DIFF_BIN), "");
+  ProcessFixture fx(64);
+  ModelSnapshot v1 = fx.MakeSnapshot(/*epochs=*/60);
+  ModelSnapshot v2 = fx.MakeSnapshot(/*epochs=*/90);
+  LabelResponse expected_v1 = fx.Expected(v1);
+  LabelResponse expected_v2 = fx.Expected(v2);
+
+  // Wipe leftovers from previous runs: store versions are immutable, so a
+  // stale artifact would poison Publish() and the version assertions.
+  std::string dir = TempPath("proc_store");
+  std::filesystem::remove_all(dir);
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Publish(1, SerializeSnapshot(v1)).ok());
+  std::string candidate = TempPath("candidate_v2.snk");
+  ASSERT_TRUE(SaveSnapshot(v2, candidate).ok());
+
+  ServerProcess server;
+  ASSERT_TRUE(server.Start(
+      {"--store", dir, "--workers", "2", "--watch-interval-ms", "25"},
+      "rollout"));
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server.port();
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+  auto before = client.GetStats(2000);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->snapshot_version, 1u);
+  EXPECT_EQ(before->snapshot_checksum, v1.CanonicalChecksum());
+
+  // Traffic runs through the whole rollout; every response must be ok and
+  // exactly one version's bits.
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> served{0};
+  std::thread traffic([&] {
+    RemoteShardClient::Options opts;
+    opts.port = server.port();
+    RemoteShardClient c = RemoteShardClient::Create(opts);
+    std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+    while (!stop.load()) {
+      auto response = c.Label(fx.corpus, rows, false, true, 10'000);
+      if (!response.ok() ||
+          (response->posteriors != expected_v1.posteriors &&
+           response->posteriors != expected_v2.posteriors)) {
+        failures.fetch_add(1);
+      } else {
+        served.fetch_add(1);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // An over-drifted candidate is REFUSED by the gate (exit 2, nothing
+  // published): the fail-over threshold is the promotion contract.
+  EXPECT_EQ(RunTool({SNORKEL_SNAPSHOT_DIFF_BIN, store->PathFor(1), candidate,
+                     "--fail-over", "0.0", "--promote", dir}),
+            2);
+  auto versions = store->ListVersions();
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<uint64_t>{1}));
+
+  // Within the (generous) gate, promotion publishes version 2 atomically.
+  EXPECT_EQ(RunTool({SNORKEL_SNAPSHOT_DIFF_BIN, store->PathFor(1), candidate,
+                     "--fail-over", "1000", "--promote", dir}),
+            0);
+
+  // The serving process observes version 2 over its stats RPC — the
+  // rollout is watchable from outside the process.
+  bool swapped = false;
+  for (int i = 0; i < 200 && !swapped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    auto stats = client.GetStats(2000);
+    swapped = stats.ok() && stats->snapshot_version == 2;
+  }
+  ASSERT_TRUE(swapped) << "server never swapped to the promoted version";
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  traffic.join();
+  EXPECT_EQ(failures.load(), 0) << "requests failed during the rollout";
+  EXPECT_GT(served.load(), 0);
+
+  auto after = client.GetStats(2000);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->snapshot_version, 2u);
+  EXPECT_EQ(after->snapshot_checksum, v2.CanonicalChecksum());
+  EXPECT_EQ(after->snapshot_swaps, 1u);
+
+  // Steady state serves v2's exact bits.
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  auto final_response = client.Label(fx.corpus, rows, false, true, 10'000);
+  ASSERT_TRUE(final_response.ok()) << final_response.status().ToString();
+  EXPECT_EQ(final_response->posteriors, expected_v2.posteriors);
+
+  server.Kill(SIGTERM);
+  std::remove(candidate.c_str());
+}
+
+}  // namespace
+}  // namespace snorkel

@@ -1,0 +1,985 @@
+// Tests for the networked shard fabric (src/net/): the checksummed wire
+// format (round-trips, skip-unknown, typed corruption), the SnapshotStore's
+// atomic versioned publication, and the loopback serving path — ShardServer
+// + RemoteShardClient/RemoteShardRouter bitwise parity with an in-process
+// LabelService, typed backpressure/deadlines, health fail-fast, hedged
+// retries, partial degradation, and zero-downtime snapshot hot-swap.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lf/applier.h"
+#include "lf/declarative.h"
+#include "net/remote_client.h"
+#include "net/remote_router.h"
+#include "net/shard_server.h"
+#include "net/snapshot_store.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/snapshot.h"
+#include "shard/partitioner.h"
+#include "util/binary_io.h"
+
+namespace snorkel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// A store directory that is guaranteed empty: gtest's TempDir is shared
+/// across runs, and SnapshotStore versions are immutable by design, so a
+/// leftover artifact from a previous run would poison Publish().
+std::string FreshStoreDir(const std::string& name) {
+  std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Same corpus shape as the shard tier's fixture: `n` one-sentence
+/// documents alternating "causes" / "treats", per-document canonical ids.
+/// The LF set is the CLI's built-in "cdr-demo" set (tools/shard_server.cc),
+/// so in-process fixtures and spawned serving processes agree on
+/// fingerprints.
+struct NetFixture {
+  Corpus corpus;
+  std::vector<Candidate> candidates;
+
+  explicit NetFixture(int num_docs = 120) {
+    for (int d = 0; d < num_docs; ++d) {
+      Document doc;
+      Sentence s;
+      if (d % 2 == 0) {
+        s.words = {"magnesium", "causes", "quadriplegia"};
+      } else {
+        s.words = {"aspirin", "treats", "headache"};
+      }
+      const std::string id = std::to_string(d);
+      s.mentions = {Mention{0, 1, "chemical", "C" + id},
+                    Mention{2, 3, "disease", "D" + id}};
+      doc.sentences = {s};
+      corpus.AddDocument(std::move(doc));
+    }
+    candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  }
+
+  LabelingFunctionSet MakeLfs() const {
+    LabelingFunctionSet lfs;
+    lfs.Add(MakeKeywordBetweenLF("lf_causes", {"cause"}, 1));
+    lfs.Add(MakeKeywordBetweenLF("lf_treats", {"treat"}, -1));
+    lfs.Add(MakeDistanceLF("lf_far", 4, -1));
+    return lfs;
+  }
+
+  ModelSnapshot MakeSnapshot(const LabelingFunctionSet& lfs,
+                             int epochs = 60) const {
+    auto matrix = LFApplier().Apply(lfs, corpus, candidates);
+    EXPECT_TRUE(matrix.ok());
+    GenerativeModelOptions options;
+    options.epochs = epochs;
+    GenerativeModel model(options);
+    EXPECT_TRUE(model.Fit(*matrix).ok());
+    auto snapshot =
+        ModelSnapshot::Capture(model, lfs.Names(), lfs.Fingerprints());
+    EXPECT_TRUE(snapshot.ok());
+    return *snapshot;
+  }
+
+  /// Expected response from ONE unsharded in-process service.
+  LabelResponse Expected(const ModelSnapshot& snapshot,
+                         bool include_votes = true) const {
+    auto service = LabelService::Create(snapshot, MakeLfs());
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    LabelRequest request;
+    request.corpus = &corpus;
+    request.candidates = &candidates;
+    request.include_votes = include_votes;
+    auto response = service->Label(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return *response;
+  }
+};
+
+// -------------------------------------------------------------- wire ABI --
+
+TEST(WireStatusTest, EveryStatusCodeRoundTripsAndValuesArePinned) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,            StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,      StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,    StatusCode::kAlreadyExists,
+      StatusCode::kInternal,      StatusCode::kIOError,
+      StatusCode::kResourceExhausted, StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : codes) {
+    EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code);
+  }
+  // Wire values are ABI — pinned, not derived from enum order. The two
+  // serving-tier codes this PR adds get the next free slots.
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kOk), 0u);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kResourceExhausted), 8u);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kUnavailable), 9u);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kDeadlineExceeded), 10u);
+  // A code minted by a newer peer maps to kInternal, not UB.
+  EXPECT_EQ(StatusCodeFromWire(9999), StatusCode::kInternal);
+}
+
+TEST(WireStatusTest, ErrorFrameRoundTripsEveryCode) {
+  const StatusCode codes[] = {
+      StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted, StatusCode::kInvalidArgument};
+  for (StatusCode code : codes) {
+    Status status(code, "shard 3 said no");
+    Frame frame = EncodeErrorFrame(77, status);
+    auto decoded = DecodeFrame(EncodeFrame(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->type, FrameType::kError);
+    EXPECT_EQ(decoded->request_id, 77u);
+    Status back = DecodeErrorFrame(*decoded);
+    EXPECT_EQ(back.code(), code);
+    EXPECT_EQ(back.message(), "shard 3 said no");
+  }
+}
+
+TEST(WireFrameTest, RoundTripPreservesTypeIdAndSections) {
+  Frame frame;
+  frame.type = FrameType::kLabelResponse;
+  frame.request_id = 0xDEADBEEFCAFEull;
+  frame.sections.push_back(FrameSection{"ABCD", std::string("payload\0x", 9)});
+  frame.sections.push_back(FrameSection{"WXYZ", ""});  // Empty payload legal.
+  std::string bytes = EncodeFrame(frame);
+  ASSERT_GE(bytes.size(), kWireHeaderBytes);
+  EXPECT_EQ(bytes.substr(0, 4), "SNRP");
+
+  auto header = DecodeFrameHeader(
+      std::string_view(bytes).substr(0, kWireHeaderBytes));
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->version, kWireVersion);
+  EXPECT_EQ(header->body_size, bytes.size() - kWireHeaderBytes);
+
+  auto decoded = DecodeFrame(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, frame.type);
+  EXPECT_EQ(decoded->request_id, frame.request_id);
+  ASSERT_EQ(decoded->sections.size(), 2u);
+  EXPECT_EQ(decoded->sections[0].tag, "ABCD");
+  EXPECT_EQ(decoded->sections[0].payload, frame.sections[0].payload);
+  EXPECT_EQ(decoded->sections[1].tag, "WXYZ");
+  EXPECT_TRUE(decoded->sections[1].payload.empty());
+}
+
+TEST(WireFrameTest, CorruptionTruncationAndVersionAreTypedErrors) {
+  Frame frame;
+  frame.type = FrameType::kLabelRequest;
+  frame.request_id = 1;
+  frame.sections.push_back(FrameSection{"CORP", "the corpus bytes"});
+  std::string bytes = EncodeFrame(frame);
+
+  // A flipped payload byte is a checksum mismatch NAMING the section.
+  std::string corrupted = bytes;
+  corrupted[bytes.size() - sizeof(uint64_t) - 3] ^= 0x40;
+  auto bad = DecodeFrame(corrupted);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+  EXPECT_NE(bad.status().message().find("CORP"), std::string::npos)
+      << bad.status().ToString();
+
+  // Truncation at every boundary is typed, never UB.
+  for (size_t len : {size_t{0}, size_t{3}, kWireHeaderBytes - 1,
+                     kWireHeaderBytes + 2, bytes.size() - 1}) {
+    auto truncated = DecodeFrame(bytes.substr(0, len));
+    ASSERT_FALSE(truncated.ok()) << "prefix length " << len;
+    EXPECT_EQ(truncated.status().code(), StatusCode::kIOError);
+  }
+
+  // Bad magic.
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  auto magic = DecodeFrame(wrong_magic);
+  ASSERT_FALSE(magic.ok());
+  EXPECT_EQ(magic.status().code(), StatusCode::kInvalidArgument);
+
+  // A newer wire version must be refused (the peer has to speak down).
+  std::string newer = bytes;
+  uint32_t v2 = kWireVersion + 1;
+  std::memcpy(&newer[4], &v2, sizeof(v2));
+  auto version = DecodeFrame(newer);
+  ASSERT_FALSE(version.ok());
+  EXPECT_EQ(version.status().code(), StatusCode::kFailedPrecondition);
+
+  // A hostile body-size prefix is rejected before any allocation.
+  std::string huge = bytes;
+  uint64_t bound = kMaxWireFrameBytes + 1;
+  std::memcpy(&huge[8], &bound, sizeof(bound));
+  auto oversized = DecodeFrameHeader(
+      std::string_view(huge).substr(0, kWireHeaderBytes));
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kIOError);
+
+  // Bytes after the last section are framing garbage.
+  std::string trailing = bytes + "x";
+  uint64_t body = bytes.size() - kWireHeaderBytes + 1;
+  std::memcpy(&trailing[8], &body, sizeof(body));
+  auto garbage = DecodeFrame(trailing);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireFrameTest, UnknownSectionsAndAppendedFieldsAreSkippedNotFatal) {
+  NetFixture fx(8);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  LabelResponse expected = fx.Expected(snapshot);
+
+  // A response frame from a "newer server" that appended a section the
+  // client does not know: decoding keeps working and ignores it.
+  Frame frame = EncodeLabelResponse(9, expected);
+  frame.sections.push_back(FrameSection{"XTRA", "future payload"});
+  auto reencoded = DecodeFrame(EncodeFrame(frame));
+  ASSERT_TRUE(reencoded.ok()) << reencoded.status().ToString();
+  auto decoded = DecodeLabelResponse(*reencoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->posteriors, expected.posteriors);
+
+  // A request frame from a "newer client" that appended fields to ROPT:
+  // known fields decode, the tail is tolerated.
+  Frame request = EncodeLabelRequest(11, fx.corpus,
+                                     MakeCandidateRefs(fx.candidates),
+                                     /*include_votes=*/true,
+                                     /*apply_class_balance=*/false,
+                                     /*deadline_ms=*/250);
+  for (FrameSection& section : request.sections) {
+    if (section.tag == "ROPT") section.payload += "appended future fields";
+  }
+  auto round = DecodeFrame(EncodeFrame(request));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  auto wire = DecodeLabelRequest(*round);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_TRUE(wire->include_votes);
+  EXPECT_FALSE(wire->apply_class_balance);
+  EXPECT_EQ(wire->deadline_ms, 250u);
+}
+
+TEST(WireRequestTest, CorpusSliceKeepsOriginalDocumentIndices) {
+  NetFixture fx(60);
+  // A sub-batch touching a sparse set of documents — exactly what a router
+  // fans out to one shard.
+  std::vector<CandidateRef> rows;
+  for (size_t i : {size_t{5}, size_t{6}, size_t{41}, size_t{58}}) {
+    rows.push_back(CandidateRef{&fx.candidates[i], i});
+  }
+  Frame frame = EncodeLabelRequest(21, fx.corpus, rows, false, true, 0);
+  auto decoded_frame = DecodeFrame(EncodeFrame(frame));
+  ASSERT_TRUE(decoded_frame.ok()) << decoded_frame.status().ToString();
+  auto wire = DecodeLabelRequest(*decoded_frame);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+
+  ASSERT_EQ(wire->candidates.size(), rows.size());
+  ASSERT_EQ(wire->indices.size(), rows.size());
+  for (size_t t = 0; t < rows.size(); ++t) {
+    const Candidate& original = *rows[t].candidate;
+    const Candidate& shipped = wire->candidates[t];
+    // The span coordinates — every LF observable — are byte-identical,
+    // including the ORIGINAL document index.
+    EXPECT_EQ(shipped.span1.doc, original.span1.doc);
+    EXPECT_EQ(shipped.span2.doc, original.span2.doc);
+    EXPECT_EQ(shipped.span1.canonical_id, original.span1.canonical_id);
+    EXPECT_EQ(shipped.span2.canonical_id, original.span2.canonical_id);
+    EXPECT_EQ(wire->indices[t], rows[t].index);
+    // The sparse reconstruction put the full document at that index.
+    const Document& doc = wire->corpus.document(shipped.span1.doc);
+    const Document& expected = fx.corpus.document(original.span1.doc);
+    ASSERT_EQ(doc.sentences.size(), expected.sentences.size());
+    EXPECT_EQ(doc.sentences[0].words, expected.sentences[0].words);
+    ASSERT_EQ(doc.sentences[0].mentions.size(),
+              expected.sentences[0].mentions.size());
+    EXPECT_EQ(doc.sentences[0].mentions[0].canonical_id,
+              expected.sentences[0].mentions[0].canonical_id);
+  }
+  // Only referenced documents ship; the rest are empty filler.
+  EXPECT_EQ(wire->corpus.num_documents(), 59u);  // Highest ref is doc 58.
+  EXPECT_TRUE(wire->corpus.document(0).sentences.empty());
+
+  // And the slice actually serves: identical posteriors to the in-process
+  // ref path for the same rows.
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  auto direct = LabelService::Create(snapshot, fx.MakeLfs());
+  ASSERT_TRUE(direct.ok());
+  LabelRequest by_ref;
+  by_ref.corpus = &fx.corpus;
+  by_ref.candidate_refs = &rows;
+  auto expected = direct->Label(by_ref);
+  ASSERT_TRUE(expected.ok());
+
+  auto sliced = LabelService::Create(snapshot, fx.MakeLfs());
+  ASSERT_TRUE(sliced.ok());
+  std::vector<CandidateRef> shipped_refs;
+  for (size_t t = 0; t < wire->candidates.size(); ++t) {
+    shipped_refs.push_back(CandidateRef{
+        &wire->candidates[t], static_cast<size_t>(wire->indices[t])});
+  }
+  LabelRequest over_slice;
+  over_slice.corpus = &wire->corpus;
+  over_slice.candidate_refs = &shipped_refs;
+  auto actual = sliced->Label(over_slice);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(actual->posteriors, expected->posteriors);
+}
+
+TEST(WireRequestTest, DanglingDocumentReferenceIsTypedIOError) {
+  NetFixture fx(6);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  // Rewrite the CAND section so one candidate points past the slice: the
+  // server must reject the frame, not index out of bounds. The forged
+  // payload mirrors the wire candidate layout (two spans + index).
+  BinaryWriter forged;
+  forged.WriteU64(1);
+  for (int span = 0; span < 2; ++span) {
+    forged.WriteU32(1000);  // doc — far beyond the 6-document slice.
+    forged.WriteU32(0);
+    forged.WriteU32(0);
+    forged.WriteU32(1);
+    forged.WriteString("chemical");
+    forged.WriteString("C0");
+  }
+  forged.WriteU64(0);
+  Frame forged_frame = EncodeLabelRequest(1, fx.corpus, rows, false, true, 0);
+  for (FrameSection& section : forged_frame.sections) {
+    if (section.tag == "CAND") section.payload = forged.TakeBuffer();
+  }
+  auto decoded = DecodeFrame(EncodeFrame(forged_frame));
+  ASSERT_TRUE(decoded.ok());
+  auto wire = DecodeLabelRequest(*decoded);
+  ASSERT_FALSE(wire.ok());
+  EXPECT_EQ(wire.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireResponseTest, BinaryResponseRoundTripsBitwise) {
+  NetFixture fx;
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  LabelResponse expected = fx.Expected(snapshot, /*include_votes=*/true);
+
+  auto decoded_frame = DecodeFrame(
+      EncodeFrame(EncodeLabelResponse(42, expected)));
+  ASSERT_TRUE(decoded_frame.ok()) << decoded_frame.status().ToString();
+  EXPECT_EQ(decoded_frame->request_id, 42u);
+  auto actual = DecodeLabelResponse(*decoded_frame);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+
+  EXPECT_EQ(actual->cardinality, 2);
+  // Doubles cross the wire as raw IEEE-754 bytes: EXACT equality.
+  EXPECT_EQ(actual->posteriors, expected.posteriors);
+  EXPECT_EQ(actual->hard_labels, expected.hard_labels);
+  ASSERT_EQ(actual->votes.num_rows(), expected.votes.num_rows());
+  ASSERT_EQ(actual->votes.num_lfs(), expected.votes.num_lfs());
+  for (size_t i = 0; i < expected.votes.num_rows(); ++i) {
+    for (size_t j = 0; j < expected.votes.num_lfs(); ++j) {
+      EXPECT_EQ(actual->votes.At(i, j), expected.votes.At(i, j));
+    }
+  }
+}
+
+TEST(WireResponseTest, KClassResponseRoundTripsShapeAndBits) {
+  LabelResponse response;
+  response.cardinality = 5;
+  response.hard_labels = {1, 4, 2};
+  response.class_posteriors = {0.1, 0.2, 0.3, 0.25, 0.15,  //
+                               0.0, 0.0, 0.0, 0.0, 1.0,    //
+                               0.2, 0.2, 0.2, 0.2, 0.2};
+  auto decoded_frame =
+      DecodeFrame(EncodeFrame(EncodeLabelResponse(7, response)));
+  ASSERT_TRUE(decoded_frame.ok());
+  auto actual = DecodeLabelResponse(*decoded_frame);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(actual->cardinality, 5);
+  EXPECT_EQ(actual->class_posteriors, response.class_posteriors);
+  EXPECT_EQ(actual->hard_labels, response.hard_labels);
+  EXPECT_TRUE(actual->posteriors.empty());
+}
+
+TEST(WireStatsTest, StatsResponseRoundTrips) {
+  WireServerStats stats;
+  stats.snapshot_version = 17;
+  stats.snapshot_checksum = 0xABCDEF0123456789ull;
+  stats.requests_served = 12345;
+  stats.candidates_served = 678900;
+  stats.queue_rejections = 7;
+  stats.snapshot_swaps = 3;
+  stats.cardinality = 5;
+  auto decoded_frame =
+      DecodeFrame(EncodeFrame(EncodeStatsResponse(88, stats)));
+  ASSERT_TRUE(decoded_frame.ok());
+  auto actual = DecodeStatsResponse(*decoded_frame);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(actual->snapshot_version, 17u);
+  EXPECT_EQ(actual->snapshot_checksum, 0xABCDEF0123456789ull);
+  EXPECT_EQ(actual->requests_served, 12345u);
+  EXPECT_EQ(actual->candidates_served, 678900u);
+  EXPECT_EQ(actual->queue_rejections, 7u);
+  EXPECT_EQ(actual->snapshot_swaps, 3u);
+  EXPECT_EQ(actual->cardinality, 5);
+}
+
+// --------------------------------------------------------- SnapshotStore --
+
+TEST(SnapshotStoreTest, PublishListCurrentAndImmutableVersions) {
+  std::string dir = FreshStoreDir("store_basic");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Empty store: no current version.
+  auto empty = store->CurrentVersion();
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+  auto none = store->ListVersions();
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  ASSERT_TRUE(store->Publish(1, "artifact one").ok());
+  ASSERT_TRUE(store->Publish(3, "artifact three").ok());
+  auto versions = store->ListVersions();
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<uint64_t>{1, 3}));
+  auto current = store->CurrentVersion();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 3u);
+
+  // Versions are immutable: republishing is AlreadyExists and the original
+  // bytes survive.
+  Status overwrite = store->Publish(1, "usurper");
+  ASSERT_FALSE(overwrite.ok());
+  EXPECT_EQ(overwrite.code(), StatusCode::kAlreadyExists);
+  auto bytes = ReadFileBytes(store->PathFor(1));
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "artifact one");
+
+  // Unrelated files (and in-progress publish temps) are not versions.
+  ASSERT_TRUE(WriteFileBytes(dir + "/.publish-9-12345", "partial").ok());
+  ASSERT_TRUE(WriteFileBytes(dir + "/README", "notes").ok());
+  versions = store->ListVersions();
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(SnapshotStoreTest, PromoteFileCopiesWithoutDestroyingTheSource) {
+  std::string dir = FreshStoreDir("store_promote");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  std::string source = TempPath("candidate.snk");
+  ASSERT_TRUE(WriteFileBytes(source, "candidate artifact bytes").ok());
+
+  ASSERT_TRUE(store->PromoteFile(source, 1).ok());
+  auto promoted = ReadFileBytes(store->PathFor(1));
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(*promoted, "candidate artifact bytes");
+  // The candidate file is left in place for any later step.
+  auto still_there = ReadFileBytes(source);
+  ASSERT_TRUE(still_there.ok());
+  EXPECT_EQ(*still_there, "candidate artifact bytes");
+
+  Status again = store->PromoteFile(source, 1);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+  std::remove(source.c_str());
+}
+
+// ------------------------------------------------------ loopback serving --
+
+TEST(ShardServerTest, LoopbackBitwiseParityWithInProcessService) {
+  NetFixture fx;
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("loopback_parity.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  LabelResponse expected = fx.Expected(snapshot, /*include_votes=*/true);
+
+  ShardServer::Options options;
+  options.num_workers = 2;
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+  EXPECT_TRUE(client.Ping(1000).ok());
+
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  for (int round = 0; round < 3; ++round) {
+    auto actual = client.Label(fx.corpus, rows, /*include_votes=*/true,
+                               /*apply_class_balance=*/true);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    // NOT ONE BIT may differ across the network hop.
+    EXPECT_EQ(actual->posteriors, expected.posteriors);
+    EXPECT_EQ(actual->hard_labels, expected.hard_labels);
+    ASSERT_EQ(actual->votes.num_rows(), expected.votes.num_rows());
+    for (size_t i = 0; i < expected.votes.num_rows(); ++i) {
+      for (size_t j = 0; j < expected.votes.num_lfs(); ++j) {
+        EXPECT_EQ(actual->votes.At(i, j), expected.votes.At(i, j));
+      }
+    }
+  }
+
+  // Rollout observability over the wire: version (0 = plain file mode) and
+  // the artifact's canonical checksum.
+  auto stats = client.GetStats(1000);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->snapshot_version, 0u);
+  EXPECT_EQ(stats->snapshot_checksum, snapshot.CanonicalChecksum());
+  EXPECT_EQ(stats->requests_served, 3u);
+  EXPECT_EQ(stats->candidates_served, 3u * fx.candidates.size());
+  EXPECT_EQ(stats->cardinality, 2);
+
+  // Client-side pool actually reused connections across the calls.
+  EXPECT_GT(client.stats().pooled_reuses, 0u);
+  EXPECT_TRUE(client.stats().healthy);
+  std::remove(path.c_str());
+}
+
+TEST(ShardServerTest, QueueBackpressureIsTypedResourceExhausted) {
+  NetFixture fx(32);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("backpressure.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+
+  ShardServer::Options options;
+  options.queue_capacity = 1;
+  options.num_workers = 1;
+  options.inject_delay_every_n = 1;  // Every request holds the worker...
+  options.inject_delay_ms = 50;      // ...long enough to fill the queue.
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+
+  constexpr int kCallers = 8;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> rejected_count{0};
+  std::atomic<int> other_count{0};
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&] {
+      auto response = client.Label(fx.corpus, rows, false, true);
+      if (response.ok()) {
+        ok_count.fetch_add(1);
+      } else if (response.status().code() == StatusCode::kResourceExhausted) {
+        rejected_count.fetch_add(1);
+      } else {
+        other_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_GE(ok_count.load(), 1);
+  EXPECT_GE(rejected_count.load(), 1);
+  EXPECT_EQ(other_count.load(), 0);
+  EXPECT_EQ(server->stats().queue_rejections,
+            static_cast<uint64_t>(rejected_count.load()));
+  // Backpressure is an ANSWER, not a transport failure: the endpoint stays
+  // healthy and rejected callers' connections went back to the pool.
+  EXPECT_TRUE(client.stats().healthy);
+  EXPECT_EQ(client.stats().failures, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ShardServerTest, SpentDeadlineFailsTypedWithoutDeadWork) {
+  NetFixture fx(32);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("deadline.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+
+  ShardServer::Options options;
+  options.queue_capacity = 8;
+  options.num_workers = 1;
+  options.inject_delay_every_n = 1;
+  options.inject_delay_ms = 300;  // The first job pins the only worker.
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+
+  // Raw wire, so the client-side transport deadline (generous) and the
+  // request's own budget (tiny) are decoupled: the SERVER must be the one
+  // to fail the queued request once its budget is spent.
+  auto occupant = Socket::Connect("127.0.0.1", server->port(),
+                                  DeadlineAfterMs(2000));
+  ASSERT_TRUE(occupant.ok()) << occupant.status().ToString();
+  ASSERT_TRUE(SendFrame(*occupant,
+                        EncodeLabelRequest(1, fx.corpus, rows, false, true, 0),
+                        DeadlineAfterMs(2000))
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  auto doomed = Socket::Connect("127.0.0.1", server->port(),
+                                DeadlineAfterMs(2000));
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(SendFrame(*doomed,
+                        EncodeLabelRequest(2, fx.corpus, rows, false, true,
+                                           /*deadline_ms=*/50),
+                        DeadlineAfterMs(2000))
+                  .ok());
+  auto reply = RecvFrame(*doomed, DeadlineAfterMs(5000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ(reply->request_id, 2u);
+  Status status = DecodeErrorFrame(*reply);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(server->stats().deadline_rejections, 1u);
+
+  // The occupant request still completes (drain, not drop).
+  auto first = RecvFrame(*occupant, DeadlineAfterMs(5000));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->type, FrameType::kLabelResponse);
+  std::remove(path.c_str());
+}
+
+TEST(RemoteClientTest, ConsecutiveTransportFailuresTripFailFast) {
+  // A server that existed and died: bind a port, then shut down.
+  NetFixture fx(8);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("dead_shard.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), {});
+  ASSERT_TRUE(server.ok());
+  uint16_t dead_port = server->port();
+  server->Shutdown();
+
+  RemoteShardClient::Options options;
+  options.port = dead_port;
+  options.connect_timeout_ms = 200;
+  options.unhealthy_threshold = 2;
+  options.unhealthy_cooldown_ms = 60'000;  // Stay in cooldown for the test.
+  RemoteShardClient client = RemoteShardClient::Create(options);
+
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  for (int i = 0; i < 2; ++i) {
+    auto response = client.Label(fx.corpus, rows, false, true, 500);
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  }
+  // Threshold reached: the next call fails FAST (no connect storm against a
+  // dead shard) and says so in the counters.
+  auto fast = client.Label(fx.corpus, rows, false, true, 500);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kUnavailable);
+  RemoteShardClient::Stats stats = client.stats();
+  EXPECT_FALSE(stats.healthy);
+  EXPECT_GE(stats.fail_fast, 1u);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.failures, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(RemoteClientTest, HedgedRetryWinsTheInjectedLatencyTail) {
+  NetFixture fx(32);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("hedge.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  LabelResponse expected = fx.Expected(snapshot, /*include_votes=*/false);
+
+  ShardServer::Options options;
+  options.num_workers = 4;  // Hedge attempts must not queue behind losers.
+  options.queue_capacity = 16;
+  options.inject_delay_every_n = 2;  // Every 2nd request is tail latency.
+  options.inject_delay_ms = 400;
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  client_options.enable_hedging = true;
+  client_options.hedge_delay_ms = 50;
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  for (int round = 0; round < 4; ++round) {
+    auto actual = client.Label(fx.corpus, rows, false, true, 5000);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    // The race is safe because both attempts are bit-identical.
+    EXPECT_EQ(actual->posteriors, expected.posteriors);
+  }
+  RemoteShardClient::Stats stats = client.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.failures, 0u);
+  // The injected every-2nd-request tail guarantees at least one slow first
+  // attempt whose hedge completed first.
+  EXPECT_GE(stats.hedged_attempts, 1u);
+  EXPECT_GE(stats.hedged_wins, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ShardServerTest, HotSwapServesNewVersionWithZeroFailedRequests) {
+  NetFixture fx(48);
+  ModelSnapshot v1 = fx.MakeSnapshot(fx.MakeLfs(), /*epochs=*/60);
+  ModelSnapshot v2 = fx.MakeSnapshot(fx.MakeLfs(), /*epochs=*/90);
+  ASSERT_NE(v1.CanonicalChecksum(), v2.CanonicalChecksum());
+  LabelResponse expected_v1 = fx.Expected(v1, false);
+  LabelResponse expected_v2 = fx.Expected(v2, false);
+
+  std::string dir = FreshStoreDir("store_hotswap");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Publish(1, SerializeSnapshot(v1)).ok());
+
+  ShardServer::Options options;
+  options.num_workers = 2;
+  options.watch_interval_ms = 25;
+  auto server = ShardServer::ServeFromStore(dir, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ(server->stats().snapshot_version, 1u);
+  EXPECT_EQ(server->stats().snapshot_checksum, v1.CanonicalChecksum());
+
+  // Continuous traffic across the swap: every response must be ok and must
+  // be EXACTLY one of the two versions' outputs — never a blend, never an
+  // error, never a hang.
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&] {
+      RemoteShardClient::Options client_options;
+      client_options.port = server->port();
+      RemoteShardClient client = RemoteShardClient::Create(client_options);
+      std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+      while (!stop.load()) {
+        auto response = client.Label(fx.corpus, rows, false, true, 5000);
+        if (!response.ok() ||
+            (response->posteriors != expected_v1.posteriors &&
+             response->posteriors != expected_v2.posteriors)) {
+          failures.fetch_add(1);
+        } else {
+          served.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(store->Publish(2, SerializeSnapshot(v2)).ok());
+
+  // The watcher observes version 2 and swaps without dropping traffic.
+  bool swapped = false;
+  for (int i = 0; i < 200 && !swapped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    swapped = server->stats().snapshot_version == 2;
+  }
+  ASSERT_TRUE(swapped) << "watcher never swapped to version 2";
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A corrupt later version must be rejected while the fabric keeps
+  // serving version 2.
+  ASSERT_TRUE(store->Publish(3, "not a snapshot at all").ok());
+  bool rejected = false;
+  for (int i = 0; i < 200 && !rejected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    rejected = server->stats().rejected_swaps >= 1;
+  }
+  EXPECT_TRUE(rejected) << "corrupt artifact was never rejected";
+  EXPECT_EQ(server->stats().snapshot_version, 2u);
+
+  stop.store(true);
+  for (auto& th : traffic) th.join();
+  EXPECT_EQ(failures.load(), 0) << "requests failed during the rollout";
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(server->stats().snapshot_swaps, 1u);
+  EXPECT_EQ(server->stats().snapshot_checksum, v2.CanonicalChecksum());
+
+  // Steady state after the swap serves v2's bits exactly.
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  auto final_response = client.Label(fx.corpus, rows, false, true, 5000);
+  ASSERT_TRUE(final_response.ok());
+  EXPECT_EQ(final_response->posteriors, expected_v2.posteriors);
+  auto wire_stats = client.GetStats(1000);
+  ASSERT_TRUE(wire_stats.ok());
+  EXPECT_EQ(wire_stats->snapshot_version, 2u);
+  EXPECT_EQ(wire_stats->snapshot_checksum, v2.CanonicalChecksum());
+}
+
+// ------------------------------------------------- remote router fabric --
+
+struct TwoShardFleet {
+  NetFixture fx;
+  ModelSnapshot snapshot;
+  std::string path;
+  std::vector<ShardServer> servers;
+  std::vector<std::pair<std::string, uint16_t>> endpoints;
+
+  explicit TwoShardFleet(int num_docs = 120)
+      : fx(num_docs), snapshot(fx.MakeSnapshot(fx.MakeLfs())) {
+    path = TempPath("fleet_" + std::to_string(num_docs) + ".snk");
+    EXPECT_TRUE(SaveSnapshot(snapshot, path).ok());
+    for (int s = 0; s < 2; ++s) {
+      ShardServer::Options options;
+      options.num_workers = 2;
+      auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+      EXPECT_TRUE(server.ok()) << server.status().ToString();
+      endpoints.emplace_back("127.0.0.1", server->port());
+      servers.push_back(std::move(*server));
+    }
+  }
+  ~TwoShardFleet() { std::remove(path.c_str()); }
+};
+
+TEST(RemoteRouterTest, BitwiseParityWithUnshardedUnderConcurrentCallers) {
+  TwoShardFleet fleet(120);
+  LabelResponse expected = fleet.fx.Expected(fleet.snapshot, true);
+
+  auto router = RemoteShardRouter::Create(fleet.endpoints, {});
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  LabelRequest request;
+  request.corpus = &fleet.fx.corpus;
+  request.candidates = &fleet.fx.candidates;
+  request.include_votes = true;
+  auto actual = router->Label(request);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_FALSE(actual->is_partial);
+  ASSERT_EQ(actual->posteriors.size(), expected.posteriors.size());
+  EXPECT_EQ(actual->posteriors, expected.posteriors);
+  EXPECT_EQ(actual->hard_labels, expected.hard_labels);
+  ASSERT_EQ(actual->votes.num_rows(), expected.votes.num_rows());
+  ASSERT_EQ(actual->votes.num_lfs(), expected.votes.num_lfs());
+  for (size_t i = 0; i < expected.votes.num_rows(); ++i) {
+    for (size_t j = 0; j < expected.votes.num_lfs(); ++j) {
+      EXPECT_EQ(actual->votes.At(i, j), expected.votes.At(i, j))
+          << "vote mismatch at (" << i << ", " << j << ")";
+    }
+  }
+
+  // Concurrent callers over sub-batches: all bitwise.
+  constexpr size_t kBatch = 30;
+  std::vector<std::vector<Candidate>> batches;
+  std::vector<std::vector<double>> expected_batches;
+  auto unsharded = LabelService::Create(fleet.snapshot, fleet.fx.MakeLfs());
+  ASSERT_TRUE(unsharded.ok());
+  for (size_t b = 0; b < fleet.fx.candidates.size(); b += kBatch) {
+    size_t e = std::min(b + kBatch, fleet.fx.candidates.size());
+    batches.emplace_back(fleet.fx.candidates.begin() + b,
+                         fleet.fx.candidates.begin() + e);
+    LabelRequest batch_request;
+    batch_request.corpus = &fleet.fx.corpus;
+    batch_request.candidates = &batches.back();
+    auto response = unsharded->Label(batch_request);
+    ASSERT_TRUE(response.ok());
+    expected_batches.push_back(response->posteriors);
+  }
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (size_t b = static_cast<size_t>(t); b < batches.size();
+             b += kThreads) {
+          LabelRequest batch_request;
+          batch_request.corpus = &fleet.fx.corpus;
+          batch_request.candidates = &batches[b];
+          auto response = router->Label(batch_request);
+          if (!response.ok() ||
+              response->posteriors != expected_batches[b]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  RemoteRouterStats stats = router->stats();
+  EXPECT_EQ(stats.num_requests,
+            1u + static_cast<uint64_t>(kRounds) * batches.size());
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.degraded_requests, 0u);
+  ASSERT_EQ(stats.per_shard.size(), 2u);
+  EXPECT_TRUE(stats.per_shard[0].healthy);
+  EXPECT_TRUE(stats.per_shard[1].healthy);
+}
+
+TEST(RemoteRouterTest, DeadShardFailsWholeTypedOrDegradesWhenOptedIn) {
+  TwoShardFleet fleet(64);
+  LabelResponse expected = fleet.fx.Expected(fleet.snapshot, false);
+
+  RemoteShardRouter::Options options;
+  options.client.connect_timeout_ms = 300;
+  options.request_timeout_ms = 2000;
+  auto router = RemoteShardRouter::Create(fleet.endpoints, options);
+  ASSERT_TRUE(router.ok());
+
+  // Kill shard 1. Its rows are exactly the candidates whose stable content
+  // hash lands on it — placement the client can compute locally.
+  constexpr size_t kDead = 1;
+  fleet.servers[kDead].Shutdown();
+
+  // Default policy: the WHOLE request fails, typed, naming the shard.
+  LabelRequest request;
+  request.corpus = &fleet.fx.corpus;
+  request.candidates = &fleet.fx.candidates;
+  auto whole = router->Label(request);
+  ASSERT_FALSE(whole.ok());
+  EXPECT_EQ(whole.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(whole.status().message().find("shard 1/2"), std::string::npos)
+      << whole.status().ToString();
+
+  // allow_partial: typed degraded service. Covered rows bitwise, uncovered
+  // rows flagged — never silent partial data.
+  request.allow_partial = true;
+  auto partial = router->Label(request);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->is_partial);
+  ASSERT_EQ(partial->posteriors.size(), fleet.fx.candidates.size());
+  ASSERT_FALSE(partial->covered.empty());
+  size_t covered_rows = 0;
+  for (size_t i = 0; i < fleet.fx.candidates.size(); ++i) {
+    bool on_dead_shard =
+        CandidateShardKey(fleet.fx.candidates[i]) % 2 == kDead;
+    EXPECT_EQ(partial->RowCovered(i), !on_dead_shard) << "row " << i;
+    if (!on_dead_shard) {
+      ++covered_rows;
+      EXPECT_EQ(partial->posteriors[i], expected.posteriors[i])
+          << "covered row " << i << " drifted";
+      EXPECT_EQ(partial->hard_labels[i], expected.hard_labels[i]);
+    } else {
+      // Placeholders, not model output.
+      EXPECT_EQ(partial->posteriors[i], 0.0);
+      EXPECT_EQ(partial->hard_labels[i], kAbstain);
+    }
+  }
+  EXPECT_GT(covered_rows, 0u);
+  EXPECT_LT(covered_rows, fleet.fx.candidates.size());
+  ASSERT_EQ(partial->shard_outcomes.size(), 2u);
+  EXPECT_EQ(partial->shard_outcomes[0].shard, 0u);
+  EXPECT_EQ(partial->shard_outcomes[0].code, StatusCode::kOk);
+  EXPECT_EQ(partial->shard_outcomes[1].shard, kDead);
+  EXPECT_EQ(partial->shard_outcomes[1].code, StatusCode::kUnavailable);
+
+  RemoteRouterStats stats = router->stats();
+  EXPECT_EQ(stats.failed_requests, 1u);
+  EXPECT_EQ(stats.degraded_requests, 1u);
+
+  // With EVERY shard dead, allow_partial still fails typed — zero coverage
+  // is a failure wearing a success type.
+  fleet.servers[0].Shutdown();
+  auto none = router->Label(request);
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(none.status().message().find("no shard survived"),
+            std::string::npos)
+      << none.status().ToString();
+}
+
+}  // namespace
+}  // namespace snorkel

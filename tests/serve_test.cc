@@ -780,6 +780,13 @@ TEST(LabelServiceTest, RepeatBatchesHitTheColumnCache) {
   ServiceStats stats = service->stats();
   EXPECT_EQ(stats.num_requests, 5u);
   EXPECT_EQ(stats.num_candidates, 5 * fx.candidates.size());
+  // Artifact identity rides along in the stats so operators can tell WHICH
+  // snapshot answered: version 0 for a non-store snapshot, canonical
+  // checksum always.
+  EXPECT_EQ(stats.snapshot_version, 0u);
+  EXPECT_EQ(stats.snapshot_checksum, snapshot.CanonicalChecksum());
+  EXPECT_EQ(service->snapshot_version(), stats.snapshot_version);
+  EXPECT_EQ(service->snapshot_checksum(), stats.snapshot_checksum);
   EXPECT_EQ(stats.lf_columns_computed, 3u);
   EXPECT_EQ(stats.lf_columns_reused, 12u);
   // Set-level cache counters surface through the service stats chain.

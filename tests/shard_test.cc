@@ -201,6 +201,14 @@ TEST(ShardRouterTest, RepeatRequestsHitEveryReplicaCacheAndAggregate) {
   EXPECT_EQ(third->posteriors, first->posteriors);
 
   RouterStats stats = router->stats();
+  // The router reports WHICH artifact the whole tier serves: every replica
+  // was created from the same snapshot, so the tier-level identity is that
+  // snapshot's (version 0 outside a store) and matches each replica's.
+  EXPECT_EQ(stats.snapshot_version, 0u);
+  EXPECT_EQ(stats.snapshot_checksum, snapshot.CanonicalChecksum());
+  for (const auto& shard : stats.per_shard) {
+    EXPECT_EQ(shard.snapshot_checksum, stats.snapshot_checksum);
+  }
   // Request 1 computed 3 columns per shard; requests 2 and 3 reused them.
   EXPECT_EQ(stats.lf_columns_computed, 2u * 3u);
   EXPECT_EQ(stats.lf_columns_reused, 2u * 2u * 3u);
@@ -692,6 +700,77 @@ TEST(ShardRouterTest, ShardFailureFailsWholeRequestWithShardContext) {
   auto clean_response = router->Label(clean_request);
   ASSERT_TRUE(clean_response.ok()) << clean_response.status().ToString();
   EXPECT_EQ(clean_response->posteriors.size(), clean.size());
+}
+
+TEST(ShardRouterTest, AllowPartialDegradesTypedInsteadOfFailingWhole) {
+  ShardFixture fx(64);
+  ModelSnapshot snapshot = fx.MakeSnapshot(MakeSwappableLfs(NormalCauses));
+
+  constexpr size_t kShards = 4;
+  const Candidate& poisoned = fx.candidates[5];
+  const std::string poisoned_id = poisoned.span1.canonical_id;
+  size_t poisoned_shard = CandidateShardKey(poisoned) % kShards;
+
+  LabelingFunctionSet bad = MakeSwappableLfs(
+      [poisoned_id](const CandidateView& view) -> Label {
+        if (view.candidate().span1.canonical_id == poisoned_id) {
+          return 7;  // Out of range for a binary task.
+        }
+        return NormalCauses(view);
+      });
+
+  ShardRouter::Options options;
+  options.num_shards = kShards;
+  auto reference =
+      ShardRouter::Create(snapshot, MakeSwappableLfs(NormalCauses), options);
+  ASSERT_TRUE(reference.ok());
+  auto router = ShardRouter::Create(snapshot, std::move(bad), options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  auto expected = reference->Label(request);
+  ASSERT_TRUE(expected.ok());
+
+  // Same poisoned tier as the whole-failure test above, but the caller opts
+  // into degraded service: the response arrives ok, flagged partial, with
+  // the healthy shards' rows bit-identical and the poisoned shard's rows
+  // marked uncovered.
+  request.allow_partial = true;
+  auto response = router->Label(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->is_partial);
+
+  size_t covered_rows = 0;
+  for (size_t i = 0; i < fx.candidates.size(); ++i) {
+    bool on_poisoned_shard =
+        CandidateShardKey(fx.candidates[i]) % kShards == poisoned_shard;
+    EXPECT_EQ(response->RowCovered(i), !on_poisoned_shard) << "row " << i;
+    if (on_poisoned_shard) {
+      EXPECT_EQ(response->posteriors[i], 0.0);
+      EXPECT_EQ(response->hard_labels[i], kAbstain);
+    } else {
+      EXPECT_EQ(response->posteriors[i], expected->posteriors[i]) << i;
+      ++covered_rows;
+    }
+  }
+  EXPECT_GT(covered_rows, 0u);
+  EXPECT_LT(covered_rows, fx.candidates.size());
+
+  // Per-shard outcomes carry the typed verdicts, sorted by shard.
+  ASSERT_EQ(response->shard_outcomes.size(), kShards);
+  for (const ShardOutcome& outcome : response->shard_outcomes) {
+    if (outcome.shard == poisoned_shard) {
+      EXPECT_EQ(outcome.code, StatusCode::kInvalidArgument);
+      EXPECT_FALSE(outcome.message.empty());
+    } else {
+      EXPECT_EQ(outcome.code, StatusCode::kOk);
+    }
+  }
+  RouterStats stats = router->stats();
+  EXPECT_EQ(stats.degraded_requests, 1u);
+  EXPECT_EQ(stats.failed_requests, 0u);
 }
 
 // ------------------------------------------------------- mmap snapshots --

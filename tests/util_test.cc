@@ -371,6 +371,35 @@ TEST(BoundedQueueTest, CloseUnblocksProducerAndDrainsConsumers) {
   EXPECT_EQ(queue.Pop(), std::nullopt);
 }
 
+TEST(BoundedQueueTest, CloseWakesConsumersBlockedOnEmptyQueue) {
+  // The shutdown path the ShardServer relies on: workers blocked in Pop()
+  // on an EMPTY queue must wake with nullopt when the acceptor closes the
+  // queue — no item ever arrives to nudge them.
+  BoundedQueue<int> queue(4);
+  constexpr int kWaiters = 3;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      auto item = queue.Pop();
+      if (!item.has_value()) woken.fetch_add(1);
+    });
+  }
+  // Give every waiter time to actually block inside Pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  queue.Close();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken.load(), kWaiters);
+  EXPECT_TRUE(queue.closed());
+
+  // Push after close is the typed kClosed, never a silent enqueue.
+  using PushResult = BoundedQueue<int>::PushResult;
+  int late = 9;
+  EXPECT_EQ(queue.Push(std::move(late)), PushResult::kClosed);
+  EXPECT_EQ(queue.TryPush(std::move(late)), PushResult::kClosed);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
 TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverExactlyOnce) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 3;
@@ -422,6 +451,47 @@ TEST(MappedFileTest, MapsFileContentsReadOnly) {
   MappedFile moved = std::move(*file);
   EXPECT_EQ(moved.view(), std::string_view(payload));
   std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MappingOutlivesFileReplacementOnDisk) {
+  // The hot-swap guarantee in miniature: a request pinned to the OLD
+  // serving generation holds its MappedFile alive while the rollout
+  // replaces (and even deletes) the artifact on disk. POSIX keeps the
+  // mapped pages valid until the last mapping goes away, so the in-flight
+  // request reads the exact old bytes to completion.
+  std::string path = ::testing::TempDir() + "/swapped_artifact.bin";
+  const std::string v1(1024, 'a');
+  const std::string v2(2048, 'b');
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(v1.data(), 1, v1.size(), f), v1.size());
+    std::fclose(f);
+  }
+  auto pinned = MappedFile::Open(path);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+
+  // The "store" swaps versions: atomic-rename replacement, as
+  // SnapshotStore::Publish does, then the old path even disappears.
+  std::string temp = path + ".publish";
+  {
+    std::FILE* f = std::fopen(temp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(v2.data(), 1, v2.size(), f), v2.size());
+    std::fclose(f);
+  }
+  ASSERT_EQ(std::rename(temp.c_str(), path.c_str()), 0);
+
+  // The pinned mapping still sees v1 bit-for-bit...
+  EXPECT_EQ(pinned->view(), std::string_view(v1));
+  // ...while a fresh open sees v2.
+  auto fresh = MappedFile::Open(path);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->view(), std::string_view(v2));
+
+  std::remove(path.c_str());
+  EXPECT_EQ(pinned->view(), std::string_view(v1));
+  EXPECT_EQ(pinned->size(), v1.size());
 }
 
 TEST(MappedFileTest, MissingFileIsNotFoundAndEmptyFileIsEmptyView) {

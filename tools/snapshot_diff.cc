@@ -1,7 +1,7 @@
 // snapshot_diff: compares two model-snapshot artifacts and reports drift —
 // the ROADMAP's "snapshot diffing for LF-weight drift monitoring" tool.
 //
-//   snapshot_diff A.snk B.snk [--fail-over X]
+//   snapshot_diff A.snk B.snk [--fail-over X] [--promote STORE_DIR]
 //
 // Reports, for any mix of v1/v2 artifacts:
 //   * file version + v2 section table (tag, bytes, checksum, known/unknown),
@@ -15,6 +15,12 @@
 // With --fail-over X the process exits 2 when the largest absolute label-
 // model weight/parameter delta exceeds X (for CI drift gates); load errors
 // exit 1.
+//
+// With --promote STORE_DIR the tool is the rollout gate: when the diff
+// passes (the --fail-over threshold, if given, is not exceeded), B is
+// published into the SnapshotStore at STORE_DIR as the next version —
+// write-to-temp + atomic rename, so watching shard servers either see the
+// complete artifact or nothing. A failed gate exits 2 WITHOUT publishing.
 
 #include <algorithm>
 #include <cmath>
@@ -24,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "net/snapshot_store.h"
 #include "serve/snapshot.h"
 #include "util/binary_io.h"
 #include "util/table_printer.h"
@@ -82,12 +89,14 @@ struct DriftSummary {
 
 int main(int argc, char** argv) {
   using namespace snorkel;
-  std::string path_a, path_b;
+  std::string path_a, path_b, promote_dir;
   double fail_over = -1.0;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--fail-over" && a + 1 < argc) {
       fail_over = std::atof(argv[++a]);
+    } else if (arg == "--promote" && a + 1 < argc) {
+      promote_dir = argv[++a];
     } else if (path_a.empty()) {
       path_a = arg;
     } else if (path_b.empty()) {
@@ -96,7 +105,8 @@ int main(int argc, char** argv) {
   }
   if (path_a.empty() || path_b.empty()) {
     std::fprintf(stderr,
-                 "usage: snapshot_diff <a.snk> <b.snk> [--fail-over X]\n");
+                 "usage: snapshot_diff <a.snk> <b.snk> [--fail-over X] "
+                 "[--promote STORE_DIR]\n");
     return 1;
   }
 
@@ -253,9 +263,38 @@ int main(int argc, char** argv) {
 
   std::printf("\nlabel-model max |Δ|: %.6f\n", drift.max_abs_delta);
   if (fail_over >= 0.0 && drift.max_abs_delta > fail_over) {
-    std::fprintf(stderr, "drift %.6f exceeds --fail-over %.6f\n",
-                 drift.max_abs_delta, fail_over);
+    std::fprintf(stderr, "drift %.6f exceeds --fail-over %.6f%s\n",
+                 drift.max_abs_delta, fail_over,
+                 promote_dir.empty() ? "" : "; NOT promoting");
     return 2;
+  }
+
+  // ---- Promotion: gate passed — publish B as the store's next version.
+  // Watching shard servers (net/shard_server.h) pick it up and hot-swap.
+  if (!promote_dir.empty()) {
+    auto store = SnapshotStore::Open(promote_dir);
+    if (!store.ok()) {
+      std::fprintf(stderr, "promote failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    auto current = store->ListVersions();
+    if (!current.ok()) {
+      std::fprintf(stderr, "promote failed: %s\n",
+                   current.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t next = current->empty() ? 1 : current->back() + 1;
+    Status promoted = store->PromoteFile(path_b, next);
+    if (!promoted.ok()) {
+      std::fprintf(stderr, "promote failed: %s\n",
+                   promoted.ToString().c_str());
+      return 1;
+    }
+    std::printf("promoted %s -> %s (version %llu, checksum %016llx)\n",
+                path_b.c_str(), store->PathFor(next).c_str(),
+                static_cast<unsigned long long>(next),
+                static_cast<unsigned long long>(b->CanonicalChecksum()));
   }
   return 0;
 }
