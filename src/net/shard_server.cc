@@ -5,6 +5,7 @@
 #include <chrono>
 #include <future>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -92,9 +93,16 @@ struct ShardServer::Impl {
   std::thread watcher_thread;
 
   /// Connection handler threads (one per accepted connection; clients pool
-  /// connections so this stays bounded by pool size, not request count).
+  /// connections so the LIVE count stays bounded by pool size). A handler
+  /// marks itself `done` when its connection closes and the accept loop
+  /// joins marked entries, so a long-lived server churning through many
+  /// short-lived connections does not accumulate dead thread handles.
+  struct ConnHandle {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
   std::mutex conn_mu;
-  std::list<std::thread> conn_threads;
+  std::list<std::unique_ptr<ConnHandle>> conn_threads;
 
   std::atomic<bool> stopping{false};
   std::atomic<bool> shut_down{false};
@@ -253,10 +261,13 @@ struct ShardServer::Impl {
   }
 
   void HandleConnection(Socket socket) {
+    FrameReader reader;
     while (!stopping.load(std::memory_order_acquire)) {
-      // Bounded receive wait so this thread notices shutdown; a timeout
-      // between frames just re-arms the wait.
-      auto frame = RecvFrame(socket, DeadlineAfterMs(100), /*eof_ok=*/true);
+      // Bounded receive wait so this thread notices shutdown. The reader is
+      // resumable: a timeout — between frames OR with a frame partially
+      // received (large frame, slow link) — keeps its progress, so the next
+      // wait continues the same frame instead of reading mid-stream.
+      auto frame = reader.Recv(socket, DeadlineAfterMs(100), /*eof_ok=*/true);
       if (!frame.ok()) {
         if (frame.status().code() == StatusCode::kDeadlineExceeded) continue;
         if (frame.status().code() == StatusCode::kNotFound) return;  // EOF.
@@ -286,20 +297,46 @@ struct ShardServer::Impl {
                                           frame->type))));
           break;
       }
-      if (!SendFrame(socket, reply, kNoDeadline).ok()) return;
+      // Bounded reply send: a peer that stops reading must not pin this
+      // thread (and Shutdown's join) forever.
+      if (!SendFrame(socket, reply,
+                     DeadlineAfterMs(options.send_deadline_ms))
+               .ok()) {
+        return;
+      }
+    }
+  }
+
+  /// Joins and erases every handler whose connection has closed. Joining a
+  /// `done` handler blocks at most for its final few instructions.
+  void ReapFinishedConnections() {
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (auto it = conn_threads.begin(); it != conn_threads.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = conn_threads.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 
   void AcceptLoop() {
     while (!stopping.load(std::memory_order_acquire)) {
       auto socket = listener.Accept(/*timeout_ms=*/100);
+      ReapFinishedConnections();
       if (!socket.ok()) continue;  // Timeout (stop check) or transient.
+      auto handle = std::make_unique<ConnHandle>();
+      ConnHandle* raw = handle.get();
       std::lock_guard<std::mutex> lock(conn_mu);
       if (stopping.load(std::memory_order_acquire)) return;
-      conn_threads.emplace_back(
-          [this, s = std::make_shared<Socket>(std::move(*socket))]() mutable {
+      handle->thread = std::thread(
+          [this, raw,
+           s = std::make_shared<Socket>(std::move(*socket))]() mutable {
             HandleConnection(std::move(*s));
+            raw->done.store(true, std::memory_order_release);
           });
+      conn_threads.push_back(std::move(handle));
     }
   }
 
@@ -352,7 +389,7 @@ struct ShardServer::Impl {
     // label job they already admitted drains below before workers exit.
     {
       std::lock_guard<std::mutex> lock(conn_mu);
-      for (std::thread& thread : conn_threads) thread.join();
+      for (auto& handle : conn_threads) handle->thread.join();
       conn_threads.clear();
     }
     queue.Close();

@@ -51,6 +51,11 @@ class ShardServer {
     LabelService::Options service;
     /// Store mode: how often the watcher polls for a newer version.
     uint64_t watch_interval_ms = 100;
+    /// Budget for writing one reply frame back to a client. A client that
+    /// stops reading (dead peer, full socket buffer) gets its connection
+    /// dropped after this long instead of pinning the handler thread — and
+    /// with it Shutdown()'s drain — forever. 0 = no deadline.
+    uint64_t send_deadline_ms = 30'000;
     /// Fault injection for tests and the hedged-retry tail probe: every Nth
     /// label request (1-based, process-wide) sleeps `inject_delay_ms`
     /// before serving. 0 disables. Injected latency only — results stay

@@ -176,21 +176,28 @@ Status Socket::SendAll(std::string_view bytes, SocketDeadline deadline) {
 
 Status Socket::RecvExact(char* out, size_t size, SocketDeadline deadline,
                          bool eof_ok) {
-  if (fd_ < 0) return Status::Unavailable("recv on closed socket");
   size_t got = 0;
-  while (got < size) {
-    ssize_t n = ::recv(fd_, out + got, size - got, 0);
+  return RecvSome(out, size, &got, deadline, eof_ok);
+}
+
+Status Socket::RecvSome(char* out, size_t size, size_t* got,
+                        SocketDeadline deadline, bool eof_ok) {
+  if (fd_ < 0) return Status::Unavailable("recv on closed socket");
+  while (*got < size) {
+    ssize_t n = ::recv(fd_, out + *got, size - *got, 0);
     if (n > 0) {
-      got += static_cast<size_t>(n);
+      *got += static_cast<size_t>(n);
       continue;
     }
     if (n == 0) {
-      if (got == 0 && eof_ok) {
+      if (*got == 0 && eof_ok) {
         return Status::NotFound("peer closed the connection");
       }
       return Status::Unavailable("peer closed the connection mid-message");
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // A deadline expiry propagates with *got intact — the caller may
+      // re-arm and resume without losing consumed stream bytes.
       SNORKEL_RETURN_IF_ERROR(WaitReady(fd_, POLLIN, deadline, "recv"));
       continue;
     }
@@ -289,6 +296,34 @@ Result<Frame> RecvFrame(Socket& socket, SocketDeadline deadline, bool eof_ok) {
         socket.RecvExact(body.data(), body.size(), deadline));
   }
   return DecodeFrameBody(body);
+}
+
+Result<Frame> FrameReader::Recv(Socket& socket, SocketDeadline deadline,
+                                bool eof_ok) {
+  if (!have_header_) {
+    if (buffer_.size() != kWireHeaderBytes) {
+      buffer_.assign(kWireHeaderBytes, '\0');
+    }
+    SNORKEL_RETURN_IF_ERROR(socket.RecvSome(buffer_.data(), kWireHeaderBytes,
+                                            &got_, deadline,
+                                            eof_ok && got_ == 0));
+    auto header = DecodeFrameHeader(
+        std::string_view(buffer_.data(), kWireHeaderBytes));
+    if (!header.ok()) return header.status();
+    header_ = *header;
+    have_header_ = true;
+    got_ = 0;
+    buffer_.assign(header_.body_size, '\0');
+  }
+  SNORKEL_RETURN_IF_ERROR(
+      socket.RecvSome(buffer_.data(), header_.body_size, &got_, deadline));
+  auto frame = DecodeFrameBody(
+      std::string_view(buffer_.data(), header_.body_size));
+  // The frame's bytes are fully consumed either way; reset for the next one.
+  have_header_ = false;
+  got_ = 0;
+  buffer_.clear();
+  return frame;
 }
 
 }  // namespace snorkel

@@ -52,9 +52,19 @@ class Socket {
   /// Reads exactly `size` bytes into `out` or fails typed. EOF before
   /// `size` bytes is kUnavailable (the peer hung up mid-message); EOF at
   /// offset 0 with `eof_ok` reports kNotFound so callers can distinguish a
-  /// clean peer close from a mid-frame break.
+  /// clean peer close from a mid-frame break. A deadline expiry mid-read
+  /// LOSES the partial bytes — use RecvSome where the caller must be able
+  /// to re-arm the deadline and resume.
   Status RecvExact(char* out, size_t size, SocketDeadline deadline,
                    bool eof_ok = false);
+
+  /// Resumable RecvExact: `*got` is the read cursor, advanced as bytes
+  /// arrive and PRESERVED when the deadline expires, so a later call with a
+  /// fresh deadline continues where this one stopped instead of discarding
+  /// consumed stream bytes. `eof_ok` as in RecvExact (clean close only when
+  /// `*got` is still 0).
+  Status RecvSome(char* out, size_t size, size_t* got, SocketDeadline deadline,
+                  bool eof_ok = false);
 
  private:
   int fd_ = -1;
@@ -97,9 +107,35 @@ class ListenSocket {
 Status SendFrame(Socket& socket, const Frame& frame, SocketDeadline deadline);
 
 /// Reads one frame (header, then body) from the stream. `eof_ok` as in
-/// RecvExact: a clean close between frames decodes as kNotFound.
+/// RecvExact: a clean close between frames decodes as kNotFound. A deadline
+/// expiry anywhere inside the frame abandons the partial bytes, so callers
+/// must treat it as fatal for the connection (the client does: its deadline
+/// is the whole request budget). Server loops that re-arm short waits use
+/// FrameReader instead.
 Result<Frame> RecvFrame(Socket& socket, SocketDeadline deadline,
                         bool eof_ok = false);
+
+/// Incremental frame reader for receive loops that interleave short waits
+/// with stop checks: kDeadlineExceeded PRESERVES partial progress (header or
+/// body bytes already consumed from the stream stay buffered), so the next
+/// Recv call resumes the same frame instead of reading mid-stream and
+/// poisoning the framing. One instance per connection; not thread-safe.
+class FrameReader {
+ public:
+  /// Reads toward one complete frame. Returns the frame when it completes,
+  /// kDeadlineExceeded to ask the caller to re-arm (progress kept), or a
+  /// terminal framing/transport error. `eof_ok`: a clean peer close is
+  /// kNotFound only while NO byte of the next frame has arrived; EOF
+  /// mid-frame is always kUnavailable.
+  Result<Frame> Recv(Socket& socket, SocketDeadline deadline,
+                     bool eof_ok = false);
+
+ private:
+  std::string buffer_;
+  size_t got_ = 0;
+  bool have_header_ = false;
+  FrameHeader header_;
+};
 
 }  // namespace snorkel
 

@@ -75,7 +75,14 @@ std::string EncodeCorpusSlice(const Corpus& corpus,
   return writer.TakeBuffer();
 }
 
-Result<Corpus> DecodeCorpusSlice(std::string_view payload) {
+/// `doc_index_bound` is the exclusive upper bound on valid document indices,
+/// derived from the request's CAND section: the encoder ships exactly the
+/// documents the candidates reference, so a shipped index past every
+/// candidate's doc is invalid by construction. Candidate doc fields are u32,
+/// which also bounds the filler-pad loop below against corrupt u64 indices
+/// that would otherwise make it allocate without limit.
+Result<Corpus> DecodeCorpusSlice(std::string_view payload,
+                                 uint64_t doc_index_bound) {
   BinaryReader reader(payload);
   uint64_t num_docs = reader.ReadU64();
   Corpus corpus;
@@ -87,10 +94,9 @@ Result<Corpus> DecodeCorpusSlice(std::string_view payload) {
     if (index < corpus.num_documents()) {
       return Status::IOError("CORP section: document indices out of order");
     }
-    if (index > payload.size()) {
-      // More filler docs than the payload could possibly describe: corrupt
-      // index field (guards the pad loop below against huge values).
-      return Status::IOError("CORP section: corrupt document index");
+    if (index >= doc_index_bound) {
+      return Status::IOError(
+          "CORP section: document index beyond the candidate range");
     }
     while (corpus.num_documents() < index) corpus.AddDocument(Document{});
     Document doc;
@@ -409,17 +415,40 @@ Result<WireLabelRequest> DecodeLabelRequest(const Frame& frame) {
         "label request frame is missing its CORP/CAND sections");
   }
   WireLabelRequest request;
-  auto corpus = DecodeCorpusSlice(corpus_section->payload);
-  if (!corpus.ok()) return corpus.status();
-  request.corpus = std::move(*corpus);
+  // Candidates first: their doc indices bound the corpus slice (the encoder
+  // ships exactly the documents the candidates reference).
   Status candidates_status =
       DecodeCandidates(candidates_section->payload, &request);
   if (!candidates_status.ok()) return candidates_status;
+  uint64_t doc_index_bound = 0;
   for (const Candidate& candidate : request.candidates) {
-    if (candidate.span1.doc >= request.corpus.num_documents() ||
-        candidate.span2.doc >= request.corpus.num_documents()) {
-      return Status::IOError(
-          "label request references a document outside its corpus slice");
+    doc_index_bound = std::max(
+        {doc_index_bound, static_cast<uint64_t>(candidate.span1.doc) + 1,
+         static_cast<uint64_t>(candidate.span2.doc) + 1});
+  }
+  auto corpus = DecodeCorpusSlice(corpus_section->payload, doc_index_bound);
+  if (!corpus.ok()) return corpus.status();
+  request.corpus = std::move(*corpus);
+  // Every span coordinate a LF can observe must resolve inside the slice:
+  // an out-of-range doc, sentence, or word range is a typed IOError here,
+  // never an out-of-bounds read during LF execution.
+  for (const Candidate& candidate : request.candidates) {
+    for (const Span* span : {&candidate.span1, &candidate.span2}) {
+      if (span->doc >= request.corpus.num_documents()) {
+        return Status::IOError(
+            "label request references a document outside its corpus slice");
+      }
+      const Document& doc = request.corpus.document(span->doc);
+      if (span->sentence >= doc.sentences.size()) {
+        return Status::IOError(
+            "label request references a sentence outside its document");
+      }
+      const Sentence& sentence = doc.sentences[span->sentence];
+      if (span->word_start > span->word_end ||
+          span->word_end > sentence.words.size()) {
+        return Status::IOError(
+            "label request references a word range outside its sentence");
+      }
     }
   }
   if (const FrameSection* options = frame.Find(kSectionRequestOptions)) {

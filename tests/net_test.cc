@@ -361,6 +361,134 @@ TEST(WireRequestTest, DanglingDocumentReferenceIsTypedIOError) {
   EXPECT_EQ(wire.status().code(), StatusCode::kIOError);
 }
 
+TEST(WireRequestTest, SmallDocumentAtHighOriginalIndexDecodes) {
+  // A large corpus where the request references one SMALL document at a
+  // HIGH original index: the CORP payload is a few hundred bytes while the
+  // index is 100000. The decoder must accept this (the index is bounded by
+  // the candidate range, not by the payload size) — rejecting it would
+  // break parity with in-process serving for any large corpus.
+  Corpus corpus;
+  for (int d = 0; d < 100000; ++d) corpus.AddDocument(Document{});
+  Document doc;
+  Sentence s;
+  s.words = {"magnesium", "causes", "quadriplegia"};
+  s.mentions = {Mention{0, 1, "chemical", "C99k"},
+                Mention{2, 3, "disease", "D99k"}};
+  doc.sentences = {s};
+  corpus.AddDocument(std::move(doc));
+
+  std::vector<Candidate> candidates =
+      CandidateExtractor("chemical", "disease").Extract(corpus);
+  ASSERT_EQ(candidates.size(), 1u);
+  ASSERT_EQ(candidates[0].span1.doc, 100000u);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(candidates);
+  Frame frame = EncodeLabelRequest(5, corpus, rows, false, true, 0);
+  std::string bytes = EncodeFrame(frame);
+  // The regression this pins: the whole frame is far smaller than the
+  // original document index it carries.
+  ASSERT_LT(bytes.size(), 100000u);
+  auto decoded = DecodeFrame(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto wire = DecodeLabelRequest(*decoded);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->corpus.num_documents(), 100001u);
+  EXPECT_TRUE(wire->corpus.document(0).sentences.empty());
+  ASSERT_EQ(wire->corpus.document(100000).sentences.size(), 1u);
+  EXPECT_EQ(wire->corpus.document(100000).sentences[0].words, s.words);
+}
+
+TEST(WireRequestTest, OutOfRangeSentenceOrWordRangeIsTypedIOError) {
+  NetFixture fx(6);
+  // One candidate on document 0, so the slice ships exactly that document
+  // (one sentence, three words) and the forged span coordinates below are
+  // the only thing wrong with the request.
+  std::vector<CandidateRef> rows = {CandidateRef{&fx.candidates[0], 0}};
+  struct Case {
+    uint32_t sentence;
+    uint32_t word_start;
+    uint32_t word_end;
+  };
+  for (const Case& c :
+       {Case{7, 0, 1}, Case{0, 0, 999}, Case{0, 2, 1}}) {
+    BinaryWriter forged;
+    forged.WriteU64(1);
+    for (int span = 0; span < 2; ++span) {
+      forged.WriteU32(0);  // doc — valid, inside the slice.
+      forged.WriteU32(c.sentence);
+      forged.WriteU32(c.word_start);
+      forged.WriteU32(c.word_end);
+      forged.WriteString("chemical");
+      forged.WriteString("C0");
+    }
+    forged.WriteU64(0);
+    Frame forged_frame =
+        EncodeLabelRequest(1, fx.corpus, rows, false, true, 0);
+    for (FrameSection& section : forged_frame.sections) {
+      if (section.tag == "CAND") section.payload = forged.TakeBuffer();
+    }
+    auto decoded = DecodeFrame(EncodeFrame(forged_frame));
+    ASSERT_TRUE(decoded.ok());
+    // A checksummed-but-hostile span must fail TYPED at decode, never reach
+    // LF execution as an out-of-bounds sentence or word read.
+    auto wire = DecodeLabelRequest(*decoded);
+    ASSERT_FALSE(wire.ok())
+        << "sentence=" << c.sentence << " words=[" << c.word_start << ","
+        << c.word_end << ")";
+    EXPECT_EQ(wire.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(SocketTest, FrameReaderResumesAcrossDeadlineMidFrame) {
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  auto client =
+      Socket::Connect("127.0.0.1", listener->port(), DeadlineAfterMs(2000));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto served = listener->Accept(2000);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.request_id = 123;
+  frame.sections.push_back(FrameSection{"ABCD", std::string(4096, 'x')});
+  std::string bytes = EncodeFrame(frame);
+
+  // First half of the frame, then silence past the receive deadline: the
+  // reader reports kDeadlineExceeded but KEEPS the partial bytes.
+  size_t half = bytes.size() / 2;
+  ASSERT_TRUE(client
+                  ->SendAll(std::string_view(bytes).substr(0, half),
+                            DeadlineAfterMs(2000))
+                  .ok());
+  FrameReader reader;
+  auto partial = reader.Recv(*served, DeadlineAfterMs(50), /*eof_ok=*/true);
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(partial.status().code(), StatusCode::kDeadlineExceeded);
+  // Re-arming while the peer stays quiet changes nothing.
+  partial = reader.Recv(*served, DeadlineAfterMs(50), /*eof_ok=*/true);
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(partial.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The second half arrives: the SAME reader completes the frame losslessly
+  // — no bad-magic desync, no dropped bytes.
+  ASSERT_TRUE(client
+                  ->SendAll(std::string_view(bytes).substr(half),
+                            DeadlineAfterMs(2000))
+                  .ok());
+  auto full = reader.Recv(*served, DeadlineAfterMs(2000), /*eof_ok=*/true);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->type, FrameType::kPing);
+  EXPECT_EQ(full->request_id, 123u);
+  ASSERT_EQ(full->sections.size(), 1u);
+  EXPECT_EQ(full->sections[0].payload, std::string(4096, 'x'));
+
+  // A clean close between frames still surfaces as kNotFound (EOF).
+  client->Close();
+  auto eof = reader.Recv(*served, DeadlineAfterMs(2000), /*eof_ok=*/true);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+}
+
 TEST(WireResponseTest, BinaryResponseRoundTripsBitwise) {
   NetFixture fx;
   ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
