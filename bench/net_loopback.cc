@@ -9,7 +9,10 @@
 //       loopback client — what cross-process fan-out adds, and
 //   (3) a hedged-retry tail probe: a server that sleeps on every 2nd request
 //       (inject_delay_every_n) gives a bimodal latency distribution; the
-//       hedging client must pull p99 down to roughly the fast mode.
+//       hedging client must pull p99 down to roughly the fast mode, and
+//   (4) replicated failover: R=2 routing vs single-owner when healthy, and
+//       throughput while one of two shards is dead — the outage run must
+//       complete EVERY request (failover, not failure).
 //
 // CAVEAT: loopback numbers bound the PROTOCOL cost only. Real deployments
 // add NIC latency, congestion, and cross-machine clock effects that
@@ -266,6 +269,81 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(hedged_wins),
               tail.ToString().c_str());
 
+  // ---- (4) replicated failover (PR 7): what R-way replication costs when
+  // the fleet is healthy, and what it buys when a shard dies. Three router
+  // configs over the same 2-server fleet, interleaved best-of like (1)+(2):
+  //   r1      — replication 1 (single-owner routing, the pre-PR-7 fabric),
+  //   r2      — replication 2, both servers up (placement overhead only),
+  //   outage  — replication 2 with server 1 SHUT DOWN before the workload:
+  //             every shard-1 sub-batch must fail over to server 0, so
+  //             throughput ~halves (one server does all the work) but ZERO
+  //             requests fail. The long breaker cooldown keeps the dead
+  //             endpoint rejected for the whole run, so steady-state
+  //             failovers are free (no dispatch, no budget spend). ----
+  double r1_cps = 0.0;
+  double r2_cps = 0.0;
+  double outage_cps = 0.0;
+  uint64_t outage_failovers = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (int config = 0; config < 3; ++config) {
+      ShardServer::Options options;
+      options.num_workers = kCallers;
+      options.queue_capacity = 64;
+      options.service.num_threads = 1;
+      auto s0 = ShardServer::Serve(path, task->lfs, options);
+      auto s1 = ShardServer::Serve(path, task->lfs, options);
+      if (!s0.ok() || !s1.ok()) return 1;
+      RemoteShardRouter::Options router_options;
+      router_options.client.max_pooled_connections = kCallers;
+      // A dead loopback port refuses connections instantly, but keep the
+      // connect budget small anyway so detection never dominates the run.
+      router_options.client.connect_timeout_ms = 250;
+      // Open after one failure and stay open past the end of the trial:
+      // after detection every failover is a free breaker-open rejection.
+      router_options.client.unhealthy_threshold = 1;
+      router_options.client.unhealthy_cooldown_ms = 60'000;
+      router_options.request_timeout_ms = 60'000;
+      router_options.replication = (config == 0) ? 1 : 2;
+      auto router = RemoteShardRouter::Create(
+          {{"127.0.0.1", s0->port()}, {"127.0.0.1", s1->port()}},
+          router_options);
+      if (!router.ok()) return 1;
+      if (config == 2) s1->Shutdown();  // One-shard outage under R=2.
+      double cps = run_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &task->corpus;
+        request.candidates = &batch;
+        return router->Label(request).ok();
+      });
+      if (trial > 0) {
+        if (config == 0) r1_cps = std::max(r1_cps, cps);
+        if (config == 1) r2_cps = std::max(r2_cps, cps);
+        if (config == 2 && cps > outage_cps) {
+          outage_cps = cps;
+          outage_failovers = router->stats().failovers;
+        }
+      }
+      s0->Shutdown();
+      if (config != 2) s1->Shutdown();
+    }
+  }
+
+  TablePrinter failover({"Fleet", "cand/s (wall)", "Vs single-owner"});
+  failover.AddRow({"R=1 single-owner (2 up)", TablePrinter::Cell(r1_cps, 0),
+                   "1.00"});
+  failover.AddRow({"R=2 replicated (2 up)", TablePrinter::Cell(r2_cps, 0),
+                   TablePrinter::Cell(r2_cps / r1_cps, 2)});
+  failover.AddRow({"R=2, one shard DOWN", TablePrinter::Cell(outage_cps, 0),
+                   TablePrinter::Cell(outage_cps / r1_cps, 2)});
+  std::printf("\nReplicated failover (%d callers, best of %d trials; outage "
+              "run completed every request, %llu failovers):\n%s",
+              kCallers, kTrials - 1,
+              static_cast<unsigned long long>(outage_failovers),
+              failover.ToString().c_str());
+  std::printf("(under R=2 a single dead endpoint costs throughput, never "
+              "answers — the surviving replica serves bit-identical "
+              "posteriors)\n");
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -281,12 +359,15 @@ int main(int argc, char** argv) {
         "  \"hedge\": {\"inject_ms\": %llu, \"calls\": %d, "
         "\"p50_nohedge_ms\": %.2f, \"p99_nohedge_ms\": %.2f, "
         "\"p50_hedge_ms\": %.2f, \"p99_hedge_ms\": %.2f, "
-        "\"hedged_wins\": %llu}\n"
+        "\"hedged_wins\": %llu},\n"
+        "  \"failover\": {\"r1_cps\": %.1f, \"r2_cps\": %.1f, "
+        "\"outage_cps\": %.1f, \"failovers\": %llu}\n"
         "}\n",
         kCallers, kBatchSize, inprocess_cps, loopback_cps, router2_cps,
         static_cast<unsigned long long>(kInjectMs), kProbeCalls,
         p50_nohedge, p99_nohedge, p50_hedge, p99_hedge,
-        static_cast<unsigned long long>(hedged_wins));
+        static_cast<unsigned long long>(hedged_wins), r1_cps, r2_cps,
+        outage_cps, static_cast<unsigned long long>(outage_failovers));
     std::fclose(out);
     std::printf("\nwrote %s\n", json_path.c_str());
   }

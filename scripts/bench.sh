@@ -130,6 +130,18 @@ print(
         net["inprocess_cps"], net["loopback_cps"], net["callers"],
         net["hedge"]["p99_nohedge_ms"], net["hedge"]["p99_hedge_ms"]))
 
+# The replicated-failover section (PR 7): R-way placement must stay cheap
+# when healthy and keep serving (at reduced throughput, zero failures)
+# through a one-shard outage.
+failover = net.get("failover")
+if not failover:
+    sys.exit("net benchmark JSON is missing the 'failover' section")
+print(
+    "failover: single-owner {:.0f} vs R=2 {:.0f} cand/s; one-shard outage "
+    "{:.0f} cand/s with {} failovers and zero failed requests".format(
+        failover["r1_cps"], failover["r2_cps"], failover["outage_cps"],
+        failover["failovers"]))
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")

@@ -1,0 +1,138 @@
+#include "net/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snorkel {
+
+uint64_t BackoffDelayMs(const BackoffOptions& options, uint64_t stream,
+                        uint32_t attempt) {
+  if (attempt == 0) return 0;
+  double delay = static_cast<double>(options.base_ms) *
+                 std::pow(options.multiplier, static_cast<double>(attempt - 1));
+  delay = std::min(delay, static_cast<double>(options.max_ms));
+  if (options.jitter > 0.0) {
+    // One deterministic draw per (seed, stream, attempt): decorrelated
+    // across streams, reproducible across runs.
+    SplitMix64 rng(options.seed, (stream << 8) ^ attempt);
+    delay *= 1.0 + options.jitter * rng.Uniform();
+  }
+  return static_cast<uint64_t>(delay);
+}
+
+RetryBudget::RetryBudget(Options options)
+    : options_(options), tokens_(options.initial) {
+  if (options_.max_tokens < 0.0) options_.max_tokens = 0.0;
+  tokens_ = std::min(tokens_, options_.max_tokens);
+}
+
+void RetryBudget::OnRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(tokens_ + options_.per_request_refill,
+                     options_.max_tokens);
+}
+
+bool RetryBudget::TryConsume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    ++exhausted_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+uint64_t RetryBudget::exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exhausted_;
+}
+
+CircuitBreaker::CircuitBreaker(Options options)
+    : options_(options), jitter_rng_(options.seed) {
+  if (options_.failure_threshold == 0) options_.failure_threshold = 1;
+}
+
+std::chrono::steady_clock::time_point CircuitBreaker::JitteredReopenAt() {
+  double cooldown = static_cast<double>(options_.cooldown_ms);
+  if (options_.cooldown_jitter > 0.0) {
+    cooldown *= 1.0 + options_.cooldown_jitter * jitter_rng_.Uniform();
+  }
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(static_cast<int64_t>(cooldown));
+}
+
+CircuitBreaker::Admission CircuitBreaker::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Admission::kAllow;
+    case State::kOpen:
+      if (std::chrono::steady_clock::now() < reopen_at_) {
+        ++open_rejections_;
+        return Admission::kReject;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return Admission::kProbe;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        // The previous probe's outcome re-opened or closed the breaker
+        // before this caller arrived; treat a stale half-open as a probe
+        // slot (cannot happen in practice — transitions leave half-open —
+        // but stay safe).
+        probe_in_flight_ = true;
+        return Admission::kProbe;
+      }
+      ++open_rejections_;
+      return Admission::kReject;
+  }
+  return Admission::kAllow;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Evidence of life closes the breaker from any state (a late success from
+  // an attempt dispatched before the breaker opened counts too).
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        reopen_at_ = JitteredReopenAt();
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: re-arm the cooldown.
+      state_ = State::kOpen;
+      probe_in_flight_ = false;
+      reopen_at_ = JitteredReopenAt();
+      break;
+    case State::kOpen:
+      // A straggler from before the breaker opened; the cooldown already
+      // running is the right response.
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::open_rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_rejections_;
+}
+
+}  // namespace snorkel

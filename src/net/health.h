@@ -1,0 +1,135 @@
+#ifndef SNORKEL_NET_HEALTH_H_
+#define SNORKEL_NET_HEALTH_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/random.h"
+
+namespace snorkel {
+
+/// Seeded exponential backoff with deterministic jitter, shared by the
+/// failover router (delay between replica attempts) and the circuit
+/// breaker (cooldown spreading). Pure function of (options, stream,
+/// attempt): the same seed reproduces the same delays, different streams
+/// (one per shard / endpoint) decorrelate, so a fleet never retries or
+/// probes in lockstep yet every run of a seeded test sleeps identically.
+struct BackoffOptions {
+  uint64_t base_ms = 10;
+  double multiplier = 2.0;
+  uint64_t max_ms = 1000;
+  /// Delay is scaled by a factor drawn uniformly from [1, 1 + jitter].
+  double jitter = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Delay before retry `attempt` (1-based) of logical stream `stream`.
+uint64_t BackoffDelayMs(const BackoffOptions& options, uint64_t stream,
+                        uint32_t attempt);
+
+/// Token-bucket retry budget: bounds how much EXTRA work retries may add on
+/// top of first attempts, so a struggling shard degrades into typed errors
+/// instead of an amplifying retry storm. Each first attempt deposits
+/// `per_request_refill` tokens (capped at `max_tokens`); each retry spends
+/// one whole token. The classic "retries <= ~10% of requests" discipline,
+/// expressed in request counts rather than wall clock so seeded tests are
+/// deterministic. Thread-safe.
+class RetryBudget {
+ public:
+  struct Options {
+    double initial = 10.0;
+    double max_tokens = 10.0;
+    double per_request_refill = 0.1;
+  };
+
+  explicit RetryBudget(Options options);
+
+  /// Called once per incoming request (deposits refill tokens).
+  void OnRequest();
+
+  /// Spends one token; false (and counted) when the bucket is dry.
+  bool TryConsume();
+
+  double tokens() const;
+  uint64_t exhausted() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  double tokens_;
+  uint64_t exhausted_ = 0;
+};
+
+/// Per-endpoint circuit breaker: closed / open / half-open with
+/// single-probe admission — the generalization of RemoteShardClient's
+/// consecutive-failure fail-fast, reusable by client and router.
+///
+///   closed ──(threshold consecutive transport failures)──> open
+///   open   ──(jittered cooldown expires; ONE caller admitted)──> half-open
+///   half-open ──probe succeeds──> closed
+///             ──probe fails────> open (fresh jittered cooldown)
+///
+/// While open, Admit() rejects without any I/O (no connect storm against a
+/// dead endpoint). The cooldown is drawn per opening from a seeded stream —
+/// [cooldown, cooldown * (1 + jitter)] — so after a fleet-wide blip,
+/// endpoints with different seeds probe at different times instead of in
+/// lockstep (the thundering-herd fix). While half-open, exactly one probe
+/// is in flight and every other caller keeps failing fast until the probe
+/// reports. A success observed in ANY state closes the breaker (evidence of
+/// life wins). Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive transport failures before the breaker opens (>= 1).
+    size_t failure_threshold = 3;
+    uint64_t cooldown_ms = 1000;
+    /// Cooldown jitter factor (see class comment); 0 = fixed cooldown.
+    double cooldown_jitter = 0.5;
+    /// Seed for the jitter stream; give each endpoint its own.
+    uint64_t seed = 42;
+  };
+
+  enum class Admission {
+    /// Breaker closed: dispatch normally.
+    kAllow,
+    /// Cooldown expired and this caller won the single probe slot: dispatch,
+    /// and the outcome decides closed vs re-open.
+    kProbe,
+    /// Open (cooldown running, or a probe already in flight): fail fast.
+    kReject,
+  };
+
+  explicit CircuitBreaker(Options options);
+
+  /// Call before dispatching work to the endpoint.
+  Admission Admit();
+
+  /// Report the transport outcome of an admitted attempt.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// Attempts rejected while open / probing (fail-fast count).
+  uint64_t open_rejections() const;
+
+ private:
+  /// Caller holds mu_.
+  std::chrono::steady_clock::time_point JitteredReopenAt();
+
+  Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  size_t consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point reopen_at_{};
+  SplitMix64 jitter_rng_;
+  uint64_t open_rejections_ = 0;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_NET_HEALTH_H_

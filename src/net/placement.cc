@@ -1,0 +1,55 @@
+#include "net/placement.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace snorkel {
+
+namespace {
+
+/// Rendezvous score of endpoint `e` for shard `s`: an independent
+/// deterministic draw per (shard, endpoint) pair. Pure arithmetic over
+/// stable hashes — every process computes the same ordering.
+uint64_t RendezvousScore(uint64_t shard, uint64_t endpoint) {
+  uint64_t h = Fnv1a64("rendezvous-placement");
+  h = HashCombine(h, shard);
+  h = HashCombine(h, endpoint);
+  return h;
+}
+
+}  // namespace
+
+size_t ShardPlacement::PrimaryOf(uint64_t key, size_t num_endpoints) {
+  return static_cast<size_t>(key % (num_endpoints == 0 ? 1 : num_endpoints));
+}
+
+ShardPlacement::ShardPlacement(size_t num_endpoints, size_t replication)
+    : num_endpoints_(num_endpoints == 0 ? 1 : num_endpoints),
+      replication_(std::min(std::max<size_t>(replication, 1), num_endpoints_)) {
+  preferences_.resize(num_endpoints_);
+  for (size_t s = 0; s < num_endpoints_; ++s) {
+    std::vector<uint32_t>& prefs = preferences_[s];
+    prefs.reserve(replication_);
+    prefs.push_back(static_cast<uint32_t>(s));
+    // Fallback replicas: every OTHER endpoint by descending rendezvous
+    // score, ties broken by endpoint id so the order is total.
+    std::vector<uint32_t> others;
+    others.reserve(num_endpoints_ - 1);
+    for (size_t e = 0; e < num_endpoints_; ++e) {
+      if (e != s) others.push_back(static_cast<uint32_t>(e));
+    }
+    std::sort(others.begin(), others.end(), [s](uint32_t a, uint32_t b) {
+      uint64_t score_a = RendezvousScore(s, a);
+      uint64_t score_b = RendezvousScore(s, b);
+      if (score_a != score_b) return score_a > score_b;
+      return a < b;
+    });
+    for (uint32_t e : others) {
+      if (prefs.size() >= replication_) break;
+      prefs.push_back(e);
+    }
+  }
+}
+
+}  // namespace snorkel

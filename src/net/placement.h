@@ -1,0 +1,63 @@
+#ifndef SNORKEL_NET_PLACEMENT_H_
+#define SNORKEL_NET_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snorkel {
+
+/// R-way replica placement for the shard fabric.
+///
+/// Placement has two layers that must not be conflated:
+///
+///  1. The PRIMARY map — which shard id owns a candidate key. This stays the
+///     stable content-hash modulo both tiers have always used
+///     (`key % num_endpoints`), so the in-process ShardRouter, every remote
+///     router, and every mixed fleet keep agreeing on primaries with zero
+///     coordination, and a candidate's sub-batch grouping is unchanged.
+///  2. The PREFERENCE LIST — for each shard id, an ordered list of R
+///     endpoints to try: the primary first, then fallback replicas ordered
+///     by rendezvous (highest-random-weight) score. HRW gives every
+///     (shard, endpoint) pair an independent deterministic score, so each
+///     shard's fallbacks spread across the fleet instead of all piling onto
+///     `(s+1) % n`, and every router computes the identical list from
+///     nothing but (num_endpoints, replication).
+///
+/// With replication R, any single endpoint failure leaves >= 1 live endpoint
+/// in every shard's preference list as long as <= R-1 replicas of that shard
+/// are down — the structural invariant the failover router's coverage
+/// guarantee rests on. Replication 1 degenerates to PR 6's single-owner
+/// placement exactly.
+class ShardPlacement {
+ public:
+  /// `replication` is clamped to [1, num_endpoints]; `num_endpoints` to
+  /// >= 1. Preference lists are precomputed (num_endpoints is fleet-sized,
+  /// not data-sized).
+  ShardPlacement(size_t num_endpoints, size_t replication);
+
+  /// The primary endpoint for a candidate key — identical to the historic
+  /// single-owner placement (`key % num_endpoints`), shared with
+  /// CandidatePartitioner::ShardOf so both tiers agree on primaries.
+  static size_t PrimaryOf(uint64_t key, size_t num_endpoints);
+
+  size_t num_endpoints() const { return num_endpoints_; }
+  /// Effective replication (after clamping).
+  size_t replication() const { return replication_; }
+
+  /// Ordered endpoints to try for shard id `shard`: element 0 is `shard`
+  /// itself (the primary), the rest are HRW-ordered fallbacks. Size ==
+  /// replication().
+  const std::vector<uint32_t>& Preferences(size_t shard) const {
+    return preferences_[shard];
+  }
+
+ private:
+  size_t num_endpoints_;
+  size_t replication_;
+  std::vector<std::vector<uint32_t>> preferences_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_NET_PLACEMENT_H_

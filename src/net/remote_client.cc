@@ -7,7 +7,9 @@
 #include <thread>
 #include <utility>
 
+#include "net/health.h"
 #include "net/socket.h"
+#include "util/hash.h"
 
 namespace snorkel {
 
@@ -41,9 +43,9 @@ struct RemoteShardClient::Impl {
   std::mutex pool_mu;
   std::vector<Socket> pool;
 
-  mutable std::mutex health_mu;
-  size_t consecutive_failures = 0;
-  std::chrono::steady_clock::time_point unhealthy_until{};
+  /// Per-endpoint breaker (net/health.h): consecutive transport failures
+  /// open it, a jittered cooldown + single half-open probe close it.
+  CircuitBreaker breaker;
 
   /// In-flight attempt threads (hedge losers included); the destructor
   /// waits for all of them so no detached thread outlives the impl's user.
@@ -59,7 +61,22 @@ struct RemoteShardClient::Impl {
   std::atomic<uint64_t> fail_fast{0};
   std::atomic<uint64_t> pooled_reuses{0};
 
-  explicit Impl(Options opts) : options(std::move(opts)) {
+  static CircuitBreaker::Options BreakerOptions(const Options& options) {
+    CircuitBreaker::Options breaker;
+    breaker.failure_threshold =
+        options.unhealthy_threshold == 0 ? 1 : options.unhealthy_threshold;
+    breaker.cooldown_ms = options.unhealthy_cooldown_ms;
+    breaker.cooldown_jitter = options.unhealthy_cooldown_jitter;
+    // Default seed is per-endpoint: clients of different shards (and
+    // different fleets) draw decorrelated cooldowns.
+    breaker.seed = options.health_seed != 0
+                       ? options.health_seed
+                       : HashCombine(Fnv1a64(options.host), options.port);
+    return breaker;
+  }
+
+  explicit Impl(Options opts)
+      : options(std::move(opts)), breaker(BreakerOptions(options)) {
     if (options.max_pooled_connections == 0) {
       options.max_pooled_connections = 1;
     }
@@ -96,38 +113,11 @@ struct RemoteShardClient::Impl {
 
   // ---- Health. ----
 
-  /// OK to attempt? kUnavailable fail-fast during the cooldown; the first
-  /// call after the cooldown is the half-open probe.
-  Status CheckHealth() {
-    std::lock_guard<std::mutex> lock(health_mu);
-    if (consecutive_failures < options.unhealthy_threshold) {
-      return Status::OK();
-    }
-    auto now = std::chrono::steady_clock::now();
-    if (now < unhealthy_until) {
-      fail_fast.fetch_add(1, std::memory_order_relaxed);
-      return Status::Unavailable(
-          options.host + ":" + std::to_string(options.port) +
-          " is marked unhealthy (failing fast during cooldown)");
-    }
-    // Half-open: let this attempt probe. Push the window forward so a
-    // burst of concurrent callers doesn't all probe a dead endpoint.
-    unhealthy_until =
-        now + std::chrono::milliseconds(options.unhealthy_cooldown_ms);
-    return Status::OK();
-  }
-
   void RecordOutcome(bool transport_ok) {
-    std::lock_guard<std::mutex> lock(health_mu);
     if (transport_ok) {
-      consecutive_failures = 0;
-      return;
-    }
-    ++consecutive_failures;
-    if (consecutive_failures >= options.unhealthy_threshold) {
-      unhealthy_until =
-          std::chrono::steady_clock::now() +
-          std::chrono::milliseconds(options.unhealthy_cooldown_ms);
+      breaker.RecordSuccess();
+    } else {
+      breaker.RecordFailure();
     }
   }
 
@@ -199,13 +189,20 @@ const RemoteShardClient::Options& RemoteShardClient::options() const {
 
 Result<LabelResponse> RemoteShardClient::Label(
     const Corpus& corpus, const std::vector<CandidateRef>& rows,
-    bool include_votes, bool apply_class_balance, uint64_t deadline_ms) {
+    bool include_votes, bool apply_class_balance, uint64_t deadline_ms,
+    bool* failed_fast) {
   Impl& impl = *impl_;
+  if (failed_fast != nullptr) *failed_fast = false;
   impl.requests.fetch_add(1, std::memory_order_relaxed);
-  Status healthy = impl.CheckHealth();
-  if (!healthy.ok()) {
+  if (impl.breaker.Admit() == CircuitBreaker::Admission::kReject) {
+    // Open breaker: fail fast with NO work dispatched — the router's
+    // failover treats this as a free redirect.
+    impl.fail_fast.fetch_add(1, std::memory_order_relaxed);
     impl.failures.fetch_add(1, std::memory_order_relaxed);
-    return healthy;
+    if (failed_fast != nullptr) *failed_fast = true;
+    return Status::Unavailable(
+        impl.options.host + ":" + std::to_string(impl.options.port) +
+        " is marked unhealthy (failing fast during cooldown)");
   }
   if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
   SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
@@ -314,6 +311,25 @@ Status RemoteShardClient::Ping(uint64_t deadline_ms) {
   return Status::OK();
 }
 
+Status RemoteShardClient::ConfigureFaults(const WireFaultCommand& command,
+                                          uint64_t deadline_ms) {
+  Impl& impl = *impl_;
+  if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
+  SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
+  uint64_t request_id =
+      impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
+  bool transport_ok = false;
+  auto reply = impl.Exchange(EncodeFrame(EncodeFaultRequest(request_id, command)),
+                             request_id, deadline, &transport_ok);
+  impl.RecordOutcome(transport_ok);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+  if (reply->type != FrameType::kFaultResponse) {
+    return Status::IOError("fault request answered by an unexpected frame");
+  }
+  return Status::OK();
+}
+
 Result<WireServerStats> RemoteShardClient::GetStats(uint64_t deadline_ms) {
   Impl& impl = *impl_;
   if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
@@ -341,11 +357,7 @@ RemoteShardClient::Stats RemoteShardClient::stats() const {
   stats.hedged_wins = impl.hedged_wins.load(std::memory_order_relaxed);
   stats.fail_fast = impl.fail_fast.load(std::memory_order_relaxed);
   stats.pooled_reuses = impl.pooled_reuses.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(impl.health_mu);
-    stats.healthy =
-        impl.consecutive_failures < impl.options.unhealthy_threshold;
-  }
+  stats.healthy = impl.breaker.state() == CircuitBreaker::State::kClosed;
   return stats;
 }
 

@@ -23,11 +23,14 @@ namespace snorkel {
 ///    (bounded pool); transport failures close it. A typed error FRAME
 ///    (e.g. kResourceExhausted backpressure) is a healthy exchange — the
 ///    server answered — so the connection is still pooled.
-///  - HEALTH: `unhealthy_threshold` consecutive TRANSPORT failures mark the
-///    endpoint unhealthy; for `unhealthy_cooldown_ms` every call fails fast
-///    with kUnavailable (no connect storm against a dead shard), after which
-///    one half-open probe either revives the endpoint or re-arms the
-///    cooldown.
+///  - HEALTH: a per-endpoint circuit breaker (net/health.h).
+///    `unhealthy_threshold` consecutive TRANSPORT failures open the breaker;
+///    for a JITTERED cooldown (`unhealthy_cooldown_ms` scaled by up to
+///    1 + unhealthy_cooldown_jitter, drawn from a per-endpoint seeded
+///    stream so a fleet of clients never probes a recovering shard in
+///    lockstep) every call fails fast with kUnavailable (no connect storm
+///    against a dead shard), after which a single half-open probe either
+///    revives the endpoint or re-arms the cooldown.
 ///  - HEDGING: when enabled, a label call that hasn't completed within
 ///    `hedge_delay_ms` launches ONE second attempt on its own fresh
 ///    connection; the first completion wins. The loser runs to completion
@@ -55,6 +58,12 @@ class RemoteShardClient {
     /// to >= 1).
     size_t unhealthy_threshold = 3;
     uint64_t unhealthy_cooldown_ms = 1000;
+    /// Each cooldown is scaled by a factor drawn from
+    /// [1, 1 + unhealthy_cooldown_jitter] (0 = fixed cooldown).
+    double unhealthy_cooldown_jitter = 0.5;
+    /// Seed for the cooldown jitter stream; 0 derives a per-endpoint seed
+    /// from host:port so distinct endpoints never probe in lockstep.
+    uint64_t health_seed = 0;
   };
 
   struct Stats {
@@ -69,6 +78,7 @@ class RemoteShardClient {
     uint64_t fail_fast = 0;
     /// Exchanges that reused a pooled connection.
     uint64_t pooled_reuses = 0;
+    /// True while the breaker is closed.
     bool healthy = true;
   };
 
@@ -86,11 +96,15 @@ class RemoteShardClient {
   /// 0 = Options::request_timeout_ms. Typed failures: kUnavailable
   /// (unreachable / broke mid-exchange / cooldown), kDeadlineExceeded,
   /// kResourceExhausted (server backpressure), or any status the server
-  /// itself returned.
+  /// itself returned. When `failed_fast` is non-null it reports whether
+  /// the call was rejected by the open breaker WITHOUT dispatching any
+  /// work — the failover router uses this to fail over for free (a
+  /// fail-fast does not spend retry budget; nothing was attempted).
   Result<LabelResponse> Label(const Corpus& corpus,
                               const std::vector<CandidateRef>& rows,
                               bool include_votes, bool apply_class_balance,
-                              uint64_t deadline_ms = 0);
+                              uint64_t deadline_ms = 0,
+                              bool* failed_fast = nullptr);
 
   /// Round-trips a ping frame.
   Status Ping(uint64_t deadline_ms = 0);
@@ -98,6 +112,11 @@ class RemoteShardClient {
   /// Fetches the server's wire stats (snapshot version/checksum — the
   /// rollout observability hook).
   Result<WireServerStats> GetStats(uint64_t deadline_ms = 0);
+
+  /// Sends a fault-injection command (util/fault.h schedules) to the
+  /// server process — the chaos harness's remote control surface.
+  Status ConfigureFaults(const WireFaultCommand& command,
+                         uint64_t deadline_ms = 0);
 
   Stats stats() const;
 

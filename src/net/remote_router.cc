@@ -1,20 +1,66 @@
 #include "net/remote_router.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <tuple>
 #include <utility>
 
 #include "lf/applier.h"
+#include "net/placement.h"
+#include "net/socket.h"
 #include "shard/partitioner.h"
+#include "util/fault.h"
 #include "util/timer.h"
 
 namespace snorkel {
 
+namespace {
+
+/// Milliseconds left until `deadline`; 0 when no deadline is set OR the
+/// deadline is already spent (callers distinguish via kNoDeadline).
+uint64_t RemainingMs(SocketDeadline deadline) {
+  if (deadline == kNoDeadline) return 0;
+  auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count());
+}
+
+/// May the NEXT replica be tried after this typed failure?
+///  - kUnavailable: unreachable / broke mid-exchange / breaker fail-fast.
+///    Labeling is read-only and idempotent, so even a mid-exchange break
+///    (work possibly dispatched) is safe to retry elsewhere.
+///  - kResourceExhausted: backpressure on that replica; another replica
+///    has its own queue.
+///  - kDeadlineExceeded: only when the overall budget still has time —
+///    retrying a spent deadline is dead work.
+/// Anything else (kInvalidArgument, a server-side model error, ...) is
+/// deterministic: every replica serves the same snapshot and would fail
+/// identically, so failover would only mask the real error.
+bool RetrySafe(StatusCode code, SocketDeadline overall_deadline) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    case StatusCode::kDeadlineExceeded:
+      return overall_deadline == kNoDeadline ||
+             std::chrono::steady_clock::now() < overall_deadline;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 struct RemoteShardRouter::Impl {
   Options options;
   CandidatePartitioner partitioner;
+  ShardPlacement placement;
+  RetryBudget budget;
   std::vector<RemoteShardClient> clients;
 
   mutable std::mutex stats_mu;
@@ -22,9 +68,14 @@ struct RemoteShardRouter::Impl {
   uint64_t num_candidates = 0;
   uint64_t failed_requests = 0;
   uint64_t degraded_requests = 0;
+  std::atomic<uint64_t> failovers{0};
+  std::atomic<uint64_t> breaker_open_rejections{0};
 
   Impl(Options opts, size_t num_shards)
-      : options(std::move(opts)), partitioner(num_shards) {}
+      : options(std::move(opts)),
+        partitioner(num_shards),
+        placement(num_shards, options.replication),
+        budget(options.retry_budget) {}
 };
 
 RemoteShardRouter::RemoteShardRouter(std::unique_ptr<Impl> impl)
@@ -78,12 +129,19 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
       by_refs ? *request.candidate_refs : identity;
   ShardedRefBatch parts = impl.partitioner.PartitionRefs(base);
 
-  // ---- Fan out: one RPC per non-empty shard, concurrently. Each slot is
-  // written by exactly one thread, then joined before any read. ----
+  // Budget refill: one deposit per router request, however many shards it
+  // fans out to (amplification is bounded relative to offered load).
+  impl.budget.OnRequest();
+
+  // ---- Fan out: one failover chain per non-empty shard, concurrently.
+  // Each slot is written by exactly one thread, then joined before any
+  // read. ----
   struct Pending {
     size_t shard = 0;
     const std::vector<size_t>* to_request = nullptr;
     Result<LabelResponse> result{Status::Internal("pending")};
+    /// Replica attempt chain, in order (size 1 = primary answered).
+    std::vector<ShardAttempt> attempts;
   };
   std::vector<Pending> pending;
   pending.reserve(impl.clients.size());
@@ -99,9 +157,66 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
     rpcs.reserve(pending.size());
     for (Pending& p : pending) {
       rpcs.emplace_back([&impl, &request, &parts, &p] {
-        p.result = impl.clients[p.shard].Label(
-            *request.corpus, parts.shard_rows[p.shard], request.include_votes,
-            request.apply_class_balance, impl.options.request_timeout_ms);
+        const std::vector<uint32_t>& prefs =
+            impl.placement.Preferences(p.shard);
+        const SocketDeadline overall =
+            impl.options.request_timeout_ms > 0
+                ? DeadlineAfterMs(impl.options.request_timeout_ms)
+                : kNoDeadline;
+        // Did the previous attempt actually dispatch work? A breaker
+        // fail-fast did not — failing over from it is free (no budget, no
+        // backoff), so a steady outage of <= R-1 replicas costs nothing
+        // once the breakers open.
+        bool prev_dispatched = false;
+        for (size_t attempt = 0; attempt < prefs.size(); ++attempt) {
+          if (attempt > 0 && prev_dispatched) {
+            if (!impl.budget.TryConsume()) {
+              const Status& last = p.result.status();
+              p.result = Status(last.code(),
+                                last.message() + " [retry budget exhausted]");
+              break;
+            }
+            uint64_t delay = BackoffDelayMs(impl.options.backoff, p.shard,
+                                            static_cast<uint32_t>(attempt));
+            uint64_t left = RemainingMs(overall);
+            if (overall != kNoDeadline) delay = std::min(delay, left);
+            if (delay > 0) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+            }
+          }
+          uint64_t attempt_budget_ms = impl.options.request_timeout_ms;
+          if (overall != kNoDeadline) {
+            attempt_budget_ms = RemainingMs(overall);
+            if (attempt_budget_ms == 0) {
+              p.result = Status::DeadlineExceeded(
+                  "request budget spent before replica " +
+                  std::to_string(prefs[attempt]) + " could be tried");
+              break;
+            }
+          }
+          const size_t endpoint = prefs[attempt];
+          bool failed_fast = false;
+          p.result = impl.clients[endpoint].Label(
+              *request.corpus, parts.shard_rows[p.shard],
+              request.include_votes, request.apply_class_balance,
+              attempt_budget_ms, &failed_fast);
+          p.attempts.push_back(ShardAttempt{
+              endpoint,
+              p.result.ok() ? StatusCode::kOk : p.result.status().code(),
+              p.result.ok() ? std::string() : p.result.status().message()});
+          if (p.result.ok()) {
+            if (attempt > 0) {
+              impl.failovers.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          if (failed_fast) {
+            impl.breaker_open_rejections.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          }
+          prev_dispatched = !failed_fast;
+          if (!RetrySafe(p.result.status().code(), overall)) break;
+        }
       });
     }
     for (std::thread& rpc : rpcs) rpc.join();
@@ -126,8 +241,10 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
                         std::to_string(impl.clients.size()) +
                         " failed: " + cause.message());
     }
-    failed_outcomes.push_back(ShardOutcome{p.shard, p.to_request->size(),
-                                           cause.code(), cause.message()});
+    ShardOutcome outcome{p.shard, p.to_request->size(), cause.code(),
+                         cause.message(), {}};
+    outcome.attempts = p.attempts;
+    failed_outcomes.push_back(std::move(outcome));
   }
   if (request.allow_partial && served.empty() && !failed_outcomes.empty()) {
     // Zero coverage is a failure wearing a success type — fail typed.
@@ -154,6 +271,13 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
   }
   response.hard_labels.resize(parts.total);
   const bool degraded = !failed_outcomes.empty();
+  // Attempt chains surface even on COMPLETE responses: a caller can see
+  // that replication saved a sub-batch (and which replicas failed) without
+  // opting into partial results.
+  bool any_failover = false;
+  for (const Pending& p : pending) {
+    if (p.attempts.size() > 1) any_failover = true;
+  }
   if (degraded) {
     response.is_partial = true;
     response.covered.assign((parts.total + 63) / 64, 0);
@@ -164,9 +288,13 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
   for (const Pending* p : served) {
     const LabelResponse& shard_response = *p->result;
     const std::vector<size_t>& to_request = *p->to_request;
+    if (degraded || any_failover) {
+      ShardOutcome outcome{p->shard, to_request.size(), StatusCode::kOk, "",
+                           {}};
+      outcome.attempts = p->attempts;
+      response.shard_outcomes.push_back(std::move(outcome));
+    }
     if (degraded) {
-      response.shard_outcomes.push_back(
-          ShardOutcome{p->shard, to_request.size(), StatusCode::kOk, ""});
       for (size_t t = 0; t < to_request.size(); ++t) {
         response.covered[to_request[t] / 64] |= uint64_t{1}
                                                 << (to_request[t] % 64);
@@ -200,7 +328,7 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
     }
     response.votes = std::move(*votes);
   }
-  if (degraded) {
+  if (degraded || any_failover) {
     std::sort(response.shard_outcomes.begin(), response.shard_outcomes.end(),
               [](const ShardOutcome& a, const ShardOutcome& b) {
                 return a.shard < b.shard;
@@ -227,6 +355,11 @@ RemoteRouterStats RemoteShardRouter::stats() const {
     out.failed_requests = impl.failed_requests;
     out.degraded_requests = impl.degraded_requests;
   }
+  out.failovers = impl.failovers.load(std::memory_order_relaxed);
+  out.retry_budget_exhausted = impl.budget.exhausted();
+  out.breaker_open_rejections =
+      impl.breaker_open_rejections.load(std::memory_order_relaxed);
+  out.faults_injected = fault::InjectedCount();
   for (const RemoteShardClient& client : impl.clients) {
     out.per_shard.push_back(client.stats());
   }

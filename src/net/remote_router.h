@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "net/health.h"
 #include "net/remote_client.h"
 #include "serve/label_service.h"
 #include "util/status.h"
@@ -20,6 +21,19 @@ struct RemoteRouterStats {
   uint64_t failed_requests = 0;
   /// allow_partial requests answered with is_partial == true.
   uint64_t degraded_requests = 0;
+  // ---- Resilience counters. ----
+  /// Sub-batches ultimately served by a FALLBACK replica after the
+  /// preferred one(s) failed — each is a request that replication saved.
+  uint64_t failovers = 0;
+  /// Retries refused because the token-bucket retry budget was dry (the
+  /// anti-retry-storm valve engaging).
+  uint64_t retry_budget_exhausted = 0;
+  /// Attempts rejected by an open per-endpoint circuit breaker WITHOUT
+  /// dispatching work (failover moved on for free).
+  uint64_t breaker_open_rejections = 0;
+  /// Faults + delays injected in THIS process (util/fault.h registry —
+  /// client-side transport/admission sites).
+  uint64_t faults_injected = 0;
   /// Per-shard client stats (pool/hedge/health), indexed by shard.
   std::vector<RemoteShardClient::Stats> per_shard;
 };
@@ -35,8 +49,24 @@ struct RemoteRouterStats {
 ///    unsharded in-process LabelService answering the same request (doubles
 ///    cross the wire as raw IEEE-754 bytes; corpus slices preserve original
 ///    document indices; merge order is deterministic).
-///  - Default mode: any failed sub-batch fails the WHOLE request with a
-///    typed status naming the shard — never silent partial data.
+///  - REPLICATED FAILOVER (replication R > 1): every endpoint serves the
+///    same snapshot and computes bit-identical posteriors, so a sub-batch
+///    whose preferred replica fails retry-safely (kUnavailable, transport
+///    failure, kResourceExhausted, kDeadlineExceeded with budget left) is
+///    transparently retried on the next replica in its shard's
+///    ShardPlacement preference list — the caller sees the SAME bits it
+///    would have seen from the primary. Labeling is read-only and
+///    idempotent, so a retry after a mid-exchange failure can at worst
+///    duplicate server work, never corrupt a result. Retries (after an
+///    attempt that actually dispatched work) spend a token-bucket
+///    RetryBudget and back off with seeded jitter; a fail-fast from an open
+///    breaker costs nothing and fails over immediately — which is why a
+///    fleet with <= R-1 dead replicas per key keeps answering every request
+///    completely, even under a steady outage. Attempt chains are recorded
+///    in ShardOutcome::attempts.
+///  - Default mode: a sub-batch whose every admissible replica failed fails
+///    the WHOLE request with a typed status naming the shard — never silent
+///    partial data.
 ///  - LabelRequest::allow_partial opts into typed degraded service: covered
 ///    rows stay bit-identical, failed sub-batches come back as uncovered
 ///    rows (covered bitmap + per-shard ShardOutcome), and only a request
@@ -48,13 +78,24 @@ class RemoteShardRouter {
   struct Options {
     /// Per-shard client options (host/port filled per endpoint).
     RemoteShardClient::Options client;
-    /// Per-call deadline forwarded to every sub-batch RPC; 0 = none.
+    /// Per-call deadline forwarded to every sub-batch RPC; 0 = none. With
+    /// failover this is the OVERALL budget across a sub-batch's attempts.
     uint64_t request_timeout_ms = 0;
+    /// Replicas to try per shard key (clamped to [1, endpoints]). 1
+    /// reproduces single-owner routing exactly; the default 2 survives any
+    /// single endpoint failure with zero failed requests.
+    size_t replication = 2;
+    /// Token-bucket bound on retry amplification (net/health.h).
+    RetryBudget::Options retry_budget;
+    /// Backoff between attempts that dispatched work (seeded jitter; one
+    /// stream per shard).
+    BackoffOptions backoff;
   };
 
-  /// One stub per endpoint; placement = CandidateShardKey % endpoints.size().
-  /// Endpoint order IS shard order — every router over the same ordered
-  /// endpoint list agrees on placement.
+  /// One stub per endpoint; primary placement = CandidateShardKey %
+  /// endpoints.size(), fallback order per shard from rendezvous hashing
+  /// (net/placement.h). Endpoint order IS shard order — every router over
+  /// the same ordered endpoint list agrees on the whole placement.
   static Result<RemoteShardRouter> Create(
       const std::vector<std::pair<std::string, uint16_t>>& endpoints,
       Options options);

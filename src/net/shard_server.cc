@@ -16,6 +16,7 @@
 #include "net/wire.h"
 #include "serve/snapshot.h"
 #include "util/bounded_queue.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/mmap_file.h"
 
@@ -44,6 +45,12 @@ struct ServingState {
 Result<std::shared_ptr<ServingState>> LoadServingState(
     const std::string& path, uint64_t store_version,
     const LabelingFunctionSet& lfs, const LabelService::Options& options) {
+  // Injection site "store.load": an injected fault is a failed artifact
+  // load — startup fails typed, a watcher swap is rejected and the old
+  // generation keeps serving (the crash-consistency paths under test).
+  if (fault::Point("store.load")) {
+    return Status::Unavailable("injected fault at store.load");
+  }
   auto file = MappedFile::Open(path);
   if (!file.ok()) return file.status();
   auto mapping = std::make_shared<MappedFile>(std::move(*file));
@@ -114,7 +121,12 @@ struct ShardServer::Impl {
   std::atomic<uint64_t> deadline_rejections{0};
   std::atomic<uint64_t> snapshot_swaps{0};
   std::atomic<uint64_t> rejected_swaps{0};
-  std::atomic<uint64_t> label_request_counter{0};
+
+  /// Fault sites this server armed (inject flags + kFaultRequest commands);
+  /// disarmed on Shutdown so one server's schedules never leak into the
+  /// next server sharing the process (sequential tests).
+  std::mutex fault_mu;
+  std::vector<std::string> armed_sites;
 
   /// Process-wide corpus intern table: CORP payload bytes -> decoded Corpus.
   /// Keyed by content hash and verified by full payload comparison (a hash
@@ -171,12 +183,14 @@ struct ShardServer::Impl {
             "request budget spent before a worker picked it up"));
         continue;
       }
-      uint64_t n =
-          label_request_counter.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (options.inject_delay_every_n > 0 &&
-          n % options.inject_delay_every_n == 0) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(options.inject_delay_ms));
+      // Injection site "server.label": delay schedules sleep here and the
+      // request proceeds bit-identically (the inject_delay_* flags arm
+      // this); fail schedules reject the job with the typed error a dying
+      // replica would produce.
+      if (fault::Point("server.label")) {
+        job->result.set_value(
+            Status::Unavailable("injected fault at server.label"));
+        continue;
       }
       // Pin the current generation for the whole request: a concurrent
       // hot-swap retires the old state only after this shared_ptr drops.
@@ -209,7 +223,30 @@ struct ShardServer::Impl {
     stats.queue_rejections = queue_rejections.load(std::memory_order_relaxed);
     stats.snapshot_swaps = snapshot_swaps.load(std::memory_order_relaxed);
     stats.cardinality = generation->service.cardinality();
+    stats.faults_injected = fault::InjectedCount();
     return EncodeStatsResponse(request_id, stats);
+  }
+
+  Frame HandleFaultRequest(const Frame& frame) {
+    auto command = DecodeFaultRequest(frame);
+    if (!command.ok()) {
+      return EncodeErrorFrame(frame.request_id, command.status());
+    }
+    if (command->disarm_all) fault::DisarmAll();
+    for (const auto& [site, schedule] : command->arm) {
+      Status armed = fault::Arm(site, schedule);
+      if (!armed.ok()) return EncodeErrorFrame(frame.request_id, armed);
+      RememberArmedSite(site);
+    }
+    return EncodeFaultResponse(frame.request_id);
+  }
+
+  void RememberArmedSite(const std::string& site) {
+    std::lock_guard<std::mutex> lock(fault_mu);
+    for (const std::string& existing : armed_sites) {
+      if (existing == site) return;
+    }
+    armed_sites.push_back(site);
   }
 
   Frame HandleLabelRequest(const Frame& frame) {
@@ -288,6 +325,9 @@ struct ShardServer::Impl {
           break;
         case FrameType::kLabelRequest:
           reply = HandleLabelRequest(*frame);
+          break;
+        case FrameType::kFaultRequest:
+          reply = HandleFaultRequest(*frame);
           break;
         default:
           reply = EncodeErrorFrame(
@@ -370,6 +410,14 @@ struct ShardServer::Impl {
   }
 
   void Start() {
+    if (options.inject_delay_every_n > 0) {
+      fault::Schedule delay;
+      delay.kind = fault::Schedule::Kind::kDelayNth;
+      delay.n = options.inject_delay_every_n;
+      delay.delay_ms = options.inject_delay_ms;
+      (void)fault::Arm("server.label", delay);  // Validated above n >= 1.
+      RememberArmedSite("server.label");
+    }
     for (size_t i = 0; i < std::max<size_t>(1, options.num_workers); ++i) {
       workers.emplace_back([this] { Worker(); });
     }
@@ -395,6 +443,13 @@ struct ShardServer::Impl {
     queue.Close();
     for (std::thread& worker : workers) worker.join();
     workers.clear();
+    // The fault registry is process-wide; schedules this server armed must
+    // not outlive it (sequential in-process tests share the registry).
+    {
+      std::lock_guard<std::mutex> lock(fault_mu);
+      for (const std::string& site : armed_sites) fault::Disarm(site);
+      armed_sites.clear();
+    }
   }
 };
 
@@ -459,6 +514,7 @@ ShardServer::Stats ShardServer::stats() const {
   stats.snapshot_version = state->version;
   stats.snapshot_checksum = state->checksum;
   stats.cardinality = state->service.cardinality();
+  stats.faults_injected = fault::InjectedCount();
   return stats;
 }
 

@@ -59,7 +59,10 @@ class ShardServer {
     /// Fault injection for tests and the hedged-retry tail probe: every Nth
     /// label request (1-based, process-wide) sleeps `inject_delay_ms`
     /// before serving. 0 disables. Injected latency only — results stay
-    /// bit-identical.
+    /// bit-identical. Implemented as a thin wrapper over the util/fault.h
+    /// fabric (arms site "server.label" with a delay-nth schedule); the
+    /// same site — and the transport/admission sites — are also
+    /// wire-configurable via kFaultRequest.
     uint64_t inject_delay_every_n = 0;
     uint64_t inject_delay_ms = 0;
   };
@@ -79,6 +82,9 @@ class ShardServer {
     uint64_t snapshot_version = 0;
     uint64_t snapshot_checksum = 0;
     int32_t cardinality = 2;
+    /// Faults + delays injected in this process (util/fault.h registry) —
+    /// the server-side resilience counter, also served over the wire.
+    uint64_t faults_injected = 0;
   };
 
   /// Serves a single artifact file (no watcher; snapshot_version is the

@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/fault.h"
+
 namespace snorkel {
 
 namespace {
@@ -136,7 +138,10 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
 
   int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                      sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
+  // EINTR: a signal interrupted connect, but the connection attempt
+  // continues asynchronously exactly like EINPROGRESS — poll for the
+  // outcome instead of surfacing a spurious transport error.
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
     return Status::Unavailable(Errno("connect to " + host + ":" +
                                      std::to_string(port)));
   }
@@ -156,6 +161,11 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
 
 Status Socket::SendAll(std::string_view bytes, SocketDeadline deadline) {
   if (fd_ < 0) return Status::Unavailable("send on closed socket");
+  if (fault::Point("net.send")) {
+    // Same typed error a real mid-send break produces; the connection is
+    // poisoned from the caller's perspective either way.
+    return Status::Unavailable("injected fault at net.send");
+  }
   size_t sent = 0;
   while (sent < bytes.size()) {
     ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
@@ -183,6 +193,9 @@ Status Socket::RecvExact(char* out, size_t size, SocketDeadline deadline,
 Status Socket::RecvSome(char* out, size_t size, size_t* got,
                         SocketDeadline deadline, bool eof_ok) {
   if (fd_ < 0) return Status::Unavailable("recv on closed socket");
+  if (fault::Point("net.recv")) {
+    return Status::Unavailable("injected fault at net.recv");
+  }
   while (*got < size) {
     ssize_t n = ::recv(fd_, out + *got, size - *got, 0);
     if (n > 0) {
@@ -265,18 +278,24 @@ Result<ListenSocket> ListenSocket::Listen(uint16_t port, int backlog) {
 
 Result<Socket> ListenSocket::Accept(uint64_t timeout_ms) {
   if (fd_ < 0) return Status::Unavailable("accept on closed socket");
-  Status ready = WaitReady(fd_, POLLIN, DeadlineAfterMs(timeout_ms), "accept");
-  if (!ready.ok()) return ready;
-  int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      return Status::DeadlineExceeded("accept raced with another waiter");
+  SocketDeadline deadline = DeadlineAfterMs(timeout_ms);
+  for (;;) {
+    Status ready = WaitReady(fd_, POLLIN, deadline, "accept");
+    if (!ready.ok()) return ready;
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // EINTR (signal) and EAGAIN (another waiter took the connection) are
+      // both "nothing accepted YET", not errors: keep waiting within the
+      // deadline instead of surfacing a spurious failure.
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(Errno("accept"));
     }
-    return Status::Unavailable(Errno("accept"));
+    int one = 1;
+    (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
   }
-  int one = 1;
-  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Socket(fd);
 }
 
 Status SendFrame(Socket& socket, const Frame& frame, SocketDeadline deadline) {

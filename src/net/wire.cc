@@ -596,6 +596,7 @@ Frame EncodeStatsResponse(uint64_t request_id, const WireServerStats& stats) {
   writer.WriteU64(stats.queue_rejections);
   writer.WriteU64(stats.snapshot_swaps);
   writer.WriteI32(stats.cardinality);
+  writer.WriteU64(stats.faults_injected);
   frame.sections.push_back(
       FrameSection{TagString(kSectionServerStats), writer.TakeBuffer()});
   return frame;
@@ -615,10 +616,73 @@ Result<WireServerStats> DecodeStatsResponse(const Frame& frame) {
   stats.queue_rejections = reader.ReadU64();
   stats.snapshot_swaps = reader.ReadU64();
   stats.cardinality = reader.ReadI32();
+  // Appended field: an old peer's SVST section simply ends here.
+  if (reader.remaining() >= sizeof(uint64_t)) {
+    stats.faults_injected = reader.ReadU64();
+  }
   if (!reader.ok()) {
     return Status::IOError("SVST section: " + reader.status().message());
   }
   return stats;
+}
+
+Frame EncodeFaultRequest(uint64_t request_id, const WireFaultCommand& command) {
+  Frame frame;
+  frame.type = FrameType::kFaultRequest;
+  frame.request_id = request_id;
+  BinaryWriter writer;
+  writer.WriteU32(command.disarm_all ? 1 : 0);
+  writer.WriteU64(command.arm.size());
+  for (const auto& [site, schedule] : command.arm) {
+    writer.WriteString(site);
+    writer.WriteU32(static_cast<uint32_t>(schedule.kind));
+    writer.WriteU64(schedule.n);
+    writer.WriteF64(schedule.probability);
+    writer.WriteU64(schedule.delay_ms);
+    writer.WriteU64(schedule.seed);
+    writer.WriteU64(schedule.max_hits);
+  }
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionFaults), writer.TakeBuffer()});
+  return frame;
+}
+
+Result<WireFaultCommand> DecodeFaultRequest(const Frame& frame) {
+  const FrameSection* section = frame.Find(kSectionFaults);
+  if (frame.type != FrameType::kFaultRequest || section == nullptr) {
+    return Status::IOError("frame is not a well-formed fault request");
+  }
+  BinaryReader reader(section->payload);
+  WireFaultCommand command;
+  command.disarm_all = reader.ReadU32() != 0;
+  uint64_t count = reader.ReadU64();
+  if (!reader.ok() || count > 1024) {
+    return Status::IOError("FLTI section: truncated or absurd arm count");
+  }
+  command.arm.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string site = reader.ReadString();
+    fault::Schedule schedule;
+    schedule.kind = static_cast<fault::Schedule::Kind>(reader.ReadU32());
+    schedule.n = reader.ReadU64();
+    schedule.probability = reader.ReadF64();
+    schedule.delay_ms = reader.ReadU64();
+    schedule.seed = reader.ReadU64();
+    schedule.max_hits = reader.ReadU64();
+    if (!reader.ok()) {
+      return Status::IOError("FLTI section: truncated arm entry " +
+                             std::to_string(i));
+    }
+    command.arm.emplace_back(std::move(site), schedule);
+  }
+  return command;
+}
+
+Frame EncodeFaultResponse(uint64_t request_id) {
+  Frame frame;
+  frame.type = FrameType::kFaultResponse;
+  frame.request_id = request_id;
+  return frame;
 }
 
 }  // namespace snorkel

@@ -10,6 +10,7 @@
 #include "data/context.h"
 #include "lf/applier.h"
 #include "serve/label_service.h"
+#include "util/fault.h"
 #include "util/status.h"
 
 namespace snorkel {
@@ -58,6 +59,11 @@ enum class FrameType : uint32_t {
   /// progress per shard is observable over the wire).
   kStatsRequest = 6,
   kStatsResponse = 7,
+  /// Test/chaos control: arms or disarms fault-injection sites in the
+  /// server process (util/fault.h registry) via an FLTI section. An old
+  /// server answers kError/kInvalidArgument — harnesses must tolerate that.
+  kFaultRequest = 8,
+  kFaultResponse = 9,
 };
 
 // Section tags.
@@ -71,6 +77,7 @@ inline constexpr char kSectionHardLabels[4] = {'H', 'A', 'R', 'D'};
 inline constexpr char kSectionVotes[4] = {'V', 'O', 'T', 'E'};
 inline constexpr char kSectionError[4] = {'E', 'R', 'R', 'S'};
 inline constexpr char kSectionServerStats[4] = {'S', 'V', 'S', 'T'};
+inline constexpr char kSectionFaults[4] = {'F', 'L', 'T', 'I'};
 
 /// StatusCode <-> stable wire value. The enum's numeric values are NOT wire
 /// ABI (reordering the enum must not change what old peers decode), so the
@@ -177,11 +184,34 @@ struct WireServerStats {
   uint64_t queue_rejections = 0;
   uint64_t snapshot_swaps = 0;
   int32_t cardinality = 2;
+  /// Faults/delays injected in the server process (util/fault.h registry).
+  /// Appended field: absent on old peers' frames, decoded as 0.
+  uint64_t faults_injected = 0;
 };
 
 Frame EncodeStatsResponse(uint64_t request_id, const WireServerStats& stats);
 
 Result<WireServerStats> DecodeStatsResponse(const Frame& frame);
+
+// ---------------------------------------------------------------------------
+// Fault-injection control payloads (kFaultRequest / kFaultResponse).
+// ---------------------------------------------------------------------------
+
+/// A fault-injection command for a server process: optionally disarm every
+/// site, then arm the listed (site, schedule) pairs. The wire surface of
+/// the util/fault.h registry, used by chaos tests to inject server-side
+/// transport faults and latency spikes mid-stream.
+struct WireFaultCommand {
+  bool disarm_all = false;
+  std::vector<std::pair<std::string, fault::Schedule>> arm;
+};
+
+Frame EncodeFaultRequest(uint64_t request_id, const WireFaultCommand& command);
+
+Result<WireFaultCommand> DecodeFaultRequest(const Frame& frame);
+
+/// Acknowledgement (no payload beyond the echoed request id).
+Frame EncodeFaultResponse(uint64_t request_id);
 
 }  // namespace snorkel
 

@@ -48,14 +48,27 @@ struct LabelRequest {
   bool allow_partial = false;
 };
 
-/// Outcome of one shard's sub-batch within a request served under
-/// allow_partial: which shard, how many of the request's rows it owned, and
-/// the typed status its replica returned (kOk for covered rows).
+/// One attempt at one replica while serving a shard's sub-batch: which
+/// endpoint was tried and the typed status it returned. A sub-batch that
+/// failed over records one entry per replica tried, in order.
+struct ShardAttempt {
+  size_t endpoint = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+};
+
+/// Outcome of one shard's sub-batch: which shard, how many of the request's
+/// rows it owned, and the typed status of its final attempt (kOk for
+/// covered rows). Populated for allow_partial requests, and for any request
+/// where some sub-batch needed more than one attempt — so callers can see
+/// the failover chain (`attempts`) even when the response is complete.
 struct ShardOutcome {
   size_t shard = 0;
   size_t rows = 0;
   StatusCode code = StatusCode::kOk;
   std::string message;
+  /// Per-replica attempt chain (empty when the primary answered first try).
+  std::vector<ShardAttempt> attempts;
 };
 
 /// The serving result for one batch. Binary snapshots fill the scalar
@@ -91,7 +104,8 @@ struct LabelResponse {
   /// hard labels and zeroed posteriors — placeholders, not model output.
   std::vector<uint64_t> covered;
   /// Per-sub-batch status for allow_partial requests (covered shards
-  /// report kOk); empty otherwise.
+  /// report kOk) and for complete responses that needed failover; empty
+  /// when every sub-batch succeeded on its primary first try.
   std::vector<ShardOutcome> shard_outcomes;
 
   /// True when row `i` carries real model output (always true for

@@ -7,6 +7,7 @@
 
 #include "data/candidate.h"
 #include "lf/applier.h"
+#include "net/placement.h"
 
 namespace snorkel {
 
@@ -55,9 +56,12 @@ class CandidatePartitioner {
 
   size_t num_shards() const { return num_shards_; }
 
-  /// Shard owning `candidate`.
+  /// Shard owning `candidate` — the PRIMARY of the replica placement
+  /// (ShardPlacement::PrimaryOf), shared with the failover tier so both
+  /// agree on primaries.
   size_t ShardOf(const Candidate& candidate) const {
-    return static_cast<size_t>(CandidateShardKey(candidate) % num_shards_);
+    return ShardPlacement::PrimaryOf(CandidateShardKey(candidate),
+                                     num_shards_);
   }
 
   /// Splits `candidates` into per-shard sub-batches plus the index maps

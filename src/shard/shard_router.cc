@@ -390,7 +390,8 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
           failed_outcomes.push_back(ShardOutcome{
               s, parts.shard_rows[s].size(), StatusCode::kResourceExhausted,
               "queue full (capacity " + std::to_string(queue.capacity()) +
-                  ")"});
+                  ")",
+              {}});
         } else {
           admit = Status::ResourceExhausted(
               "shard " + std::to_string(s) + "/" +
@@ -437,8 +438,8 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
                                       std::to_string(impl.shards.size()) +
                                       " failed: " + cause.message());
     }
-    failed_outcomes.push_back(ShardOutcome{p.shard, p.to_request.size(),
-                                           cause.code(), cause.message()});
+    failed_outcomes.push_back(ShardOutcome{
+        p.shard, p.to_request.size(), cause.code(), cause.message(), {}});
   }
   if (request.allow_partial && served.empty() && !failed_outcomes.empty()) {
     // Nothing survived — a zero-coverage "partial" response would be a
@@ -485,7 +486,7 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
     const std::vector<size_t>& to_request = served_p->to_request;
     if (degraded) {
       response.shard_outcomes.push_back(ShardOutcome{
-          served_p->shard, to_request.size(), StatusCode::kOk, ""});
+          served_p->shard, to_request.size(), StatusCode::kOk, "", {}});
       for (size_t t = 0; t < to_request.size(); ++t) {
         response.covered[to_request[t] / 64] |= uint64_t{1}
                                                 << (to_request[t] % 64);

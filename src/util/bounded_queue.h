@@ -8,6 +8,8 @@
 #include <optional>
 #include <utility>
 
+#include "util/fault.h"
+
 namespace snorkel {
 
 /// A bounded multi-producer / multi-consumer queue with explicit
@@ -55,6 +57,10 @@ class BoundedQueue {
 
   /// Non-blocking admission; moves from `item` only on kOk.
   PushResult TryPush(T&& item) {
+    // Injection site "queue.admit": an injected fault is a capacity
+    // rejection — the same typed backpressure a genuinely full queue
+    // produces (the item is NOT consumed).
+    if (fault::Point("queue.admit")) return PushResult::kQueueFull;
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return PushResult::kClosed;
     if (items_.size() >= capacity_) return PushResult::kQueueFull;

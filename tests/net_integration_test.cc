@@ -213,6 +213,9 @@ TEST(NetIntegrationTest, TwoProcessFleetIsBitwiseIdenticalAndFailsTyped) {
   RemoteShardRouter::Options options;
   options.client.connect_timeout_ms = 1000;
   options.request_timeout_ms = 10'000;
+  // This test pins the UNREPLICATED contract (typed whole-request failure /
+  // typed partial degradation); R=2 failover has its own test below.
+  options.replication = 1;
   auto router = RemoteShardRouter::Create(
       {{"127.0.0.1", shard0.port()}, {"127.0.0.1", shard1.port()}}, options);
   ASSERT_TRUE(router.ok()) << router.status().ToString();
@@ -268,6 +271,63 @@ TEST(NetIntegrationTest, TwoProcessFleetIsBitwiseIdenticalAndFailsTyped) {
   }
   ASSERT_EQ(partial->shard_outcomes.size(), 2u);
   EXPECT_EQ(partial->shard_outcomes[1].code, StatusCode::kUnavailable);
+
+  shard0.Kill(SIGTERM);
+  std::remove(path.c_str());
+}
+
+TEST(NetIntegrationTest, SigkilledShardFailsOverBitwiseAtReplicationTwo) {
+  ASSERT_NE(std::string(SNORKEL_SHARD_SERVER_BIN), "");
+  ProcessFixture fx;
+  ModelSnapshot snapshot = fx.MakeSnapshot();
+  std::string path = TempPath("fleet_failover.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  LabelResponse expected = fx.Expected(snapshot);
+
+  ServerProcess shard0, shard1;
+  ASSERT_TRUE(shard0.Start({"--snapshot", path, "--workers", "2"}, "f0"));
+  ASSERT_TRUE(shard1.Start({"--snapshot", path, "--workers", "2"}, "f1"));
+
+  RemoteShardRouter::Options options;
+  options.client.connect_timeout_ms = 1000;
+  options.request_timeout_ms = 10'000;
+  // Default replication = 2: every shard key's preference list includes
+  // both endpoints, so ONE crashed process must cost zero failed requests.
+  auto router = RemoteShardRouter::Create(
+      {{"127.0.0.1", shard0.port()}, {"127.0.0.1", shard1.port()}}, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Crash shard 1 (SIGKILL — no drain). DEFAULT options, no allow_partial:
+  // the router fails each dead sub-batch over to shard 0 and the response
+  // stays complete and bitwise-identical to unsharded serving.
+  shard1.Kill(SIGKILL);
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  for (int round = 0; round < 3; ++round) {
+    auto response = router->Label(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->is_partial);
+    EXPECT_EQ(response->posteriors, expected.posteriors);
+    EXPECT_EQ(response->hard_labels, expected.hard_labels);
+    // The failover chain is visible even though the response is complete.
+    bool failed_over = false;
+    for (const ShardOutcome& outcome : response->shard_outcomes) {
+      if (outcome.attempts.size() > 1) {
+        failed_over = true;
+        EXPECT_EQ(outcome.code, StatusCode::kOk);
+        EXPECT_EQ(outcome.attempts.back().endpoint, 0u);
+        EXPECT_EQ(outcome.attempts.back().code, StatusCode::kOk);
+      }
+    }
+    EXPECT_TRUE(failed_over) << "round " << round;
+  }
+
+  RemoteRouterStats stats = router->stats();
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.degraded_requests, 0u);
+  EXPECT_GE(stats.failovers, 3u);
+  EXPECT_EQ(stats.retry_budget_exhausted, 0u);
 
   shard0.Kill(SIGTERM);
   std::remove(path.c_str());

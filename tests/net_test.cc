@@ -6,18 +6,23 @@
 // retries, partial degradation, and zero-downtime snapshot hot-swap.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "lf/applier.h"
 #include "lf/declarative.h"
+#include "net/health.h"
+#include "net/placement.h"
 #include "net/remote_client.h"
 #include "net/remote_router.h"
 #include "net/shard_server.h"
@@ -27,6 +32,7 @@
 #include "serve/snapshot.h"
 #include "shard/partitioner.h"
 #include "util/binary_io.h"
+#include "util/fault.h"
 
 namespace snorkel {
 namespace {
@@ -1044,6 +1050,10 @@ TEST(RemoteRouterTest, DeadShardFailsWholeTypedOrDegradesWhenOptedIn) {
   RemoteShardRouter::Options options;
   options.client.connect_timeout_ms = 300;
   options.request_timeout_ms = 2000;
+  // Single-owner placement: this test pins the UNREPLICATED failure
+  // contract (replication >= 2 would transparently fail the sub-batch over
+  // to the surviving endpoint — covered by its own tests below).
+  options.replication = 1;
   auto router = RemoteShardRouter::Create(fleet.endpoints, options);
   ASSERT_TRUE(router.ok());
 
@@ -1107,6 +1117,718 @@ TEST(RemoteRouterTest, DeadShardFailsWholeTypedOrDegradesWhenOptedIn) {
   EXPECT_NE(none.status().message().find("no shard survived"),
             std::string::npos)
       << none.status().ToString();
+}
+
+// ---------------------------------------------------- replica placement --
+
+TEST(PlacementTest, PreferenceListsAreDeterministicValidAndPrimaryFirst) {
+  constexpr size_t kEndpoints = 5;
+  constexpr size_t kReplication = 3;
+  ShardPlacement placement(kEndpoints, kReplication);
+  ShardPlacement again(kEndpoints, kReplication);
+  EXPECT_EQ(placement.replication(), kReplication);
+
+  for (size_t shard = 0; shard < kEndpoints; ++shard) {
+    const std::vector<uint32_t>& prefs = placement.Preferences(shard);
+    ASSERT_EQ(prefs.size(), kReplication);
+    // Element 0 is the primary — the historic single-owner placement.
+    EXPECT_EQ(prefs[0], shard);
+    // All entries are distinct, in-range endpoints.
+    std::set<uint32_t> distinct(prefs.begin(), prefs.end());
+    EXPECT_EQ(distinct.size(), prefs.size());
+    for (uint32_t e : prefs) EXPECT_LT(e, kEndpoints);
+    // Placement is a pure function of (endpoints, replication): every
+    // router computes the identical lists with zero coordination.
+    EXPECT_EQ(prefs, again.Preferences(shard));
+  }
+
+  // HRW fallbacks spread across the fleet instead of all piling onto
+  // (s + 1) % n — at least two distinct first-fallback targets.
+  ShardPlacement wide(8, 2);
+  std::set<uint32_t> first_fallbacks;
+  for (size_t shard = 0; shard < 8; ++shard) {
+    first_fallbacks.insert(wide.Preferences(shard)[1]);
+  }
+  EXPECT_GE(first_fallbacks.size(), 2u);
+
+  // Replication clamps to the fleet size; 1 degenerates to single-owner.
+  EXPECT_EQ(ShardPlacement(3, 99).replication(), 3u);
+  ShardPlacement solo(4, 1);
+  for (size_t shard = 0; shard < 4; ++shard) {
+    ASSERT_EQ(solo.Preferences(shard).size(), 1u);
+    EXPECT_EQ(solo.Preferences(shard)[0], shard);
+  }
+}
+
+TEST(PlacementTest, PrimaryAgreesWithPartitionerAcrossTiers) {
+  NetFixture fx(32);
+  for (size_t n : {2u, 3u, 5u}) {
+    CandidatePartitioner partitioner(n);
+    ShardPlacement placement(n, 2);
+    for (const Candidate& candidate : fx.candidates) {
+      const uint64_t key = CandidateShardKey(candidate);
+      const size_t primary = ShardPlacement::PrimaryOf(key, n);
+      // Both tiers and the replica layer agree on the primary: the shard
+      // tier's modulo placement IS the preference list's head.
+      EXPECT_EQ(primary, key % n);
+      EXPECT_EQ(partitioner.ShardOf(candidate), primary);
+      EXPECT_EQ(placement.Preferences(primary)[0], primary);
+    }
+  }
+}
+
+// ------------------------------------------- failover primitives (health) --
+
+TEST(BackoffTest, DelaysAreSeededDeterministicBoundedAndGrow) {
+  BackoffOptions options;  // base 10, x2, max 1000, jitter 0.5, seed 42.
+  EXPECT_EQ(BackoffDelayMs(options, 1, 0), 0u);
+
+  for (uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    uint64_t unjittered = std::min<uint64_t>(
+        static_cast<uint64_t>(10.0 * std::pow(2.0, attempt - 1)), 1000);
+    uint64_t delay = BackoffDelayMs(options, 3, attempt);
+    // Jitter scales by [1, 1.5]: never below the exponential floor, never
+    // past 1.5x the (capped) base delay.
+    EXPECT_GE(delay, unjittered) << "attempt " << attempt;
+    EXPECT_LE(delay, unjittered + unjittered / 2) << "attempt " << attempt;
+    // Pure function of (options, stream, attempt): reproducible.
+    EXPECT_EQ(delay, BackoffDelayMs(options, 3, attempt));
+  }
+
+  // Distinct streams decorrelate (different shards never retry in
+  // lockstep): the jittered sequences differ somewhere.
+  bool streams_differ = false;
+  for (uint32_t attempt = 1; attempt <= 8 && !streams_differ; ++attempt) {
+    streams_differ =
+        BackoffDelayMs(options, 1, attempt) != BackoffDelayMs(options, 2, attempt);
+  }
+  EXPECT_TRUE(streams_differ);
+
+  // jitter 0 = the exact exponential schedule, capped.
+  options.jitter = 0.0;
+  EXPECT_EQ(BackoffDelayMs(options, 9, 1), 10u);
+  EXPECT_EQ(BackoffDelayMs(options, 9, 2), 20u);
+  EXPECT_EQ(BackoffDelayMs(options, 9, 3), 40u);
+  EXPECT_EQ(BackoffDelayMs(options, 9, 20), 1000u);
+}
+
+TEST(RetryBudgetTest, TokenBucketRefillsCapsAndCountsExhaustion) {
+  RetryBudget::Options options;
+  options.initial = 2.0;
+  options.max_tokens = 2.0;
+  options.per_request_refill = 0.5;
+  RetryBudget budget(options);
+
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  // Dry: the retry is refused AND counted (the anti-storm valve engaging).
+  EXPECT_FALSE(budget.TryConsume());
+  EXPECT_EQ(budget.exhausted(), 1u);
+
+  // Two first attempts deposit 2 * 0.5 = 1 token: one retry allowed again.
+  budget.OnRequest();
+  budget.OnRequest();
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+  EXPECT_EQ(budget.exhausted(), 2u);
+
+  // Refill caps at max_tokens: a long quiet stretch buys at most 2 retries.
+  for (int i = 0; i < 100; ++i) budget.OnRequest();
+  EXPECT_EQ(budget.tokens(), 2.0);
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+}
+
+TEST(CircuitBreakerTest, OpensProbesAndClosesDeterministically) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.cooldown_ms = 40;
+  options.cooldown_jitter = 0.0;  // Fixed cooldown: the test can sleep past it.
+  CircuitBreaker breaker(options);
+
+  // A success between failures resets the consecutive count.
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kAllow);
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  // Threshold consecutive failures open it; while open every caller is
+  // rejected without I/O.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kReject);
+  EXPECT_GE(breaker.open_rejections(), 1u);
+
+  // Cooldown expires: exactly ONE caller wins the probe slot, everyone
+  // else keeps failing fast until the probe reports.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kProbe);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kReject);
+
+  // Probe fails: re-open with a fresh cooldown.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kReject);
+
+  // Next probe succeeds: closed, and traffic flows again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kProbe);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kAllow);
+}
+
+// ------------------------------------------- fault sites in the transport --
+
+/// Disarms every fault site on scope exit: the registry is process-wide,
+/// and a schedule leaking out of one test would poison the next.
+struct FaultGuard {
+  ~FaultGuard() { fault::DisarmAll(); }
+};
+
+TEST(SocketTest, ArmedFaultSitesInjectTypedTransportErrors) {
+  FaultGuard guard;
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client =
+      Socket::Connect("127.0.0.1", listener->port(), DeadlineAfterMs(2000));
+  ASSERT_TRUE(client.ok());
+  auto served = listener->Accept(2000);
+  ASSERT_TRUE(served.ok());
+
+  // Every send faults, but only once (max_hits auto-disarm).
+  fault::Schedule send_fault;
+  send_fault.kind = fault::Schedule::Kind::kFailNth;
+  send_fault.n = 1;
+  send_fault.max_hits = 1;
+  ASSERT_TRUE(fault::Arm("net.send", send_fault).ok());
+  Status broken = client->SendAll("hello", DeadlineAfterMs(2000));
+  ASSERT_FALSE(broken.ok());
+  // Same typed error a real mid-send break produces: downstream cannot
+  // (and must not) tell an injected fault from a real one.
+  EXPECT_EQ(broken.code(), StatusCode::kUnavailable);
+  EXPECT_NE(broken.message().find("injected fault"), std::string::npos);
+  EXPECT_EQ(fault::SiteInjected("net.send"), 1u);
+
+  // Auto-disarmed: the retry goes through and the bytes arrive intact.
+  ASSERT_TRUE(client->SendAll("hello", DeadlineAfterMs(2000)).ok());
+  char buffer[5];
+  ASSERT_TRUE(
+      served->RecvExact(buffer, sizeof(buffer), DeadlineAfterMs(2000)).ok());
+  EXPECT_EQ(std::string(buffer, sizeof(buffer)), "hello");
+
+  // Same discipline on the receive side.
+  fault::Schedule recv_fault;
+  recv_fault.kind = fault::Schedule::Kind::kFailNth;
+  recv_fault.n = 1;
+  recv_fault.max_hits = 1;
+  ASSERT_TRUE(fault::Arm("net.recv", recv_fault).ok());
+  ASSERT_TRUE(client->SendAll("world", DeadlineAfterMs(2000)).ok());
+  Status injected = served->RecvExact(buffer, sizeof(buffer),
+                                      DeadlineAfterMs(2000));
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fault::SiteInjected("net.recv"), 1u);
+  ASSERT_TRUE(
+      served->RecvExact(buffer, sizeof(buffer), DeadlineAfterMs(2000)).ok());
+  EXPECT_EQ(std::string(buffer, sizeof(buffer)), "world");
+}
+
+std::atomic<int> g_signals_caught{0};
+
+void CountSignal(int) { g_signals_caught.fetch_add(1, std::memory_order_relaxed); }
+
+TEST(SocketTest, TransferSurvivesSignalStormAndPeerDeathIsTypedNotFatal) {
+  // SA_RESTART deliberately OFF: every poll/send/recv in flight when a
+  // signal lands returns EINTR, which the socket layer must absorb without
+  // losing bytes or surfacing a spurious transport error.
+  struct sigaction storm_action;
+  struct sigaction old_action;
+  std::memset(&storm_action, 0, sizeof(storm_action));
+  storm_action.sa_handler = CountSignal;
+  ASSERT_EQ(sigaction(SIGUSR1, &storm_action, &old_action), 0);
+  g_signals_caught.store(0);
+
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client =
+      Socket::Connect("127.0.0.1", listener->port(), DeadlineAfterMs(2000));
+  ASSERT_TRUE(client.ok());
+  auto served = listener->Accept(2000);
+  ASSERT_TRUE(served.ok());
+
+  // 8 MB — far past the socket buffers, so both sides block mid-transfer
+  // (where EINTR actually bites) many times.
+  const size_t kTotal = 8u << 20;
+  std::string payload(kTotal, '\0');
+  for (size_t i = 0; i < kTotal; ++i) {
+    payload[i] = static_cast<char>((i * 131u) ^ (i >> 7));
+  }
+
+  std::string received(kTotal, '\0');
+  std::atomic<bool> storm_stop{false};
+  std::atomic<bool> recv_ok{false};
+  std::thread receiver([&] {
+    size_t got = 0;
+    for (;;) {
+      // Short deadlines on purpose: expiry must preserve the cursor, so
+      // re-arming resumes mid-stream instead of discarding consumed bytes.
+      Status status = served->RecvSome(received.data(), kTotal, &got,
+                                       DeadlineAfterMs(250));
+      if (status.ok()) {
+        recv_ok.store(true);
+        break;
+      }
+      if (status.code() != StatusCode::kDeadlineExceeded) break;
+    }
+    // Stay alive until the storm stops: pthread_kill against a finished
+    // thread is undefined.
+    while (!storm_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  pthread_t sender_handle = pthread_self();
+  pthread_t receiver_handle = receiver.native_handle();
+  std::thread storm([&] {
+    while (!storm_stop.load()) {
+      pthread_kill(sender_handle, SIGUSR1);
+      pthread_kill(receiver_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  Status sent = client->SendAll(payload, DeadlineAfterMs(30'000));
+  for (int i = 0; i < 3000 && !recv_ok.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  storm_stop.store(true);
+  storm.join();
+  receiver.join();
+
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  ASSERT_TRUE(recv_ok.load());
+  EXPECT_GT(g_signals_caught.load(), 0) << "the storm never landed a signal";
+  // NOT ONE BIT lost or reordered across the interruptions.
+  EXPECT_EQ(received, payload);
+
+  // Peer death: the server side hangs up; the client must see TYPED errors
+  // — kNotFound for the clean EOF, kUnavailable once the send-side breaks
+  // (EPIPE suppressed per-send; the process surviving IS the assertion).
+  served->Close();
+  char byte;
+  size_t got = 0;
+  Status eof = client->RecvSome(&byte, 1, &got, DeadlineAfterMs(2000),
+                                /*eof_ok=*/true);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.code(), StatusCode::kNotFound);
+
+  const std::string chunk = payload.substr(0, 64 * 1024);
+  Status dead = Status::OK();
+  for (int i = 0; i < 200 && dead.ok(); ++i) {
+    dead = client->SendAll(chunk, DeadlineAfterMs(2000));
+  }
+  ASSERT_FALSE(dead.ok()) << "send into a closed peer never failed";
+  EXPECT_EQ(dead.code(), StatusCode::kUnavailable);
+
+  ASSERT_EQ(sigaction(SIGUSR1, &old_action, nullptr), 0);
+}
+
+// -------------------------------------------- fault control-plane payloads --
+
+TEST(WireFaultTest, FaultCommandRoundTripsAndRejectsGarbage) {
+  WireFaultCommand command;
+  command.disarm_all = true;
+  fault::Schedule prob;
+  prob.kind = fault::Schedule::Kind::kFailProbability;
+  prob.probability = 0.25;
+  prob.seed = 7;
+  prob.max_hits = 3;
+  command.arm.emplace_back("net.send", prob);
+  fault::Schedule delay;
+  delay.kind = fault::Schedule::Kind::kDelayNth;
+  delay.n = 2;
+  delay.delay_ms = 400;
+  delay.seed = 9;
+  command.arm.emplace_back("server.label", delay);
+
+  auto frame = DecodeFrame(EncodeFrame(EncodeFaultRequest(21, command)));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kFaultRequest);
+  EXPECT_EQ(frame->request_id, 21u);
+  auto decoded = DecodeFaultRequest(*frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->disarm_all);
+  ASSERT_EQ(decoded->arm.size(), 2u);
+  EXPECT_EQ(decoded->arm[0].first, "net.send");
+  EXPECT_EQ(decoded->arm[0].second.kind,
+            fault::Schedule::Kind::kFailProbability);
+  EXPECT_EQ(decoded->arm[0].second.probability, 0.25);
+  EXPECT_EQ(decoded->arm[0].second.seed, 7u);
+  EXPECT_EQ(decoded->arm[0].second.max_hits, 3u);
+  EXPECT_EQ(decoded->arm[1].first, "server.label");
+  EXPECT_EQ(decoded->arm[1].second.kind, fault::Schedule::Kind::kDelayNth);
+  EXPECT_EQ(decoded->arm[1].second.n, 2u);
+  EXPECT_EQ(decoded->arm[1].second.delay_ms, 400u);
+
+  // The ack is a bare correlated frame.
+  auto ack = DecodeFrame(EncodeFrame(EncodeFaultResponse(21)));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, FrameType::kFaultResponse);
+  EXPECT_EQ(ack->request_id, 21u);
+
+  // Wrong frame type fails typed.
+  Frame ping;
+  ping.type = FrameType::kPing;
+  EXPECT_FALSE(DecodeFaultRequest(ping).ok());
+
+  // A truncated FLTI section fails typed, never reads past the payload.
+  Frame torn = *frame;
+  for (FrameSection& section : torn.sections) {
+    if (section.tag == std::string(kSectionFaults, 4)) {
+      section.payload.resize(section.payload.size() / 2);
+    }
+  }
+  auto rejected = DecodeFaultRequest(torn);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireStatsTest, FaultsInjectedRoundTripsAndOldPeerPayloadDecodesToZero) {
+  WireServerStats stats;
+  stats.snapshot_version = 4;
+  stats.requests_served = 99;
+  stats.faults_injected = 31337;
+  auto frame = DecodeFrame(EncodeFrame(EncodeStatsResponse(88, stats)));
+  ASSERT_TRUE(frame.ok());
+  auto actual = DecodeStatsResponse(*frame);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(actual->faults_injected, 31337u);
+  EXPECT_EQ(actual->requests_served, 99u);
+
+  // An OLD peer's SVST section stops before the appended counter: the
+  // field decodes as 0 and every older field still reads correctly.
+  Frame old_peer = *frame;
+  for (FrameSection& section : old_peer.sections) {
+    if (section.tag == std::string(kSectionServerStats, 4)) {
+      ASSERT_GE(section.payload.size(), sizeof(uint64_t));
+      section.payload.resize(section.payload.size() - sizeof(uint64_t));
+    }
+  }
+  auto compat = DecodeStatsResponse(old_peer);
+  ASSERT_TRUE(compat.ok()) << compat.status().ToString();
+  EXPECT_EQ(compat->faults_injected, 0u);
+  EXPECT_EQ(compat->snapshot_version, 4u);
+  EXPECT_EQ(compat->requests_served, 99u);
+}
+
+// ----------------------------------------- server-side fault control plane --
+
+TEST(ShardServerTest, WireFaultControlInjectsCountsAndAutoDisarms) {
+  FaultGuard guard;
+  NetFixture fx(32);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("fault_control.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  LabelResponse expected = fx.Expected(snapshot, /*include_votes=*/false);
+
+  ShardServer::Options options;
+  options.num_workers = 2;
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+
+  // Arm the server's labeling site over the wire: exactly one injected
+  // failure, then auto-disarm.
+  WireFaultCommand command;
+  fault::Schedule once;
+  once.kind = fault::Schedule::Kind::kFailNth;
+  once.n = 1;
+  once.max_hits = 1;
+  command.arm.emplace_back("server.label", once);
+  ASSERT_TRUE(client.ConfigureFaults(command, 2000).ok());
+
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  auto faulted = client.Label(fx.corpus, rows, false, true, 5000);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(faulted.status().message().find("injected fault"),
+            std::string::npos);
+  // An injected error is an ANSWER (error frame over a live connection),
+  // not a transport failure: the endpoint must stay healthy.
+  EXPECT_TRUE(client.stats().healthy);
+
+  // The counter crosses the wire in the stats RPC.
+  auto wire_stats = client.GetStats(2000);
+  ASSERT_TRUE(wire_stats.ok());
+  EXPECT_GE(wire_stats->faults_injected, 1u);
+
+  // max_hits spent: the schedule disarmed itself and service resumed,
+  // bitwise.
+  auto recovered = client.Label(fx.corpus, rows, false, true, 5000);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->posteriors, expected.posteriors);
+
+  // disarm_all over the wire is accepted too.
+  WireFaultCommand off;
+  off.disarm_all = true;
+  EXPECT_TRUE(client.ConfigureFaults(off, 2000).ok());
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------- replicated failover --
+
+TEST(RemoteRouterTest, DeadReplicaFailsOverBitwiseWithAttemptChains) {
+  TwoShardFleet fleet(64);
+  LabelResponse expected = fleet.fx.Expected(fleet.snapshot, false);
+
+  RemoteShardRouter::Options options;  // replication defaults to 2.
+  options.client.connect_timeout_ms = 300;
+  options.client.unhealthy_cooldown_ms = 60'000;  // Stay open once tripped.
+  options.request_timeout_ms = 10'000;
+  auto router = RemoteShardRouter::Create(fleet.endpoints, options);
+  ASSERT_TRUE(router.ok());
+
+  // Kill endpoint 1. Shard 1's preference list is [1, 0], so every one of
+  // its sub-batches fails over to endpoint 0 — same snapshot, same bits.
+  fleet.servers[1].Shutdown();
+
+  LabelRequest request;
+  request.corpus = &fleet.fx.corpus;
+  request.candidates = &fleet.fx.candidates;
+  for (int round = 0; round < 6; ++round) {
+    auto response = router->Label(request);
+    ASSERT_TRUE(response.ok()) << "round " << round << ": "
+                               << response.status().ToString();
+    // Failover is TRANSPARENT: complete response, full coverage, and
+    // bit-identical to the unsharded service.
+    EXPECT_FALSE(response->is_partial);
+    EXPECT_TRUE(response->covered.empty());
+    EXPECT_EQ(response->posteriors, expected.posteriors);
+    EXPECT_EQ(response->hard_labels, expected.hard_labels);
+
+    // ...but not SILENT: the attempt chain names every endpoint tried.
+    bool found_failover = false;
+    for (const ShardOutcome& outcome : response->shard_outcomes) {
+      if (outcome.shard != 1) continue;
+      found_failover = true;
+      EXPECT_EQ(outcome.code, StatusCode::kOk);
+      ASSERT_GE(outcome.attempts.size(), 2u);
+      EXPECT_EQ(outcome.attempts.front().endpoint, 1u);
+      EXPECT_NE(outcome.attempts.front().code, StatusCode::kOk);
+      EXPECT_EQ(outcome.attempts.back().endpoint, 0u);
+      EXPECT_EQ(outcome.attempts.back().code, StatusCode::kOk);
+    }
+    EXPECT_TRUE(found_failover) << "round " << round;
+  }
+
+  RemoteRouterStats stats = router->stats();
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.degraded_requests, 0u);
+  EXPECT_GE(stats.failovers, 6u);
+  EXPECT_EQ(stats.retry_budget_exhausted, 0u);
+  // After unhealthy_threshold (3) dispatched failures the breaker opened:
+  // later rounds failed over WITHOUT paying the connect timeout.
+  EXPECT_GE(stats.breaker_open_rejections, 1u);
+  ASSERT_EQ(stats.per_shard.size(), 2u);
+  EXPECT_FALSE(stats.per_shard[1].healthy);
+}
+
+TEST(RemoteRouterTest, RetryBudgetExhaustionFailsTypedAndIsCounted) {
+  TwoShardFleet fleet(64);
+  LabelResponse expected = fleet.fx.Expected(fleet.snapshot, false);
+
+  RemoteShardRouter::Options options;
+  options.client.connect_timeout_ms = 300;
+  // Keep the breaker out of the picture: every attempt dispatches, so
+  // every failover NEEDS a token — and the bucket is bone dry.
+  options.client.unhealthy_threshold = 100;
+  options.request_timeout_ms = 5000;
+  options.retry_budget.initial = 0.0;
+  options.retry_budget.max_tokens = 0.0;
+  options.retry_budget.per_request_refill = 0.0;
+  auto router = RemoteShardRouter::Create(fleet.endpoints, options);
+  ASSERT_TRUE(router.ok());
+  fleet.servers[1].Shutdown();
+
+  LabelRequest request;
+  request.corpus = &fleet.fx.corpus;
+  request.candidates = &fleet.fx.candidates;
+  auto whole = router->Label(request);
+  ASSERT_FALSE(whole.ok());
+  EXPECT_EQ(whole.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(whole.status().message().find("shard 1/2"), std::string::npos)
+      << whole.status().ToString();
+  EXPECT_NE(whole.status().message().find("retry budget exhausted"),
+            std::string::npos)
+      << whole.status().ToString();
+
+  // allow_partial still degrades instead of failing: covered rows bitwise,
+  // and the failed outcome's chain shows ONE dispatched attempt (the
+  // refused retry never ran).
+  request.allow_partial = true;
+  auto partial = router->Label(request);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->is_partial);
+  for (size_t i = 0; i < fleet.fx.candidates.size(); ++i) {
+    if (partial->RowCovered(i)) {
+      EXPECT_EQ(partial->posteriors[i], expected.posteriors[i]);
+    }
+  }
+  bool found_exhausted = false;
+  for (const ShardOutcome& outcome : partial->shard_outcomes) {
+    if (outcome.shard != 1) continue;
+    found_exhausted = true;
+    EXPECT_NE(outcome.code, StatusCode::kOk);
+    EXPECT_EQ(outcome.attempts.size(), 1u);
+    EXPECT_EQ(outcome.attempts[0].endpoint, 1u);
+  }
+  EXPECT_TRUE(found_exhausted);
+
+  RemoteRouterStats stats = router->stats();
+  EXPECT_EQ(stats.failed_requests, 1u);
+  EXPECT_EQ(stats.degraded_requests, 1u);
+  EXPECT_GE(stats.retry_budget_exhausted, 2u);
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(stats.breaker_open_rejections, 0u);
+}
+
+TEST(RemoteRouterTest, BreakerOpenFailoverIsFreeWithZeroBudget) {
+  TwoShardFleet fleet(64);
+  LabelResponse expected = fleet.fx.Expected(fleet.snapshot, false);
+
+  RemoteShardRouter::Options options;
+  options.client.connect_timeout_ms = 300;
+  options.client.unhealthy_threshold = 1;  // One failure opens the breaker.
+  options.client.unhealthy_cooldown_ms = 60'000;
+  options.request_timeout_ms = 5000;
+  // ZERO retry budget: only fail-fast (undispatched) failovers can succeed.
+  options.retry_budget.initial = 0.0;
+  options.retry_budget.max_tokens = 0.0;
+  options.retry_budget.per_request_refill = 0.0;
+  auto router = RemoteShardRouter::Create(fleet.endpoints, options);
+  ASSERT_TRUE(router.ok());
+  fleet.servers[1].Shutdown();
+
+  LabelRequest request;
+  request.corpus = &fleet.fx.corpus;
+  request.candidates = &fleet.fx.candidates;
+
+  // Request 1 DISPATCHES to the dead endpoint (breaker still closed), so
+  // the failover is a real retry — refused by the dry bucket.
+  auto first = router->Label(request);
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.status().message().find("retry budget exhausted"),
+            std::string::npos)
+      << first.status().ToString();
+
+  // From now on the open breaker rejects WITHOUT dispatching: failover is
+  // free, needs no token, and the fleet answers every request completely —
+  // the steady-outage invariant the chaos harness rests on.
+  for (int round = 0; round < 3; ++round) {
+    auto response = router->Label(request);
+    ASSERT_TRUE(response.ok()) << "round " << round << ": "
+                               << response.status().ToString();
+    EXPECT_FALSE(response->is_partial);
+    EXPECT_EQ(response->posteriors, expected.posteriors);
+    EXPECT_EQ(response->hard_labels, expected.hard_labels);
+  }
+
+  RemoteRouterStats stats = router->stats();
+  EXPECT_EQ(stats.failed_requests, 1u);
+  EXPECT_GE(stats.failovers, 3u);
+  EXPECT_GE(stats.breaker_open_rejections, 3u);
+  EXPECT_GE(stats.retry_budget_exhausted, 1u);
+  ASSERT_EQ(stats.per_shard.size(), 2u);
+  EXPECT_FALSE(stats.per_shard[1].healthy);
+}
+
+// ------------------------------------------- store crash consistency (S3) --
+
+TEST(ShardServerTest, WatcherIgnoresTornRejectsCorruptAndPromotesNextGood) {
+  FaultGuard guard;
+  NetFixture fx(48);
+  ModelSnapshot v1 = fx.MakeSnapshot(fx.MakeLfs(), /*epochs=*/60);
+  ModelSnapshot v_new = fx.MakeSnapshot(fx.MakeLfs(), /*epochs=*/90);
+  ASSERT_NE(v1.CanonicalChecksum(), v_new.CanonicalChecksum());
+  LabelResponse expected_v1 = fx.Expected(v1, false);
+  LabelResponse expected_new = fx.Expected(v_new, false);
+
+  std::string dir = FreshStoreDir("store_crash");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Publish(1, SerializeSnapshot(v1)).ok());
+
+  ShardServer::Options options;
+  options.num_workers = 2;
+  options.watch_interval_ms = 25;
+  auto server = ShardServer::ServeFromStore(dir, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+
+  // A TORN publish (writer crashed mid-temp-file) is not a version: the
+  // watcher never even considers it — no rejection, no wedge, no swap.
+  std::string torn_bytes = SerializeSnapshot(v_new);
+  torn_bytes.resize(torn_bytes.size() / 2);
+  ASSERT_TRUE(WriteFileBytes(dir + "/.publish-2-31337", torn_bytes).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(server->stats().snapshot_version, 1u);
+  EXPECT_EQ(server->stats().rejected_swaps, 0u);
+  auto during_torn = client.Label(fx.corpus, rows, false, true, 5000);
+  ASSERT_TRUE(during_torn.ok());
+  EXPECT_EQ(during_torn->posteriors, expected_v1.posteriors);
+
+  // A fully published but CORRUPT artifact is rejected; v1 keeps serving.
+  ASSERT_TRUE(store->Publish(2, "definitely not a snapshot").ok());
+  bool rejected = false;
+  for (int i = 0; i < 200 && !rejected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    rejected = server->stats().rejected_swaps >= 1;
+  }
+  ASSERT_TRUE(rejected);
+  EXPECT_EQ(server->stats().snapshot_version, 1u);
+
+  // A GOOD artifact whose load I/O fails (injected once at store.load) is
+  // also rejected — a crash mid-read must behave like a bad artifact, not
+  // take the shard down.
+  fault::Schedule load_fault;
+  load_fault.kind = fault::Schedule::Kind::kFailNth;
+  load_fault.n = 1;
+  load_fault.max_hits = 1;
+  ASSERT_TRUE(fault::Arm("store.load", load_fault).ok());
+  ASSERT_TRUE(store->Publish(3, SerializeSnapshot(v_new)).ok());
+  bool rejected_again = false;
+  for (int i = 0; i < 200 && !rejected_again; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    rejected_again = server->stats().rejected_swaps >= 2;
+  }
+  ASSERT_TRUE(rejected_again);
+  EXPECT_EQ(server->stats().snapshot_version, 1u);
+
+  // The watcher is NOT wedged: the next good version promotes and serves
+  // its exact bits.
+  ASSERT_TRUE(store->Publish(4, SerializeSnapshot(v_new)).ok());
+  bool swapped = false;
+  for (int i = 0; i < 200 && !swapped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    swapped = server->stats().snapshot_version == 4;
+  }
+  ASSERT_TRUE(swapped) << "watcher never recovered to version 4";
+  EXPECT_EQ(server->stats().snapshot_checksum, v_new.CanonicalChecksum());
+  auto after = client.Label(fx.corpus, rows, false, true, 5000);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->posteriors, expected_new.posteriors);
+  EXPECT_EQ(after->hard_labels, expected_new.hard_labels);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "util/adam.h"
 #include "util/bounded_queue.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/mmap_file.h"
 #include "util/math_util.h"
@@ -564,6 +565,152 @@ TEST(TimerTest, MeasuresNonNegativeTime) {
   EXPECT_GE(timer.ElapsedSeconds(), 0.0);
   timer.Restart();
   EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+// ------------------------------------------------------ fault injection --
+
+/// The registry is process-wide; every test leaves it clean.
+struct FaultGuard {
+  ~FaultGuard() { fault::DisarmAll(); }
+};
+
+TEST(FaultTest, DisarmedSiteIsFreeAndNeverFires) {
+  FaultGuard guard;
+  EXPECT_FALSE(fault::Armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fault::Point("never.armed"));
+  }
+  EXPECT_EQ(fault::SiteInjected("never.armed"), 0u);
+}
+
+TEST(FaultTest, FailNthFiresExactlyEveryNth) {
+  FaultGuard guard;
+  fault::Schedule schedule;
+  schedule.kind = fault::Schedule::Kind::kFailNth;
+  schedule.n = 3;
+  ASSERT_TRUE(fault::Arm("t.nth", schedule).ok());
+  EXPECT_TRUE(fault::Armed());
+  int fired = 0;
+  for (int hit = 1; hit <= 12; ++hit) {
+    bool fail = fault::Point("t.nth");
+    EXPECT_EQ(fail, hit % 3 == 0) << "hit " << hit;
+    if (fail) ++fired;
+  }
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(fault::SiteInjected("t.nth"), 4u);
+  EXPECT_TRUE(fault::Disarm("t.nth"));
+  // Injected counts survive disarm; the schedule does not.
+  EXPECT_EQ(fault::SiteInjected("t.nth"), 4u);
+  EXPECT_FALSE(fault::Point("t.nth"));
+}
+
+TEST(FaultTest, ProbabilityScheduleIsSeededDeterministic) {
+  FaultGuard guard;
+  fault::Schedule schedule;
+  schedule.kind = fault::Schedule::Kind::kFailProbability;
+  schedule.probability = 0.3;
+  schedule.seed = 7;
+  auto run = [&]() -> std::string {
+    EXPECT_TRUE(fault::Arm("t.prob", schedule).ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += fault::Point("t.prob") ? '1' : '0';
+    }
+    fault::Disarm("t.prob");
+    return pattern;
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_EQ(first, second) << "same seed must reproduce the same faults";
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+}
+
+TEST(FaultTest, MaxHitsAutoDisarmsAndKeepsCounts) {
+  FaultGuard guard;
+  fault::Schedule schedule;
+  schedule.kind = fault::Schedule::Kind::kFailNth;
+  schedule.n = 1;
+  schedule.max_hits = 2;
+  ASSERT_TRUE(fault::Arm("t.max", schedule).ok());
+  EXPECT_TRUE(fault::Point("t.max"));
+  EXPECT_TRUE(fault::Point("t.max"));
+  // Auto-disarmed after 2 injections.
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_FALSE(fault::Point("t.max"));
+  EXPECT_EQ(fault::SiteInjected("t.max"), 2u);
+}
+
+TEST(FaultTest, DelayScheduleSleepsButDoesNotFail) {
+  FaultGuard guard;
+  fault::Schedule schedule;
+  schedule.kind = fault::Schedule::Kind::kDelayNth;
+  schedule.n = 1;
+  schedule.delay_ms = 30;
+  ASSERT_TRUE(fault::Arm("t.delay", schedule).ok());
+  WallTimer timer;
+  EXPECT_FALSE(fault::Point("t.delay"));  // Delays, never fails.
+  EXPECT_GE(timer.ElapsedMillis(), 25.0);
+  EXPECT_EQ(fault::SiteInjected("t.delay"), 1u);
+}
+
+TEST(FaultTest, ParseSpecRoundTripsAndRejectsMalformed) {
+  auto nth = fault::ParseSpec("net.send=fail-nth:3");
+  ASSERT_TRUE(nth.ok());
+  EXPECT_EQ(nth->first, "net.send");
+  EXPECT_EQ(nth->second.kind, fault::Schedule::Kind::kFailNth);
+  EXPECT_EQ(nth->second.n, 3u);
+
+  auto prob = fault::ParseSpec("x=fail-prob:0.25:7");
+  ASSERT_TRUE(prob.ok());
+  EXPECT_EQ(prob->second.kind, fault::Schedule::Kind::kFailProbability);
+  EXPECT_DOUBLE_EQ(prob->second.probability, 0.25);
+  EXPECT_EQ(prob->second.seed, 7u);
+
+  auto delay = fault::ParseSpec("y=delay-nth:2:400");
+  ASSERT_TRUE(delay.ok());
+  EXPECT_EQ(delay->second.kind, fault::Schedule::Kind::kDelayNth);
+  EXPECT_EQ(delay->second.n, 2u);
+  EXPECT_EQ(delay->second.delay_ms, 400u);
+
+  auto dprob = fault::ParseSpec("z=delay-prob:0.1:50:9");
+  ASSERT_TRUE(dprob.ok());
+  EXPECT_EQ(dprob->second.kind, fault::Schedule::Kind::kDelayProbability);
+  EXPECT_EQ(dprob->second.delay_ms, 50u);
+  EXPECT_EQ(dprob->second.seed, 9u);
+
+  // FormatSpec parses back to the same schedule.
+  auto reparsed = fault::ParseSpec(fault::FormatSpec(dprob->first,
+                                                     dprob->second));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->second.kind, dprob->second.kind);
+  EXPECT_EQ(reparsed->second.delay_ms, dprob->second.delay_ms);
+
+  EXPECT_FALSE(fault::ParseSpec("no-equals").ok());
+  EXPECT_FALSE(fault::ParseSpec("=fail-nth:1").ok());
+  EXPECT_FALSE(fault::ParseSpec("s=bogus-kind:1").ok());
+  EXPECT_FALSE(fault::ParseSpec("s=fail-nth:0").ok());      // n >= 1.
+  EXPECT_FALSE(fault::ParseSpec("s=fail-prob:1.5").ok());   // p in [0,1].
+}
+
+TEST(FaultTest, BoundedQueueAdmissionSiteInjectsTypedBackpressure) {
+  FaultGuard guard;
+  BoundedQueue<std::unique_ptr<int>> queue(8);
+  using PushResult = BoundedQueue<std::unique_ptr<int>>::PushResult;
+  fault::Schedule schedule;
+  schedule.kind = fault::Schedule::Kind::kFailNth;
+  schedule.n = 2;
+  ASSERT_TRUE(fault::Arm("queue.admit", schedule).ok());
+  auto one = std::make_unique<int>(1);
+  EXPECT_EQ(queue.TryPush(std::move(one)), PushResult::kOk);
+  auto two = std::make_unique<int>(2);
+  // 2nd admission: injected kQueueFull — and the item is NOT consumed,
+  // exactly like a genuinely full queue.
+  EXPECT_EQ(queue.TryPush(std::move(two)), PushResult::kQueueFull);
+  ASSERT_NE(two, nullptr);
+  EXPECT_EQ(*two, 2);
+  EXPECT_EQ(queue.TryPush(std::move(two)), PushResult::kOk);
+  EXPECT_EQ(queue.size(), 2u);
 }
 
 }  // namespace

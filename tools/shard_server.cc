@@ -7,6 +7,12 @@
 //                [--lfset cdr-demo] [--queue-capacity N] [--workers N]
 //                [--watch-interval-ms N]
 //                [--inject-delay-every-n N] [--inject-delay-ms N]
+//                [--fault site=kind:params ...]
+//
+// --fault arms a util/fault.h injection site at startup (repeatable), e.g.
+// --fault net.send=fail-nth:3 or --fault server.label=delay-prob:0.1:50:7;
+// the same sites are re-configurable at runtime over the wire
+// (kFaultRequest).
 //
 // LF code cannot be serialized into a snapshot, so the serving process must
 // construct the live LF set itself and the server validates it against the
@@ -34,6 +40,7 @@
 #include "lf/declarative.h"
 #include "net/shard_server.h"
 #include "util/binary_io.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -91,6 +98,17 @@ int main(int argc, char** argv) {
       options.inject_delay_every_n = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--inject-delay-ms") {
       options.inject_delay_ms = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--fault") {
+      auto parsed = fault::ParseSpec(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      Status armed = fault::Arm(parsed->first, parsed->second);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 1;
@@ -142,11 +160,13 @@ int main(int argc, char** argv) {
   ShardServer::Stats stats = server->stats();
   std::fprintf(stderr,
                "shard_server exiting: %llu requests, %llu candidates, "
-               "%llu rejections, %llu swaps (%llu rejected)\n",
+               "%llu rejections, %llu swaps (%llu rejected), "
+               "%llu faults injected\n",
                static_cast<unsigned long long>(stats.requests_served),
                static_cast<unsigned long long>(stats.candidates_served),
                static_cast<unsigned long long>(stats.queue_rejections),
                static_cast<unsigned long long>(stats.snapshot_swaps),
-               static_cast<unsigned long long>(stats.rejected_swaps));
+               static_cast<unsigned long long>(stats.rejected_swaps),
+               static_cast<unsigned long long>(stats.faults_injected));
   return 0;
 }
