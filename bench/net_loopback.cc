@@ -12,7 +12,11 @@
 //       hedging client must pull p99 down to roughly the fast mode, and
 //   (4) replicated failover: R=2 routing vs single-owner when healthy, and
 //       throughput while one of two shards is dead — the outage run must
-//       complete EVERY request (failover, not failure).
+//       complete EVERY request (failover, not failure), and
+//   (5) tracing overhead: the same 2-shard router workload with tracing off
+//       vs on — off must cost ~nothing (one thread-local load per would-be
+//       span) and on stays within a few percent (span recording is
+//       thread-local until the per-request flush into the bounded ring).
 //
 // CAVEAT: loopback numbers bound the PROTOCOL cost only. Real deployments
 // add NIC latency, congestion, and cross-machine clock effects that
@@ -37,6 +41,7 @@
 #include "net/remote_client.h"
 #include "net/remote_router.h"
 #include "net/shard_server.h"
+#include "obs/trace.h"
 #include "pipeline/export_snapshot.h"
 #include "serve/label_service.h"
 #include "serve/snapshot.h"
@@ -344,6 +349,67 @@ int main(int argc, char** argv) {
               "answers — the surviving replica serves bit-identical "
               "posteriors)\n");
 
+  // ---- (5) tracing overhead (PR 8): the (2) router workload, tracing off
+  // vs on, interleaved best-of. Disabled tracing must be ~free — TraceSpan
+  // construction reduces to a thread-local load and a branch — and enabled
+  // tracing bounds what a debugging session costs a production fleet. ----
+  double trace_off_cps = 0.0;
+  double trace_on_cps = 0.0;
+  uint64_t traced_spans = 0;
+  obs::SetTracingEnabled(false);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (bool traced : {false, true}) {
+      ShardServer::Options options;
+      options.num_workers = 2;
+      options.queue_capacity = 64;
+      options.service.num_threads = 1;
+      auto s0 = ShardServer::Serve(path, task->lfs, options);
+      auto s1 = ShardServer::Serve(path, task->lfs, options);
+      if (!s0.ok() || !s1.ok()) return 1;
+      RemoteShardRouter::Options router_options;
+      router_options.client.max_pooled_connections = kCallers;
+      router_options.request_timeout_ms = 60'000;
+      auto router = RemoteShardRouter::Create(
+          {{"127.0.0.1", s0->port()}, {"127.0.0.1", s1->port()}},
+          router_options);
+      if (!router.ok()) return 1;
+      obs::SetTracingEnabled(traced);
+      double cps = run_callers([&](const std::vector<Candidate>& batch) {
+        LabelRequest request;
+        request.corpus = &task->corpus;
+        request.candidates = &batch;
+        return router->Label(request).ok();
+      });
+      obs::SetTracingEnabled(false);
+      if (trial > 0) {
+        if (traced) {
+          trace_on_cps = std::max(trace_on_cps, cps);
+        } else {
+          trace_off_cps = std::max(trace_off_cps, cps);
+        }
+      }
+      // Drain the local ring between configs so the off runs never pay for
+      // leftovers and the span count reflects one traced run.
+      traced_spans = obs::CollectSpans(0, /*drain=*/true).size();
+      s0->Shutdown();
+      s1->Shutdown();
+    }
+  }
+  const double overhead_pct =
+      trace_off_cps > 0.0
+          ? (trace_off_cps - trace_on_cps) / trace_off_cps * 100.0
+          : 0.0;
+  TablePrinter tracing({"Tracing", "cand/s (wall)", "Vs off"});
+  tracing.AddRow({"off", TablePrinter::Cell(trace_off_cps, 0), "1.00"});
+  tracing.AddRow({"on (every request)", TablePrinter::Cell(trace_on_cps, 0),
+                  TablePrinter::Cell(trace_on_cps / trace_off_cps, 2)});
+  std::printf("\nTracing overhead (2-shard router, %d callers, best of %d "
+              "trials; %.1f%% overhead traced, %llu router-side spans in "
+              "the final traced run):\n%s",
+              kCallers, kTrials - 1, overhead_pct,
+              static_cast<unsigned long long>(traced_spans),
+              tracing.ToString().c_str());
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -361,13 +427,17 @@ int main(int argc, char** argv) {
         "\"p50_hedge_ms\": %.2f, \"p99_hedge_ms\": %.2f, "
         "\"hedged_wins\": %llu},\n"
         "  \"failover\": {\"r1_cps\": %.1f, \"r2_cps\": %.1f, "
-        "\"outage_cps\": %.1f, \"failovers\": %llu}\n"
+        "\"outage_cps\": %.1f, \"failovers\": %llu},\n"
+        "  \"obs\": {\"trace_off_cps\": %.1f, \"trace_on_cps\": %.1f, "
+        "\"overhead_pct\": %.2f, \"spans_per_run\": %llu}\n"
         "}\n",
         kCallers, kBatchSize, inprocess_cps, loopback_cps, router2_cps,
         static_cast<unsigned long long>(kInjectMs), kProbeCalls,
         p50_nohedge, p99_nohedge, p50_hedge, p99_hedge,
         static_cast<unsigned long long>(hedged_wins), r1_cps, r2_cps,
-        outage_cps, static_cast<unsigned long long>(outage_failovers));
+        outage_cps, static_cast<unsigned long long>(outage_failovers),
+        trace_off_cps, trace_on_cps, overhead_pct,
+        static_cast<unsigned long long>(traced_spans));
     std::fclose(out);
     std::printf("\nwrote %s\n", json_path.c_str());
   }

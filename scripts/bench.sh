@@ -142,6 +142,18 @@ print(
         failover["r1_cps"], failover["r2_cps"], failover["outage_cps"],
         failover["failovers"]))
 
+# The observability section (PR 8): tracing must stay cheap. A missing
+# section means the benchmark silently dropped the overhead probe; an
+# off-path regression would hit every request in production, traced or not.
+obs = net.get("obs")
+if not obs:
+    sys.exit("net benchmark JSON is missing the 'obs' section")
+print(
+    "observability: tracing off {:.0f} vs on {:.0f} cand/s "
+    "({:.1f}% overhead when traced, {} spans per traced run)".format(
+        obs["trace_off_cps"], obs["trace_on_cps"], obs["overhead_pct"],
+        obs["spans_per_run"]))
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")

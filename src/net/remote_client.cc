@@ -9,6 +9,7 @@
 
 #include "net/health.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "util/hash.h"
 
 namespace snorkel {
@@ -131,18 +132,26 @@ struct RemoteShardClient::Impl {
     *transport_ok = false;
     auto socket = AcquireConnection(deadline);
     if (!socket.ok()) return socket.status();
-    Status sent = socket->SendAll(frame_bytes, deadline);
-    if (!sent.ok()) {
-      // A pooled connection can go stale (server dropped it between
-      // requests); retry ONCE on a fresh connection. Only the send — once
-      // bytes of a reply are in flight a retry could double-serve.
-      auto fresh = Socket::Connect(options.host, options.port, deadline);
-      if (!fresh.ok()) return fresh.status();
-      socket = std::move(fresh);
-      sent = socket->SendAll(frame_bytes, deadline);
-      if (!sent.ok()) return sent;
+    {
+      obs::TraceSpan send_span("client.send");
+      send_span.Annotate("bytes=" + std::to_string(frame_bytes.size()));
+      Status sent = socket->SendAll(frame_bytes, deadline);
+      if (!sent.ok()) {
+        // A pooled connection can go stale (server dropped it between
+        // requests); retry ONCE on a fresh connection. Only the send — once
+        // bytes of a reply are in flight a retry could double-serve.
+        auto fresh = Socket::Connect(options.host, options.port, deadline);
+        if (!fresh.ok()) return fresh.status();
+        socket = std::move(fresh);
+        sent = socket->SendAll(frame_bytes, deadline);
+        if (!sent.ok()) return sent;
+      }
     }
-    auto reply = RecvFrame(*socket, deadline);
+    Result<Frame> reply(Status::Internal("unset"));
+    {
+      obs::TraceSpan recv_span("client.recv");
+      reply = RecvFrame(*socket, deadline);
+    }
     if (!reply.ok()) return reply.status();
     if (reply->request_id != request_id) {
       // Stream desync (a previous caller abandoned a reply?) — this
@@ -166,6 +175,7 @@ struct RemoteShardClient::Impl {
     RecordOutcome(transport_ok);
     if (!reply.ok()) return reply.status();
     if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+    obs::TraceSpan decode_span("client.decode");
     return DecodeLabelResponse(*reply);
   }
 };
@@ -218,6 +228,10 @@ Result<LabelResponse> RemoteShardClient::Label(
     std::string bytes;
   };
   auto payloads = std::make_shared<std::vector<AttemptPayload>>();
+  // Snapshot the caller's trace identity: the frame carries it in a TRAC
+  // section (server spans hang under it), and each detached attempt thread
+  // re-installs it so its send/recv/decode spans land in the same trace.
+  obs::TraceContext trace_ctx = obs::CurrentTraceContext();
   size_t num_attempts = impl.options.enable_hedging ? 2 : 1;
   for (size_t a = 0; a < num_attempts; ++a) {
     AttemptPayload payload;
@@ -225,11 +239,11 @@ Result<LabelResponse> RemoteShardClient::Label(
         impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
     payload.bytes = EncodeFrame(EncodeLabelRequest(
         payload.request_id, corpus, rows, include_votes, apply_class_balance,
-        RemainingMs(deadline)));
+        RemainingMs(deadline), trace_ctx));
     payloads->push_back(std::move(payload));
   }
 
-  auto launch = [this, pending, payloads, deadline](int attempt) {
+  auto launch = [this, pending, payloads, deadline, trace_ctx](int attempt) {
     // Each attempt holds the impl (keep-alive past the stub) and runs on
     // its own socket; first completion wins, the loser still finishes its
     // exchange so its connection pools cleanly.
@@ -238,11 +252,20 @@ Result<LabelResponse> RemoteShardClient::Label(
       std::lock_guard<std::mutex> lock(impl_keepalive->flight_mu);
       ++impl_keepalive->in_flight;
     }
-    std::thread([impl_keepalive, pending, payloads, deadline, attempt] {
+    std::thread([impl_keepalive, pending, payloads, deadline, attempt,
+                 trace_ctx] {
       const AttemptPayload& payload =
           (*payloads)[static_cast<size_t>(attempt)];
-      auto result = impl_keepalive->LabelAttempt(payload.bytes,
-                                                 payload.request_id, deadline);
+      Result<LabelResponse> result(Status::Internal("pending"));
+      {
+        obs::ScopedTraceContext trace_scope(trace_ctx);
+        result = impl_keepalive->LabelAttempt(payload.bytes,
+                                              payload.request_id, deadline);
+      }
+      // Attempt threads are detached: push their spans to the global ring
+      // NOW, before the winner signals — a drain right after the call
+      // returns must already see them.
+      obs::FlushThreadSpans();
       {
         std::lock_guard<std::mutex> lock(pending->mu);
         if (!pending->done) {
@@ -346,6 +369,38 @@ Result<WireServerStats> RemoteShardClient::GetStats(uint64_t deadline_ms) {
   if (!reply.ok()) return reply.status();
   if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
   return DecodeStatsResponse(*reply);
+}
+
+Result<std::string> RemoteShardClient::GetMetrics(uint64_t deadline_ms) {
+  Impl& impl = *impl_;
+  if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
+  SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
+  uint64_t request_id =
+      impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
+  bool transport_ok = false;
+  auto reply = impl.Exchange(EncodeFrame(EncodeMetricsRequest(request_id)),
+                             request_id, deadline, &transport_ok);
+  impl.RecordOutcome(transport_ok);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+  return DecodeMetricsResponse(*reply);
+}
+
+Result<obs::SpanBatch> RemoteShardClient::GetTraceSpans(
+    const WireTraceRequest& request, uint64_t deadline_ms) {
+  Impl& impl = *impl_;
+  if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
+  SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
+  uint64_t request_id =
+      impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
+  bool transport_ok = false;
+  auto reply =
+      impl.Exchange(EncodeFrame(EncodeTraceRequest(request_id, request)),
+                    request_id, deadline, &transport_ok);
+  impl.RecordOutcome(transport_ok);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+  return DecodeTraceResponse(*reply);
 }
 
 RemoteShardClient::Stats RemoteShardClient::stats() const {

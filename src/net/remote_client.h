@@ -118,6 +118,17 @@ class RemoteShardClient {
   Status ConfigureFaults(const WireFaultCommand& command,
                          uint64_t deadline_ms = 0);
 
+  /// Scrapes the server's MetricsRegistry as Prometheus text
+  /// (kMetricsRequest; tools/metrics_scrape). An old server answers
+  /// kError/kInvalidArgument — callers must tolerate that.
+  Result<std::string> GetMetrics(uint64_t deadline_ms = 0);
+
+  /// Drains (or, with request.drain = false, peeks at) the server's trace
+  /// span ring, optionally filtered to one trace id (kTraceRequest;
+  /// tools/trace_dump stitches the returned batches across processes).
+  Result<obs::SpanBatch> GetTraceSpans(const WireTraceRequest& request,
+                                       uint64_t deadline_ms = 0);
+
   Stats stats() const;
 
   const Options& options() const;

@@ -11,8 +11,11 @@
 #include "lf/applier.h"
 #include "net/placement.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/partitioner.h"
 #include "util/fault.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace snorkel {
@@ -71,11 +74,63 @@ struct RemoteShardRouter::Impl {
   std::atomic<uint64_t> failovers{0};
   std::atomic<uint64_t> breaker_open_rejections{0};
 
+  /// End-to-end Label() latency; lock-free Observe on the request path.
+  std::shared_ptr<obs::Histogram> latency_hist;
+  std::vector<uint64_t> metric_tokens;
+
   Impl(Options opts, size_t num_shards)
       : options(std::move(opts)),
         partitioner(num_shards),
         placement(num_shards, options.replication),
-        budget(options.retry_budget) {}
+        budget(options.retry_budget) {
+    obs::RegisterCommonProcessMetrics();
+    auto& registry = obs::MetricsRegistry::Default();
+    latency_hist = registry.CreateHistogram("snorkel_remote_router_latency_ms",
+                                            obs::LatencyBucketsMs());
+    // Counters that live under stats_mu export through callbacks; the
+    // registry runs them at Collect() time, where taking the mutex is fine.
+    auto locked_counter = [this](uint64_t Impl::*member) {
+      return [this, member]() {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        return static_cast<double>(this->*member);
+      };
+    };
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_remote_router_requests_total", obs::MetricType::kCounter,
+        locked_counter(&Impl::num_requests)));
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_remote_router_candidates_total", obs::MetricType::kCounter,
+        locked_counter(&Impl::num_candidates)));
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_remote_router_failed_requests_total",
+        obs::MetricType::kCounter, locked_counter(&Impl::failed_requests)));
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_remote_router_degraded_requests_total",
+        obs::MetricType::kCounter, locked_counter(&Impl::degraded_requests)));
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_remote_router_failovers_total", obs::MetricType::kCounter,
+        [this] {
+          return static_cast<double>(
+              failovers.load(std::memory_order_relaxed));
+        }));
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_remote_router_breaker_open_rejections_total",
+        obs::MetricType::kCounter, [this] {
+          return static_cast<double>(
+              breaker_open_rejections.load(std::memory_order_relaxed));
+        }));
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_remote_router_retry_budget_exhausted_total",
+        obs::MetricType::kCounter,
+        [this] { return static_cast<double>(budget.exhausted()); }));
+  }
+
+  ~Impl() {
+    // UnregisterCallback is a barrier: after it returns no callback can be
+    // mid-run, so the `this` they capture is safe to destroy.
+    auto& registry = obs::MetricsRegistry::Default();
+    for (uint64_t token : metric_tokens) registry.UnregisterCallback(token);
+  }
 };
 
 RemoteShardRouter::RemoteShardRouter(std::unique_ptr<Impl> impl)
@@ -120,6 +175,16 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
   }
   WallTimer timer;
 
+  // Mint this request's trace identity (tracing on only): the root span
+  // every downstream stage — placement, attempts, client I/O, and the
+  // server-side spans shipped back over TRAC — hangs under.
+  obs::TraceContext minted;
+  if (obs::TracingEnabled()) minted.trace_id = obs::MintId();
+  obs::ScopedTraceContext trace_scope(minted);
+  // unique_ptr, not a plain local: the slow-request log at the bottom needs
+  // the root CLOSED (recorded into the ring) before it collects the tree.
+  auto root_span = std::make_unique<obs::TraceSpan>("router.request");
+
   // Identical placement to the in-process tier: stable content hash, so a
   // mixed fleet of local routers and remote routers agrees on which shard
   // owns every candidate.
@@ -127,7 +192,12 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
   if (!by_refs) identity = MakeCandidateRefs(*request.candidates);
   const std::vector<CandidateRef>& base =
       by_refs ? *request.candidate_refs : identity;
-  ShardedRefBatch parts = impl.partitioner.PartitionRefs(base);
+  ShardedRefBatch parts;
+  {
+    obs::TraceSpan placement_span("router.placement");
+    parts = impl.partitioner.PartitionRefs(base);
+    placement_span.Annotate("rows=" + std::to_string(parts.total));
+  }
 
   // Budget refill: one deposit per router request, however many shards it
   // fans out to (amplification is bounded relative to offered load).
@@ -153,10 +223,14 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
     pending.push_back(std::move(p));
   }
   {
+    // Fan-out threads inherit the request's identity with the root span as
+    // parent, so each attempt chain nests under router.request.
+    const obs::TraceContext fan_ctx = obs::CurrentTraceContext();
     std::vector<std::thread> rpcs;
     rpcs.reserve(pending.size());
     for (Pending& p : pending) {
-      rpcs.emplace_back([&impl, &request, &parts, &p] {
+      rpcs.emplace_back([&impl, &request, &parts, &p, fan_ctx] {
+        obs::ScopedTraceContext rpc_scope(fan_ctx);
         const std::vector<uint32_t>& prefs =
             impl.placement.Preferences(p.shard);
         const SocketDeadline overall =
@@ -181,6 +255,9 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
             uint64_t left = RemainingMs(overall);
             if (overall != kNoDeadline) delay = std::min(delay, left);
             if (delay > 0) {
+              obs::TraceSpan backoff_span("router.backoff");
+              backoff_span.Annotate("shard=" + std::to_string(p.shard) +
+                                    " delay_ms=" + std::to_string(delay));
               std::this_thread::sleep_for(std::chrono::milliseconds(delay));
             }
           }
@@ -196,10 +273,20 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
           }
           const size_t endpoint = prefs[attempt];
           bool failed_fast = false;
-          p.result = impl.clients[endpoint].Label(
-              *request.corpus, parts.shard_rows[p.shard],
-              request.include_votes, request.apply_class_balance,
-              attempt_budget_ms, &failed_fast);
+          {
+            obs::TraceSpan attempt_span("router.attempt");
+            p.result = impl.clients[endpoint].Label(
+                *request.corpus, parts.shard_rows[p.shard],
+                request.include_votes, request.apply_class_balance,
+                attempt_budget_ms, &failed_fast);
+            attempt_span.Annotate(
+                "shard=" + std::to_string(p.shard) +
+                " endpoint=" + std::to_string(endpoint) + " status=" +
+                (p.result.ok()
+                     ? std::string("ok")
+                     : std::to_string(
+                           static_cast<int>(p.result.status().code()))));
+          }
           p.attempts.push_back(ShardAttempt{
               endpoint,
               p.result.ok() ? StatusCode::kOk : p.result.status().code(),
@@ -217,6 +304,7 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
           prev_dispatched = !failed_fast;
           if (!RetrySafe(p.result.status().code(), overall)) break;
         }
+        obs::FlushThreadSpans();
       });
     }
     for (std::thread& rpc : rpcs) rpc.join();
@@ -335,12 +423,30 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
               });
   }
   response.latency_ms = timer.ElapsedMillis();
+  impl.latency_hist->Observe(response.latency_ms);
 
   {
     std::lock_guard<std::mutex> lock(impl.stats_mu);
     if (degraded) ++impl.degraded_requests;
     ++impl.num_requests;
     impl.num_candidates += parts.total;
+  }
+
+  // Slow-request log: close the root first so the collected tree includes
+  // it, then copy (not drain — tools/trace_dump still gets the spans) this
+  // trace's spans out of the ring.
+  root_span->Annotate("rows=" + std::to_string(parts.total) +
+                      (degraded ? " degraded=1" : ""));
+  root_span.reset();
+  if (minted.valid() && impl.options.slow_request_log_ms > 0 &&
+      response.latency_ms >=
+          static_cast<double>(impl.options.slow_request_log_ms)) {
+    SNORKEL_LOG(Warning) << "slow request: " << response.latency_ms
+                         << " ms (threshold "
+                         << impl.options.slow_request_log_ms << " ms) trace="
+                         << minted.trace_id << "\n"
+                         << obs::FormatSpanTree(obs::CollectSpans(
+                                minted.trace_id, /*drain=*/false));
   }
   return response;
 }
@@ -360,6 +466,7 @@ RemoteRouterStats RemoteShardRouter::stats() const {
   out.breaker_open_rejections =
       impl.breaker_open_rejections.load(std::memory_order_relaxed);
   out.faults_injected = fault::InjectedCount();
+  out.latency = impl.latency_hist->Snapshot();
   for (const RemoteShardClient& client : impl.clients) {
     out.per_shard.push_back(client.stats());
   }

@@ -8,6 +8,7 @@
 
 #include "net/health.h"
 #include "net/remote_client.h"
+#include "obs/metrics.h"
 #include "serve/label_service.h"
 #include "util/status.h"
 
@@ -34,6 +35,9 @@ struct RemoteRouterStats {
   /// Faults + delays injected in THIS process (util/fault.h registry —
   /// client-side transport/admission sites).
   uint64_t faults_injected = 0;
+  /// End-to-end request latency (fan-out + failover + merge) as seen by
+  /// Label() callers, on the shared obs::LatencyBucketsMs bounds.
+  obs::HistogramSnapshot latency;
   /// Per-shard client stats (pool/hedge/health), indexed by shard.
   std::vector<RemoteShardClient::Stats> per_shard;
 };
@@ -90,6 +94,11 @@ class RemoteShardRouter {
     /// Backoff between attempts that dispatched work (seeded jitter; one
     /// stream per shard).
     BackoffOptions backoff;
+    /// Slow-request log threshold: a traced request whose end-to-end
+    /// latency is >= this many ms logs its span tree at Warning through
+    /// util/logging. 0 disables. Only fires when tracing is enabled (the
+    /// request must have a trace id to collect spans for).
+    uint64_t slow_request_log_ms = 0;
   };
 
   /// One stub per endpoint; primary placement = CandidateShardKey %

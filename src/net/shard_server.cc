@@ -14,6 +14,8 @@
 #include "net/snapshot_store.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/snapshot.h"
 #include "util/bounded_queue.h"
 #include "util/fault.h"
@@ -78,6 +80,10 @@ struct Job {
   /// Absolute deadline derived from the request's remaining budget at
   /// decode time; kNoDeadline when the request carried none.
   SocketDeadline deadline = kNoDeadline;
+  /// Trace identity from the request's TRAC section (zero when untraced)
+  /// and the admission timestamp the worker turns into a queue-wait span.
+  obs::TraceContext trace;
+  uint64_t admit_ns = 0;
   std::promise<Result<LabelResponse>> result;
 };
 
@@ -141,10 +147,48 @@ struct ShardServer::Impl {
   std::mutex corpus_mu;
   std::list<std::pair<uint64_t, CorpusEntry>> corpus_cache;
 
+  /// Registered callback metrics (unregistered in the destructor — the
+  /// registry runs callbacks under its lock, so unregistration is a
+  /// lifetime barrier for the `this` they capture).
+  std::vector<uint64_t> metric_tokens;
+
   explicit Impl(Options opts, LabelingFunctionSet lf_set)
       : options(opts),
         lfs(std::move(lf_set)),
-        queue(opts.queue_capacity == 0 ? 1 : opts.queue_capacity) {}
+        queue(opts.queue_capacity == 0 ? 1 : opts.queue_capacity) {
+    obs::RegisterCommonProcessMetrics();
+    auto& registry = obs::MetricsRegistry::Default();
+    auto atomic_counter = [this, &registry](const char* name,
+                                            std::atomic<uint64_t>* value) {
+      metric_tokens.push_back(
+          registry.RegisterCallback(name, obs::MetricType::kCounter, [value] {
+            return static_cast<double>(
+                value->load(std::memory_order_relaxed));
+          }));
+    };
+    atomic_counter("snorkel_server_requests_total", &requests_served);
+    atomic_counter("snorkel_server_candidates_total", &candidates_served);
+    atomic_counter("snorkel_server_queue_rejections_total",
+                   &queue_rejections);
+    atomic_counter("snorkel_server_deadline_rejections_total",
+                   &deadline_rejections);
+    atomic_counter("snorkel_server_snapshot_swaps_total", &snapshot_swaps);
+    atomic_counter("snorkel_server_rejected_swaps_total", &rejected_swaps);
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_server_snapshot_version", obs::MetricType::kGauge, [this] {
+          // `state` is installed after construction; a scrape racing
+          // startup reads 0 rather than dereferencing null.
+          auto generation = CurrentState();
+          return generation == nullptr
+                     ? 0.0
+                     : static_cast<double>(generation->version);
+        }));
+  }
+
+  ~Impl() {
+    auto& registry = obs::MetricsRegistry::Default();
+    for (uint64_t token : metric_tokens) registry.UnregisterCallback(token);
+  }
 
   std::shared_ptr<ServingState> CurrentState() const {
     std::lock_guard<std::mutex> lock(state_mu);
@@ -192,6 +236,12 @@ struct ShardServer::Impl {
             Status::Unavailable("injected fault at server.label"));
         continue;
       }
+      // Queue wait is only measurable AFTER the pop — emit it
+      // retroactively from the admission timestamp.
+      if (job->admit_ns != 0) {
+        obs::EmitSpan(job->trace, "server.queue_wait", job->admit_ns,
+                      obs::NowNanos());
+      }
       // Pin the current generation for the whole request: a concurrent
       // hot-swap retires the old state only after this shared_ptr drops.
       std::shared_ptr<ServingState> generation = CurrentState();
@@ -200,7 +250,15 @@ struct ShardServer::Impl {
       request.candidate_refs = &job->refs;
       request.include_votes = job->include_votes;
       request.apply_class_balance = job->apply_class_balance;
-      auto response = generation->service.Label(request);
+      Result<LabelResponse> response(Status::Internal("unset"));
+      {
+        // The request's identity rides onto this worker thread so the
+        // replica's own spans (LF apply, inference) nest under server.label.
+        obs::ScopedTraceContext trace_scope(job->trace);
+        obs::TraceSpan label_span("server.label");
+        label_span.Annotate("rows=" + std::to_string(job->refs.size()));
+        response = generation->service.Label(request);
+      }
       if (response.ok()) {
         requests_served.fetch_add(1, std::memory_order_relaxed);
         candidates_served.fetch_add(job->refs.size(),
@@ -222,6 +280,9 @@ struct ShardServer::Impl {
         candidates_served.load(std::memory_order_relaxed);
     stats.queue_rejections = queue_rejections.load(std::memory_order_relaxed);
     stats.snapshot_swaps = snapshot_swaps.load(std::memory_order_relaxed);
+    stats.deadline_rejections =
+        deadline_rejections.load(std::memory_order_relaxed);
+    stats.rejected_swaps = rejected_swaps.load(std::memory_order_relaxed);
     stats.cardinality = generation->service.cardinality();
     stats.faults_injected = fault::InjectedCount();
     return EncodeStatsResponse(request_id, stats);
@@ -241,6 +302,17 @@ struct ShardServer::Impl {
     return EncodeFaultResponse(frame.request_id);
   }
 
+  Frame HandleTraceRequest(const Frame& frame) {
+    auto request = DecodeTraceRequest(frame);
+    if (!request.ok()) {
+      return EncodeErrorFrame(frame.request_id, request.status());
+    }
+    obs::SpanBatch batch;
+    batch.process = obs::ProcessLabel();
+    batch.spans = obs::CollectSpans(request->trace_id, request->drain);
+    return EncodeTraceResponse(frame.request_id, batch);
+  }
+
   void RememberArmedSite(const std::string& site) {
     std::lock_guard<std::mutex> lock(fault_mu);
     for (const std::string& existing : armed_sites) {
@@ -250,24 +322,34 @@ struct ShardServer::Impl {
   }
 
   Frame HandleLabelRequest(const Frame& frame) {
+    // The trace id travels INSIDE the frame being decoded, so the decode
+    // span is recorded retroactively once the TRAC section is out.
+    const uint64_t decode_start_ns = obs::NowNanos();
     auto wire = DecodeLabelRequest(frame);
     if (!wire.ok()) return EncodeErrorFrame(frame.request_id, wire.status());
+    obs::EmitSpan(wire->trace, "server.decode", decode_start_ns,
+                  obs::NowNanos(),
+                  "rows=" + std::to_string(wire->candidates.size()));
 
     auto job = std::make_unique<Job>();
     job->request_id = frame.request_id;
     job->include_votes = wire->include_votes;
     job->apply_class_balance = wire->apply_class_balance;
+    job->trace = wire->trace;
     if (wire->deadline_ms > 0) {
       job->deadline = DeadlineAfterMs(wire->deadline_ms);
     }
 
     const FrameSection* corpus_section = frame.Find(kSectionCorpus);
     bool decoded_used = false;
+    const uint64_t intern_start_ns = obs::NowNanos();
     auto corpus = InternCorpus(corpus_section->payload,
                                std::move(wire->corpus), &decoded_used);
     if (!corpus.ok()) {
       return EncodeErrorFrame(frame.request_id, corpus.status());
     }
+    obs::EmitSpan(job->trace, "server.intern", intern_start_ns,
+                  obs::NowNanos(), decoded_used ? "cache=miss" : "cache=hit");
     job->corpus = *corpus;
     job->candidates = std::move(wire->candidates);
     job->refs.reserve(job->candidates.size());
@@ -277,6 +359,8 @@ struct ShardServer::Impl {
     }
 
     std::future<Result<LabelResponse>> result = job->result.get_future();
+    const obs::TraceContext trace = job->trace;
+    job->admit_ns = trace.valid() ? obs::NowNanos() : 0;
     switch (queue.TryPush(std::move(job))) {
       case BoundedQueue<std::unique_ptr<Job>>::PushResult::kOk:
         break;
@@ -294,7 +378,10 @@ struct ShardServer::Impl {
     if (!response.ok()) {
       return EncodeErrorFrame(frame.request_id, response.status());
     }
-    return EncodeLabelResponse(frame.request_id, *response);
+    const uint64_t encode_start_ns = obs::NowNanos();
+    Frame reply = EncodeLabelResponse(frame.request_id, *response);
+    obs::EmitSpan(trace, "server.encode", encode_start_ns, obs::NowNanos());
+    return reply;
   }
 
   void HandleConnection(Socket socket) {
@@ -328,6 +415,14 @@ struct ShardServer::Impl {
           break;
         case FrameType::kFaultRequest:
           reply = HandleFaultRequest(*frame);
+          break;
+        case FrameType::kMetricsRequest:
+          reply = EncodeMetricsResponse(
+              frame->request_id,
+              obs::MetricsRegistry::Default().PrometheusText());
+          break;
+        case FrameType::kTraceRequest:
+          reply = HandleTraceRequest(*frame);
           break;
         default:
           reply = EncodeErrorFrame(
@@ -410,6 +505,9 @@ struct ShardServer::Impl {
   }
 
   void Start() {
+    // Default process label for stitched traces; a CLI that hosts several
+    // servers (or wants its own name) calls SetProcessLabel itself after.
+    obs::SetProcessLabel("shard-" + std::to_string(listener.port()));
     if (options.inject_delay_every_n > 0) {
       fault::Schedule delay;
       delay.kind = fault::Schedule::Kind::kDelayNth;

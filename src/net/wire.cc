@@ -387,7 +387,8 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
 Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
                          const std::vector<CandidateRef>& rows,
                          bool include_votes, bool apply_class_balance,
-                         uint64_t deadline_ms) {
+                         uint64_t deadline_ms,
+                         const obs::TraceContext& trace) {
   Frame frame;
   frame.type = FrameType::kLabelRequest;
   frame.request_id = request_id;
@@ -401,6 +402,15 @@ Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
   options.WriteU64(deadline_ms);
   frame.sections.push_back(
       FrameSection{TagString(kSectionRequestOptions), options.TakeBuffer()});
+  if (trace.valid()) {
+    // Separate section rather than ROPT fields so an old server skips the
+    // whole tag (unknown-section rule) instead of choking on new options.
+    BinaryWriter writer;
+    writer.WriteU64(trace.trace_id);
+    writer.WriteU64(trace.parent_span);
+    frame.sections.push_back(
+        FrameSection{TagString(kSectionTrace), writer.TakeBuffer()});
+  }
   return frame;
 }
 
@@ -460,6 +470,14 @@ Result<WireLabelRequest> DecodeLabelRequest(const Frame& frame) {
       return Status::IOError("ROPT section: " + reader.status().message());
     }
     // Trailing bytes tolerated: a newer client may append option fields.
+  }
+  if (const FrameSection* trace = frame.Find(kSectionTrace)) {
+    BinaryReader reader(trace->payload);
+    request.trace.trace_id = reader.ReadU64();
+    request.trace.parent_span = reader.ReadU64();
+    if (!reader.ok()) {
+      return Status::IOError("TRAC section: " + reader.status().message());
+    }
   }
   return request;
 }
@@ -597,6 +615,8 @@ Frame EncodeStatsResponse(uint64_t request_id, const WireServerStats& stats) {
   writer.WriteU64(stats.snapshot_swaps);
   writer.WriteI32(stats.cardinality);
   writer.WriteU64(stats.faults_injected);
+  writer.WriteU64(stats.deadline_rejections);
+  writer.WriteU64(stats.rejected_swaps);
   frame.sections.push_back(
       FrameSection{TagString(kSectionServerStats), writer.TakeBuffer()});
   return frame;
@@ -616,9 +636,16 @@ Result<WireServerStats> DecodeStatsResponse(const Frame& frame) {
   stats.queue_rejections = reader.ReadU64();
   stats.snapshot_swaps = reader.ReadU64();
   stats.cardinality = reader.ReadI32();
-  // Appended field: an old peer's SVST section simply ends here.
+  // Appended fields: an old peer's SVST section simply ends early, and
+  // every field it did not write decodes as 0.
   if (reader.remaining() >= sizeof(uint64_t)) {
     stats.faults_injected = reader.ReadU64();
+  }
+  if (reader.remaining() >= sizeof(uint64_t)) {
+    stats.deadline_rejections = reader.ReadU64();
+  }
+  if (reader.remaining() >= sizeof(uint64_t)) {
+    stats.rejected_swaps = reader.ReadU64();
   }
   if (!reader.ok()) {
     return Status::IOError("SVST section: " + reader.status().message());
@@ -683,6 +710,86 @@ Frame EncodeFaultResponse(uint64_t request_id) {
   frame.type = FrameType::kFaultResponse;
   frame.request_id = request_id;
   return frame;
+}
+
+// ----------------------------------------------------- metrics + tracing --
+
+Frame EncodeMetricsRequest(uint64_t request_id) {
+  Frame frame;
+  frame.type = FrameType::kMetricsRequest;
+  frame.request_id = request_id;
+  return frame;
+}
+
+Frame EncodeMetricsResponse(uint64_t request_id,
+                            const std::string& prometheus_text) {
+  Frame frame;
+  frame.type = FrameType::kMetricsResponse;
+  frame.request_id = request_id;
+  BinaryWriter writer;
+  writer.WriteString(prometheus_text);
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionMetrics), writer.TakeBuffer()});
+  return frame;
+}
+
+Result<std::string> DecodeMetricsResponse(const Frame& frame) {
+  const FrameSection* section = frame.Find(kSectionMetrics);
+  if (frame.type != FrameType::kMetricsResponse || section == nullptr) {
+    return Status::IOError("frame is not a well-formed metrics response");
+  }
+  BinaryReader reader(section->payload);
+  std::string text = reader.ReadString();
+  if (!reader.ok()) {
+    return Status::IOError("MTRC section: " + reader.status().message());
+  }
+  // Trailing bytes tolerated: a newer server may append fields.
+  return text;
+}
+
+Frame EncodeTraceRequest(uint64_t request_id,
+                         const WireTraceRequest& request) {
+  Frame frame;
+  frame.type = FrameType::kTraceRequest;
+  frame.request_id = request_id;
+  BinaryWriter writer;
+  writer.WriteU64(request.trace_id);
+  writer.WriteU32(request.drain ? 1 : 0);
+  frame.sections.push_back(
+      FrameSection{TagString(kSectionTrace), writer.TakeBuffer()});
+  return frame;
+}
+
+Result<WireTraceRequest> DecodeTraceRequest(const Frame& frame) {
+  const FrameSection* section = frame.Find(kSectionTrace);
+  if (frame.type != FrameType::kTraceRequest || section == nullptr) {
+    return Status::IOError("frame is not a well-formed trace request");
+  }
+  BinaryReader reader(section->payload);
+  WireTraceRequest request;
+  request.trace_id = reader.ReadU64();
+  request.drain = reader.ReadU32() != 0;
+  if (!reader.ok()) {
+    return Status::IOError("TRAC section: " + reader.status().message());
+  }
+  return request;
+}
+
+Frame EncodeTraceResponse(uint64_t request_id, const obs::SpanBatch& batch) {
+  Frame frame;
+  frame.type = FrameType::kTraceResponse;
+  frame.request_id = request_id;
+  frame.sections.push_back(FrameSection{TagString(kSectionTraceSpans),
+                                        obs::EncodeSpansPayload(batch)});
+  return frame;
+}
+
+Result<obs::SpanBatch> DecodeTraceResponse(const Frame& frame) {
+  const FrameSection* section = frame.Find(kSectionTraceSpans);
+  if (frame.type != FrameType::kTraceResponse || section == nullptr) {
+    return Status::IOError("frame is not a well-formed trace response");
+  }
+  return obs::DecodeSpansPayload(section->payload);
 }
 
 }  // namespace snorkel

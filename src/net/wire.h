@@ -9,6 +9,8 @@
 #include "data/candidate.h"
 #include "data/context.h"
 #include "lf/applier.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serve/label_service.h"
 #include "util/fault.h"
 #include "util/status.h"
@@ -64,6 +66,16 @@ enum class FrameType : uint32_t {
   /// server answers kError/kInvalidArgument — harnesses must tolerate that.
   kFaultRequest = 8,
   kFaultResponse = 9,
+  /// Unified metrics export: the server answers with its MetricsRegistry
+  /// rendered as Prometheus text in an MTRC section (tools/metrics_scrape).
+  /// An old server answers kError — scrapers must tolerate that.
+  kMetricsRequest = 10,
+  kMetricsResponse = 11,
+  /// Trace-span drain: the server returns (and by default removes) the
+  /// spans in its bounded ring, optionally filtered to one trace id, as a
+  /// TSPN section (tools/trace_dump stitches batches across processes).
+  kTraceRequest = 12,
+  kTraceResponse = 13,
 };
 
 // Section tags.
@@ -78,6 +90,14 @@ inline constexpr char kSectionVotes[4] = {'V', 'O', 'T', 'E'};
 inline constexpr char kSectionError[4] = {'E', 'R', 'R', 'S'};
 inline constexpr char kSectionServerStats[4] = {'S', 'V', 'S', 'T'};
 inline constexpr char kSectionFaults[4] = {'F', 'L', 'T', 'I'};
+/// Trace context on label requests / drain filter on trace requests. Old
+/// peers skip it (unknown tag), so traced clients interoperate with
+/// untraced servers and vice versa.
+inline constexpr char kSectionTrace[4] = {'T', 'R', 'A', 'C'};
+/// Prometheus-text metrics payload (kMetricsResponse).
+inline constexpr char kSectionMetrics[4] = {'M', 'T', 'R', 'C'};
+/// Encoded span batch (kTraceResponse; obs::EncodeSpansPayload bytes).
+inline constexpr char kSectionTraceSpans[4] = {'T', 'S', 'P', 'N'};
 
 /// StatusCode <-> stable wire value. The enum's numeric values are NOT wire
 /// ABI (reordering the enum must not change what old peers decode), so the
@@ -149,15 +169,21 @@ struct WireLabelRequest {
   /// frame; 0 = no deadline. A server that dequeues the job after this
   /// budget fails it kDeadlineExceeded instead of doing dead work.
   uint64_t deadline_ms = 0;
+  /// Distributed-tracing identity from the request's TRAC section: the
+  /// router-minted trace id and the client-side span the server's spans
+  /// hang under. Zero (untraced) when the client is old or tracing is off.
+  obs::TraceContext trace;
 };
 
 /// Encodes a request over borrowed rows (the router's zero-copy fan-out
 /// form). Only documents referenced by `rows` are shipped; their indices are
-/// preserved via a sparse corpus reconstruction on the server.
+/// preserved via a sparse corpus reconstruction on the server. A valid
+/// `trace` context adds a TRAC section (old servers skip it unread).
 Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
                          const std::vector<CandidateRef>& rows,
                          bool include_votes, bool apply_class_balance,
-                         uint64_t deadline_ms);
+                         uint64_t deadline_ms,
+                         const obs::TraceContext& trace = {});
 
 Result<WireLabelRequest> DecodeLabelRequest(const Frame& frame);
 
@@ -187,6 +213,11 @@ struct WireServerStats {
   /// Faults/delays injected in the server process (util/fault.h registry).
   /// Appended field: absent on old peers' frames, decoded as 0.
   uint64_t faults_injected = 0;
+  /// Jobs failed kDeadlineExceeded at dequeue (budget already spent) and
+  /// snapshot swaps refused by the rollout gate. Appended fields (PR 8):
+  /// absent on old peers' frames, decoded as 0.
+  uint64_t deadline_rejections = 0;
+  uint64_t rejected_swaps = 0;
 };
 
 Frame EncodeStatsResponse(uint64_t request_id, const WireServerStats& stats);
@@ -212,6 +243,33 @@ Result<WireFaultCommand> DecodeFaultRequest(const Frame& frame);
 
 /// Acknowledgement (no payload beyond the echoed request id).
 Frame EncodeFaultResponse(uint64_t request_id);
+
+// ---------------------------------------------------------------------------
+// Metrics + trace-drain payloads (kMetricsRequest/.. kTraceResponse).
+// ---------------------------------------------------------------------------
+
+/// Metrics scrape: the request carries no payload; the response's MTRC
+/// section is the server's registry rendered as Prometheus text.
+Frame EncodeMetricsRequest(uint64_t request_id);
+Frame EncodeMetricsResponse(uint64_t request_id,
+                            const std::string& prometheus_text);
+Result<std::string> DecodeMetricsResponse(const Frame& frame);
+
+/// Trace drain parameters: which trace to return (0 = every span) and
+/// whether the server should remove returned spans from its ring (the
+/// default; a monitoring peek passes drain = false).
+struct WireTraceRequest {
+  uint64_t trace_id = 0;
+  bool drain = true;
+};
+
+Frame EncodeTraceRequest(uint64_t request_id, const WireTraceRequest& request);
+Result<WireTraceRequest> DecodeTraceRequest(const Frame& frame);
+
+/// The drained spans, tagged with the server's process label (TSPN
+/// section; obs::EncodeSpansPayload bytes).
+Frame EncodeTraceResponse(uint64_t request_id, const obs::SpanBatch& batch);
+Result<obs::SpanBatch> DecodeTraceResponse(const Frame& frame);
 
 }  // namespace snorkel
 

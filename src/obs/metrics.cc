@@ -1,0 +1,300 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/trace.h"
+#include "util/fault.h"
+
+namespace snorkel {
+namespace obs {
+
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// fetch_add for an atomic double stored as bits.
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  while (!bits->compare_exchange_weak(
+      old_bits, DoubleToBits(BitsToDouble(old_bits) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+// max-update for an atomic double stored as bits.
+void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  while (BitsToDouble(old_bits) < v &&
+         !bits->compare_exchange_weak(old_bits, DoubleToBits(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based; q=0 -> first, q=1 -> last.
+  const double rank = q * (static_cast<double>(count) - 1.0) + 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      // The overflow bucket has no upper edge; interpolate toward the
+      // observed max so the estimate stays finite and <= max.
+      const double upper =
+          i < bounds.size() ? bounds[i] : std::max(max, lower);
+      const double within =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return std::min(lower + (upper - lower) * within, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0 && other.counts.empty()) return;
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (bounds != other.bounds || counts.size() != other.counts.size()) return;
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, v);
+  AtomicMaxDouble(&max_bits_, v);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+  snap.max = BitsToDouble(max_bits_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double>* kBuckets = new std::vector<double>{
+      0.05, 0.1, 0.25, 0.5, 1,   2,    4,    8,    16,
+      32,   64,  128,  256, 512, 1024, 2048, 4096, 8192};
+  return *kBuckets;
+}
+
+// ----------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::CreateCounter(
+    const std::string& name) {
+  auto counter = std::make_shared<Counter>(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(counter);
+  return counter;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::CreateGauge(const std::string& name) {
+  auto gauge = std::make_shared<Gauge>(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.push_back(gauge);
+  return gauge;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::CreateHistogram(
+    const std::string& name, std::vector<double> bounds) {
+  auto histogram = std::make_shared<Histogram>(name, std::move(bounds));
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.push_back(histogram);
+  return histogram;
+}
+
+uint64_t MetricsRegistry::RegisterCallback(const std::string& name,
+                                           MetricType type,
+                                           std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  callbacks_.push_back(CallbackEntry{token, name, type, std::move(fn)});
+  return token;
+}
+
+void MetricsRegistry::UnregisterCallback(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(
+      std::remove_if(callbacks_.begin(), callbacks_.end(),
+                     [&](const CallbackEntry& e) { return e.token == token; }),
+      callbacks_.end());
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() {
+  // Everything — including callback invocation — runs under the registry
+  // lock. That makes UnregisterCallback a barrier: once it returns, the
+  // callback is guaranteed not running, so owners may free the state it
+  // reads. (The flip side: callbacks must never call into the registry.)
+  std::vector<std::shared_ptr<Counter>> counters;
+  std::vector<std::shared_ptr<Gauge>> gauges;
+  std::vector<std::shared_ptr<Histogram>> histograms;
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    auto prune = [](auto* vec, auto* out) {
+      for (auto it = vec->begin(); it != vec->end();) {
+        if (auto live = it->lock()) {
+          out->push_back(std::move(live));
+          ++it;
+        } else {
+          it = vec->erase(it);
+        }
+      }
+    };
+    prune(&counters_, &counters);
+    prune(&gauges_, &gauges);
+    prune(&histograms_, &histograms);
+  }
+
+  // keyed by (name, type) so a counter and a gauge sharing a name stay
+  // distinct samples rather than summing across types.
+  std::map<std::pair<std::string, int>, MetricSample> merged;
+  auto slot = [&merged](const std::string& name,
+                        MetricType type) -> MetricSample& {
+    auto key = std::make_pair(name, static_cast<int>(type));
+    auto [it, inserted] = merged.try_emplace(key);
+    if (inserted) {
+      it->second.name = name;
+      it->second.type = type;
+    }
+    return it->second;
+  };
+
+  for (const auto& c : counters) {
+    slot(c->name(), MetricType::kCounter).value +=
+        static_cast<double>(c->value());
+  }
+  for (const auto& g : gauges) {
+    slot(g->name(), MetricType::kGauge).value += g->value();
+  }
+  for (const auto& h : histograms) {
+    slot(h->name(), MetricType::kHistogram).histogram.Merge(h->Snapshot());
+  }
+  for (const auto& cb : callbacks_) {
+    slot(cb.name, cb.type).value += cb.fn();
+  }
+
+  std::vector<MetricSample> samples;
+  samples.reserve(merged.size());
+  for (auto& [key, sample] : merged) samples.push_back(std::move(sample));
+  return samples;
+}
+
+std::string RenderPrometheusText(const std::vector<MetricSample>& samples) {
+  std::string out;
+  char line[256];
+  auto append_value = [&out, &line](const std::string& name, double v) {
+    // Counters are integral in practice; print without a mantissa when so.
+    if (v == static_cast<double>(static_cast<int64_t>(v))) {
+      std::snprintf(line, sizeof(line), "%s %lld\n", name.c_str(),
+                    static_cast<long long>(v));
+    } else {
+      std::snprintf(line, sizeof(line), "%s %.6f\n", name.c_str(), v);
+    }
+    out += line;
+  };
+  for (const auto& s : samples) {
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += "# TYPE " + s.name + " counter\n";
+        append_value(s.name, s.value);
+        break;
+      case MetricType::kGauge:
+        out += "# TYPE " + s.name + " gauge\n";
+        append_value(s.name, s.value);
+        break;
+      case MetricType::kHistogram: {
+        out += "# TYPE " + s.name + " histogram\n";
+        const auto& h = s.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+          cumulative += h.counts[i];
+          if (i < h.bounds.size()) {
+            std::snprintf(line, sizeof(line), "%s_bucket{le=\"%g\"} %llu\n",
+                          s.name.c_str(), h.bounds[i],
+                          static_cast<unsigned long long>(cumulative));
+          } else {
+            std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                          s.name.c_str(),
+                          static_cast<unsigned long long>(cumulative));
+          }
+          out += line;
+        }
+        append_value(s.name + "_sum", h.sum);
+        append_value(s.name + "_count", static_cast<double>(h.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() {
+  return RenderPrometheusText(Collect());
+}
+
+void RegisterCommonProcessMetrics() {
+  static bool registered = []() {
+    auto& registry = MetricsRegistry::Default();
+    registry.RegisterCallback("snorkel_faults_injected_total",
+                              MetricType::kCounter, []() {
+                                return static_cast<double>(
+                                    fault::InjectedCount());
+                              });
+    registry.RegisterCallback("snorkel_trace_spans_dropped_total",
+                              MetricType::kCounter, []() {
+                                return static_cast<double>(DroppedSpans());
+                              });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace obs
+}  // namespace snorkel

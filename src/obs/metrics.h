@@ -1,0 +1,219 @@
+#ifndef SNORKEL_OBS_METRICS_H_
+#define SNORKEL_OBS_METRICS_H_
+
+// Unified metrics registry for the serving fabric.
+//
+// Components own their instruments (Counter / Gauge / Histogram) via
+// shared_ptr and register them with a MetricsRegistry, which holds only
+// weak_ptrs: when a component dies its instruments silently drop out of the
+// next Collect(). The hot path (Counter::Increment, Histogram::Observe) is
+// lock-free — plain atomic fetch_adds plus a CAS loop for the double-valued
+// sum/max — which is what lets LabelService retire its mutexed latency
+// window (PR 8) without giving up p50/p99/max.
+//
+// Several replicas of one component (e.g. R-way shard placement in one
+// process) may register instruments under the same name; Collect() sums
+// same-name samples of the same type, so exported totals are per-process
+// rollups. Callback metrics cover values that live in foreign structs
+// (router counters under their own mutex, fault-injection totals): the
+// callback runs at Collect() time and may take locks — only instrument
+// *updates* are required to be lock-free, not export.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace snorkel {
+namespace obs {
+
+// ------------------------------------------------------------------ Counter
+
+/// Monotonically increasing uint64 counter. Lock-free.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// -------------------------------------------------------------------- Gauge
+
+/// Last-written double value (set/add). Lock-free via bit-cast CAS.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) {
+    bits_.store(ToBits(v), std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    uint64_t old_bits = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(old_bits,
+                                        ToBits(FromBits(old_bits) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const {
+    return FromBits(bits_.load(std::memory_order_relaxed));
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  static uint64_t ToBits(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double FromBits(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string name_;
+  std::atomic<uint64_t> bits_{0};  // 0 bits == +0.0
+};
+
+// ---------------------------------------------------------------- Histogram
+
+/// Point-in-time copy of a histogram's state. `bounds[i]` is the inclusive
+/// upper edge of bucket i; `counts` has bounds.size() + 1 entries, the last
+/// being the overflow bucket (> bounds.back()).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket. Empty histogram -> 0. Samples landing in the
+  /// overflow bucket interpolate toward the observed max, so an
+  /// all-overflow histogram still reports a finite p99 <= max.
+  double Quantile(double q) const;
+
+  /// Mean of all observations (0 when empty).
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Adds `other`'s populations into this snapshot. The bucket bounds must
+  /// be identical (true for all fabric latency histograms, which share
+  /// kLatencyBucketsMs); mismatched bounds are ignored rather than merged
+  /// wrong. An empty `this` adopts `other`'s bounds.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-boundary histogram with atomic buckets. Observe() is lock-free:
+/// a binary search over immutable bounds, one fetch_add, and CAS loops for
+/// the double-valued sum and max.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void Observe(double v);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;                       // ascending upper edges
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> max_bits_{0};
+};
+
+/// Shared latency bucket edges (milliseconds) for every fabric latency
+/// histogram. Identical bounds everywhere is what makes cross-shard and
+/// cross-process HistogramSnapshot::Merge well defined.
+const std::vector<double>& LatencyBucketsMs();
+
+// ----------------------------------------------------------------- Registry
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One exported sample, after same-name summing.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;            // counter / gauge
+  HistogramSnapshot histogram;   // histograms only
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by the serving fabric.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Creates an instrument owned by the caller and registers a weak
+  /// reference. Multiple instruments may share a name; Collect() sums them.
+  std::shared_ptr<Counter> CreateCounter(const std::string& name);
+  std::shared_ptr<Gauge> CreateGauge(const std::string& name);
+  std::shared_ptr<Histogram> CreateHistogram(const std::string& name,
+                                             std::vector<double> bounds);
+
+  /// Registers a callback polled at Collect() time for a value that lives
+  /// elsewhere (a struct under someone else's mutex). Returns a token for
+  /// Unregister. Callbacks run under the registry lock, which makes
+  /// UnregisterCallback a barrier — once it returns, the callback cannot
+  /// be running, so its captured state may be freed. Callbacks may take
+  /// their own locks but must never call back into the registry.
+  uint64_t RegisterCallback(const std::string& name, MetricType type,
+                            std::function<double()> fn);
+  void UnregisterCallback(uint64_t token);
+
+  /// Snapshot of every live instrument and callback, same-name samples of
+  /// the same type summed, sorted by name. Expired weak_ptrs are pruned.
+  std::vector<MetricSample> Collect();
+
+  /// Prometheus text exposition (the `MTRC` wire payload and the
+  /// tools/metrics_scrape output format).
+  std::string PrometheusText();
+
+ private:
+  struct CallbackEntry {
+    uint64_t token;
+    std::string name;
+    MetricType type;
+    std::function<double()> fn;
+  };
+
+  std::mutex mu_;
+  std::vector<std::weak_ptr<Counter>> counters_;
+  std::vector<std::weak_ptr<Gauge>> gauges_;
+  std::vector<std::weak_ptr<Histogram>> histograms_;
+  std::vector<CallbackEntry> callbacks_;
+  uint64_t next_token_ = 1;
+};
+
+/// Renders samples as Prometheus-style text (used by PrometheusText() and
+/// by tools/metrics_scrape when re-rendering a decoded MTRC payload).
+std::string RenderPrometheusText(const std::vector<MetricSample>& samples);
+
+/// Registers process-wide callback metrics (fault-injection totals,
+/// dropped-span count) into Default(). Idempotent; called by the server
+/// and router constructors so every process exports them.
+void RegisterCommonProcessMetrics();
+
+}  // namespace obs
+}  // namespace snorkel
+
+#endif  // SNORKEL_OBS_METRICS_H_

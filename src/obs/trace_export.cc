@@ -1,0 +1,147 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/binary_io.h"
+
+namespace snorkel {
+namespace obs {
+
+namespace {
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string EncodeSpansPayload(const SpanBatch& batch) {
+  BinaryWriter writer;
+  writer.WriteString(batch.process);
+  writer.WriteU64(batch.spans.size());
+  for (const Span& span : batch.spans) {
+    writer.WriteU64(span.trace_id);
+    writer.WriteU64(span.span_id);
+    writer.WriteU64(span.parent_id);
+    writer.WriteString(span.name);
+    writer.WriteU64(span.start_ns);
+    writer.WriteU64(span.end_ns);
+    writer.WriteString(span.annotation);
+  }
+  return writer.TakeBuffer();
+}
+
+Result<SpanBatch> DecodeSpansPayload(std::string_view payload) {
+  BinaryReader reader(payload);
+  SpanBatch batch;
+  batch.process = reader.ReadString();
+  const uint64_t count = reader.ReadU64();
+  // Each span is at least 5 u64s + 2 string length prefixes.
+  if (count > payload.size() / (5 * sizeof(uint64_t))) {
+    return Status::IOError("trace payload: implausible span count");
+  }
+  batch.spans.reserve(count);
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    Span span;
+    span.trace_id = reader.ReadU64();
+    span.span_id = reader.ReadU64();
+    span.parent_id = reader.ReadU64();
+    span.name = reader.ReadString();
+    span.start_ns = reader.ReadU64();
+    span.end_ns = reader.ReadU64();
+    span.annotation = reader.ReadString();
+    batch.spans.push_back(std::move(span));
+  }
+  if (!reader.ok()) {
+    return Status::IOError("trace payload: truncated span batch");
+  }
+  return batch;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanBatch>& batches,
+                            uint64_t trace_id) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[192];
+  for (size_t pid = 0; pid < batches.size(); ++pid) {
+    const SpanBatch& batch = batches[pid];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    std::snprintf(buf, sizeof(buf), "%zu", pid);
+    out += buf;
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    AppendJsonEscaped(batch.process, &out);
+    out += "\"}}";
+
+    // Give each request its own row: lane = root ancestor of the span
+    // (spans whose parent lives in another process fall back to their own
+    // id, which still groups a server-side subtree together).
+    std::unordered_map<uint64_t, const Span*> by_id;
+    for (const Span& span : batch.spans) by_id.emplace(span.span_id, &span);
+    std::unordered_map<uint64_t, int> lanes;
+    auto lane_for = [&](const Span& span) {
+      uint64_t root = span.span_id;
+      uint64_t parent = span.parent_id;
+      for (int hops = 0; parent != 0 && hops < 16; ++hops) {
+        auto it = by_id.find(parent);
+        if (it == by_id.end()) break;
+        root = it->second->span_id;
+        parent = it->second->parent_id;
+      }
+      auto [it, inserted] = lanes.emplace(root, lanes.size() + 1);
+      return it->second;
+    };
+
+    for (const Span& span : batch.spans) {
+      if (trace_id != 0 && span.trace_id != trace_id) continue;
+      out += ',';
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%zu,\"tid\":%d,"
+                    "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":"
+                    "\"%016" PRIx64 "\",\"span_id\":\"%016" PRIx64
+                    "\",\"parent_id\":\"%016" PRIx64 "\"",
+                    span.name.c_str(), pid, lane_for(span),
+                    static_cast<double>(span.start_ns) / 1e3,
+                    static_cast<double>(span.end_ns - span.start_ns) / 1e3,
+                    span.trace_id, span.span_id, span.parent_id);
+      out += buf;
+      if (!span.annotation.empty()) {
+        out += ",\"annotation\":\"";
+        AppendJsonEscaped(span.annotation, &out);
+        out += '"';
+      }
+      out += "}}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace snorkel

@@ -1,0 +1,42 @@
+#ifndef SNORKEL_OBS_TRACE_EXPORT_H_
+#define SNORKEL_OBS_TRACE_EXPORT_H_
+
+// Wire codec for span batches (the TSPN payload of kTraceResponse frames)
+// and the Chrome trace-event JSON renderer used by tools/trace_dump.
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace snorkel {
+namespace obs {
+
+/// Spans exported by one process, tagged with its label so a stitched
+/// trace can attribute each span to the client or a specific shard server.
+struct SpanBatch {
+  std::string process;
+  std::vector<Span> spans;
+};
+
+/// Encodes a batch for the wire. Layout: process label, span count, then
+/// per span: trace_id, span_id, parent_id, name, start_ns, end_ns,
+/// annotation. Future fields append at the end (decoders tolerate trailing
+/// bytes, the same evolution rule as every other section payload).
+std::string EncodeSpansPayload(const SpanBatch& batch);
+Result<SpanBatch> DecodeSpansPayload(std::string_view payload);
+
+/// Renders batches as Chrome trace-event JSON (chrome://tracing and
+/// Perfetto both load it): one "X" complete event per span with
+/// microsecond timestamps, one process per batch (pid = batch index,
+/// named by a process_name metadata event), keyed across processes by the
+/// shared trace id. When `trace_id` is non-zero only that trace's spans
+/// are emitted.
+std::string ChromeTraceJson(const std::vector<SpanBatch>& batches,
+                            uint64_t trace_id = 0);
+
+}  // namespace obs
+}  // namespace snorkel
+
+#endif  // SNORKEL_OBS_TRACE_EXPORT_H_

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -135,8 +136,43 @@ struct IncrementalApplier::State {
   /// (util/thread_pool.h): null unless num_threads > 1.
   std::unique_ptr<ThreadPool> pool;
 
+  /// Registry callback tokens for the cache counters. The callbacks
+  /// capture `this`; UnregisterCallback in ~State is the lifetime barrier
+  /// (callbacks run under the registry lock). State sits behind a
+  /// unique_ptr, so its address is stable across applier moves.
+  std::vector<uint64_t> metric_tokens;
+
   explicit State(Options opts)
-      : options(opts), pool(MakeDedicatedPool(opts.num_threads)) {}
+      : options(opts), pool(MakeDedicatedPool(opts.num_threads)) {
+    auto& registry = obs::MetricsRegistry::Default();
+    auto expose = [&](const char* name, std::atomic<uint64_t>* counter) {
+      metric_tokens.push_back(registry.RegisterCallback(
+          name, obs::MetricType::kCounter, [counter]() {
+            return static_cast<double>(
+                counter->load(std::memory_order_relaxed));
+          }));
+    };
+    expose("snorkel_cache_columns_reused_total", &columns_reused);
+    expose("snorkel_cache_columns_computed_total", &columns_computed);
+    expose("snorkel_cache_set_hits_total", &set_hits);
+    expose("snorkel_cache_set_misses_total", &set_misses);
+    expose("snorkel_cache_appended_rows_total", &appended_rows);
+    expose("snorkel_cache_evicted_sets_total", &evicted_sets);
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_cache_bytes", obs::MetricType::kGauge, [this]() {
+          std::shared_lock<std::shared_mutex> lock(sets_mu);
+          uint64_t total = 0;
+          for (const auto& [digest, entry] : sets) {
+            total += entry->bytes.load(std::memory_order_relaxed);
+          }
+          return static_cast<double>(total);
+        }));
+  }
+
+  ~State() {
+    auto& registry = obs::MetricsRegistry::Default();
+    for (uint64_t token : metric_tokens) registry.UnregisterCallback(token);
+  }
 
   void ParallelRows(size_t begin, size_t end,
                     const std::function<void(size_t)>& fn) {

@@ -4,19 +4,26 @@
 #include <cmath>
 
 #include "lf/applier.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace snorkel {
 
 namespace {
 
-double Quantile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  double rank = q * static_cast<double>(sorted.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+// CAS-min / CAS-max for the monotonic throughput anchors.
+void AtomicMinU64(std::atomic<uint64_t>* target, uint64_t v) {
+  uint64_t old = target->load(std::memory_order_relaxed);
+  while (v < old && !target->compare_exchange_weak(
+                        old, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxU64(std::atomic<uint64_t>* target, uint64_t v) {
+  uint64_t old = target->load(std::memory_order_relaxed);
+  while (v > old && !target->compare_exchange_weak(
+                        old, v, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
@@ -40,7 +47,14 @@ LabelService::LabelService(GenerativeModel model, DawidSkeneModel ds_model,
           .num_threads =
               options.use_incremental_cache ? 1 : options.num_threads,
           .cardinality = cardinality}),
-      stats_mu_(std::make_unique<std::mutex>()) {}
+      anchors_(std::make_shared<TimeAnchors>()) {
+  auto& registry = obs::MetricsRegistry::Default();
+  requests_total_ = registry.CreateCounter("snorkel_serve_requests_total");
+  candidates_total_ =
+      registry.CreateCounter("snorkel_serve_candidates_total");
+  latency_hist_ = registry.CreateHistogram("snorkel_serve_latency_ms",
+                                           obs::LatencyBucketsMs());
+}
 
 Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
                                           LabelingFunctionSet lfs,
@@ -124,7 +138,7 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   }
   const size_t num_candidates =
       by_refs ? request.candidate_refs->size() : request.candidates->size();
-  const auto request_start = std::chrono::steady_clock::now();
+  const uint64_t request_start_ns = obs::NowNanos();
   WallTimer timer;
 
   // LF application: both the cached and the stateless path run without any
@@ -134,22 +148,50 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   // requests (the sharded tier's zero-copy fan-out) cache by content +
   // reported index, so repeat sub-batches hit like owned batches do.
   Result<LabelMatrix> matrix(Status::Internal("unset"));
-  if (options_.use_incremental_cache) {
-    matrix = by_refs ? applier_.ApplyRefs(lfs_, *request.corpus,
-                                          *request.candidate_refs)
-                     : applier_.Apply(lfs_, *request.corpus,
-                                      *request.candidates);
-  } else {
-    matrix = by_refs ? stateless_applier_.ApplyRefs(lfs_, *request.corpus,
-                                                    *request.candidate_refs)
-                     : stateless_applier_.Apply(lfs_, *request.corpus,
-                                                *request.candidates);
+  {
+    obs::TraceSpan span("service.lf_apply");
+    // Cache-delta annotation only when traced: the applier counters are
+    // relaxed atomics, so under concurrent callers the delta attributes
+    // overlapping work approximately, which is fine for a trace.
+    IncrementalApplier::Stats before;
+    if (span.active() && options_.use_incremental_cache) {
+      before = applier_.stats();
+    }
+    if (options_.use_incremental_cache) {
+      matrix = by_refs ? applier_.ApplyRefs(lfs_, *request.corpus,
+                                            *request.candidate_refs)
+                       : applier_.Apply(lfs_, *request.corpus,
+                                        *request.candidates);
+    } else {
+      matrix = by_refs ? stateless_applier_.ApplyRefs(lfs_, *request.corpus,
+                                                      *request.candidate_refs)
+                       : stateless_applier_.Apply(lfs_, *request.corpus,
+                                                  *request.candidates);
+    }
+    if (span.active()) {
+      span.Annotate("rows=" + std::to_string(num_candidates));
+      if (options_.use_incremental_cache) {
+        IncrementalApplier::Stats after = applier_.stats();
+        span.Annotate(
+            "cols_reused=" +
+            std::to_string(after.columns_reused - before.columns_reused) +
+            " cols_computed=" +
+            std::to_string(after.columns_computed - before.columns_computed));
+      } else {
+        span.Annotate("cache=off");
+      }
+    }
   }
   if (!matrix.ok()) return matrix.status();
 
   // Posterior computation reads the immutable restored model: lock-free.
   LabelResponse response;
   response.cardinality = cardinality_;
+  {
+  obs::TraceSpan inference_span("service.inference");
+  if (inference_span.active()) {
+    inference_span.Annotate("cardinality=" + std::to_string(cardinality_));
+  }
   if (cardinality_ == 2) {
     if (ds_model_.is_fit()) {
       // Binary Dawid-Skene snapshot: the scalar posterior is P(class 0),
@@ -191,31 +233,19 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
       response.hard_labels[i] = ds_model_.ClassToLabel(best);
     }
   }
+  }  // inference span
   if (request.include_votes) response.votes = std::move(*matrix);
   response.latency_ms = timer.ElapsedMillis();
 
-  {
-    std::lock_guard<std::mutex> lock(*stats_mu_);
-    if (latency_window_.size() < kLatencyWindow) {
-      latency_window_.push_back(response.latency_ms);
-    } else {
-      latency_window_[latency_next_] = response.latency_ms;
-      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-    }
-    ++num_requests_;
-    num_candidates_ += num_candidates;
-    max_latency_ms_ = std::max(max_latency_ms_, response.latency_ms);
-    if (!has_served_) {
-      first_request_start_ = request_start;
-      has_served_ = true;
-    } else if (request_start < first_request_start_) {
-      // Concurrent callers can retire out of order; anchor on the earliest
-      // request START so the span covers all overlapping work exactly once.
-      first_request_start_ = request_start;
-    }
-    const auto done = std::chrono::steady_clock::now();
-    if (done > last_request_done_) last_request_done_ = done;
-  }
+  // Lock-free stats: two counter bumps, one histogram Observe, and two CAS
+  // anchor updates. Anchoring on the earliest request START keeps the
+  // throughput span covering all overlapping concurrent work exactly once
+  // even when requests retire out of order.
+  requests_total_->Increment();
+  candidates_total_->Increment(num_candidates);
+  latency_hist_->Observe(response.latency_ms);
+  AtomicMinU64(&anchors_->first_start_ns, request_start_ns);
+  AtomicMaxU64(&anchors_->last_done_ns, obs::NowNanos());
   return response;
 }
 
@@ -223,27 +253,21 @@ void LabelService::InvalidateCache() { applier_.InvalidateAll(); }
 
 ServiceStats LabelService::stats() const {
   ServiceStats stats;
-  {
-    std::lock_guard<std::mutex> lock(*stats_mu_);
-    stats.num_requests = num_requests_;
-    stats.num_candidates = num_candidates_;
-    std::vector<double> sorted = latency_window_;
-    std::sort(sorted.begin(), sorted.end());
-    stats.p50_latency_ms = Quantile(sorted, 0.5);
-    stats.p99_latency_ms = Quantile(sorted, 0.99);
-    stats.max_latency_ms = max_latency_ms_;
-    // Wall-clock throughput: earliest request start to latest completion.
-    // Summing per-request latencies here would count every overlapping
-    // concurrent request's time separately and understate throughput.
-    if (has_served_) {
-      stats.busy_span_s = std::chrono::duration<double>(last_request_done_ -
-                                                        first_request_start_)
-                              .count();
-      stats.throughput_cps =
-          stats.busy_span_s > 0.0
-              ? static_cast<double>(num_candidates_) / stats.busy_span_s
-              : 0.0;
-    }
+  stats.num_requests = requests_total_->value();
+  stats.num_candidates = candidates_total_->value();
+  stats.latency = latency_hist_->Snapshot();
+  stats.p50_latency_ms = stats.latency.Quantile(0.5);
+  stats.p99_latency_ms = stats.latency.Quantile(0.99);
+  stats.max_latency_ms = stats.latency.max;
+  // Wall-clock throughput: earliest request start to latest completion.
+  // Summing per-request latencies here would count every overlapping
+  // concurrent request's time separately and understate throughput.
+  const uint64_t first_ns = anchors_->first_start_ns.load();
+  const uint64_t last_ns = anchors_->last_done_ns.load();
+  if (first_ns != ~0ull && last_ns > first_ns) {
+    stats.busy_span_s = static_cast<double>(last_ns - first_ns) / 1e9;
+    stats.throughput_cps =
+        static_cast<double>(stats.num_candidates) / stats.busy_span_s;
   }
   // The applier's counters are atomics: no lock, and never blocked behind
   // an in-flight miss computation.

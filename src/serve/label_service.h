@@ -1,14 +1,14 @@
 #ifndef SNORKEL_SERVE_LABEL_SERVICE_H_
 #define SNORKEL_SERVE_LABEL_SERVICE_H_
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/generative_model.h"
+#include "obs/metrics.h"
 #include "core/label_matrix.h"
 #include "data/candidate.h"
 #include "lf/applier.h"
@@ -116,15 +116,21 @@ struct LabelResponse {
   }
 };
 
-/// Cumulative serving counters. Latency quantiles are exact over a sliding
-/// window of the most recent requests (bounded memory for long-lived
-/// serving processes); counts and throughput are all-time.
+/// Cumulative serving counters. Latency quantiles come from a fixed-bucket
+/// all-time histogram (obs::LatencyBucketsMs edges): bounded memory for
+/// long-lived serving processes, lock-free on the request hot path, and
+/// mergeable across shards and processes. p50/p99 are bucket-interpolated
+/// estimates; max is exact.
 struct ServiceStats {
   uint64_t num_requests = 0;
   uint64_t num_candidates = 0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  /// The full latency histogram the quantiles above are derived from.
+  /// Shards share bucket bounds, so RouterStats can sum these across the
+  /// fleet and re-derive fleet-level quantiles.
+  obs::HistogramSnapshot latency;
   /// Candidates per second over WALL CLOCK: all-time candidates divided by
   /// the span from the first request's start to the latest request's
   /// completion. (Dividing by *summed* request latencies would double-count
@@ -170,8 +176,9 @@ struct ServiceStats {
 /// read-only on the restored model and runs lock-free, and the incremental
 /// applier's column cache is itself concurrent (shared-lock hits, per-column
 /// miss collapse) — so concurrent Label() callers overlap their compute on
-/// BOTH the cached and the stateless path. Only the latency/throughput
-/// counters take a (tiny) exclusive lock.
+/// BOTH the cached and the stateless path. The serving counters are
+/// lock-free too (atomic counters + an atomic-bucket latency histogram),
+/// so no request ever serializes on stats.
 class LabelService {
  public:
   struct Options {
@@ -255,24 +262,25 @@ class LabelService {
   /// num_threads pool is created once, not per request.
   LFApplier stateless_applier_;
 
-  /// Latency-window capacity for the stats() quantiles.
-  static constexpr size_t kLatencyWindow = 4096;
+  /// Monotonic anchors for wall-clock throughput: start of the first
+  /// request ever (CAS-min; ~0 = never served) and completion of the most
+  /// recent one (CAS-max). Heap-held atomics so the service stays movable
+  /// (Result<LabelService> needs it) while concurrent Label() callers
+  /// update them lock-free.
+  struct TimeAnchors {
+    std::atomic<uint64_t> first_start_ns{~0ull};
+    std::atomic<uint64_t> last_done_ns{0};
+  };
+  std::shared_ptr<TimeAnchors> anchors_;
 
-  /// Guards the serving counters below; never held across LF application or
-  /// posterior computation. Heap-held so the service stays movable
-  /// (Result<LabelService> needs it).
-  mutable std::unique_ptr<std::mutex> stats_mu_;
-  /// Ring buffer of the most recent request latencies.
-  std::vector<double> latency_window_;
-  size_t latency_next_ = 0;
-  uint64_t num_requests_ = 0;
-  uint64_t num_candidates_ = 0;
-  double max_latency_ms_ = 0.0;
-  /// Wall-clock anchors for throughput: start of the first request ever and
-  /// completion of the most recent one (guarded by stats_mu_).
-  std::chrono::steady_clock::time_point first_request_start_{};
-  std::chrono::steady_clock::time_point last_request_done_{};
-  bool has_served_ = false;
+  /// Lock-free serving instruments, registered into the process metrics
+  /// registry (PR 8: replaces the mutexed latency window — the whole
+  /// request hot path is now atomic increments + one histogram Observe).
+  /// shared_ptr-owned: the registry holds weak refs, so a destroyed
+  /// service's instruments drop out of the next export.
+  std::shared_ptr<obs::Counter> requests_total_;
+  std::shared_ptr<obs::Counter> candidates_total_;
+  std::shared_ptr<obs::Histogram> latency_hist_;
 };
 
 }  // namespace snorkel

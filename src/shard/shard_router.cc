@@ -11,6 +11,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bounded_queue.h"
 #include "util/timer.h"
 
@@ -67,6 +69,10 @@ struct ShardJob {
   /// Where the worker writes this job's result (caller-owned, stable).
   std::optional<Result<LabelResponse>>* slot = nullptr;
   RequestLatch* latch = nullptr;
+  /// Trace identity carried across the queue hop (zero when untraced) and
+  /// the admission timestamp the worker turns into a queue-wait span.
+  obs::TraceContext trace_ctx;
+  uint64_t admit_ns = 0;
 
   void Finish(Result<LabelResponse> result) {
     slot->emplace(std::move(result));
@@ -119,16 +125,57 @@ struct ShardRouter::Impl {
   std::chrono::steady_clock::time_point first_request_start{};
   std::chrono::steady_clock::time_point last_request_done{};
 
+  /// Registry callback tokens for the router counters (callbacks lock
+  /// stats_mu; unregistered in ~Impl, which bars further invocation).
+  std::vector<uint64_t> metric_tokens;
+
   explicit Impl(Options opts)
-      : options(opts), partitioner(opts.num_shards) {}
+      : options(opts), partitioner(opts.num_shards) {
+    auto& registry = obs::MetricsRegistry::Default();
+    auto expose = [&](const char* name, uint64_t Impl::* member) {
+      metric_tokens.push_back(registry.RegisterCallback(
+          name, obs::MetricType::kCounter, [this, member]() {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            return static_cast<double>(this->*member);
+          }));
+    };
+    expose("snorkel_router_requests_total", &Impl::num_requests);
+    expose("snorkel_router_candidates_total", &Impl::num_candidates);
+    expose("snorkel_router_rejected_total", &Impl::rejected_requests);
+    expose("snorkel_router_failed_total", &Impl::failed_requests);
+    expose("snorkel_router_degraded_total", &Impl::degraded_requests);
+    expose("snorkel_router_fused_jobs_total", &Impl::fused_jobs);
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_router_max_queue_depth", obs::MetricType::kGauge, [this]() {
+          return static_cast<double>(
+              max_queue_depth.load(std::memory_order_relaxed));
+        }));
+  }
+
+  ~Impl() {
+    auto& registry = obs::MetricsRegistry::Default();
+    for (uint64_t token : metric_tokens) registry.UnregisterCallback(token);
+  }
+
+  /// Turns a job's admission timestamp into a queue-wait span and installs
+  /// its trace identity on the worker thread for the replica call.
+  static void EmitQueueWait(const ShardJob& job) {
+    if (!job.trace_ctx.valid()) return;
+    obs::EmitSpan(job.trace_ctx, "shard.queue_wait", job.admit_ns,
+                  obs::NowNanos());
+  }
 
   void ServeOne(Shard& shard, ShardJob& job) {
+    EmitQueueWait(job);
+    obs::ScopedTraceContext ctx(job.trace_ctx);
+    obs::TraceSpan span("shard.serve");
     LabelRequest request;
     request.corpus = job.corpus;
     request.candidate_refs = job.rows;
     request.include_votes = job.include_votes;
     request.apply_class_balance = job.apply_class_balance;
     job.Finish(shard.replica->Label(request));
+    obs::FlushThreadSpans();
   }
 
   /// Serves a run of queued jobs, fusing consecutive compatible sub-batches
@@ -170,7 +217,20 @@ struct ShardRouter::Impl {
     request.candidate_refs = &fused;
     request.include_votes = any_votes;
     request.apply_class_balance = run[begin].apply_class_balance;
-    auto response = shard.replica->Label(request);
+    // Each fused job gets its own queue-wait span; the single model pass
+    // is attributed to the first job's trace (annotated with the fuse
+    // width so the others' traces aren't silently missing time).
+    for (size_t g = begin; g < end; ++g) EmitQueueWait(run[g]);
+    Result<LabelResponse> response(Status::Internal("unset"));
+    {
+      obs::ScopedTraceContext ctx(run[begin].trace_ctx);
+      obs::TraceSpan span("shard.serve");
+      if (span.active()) {
+        span.Annotate("fused=" + std::to_string(end - begin));
+      }
+      response = shard.replica->Label(request);
+      obs::FlushThreadSpans();
+    }
     if (!response.ok()) {
       // Isolate the failure: one poisoned sub-batch must not fail the
       // unrelated requests that happened to be fused with it.
@@ -370,6 +430,8 @@ Result<LabelResponse> ShardRouter::Label(const LabelRequest& request) {
     job.apply_class_balance = request.apply_class_balance;
     job.slot = &slots[s];
     job.latch = &latch;
+    job.trace_ctx = obs::CurrentTraceContext();
+    job.admit_ns = job.trace_ctx.valid() ? obs::NowNanos() : 0;
     latch.Arm();  // A worker may Complete() before the push even returns.
     auto& queue = *impl.shards[s].queue;
     using PushResult = BoundedQueue<ShardJob>::PushResult;
@@ -586,6 +648,11 @@ RouterStats ShardRouter::stats() const {
     out.cache_set_misses += replica.cache_set_misses;
     out.cache_bytes += replica.cache_bytes;
     out.cache_appended_rows += replica.cache_appended_rows;
+    // Shards share bucket bounds (obs::LatencyBucketsMs), so summing the
+    // per-replica histograms gives an exact fleet-level bucket population —
+    // the tier's quantiles come from the merged snapshot, not from
+    // averaging per-shard quantiles (which would be meaningless).
+    out.latency.Merge(replica.latency);
   }
   return out;
 }

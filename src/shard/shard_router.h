@@ -41,6 +41,10 @@ struct RouterStats {
   /// ServiceStats::throughput_cps).
   double throughput_cps = 0.0;
   double busy_span_s = 0.0;
+  /// Fleet-level model-pass latency: the per-replica histograms summed
+  /// bucket-by-bucket (all replicas share obs::LatencyBucketsMs bounds).
+  /// Quantiles over this merged snapshot are the tier's true quantiles.
+  obs::HistogramSnapshot latency;
   /// Column-cache effectiveness summed over every replica (each replica's
   /// ServiceStats cache fields; see IncrementalApplier::Stats).
   uint64_t lf_columns_reused = 0;

@@ -1,5 +1,9 @@
 #include "util/logging.h"
 
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 
@@ -21,6 +25,13 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// Kernel thread id, cached per thread (gettid() needs glibc >= 2.30, the
+// raw syscall works everywhere).
+long CurrentTid() {
+  static thread_local long tid = syscall(SYS_gettid);
+  return tid;
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -41,7 +52,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    timespec ts;
+    clock_gettime(CLOCK_REALTIME, &ts);
+    struct tm tm_utc;
+    gmtime_r(&ts.tv_sec, &tm_utc);
+    char stamp[48];
+    // [2026-08-08 12:34:56.789 INFO <tid> file.cc:42] msg
+    std::snprintf(stamp, sizeof(stamp),
+                  "%04d-%02d-%02d %02d:%02d:%02d.%03ld",
+                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                  tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                  ts.tv_nsec / 1000000);
+    stream_ << "[" << stamp << " " << LevelName(level_) << " <"
+            << CurrentTid() << "> " << base << ":" << line << "] ";
   }
 }
 

@@ -33,6 +33,8 @@
 #include "net/remote_client.h"
 #include "net/remote_router.h"
 #include "net/snapshot_store.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serve/snapshot.h"
 #include "shard/partitioner.h"
 #include "util/binary_io.h"
@@ -431,6 +433,153 @@ TEST(NetIntegrationTest, PromoteGateRollsOutHotSwapWithZeroFailedRequests) {
 
   server.Kill(SIGTERM);
   std::remove(candidate.c_str());
+}
+
+/// Enables tracing for one test and restores the previous state (other
+/// tests in this binary must not inherit a stray enable).
+struct TracingGuard {
+  bool was_enabled = obs::TracingEnabled();
+  TracingGuard() { obs::SetTracingEnabled(true); }
+  ~TracingGuard() { obs::SetTracingEnabled(false); }
+};
+
+TEST(NetIntegrationTest, TracedRequestStitchesAcrossProcesses) {
+  ASSERT_NE(std::string(SNORKEL_SHARD_SERVER_BIN), "");
+  ProcessFixture fx;
+  ModelSnapshot snapshot = fx.MakeSnapshot();
+  std::string path = TempPath("fleet_trace.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+
+  ServerProcess shard0, shard1;
+  ASSERT_TRUE(shard0.Start({"--snapshot", path, "--workers", "2"}, "t0"));
+  ASSERT_TRUE(shard1.Start({"--snapshot", path, "--workers", "2"}, "t1"));
+
+  TracingGuard tracing;
+  obs::SetProcessLabel("router");
+  (void)obs::CollectSpans(0, /*drain=*/true);  // Clear earlier tests' spans.
+
+  RemoteShardRouter::Options options;
+  options.client.connect_timeout_ms = 1000;
+  options.request_timeout_ms = 10'000;
+  options.replication = 1;
+  auto router = RemoteShardRouter::Create(
+      {{"127.0.0.1", shard0.port()}, {"127.0.0.1", shard1.port()}}, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  auto response = router->Label(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  // The router's own ring holds the client half of the trace; the minted
+  // trace id comes off the root span.
+  obs::SpanBatch local;
+  local.process = obs::ProcessLabel();
+  local.spans = obs::CollectSpans(0, /*drain=*/true);
+  uint64_t trace_id = 0;
+  for (const obs::Span& span : local.spans) {
+    if (span.name == "router.request") {
+      EXPECT_EQ(span.parent_id, 0u);
+      trace_id = span.trace_id;
+    }
+  }
+  ASSERT_NE(trace_id, 0u) << "router minted no root span";
+  auto local_has = [&](const char* name) {
+    for (const obs::Span& span : local.spans) {
+      if (span.name == name && span.trace_id == trace_id) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(local_has("router.placement"));
+  EXPECT_TRUE(local_has("router.attempt"));
+  EXPECT_TRUE(local_has("client.send"));
+  EXPECT_TRUE(local_has("client.recv"));
+
+  // The server half arrives over the kTraceRequest RPC — one batch per
+  // PROCESS, which is what makes the stitched trace genuinely multi-process.
+  std::vector<obs::SpanBatch> batches = {local};
+  for (uint16_t port : {shard0.port(), shard1.port()}) {
+    RemoteShardClient::Options copts;
+    copts.port = port;
+    copts.request_timeout_ms = 5000;
+    RemoteShardClient client = RemoteShardClient::Create(copts);
+    WireTraceRequest drain;
+    drain.trace_id = trace_id;
+    auto batch = client.GetTraceSpans(drain);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch->process, "shard-" + std::to_string(port));
+    batches.push_back(std::move(*batch));
+  }
+  auto remote_count = [&](const char* name) {
+    size_t count = 0;
+    for (size_t b = 1; b < batches.size(); ++b) {
+      for (const obs::Span& span : batches[b].spans) {
+        if (span.name == name && span.trace_id == trace_id) ++count;
+      }
+    }
+    return count;
+  };
+  // Both shards served a sub-batch of the one traced request, so every
+  // server-side stage appears once per process: queue wait, the replica's
+  // LF apply + model inference (the spans LabelService records), and the
+  // decode/intern/encode frame stages around them.
+  EXPECT_EQ(remote_count("server.queue_wait"), 2u);
+  EXPECT_EQ(remote_count("server.label"), 2u);
+  EXPECT_EQ(remote_count("service.lf_apply"), 2u);
+  EXPECT_EQ(remote_count("service.inference"), 2u);
+  EXPECT_EQ(remote_count("server.decode"), 2u);
+  EXPECT_EQ(remote_count("server.encode"), 2u);
+
+  // A second drain must come back empty: the RPC really drained the rings.
+  {
+    RemoteShardClient::Options copts;
+    copts.port = shard0.port();
+    copts.request_timeout_ms = 5000;
+    RemoteShardClient client = RemoteShardClient::Create(copts);
+    WireTraceRequest drain;
+    drain.trace_id = trace_id;
+    auto again = client.GetTraceSpans(drain);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->spans.empty());
+  }
+
+  // Stitch: every process's spans land in one Chrome trace JSON, keyed to
+  // the shared trace id, with per-process naming metadata.
+  std::string json = obs::ChromeTraceJson(batches, trace_id);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"router\""), std::string::npos);
+  EXPECT_NE(json.find("shard-" + std::to_string(shard0.port())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"server.queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"service.lf_apply\""), std::string::npos);
+  EXPECT_NE(json.find("\"service.inference\""), std::string::npos);
+  EXPECT_NE(json.find("\"router.request\""), std::string::npos);
+
+  // The wire metrics surface agrees with the stats RPC: the same served
+  // counters, now as Prometheus text from the unified registry.
+  {
+    RemoteShardClient::Options copts;
+    copts.port = shard0.port();
+    copts.request_timeout_ms = 5000;
+    RemoteShardClient client = RemoteShardClient::Create(copts);
+    auto stats = client.GetStats();
+    ASSERT_TRUE(stats.ok());
+    auto text = client.GetMetrics();
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    EXPECT_NE(text->find("snorkel_server_requests_total " +
+                         std::to_string(stats->requests_served)),
+              std::string::npos)
+        << *text;
+    EXPECT_NE(text->find("snorkel_serve_latency_ms_bucket"),
+              std::string::npos);
+    EXPECT_NE(text->find("snorkel_cache_columns_computed_total"),
+              std::string::npos);
+  }
+
+  shard0.Kill(SIGTERM);
+  shard1.Kill(SIGTERM);
+  std::remove(path.c_str());
 }
 
 }  // namespace

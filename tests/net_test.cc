@@ -9,6 +9,7 @@
 #include <pthread.h>
 #include <signal.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -1509,20 +1510,167 @@ TEST(WireStatsTest, FaultsInjectedRoundTripsAndOldPeerPayloadDecodesToZero) {
   EXPECT_EQ(actual->faults_injected, 31337u);
   EXPECT_EQ(actual->requests_served, 99u);
 
-  // An OLD peer's SVST section stops before the appended counter: the
-  // field decodes as 0 and every older field still reads correctly.
-  Frame old_peer = *frame;
-  for (FrameSection& section : old_peer.sections) {
-    if (section.tag == std::string(kSectionServerStats, 4)) {
-      ASSERT_GE(section.payload.size(), sizeof(uint64_t));
-      section.payload.resize(section.payload.size() - sizeof(uint64_t));
+  // An OLD peer's SVST section stops before the appended counters. Three
+  // generations: a PR-8 peer has everything; a PR-7 peer (two trailing
+  // u64s shorter) has faults_injected but not deadline_rejections /
+  // rejected_swaps; a pre-faults peer (three shorter) has none of the
+  // appended fields. Every truncation decodes, missing fields read 0, and
+  // every older field still reads correctly.
+  auto truncated = [&](size_t dropped_u64s) {
+    Frame old_peer = *frame;
+    for (FrameSection& section : old_peer.sections) {
+      if (section.tag == std::string(kSectionServerStats, 4)) {
+        ASSERT_GE(section.payload.size(), dropped_u64s * sizeof(uint64_t));
+        section.payload.resize(section.payload.size() -
+                               dropped_u64s * sizeof(uint64_t));
+      }
+    }
+    auto compat = DecodeStatsResponse(old_peer);
+    ASSERT_TRUE(compat.ok()) << compat.status().ToString();
+    EXPECT_EQ(compat->snapshot_version, 4u);
+    EXPECT_EQ(compat->requests_served, 99u);
+    EXPECT_EQ(compat->deadline_rejections, 0u);
+    EXPECT_EQ(compat->rejected_swaps, 0u);
+    EXPECT_EQ(compat->faults_injected, dropped_u64s >= 3 ? 0u : 31337u);
+  };
+  truncated(2);
+  truncated(3);
+}
+
+// -------------------------------------------- trace + metrics wire compat --
+
+TEST(WireTraceTest, TraceContextRoundTripsAndOldOrUntracedPeersReadZero) {
+  NetFixture fx(6);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+
+  obs::TraceContext trace;
+  trace.trace_id = 0xdeadbeefcafeULL;
+  trace.parent_span = 0x1234;
+  auto traced = DecodeFrame(
+      EncodeFrame(EncodeLabelRequest(7, fx.corpus, rows, true, true, 250,
+                                     trace)));
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  auto wire = DecodeLabelRequest(*traced);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->trace.trace_id, 0xdeadbeefcafeULL);
+  EXPECT_EQ(wire->trace.parent_span, 0x1234u);
+  EXPECT_EQ(wire->deadline_ms, 250u);
+
+  // An untraced (or old, pre-tracing) client writes NO TRAC section at
+  // all, and the server decodes a zero context — not an error.
+  auto untraced = DecodeFrame(
+      EncodeFrame(EncodeLabelRequest(8, fx.corpus, rows, true, true, 0)));
+  ASSERT_TRUE(untraced.ok());
+  for (const FrameSection& section : untraced->sections) {
+    EXPECT_NE(section.tag, std::string(kSectionTrace, 4));
+  }
+  auto plain = DecodeLabelRequest(*untraced);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->trace.valid());
+  EXPECT_EQ(plain->trace.parent_span, 0u);
+
+  // An OLD server treats TRAC as an unknown tag and skips it wholesale
+  // (the skip-unknown rule): the rest of the traced frame must be
+  // self-sufficient. Dropping TRAC loses only the trace identity.
+  Frame old_server_view = *traced;
+  old_server_view.sections.erase(
+      std::remove_if(old_server_view.sections.begin(),
+                     old_server_view.sections.end(),
+                     [](const FrameSection& section) {
+                       return section.tag == std::string(kSectionTrace, 4);
+                     }),
+      old_server_view.sections.end());
+  auto skipped = DecodeLabelRequest(old_server_view);
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_FALSE(skipped->trace.valid());
+  EXPECT_EQ(skipped->candidates.size(), wire->candidates.size());
+  EXPECT_EQ(skipped->deadline_ms, 250u);
+
+  // A torn TRAC section is a typed error, never an OOB read.
+  Frame torn = *traced;
+  for (FrameSection& section : torn.sections) {
+    if (section.tag == std::string(kSectionTrace, 4)) {
+      section.payload.resize(4);
     }
   }
-  auto compat = DecodeStatsResponse(old_peer);
-  ASSERT_TRUE(compat.ok()) << compat.status().ToString();
-  EXPECT_EQ(compat->faults_injected, 0u);
-  EXPECT_EQ(compat->snapshot_version, 4u);
-  EXPECT_EQ(compat->requests_served, 99u);
+  auto rejected = DecodeLabelRequest(torn);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireTraceTest, TraceRequestAndResponseRoundTripWire) {
+  WireTraceRequest request;
+  EXPECT_EQ(request.trace_id, 0u);  // Defaults: every span, draining.
+  EXPECT_TRUE(request.drain);
+  request.trace_id = 0xfeed;
+  request.drain = false;
+  auto frame = DecodeFrame(EncodeFrame(EncodeTraceRequest(31, request)));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kTraceRequest);
+  auto decoded = DecodeTraceRequest(*frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->trace_id, 0xfeedu);
+  EXPECT_FALSE(decoded->drain);
+
+  obs::SpanBatch batch;
+  batch.process = "shard-9";
+  obs::Span span;
+  span.trace_id = 0xfeed;
+  span.span_id = 2;
+  span.parent_id = 1;
+  span.name = "server.label";
+  span.start_ns = 10;
+  span.end_ns = 90;
+  span.annotation = "rows=6";
+  batch.spans.push_back(span);
+  auto reply = DecodeFrame(EncodeFrame(EncodeTraceResponse(31, batch)));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kTraceResponse);
+  auto spans = DecodeTraceResponse(*reply);
+  ASSERT_TRUE(spans.ok()) << spans.status().ToString();
+  EXPECT_EQ(spans->process, "shard-9");
+  ASSERT_EQ(spans->spans.size(), 1u);
+  EXPECT_EQ(spans->spans[0].name, "server.label");
+  EXPECT_EQ(spans->spans[0].annotation, "rows=6");
+
+  // A torn TSPN payload is a typed error.
+  Frame torn = *reply;
+  for (FrameSection& section : torn.sections) {
+    if (section.tag == std::string(kSectionTraceSpans, 4)) {
+      section.payload.resize(section.payload.size() / 2);
+    }
+  }
+  EXPECT_FALSE(DecodeTraceResponse(torn).ok());
+
+  // Wrong frame types fail typed.
+  Frame ping;
+  ping.type = FrameType::kPing;
+  EXPECT_FALSE(DecodeTraceRequest(ping).ok());
+  EXPECT_FALSE(DecodeTraceResponse(ping).ok());
+}
+
+TEST(WireMetricsTest, MetricsScrapeRoundTripsPrometheusTextVerbatim) {
+  const std::string text =
+      "# TYPE snorkel_server_requests_total counter\n"
+      "snorkel_server_requests_total 12\n"
+      "# TYPE snorkel_serve_latency_ms histogram\n"
+      "snorkel_serve_latency_ms_bucket{le=\"+Inf\"} 12\n"
+      "snorkel_serve_latency_ms_count 12\n";
+  auto request = DecodeFrame(EncodeFrame(EncodeMetricsRequest(55)));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->type, FrameType::kMetricsRequest);
+  EXPECT_EQ(request->request_id, 55u);
+
+  auto reply = DecodeFrame(EncodeFrame(EncodeMetricsResponse(55, text)));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kMetricsResponse);
+  auto decoded = DecodeMetricsResponse(*reply);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, text);  // Byte-exact: the payload IS the exposition.
+
+  Frame ping;
+  ping.type = FrameType::kPing;
+  EXPECT_FALSE(DecodeMetricsResponse(ping).ok());
 }
 
 // ----------------------------------------- server-side fault control plane --

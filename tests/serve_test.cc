@@ -805,6 +805,64 @@ TEST(LabelServiceTest, RepeatBatchesHitTheColumnCache) {
   EXPECT_EQ(service->stats().lf_columns_computed, 6u);
 }
 
+TEST(LabelServiceTest, RegistryExportsMatchServiceStatsExactly) {
+  // Every ServiceStats serving metric is also visible through the unified
+  // registry, with equal values. The Default registry is process-global and
+  // same-name instruments sum, so compare DELTAS around this service's
+  // traffic rather than absolute exports.
+  auto sample = [](const char* name,
+                   obs::MetricType type) -> obs::MetricSample {
+    for (auto& s : obs::MetricsRegistry::Default().Collect()) {
+      if (s.name == name && s.type == type) return s;
+    }
+    return {};
+  };
+  const obs::MetricSample req_before =
+      sample("snorkel_serve_requests_total", obs::MetricType::kCounter);
+  const obs::MetricSample cand_before =
+      sample("snorkel_serve_candidates_total", obs::MetricType::kCounter);
+  const obs::MetricSample lat_before =
+      sample("snorkel_serve_latency_ms", obs::MetricType::kHistogram);
+
+  ServeFixture fx;
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());
+  auto service = std::make_unique<Result<LabelService>>(
+      LabelService::Create(snapshot, fx.MakeLfs()));
+  ASSERT_TRUE(service->ok());
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  for (int r = 0; r < 3; ++r) ASSERT_TRUE((*service)->Label(request).ok());
+
+  const ServiceStats stats = (*service)->stats();
+  EXPECT_EQ(sample("snorkel_serve_requests_total", obs::MetricType::kCounter)
+                    .value -
+                req_before.value,
+            static_cast<double>(stats.num_requests));
+  EXPECT_EQ(sample("snorkel_serve_candidates_total",
+                   obs::MetricType::kCounter)
+                    .value -
+                cand_before.value,
+            static_cast<double>(stats.num_candidates));
+  const obs::MetricSample lat_after =
+      sample("snorkel_serve_latency_ms", obs::MetricType::kHistogram);
+  EXPECT_EQ(lat_after.histogram.count - lat_before.histogram.count,
+            stats.latency.count);
+  EXPECT_EQ(stats.latency.count, stats.num_requests);
+
+  // The stats-side quantiles are computed from the SAME histogram the
+  // registry exports — the service keeps no second latency store.
+  EXPECT_DOUBLE_EQ(stats.p50_latency_ms, stats.latency.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(stats.p99_latency_ms, stats.latency.Quantile(0.99));
+
+  // And once the service dies, its weak-registered instruments drop out of
+  // the next Collect() instead of exporting stale values.
+  service.reset();
+  const obs::MetricSample req_after_death =
+      sample("snorkel_serve_requests_total", obs::MetricType::kCounter);
+  EXPECT_EQ(req_after_death.value, req_before.value);
+}
+
 TEST(LabelServiceTest, RefRequestsMatchOwnedRequestsBitwise) {
   ServeFixture fx;
   ModelSnapshot snapshot = MakeServableSnapshot(fx, fx.MakeLfs());

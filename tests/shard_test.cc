@@ -227,6 +227,63 @@ TEST(ShardRouterTest, RepeatRequestsHitEveryReplicaCacheAndAggregate) {
   EXPECT_EQ(router->stats().lf_columns_computed, 2u * 2u * 3u);
 }
 
+TEST(ShardRouterTest, FleetLatencyHistogramIsExactPerShardSum) {
+  // Every replica observes model-pass latencies into a histogram with the
+  // shared obs::LatencyBucketsMs bounds; RouterStats.latency must be the
+  // bucket-by-bucket sum, and tier quantiles must come from that merged
+  // population (not from averaging per-shard quantiles).
+  ShardFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  ModelSnapshot snapshot = fx.MakeSnapshot(lfs);
+
+  ShardRouter::Options options;
+  options.num_shards = 3;
+  auto router = ShardRouter::Create(snapshot, fx.MakeLfs(), options);
+  ASSERT_TRUE(router.ok());
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(router->Label(request).ok());
+
+  RouterStats stats = router->stats();
+  ASSERT_EQ(stats.per_shard.size(), 3u);
+
+  // The fleet snapshot carries the shared bounds and a non-empty population.
+  EXPECT_EQ(stats.latency.bounds, obs::LatencyBucketsMs());
+  EXPECT_GT(stats.latency.count, 0u);
+
+  // Sum the per-shard histograms by hand; the router's merge must agree
+  // exactly — counts, per-bucket populations, sum, and max.
+  obs::HistogramSnapshot manual;
+  uint64_t total_passes = 0;
+  for (const auto& shard : stats.per_shard) {
+    EXPECT_EQ(shard.latency.bounds, obs::LatencyBucketsMs());
+    EXPECT_EQ(shard.latency.count, shard.num_requests);
+    total_passes += shard.latency.count;
+    manual.Merge(shard.latency);
+  }
+  EXPECT_EQ(stats.latency.count, total_passes);
+  EXPECT_EQ(stats.latency.counts, manual.counts);
+  EXPECT_DOUBLE_EQ(stats.latency.sum, manual.sum);
+  EXPECT_DOUBLE_EQ(stats.latency.max, manual.max);
+
+  // Quantiles over the merged population are sane: ordered and bounded by
+  // the observed extremes.
+  const double p50 = stats.latency.Quantile(0.5);
+  const double p99 = stats.latency.Quantile(0.99);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, stats.latency.max);
+
+  // The legacy per-shard quantile fields are derived from the same
+  // histogram the router merges.
+  for (const auto& shard : stats.per_shard) {
+    EXPECT_DOUBLE_EQ(shard.p50_latency_ms, shard.latency.Quantile(0.5));
+    EXPECT_DOUBLE_EQ(shard.p99_latency_ms, shard.latency.Quantile(0.99));
+    EXPECT_DOUBLE_EQ(shard.max_latency_ms, shard.latency.max);
+  }
+}
+
 TEST(ShardRouterTest, ConcurrentCallersStayBitwiseCorrectUnderFusion) {
   ShardFixture fx(160);
   LabelingFunctionSet lfs = fx.MakeLfs();

@@ -1,13 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <functional>
+#include <regex>
 #include <set>
+#include <thread>
 
 #include "util/adam.h"
 #include "util/bounded_queue.h"
 #include "util/fault.h"
 #include "util/hash.h"
+#include "util/logging.h"
 #include "util/mmap_file.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -711,6 +718,68 @@ TEST(FaultTest, BoundedQueueAdmissionSiteInjectsTypedBackpressure) {
   EXPECT_EQ(*two, 2);
   EXPECT_EQ(queue.TryPush(std::move(two)), PushResult::kOk);
   EXPECT_EQ(queue.size(), 2u);
+}
+
+// --------------------------------------------------------------- logging --
+
+namespace {
+
+// Runs `emit` with stderr redirected into a temp file and returns what was
+// written (the log sink writes straight to stderr via fputs).
+std::string CaptureStderr(const std::function<void()>& emit) {
+  FILE* tmp = std::tmpfile();
+  EXPECT_NE(tmp, nullptr);
+  std::fflush(stderr);
+  int saved_fd = dup(2);
+  EXPECT_GE(saved_fd, 0);
+  EXPECT_GE(dup2(fileno(tmp), 2), 0);
+  emit();
+  std::fflush(stderr);
+  dup2(saved_fd, 2);
+  close(saved_fd);
+  std::rewind(tmp);
+  char buf[1024] = {0};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+  std::fclose(tmp);
+  return std::string(buf, n);
+}
+
+}  // namespace
+
+TEST(LoggingTest, LineCarriesTimestampTidAndLocation) {
+  const std::string line = CaptureStderr(
+      []() { SNORKEL_LOG(Warning) << "format probe " << 42; });
+  // [2026-08-08 12:34:56.789 WARN <tid> util_test.cc:NN] format probe 42
+  const std::regex shape(
+      R"(^\[\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3} WARN <\d+> )"
+      R"(util_test\.cc:\d+\] format probe 42\n$)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << "unexpected format: " << line;
+}
+
+TEST(LoggingTest, TidIsStablePerThreadAndDiffersAcrossThreads) {
+  const std::regex tid_re(R"( <(\d+)> )");
+  auto logged_tid = [&](const std::string& line) {
+    std::smatch m;
+    EXPECT_TRUE(std::regex_search(line, m, tid_re)) << line;
+    return m.size() > 1 ? m[1].str() : std::string();
+  };
+  const std::string first =
+      logged_tid(CaptureStderr([]() { SNORKEL_LOG(Info) << "a"; }));
+  const std::string second =
+      logged_tid(CaptureStderr([]() { SNORKEL_LOG(Info) << "b"; }));
+  EXPECT_EQ(first, second);
+  std::string other;
+  const std::string from_thread = logged_tid(CaptureStderr([&]() {
+    std::thread t([]() { SNORKEL_LOG(Info) << "c"; });
+    t.join();
+  }));
+  EXPECT_NE(from_thread, first);
+}
+
+TEST(LoggingTest, BelowMinLevelEmitsNothing) {
+  const std::string line =
+      CaptureStderr([]() { SNORKEL_LOG(Debug) << "invisible"; });
+  EXPECT_TRUE(line.empty()) << "suppressed level leaked: " << line;
 }
 
 }  // namespace

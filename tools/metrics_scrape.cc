@@ -1,0 +1,80 @@
+// metrics_scrape: fetch the unified MetricsRegistry of one or more shard
+// fabric processes over the wire (kMetricsRequest) and print the Prometheus
+// text to stdout.
+//
+//   metrics_scrape host:port [host:port ...] [--timeout-ms N]
+//
+// Each endpoint's exposition is prefixed with a `# endpoint:` comment line
+// so a multi-shard scrape stays attributable. An endpoint that cannot be
+// reached (or an OLD server that answers kError for the unknown frame type)
+// is reported on stderr and the scrape continues; the exit code is non-zero
+// if ANY endpoint failed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/remote_client.h"
+
+namespace {
+
+bool ParseEndpoint(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= arg.size()) return false;
+  *host = arg.substr(0, colon);
+  int parsed = std::atoi(arg.c_str() + colon + 1);
+  if (parsed <= 0 || parsed > 65535) return false;
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snorkel;
+  std::vector<std::pair<std::string, uint16_t>> endpoints;
+  uint64_t timeout_ms = 2000;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--timeout-ms") {
+      timeout_ms =
+          a + 1 < argc ? static_cast<uint64_t>(std::atoll(argv[++a])) : 0;
+      continue;
+    }
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseEndpoint(arg, &host, &port)) {
+      std::fprintf(stderr,
+                   "usage: metrics_scrape host:port [host:port ...] "
+                   "[--timeout-ms N]\n");
+      return 1;
+    }
+    endpoints.emplace_back(std::move(host), port);
+  }
+  if (endpoints.empty()) {
+    std::fprintf(stderr,
+                 "usage: metrics_scrape host:port [host:port ...] "
+                 "[--timeout-ms N]\n");
+    return 1;
+  }
+
+  int failures = 0;
+  for (const auto& [host, port] : endpoints) {
+    RemoteShardClient::Options options;
+    options.host = host;
+    options.port = port;
+    options.request_timeout_ms = timeout_ms;
+    RemoteShardClient client = RemoteShardClient::Create(options);
+    auto text = client.GetMetrics();
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s:%u: %s\n", host.c_str(), port,
+                   text.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("# endpoint: %s:%u\n%s", host.c_str(), port, text->c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -7,7 +7,10 @@
 //                [--lfset cdr-demo] [--queue-capacity N] [--workers N]
 //                [--watch-interval-ms N]
 //                [--inject-delay-every-n N] [--inject-delay-ms N]
-//                [--fault site=kind:params ...]
+//                [--fault site=kind:params ...] [--process-label NAME]
+//
+// --process-label names this process in exported trace spans (trace_dump
+// stitching); the default is "shard-<port>".
 //
 // --fault arms a util/fault.h injection site at startup (repeatable), e.g.
 // --fault net.send=fail-nth:3 or --fault server.label=delay-prob:0.1:50:7;
@@ -39,6 +42,7 @@
 
 #include "lf/declarative.h"
 #include "net/shard_server.h"
+#include "obs/trace.h"
 #include "util/binary_io.h"
 #include "util/fault.h"
 
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
   std::string store_dir;
   std::string port_file;
   std::string lfset = "cdr-demo";
+  std::string process_label;
   ShardServer::Options options;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -88,6 +93,8 @@ int main(int argc, char** argv) {
       port_file = next();
     } else if (arg == "--lfset") {
       lfset = next();
+    } else if (arg == "--process-label") {
+      process_label = next();
     } else if (arg == "--queue-capacity") {
       options.queue_capacity = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--workers") {
@@ -136,6 +143,8 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
+  // The server installed "shard-<port>" at Start; an explicit label wins.
+  if (!process_label.empty()) obs::SetProcessLabel(process_label);
   std::fprintf(stderr, "shard_server listening on 127.0.0.1:%u\n",
                server->port());
   if (!port_file.empty()) {

@@ -1,0 +1,133 @@
+// trace_dump: drain the trace-span rings of one or more shard fabric
+// processes over the wire (kTraceRequest), optionally add this process's
+// own ring, stitch the batches on their shared trace ids, and write Chrome
+// trace-event JSON (loadable in chrome://tracing or https://ui.perfetto.dev).
+//
+//   trace_dump [--out trace.json] [--trace-id ID] [--peek]
+//              [--include-local] [--timeout-ms N] host:port [host:port ...]
+//
+//   --out            output path; "-" or absent = stdout
+//   --trace-id       only spans of this trace id (decimal or 0x-hex);
+//                    default 0 = every span in the rings
+//   --peek           copy instead of drain (spans stay on the servers)
+//   --include-local  also export spans recorded in THIS process (useful
+//                    when the router runs in the dumping process)
+//
+// Spans stitch across processes because every process timestamps with
+// CLOCK_MONOTONIC, which is system-wide on Linux; dumps across machines
+// would need a clock-offset pass that this tool does not attempt.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/remote_client.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "util/binary_io.h"
+
+namespace {
+
+bool ParseEndpoint(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= arg.size()) return false;
+  *host = arg.substr(0, colon);
+  int parsed = std::atoi(arg.c_str() + colon + 1);
+  if (parsed <= 0 || parsed > 65535) return false;
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snorkel;
+  std::vector<std::pair<std::string, uint16_t>> endpoints;
+  std::string out_path = "-";
+  uint64_t trace_id = 0;
+  bool drain = true;
+  bool include_local = false;
+  uint64_t timeout_ms = 2000;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      return a + 1 < argc ? argv[++a] : "";
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--trace-id") {
+      trace_id = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--peek") {
+      drain = false;
+    } else if (arg == "--include-local") {
+      include_local = true;
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      std::string host;
+      uint16_t port = 0;
+      if (!ParseEndpoint(arg, &host, &port)) {
+        std::fprintf(stderr,
+                     "usage: trace_dump [--out trace.json] [--trace-id ID] "
+                     "[--peek] [--include-local] [--timeout-ms N] "
+                     "host:port [host:port ...]\n");
+        return 1;
+      }
+      endpoints.emplace_back(std::move(host), port);
+    }
+  }
+  if (endpoints.empty() && !include_local) {
+    std::fprintf(stderr,
+                 "trace_dump: nothing to dump (no endpoints and no "
+                 "--include-local)\n");
+    return 1;
+  }
+
+  std::vector<obs::SpanBatch> batches;
+  int failures = 0;
+  for (const auto& [host, port] : endpoints) {
+    RemoteShardClient::Options options;
+    options.host = host;
+    options.port = port;
+    options.request_timeout_ms = timeout_ms;
+    RemoteShardClient client = RemoteShardClient::Create(options);
+    WireTraceRequest request;
+    request.trace_id = trace_id;
+    request.drain = drain;
+    auto batch = client.GetTraceSpans(request);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "%s:%u: %s\n", host.c_str(), port,
+                   batch.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::fprintf(stderr, "%s:%u (%s): %zu spans\n", host.c_str(), port,
+                 batch->process.c_str(), batch->spans.size());
+    batches.push_back(std::move(*batch));
+  }
+  if (include_local) {
+    obs::SpanBatch local;
+    local.process = obs::ProcessLabel();
+    local.spans = obs::CollectSpans(trace_id, drain);
+    std::fprintf(stderr, "local (%s): %zu spans\n", local.process.c_str(),
+                 local.spans.size());
+    batches.push_back(std::move(local));
+  }
+
+  std::string json = obs::ChromeTraceJson(batches, trace_id);
+  if (out_path == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    Status written = WriteFileBytes(out_path, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu batches)\n", out_path.c_str(),
+                 batches.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
