@@ -497,8 +497,15 @@ struct ShardServer::Impl {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(state_mu);
-        state = std::move(*next);
+        // Drop the old generation outside state_mu: its teardown chain
+        // unregisters metric callbacks under the registry lock, which a
+        // concurrent scrape holds while the version gauge below calls
+        // CurrentState() — releasing under state_mu would ABBA-deadlock.
+        std::shared_ptr<ServingState> old;
+        {
+          std::lock_guard<std::mutex> lock(state_mu);
+          old = std::exchange(state, std::move(*next));
+        }
       }
       snapshot_swaps.fetch_add(1, std::memory_order_relaxed);
     }

@@ -120,13 +120,14 @@ std::string ChromeTraceJson(const std::vector<SpanBatch>& batches,
 
     for (const Span& span : batch.spans) {
       if (trace_id != 0 && span.trace_id != trace_id) continue;
-      out += ',';
+      out += ",{\"name\":\"";
+      AppendJsonEscaped(span.name, &out);
       std::snprintf(buf, sizeof(buf),
-                    "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%zu,\"tid\":%d,"
+                    "\",\"ph\":\"X\",\"pid\":%zu,\"tid\":%d,"
                     "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":"
                     "\"%016" PRIx64 "\",\"span_id\":\"%016" PRIx64
                     "\",\"parent_id\":\"%016" PRIx64 "\"",
-                    span.name.c_str(), pid, lane_for(span),
+                    pid, lane_for(span),
                     static_cast<double>(span.start_ns) / 1e3,
                     static_cast<double>(span.end_ns - span.start_ns) / 1e3,
                     span.trace_id, span.span_id, span.parent_id);

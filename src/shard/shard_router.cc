@@ -168,14 +168,20 @@ struct ShardRouter::Impl {
   void ServeOne(Shard& shard, ShardJob& job) {
     EmitQueueWait(job);
     obs::ScopedTraceContext ctx(job.trace_ctx);
-    obs::TraceSpan span("shard.serve");
     LabelRequest request;
     request.corpus = job.corpus;
     request.candidate_refs = job.rows;
     request.include_votes = job.include_votes;
     request.apply_class_balance = job.apply_class_balance;
-    job.Finish(shard.replica->Label(request));
+    // The span must close before Finish unblocks the caller and before the
+    // flush, or a drain right after Label() returns misses shard.serve.
+    Result<LabelResponse> response(Status::Internal("unset"));
+    {
+      obs::TraceSpan span("shard.serve");
+      response = shard.replica->Label(request);
+    }
     obs::FlushThreadSpans();
+    job.Finish(std::move(response));
   }
 
   /// Serves a run of queued jobs, fusing consecutive compatible sub-batches
@@ -224,11 +230,13 @@ struct ShardRouter::Impl {
     Result<LabelResponse> response(Status::Internal("unset"));
     {
       obs::ScopedTraceContext ctx(run[begin].trace_ctx);
-      obs::TraceSpan span("shard.serve");
-      if (span.active()) {
-        span.Annotate("fused=" + std::to_string(end - begin));
+      {
+        obs::TraceSpan span("shard.serve");
+        if (span.active()) {
+          span.Annotate("fused=" + std::to_string(end - begin));
+        }
+        response = shard.replica->Label(request);
       }
-      response = shard.replica->Label(request);
       obs::FlushThreadSpans();
     }
     if (!response.ok()) {

@@ -898,6 +898,26 @@ TEST(ShardServerTest, HotSwapServesNewVersionWithZeroFailedRequests) {
       }
     });
   }
+  // Concurrent metrics scrapes during the swap: the version gauge reads
+  // serving state under the registry lock while the watcher retires the old
+  // generation — regression coverage for the state_mu/registry-lock
+  // ordering (the swap must drop the old state outside state_mu).
+  std::atomic<int> scrapes{0};
+  traffic.emplace_back([&] {
+    RemoteShardClient::Options client_options;
+    client_options.port = server->port();
+    client_options.request_timeout_ms = 5000;
+    RemoteShardClient client = RemoteShardClient::Create(client_options);
+    while (!stop.load()) {
+      auto text = client.GetMetrics();
+      if (!text.ok() ||
+          text->find("snorkel_server_snapshot_version") == std::string::npos) {
+        failures.fetch_add(1);
+      } else {
+        scrapes.fetch_add(1);
+      }
+    }
+  });
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   ASSERT_TRUE(store->Publish(2, SerializeSnapshot(v2)).ok());
 
@@ -925,6 +945,7 @@ TEST(ShardServerTest, HotSwapServesNewVersionWithZeroFailedRequests) {
   for (auto& th : traffic) th.join();
   EXPECT_EQ(failures.load(), 0) << "requests failed during the rollout";
   EXPECT_GT(served.load(), 0);
+  EXPECT_GT(scrapes.load(), 0);
   EXPECT_EQ(server->stats().snapshot_swaps, 1u);
   EXPECT_EQ(server->stats().snapshot_checksum, v2.CanonicalChecksum());
 

@@ -408,9 +408,17 @@ TEST_F(TraceFixture, ChromeTraceJsonEmitsProcessesLanesAndEscapes) {
       Span{5, 91, root, "server.label", 2'000'000, 8'000'000, "rows=3"});
   // A different trace id filtered out when trace_id is pinned.
   shard.spans.push_back(Span{6, 92, 0, "noise", 0, 1, ""});
+  // Span names pass through the same JSON escaping as process names and
+  // survive past the event formatter's scratch buffer without truncation.
+  std::string long_name = "hop \"x\"\\" + std::string(300, 'y');
+  shard.spans.push_back(Span{5, 93, root, long_name, 3'000'000, 4'000'000,
+                             ""});
 
   std::string json = ChromeTraceJson({router, shard}, /*trace_id=*/5);
   EXPECT_NE(json.find("\"router \\\"r1\\\"\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hop \\\"x\\\"\\\\" + std::string(300, 'y') + "\""),
+            std::string::npos)
+      << json;
   EXPECT_NE(json.find("\"shard-1\""), std::string::npos);
   EXPECT_NE(json.find("\"router.request\""), std::string::npos);
   EXPECT_NE(json.find("\"server.label\""), std::string::npos);

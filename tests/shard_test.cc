@@ -15,6 +15,7 @@
 
 #include "lf/applier.h"
 #include "lf/declarative.h"
+#include "obs/trace.h"
 #include "pipeline/export_snapshot.h"
 #include "serve/snapshot.h"
 #include "shard/partitioner.h"
@@ -225,6 +226,43 @@ TEST(ShardRouterTest, RepeatRequestsHitEveryReplicaCacheAndAggregate) {
   EXPECT_EQ(router->stats().cache_bytes, 0u);
   ASSERT_TRUE(router->Label(request).ok());
   EXPECT_EQ(router->stats().lf_columns_computed, 2u * 2u * 3u);
+}
+
+TEST(ShardRouterTest, ServeSpansReachRingBeforeLabelReturns) {
+  // The worker closes its shard.serve span and flushes BEFORE Finish()
+  // unblocks the caller, so a drain issued right after Label() returns must
+  // already see every serve-side span — no "moments later" race.
+  ShardFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  ModelSnapshot snapshot = fx.MakeSnapshot(lfs);
+  ShardRouter::Options options;
+  options.num_shards = 2;
+  auto router = ShardRouter::Create(snapshot, fx.MakeLfs(), options);
+  ASSERT_TRUE(router.ok());
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+
+  obs::SetSpanRingCapacityForTest(1024);  // Clears the ring.
+  obs::SetTracingEnabled(true);
+  uint64_t trace_id = obs::MintId();
+  {
+    obs::ScopedTraceContext ctx(obs::TraceContext{trace_id, 0});
+    ASSERT_TRUE(router->Label(request).ok());
+    std::vector<obs::Span> spans =
+        obs::CollectSpans(trace_id, /*drain=*/true);
+    size_t serve_spans = 0;
+    size_t queue_waits = 0;
+    for (const obs::Span& span : spans) {
+      if (span.name == "shard.serve") ++serve_spans;
+      if (span.name == "shard.queue_wait") ++queue_waits;
+    }
+    // One serve + one queue-wait span per shard touched by the request.
+    EXPECT_EQ(serve_spans, 2u) << "drain after Label() missed serve spans";
+    EXPECT_EQ(queue_waits, 2u);
+  }
+  obs::SetTracingEnabled(false);
+  obs::SetSpanRingCapacityForTest(16384);
 }
 
 TEST(ShardRouterTest, FleetLatencyHistogramIsExactPerShardSum) {
