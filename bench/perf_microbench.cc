@@ -141,6 +141,26 @@ void BM_LfApplication(benchmark::State& state) {
 }
 BENCHMARK(BM_LfApplication)->Arg(1)->Arg(2);
 
+/// The interpreted baseline for BM_LfApplication (which, like production
+/// serving, dispatches compilable LFs through lf/compiled/): same task, same
+/// thread counts, per-row lambda execution only. The ratio between the two
+/// is the compiled engine's speedup on the trajectory.
+void BM_LfApplicationInterpreted(benchmark::State& state) {
+  static const RelationTask* task = [] {
+    auto result = MakeCdrTask(42, 0.25);
+    return new RelationTask(std::move(result).value());
+  }();
+  LFApplier applier(
+      LFApplier::Options{.num_threads = static_cast<size_t>(state.range(0)),
+                         .cardinality = 2,
+                         .use_compiled = false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        applier.Apply(task->lfs, task->corpus, task->candidates).ok());
+  }
+}
+BENCHMARK(BM_LfApplicationInterpreted)->Arg(1)->Arg(2);
+
 }  // namespace
 }  // namespace snorkel
 

@@ -23,7 +23,11 @@
 //
 //   (7) append-only stream serving: requests are growing prefixes of one
 //     candidate log; the cache extends cached columns by computing only
-//     the appended tail rows.
+//     the appended tail rows, and
+//
+//   (8) compiled LF execution: the shared Aho-Corasick batch engine
+//     (lf/compiled/) vs per-row interpreted lambdas on the same LF set —
+//     bitwise-identical output, so the ratio is pure execution speedup.
 //
 // Pass --json <path> to also write the headline numbers as JSON (consumed
 // by scripts/bench.sh for the benchmark trajectory).
@@ -39,6 +43,7 @@
 #include "bench_util.h"
 #include "core/csr_kernels.h"
 #include "lf/applier.h"
+#include "lf/compiled/program.h"
 #include "pipeline/export_snapshot.h"
 #include "serve/incremental_applier.h"
 #include "serve/label_service.h"
@@ -663,6 +668,43 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(applier.stats().columns_computed),
               static_cast<unsigned long long>(applier.stats().columns_reused));
 
+  // ---- Compiled LF execution (lf/compiled/): the batch Aho-Corasick
+  // engine vs per-row interpreted lambdas, same LF set, same candidates,
+  // serial apply so the ratio isolates the engine. Output is bitwise
+  // identical (pinned by tests/lf_compiled_test.cc); this measures only the
+  // speed side of that contract. Best-of after a discarded warmup. ----
+  auto lf_program = CompileLfSet(task->lfs);
+  double compiled_cps = 0.0;
+  double interpreted_cps = 0.0;
+  constexpr int kLfTrials = 4;  // Trial 0 is a discarded warmup.
+  for (int trial = 0; trial < kLfTrials; ++trial) {
+    for (bool use_compiled : {true, false}) {
+      LFApplier lf_applier({.num_threads = 1,
+                            .cardinality = 2,
+                            .use_compiled = use_compiled});
+      WallTimer lf_timer;
+      if (!lf_applier.Apply(task->lfs, task->corpus, task->candidates).ok()) {
+        std::fprintf(stderr, "LF application failed\n");
+        return 1;
+      }
+      double cps = static_cast<double>(task->candidates.size()) /
+                   lf_timer.ElapsedSeconds();
+      if (trial == 0) continue;  // Warmup.
+      double& slot = use_compiled ? compiled_cps : interpreted_cps;
+      slot = std::max(slot, cps);
+    }
+  }
+  TablePrinter lfcompile({"Engine", "cand/s", "Vs interpreted"});
+  lfcompile.AddRow({"compiled (shared AC scan)",
+                    TablePrinter::Cell(compiled_cps, 0),
+                    TablePrinter::Cell(compiled_cps / interpreted_cps, 2)});
+  lfcompile.AddRow({"interpreted (per-row lambdas)",
+                    TablePrinter::Cell(interpreted_cps, 0), "1.00"});
+  std::printf("\nCompiled LF execution (%zu/%zu LFs compiled, serial apply, "
+              "best of %d trials after warmup):\n%s",
+              lf_program->num_compiled(), task->lfs.size(), kLfTrials - 1,
+              lfcompile.ToString().c_str());
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -729,6 +771,12 @@ int main(int argc, char** argv) {
                  stream_cached_s, stream_nocache_s,
                  stream_nocache_s / stream_cached_s,
                  static_cast<unsigned long long>(stream_appended_rows));
+    std::fprintf(out,
+                 "  \"lfcompile\": {\"compiled_lfs\": %zu, \"total_lfs\": %zu, "
+                 "\"compiled_cps\": %.1f, \"interpreted_cps\": %.1f, "
+                 "\"speedup\": %.2f},\n",
+                 lf_program->num_compiled(), task->lfs.size(), compiled_cps,
+                 interpreted_cps, compiled_cps / interpreted_cps);
     std::fprintf(out,
                  "  \"incremental\": {\"full_apply_s\": %.4f, "
                  "\"edit_one_lf_s\": %.4f, \"ratio\": %.3f, "

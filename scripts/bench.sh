@@ -106,6 +106,19 @@ print(
     "({} callers, second-cycle reuse {:.0%})".format(
         altset["cached_cps"], altset["nocache_cps"], altset["callers"],
         altset["second_cycle_reuse"]))
+# The compiled-LF section (PR 9): the Aho-Corasick batch engine must stay
+# on the trajectory — a silent fall-back to interpreted execution would
+# show up here as a ~1x "speedup".
+lfcompile = result["serve"].get("lfcompile")
+if not lfcompile:
+    sys.exit("serve benchmark JSON is missing the 'lfcompile' section")
+print(
+    "compiled LFs: {}/{} compiled, {:.0f} vs interpreted {:.0f} cand/s "
+    "({:.1f}x)".format(
+        lfcompile["compiled_lfs"], lfcompile["total_lfs"],
+        lfcompile["compiled_cps"], lfcompile["interpreted_cps"],
+        lfcompile["speedup"]))
+
 stream = result["serve"].get("appendstream")
 if not stream:
     sys.exit("serve benchmark JSON is missing the 'appendstream' section")

@@ -1,5 +1,7 @@
 #include "data/context.h"
 
+#include <atomic>
+
 namespace snorkel {
 
 std::string Sentence::Text() const { return TextBetween(0, words.size()); }
@@ -13,9 +15,51 @@ std::string Sentence::TextBetween(size_t start, size_t end) const {
   return out;
 }
 
+namespace {
+
+uint64_t NextCorpusIdentity() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Corpus::Corpus() : identity_(NextCorpusIdentity()) {}
+
+Corpus::Corpus(const Corpus& other)
+    : documents_(other.documents_), identity_(NextCorpusIdentity()) {}
+
+Corpus& Corpus::operator=(const Corpus& other) {
+  if (this != &other) {
+    documents_ = other.documents_;
+    identity_ = NextCorpusIdentity();
+  }
+  return *this;
+}
+
+Corpus::Corpus(Corpus&& other) noexcept
+    : documents_(std::move(other.documents_)), identity_(other.identity_) {
+  other.identity_ = NextCorpusIdentity();
+}
+
+Corpus& Corpus::operator=(Corpus&& other) noexcept {
+  if (this != &other) {
+    documents_ = std::move(other.documents_);
+    identity_ = other.identity_;
+    other.identity_ = NextCorpusIdentity();
+  }
+  return *this;
+}
+
 size_t Corpus::AddDocument(Document document) {
+  identity_ = NextCorpusIdentity();
   documents_.push_back(std::move(document));
   return documents_.size() - 1;
+}
+
+Document* Corpus::mutable_document(size_t i) {
+  identity_ = NextCorpusIdentity();
+  return &documents_[i];
 }
 
 size_t Corpus::NumSentences() const {

@@ -47,7 +47,11 @@ struct Document {
 /// single-node corpora (the paper's largest task is ~48k documents).
 class Corpus {
  public:
-  Corpus() = default;
+  Corpus();
+  Corpus(const Corpus& other);
+  Corpus& operator=(const Corpus& other);
+  Corpus(Corpus&& other) noexcept;
+  Corpus& operator=(Corpus&& other) noexcept;
 
   /// Appends a document and returns its index.
   size_t AddDocument(Document document);
@@ -55,7 +59,14 @@ class Corpus {
   size_t num_documents() const { return documents_.size(); }
   const Document& document(size_t i) const { return documents_[i]; }
   /// Mutable access for in-place preprocessing passes (NER tagging).
-  Document* mutable_document(size_t i) { return &documents_[i]; }
+  Document* mutable_document(size_t i);
+
+  /// Process-unique identity of this corpus's current contents: fresh at
+  /// construction and on copy, carried along by move, and bumped by every
+  /// mutable access (AddDocument / mutable_document). Caches keyed by
+  /// identity therefore never serve stale or aliased text — a freed
+  /// address can be reused by a different corpus, an identity cannot.
+  uint64_t identity() const { return identity_; }
 
   /// Total number of sentences across all documents.
   size_t NumSentences() const;
@@ -69,6 +80,7 @@ class Corpus {
 
  private:
   std::vector<Document> documents_;
+  uint64_t identity_;
 };
 
 }  // namespace snorkel

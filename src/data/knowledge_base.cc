@@ -19,6 +19,23 @@ bool KnowledgeBase::Contains(const std::string& subset, const std::string& id1,
   return it->second.count(Key(id1, id2)) > 0;
 }
 
+KnowledgeBase::SubsetHandle KnowledgeBase::ResolveSubset(
+    const std::string& subset) const {
+  auto it = subsets_.find(subset);
+  return it == subsets_.end() ? nullptr : &it->second;
+}
+
+bool KnowledgeBase::ContainsResolved(SubsetHandle subset,
+                                     const std::string& id1,
+                                     const std::string& id2) {
+  if (subset == nullptr) return false;
+  thread_local std::string key;
+  key.assign(id1);
+  key.push_back('\x1f');
+  key.append(id2);
+  return subset->count(key) > 0;
+}
+
 size_t KnowledgeBase::SubsetSize(const std::string& subset) const {
   auto it = subsets_.find(subset);
   return it == subsets_.end() ? 0 : it->second.size();

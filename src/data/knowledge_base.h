@@ -26,6 +26,19 @@ class KnowledgeBase {
   bool Contains(const std::string& subset, const std::string& id1,
                 const std::string& id2) const;
 
+  /// Resolved subset for repeated probes: skips the by-name map lookup that
+  /// Contains() pays per call. nullptr for unknown subsets. Handles stay
+  /// valid for the life of the KB (subsets are node-based; later Add()s
+  /// don't move them) — but as with Contains, mutating the KB after LFs
+  /// captured it is unsupported.
+  using SubsetHandle = const std::unordered_set<std::string>*;
+  SubsetHandle ResolveSubset(const std::string& subset) const;
+
+  /// Contains() through a resolved handle, with a reused per-thread key
+  /// buffer instead of a fresh allocation per probe.
+  static bool ContainsResolved(SubsetHandle subset, const std::string& id1,
+                               const std::string& id2);
+
   /// Number of pairs in `subset` (0 for unknown subsets).
   size_t SubsetSize(const std::string& subset) const;
 

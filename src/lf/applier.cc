@@ -1,8 +1,11 @@
 #include "lf/applier.h"
 
 #include <atomic>
+#include <optional>
 #include <tuple>
 
+#include "lf/compiled/engine.h"
+#include "lf/compiled/program.h"
 #include "util/thread_pool.h"
 
 namespace snorkel {
@@ -35,6 +38,26 @@ Result<LabelMatrix> LFApplier::ApplyRefs(
   size_t m = rows.size();
   size_t n = lfs.size();
 
+  // Compiled dispatch: one serial pass scans every distinct sentence through
+  // the program's shared automata, then the parallel loop below answers
+  // compiled columns from the hit stream and only interprets the rest.
+  std::shared_ptr<const CompiledLfProgram> program;
+  if (options_.use_compiled) {
+    if (options_.compiled_program &&
+        ProgramMatchesLfSet(*options_.compiled_program, lfs)) {
+      program = options_.compiled_program;
+    } else {
+      program = GetOrCompileProgram(lfs);
+    }
+    if (program->num_compiled() == 0) program = nullptr;
+  }
+  std::optional<CompiledLfBatch> batch;
+  if (program != nullptr && m > 0) {
+    std::vector<const Candidate*> candidates(m);
+    for (size_t i = 0; i < m; ++i) candidates[i] = rows[i].candidate;
+    batch.emplace(program, corpus, candidates);
+  }
+
   // Per-candidate sparse vote buffers, filled in parallel without locking.
   // Votes are checked against the shared validity rule (core/types.h) as
   // they are produced, so a buggy LF fails the call with ITS name attached
@@ -46,7 +69,9 @@ Result<LabelMatrix> LFApplier::ApplyRefs(
   auto label_one = [&](size_t i) {
     CandidateView view(&corpus, rows[i].candidate, rows[i].index);
     for (size_t j = 0; j < n; ++j) {
-      Label label = lfs.at(j).Apply(view);
+      int32_t slot = batch ? program->slot_of_lf[j] : -1;
+      Label label = slot >= 0 ? batch->Eval(static_cast<uint32_t>(slot), i)
+                              : lfs.at(j).Apply(view);
       if (!LabelValidFor(label, options_.cardinality)) {
         bool expected = false;
         if (has_error.compare_exchange_strong(expected, true)) {

@@ -11,6 +11,7 @@
 
 namespace snorkel {
 
+class CompiledLfProgram;
 class ThreadPool;
 
 /// One row of an LF-application request, by reference: the candidate to
@@ -40,6 +41,16 @@ class LFApplier {
     size_t num_threads = 0;
     /// Cardinality of the resulting matrix (2 = binary ±1).
     int cardinality = 2;
+    /// Dispatch compilable LFs through the batch engine (lf/compiled/):
+    /// one shared automaton scan per distinct sentence instead of
+    /// string/stem/hash work per LF per candidate. Output is bitwise
+    /// identical to the interpreted path; uncompilable LFs always run
+    /// interpreted.
+    bool use_compiled = true;
+    /// Pre-built program (e.g. mmap-loaded from a snapshot's LFCP section).
+    /// Used when it matches the applied LF set fingerprint-for-fingerprint;
+    /// otherwise the applier compiles (memoized process-wide) on first use.
+    std::shared_ptr<const CompiledLfProgram> compiled_program = nullptr;
   };
 
   /// `num_threads > 1` creates this applier's dedicated pool ONCE, here —

@@ -1,0 +1,116 @@
+#ifndef SNORKEL_LF_COMPILED_ENGINE_H_
+#define SNORKEL_LF_COMPILED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "data/candidate.h"
+#include "data/context.h"
+#include "lf/compiled/program.h"
+
+namespace snorkel {
+
+/// Automaton scan results for one sentence under one program. Immutable
+/// once built; shared between concurrent batches through the process-wide
+/// scan cache (see below).
+struct LfSentenceScan {
+  /// Hits grouped by slot: slot s owns hits[hit_offsets[s] ..
+  /// hit_offsets[s+1]), each packed (a << 32) | b — the half-open token
+  /// interval [a, b] the match covers — sorted ascending (by a, then b).
+  std::vector<uint32_t> hit_offsets;
+  std::vector<uint64_t> hits;
+  /// Per-slot "any hit in this sentence" bitset (sentence scope).
+  std::vector<uint64_t> any_bits;
+};
+
+/// Counters for the process-wide compiled-scan cache. `hits`/`misses` count
+/// sentence-level lookups; `bytes`/`entries` describe current residency.
+struct CompiledScanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t bytes = 0;
+  size_t entries = 0;
+};
+
+CompiledScanCacheStats GetCompiledScanCacheStats();
+
+/// Drops every cached scan (tests; also frees memory after a corpus churn).
+void ClearCompiledScanCache();
+
+/// One request's worth of compiled LF execution: resolves every distinct
+/// (doc, sentence) referenced by the candidate batch to its automaton scan
+/// — through a process-wide cache keyed by (program, corpus identity), so a
+/// corpus served repeatedly is scanned once, not once per request — then
+/// answers per-(row, LF) votes with range checks over the precomputed hit
+/// stream. The cache key uses Corpus::identity(), which is bumped by every
+/// mutable corpus access, so stale or address-aliased text can never be
+/// served; evictions are LRU under a fixed byte budget. Construction is
+/// serial and deterministic; Eval() is const and safe to call from any
+/// number of threads concurrently — which is how the appliers use it
+/// (build once, evaluate rows in parallel).
+///
+/// Bitwise contract: Eval(slot, i) returns exactly what the interpreted
+/// lambda of the LF backing `slot` would return on row i.
+class CompiledLfBatch {
+ public:
+  /// `rows[i]` may be null for i < begin (those rows are never evaluated);
+  /// candidates must outlive the batch. `begin` lets the incremental
+  /// applier skip scan work for cached row prefixes.
+  CompiledLfBatch(std::shared_ptr<const CompiledLfProgram> program,
+                  const Corpus& corpus,
+                  const std::vector<const Candidate*>& rows,
+                  size_t begin = 0);
+
+  const CompiledLfProgram& program() const { return *program_; }
+
+  /// Compiled vote of entry `slot` on row i (i >= begin).
+  Label Eval(uint32_t slot, size_t i) const;
+
+ private:
+  static constexpr uint32_t kNoToken = 0xffffffffu;
+
+  struct RowCtx {
+    uint32_t scan = 0;           // index into scans_
+    int32_t doc_index = -1;      // index into doc_bits_, or -1
+    uint32_t first_start = 0;    // positionally-first span
+    uint32_t first_end = 0;
+    uint32_t second_start = 0;   // positionally-second span
+    uint32_t second_end = 0;
+    uint32_t sent_size = 0;
+    /// First non-empty token of the between range, or kNoToken. Byte-domain
+    /// (regex) containment starts here instead of at first_end: TextBetween
+    /// suppresses separators after leading empty tokens, so the joined text
+    /// begins at this token's bytes.
+    uint32_t between_f = kNoToken;
+    bool span1_first = true;
+  };
+
+  /// Symbols of one distinct raw token, resolved once per batch.
+  struct TokenSymbols {
+    uint32_t lower_encoded = CompiledLfProgram::kNoSymbol;
+    uint32_t stem_encoded = CompiledLfProgram::kNoSymbol;
+  };
+  using TokenMemo = std::unordered_map<std::string_view, TokenSymbols>;
+
+  void ScanSentence(const Sentence& sentence, TokenMemo* memo,
+                    LfSentenceScan* scan) const;
+  bool HasHitIn(const LfSentenceScan& scan, uint32_t slot, uint32_t lo,
+                uint32_t hi) const;
+
+  std::shared_ptr<const CompiledLfProgram> program_;
+  size_t slot_words_ = 0;  // u64 words per any-bits block
+  std::vector<std::shared_ptr<const LfSentenceScan>> scans_;
+  /// Per-doc "any hit in this document" bitsets (document scope), each
+  /// slot_words_ u64 words.
+  std::vector<std::shared_ptr<const std::vector<uint64_t>>> doc_bits_;
+  std::vector<RowCtx> rows_;
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_LF_COMPILED_ENGINE_H_

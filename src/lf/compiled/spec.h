@@ -1,0 +1,42 @@
+#ifndef SNORKEL_LF_COMPILED_SPEC_H_
+#define SNORKEL_LF_COMPILED_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace snorkel {
+
+/// The declarative LF families the compiler understands. Everything else
+/// (weak classifiers, crowd workers, guarded/first-vote combinators,
+/// ontology LFs, arbitrary lambdas) stays on the interpreted path.
+enum class LfSpecKind : uint8_t {
+  kKeywordBetween = 0,     // keyword in WordsBetween()
+  kDirectionalKeyword = 1, // keyword between, label depends on span order
+  kContextKeyword = 2,     // keyword within a window left/right of the spans
+  kSentenceKeyword = 3,    // keyword anywhere in the sentence
+  kDocumentKeyword = 4,    // keyword anywhere in the document
+  kRegexBetween = 5,       // regex_search over TextBetween()
+  kDistance = 6,           // TokenDistance() > max_tokens
+};
+
+/// A declarative description of what a factory-made LF computes, attached to
+/// the LabelingFunction at construction. The compiler lowers a set of these
+/// into one CompiledLfProgram; the lambda stays authoritative for anything
+/// the compiler rejects (e.g. regexes beyond literal alternations).
+struct LfCompileSpec {
+  LfSpecKind kind = LfSpecKind::kKeywordBetween;
+  std::vector<std::string> keywords;  // raw, as passed to the factory
+  bool stem = true;                   // keyword families: match stemmed forms
+  size_t window = 0;                  // kContextKeyword
+  Label label = kAbstain;             // vote on match (forward for directional)
+  Label label_reverse = kAbstain;     // kDirectionalKeyword: span2-first vote
+  std::string regex;                  // kRegexBetween: the pattern source
+  size_t max_tokens = 0;              // kDistance threshold
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_LF_COMPILED_SPEC_H_

@@ -1,9 +1,11 @@
 #include "lf/declarative.h"
 
+#include <memory>
 #include <regex>
 #include <unordered_set>
 #include <utility>
 
+#include "lf/compiled/spec.h"
 #include "text/stemmer.h"
 #include "util/string_util.h"
 
@@ -25,9 +27,19 @@ bool AnyKeyword(const std::vector<std::string>& words,
                 const std::unordered_set<std::string>& keywords, bool stem) {
   for (const auto& word : words) {
     std::string lower = ToLower(word);
-    if (keywords.count(stem ? Stemmer::Stem(lower) : lower) > 0) return true;
+    if (keywords.count(stem ? Stemmer::StemCached(lower) : lower) > 0) {
+      return true;
+    }
   }
   return false;
+}
+
+/// Attaches the compiler-facing description of a factory-built LF. The spec
+/// is advisory — the lambda stays the behaviour of record — so it does not
+/// enter the fingerprint.
+LabelingFunction WithSpec(LabelingFunction lf, LfCompileSpec spec) {
+  lf.AttachCompileSpec(std::make_shared<const LfCompileSpec>(std::move(spec)));
+  return lf;
 }
 
 /// Deterministic encoding of a factory's parameters, hashed (with the LF
@@ -61,13 +73,19 @@ LabelingFunction MakeKeywordBetweenLF(std::string name,
                                       std::vector<std::string> keywords,
                                       Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
-  return LabelingFunction(
+  LabelingFunction lf(
       std::move(name),
       Params({"kw_between", JoinKeywords(keywords), std::to_string(label),
               std::to_string(stem)}),
       [set = std::move(set), label, stem](const CandidateView& view) -> Label {
         return AnyKeyword(view.WordsBetween(), set, stem) ? label : kAbstain;
       });
+  LfCompileSpec spec;
+  spec.kind = LfSpecKind::kKeywordBetween;
+  spec.keywords = std::move(keywords);
+  spec.stem = stem;
+  spec.label = label;
+  return WithSpec(std::move(lf), std::move(spec));
 }
 
 LabelingFunction MakeDirectionalKeywordLF(std::string name,
@@ -75,7 +93,7 @@ LabelingFunction MakeDirectionalKeywordLF(std::string name,
                                           Label label_forward,
                                           Label label_reverse, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
-  return LabelingFunction(
+  LabelingFunction lf(
       std::move(name),
       Params({"dir_kw", JoinKeywords(keywords), std::to_string(label_forward),
               std::to_string(label_reverse), std::to_string(stem)}),
@@ -84,25 +102,37 @@ LabelingFunction MakeDirectionalKeywordLF(std::string name,
         if (!AnyKeyword(view.WordsBetween(), set, stem)) return kAbstain;
         return view.Span1First() ? label_forward : label_reverse;
       });
+  LfCompileSpec spec;
+  spec.kind = LfSpecKind::kDirectionalKeyword;
+  spec.keywords = std::move(keywords);
+  spec.stem = stem;
+  spec.label = label_forward;
+  spec.label_reverse = label_reverse;
+  return WithSpec(std::move(lf), std::move(spec));
 }
 
 LabelingFunction MakeRegexBetweenLF(std::string name, const std::string& regex,
                                     Label label) {
   auto pattern = std::make_shared<std::regex>(
       regex, std::regex::ECMAScript | std::regex::icase);
-  return LabelingFunction(
+  LabelingFunction lf(
       std::move(name), Params({"regex_between", regex, std::to_string(label)}),
       [pattern, label](const CandidateView& view) -> Label {
         return std::regex_search(view.TextBetween(), *pattern) ? label
                                                                : kAbstain;
       });
+  LfCompileSpec spec;
+  spec.kind = LfSpecKind::kRegexBetween;
+  spec.label = label;
+  spec.regex = regex;
+  return WithSpec(std::move(lf), std::move(spec));
 }
 
 LabelingFunction MakeContextKeywordLF(std::string name,
                                       std::vector<std::string> keywords,
                                       size_t window, Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
-  return LabelingFunction(
+  LabelingFunction lf(
       std::move(name),
       Params({"ctx_kw", JoinKeywords(keywords), std::to_string(window),
               std::to_string(label), std::to_string(stem)}),
@@ -114,23 +144,35 @@ LabelingFunction MakeContextKeywordLF(std::string name,
         }
         return kAbstain;
       });
+  LfCompileSpec spec;
+  spec.kind = LfSpecKind::kContextKeyword;
+  spec.keywords = std::move(keywords);
+  spec.stem = stem;
+  spec.window = window;
+  spec.label = label;
+  return WithSpec(std::move(lf), std::move(spec));
 }
 
 LabelingFunction MakeDistanceLF(std::string name, size_t max_tokens,
                                 Label label) {
-  return LabelingFunction(
+  LabelingFunction lf(
       std::move(name),
       Params({"distance", std::to_string(max_tokens), std::to_string(label)}),
       [max_tokens, label](const CandidateView& view) -> Label {
         return view.TokenDistance() > max_tokens ? label : kAbstain;
       });
+  LfCompileSpec spec;
+  spec.kind = LfSpecKind::kDistance;
+  spec.label = label;
+  spec.max_tokens = max_tokens;
+  return WithSpec(std::move(lf), std::move(spec));
 }
 
 LabelingFunction MakeSentenceKeywordLF(std::string name,
                                        std::vector<std::string> keywords,
                                        Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
-  return LabelingFunction(
+  LabelingFunction lf(
       std::move(name),
       Params({"sent_kw", JoinKeywords(keywords), std::to_string(label),
               std::to_string(stem)}),
@@ -138,13 +180,19 @@ LabelingFunction MakeSentenceKeywordLF(std::string name,
        stem](const CandidateView& view) -> Label {
         return AnyKeyword(view.sentence().words, set, stem) ? label : kAbstain;
       });
+  LfCompileSpec spec;
+  spec.kind = LfSpecKind::kSentenceKeyword;
+  spec.keywords = std::move(keywords);
+  spec.stem = stem;
+  spec.label = label;
+  return WithSpec(std::move(lf), std::move(spec));
 }
 
 LabelingFunction MakeDocumentKeywordLF(std::string name,
                                        std::vector<std::string> keywords,
                                        Label label, bool stem) {
   auto set = BuildKeywordSet(keywords, stem);
-  return LabelingFunction(
+  LabelingFunction lf(
       std::move(name),
       Params({"doc_kw", JoinKeywords(keywords), std::to_string(label),
               std::to_string(stem)}),
@@ -157,6 +205,12 @@ LabelingFunction MakeDocumentKeywordLF(std::string name,
         }
         return kAbstain;
       });
+  LfCompileSpec spec;
+  spec.kind = LfSpecKind::kDocumentKeyword;
+  spec.keywords = std::move(keywords);
+  spec.stem = stem;
+  spec.label = label;
+  return WithSpec(std::move(lf), std::move(spec));
 }
 
 LabelingFunction MakeOntologyLF(std::string name, const KnowledgeBase* kb,
@@ -169,12 +223,14 @@ LabelingFunction MakeOntologyLF(std::string name, const KnowledgeBase* kb,
       std::move(name),
       Params({"ontology", subset, std::to_string(label),
               std::to_string(symmetric), std::to_string(kb->SubsetSize(subset))}),
-      [kb, subset = std::move(subset), label,
+      [handle = kb->ResolveSubset(subset), label,
        symmetric](const CandidateView& view) -> Label {
         const std::string& id1 = view.candidate().span1.canonical_id;
         const std::string& id2 = view.candidate().span2.canonical_id;
-        if (kb->Contains(subset, id1, id2)) return label;
-        if (symmetric && kb->Contains(subset, id2, id1)) return label;
+        if (KnowledgeBase::ContainsResolved(handle, id1, id2)) return label;
+        if (symmetric && KnowledgeBase::ContainsResolved(handle, id2, id1)) {
+          return label;
+        }
         return kAbstain;
       });
 }

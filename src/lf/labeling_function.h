@@ -12,6 +12,8 @@
 
 namespace snorkel {
 
+struct LfCompileSpec;  // lf/compiled/spec.h
+
 /// The labeling function (LF) abstraction of §2.1: a black-box function
 /// λ : X -> Y ∪ {∅} that inspects a candidate and either votes a label or
 /// abstains (kAbstain). Hand-written LFs wrap an arbitrary callable —
@@ -40,10 +42,22 @@ class LabelingFunction {
   /// Applies the LF to one candidate.
   Label Apply(const CandidateView& view) const { return fn_(view); }
 
+  /// Declarative description for the LF compiler (lf/compiled/), attached by
+  /// the factory that built this LF. Null for opaque lambdas — those always
+  /// run interpreted. The spec never participates in the fingerprint: it is
+  /// redundant with (name, version), which already pin the behaviour.
+  const std::shared_ptr<const LfCompileSpec>& compile_spec() const {
+    return compile_spec_;
+  }
+  void AttachCompileSpec(std::shared_ptr<const LfCompileSpec> spec) {
+    compile_spec_ = std::move(spec);
+  }
+
  private:
   std::string name_;
   uint64_t fingerprint_ = 0;
   Fn fn_;
+  std::shared_ptr<const LfCompileSpec> compile_spec_;
 };
 
 /// An ordered set of labeling functions; the unit the applier consumes.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/dawid_skene.h"
+#include "lf/compiled/program.h"
 
 namespace snorkel {
 
@@ -73,6 +74,13 @@ Result<ModelSnapshot> TrainSnapshot(const RelationTask& task,
     SNORKEL_RETURN_IF_ERROR(
         snapshot.AttachDiscModel(disc, featurizer.num_buckets()));
   }
+
+  // ---- Compiled LF artifact (LFCP). ----
+  // Ship the lowered automata with the model so serving loads mmap-shared
+  // match structure instead of recompiling per process; omitted when no LF
+  // in the set is compilable (the section would be empty weight).
+  auto program = CompileLfSet(task.lfs);
+  if (program->num_compiled() > 0) snapshot.compiled_lfs = std::move(program);
   return snapshot;
 }
 
@@ -104,8 +112,12 @@ Result<ModelSnapshot> TrainKClassSnapshot(
     // a mismatch here would mean the plumbing above broke.
     return Status::Internal("fitted cardinality disagrees with the task's");
   }
-  return ModelSnapshot::CaptureDawidSkene(model, lfs.Names(),
-                                          lfs.Fingerprints());
+  auto snapshot = ModelSnapshot::CaptureDawidSkene(model, lfs.Names(),
+                                                   lfs.Fingerprints());
+  if (!snapshot.ok()) return snapshot.status();
+  auto program = CompileLfSet(lfs);
+  if (program->num_compiled() > 0) snapshot->compiled_lfs = std::move(program);
+  return snapshot;
 }
 
 }  // namespace snorkel

@@ -5,12 +5,15 @@
 #include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
 
+#include "lf/compiled/engine.h"
+#include "lf/compiled/program.h"
 #include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -530,6 +533,37 @@ Result<LabelMatrix> IncrementalApplier::ApplyInternal(
       }
       min_start = std::min(min_start, claim.start_row);
     }
+
+    // Compiled dispatch for the claimed columns that have compiled slots:
+    // scan each distinct sentence of the to-compute rows once, then answer
+    // those columns from the hit stream. Bitwise-identical to interpreting,
+    // so mixed cached/compiled/interpreted columns stay interchangeable.
+    std::shared_ptr<const CompiledLfProgram> program;
+    if (state.options.use_compiled) {
+      if (state.options.compiled_program &&
+          ProgramMatchesLfSet(*state.options.compiled_program, lfs)) {
+        program = state.options.compiled_program;
+      } else {
+        program = GetOrCompileProgram(lfs);
+      }
+      bool any_compiled_claim = false;
+      for (const Claim& claim : claimed) {
+        if (program->slot_of_lf[claim.lf_index] >= 0) {
+          any_compiled_claim = true;
+          break;
+        }
+      }
+      if (!any_compiled_claim) program = nullptr;
+    }
+    std::optional<CompiledLfBatch> batch;
+    if (program != nullptr && min_start < m) {
+      std::vector<const Candidate*> candidates(m, nullptr);
+      for (size_t i = min_start; i < m; ++i) {
+        candidates[i] = &rows.candidate(i);
+      }
+      batch.emplace(program, corpus, candidates, min_start);
+    }
+
     std::atomic<bool> has_error{false};
     std::atomic<size_t> error_col{0};
     std::atomic<Label> error_label{0};
@@ -537,7 +571,10 @@ Result<LabelMatrix> IncrementalApplier::ApplyInternal(
       CandidateView view(&corpus, &rows.candidate(i), rows.index(i));
       for (const Claim& claim : claimed) {
         if (i < claim.start_row) continue;
-        Label label = lfs.at(claim.lf_index).Apply(view);
+        int32_t slot = batch ? program->slot_of_lf[claim.lf_index] : -1;
+        Label label = slot >= 0
+                          ? batch->Eval(static_cast<uint32_t>(slot), i)
+                          : lfs.at(claim.lf_index).Apply(view);
         if (!LabelValidFor(label, state.options.cardinality)) {
           bool expected = false;
           if (has_error.compare_exchange_strong(expected, true)) {

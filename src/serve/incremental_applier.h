@@ -99,6 +99,14 @@ class IncrementalApplier {
     /// in-flight Apply calls are never evicted, so the budget is soft by
     /// the pinned working set.
     size_t max_cached_bytes = 64ull << 20;
+    /// Compute cache-miss columns of compilable LFs through the batch
+    /// engine (lf/compiled/) instead of interpreting per row. Bitwise
+    /// identical output, so cached columns stay interchangeable between the
+    /// two paths.
+    bool use_compiled = true;
+    /// Pre-built program (e.g. from a snapshot's LFCP section); see
+    /// LFApplier::Options::compiled_program.
+    std::shared_ptr<const CompiledLfProgram> compiled_program = nullptr;
   };
 
   struct Stats {

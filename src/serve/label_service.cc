@@ -28,9 +28,10 @@ void AtomicMaxU64(std::atomic<uint64_t>* target, uint64_t v) {
 
 }  // namespace
 
-LabelService::LabelService(GenerativeModel model, DawidSkeneModel ds_model,
-                           int cardinality, LabelingFunctionSet lfs,
-                           Options options)
+LabelService::LabelService(
+    GenerativeModel model, DawidSkeneModel ds_model, int cardinality,
+    LabelingFunctionSet lfs, Options options,
+    std::shared_ptr<const CompiledLfProgram> compiled_program)
     : options_(options),
       cardinality_(cardinality),
       model_(std::move(model)),
@@ -38,15 +39,20 @@ LabelService::LabelService(GenerativeModel model, DawidSkeneModel ds_model,
       lfs_(std::move(lfs)),
       // Exactly one of the two appliers serves this service's requests;
       // pin the unused one serial so an explicit num_threads never spawns
-      // a second, idle dedicated pool.
+      // a second, idle dedicated pool. Both appliers share the snapshot's
+      // pre-built LFCP program (null = compile live on first use).
       applier_(IncrementalApplier::Options{
           .num_threads =
               options.use_incremental_cache ? options.num_threads : 1,
-          .cardinality = cardinality}),
+          .cardinality = cardinality,
+          .use_compiled = options.use_compiled_lfs,
+          .compiled_program = compiled_program}),
       stateless_applier_(LFApplier::Options{
           .num_threads =
               options.use_incremental_cache ? 1 : options.num_threads,
-          .cardinality = cardinality}),
+          .cardinality = cardinality,
+          .use_compiled = options.use_compiled_lfs,
+          .compiled_program = std::move(compiled_program)}),
       anchors_(std::make_shared<TimeAnchors>()) {
   auto& registry = obs::MetricsRegistry::Default();
   requests_total_ = registry.CreateCounter("snorkel_serve_requests_total");
@@ -96,7 +102,7 @@ Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
     auto model = snapshot.RestoreGenerativeModel(options.gen);
     if (!model.ok()) return model.status();
     LabelService service(std::move(*model), DawidSkeneModel(), 2,
-                         std::move(lfs), options);
+                         std::move(lfs), options, snapshot.compiled_lfs);
     service.snapshot_version_ = artifact_version;
     service.snapshot_checksum_ = artifact_checksum;
     return service;
@@ -111,7 +117,8 @@ Result<LabelService> LabelService::Create(const ModelSnapshot& snapshot,
   auto ds_model = snapshot.RestoreDawidSkeneModel(options.ds);
   if (!ds_model.ok()) return ds_model.status();
   LabelService service(GenerativeModel(), std::move(*ds_model),
-                       snapshot.cardinality, std::move(lfs), options);
+                       snapshot.cardinality, std::move(lfs), options,
+                       snapshot.compiled_lfs);
   service.snapshot_version_ = artifact_version;
   service.snapshot_checksum_ = artifact_checksum;
   return service;

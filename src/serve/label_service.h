@@ -193,6 +193,11 @@ class LabelService {
     GenerativeModelOptions gen;
     /// Forwarded to DawidSkeneModel at restore time (K-class snapshots).
     DawidSkeneOptions ds;
+    /// Dispatch compilable LFs through the batch engine (lf/compiled/),
+    /// seeded with the snapshot's LFCP program when it carries one (else
+    /// compiled live on first use). Votes and posteriors are bitwise
+    /// identical either way; off = interpret every LF per row.
+    bool use_compiled_lfs = true;
   };
 
   /// Binds `snapshot` to the live LF set. Every LF must match the snapshot's
@@ -244,7 +249,8 @@ class LabelService {
 
  private:
   LabelService(GenerativeModel model, DawidSkeneModel ds_model,
-               int cardinality, LabelingFunctionSet lfs, Options options);
+               int cardinality, LabelingFunctionSet lfs, Options options,
+               std::shared_ptr<const CompiledLfProgram> compiled_program);
 
   Options options_;
   /// 2 serves model_ (scalar posterior); >2 serves ds_model_ (K columns).

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <functional>
 
+#include "lf/compiled/program.h"
 #include "util/binary_io.h"
 #include "util/hash.h"
 #include "util/mmap_file.h"
@@ -18,7 +19,8 @@ bool TagIs(const char* tag, const char expected[4]) {
 
 bool KnownTag(const char* tag) {
   return TagIs(tag, kSectionLfMetadata) || TagIs(tag, kSectionGenModel) ||
-         TagIs(tag, kSectionDawidSkene) || TagIs(tag, kSectionDiscModel);
+         TagIs(tag, kSectionDawidSkene) || TagIs(tag, kSectionDiscModel) ||
+         TagIs(tag, kSectionCompiledLf);
 }
 
 /// Frames one section: tag | u64 payload_size | payload | u64 checksum.
@@ -60,6 +62,24 @@ Status ValidateSnapshot(const ModelSnapshot& snapshot) {
   if (snapshot.has_disc_model &&
       snapshot.disc_weights.size() != snapshot.feature_buckets) {
     return Status::IOError("snapshot disc weights disagree on bucket count");
+  }
+  if (snapshot.compiled_lfs != nullptr) {
+    // A compiled program dispatched against a different LF set would vote
+    // the wrong columns, so LFCP must align with LFMD exactly: same column
+    // count, and every compiled entry pinned to the fingerprint LFMD
+    // records for its column. (Section order is not guaranteed, so this
+    // cross-check cannot run inside the section decoder.)
+    if (snapshot.compiled_lfs->num_lfs != n) {
+      return Status::IOError(
+          "snapshot LFCP section disagrees with LFMD on LF count");
+    }
+    for (const CompiledLfEntry& entry : snapshot.compiled_lfs->entries) {
+      if (entry.lf_index >= n ||
+          snapshot.lf_fingerprints[entry.lf_index] != entry.fingerprint) {
+        return Status::IOError(
+            "snapshot LFCP entry fingerprint does not match its LFMD column");
+      }
+    }
   }
   return Status::OK();
 }
@@ -283,6 +303,13 @@ Result<ModelSnapshot> DeserializeV2(std::string_view data,
           decoded = DecodeDawidSkene(payload, &snapshot);
         } else if (TagIs(tag, kSectionDiscModel)) {
           decoded = DecodeDiscModelFields(reader, &snapshot);
+        } else if (TagIs(tag, kSectionCompiledLf)) {
+          auto program = CompiledLfProgram::Decode(payload);
+          if (program.ok()) {
+            snapshot.compiled_lfs = *program;
+          } else {
+            decoded = program.status();
+          }
         } else {
           // Skip-unknown: a newer writer added a section this build does
           // not know. Its checksum was verified above; its meaning is
@@ -412,7 +439,8 @@ std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
   std::string buffer(kSnapshotMagic, sizeof(kSnapshotMagic));
   uint32_t section_count = 1 + (snapshot.has_gen_model ? 1 : 0) +
                            (snapshot.has_ds_model ? 1 : 0) +
-                           (snapshot.has_disc_model ? 1 : 0);
+                           (snapshot.has_disc_model ? 1 : 0) +
+                           (snapshot.compiled_lfs != nullptr ? 1 : 0);
   BinaryWriter header;
   header.WriteU32(kSnapshotVersion);
   header.WriteU32(section_count);
@@ -426,6 +454,9 @@ std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
   }
   if (snapshot.has_disc_model) {
     AppendSection(&buffer, kSectionDiscModel, EncodeDiscModel(snapshot));
+  }
+  if (snapshot.compiled_lfs != nullptr) {
+    AppendSection(&buffer, kSectionCompiledLf, snapshot.compiled_lfs->Encode());
   }
   return buffer;
 }

@@ -2,6 +2,7 @@
 #define SNORKEL_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "util/status.h"
 
 namespace snorkel {
+
+class CompiledLfProgram;
 
 /// On-disk snapshot format version this build writes. Version 2 is a
 /// SECTIONED format (see below); version-1 files remain loadable through a
@@ -40,6 +43,7 @@ inline constexpr char kSectionLfMetadata[4] = {'L', 'F', 'M', 'D'};
 inline constexpr char kSectionGenModel[4] = {'G', 'E', 'N', 'M'};
 inline constexpr char kSectionDawidSkene[4] = {'D', 'A', 'W', 'D'};
 inline constexpr char kSectionDiscModel[4] = {'D', 'I', 'S', 'C'};
+inline constexpr char kSectionCompiledLf[4] = {'L', 'F', 'C', 'P'};
 
 /// Everything needed to serve labels without re-running the Figure 2 loop:
 /// the LF metadata identifying Λ's columns (LFMD, always present), then one
@@ -75,6 +79,14 @@ struct ModelSnapshot {
   uint64_t feature_buckets = 0;
   std::vector<double> disc_weights;
   double disc_bias = 0.0;
+
+  // ---- LFCP: compiled LF execution artifact (optional). ----
+  /// Pre-lowered automata for the declarative LF families
+  /// (lf/compiled/program.h), validated against the LFMD fingerprints on
+  /// load so a stale program can never be dispatched against a different
+  /// LF set. Old readers skip the section (checksum-verified) and keep
+  /// serving interpreted; a snapshot without it serves interpreted too.
+  std::shared_ptr<const CompiledLfProgram> compiled_lfs;
 
   /// Unknown sections skipped (checksum-verified) during the last
   /// deserialization of this snapshot; 0 for captured snapshots.
@@ -137,7 +149,9 @@ std::string SerializeSnapshot(const ModelSnapshot& snapshot);
 /// Legacy version-1 writer, kept for downgrade paths and the committed
 /// format-evolution fixtures. V1 has no sections, so it cannot express a
 /// Dawid-Skene model (InvalidArgument) and requires a generative model
-/// (v1's payload unconditionally carries one).
+/// (v1's payload unconditionally carries one). An attached compiled-LF
+/// program is silently omitted (unlike model weights it is derivable: the
+/// appliers recompile it from the live LF set on first use).
 Result<std::string> SerializeSnapshotV1(const ModelSnapshot& snapshot);
 
 /// Decodes a version-1 or version-2 snapshot; rejects bad magic

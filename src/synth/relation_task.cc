@@ -1,6 +1,10 @@
 #include "synth/relation_task.h"
 
 #include <algorithm>
+#include <cctype>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -406,19 +410,51 @@ void AddLf(RelationTask* task, LabelingFunction lf, const std::string& group) {
 /// Weak-classifier score: cue-balance heuristic over the whole sentence.
 std::function<double(const CandidateView&)> CueBalanceScore(
     std::vector<std::string> pos, std::vector<std::string> neg) {
-  return [pos = std::move(pos), neg = std::move(neg)](
-             const CandidateView& view) {
+  // Stem the cue lists once at construction; the per-candidate loop then
+  // only stems sentence words (through the process-wide stem cache). The
+  // score depends on the sentence alone, so it is additionally memoized per
+  // (doc, sentence) — candidates sharing a sentence share one computation.
+  // The memo is guarded for the parallel applier; scores are pure, so
+  // whichever thread computes first wins with an identical value.
+  std::vector<std::string> pos_stems, neg_stems;
+  pos_stems.reserve(pos.size());
+  neg_stems.reserve(neg.size());
+  for (const auto& p : pos) pos_stems.push_back(Stemmer::Stem(p));
+  for (const auto& n : neg) neg_stems.push_back(Stemmer::Stem(n));
+  struct Memo {
+    std::shared_mutex mu;
+    std::unordered_map<uint64_t, double> scores;
+  };
+  auto memo = std::make_shared<Memo>();
+  return [pos_stems = std::move(pos_stems), neg_stems = std::move(neg_stems),
+          memo = std::move(memo)](const CandidateView& view) {
+    const Candidate& c = view.candidate();
+    uint64_t key = (static_cast<uint64_t>(c.span1.doc) << 32) | c.span1.sentence;
+    {
+      std::shared_lock<std::shared_mutex> lock(memo->mu);
+      auto it = memo->scores.find(key);
+      if (it != memo->scores.end()) return it->second;
+    }
     int balance = 0;
+    std::string lower;
     for (const std::string& word : view.sentence().words) {
-      std::string stem = Stemmer::Stem(ToLower(word));
-      for (const auto& p : pos) {
-        if (stem == Stemmer::Stem(p)) ++balance;
+      lower.clear();
+      for (char ch : word) {
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
       }
-      for (const auto& n : neg) {
-        if (stem == Stemmer::Stem(n)) --balance;
+      const std::string& stem = Stemmer::StemCached(lower);
+      for (const auto& p : pos_stems) {
+        if (stem == p) ++balance;
+      }
+      for (const auto& n : neg_stems) {
+        if (stem == n) --balance;
       }
     }
-    return Sigmoid(1.2 * static_cast<double>(balance));
+    double score = Sigmoid(1.2 * static_cast<double>(balance));
+    std::unique_lock<std::shared_mutex> lock(memo->mu);
+    memo->scores.emplace(key, score);
+    return score;
   };
 }
 

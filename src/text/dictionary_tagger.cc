@@ -1,18 +1,59 @@
 #include "text/dictionary_tagger.h"
 
 #include <algorithm>
+#include <cctype>
 
+#include "util/hash.h"
 #include "util/string_util.h"
 
 namespace snorkel {
 
+namespace {
+
+constexpr uint32_t kUnknownToken = 0xffffffffu;
+
+/// A token the id fast path can represent: non-empty, no whitespace — so a
+/// window of such tokens joins to exactly one canonical string.
+bool SimpleToken(const std::string& token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t DictionaryTagger::IdSeqHash::operator()(
+    const std::vector<uint32_t>& ids) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t id : ids) h = HashCombine(h, id);
+  return static_cast<size_t>(h);
+}
+
 void DictionaryTagger::AddEntry(const std::string& phrase,
                                 const std::string& entity_type,
                                 const std::string& canonical_id) {
-  size_t num_words = SplitWhitespace(phrase).size();
-  if (num_words == 0) return;
-  max_phrase_words_ = std::max(max_phrase_words_, num_words);
-  entries_[ToLower(phrase)] = Entry{entity_type, canonical_id, num_words};
+  std::string key = ToLower(phrase);
+  std::vector<std::string> tokens = SplitWhitespace(key);
+  if (tokens.empty()) return;
+  max_phrase_words_ = std::max(max_phrase_words_, tokens.size());
+  Entry& slot = entries_[key];
+  slot = Entry{entity_type, canonical_id, tokens.size()};
+  // Canonical keys (exactly the single-space join of their tokens — every
+  // key a window of simple sentence tokens can produce) also get a
+  // token-id-sequence row for the string-free probe. Other keys stay
+  // reachable through the legacy string fallback.
+  if (key != Join(tokens, " ")) return;
+  std::vector<uint32_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    auto it = token_ids_
+                  .try_emplace(token, static_cast<uint32_t>(token_ids_.size()))
+                  .first;
+    ids.push_back(it->second);
+  }
+  phrase_ids_[std::move(ids)] = &slot;
 }
 
 void DictionaryTagger::TagSentence(Sentence* sentence) const {
@@ -24,29 +65,68 @@ void DictionaryTagger::TagSentence(Sentence* sentence) const {
     }
   }
 
+  // Lower + intern each token once; windows below compare u32 ids.
+  std::vector<std::string> lowered(words.size());
+  std::vector<uint32_t> ids(words.size(), kUnknownToken);
+  std::vector<bool> simple(words.size(), false);
+  for (size_t i = 0; i < words.size(); ++i) {
+    lowered[i] = ToLower(words[i]);
+    simple[i] = SimpleToken(lowered[i]);
+    if (simple[i]) {
+      auto it = token_ids_.find(lowered[i]);
+      if (it != token_ids_.end()) ids[i] = it->second;
+    }
+  }
+
+  std::vector<uint32_t> probe;  // Reused window key.
+  probe.reserve(max_phrase_words_);
   for (size_t start = 0; start < words.size(); ++start) {
     if (covered[start]) continue;
     // Longest match first.
     size_t max_len = std::min(max_phrase_words_, words.size() - start);
     for (size_t len = max_len; len >= 1; --len) {
       bool blocked = false;
-      std::string phrase;
+      bool fast = true;
+      bool unknown = false;
       for (size_t i = start; i < start + len; ++i) {
         if (covered[i]) {
           blocked = true;
           break;
         }
-        if (!phrase.empty()) phrase += ' ';
-        phrase += ToLower(words[i]);
+        if (!simple[i]) {
+          fast = false;
+        } else if (ids[i] == kUnknownToken) {
+          unknown = true;
+        }
       }
       if (blocked) continue;
-      auto it = entries_.find(phrase);
-      if (it == entries_.end()) continue;
+      const Entry* entry = nullptr;
+      if (fast) {
+        // All-simple windows join canonically, so only id-sequence rows can
+        // match — and a token no phrase uses rules every length out without
+        // touching the table.
+        if (unknown) continue;
+        probe.assign(ids.begin() + start, ids.begin() + start + len);
+        auto it = phrase_ids_.find(probe);
+        if (it == phrase_ids_.end()) continue;
+        entry = it->second;
+      } else {
+        // Degenerate tokens (empty / embedded whitespace): the exact legacy
+        // joined-string probe.
+        std::string phrase;
+        for (size_t i = start; i < start + len; ++i) {
+          if (!phrase.empty()) phrase += ' ';
+          phrase += lowered[i];
+        }
+        auto it = entries_.find(phrase);
+        if (it == entries_.end()) continue;
+        entry = &it->second;
+      }
       Mention mention;
       mention.word_start = static_cast<uint32_t>(start);
       mention.word_end = static_cast<uint32_t>(start + len);
-      mention.entity_type = it->second.entity_type;
-      mention.canonical_id = it->second.canonical_id;
+      mention.entity_type = entry->entity_type;
+      mention.canonical_id = entry->canonical_id;
       sentence->mentions.push_back(std::move(mention));
       for (size_t i = start; i < start + len; ++i) covered[i] = true;
       start += len - 1;  // Continue after the match.

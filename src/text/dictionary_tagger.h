@@ -1,6 +1,7 @@
 #ifndef SNORKEL_TEXT_DICTIONARY_TAGGER_H_
 #define SNORKEL_TEXT_DICTIONARY_TAGGER_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,15 @@ namespace snorkel {
 /// with an entity type and canonical id. The stand-in for the paper's
 /// NER preprocessing (SpaCy NER for Spouses, provided chemical/disease tags
 /// for CDR).
+///
+/// Matching compares interned token ids, not strings: each registered phrase
+/// whose key is a plain single-space token join gets a token-id-sequence row,
+/// and TagSentence lowers + interns each sentence token ONCE, then probes
+/// windows as id sequences — no per-window string concatenation or string
+/// hashing. A window containing a token no phrase uses is rejected without
+/// any lookup. Degenerate tokens (empty, or containing whitespace, which the
+/// joined-string key space can express ambiguously) fall back to the exact
+/// legacy string probe, so results are identical to the string-keyed tagger.
 class DictionaryTagger {
  public:
   DictionaryTagger() = default;
@@ -41,7 +51,19 @@ class DictionaryTagger {
     size_t num_words = 1;
   };
 
+  struct IdSeqHash {
+    size_t operator()(const std::vector<uint32_t>& ids) const;
+  };
+
+  /// Authoritative store, keyed by the lowered phrase string (preserves the
+  /// public overwrite/size semantics for ANY registered key).
   std::unordered_map<std::string, Entry> entries_;
+  /// Interned ids for tokens of canonically-keyed phrases, and the fast
+  /// probe table over their id sequences. Values point into `entries_`
+  /// (node-based map: stable across rehash and overwrite).
+  std::unordered_map<std::string, uint32_t> token_ids_;
+  std::unordered_map<std::vector<uint32_t>, const Entry*, IdSeqHash>
+      phrase_ids_;
   size_t max_phrase_words_ = 1;
 };
 

@@ -1,5 +1,13 @@
 #include "text/stemmer.h"
 
+#include <array>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
 namespace snorkel {
 
 namespace {
@@ -70,6 +78,38 @@ std::string Stemmer::Stem(std::string_view word) {
     w.resize(w.size() - 3);
   }
   return w;
+}
+
+const std::string& Stemmer::StemCached(const std::string& word) {
+  // Sharded so concurrent LF appliers on different tokens rarely contend.
+  // Entries are never erased, and unordered_map nodes are pointer-stable, so
+  // returned references stay valid for the life of the process.
+  static constexpr size_t kShards = 16;
+  static constexpr size_t kMaxEntriesPerShard = 1 << 18;
+  struct Shard {
+    std::shared_mutex mu;
+    std::unordered_map<std::string, std::string> memo;
+  };
+  static std::array<Shard, kShards>& shards = *new std::array<Shard, kShards>;
+
+  Shard& shard = shards[std::hash<std::string>{}(word) % kShards];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.memo.find(word);
+    if (it != shard.memo.end()) return it->second;
+  }
+  std::string stemmed = Stem(word);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.memo.size() >= kMaxEntriesPerShard &&
+      shard.memo.find(word) == shard.memo.end()) {
+    // Memo full: serve from thread-local storage instead of growing without
+    // bound on adversarial vocabularies.
+    lock.unlock();
+    static thread_local std::string overflow;
+    overflow = std::move(stemmed);
+    return overflow;
+  }
+  return shard.memo.try_emplace(word, std::move(stemmed)).first->second;
 }
 
 }  // namespace snorkel

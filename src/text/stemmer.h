@@ -15,6 +15,14 @@ class Stemmer {
  public:
   /// Returns the stem of a single lower-case token.
   static std::string Stem(std::string_view word);
+
+  /// Stem() through a process-wide token→stem memo, so each distinct token
+  /// is stemmed once ever instead of once per LF per candidate. Safe to call
+  /// concurrently (sharded reader/writer locks). The returned reference is
+  /// stable for the life of the process, except under memo-full overflow
+  /// where it points at thread-local storage valid until this thread's next
+  /// overflowing call — treat it as borrowed for immediate use.
+  static const std::string& StemCached(const std::string& word);
 };
 
 }  // namespace snorkel

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "lf/applier.h"
+#include "lf/compiled/program.h"
 #include "lf/declarative.h"
 #include "pipeline/export_snapshot.h"
 #include "serve/incremental_applier.h"
@@ -1338,6 +1339,254 @@ TEST(SnapshotFormatTest, V2TruncationAtEveryBoundaryIsIOError) {
   auto loaded = DeserializeSnapshot(bytes + "junk");
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------ LFCP (compiled LF) format evolution --
+
+/// Mirrors GoldenLfcpLfs() in tools/make_golden_snapshots.cc EXACTLY —
+/// fingerprints hash (name, version), so these calls reproduce the
+/// committed fixture's columns. Keep the two in sync.
+LabelingFunctionSet GoldenLfcpLfs() {
+  LabelingFunctionSet lfs;
+  lfs.Add(MakeKeywordBetweenLF("kw_causes", {"causes", "induced"}, 1));
+  lfs.Add(MakeDirectionalKeywordLF("dir_treats", {"treats"}, 1, -1));
+  lfs.Add(MakeRegexBetweenLF("rx_severe", "severe|acute", 1));
+  lfs.Add(MakeContextKeywordLF("ctx_negated", {"no", "without"}, 3, -1));
+  lfs.Add(MakeDistanceLF("dist_far", 8, -1));
+  lfs.Add(MakeSentenceKeywordLF("sent_normal", {"normal"}, -1));
+  lfs.Add(MakeDocumentKeywordLF("doc_history", {"history"}, -1));
+  lfs.Add(LabelingFunction("opaque_short", "v1",
+                           [](const CandidateView& view) -> Label {
+                             return view.TokenDistance() <= 2 ? 1 : kAbstain;
+                           }));
+  return lfs;
+}
+
+/// A corpus exercising every compiled family: keyword/regex between,
+/// directional (both orders), context window, sentence scope, and document
+/// scope through a mention-free second sentence.
+struct LfcpServeFixture {
+  Corpus corpus;
+  std::vector<Candidate> candidates;
+
+  explicit LfcpServeFixture(int num_docs = 40) {
+    for (int d = 0; d < num_docs; ++d) {
+      Document doc;
+      Sentence s;
+      switch (d % 4) {
+        case 0:
+          s.words = {"magnesium", "causes", "severe", "quadriplegia"};
+          s.mentions = {Mention{0, 1, "chemical", "C"},
+                        Mention{3, 4, "disease", "D"}};
+          break;
+        case 1:
+          s.words = {"aspirin", "treats", "headache"};
+          s.mentions = {Mention{0, 1, "chemical", "C"},
+                        Mention{2, 3, "disease", "D"}};
+          break;
+        case 2:
+          // Disease precedes chemical: the directional LF's reverse arm.
+          s.words = {"headache", "treats", "aspirin"};
+          s.mentions = {Mention{2, 3, "chemical", "C"},
+                        Mention{0, 1, "disease", "D"}};
+          break;
+        default:
+          s.words = {"without", "magnesium", "history", "of", "quadriplegia",
+                     "normal"};
+          s.mentions = {Mention{1, 2, "chemical", "C"},
+                        Mention{4, 5, "disease", "D"}};
+          break;
+      }
+      doc.sentences = {s};
+      if (d % 2 == 1) {
+        // Mention-free sentence reachable only through document scope.
+        Sentence extra;
+        extra.words = {"prior", "history", "of", "migraine"};
+        doc.sentences.push_back(extra);
+      }
+      corpus.AddDocument(std::move(doc));
+    }
+    candidates = CandidateExtractor("chemical", "disease").Extract(corpus);
+  }
+};
+
+TEST(SnapshotFormatTest, GoldenLfcpFixtureMatchesLiveCompileBitwise) {
+  auto loaded = LoadSnapshot(TestDataPath("golden_v2_lfcp.snk"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded->compiled_lfs, nullptr);
+  EXPECT_EQ(loaded->skipped_sections, 0u);
+  EXPECT_EQ(loaded->compiled_lfs->num_lfs, 8u);
+  // Every declarative family compiles; the opaque lambda stays interpreted.
+  EXPECT_EQ(loaded->compiled_lfs->num_compiled(), 7u);
+  ASSERT_EQ(loaded->compiled_lfs->slot_of_lf.size(), 8u);
+  EXPECT_EQ(loaded->compiled_lfs->slot_of_lf[7], -1);
+
+  LabelingFunctionSet lfs = GoldenLfcpLfs();
+  EXPECT_TRUE(ProgramMatchesLfSet(*loaded->compiled_lfs, lfs));
+  // The compiler is deterministic, so the committed LFCP bytes are exactly
+  // what a live compile of the same LF set produces today.
+  EXPECT_EQ(loaded->compiled_lfs->Encode(), CompileLfSet(lfs)->Encode());
+
+  // The section lister knows the tag.
+  auto bytes = ReadFileBytes(TestDataPath("golden_v2_lfcp.snk"));
+  ASSERT_TRUE(bytes.ok());
+  auto sections = ListSnapshotSections(*bytes);
+  ASSERT_TRUE(sections.ok());
+  bool found = false;
+  for (const auto& section : *sections) {
+    if (section.tag == "LFCP") {
+      found = true;
+      EXPECT_TRUE(section.known);
+      EXPECT_TRUE(section.checksum_ok);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SnapshotFormatTest, GoldenLfcpServesCompiledIdenticalToInterpreted) {
+  auto loaded = LoadSnapshot(TestDataPath("golden_v2_lfcp.snk"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  LfcpServeFixture fx;
+  ASSERT_FALSE(fx.candidates.empty());
+
+  LabelService::Options interpreted_options;
+  interpreted_options.use_compiled_lfs = false;
+  auto compiled = LabelService::Create(*loaded, GoldenLfcpLfs());
+  auto interpreted =
+      LabelService::Create(*loaded, GoldenLfcpLfs(), interpreted_options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_TRUE(interpreted.ok()) << interpreted.status().ToString();
+
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  request.include_votes = true;
+  auto a = compiled->Label(request);
+  auto b = interpreted->Label(request);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->posteriors, b->posteriors);
+  EXPECT_EQ(a->hard_labels, b->hard_labels);
+  EXPECT_EQ(a->votes.entries(), b->votes.entries());
+  EXPECT_EQ(a->votes.row_offsets(), b->votes.row_offsets());
+  EXPECT_GT(a->votes.entries().size(), 0u);
+}
+
+TEST(SnapshotFormatTest, LfcpSectionSkipsOnReadersThatDontKnowIt) {
+  // Simulates an OLD binary reading a NEW snapshot: rewriting the LFCP tag
+  // to one no build recognizes exercises the identical skip-unknown path an
+  // LFCP-unaware reader takes. The checksum still verifies (it covers the
+  // payload, not the tag), the model sections load, and serving falls back
+  // to the interpreted LF path with identical output.
+  auto bytes_read = ReadFileBytes(TestDataPath("golden_v2_lfcp.snk"));
+  ASSERT_TRUE(bytes_read.ok());
+  std::string bytes = *bytes_read;
+  auto sections = ListSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  size_t lfcp_index = sections->size();
+  for (size_t s = 0; s < sections->size(); ++s) {
+    if ((*sections)[s].tag == "LFCP") lfcp_index = s;
+  }
+  ASSERT_LT(lfcp_index, sections->size());
+  size_t tag_offset = SectionPayloadOffset(bytes, lfcp_index) - 12;
+  std::memcpy(bytes.data() + tag_offset, "ZZZZ", 4);
+
+  auto skipped = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_EQ(skipped->skipped_sections, 1u);
+  EXPECT_EQ(skipped->compiled_lfs, nullptr);
+
+  auto full = LoadSnapshot(TestDataPath("golden_v2_lfcp.snk"));
+  ASSERT_TRUE(full.ok());
+  LfcpServeFixture fx;
+  auto service_skipped = LabelService::Create(*skipped, GoldenLfcpLfs());
+  auto service_full = LabelService::Create(*full, GoldenLfcpLfs());
+  ASSERT_TRUE(service_skipped.ok() && service_full.ok());
+  LabelRequest request;
+  request.corpus = &fx.corpus;
+  request.candidates = &fx.candidates;
+  auto a = service_skipped->Label(request);
+  auto b = service_full->Label(request);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->posteriors, b->posteriors);
+  EXPECT_EQ(a->hard_labels, b->hard_labels);
+}
+
+TEST(SnapshotFormatTest, LfcpCorruptionIsTypedAndNamesTheSection) {
+  auto bytes_read = ReadFileBytes(TestDataPath("golden_v2_lfcp.snk"));
+  ASSERT_TRUE(bytes_read.ok());
+  const std::string& bytes = *bytes_read;
+  auto sections = ListSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  size_t lfcp_index = sections->size();
+  for (size_t s = 0; s < sections->size(); ++s) {
+    if ((*sections)[s].tag == "LFCP") lfcp_index = s;
+  }
+  ASSERT_LT(lfcp_index, sections->size());
+  const size_t payload_offset = SectionPayloadOffset(bytes, lfcp_index);
+  const size_t payload_size = (*sections)[lfcp_index].payload_size;
+
+  // A flipped payload byte fails the section checksum, naming LFCP.
+  std::string corrupted = bytes;
+  corrupted[payload_offset + payload_size / 2] ^= 0x04;
+  auto loaded = DeserializeSnapshot(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("LFCP"), std::string::npos)
+      << loaded.status().ToString();
+
+  // A checksum-consistent but malformed program payload fails in the
+  // program decoder — still a typed IOError naming the section.
+  std::string bad_version = bytes;
+  uint32_t version = 99;
+  std::memcpy(bad_version.data() + payload_offset, &version,
+              sizeof(version));
+  uint64_t checksum = Fnv1a64(std::string_view(bad_version)
+                                  .substr(payload_offset, payload_size));
+  std::memcpy(bad_version.data() + payload_offset + payload_size, &checksum,
+              sizeof(checksum));
+  loaded = DeserializeSnapshot(bad_version);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("LFCP"), std::string::npos)
+      << loaded.status().ToString();
+
+  // Truncation inside the LFCP payload is framing-level truncation.
+  loaded = DeserializeSnapshot(
+      std::string_view(bytes).substr(0, payload_offset + payload_size / 2));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotFormatTest, LfcpMisalignedWithLfmdIsRejected) {
+  ServeFixture fx;
+  LabelingFunctionSet lfs = fx.MakeLfs();
+  ModelSnapshot snapshot = MakeServableSnapshot(fx, lfs);
+
+  // Wrong column count: a program compiled for a different LF set.
+  snapshot.compiled_lfs = CompileLfSet(GoldenLfcpLfs());
+  auto loaded = DeserializeSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("LFCP"), std::string::npos);
+
+  // Same column count, different behaviour (fingerprint drift).
+  LabelingFunctionSet renamed;
+  renamed.Add(MakeKeywordBetweenLF("lf_causes_v2", {"cause"}, 1));
+  renamed.Add(MakeKeywordBetweenLF("lf_treats", {"treat"}, -1));
+  renamed.Add(MakeDistanceLF("lf_far", 4, -1));
+  snapshot.compiled_lfs = CompileLfSet(renamed);
+  loaded = DeserializeSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("LFCP"), std::string::npos);
+
+  // The matching program round-trips fine.
+  snapshot.compiled_lfs = CompileLfSet(lfs);
+  loaded = DeserializeSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded->compiled_lfs, nullptr);
+  EXPECT_EQ(loaded->compiled_lfs->Encode(), snapshot.compiled_lfs->Encode());
 }
 
 // ------------------------------------------------- K-class label service --

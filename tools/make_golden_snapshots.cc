@@ -1,8 +1,11 @@
 // Regenerates the committed format-evolution fixtures consumed by
 // tests/serve_test.cc:
 //
-//   tests/data/golden_v1.snk  — version-1 (unsectioned) binary snapshot
-//   tests/data/golden_v2.snk  — version-2 sectioned K-class (DAWD) snapshot
+//   tests/data/golden_v1.snk       — version-1 (unsectioned) binary snapshot
+//   tests/data/golden_v2.snk       — version-2 sectioned K-class (DAWD)
+//   tests/data/golden_v2_lfcp.snk  — version-2 carrying a compiled-LF
+//                                    program (LFCP) over a declarative LF
+//                                    set (one opaque LF stays interpreted)
 //
 // Every parameter below is an exactly-representable double, so the tests
 // can assert VALUE equality against the same literals on any platform. Run
@@ -17,6 +20,8 @@
 #include <cstdio>
 #include <string>
 
+#include "lf/compiled/program.h"
+#include "lf/declarative.h"
 #include "serve/snapshot.h"
 #include "util/binary_io.h"
 
@@ -61,6 +66,44 @@ snorkel::ModelSnapshot GoldenV2Snapshot() {
   return snapshot;
 }
 
+/// The LFCP fixture's LF set: one LF per compilable declarative family plus
+/// one opaque lambda that must stay interpreted. tests/serve_test.cc
+/// mirrors this set EXACTLY (fingerprints hash (name, version), so the
+/// mirrored factory calls reproduce them) — keep the two in sync.
+snorkel::LabelingFunctionSet GoldenLfcpLfs() {
+  snorkel::LabelingFunctionSet lfs;
+  lfs.Add(snorkel::MakeKeywordBetweenLF("kw_causes", {"causes", "induced"},
+                                        1));
+  lfs.Add(snorkel::MakeDirectionalKeywordLF("dir_treats", {"treats"}, 1, -1));
+  lfs.Add(snorkel::MakeRegexBetweenLF("rx_severe", "severe|acute", 1));
+  lfs.Add(snorkel::MakeContextKeywordLF("ctx_negated", {"no", "without"}, 3,
+                                        -1));
+  lfs.Add(snorkel::MakeDistanceLF("dist_far", 8, -1));
+  lfs.Add(snorkel::MakeSentenceKeywordLF("sent_normal", {"normal"}, -1));
+  lfs.Add(snorkel::MakeDocumentKeywordLF("doc_history", {"history"}, -1));
+  lfs.Add(snorkel::LabelingFunction(
+      "opaque_short", "v1",
+      [](const snorkel::CandidateView& view) -> snorkel::Label {
+        return view.TokenDistance() <= 2 ? 1 : snorkel::kAbstain;
+      }));
+  return lfs;
+}
+
+snorkel::ModelSnapshot GoldenLfcpSnapshot() {
+  snorkel::LabelingFunctionSet lfs = GoldenLfcpLfs();
+  snorkel::ModelSnapshot snapshot;
+  snapshot.lf_names = lfs.Names();
+  snapshot.lf_fingerprints = lfs.Fingerprints();
+  snapshot.cardinality = 2;
+  snapshot.has_gen_model = true;
+  snapshot.class_balance = 0.5;
+  // Exactly-representable weights, one per LF column.
+  snapshot.acc_weights = {1.0, 0.75, 0.5, 0.5, 0.25, 0.5, 0.25, 0.125};
+  snapshot.lab_weights = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  snapshot.compiled_lfs = snorkel::CompileLfSet(lfs);
+  return snapshot;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,10 +116,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string v2 = snorkel::SerializeSnapshot(GoldenV2Snapshot());
+  std::string v2_lfcp = snorkel::SerializeSnapshot(GoldenLfcpSnapshot());
 
   for (const auto& [name, bytes] :
        {std::pair<std::string, std::string>{"golden_v1.snk", *v1},
-        {"golden_v2.snk", v2}}) {
+        {"golden_v2.snk", v2},
+        {"golden_v2_lfcp.snk", v2_lfcp}}) {
     std::string path = out_dir + "/" + name;
     snorkel::Status written = snorkel::WriteFileBytes(path, bytes);
     if (!written.ok()) {

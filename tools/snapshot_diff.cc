@@ -6,6 +6,9 @@
 // Reports, for any mix of v1/v2 artifacts:
 //   * file version + v2 section table (tag, bytes, checksum, known/unknown),
 //   * LF-set membership changes (added / removed / re-fingerprinted LFs),
+//   * compiled-LF program (LFCP) summaries — automaton/pattern/symbol
+//     counts — and compiled-set membership drift: any common LF that moved
+//     between the compiled and interpreted engines,
 //   * generative-model drift: per-LF accuracy/propensity weight deltas,
 //     correlation-set changes, class-balance delta,
 //   * Dawid-Skene drift: per-LF worker-accuracy deltas (prior-weighted
@@ -13,7 +16,9 @@
 //   * discriminative-model drift summary.
 //
 // With --fail-over X the process exits 2 when the largest absolute label-
-// model weight/parameter delta exceeds X (for CI drift gates); load errors
+// model weight/parameter delta exceeds X, or when the compiled-set
+// membership drifted at all (an LF silently changing execution engines is
+// structural, not a magnitude — any threshold gates it); load errors
 // exit 1.
 //
 // With --promote STORE_DIR the tool is the rollout gate: when the diff
@@ -30,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "lf/compiled/program.h"
 #include "net/snapshot_store.h"
 #include "serve/snapshot.h"
 #include "util/binary_io.h"
@@ -76,6 +82,27 @@ double WorkerAccuracyOf(const ModelSnapshot& snapshot, size_t j) {
            snapshot.ds_confusions[(j * k + c) * k + c];
   }
   return acc;
+}
+
+/// Whether LF column j executes on the compiled engine under `snapshot`.
+bool CompiledFlagOf(const ModelSnapshot& snapshot, size_t j) {
+  return snapshot.compiled_lfs != nullptr &&
+         j < snapshot.compiled_lfs->slot_of_lf.size() &&
+         snapshot.compiled_lfs->slot_of_lf[j] >= 0;
+}
+
+void PrintCompiledProgram(const char* label, const ModelSnapshot& snapshot) {
+  if (snapshot.compiled_lfs == nullptr) {
+    std::printf("%s: no LFCP section (all LFs interpreted)\n", label);
+    return;
+  }
+  const snorkel::CompiledLfProgram& p = *snapshot.compiled_lfs;
+  std::printf(
+      "%s: %zu/%llu LFs compiled; token AC %zu nodes / %zu patterns; "
+      "byte AC %zu nodes / %zu patterns; %zu interned symbols\n",
+      label, p.num_compiled(), static_cast<unsigned long long>(p.num_lfs),
+      p.token_ac.num_nodes(), p.token_pattern_slots.size(),
+      p.byte_ac.num_nodes(), p.byte_pattern_slots.size(), p.symbols.size());
 }
 
 struct DriftSummary {
@@ -161,6 +188,32 @@ int main(int argc, char** argv) {
               "%zu re-fingerprinted)\n\n",
               a->lf_names.size(), b->lf_names.size(), added, removed,
               refingered);
+
+  // ---- Compiled-LF program (LFCP): which engine serves each column. ----
+  size_t engine_moves = 0;
+  if (a->compiled_lfs != nullptr || b->compiled_lfs != nullptr) {
+    PrintCompiledProgram("LFCP A", *a);
+    PrintCompiledProgram("LFCP B", *b);
+    TablePrinter moved({"LF", "engine A", "engine B"});
+    for (const auto& [name, ja] : index_a) {
+      auto it = index_b.find(name);
+      if (it == index_b.end()) continue;
+      bool ca = CompiledFlagOf(*a, ja);
+      bool cb = CompiledFlagOf(*b, it->second);
+      if (ca == cb) continue;
+      ++engine_moves;
+      moved.AddRow({name, ca ? "compiled" : "interpreted",
+                    cb ? "compiled" : "interpreted"});
+    }
+    if (engine_moves > 0) {
+      std::printf("compiled-set membership drift (%zu LFs changed "
+                  "engine):\n%s",
+                  engine_moves, moved.ToString().c_str());
+    } else {
+      std::printf("compiled-set membership: no drift over common LFs\n");
+    }
+    std::printf("\n");
+  }
 
   DriftSummary drift;
 
@@ -262,6 +315,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nlabel-model max |Δ|: %.6f\n", drift.max_abs_delta);
+  if (fail_over >= 0.0 && engine_moves > 0) {
+    std::fprintf(stderr,
+                 "compiled-set membership drifted (%zu LFs changed engine) "
+                 "under --fail-over%s\n",
+                 engine_moves, promote_dir.empty() ? "" : "; NOT promoting");
+    return 2;
+  }
   if (fail_over >= 0.0 && drift.max_abs_delta > fail_over) {
     std::fprintf(stderr, "drift %.6f exceeds --fail-over %.6f%s\n",
                  drift.max_abs_delta, fail_over,
