@@ -16,7 +16,13 @@
 //   (5) tracing overhead: the same 2-shard router workload with tracing off
 //       vs on — off must cost ~nothing (one thread-local load per would-be
 //       span) and on stays within a few percent (span recording is
-//       thread-local until the per-request flush into the bounded ring).
+//       thread-local until the per-request flush into the bounded ring), and
+//   (6) overload goodput (PR 10): a deliberately capacity-constrained shard
+//       (1 worker, every request sleeps an injected 2 ms, small cost budget)
+//       under closed-loop load at 1x and 2x saturation — the 2x goodput
+//       ratio is the headline overload-control number (shedding must not
+//       collapse throughput), plus the shed / expired-work-cancelled
+//       counters from the same run.
 //
 // CAVEAT: loopback numbers bound the PROTOCOL cost only. Real deployments
 // add NIC latency, congestion, and cross-machine clock effects that
@@ -30,6 +36,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -410,6 +417,130 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(traced_spans),
               tracing.ToString().c_str());
 
+  // ---- (6) overload goodput (PR 10): one worker serving ~2 ms/request
+  // (injected), cost budget sized for ~3 queued jobs. Closed-loop callers
+  // at 1x (2 callers) then 2x (4 callers); rejected callers honor the
+  // retry_after hint. The ratio is what overload control buys: excess load
+  // turns into typed rejections, not goodput collapse. A tiny-deadline
+  // burst at the end proves expired work is cancelled mid-service. ----
+  double overload_1x_cps = 0.0;
+  double overload_2x_cps = 0.0;
+  uint64_t overload_shed = 0;
+  uint64_t overload_cancelled = 0;
+  uint64_t overload_rejections = 0;
+  {
+    ShardServer::Options options;
+    options.num_workers = 1;
+    options.queue_capacity = 8;
+    options.queue_cost_budget =
+        3 * probe_rows.size() * std::max<size_t>(1, task->lfs.size());
+    options.interactive_rows = 16;  // The 64-row workload rides the bulk lane.
+    options.sojourn_target_ms = 50;
+    options.service.num_threads = 1;
+    options.inject_delay_every_n = 1;
+    options.inject_delay_ms = 2;
+    auto server = ShardServer::Serve(path, task->lfs, options);
+    if (!server.ok()) return 1;
+    const std::vector<CandidateRef> interactive_rows(probe_rows.begin(),
+                                                     probe_rows.begin() + 8);
+    auto closed_loop = [&](int callers) -> double {
+      RemoteShardClient::Options client_options;
+      client_options.port = server->port();
+      client_options.max_pooled_connections = static_cast<size_t>(callers);
+      client_options.adaptive_initial_limit = 64.0;
+      RemoteShardClient client = RemoteShardClient::Create(client_options);
+      std::atomic<uint64_t> successes{0};
+      WallTimer wall;
+      const auto stop_at =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(700);
+      std::vector<std::thread> threads;
+      for (int t = 0; t < callers; ++t) {
+        threads.emplace_back([&] {
+          while (std::chrono::steady_clock::now() < stop_at) {
+            uint64_t retry_after_ms = 0;
+            if (client
+                    .Label(task->corpus, probe_rows, false, true, 1'000,
+                           nullptr, &retry_after_ms)
+                    .ok()) {
+              successes.fetch_add(1);
+            } else if (retry_after_ms > 0) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  std::min<uint64_t>(retry_after_ms, 50)));
+            }
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      return static_cast<double>(successes.load()) *
+             static_cast<double>(probe_rows.size()) / wall.ElapsedSeconds();
+    };
+    overload_1x_cps = closed_loop(2);
+    // During the 2x run an interactive trickle (8 rows, under the lane
+    // split) arrives against a cost-full bulk queue — each such arrival
+    // displaces the oldest queued bulk job (the shed counter moving is the
+    // priority-lane contract, not an accident of timing).
+    std::atomic<bool> trickle_stop{false};
+    std::thread trickle([&] {
+      RemoteShardClient::Options client_options;
+      client_options.port = server->port();
+      client_options.adaptive_initial_limit = 64.0;
+      RemoteShardClient client = RemoteShardClient::Create(client_options);
+      while (!trickle_stop.load()) {
+        (void)client.Label(task->corpus, interactive_rows, false, true,
+                           1'000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+    overload_2x_cps = closed_loop(4);
+    trickle_stop.store(true);
+    trickle.join();
+    // Tiny-deadline burst: 4 concurrent callers with 6 ms budgets against a
+    // ~2 ms/job queue — a budget that survives admission and dequeue still
+    // dies inside the injected sleep, and the cancellation token stops the
+    // compute mid-service.
+    {
+      RemoteShardClient::Options client_options;
+      client_options.port = server->port();
+      client_options.adaptive_initial_limit = 64.0;
+      RemoteShardClient client = RemoteShardClient::Create(client_options);
+      std::vector<std::thread> burst;
+      for (int t = 0; t < 4; ++t) {
+        burst.emplace_back([&] {
+          for (int i = 0; i < 15; ++i) {
+            (void)client.Label(task->corpus, probe_rows, false, true, 6);
+          }
+        });
+      }
+      for (auto& th : burst) th.join();
+    }
+    // The abandoned burst jobs drain at ~2 ms each; give them a moment so
+    // the counters below reflect the whole run.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ShardServer::Stats stats = server->stats();
+    overload_shed = stats.shed_total;
+    overload_cancelled = stats.expired_work_cancelled;
+    overload_rejections = stats.queue_rejections;
+    server->Shutdown();
+  }
+  const double overload_ratio =
+      overload_1x_cps > 0.0 ? overload_2x_cps / overload_1x_cps : 0.0;
+  TablePrinter overload({"Load", "goodput cand/s", "Vs 1x"});
+  overload.AddRow({"1x (2 closed-loop callers)",
+                   TablePrinter::Cell(overload_1x_cps, 0), "1.00"});
+  overload.AddRow({"2x (4 closed-loop callers)",
+                   TablePrinter::Cell(overload_2x_cps, 0),
+                   TablePrinter::Cell(overload_ratio, 2)});
+  std::printf("\nOverload goodput (1 worker, +2ms injected per request, "
+              "cost-budgeted queue; %llu queue rejections, %llu shed, "
+              "%llu expired-work cancellations):\n%s",
+              static_cast<unsigned long long>(overload_rejections),
+              static_cast<unsigned long long>(overload_shed),
+              static_cast<unsigned long long>(overload_cancelled),
+              overload.ToString().c_str());
+  std::printf("(goodput at 2x within a constant factor of capacity is the "
+              "overload-control contract — excess load becomes typed "
+              "rejections with retry hints, not collapse)\n");
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -429,7 +560,10 @@ int main(int argc, char** argv) {
         "  \"failover\": {\"r1_cps\": %.1f, \"r2_cps\": %.1f, "
         "\"outage_cps\": %.1f, \"failovers\": %llu},\n"
         "  \"obs\": {\"trace_off_cps\": %.1f, \"trace_on_cps\": %.1f, "
-        "\"overhead_pct\": %.2f, \"spans_per_run\": %llu}\n"
+        "\"overhead_pct\": %.2f, \"spans_per_run\": %llu},\n"
+        "  \"overload\": {\"goodput_1x_cps\": %.1f, \"goodput_2x_cps\": %.1f, "
+        "\"goodput_ratio_2x\": %.2f, \"queue_rejections\": %llu, "
+        "\"shed\": %llu, \"expired_cancelled\": %llu}\n"
         "}\n",
         kCallers, kBatchSize, inprocess_cps, loopback_cps, router2_cps,
         static_cast<unsigned long long>(kInjectMs), kProbeCalls,
@@ -437,7 +571,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(hedged_wins), r1_cps, r2_cps,
         outage_cps, static_cast<unsigned long long>(outage_failovers),
         trace_off_cps, trace_on_cps, overhead_pct,
-        static_cast<unsigned long long>(traced_spans));
+        static_cast<unsigned long long>(traced_spans), overload_1x_cps,
+        overload_2x_cps, overload_ratio,
+        static_cast<unsigned long long>(overload_rejections),
+        static_cast<unsigned long long>(overload_shed),
+        static_cast<unsigned long long>(overload_cancelled));
     std::fclose(out);
     std::printf("\nwrote %s\n", json_path.c_str());
   }

@@ -167,6 +167,20 @@ print(
         obs["trace_off_cps"], obs["trace_on_cps"], obs["overhead_pct"],
         obs["spans_per_run"]))
 
+# The overload-control section (PR 10): goodput at 2x saturating load must
+# stay on the trajectory — a missing section means the benchmark silently
+# dropped the saturation probe, and a collapsing ratio means shedding
+# regressed into congestion collapse.
+overload = net.get("overload")
+if not overload:
+    sys.exit("net benchmark JSON is missing the 'overload' section")
+print(
+    "overload: goodput 1x {:.0f} vs 2x {:.0f} cand/s (ratio {:.2f}); "
+    "{} queue rejections, {} shed, {} expired-work cancellations".format(
+        overload["goodput_1x_cps"], overload["goodput_2x_cps"],
+        overload["goodput_ratio_2x"], overload["queue_rejections"],
+        overload["shed"], overload["expired_cancelled"]))
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")

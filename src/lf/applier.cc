@@ -28,13 +28,13 @@ std::vector<CandidateRef> MakeCandidateRefs(
 
 Result<LabelMatrix> LFApplier::Apply(
     const LabelingFunctionSet& lfs, const Corpus& corpus,
-    const std::vector<Candidate>& candidates) const {
-  return ApplyRefs(lfs, corpus, MakeCandidateRefs(candidates));
+    const std::vector<Candidate>& candidates, const CancelToken* cancel) const {
+  return ApplyRefs(lfs, corpus, MakeCandidateRefs(candidates), cancel);
 }
 
 Result<LabelMatrix> LFApplier::ApplyRefs(
     const LabelingFunctionSet& lfs, const Corpus& corpus,
-    const std::vector<CandidateRef>& rows) const {
+    const std::vector<CandidateRef>& rows, const CancelToken* cancel) const {
   size_t m = rows.size();
   size_t n = lfs.size();
 
@@ -66,7 +66,19 @@ Result<LabelMatrix> LFApplier::ApplyRefs(
   std::atomic<bool> has_error{false};
   std::atomic<size_t> error_col{0};
   std::atomic<Label> error_label{0};
+  // Set iff at least one row was skipped because the caller's deadline
+  // expired mid-apply — the signal that the result below must be a typed
+  // kDeadlineExceeded, not a silently truncated matrix.
+  std::atomic<bool> cancelled{false};
   auto label_one = [&](size_t i) {
+    // Cooperative cancellation, throttled: the token's latch makes the
+    // check a relaxed load after first expiry, and probing the clock only
+    // every 64 rows keeps the healthy path free of clock reads.
+    if ((i & 63) == 0 && cancel != nullptr && cancel->Expired()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (cancelled.load(std::memory_order_relaxed)) return;
     CandidateView view(&corpus, rows[i].candidate, rows[i].index);
     for (size_t j = 0; j < n; ++j) {
       int32_t slot = batch ? program->slot_of_lf[j] : -1;
@@ -97,6 +109,11 @@ Result<LabelMatrix> LFApplier::ApplyRefs(
         "LF '" + lfs.at(error_col.load()).name() + "' voted " +
         std::to_string(error_label.load()) + ", invalid for cardinality " +
         std::to_string(options_.cardinality));
+  }
+  if (cancelled.load()) {
+    return Status::DeadlineExceeded(
+        "request deadline expired during LF application; remaining rows "
+        "cancelled");
   }
 
   // FromTriplets re-validates structurally (belt and suspenders).

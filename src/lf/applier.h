@@ -7,6 +7,7 @@
 #include "core/label_matrix.h"
 #include "data/candidate.h"
 #include "lf/labeling_function.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace snorkel {
@@ -68,16 +69,24 @@ class LFApplier {
   /// Runs every LF on every candidate. Votes outside the valid label range
   /// for the configured cardinality surface as an InvalidArgument error
   /// (a buggy LF should fail loudly, not corrupt Λ).
+  ///
+  /// `cancel` (optional) is a cooperative cancellation token checked at row
+  /// chunk boundaries; an expired token aborts the remaining rows and the
+  /// call returns kDeadlineExceeded instead of burning CPU on an answer
+  /// nobody is waiting for. Work that completed before expiry still returns
+  /// its matrix.
   Result<LabelMatrix> Apply(const LabelingFunctionSet& lfs,
                             const Corpus& corpus,
-                            const std::vector<Candidate>& candidates) const;
+                            const std::vector<Candidate>& candidates,
+                            const CancelToken* cancel = nullptr) const;
 
   /// Same, over borrowed rows: matrix row i is rows[i].candidate, and each
   /// LF's CandidateView reports rows[i].index. The referenced candidates
   /// must stay alive for the duration of the call.
   Result<LabelMatrix> ApplyRefs(const LabelingFunctionSet& lfs,
                                 const Corpus& corpus,
-                                const std::vector<CandidateRef>& rows) const;
+                                const std::vector<CandidateRef>& rows,
+                                const CancelToken* cancel = nullptr) const;
 
  private:
   Options options_;

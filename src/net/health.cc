@@ -135,4 +135,87 @@ uint64_t CircuitBreaker::open_rejections() const {
   return open_rejections_;
 }
 
+AdaptiveLimiter::AdaptiveLimiter(Options options)
+    : options_(options), limit_(options.initial_limit) {
+  if (options_.min_limit < 1.0) options_.min_limit = 1.0;
+  if (options_.max_limit < options_.min_limit) {
+    options_.max_limit = options_.min_limit;
+  }
+  limit_ = std::clamp(limit_, options_.min_limit, options_.max_limit);
+  if (options_.decrease_factor <= 0.0 || options_.decrease_factor >= 1.0) {
+    options_.decrease_factor = 0.7;
+  }
+}
+
+bool AdaptiveLimiter::Acquire(std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      ++rejections_;
+      return false;
+    }
+    bool slot_free = in_flight_ < static_cast<size_t>(limit_);
+    bool gate_open = now >= not_before_;
+    if (slot_free && gate_open) {
+      ++in_flight_;
+      return true;
+    }
+    // Wake at whichever bound comes first: the caller's deadline, or (when
+    // only the retry-after gate blocks us) the gate opening.
+    auto wake = deadline;
+    if (slot_free && not_before_ < wake) wake = not_before_;
+    if (wake == std::chrono::steady_clock::time_point::max()) {
+      // No finite bound (caller has no deadline): a timed wait on max()
+      // risks clock-conversion overflow; park until released.
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, wake);
+    }
+  }
+}
+
+void AdaptiveLimiter::ReleaseSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  // Additive increase spread over a window of `limit` successes: the limit
+  // climbs by ~increase_per_success per "round trip", TCP-style.
+  limit_ = std::min(options_.max_limit,
+                    limit_ + options_.increase_per_success / limit_);
+  cv_.notify_all();
+}
+
+void AdaptiveLimiter::ReleaseOverload(uint64_t retry_after_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  limit_ = std::max(options_.min_limit, limit_ * options_.decrease_factor);
+  if (retry_after_ms > 0) {
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(retry_after_ms);
+    if (until > not_before_) not_before_ = until;
+  }
+  cv_.notify_all();
+}
+
+void AdaptiveLimiter::ReleaseNeutral() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  cv_.notify_all();
+}
+
+double AdaptiveLimiter::limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+size_t AdaptiveLimiter::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+uint64_t AdaptiveLimiter::rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejections_;
+}
+
 }  // namespace snorkel

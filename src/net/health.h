@@ -2,6 +2,7 @@
 #define SNORKEL_NET_HEALTH_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -128,6 +129,65 @@ class CircuitBreaker {
   std::chrono::steady_clock::time_point reopen_at_{};
   SplitMix64 jitter_rng_;
   uint64_t open_rejections_ = 0;
+};
+
+/// Per-endpoint AIMD in-flight limit — the client half of overload control.
+/// The limit grows additively (+increase/limit per success, i.e. roughly +1
+/// per round-trip of successes, TCP-style) and shrinks multiplicatively on
+/// an overload signal (kResourceExhausted / kDeadlineExceeded), so a client
+/// fleet converges onto a saturated shard's actual capacity instead of
+/// retry-storming it. A server-supplied retry_after_ms hint additionally
+/// gates NEW acquisitions until the hinted time passes.
+///
+/// Acquire() blocks (bounded by the caller's own deadline) until a slot is
+/// free and any retry-after gate has passed; callers release with the
+/// outcome so the limit learns. Composes with the circuit breaker (breaker
+/// first: a dead endpoint fails fast before consuming a slot) and the retry
+/// budget (the limiter bounds concurrency, the budget bounds retry
+/// amplification). Thread-safe.
+class AdaptiveLimiter {
+ public:
+  struct Options {
+    double initial_limit = 8.0;
+    double min_limit = 1.0;
+    double max_limit = 128.0;
+    /// Multiplicative decrease factor applied per overload signal.
+    double decrease_factor = 0.7;
+    /// Additive increase credited per success, spread over a window of
+    /// `limit` successes (limit += increase/limit).
+    double increase_per_success = 1.0;
+  };
+
+  explicit AdaptiveLimiter(Options options);
+
+  /// Blocks until an in-flight slot is free and any retry-after gate has
+  /// passed, or `deadline` arrives (false: counted as a limited rejection,
+  /// no slot held). Every true MUST be paired with exactly one Release*.
+  bool Acquire(std::chrono::steady_clock::time_point deadline);
+
+  /// The attempt succeeded: additive increase.
+  void ReleaseSuccess();
+  /// The endpoint signalled overload: multiplicative decrease, and new
+  /// acquisitions wait out `retry_after_ms` (0 = shrink only).
+  void ReleaseOverload(uint64_t retry_after_ms);
+  /// Outcome says nothing about endpoint load (transport error, bad
+  /// request, shutdown): free the slot, leave the limit as is.
+  void ReleaseNeutral();
+
+  double limit() const;
+  size_t in_flight() const;
+  /// Acquire() calls that timed out at the limit.
+  uint64_t rejections() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  double limit_;
+  size_t in_flight_ = 0;
+  uint64_t rejections_ = 0;
+  /// New acquisitions stall until this instant (retry_after_ms gate).
+  std::chrono::steady_clock::time_point not_before_{};
 };
 
 }  // namespace snorkel

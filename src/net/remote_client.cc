@@ -34,6 +34,8 @@ struct PendingCall {
   bool done = false;
   int winner = -1;
   Result<LabelResponse> result{Status::Internal("pending")};
+  /// The winning attempt's server backoff hint (0 = none).
+  uint64_t retry_after_ms = 0;
 };
 
 }  // namespace
@@ -48,6 +50,12 @@ struct RemoteShardClient::Impl {
   /// open it, a jittered cooldown + single half-open probe close it.
   CircuitBreaker breaker;
 
+  /// Per-endpoint AIMD in-flight limit: label calls hold a slot for their
+  /// duration; the limit tracks the shard's observed capacity. The breaker
+  /// is consulted FIRST (a dead endpoint fails fast without burning a
+  /// slot-wait), then the limiter.
+  AdaptiveLimiter limiter;
+
   /// In-flight attempt threads (hedge losers included); the destructor
   /// waits for all of them so no detached thread outlives the impl's user.
   std::mutex flight_mu;
@@ -61,6 +69,7 @@ struct RemoteShardClient::Impl {
   std::atomic<uint64_t> hedged_wins{0};
   std::atomic<uint64_t> fail_fast{0};
   std::atomic<uint64_t> pooled_reuses{0};
+  std::atomic<uint64_t> limited_rejections{0};
 
   static CircuitBreaker::Options BreakerOptions(const Options& options) {
     CircuitBreaker::Options breaker;
@@ -76,8 +85,19 @@ struct RemoteShardClient::Impl {
     return breaker;
   }
 
+  static AdaptiveLimiter::Options LimiterOptions(const Options& options) {
+    AdaptiveLimiter::Options limiter;
+    limiter.initial_limit = options.adaptive_initial_limit;
+    limiter.min_limit = options.adaptive_min_limit;
+    limiter.max_limit = options.adaptive_max_limit;
+    limiter.decrease_factor = options.adaptive_decrease;
+    return limiter;
+  }
+
   explicit Impl(Options opts)
-      : options(std::move(opts)), breaker(BreakerOptions(options)) {
+      : options(std::move(opts)),
+        breaker(BreakerOptions(options)),
+        limiter(LimiterOptions(options)) {
     if (options.max_pooled_connections == 0) {
       options.max_pooled_connections = 1;
     }
@@ -166,15 +186,20 @@ struct RemoteShardClient::Impl {
   /// One full label attempt over pre-encoded frame bytes (encoded in the
   /// caller's thread — attempt threads must not borrow the caller's
   /// corpus/rows, which may go out of scope once the winning attempt
-  /// returns).
+  /// returns). `retry_after_ms` receives the server's backoff hint when
+  /// the reply is a rejection error frame (0 otherwise).
   Result<LabelResponse> LabelAttempt(const std::string& frame_bytes,
                                      uint64_t request_id,
-                                     SocketDeadline deadline) {
+                                     SocketDeadline deadline,
+                                     uint64_t* retry_after_ms) {
+    *retry_after_ms = 0;
     bool transport_ok = false;
     auto reply = Exchange(frame_bytes, request_id, deadline, &transport_ok);
     RecordOutcome(transport_ok);
     if (!reply.ok()) return reply.status();
-    if (reply->type == FrameType::kError) return DecodeErrorFrame(*reply);
+    if (reply->type == FrameType::kError) {
+      return DecodeErrorFrame(*reply, retry_after_ms);
+    }
     obs::TraceSpan decode_span("client.decode");
     return DecodeLabelResponse(*reply);
   }
@@ -200,11 +225,13 @@ const RemoteShardClient::Options& RemoteShardClient::options() const {
 Result<LabelResponse> RemoteShardClient::Label(
     const Corpus& corpus, const std::vector<CandidateRef>& rows,
     bool include_votes, bool apply_class_balance, uint64_t deadline_ms,
-    bool* failed_fast) {
+    bool* failed_fast, uint64_t* retry_after_ms) {
   Impl& impl = *impl_;
   if (failed_fast != nullptr) *failed_fast = false;
+  if (retry_after_ms != nullptr) *retry_after_ms = 0;
   impl.requests.fetch_add(1, std::memory_order_relaxed);
-  if (impl.breaker.Admit() == CircuitBreaker::Admission::kReject) {
+  const CircuitBreaker::Admission admission = impl.breaker.Admit();
+  if (admission == CircuitBreaker::Admission::kReject) {
     // Open breaker: fail fast with NO work dispatched — the router's
     // failover treats this as a free redirect.
     impl.fail_fast.fetch_add(1, std::memory_order_relaxed);
@@ -217,15 +244,42 @@ Result<LabelResponse> RemoteShardClient::Label(
   if (deadline_ms == 0) deadline_ms = impl.options.request_timeout_ms;
   SocketDeadline deadline = DeadlineAfterMs(deadline_ms);
 
+  // AIMD admission AFTER the breaker (a dead endpoint fails fast without a
+  // slot-wait) and BEFORE any encoding or I/O. Failing to get a slot before
+  // the deadline is a LOCAL rejection — no work was dispatched, so the
+  // router fails over for free (failed_fast), same as an open breaker.
+  const bool limited = impl.options.enable_adaptive_limit;
+  if (limited && !impl.limiter.Acquire(deadline)) {
+    if (admission == CircuitBreaker::Admission::kProbe) {
+      // This call held the single half-open probe slot but never reached
+      // the wire; report it failed so the breaker re-arms its cooldown
+      // instead of waiting forever on a probe that will never answer.
+      impl.breaker.RecordFailure();
+    }
+    impl.limited_rejections.fetch_add(1, std::memory_order_relaxed);
+    impl.failures.fetch_add(1, std::memory_order_relaxed);
+    if (failed_fast != nullptr) *failed_fast = true;
+    return Status::ResourceExhausted(
+        impl.options.host + ":" + std::to_string(impl.options.port) +
+        " adaptive concurrency limit reached before the request deadline");
+  }
+
   auto pending = std::make_shared<PendingCall>();
-  // Encode every attempt's frame UP-FRONT in this thread: attempt threads
-  // are detached and may outlive this call (hedge losers), so they must not
-  // borrow the caller's corpus or rows. Each attempt carries its own
-  // request id — a loser's late reply can never be mistaken for the
-  // winner's on a pooled connection.
+  // Encode the batch (corpus slice + candidate rows — the expensive,
+  // deadline-independent bytes) ONCE, up-front in this thread: attempt
+  // threads are detached and may outlive this call (hedge losers), so they
+  // must not borrow the caller's corpus or rows. Each attempt then frames
+  // the shared batch at ITS OWN start with a freshly computed remaining
+  // budget — so limiter waits, hedge delays, and time to this point are
+  // subtracted from the deadline_ms the server sees, instead of every
+  // attempt advertising the budget as of call entry (the budget leak: a
+  // hedge fired 50 ms in claimed 50 ms more patience than the caller had).
+  auto batch = std::make_shared<EncodedLabelBatch>(
+      EncodeLabelBatch(corpus, rows));
+  // Each attempt carries its own request id — a loser's late reply can
+  // never be mistaken for the winner's on a pooled connection.
   struct AttemptPayload {
     uint64_t request_id = 0;
-    std::string bytes;
   };
   auto payloads = std::make_shared<std::vector<AttemptPayload>>();
   // Snapshot the caller's trace identity: the frame carries it in a TRAC
@@ -237,13 +291,11 @@ Result<LabelResponse> RemoteShardClient::Label(
     AttemptPayload payload;
     payload.request_id =
         impl.next_request_id.fetch_add(1, std::memory_order_relaxed);
-    payload.bytes = EncodeFrame(EncodeLabelRequest(
-        payload.request_id, corpus, rows, include_votes, apply_class_balance,
-        RemainingMs(deadline), trace_ctx));
-    payloads->push_back(std::move(payload));
+    payloads->push_back(payload);
   }
 
-  auto launch = [this, pending, payloads, deadline, trace_ctx](int attempt) {
+  auto launch = [this, pending, payloads, batch, deadline, trace_ctx,
+                 include_votes, apply_class_balance](int attempt) {
     // Each attempt holds the impl (keep-alive past the stub) and runs on
     // its own socket; first completion wins, the loser still finishes its
     // exchange so its connection pools cleanly.
@@ -252,15 +304,30 @@ Result<LabelResponse> RemoteShardClient::Label(
       std::lock_guard<std::mutex> lock(impl_keepalive->flight_mu);
       ++impl_keepalive->in_flight;
     }
-    std::thread([impl_keepalive, pending, payloads, deadline, attempt,
-                 trace_ctx] {
+    std::thread([impl_keepalive, pending, payloads, batch, deadline, attempt,
+                 trace_ctx, include_votes, apply_class_balance] {
       const AttemptPayload& payload =
           (*payloads)[static_cast<size_t>(attempt)];
       Result<LabelResponse> result(Status::Internal("pending"));
-      {
+      uint64_t attempt_retry_after = 0;
+      if (deadline != kNoDeadline &&
+          std::chrono::steady_clock::now() >= deadline) {
+        // Budget spent before this attempt could even frame its request
+        // (e.g. a hedge fired at the deadline's edge). RemainingMs would
+        // encode 0 — which means "no deadline" on the wire — so fail here
+        // instead of asking the server for unbounded patience.
+        result = Status::DeadlineExceeded(
+            "request budget spent before the attempt was sent");
+      } else {
+        // Frame NOW, with the budget left NOW (the deadline-propagation
+        // contract: elapsed client time is subtracted before the hop).
+        std::string frame_bytes = EncodeFrame(EncodeLabelRequestFromBatch(
+            payload.request_id, *batch, include_votes, apply_class_balance,
+            RemainingMs(deadline), trace_ctx));
         obs::ScopedTraceContext trace_scope(trace_ctx);
-        result = impl_keepalive->LabelAttempt(payload.bytes,
-                                              payload.request_id, deadline);
+        result =
+            impl_keepalive->LabelAttempt(frame_bytes, payload.request_id,
+                                         deadline, &attempt_retry_after);
       }
       // Attempt threads are detached: push their spans to the global ring
       // NOW, before the winner signals — a drain right after the call
@@ -272,6 +339,7 @@ Result<LabelResponse> RemoteShardClient::Label(
           pending->done = true;
           pending->winner = attempt;
           pending->result = std::move(result);
+          pending->retry_after_ms = attempt_retry_after;
           pending->cv.notify_all();
         }
       }
@@ -305,6 +373,22 @@ Result<LabelResponse> RemoteShardClient::Label(
     impl.hedged_wins.fetch_add(1, std::memory_order_relaxed);
   }
   Result<LabelResponse> result = std::move(pending->result);
+  const uint64_t hint = pending->retry_after_ms;
+  lock.unlock();
+  if (retry_after_ms != nullptr) *retry_after_ms = hint;
+  if (limited) {
+    // Teach the limiter the outcome: overload signals shrink it (and a
+    // retry-after hint gates new acquisitions); success grows it; anything
+    // else says nothing about the shard's load.
+    if (result.ok()) {
+      impl.limiter.ReleaseSuccess();
+    } else if (result.status().code() == StatusCode::kResourceExhausted ||
+               result.status().code() == StatusCode::kDeadlineExceeded) {
+      impl.limiter.ReleaseOverload(hint);
+    } else {
+      impl.limiter.ReleaseNeutral();
+    }
+  }
   if (!result.ok() && (result.status().code() == StatusCode::kUnavailable ||
                        result.status().code() ==
                            StatusCode::kDeadlineExceeded)) {
@@ -413,6 +497,9 @@ RemoteShardClient::Stats RemoteShardClient::stats() const {
   stats.fail_fast = impl.fail_fast.load(std::memory_order_relaxed);
   stats.pooled_reuses = impl.pooled_reuses.load(std::memory_order_relaxed);
   stats.healthy = impl.breaker.state() == CircuitBreaker::State::kClosed;
+  stats.adaptive_limit = impl.limiter.limit();
+  stats.limited_rejections =
+      impl.limited_rejections.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -64,6 +64,19 @@ class RemoteShardClient {
     /// Seed for the cooldown jitter stream; 0 derives a per-endpoint seed
     /// from host:port so distinct endpoints never probe in lockstep.
     uint64_t health_seed = 0;
+    /// AIMD in-flight limit (net/health.h AdaptiveLimiter): label calls
+    /// acquire a slot before dispatching; the limit grows additively on
+    /// success and shrinks multiplicatively on server overload signals
+    /// (kResourceExhausted / kDeadlineExceeded), and a server-supplied
+    /// retry_after_ms hint gates new acquisitions. A call that cannot get
+    /// a slot before its deadline fails kResourceExhausted locally WITHOUT
+    /// touching the wire (reported via `failed_fast` — a free failover).
+    bool enable_adaptive_limit = true;
+    double adaptive_initial_limit = 8.0;
+    double adaptive_min_limit = 1.0;
+    double adaptive_max_limit = 128.0;
+    /// Multiplicative shrink factor per overload signal (0 < f < 1).
+    double adaptive_decrease = 0.7;
   };
 
   struct Stats {
@@ -80,6 +93,11 @@ class RemoteShardClient {
     uint64_t pooled_reuses = 0;
     /// True while the breaker is closed.
     bool healthy = true;
+    /// Current AIMD in-flight limit (adaptive_initial_limit when disabled).
+    double adaptive_limit = 0.0;
+    /// Label calls rejected locally because no in-flight slot freed up
+    /// before their deadline.
+    uint64_t limited_rejections = 0;
   };
 
   /// Builds a client stub (no I/O yet — connections are made per call and
@@ -97,14 +115,24 @@ class RemoteShardClient {
   /// (unreachable / broke mid-exchange / cooldown), kDeadlineExceeded,
   /// kResourceExhausted (server backpressure), or any status the server
   /// itself returned. When `failed_fast` is non-null it reports whether
-  /// the call was rejected by the open breaker WITHOUT dispatching any
-  /// work — the failover router uses this to fail over for free (a
-  /// fail-fast does not spend retry budget; nothing was attempted).
+  /// the call was rejected LOCALLY without dispatching any work — by the
+  /// open breaker, or by the adaptive in-flight limit — the failover
+  /// router uses this to fail over for free (a fail-fast does not spend
+  /// retry budget; nothing was attempted). When `retry_after_ms` is
+  /// non-null it receives the server's backoff hint from a rejection's
+  /// error frame (0 = none); the hint also feeds the adaptive limiter,
+  /// which stalls new acquisitions until it passes.
+  ///
+  /// The remaining deadline budget is computed immediately before each
+  /// wire attempt (including hedges and the post-limiter send), so time
+  /// burned client-side — limiter waits, hedge delays, connection setup —
+  /// is subtracted from the deadline_ms the server sees.
   Result<LabelResponse> Label(const Corpus& corpus,
                               const std::vector<CandidateRef>& rows,
                               bool include_votes, bool apply_class_balance,
                               uint64_t deadline_ms = 0,
-                              bool* failed_fast = nullptr);
+                              bool* failed_fast = nullptr,
+                              uint64_t* retry_after_ms = nullptr);
 
   /// Round-trips a ping frame.
   Status Ping(uint64_t deadline_ms = 0);

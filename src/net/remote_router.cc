@@ -242,6 +242,7 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
         // backoff), so a steady outage of <= R-1 replicas costs nothing
         // once the breakers open.
         bool prev_dispatched = false;
+        uint64_t prev_retry_after_ms = 0;
         for (size_t attempt = 0; attempt < prefs.size(); ++attempt) {
           if (attempt > 0 && prev_dispatched) {
             if (!impl.budget.TryConsume()) {
@@ -252,6 +253,11 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
             }
             uint64_t delay = BackoffDelayMs(impl.options.backoff, p.shard,
                                             static_cast<uint32_t>(attempt));
+            // An overloaded replica's retry_after hint floors the backoff:
+            // under fleet-wide overload the next replica is unlikely to be
+            // better off, and honoring the hint is what keeps a retrying
+            // router from amplifying the surge it was just shed from.
+            delay = std::max(delay, prev_retry_after_ms);
             uint64_t left = RemainingMs(overall);
             if (overall != kNoDeadline) delay = std::min(delay, left);
             if (delay > 0) {
@@ -273,12 +279,13 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
           }
           const size_t endpoint = prefs[attempt];
           bool failed_fast = false;
+          uint64_t retry_after_ms = 0;
           {
             obs::TraceSpan attempt_span("router.attempt");
             p.result = impl.clients[endpoint].Label(
                 *request.corpus, parts.shard_rows[p.shard],
                 request.include_votes, request.apply_class_balance,
-                attempt_budget_ms, &failed_fast);
+                attempt_budget_ms, &failed_fast, &retry_after_ms);
             attempt_span.Annotate(
                 "shard=" + std::to_string(p.shard) +
                 " endpoint=" + std::to_string(endpoint) + " status=" +
@@ -302,6 +309,7 @@ Result<LabelResponse> RemoteShardRouter::Label(const LabelRequest& request) {
                                                    std::memory_order_relaxed);
           }
           prev_dispatched = !failed_fast;
+          prev_retry_after_ms = retry_after_ms;
           if (!RetrySafe(p.result.status().code(), overall)) break;
         }
         obs::FlushThreadSpans();

@@ -18,6 +18,7 @@
 #include "obs/trace.h"
 #include "serve/snapshot.h"
 #include "util/bounded_queue.h"
+#include "util/cancellation.h"
 #include "util/fault.h"
 #include "util/hash.h"
 #include "util/mmap_file.h"
@@ -84,6 +85,12 @@ struct Job {
   /// and the admission timestamp the worker turns into a queue-wait span.
   obs::TraceContext trace;
   uint64_t admit_ns = 0;
+  /// Cost-aware admission metadata: estimated cost (rows × LFs), lane
+  /// (small batches ride the interactive lane — served first, shed last),
+  /// and the admission instant the per-lane wait histograms measure from.
+  uint64_t cost = 0;
+  bool interactive = true;
+  std::chrono::steady_clock::time_point admitted_at{};
   std::promise<Result<LabelResponse>> result;
 };
 
@@ -127,6 +134,14 @@ struct ShardServer::Impl {
   std::atomic<uint64_t> deadline_rejections{0};
   std::atomic<uint64_t> snapshot_swaps{0};
   std::atomic<uint64_t> rejected_swaps{0};
+  std::atomic<uint64_t> expired_work_cancelled{0};
+  std::atomic<uint64_t> shed_total{0};
+
+  /// Per-lane queue-wait histograms (shared fabric latency buckets, so
+  /// cross-process merges stay well defined). The registry has no label
+  /// dimension — the lane is encoded in the metric name.
+  std::shared_ptr<obs::Histogram> queue_wait_interactive;
+  std::shared_ptr<obs::Histogram> queue_wait_bulk;
 
   /// Fault sites this server armed (inject flags + kFaultRequest commands);
   /// disarmed on Shutdown so one server's schedules never leak into the
@@ -155,7 +170,9 @@ struct ShardServer::Impl {
   explicit Impl(Options opts, LabelingFunctionSet lf_set)
       : options(opts),
         lfs(std::move(lf_set)),
-        queue(opts.queue_capacity == 0 ? 1 : opts.queue_capacity) {
+        queue(BoundedQueueOptions{
+            opts.queue_capacity == 0 ? 1 : opts.queue_capacity,
+            opts.queue_cost_budget, opts.sojourn_target_ms}) {
     obs::RegisterCommonProcessMetrics();
     auto& registry = obs::MetricsRegistry::Default();
     auto atomic_counter = [this, &registry](const char* name,
@@ -174,6 +191,16 @@ struct ShardServer::Impl {
                    &deadline_rejections);
     atomic_counter("snorkel_server_snapshot_swaps_total", &snapshot_swaps);
     atomic_counter("snorkel_server_rejected_swaps_total", &rejected_swaps);
+    atomic_counter("snorkel_server_shed_total", &shed_total);
+    atomic_counter("snorkel_server_expired_work_cancelled_total",
+                   &expired_work_cancelled);
+    queue_wait_interactive = registry.CreateHistogram(
+        "snorkel_server_queue_wait_ms_interactive", obs::LatencyBucketsMs());
+    queue_wait_bulk = registry.CreateHistogram(
+        "snorkel_server_queue_wait_ms_bulk", obs::LatencyBucketsMs());
+    metric_tokens.push_back(registry.RegisterCallback(
+        "snorkel_server_queue_cost_used", obs::MetricType::kGauge,
+        [this] { return static_cast<double>(queue.cost_used()); }));
     metric_tokens.push_back(registry.RegisterCallback(
         "snorkel_server_snapshot_version", obs::MetricType::kGauge, [this] {
           // `state` is installed after construction; a scrape racing
@@ -217,11 +244,36 @@ struct ShardServer::Impl {
 
   // ---- Label path. ----
 
+  /// Fails every shed job typed — kResourceExhausted with a message naming
+  /// the shed reason — and counts it. Shed jobs were admitted, so their
+  /// connection handlers are blocked on the promise; nothing is dropped
+  /// silently.
+  void FailShed(std::vector<std::unique_ptr<Job>>& shed) {
+    for (std::unique_ptr<Job>& job : shed) {
+      shed_total.fetch_add(1, std::memory_order_relaxed);
+      job->result.set_value(Status::ResourceExhausted(
+          "shard shed queued work under overload"));
+    }
+    shed.clear();
+  }
+
   void Worker() {
-    while (auto job_opt = queue.Pop()) {
+    std::vector<std::unique_ptr<Job>> shed;
+    for (;;) {
+      auto job_opt = queue.Pop(&shed);
+      // CoDel-shed bulk jobs (sojourn past 2× target) fail typed before the
+      // popped job is served — stale queued work must not starve fresh work.
+      FailShed(shed);
+      if (!job_opt.has_value()) break;
       std::unique_ptr<Job> job = std::move(*job_opt);
-      if (job->deadline != kNoDeadline &&
-          std::chrono::steady_clock::now() > job->deadline) {
+      const auto popped_at = std::chrono::steady_clock::now();
+      const double wait_ms =
+          std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+              popped_at - job->admitted_at)
+              .count();
+      (job->interactive ? queue_wait_interactive : queue_wait_bulk)
+          ->Observe(wait_ms);
+      if (job->deadline != kNoDeadline && popped_at > job->deadline) {
         deadline_rejections.fetch_add(1, std::memory_order_relaxed);
         job->result.set_value(Status::DeadlineExceeded(
             "request budget spent before a worker picked it up"));
@@ -245,12 +297,20 @@ struct ShardServer::Impl {
       // Pin the current generation for the whole request: a concurrent
       // hot-swap retires the old state only after this shared_ptr drops.
       std::shared_ptr<ServingState> generation = CurrentState();
+      // Cooperative cancellation: the replica checks this token at chunk
+      // boundaries (between LF columns, every 64 rows) and stops computing
+      // when the deadline passes mid-flight — expired work must not keep
+      // burning CPU that admitted work needs. kNoDeadline is already the
+      // token's never-expires sentinel (both are time_point::max()).
+      CancelToken cancel(job->deadline);
       LabelRequest request;
       request.corpus = job->corpus.get();
       request.candidate_refs = &job->refs;
       request.include_votes = job->include_votes;
       request.apply_class_balance = job->apply_class_balance;
+      request.cancel = &cancel;
       Result<LabelResponse> response(Status::Internal("unset"));
+      const auto service_start = std::chrono::steady_clock::now();
       {
         // The request's identity rides onto this worker thread so the
         // replica's own spans (LF apply, inference) nest under server.label.
@@ -263,9 +323,22 @@ struct ShardServer::Impl {
         requests_served.fetch_add(1, std::memory_order_relaxed);
         candidates_served.fetch_add(job->refs.size(),
                                     std::memory_order_relaxed);
+        // Calibrate the queue's cost model on COMPLETED work only —
+        // cancelled work finished early and would bias the EWMA low.
+        const uint64_t elapsed_us =
+            static_cast<uint64_t>(std::chrono::duration_cast<
+                                      std::chrono::microseconds>(
+                                      std::chrono::steady_clock::now() -
+                                      service_start)
+                                      .count());
+        queue.OnServiced(job->cost, elapsed_us);
+      } else if (response.status().code() == StatusCode::kDeadlineExceeded) {
+        expired_work_cancelled.fetch_add(1, std::memory_order_relaxed);
       }
       job->result.set_value(std::move(response));
     }
+    // Close() leaves admitted items drainable; a final Pop already returned
+    // nullopt, but CoDel may have shed on the way out — already failed above.
   }
 
   // ---- Connection handling. ----
@@ -285,6 +358,9 @@ struct ShardServer::Impl {
     stats.rejected_swaps = rejected_swaps.load(std::memory_order_relaxed);
     stats.cardinality = generation->service.cardinality();
     stats.faults_injected = fault::InjectedCount();
+    stats.expired_work_cancelled =
+        expired_work_cancelled.load(std::memory_order_relaxed);
+    stats.shed_total = shed_total.load(std::memory_order_relaxed);
     return EncodeStatsResponse(request_id, stats);
   }
 
@@ -358,24 +434,67 @@ struct ShardServer::Impl {
                                        static_cast<size_t>(wire->indices[i])});
     }
 
+    // Cost-aware admission: price the job (rows × LFs — proportional to the
+    // LF-application work it will consume) and lane it by size. Small
+    // batches ride the interactive lane: served first, shed last.
+    job->cost = static_cast<uint64_t>(job->refs.size()) *
+                static_cast<uint64_t>(std::max<size_t>(1, lfs.size()));
+    job->interactive = job->refs.size() <= options.interactive_rows;
+
+    // A request whose budget is already spent must not consume a queue slot
+    // another request could use — reject before admission, typed.
+    if (job->deadline != kNoDeadline &&
+        std::chrono::steady_clock::now() > job->deadline) {
+      deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+      return EncodeErrorFrame(
+          frame.request_id,
+          Status::DeadlineExceeded("request budget spent before admission"));
+    }
+
     std::future<Result<LabelResponse>> result = job->result.get_future();
     const obs::TraceContext trace = job->trace;
     job->admit_ns = trace.valid() ? obs::NowNanos() : 0;
-    switch (queue.TryPush(std::move(job))) {
-      case BoundedQueue<std::unique_ptr<Job>>::PushResult::kOk:
+    job->admitted_at = std::chrono::steady_clock::now();
+    using Queue = BoundedQueue<std::unique_ptr<Job>>;
+    const uint64_t cost = job->cost;
+    const Queue::Lane lane =
+        job->interactive ? Queue::Lane::kInteractive : Queue::Lane::kBulk;
+    // An interactive arrival may displace queued bulk work; displaced jobs
+    // come back here and are failed typed below (their handlers hold the
+    // matching futures).
+    std::vector<std::unique_ptr<Job>> displaced;
+    const Queue::PushResult pushed =
+        queue.TryPush(std::move(job), cost, lane, &displaced);
+    FailShed(displaced);
+    switch (pushed) {
+      case Queue::PushResult::kOk:
         break;
-      case BoundedQueue<std::unique_ptr<Job>>::PushResult::kQueueFull:
+      case Queue::PushResult::kQueueFull:
         queue_rejections.fetch_add(1, std::memory_order_relaxed);
+        // The retry hint prices the queued backlog at the EWMA-calibrated
+        // service time, divided by worker parallelism — "come back when
+        // the backlog you bounced off has drained".
         return EncodeErrorFrame(
             frame.request_id,
-            Status::ResourceExhausted("shard admission queue is full"));
-      case BoundedQueue<std::unique_ptr<Job>>::PushResult::kClosed:
+            Status::ResourceExhausted("shard admission queue is full"),
+            queue.EstimateRetryAfterMs(std::max<size_t>(1,
+                                                        options.num_workers)));
+      case Queue::PushResult::kClosed:
         return EncodeErrorFrame(
             frame.request_id,
             Status::Unavailable("shard is shutting down"));
     }
     Result<LabelResponse> response = result.get();
     if (!response.ok()) {
+      // Every kResourceExhausted outcome (queue-full above, displacement,
+      // CoDel shed) carries a backoff hint in the error frame — clients feed
+      // it to their adaptive limiter.
+      if (response.status().code() == StatusCode::kResourceExhausted) {
+        return EncodeErrorFrame(
+            frame.request_id, response.status(),
+            queue.EstimateRetryAfterMs(std::max<size_t>(1,
+                                                        options.num_workers)));
+      }
       return EncodeErrorFrame(frame.request_id, response.status());
     }
     const uint64_t encode_start_ns = obs::NowNanos();
@@ -620,6 +739,9 @@ ShardServer::Stats ShardServer::stats() const {
   stats.snapshot_checksum = state->checksum;
   stats.cardinality = state->service.cardinality();
   stats.faults_injected = fault::InjectedCount();
+  stats.expired_work_cancelled =
+      impl_->expired_work_cancelled.load(std::memory_order_relaxed);
+  stats.shed_total = impl_->shed_total.load(std::memory_order_relaxed);
   return stats;
 }
 

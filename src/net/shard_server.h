@@ -45,6 +45,20 @@ class ShardServer {
     uint16_t port = 0;
     /// Bounded admission queue capacity (jobs); clamped to >= 1.
     size_t queue_capacity = 64;
+    /// Cost-aware admission budget: jobs are priced rows × LFs and admitted
+    /// only while the queued cost fits this budget (calibrated against wall
+    /// clock by an EWMA of observed service time, which also prices the
+    /// retry_after_ms hint rejections carry). 0 = count-only admission.
+    uint64_t queue_cost_budget = 0;
+    /// Lane split: requests with <= this many rows ride the interactive
+    /// lane (served first, shed last); larger batches are bulk (shed first
+    /// when an interactive arrival finds the queue full).
+    size_t interactive_rows = 64;
+    /// CoDel-style shed target: a BULK job popped after sojourning more
+    /// than 2× this many ms is failed kResourceExhausted (with a hint)
+    /// instead of served — its useful life already drained in the queue.
+    /// 0 disables pop-time shedding.
+    uint64_t sojourn_target_ms = 0;
     /// Label worker threads; clamped to >= 1.
     size_t num_workers = 1;
     /// Options for the wrapped LabelService replica.
@@ -85,6 +99,13 @@ class ShardServer {
     /// Faults + delays injected in this process (util/fault.h registry) —
     /// the server-side resilience counter, also served over the wire.
     uint64_t faults_injected = 0;
+    /// Requests whose compute was cooperatively cancelled mid-flight after
+    /// their deadline expired (LF application / inference stopped at a
+    /// chunk boundary instead of running to completion).
+    uint64_t expired_work_cancelled = 0;
+    /// Jobs shed from the admission queue: displaced by an interactive
+    /// arrival, or CoDel-dropped at pop for over-target sojourn.
+    uint64_t shed_total = 0;
   };
 
   /// Serves a single artifact file (no watcher; snapshot_version is the

@@ -384,18 +384,24 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
 
 // --------------------------------------------------------------- payloads --
 
-Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
-                         const std::vector<CandidateRef>& rows,
-                         bool include_votes, bool apply_class_balance,
-                         uint64_t deadline_ms,
-                         const obs::TraceContext& trace) {
+EncodedLabelBatch EncodeLabelBatch(const Corpus& corpus,
+                                   const std::vector<CandidateRef>& rows) {
+  return EncodedLabelBatch{EncodeCorpusSlice(corpus, rows),
+                           EncodeCandidates(rows)};
+}
+
+Frame EncodeLabelRequestFromBatch(uint64_t request_id,
+                                  const EncodedLabelBatch& batch,
+                                  bool include_votes, bool apply_class_balance,
+                                  uint64_t deadline_ms,
+                                  const obs::TraceContext& trace) {
   Frame frame;
   frame.type = FrameType::kLabelRequest;
   frame.request_id = request_id;
   frame.sections.push_back(
-      FrameSection{TagString(kSectionCorpus), EncodeCorpusSlice(corpus, rows)});
+      FrameSection{TagString(kSectionCorpus), batch.corpus});
   frame.sections.push_back(
-      FrameSection{TagString(kSectionCandidates), EncodeCandidates(rows)});
+      FrameSection{TagString(kSectionCandidates), batch.candidates});
   BinaryWriter options;
   options.WriteU32(include_votes ? 1 : 0);
   options.WriteU32(apply_class_balance ? 1 : 0);
@@ -412,6 +418,16 @@ Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
         FrameSection{TagString(kSectionTrace), writer.TakeBuffer()});
   }
   return frame;
+}
+
+Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
+                         const std::vector<CandidateRef>& rows,
+                         bool include_votes, bool apply_class_balance,
+                         uint64_t deadline_ms,
+                         const obs::TraceContext& trace) {
+  return EncodeLabelRequestFromBatch(request_id, EncodeLabelBatch(corpus, rows),
+                                     include_votes, apply_class_balance,
+                                     deadline_ms, trace);
 }
 
 Result<WireLabelRequest> DecodeLabelRequest(const Frame& frame) {
@@ -577,18 +593,31 @@ Result<LabelResponse> DecodeLabelResponse(const Frame& frame) {
 }
 
 Frame EncodeErrorFrame(uint64_t request_id, const Status& status) {
+  return EncodeErrorFrame(request_id, status, 0);
+}
+
+Frame EncodeErrorFrame(uint64_t request_id, const Status& status,
+                       uint64_t retry_after_ms) {
   Frame frame;
   frame.type = FrameType::kError;
   frame.request_id = request_id;
   BinaryWriter writer;
   writer.WriteU32(StatusCodeToWire(status.code()));
   writer.WriteString(status.message());
+  // Appended field: old decoders stop after the message (they tolerate
+  // trailing payload bytes) and simply never see the hint.
+  writer.WriteU64(retry_after_ms);
   frame.sections.push_back(
       FrameSection{TagString(kSectionError), writer.TakeBuffer()});
   return frame;
 }
 
 Status DecodeErrorFrame(const Frame& frame) {
+  return DecodeErrorFrame(frame, nullptr);
+}
+
+Status DecodeErrorFrame(const Frame& frame, uint64_t* retry_after_ms) {
+  if (retry_after_ms != nullptr) *retry_after_ms = 0;
   const FrameSection* error = frame.Find(kSectionError);
   if (frame.type != FrameType::kError || error == nullptr) {
     return Status::IOError("frame is not a well-formed error frame");
@@ -598,6 +627,10 @@ Status DecodeErrorFrame(const Frame& frame) {
   std::string message = reader.ReadString();
   if (!reader.ok()) {
     return Status::IOError("ERRS section: " + reader.status().message());
+  }
+  // Appended retry_after_ms hint: absent on old peers' frames, decoded 0.
+  if (retry_after_ms != nullptr && reader.remaining() >= sizeof(uint64_t)) {
+    *retry_after_ms = reader.ReadU64();
   }
   return Status(StatusCodeFromWire(wire_code), std::move(message));
 }
@@ -617,6 +650,8 @@ Frame EncodeStatsResponse(uint64_t request_id, const WireServerStats& stats) {
   writer.WriteU64(stats.faults_injected);
   writer.WriteU64(stats.deadline_rejections);
   writer.WriteU64(stats.rejected_swaps);
+  writer.WriteU64(stats.expired_work_cancelled);
+  writer.WriteU64(stats.shed_total);
   frame.sections.push_back(
       FrameSection{TagString(kSectionServerStats), writer.TakeBuffer()});
   return frame;
@@ -646,6 +681,12 @@ Result<WireServerStats> DecodeStatsResponse(const Frame& frame) {
   }
   if (reader.remaining() >= sizeof(uint64_t)) {
     stats.rejected_swaps = reader.ReadU64();
+  }
+  if (reader.remaining() >= sizeof(uint64_t)) {
+    stats.expired_work_cancelled = reader.ReadU64();
+  }
+  if (reader.remaining() >= sizeof(uint64_t)) {
+    stats.shed_total = reader.ReadU64();
   }
   if (!reader.ok()) {
     return Status::IOError("SVST section: " + reader.status().message());

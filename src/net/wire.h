@@ -185,6 +185,29 @@ Frame EncodeLabelRequest(uint64_t request_id, const Corpus& corpus,
                          uint64_t deadline_ms,
                          const obs::TraceContext& trace = {});
 
+/// The expensive, deadline-INDEPENDENT part of a label request: the encoded
+/// corpus slice + candidate rows. Retries and hedges re-frame the SAME batch
+/// with a freshly computed deadline_ms (EncodeLabelRequestFromBatch), so the
+/// budget each attempt advertises reflects time already burned client-side —
+/// encoding once per attempt would either repay the encode cost or (worse)
+/// reuse a stale deadline.
+struct EncodedLabelBatch {
+  std::string corpus;      // EncodeCorpusSlice bytes (CORP payload).
+  std::string candidates;  // EncodeCandidates bytes (CAND payload).
+};
+
+EncodedLabelBatch EncodeLabelBatch(const Corpus& corpus,
+                                   const std::vector<CandidateRef>& rows);
+
+/// Assembles a label-request frame around a pre-encoded batch. `deadline_ms`
+/// is the REMAINING budget at assembly time; callers compute it immediately
+/// before each wire attempt.
+Frame EncodeLabelRequestFromBatch(uint64_t request_id,
+                                  const EncodedLabelBatch& batch,
+                                  bool include_votes, bool apply_class_balance,
+                                  uint64_t deadline_ms,
+                                  const obs::TraceContext& trace = {});
+
 Result<WireLabelRequest> DecodeLabelRequest(const Frame& frame);
 
 Frame EncodeLabelResponse(uint64_t request_id, const LabelResponse& response);
@@ -197,9 +220,21 @@ Result<LabelResponse> DecodeLabelResponse(const Frame& frame);
 
 Frame EncodeErrorFrame(uint64_t request_id, const Status& status);
 
+/// Error frame with a backoff hint: `retry_after_ms` (how long the server
+/// estimates the rejected caller should wait before retrying) is APPENDED to
+/// the ERRS payload after the message. Old decoders stop after the message
+/// and never see it (trailing-bytes tolerance); old encoders' frames decode
+/// with retry_after_ms = 0 ("no hint").
+Frame EncodeErrorFrame(uint64_t request_id, const Status& status,
+                       uint64_t retry_after_ms);
+
 /// The typed status carried by a kError frame (IOError when the frame is
 /// not a well-formed error frame).
 Status DecodeErrorFrame(const Frame& frame);
+
+/// Same, also extracting the appended retry_after_ms hint (0 when the peer
+/// is old or sent no hint). `retry_after_ms` may be null.
+Status DecodeErrorFrame(const Frame& frame, uint64_t* retry_after_ms);
 
 /// Server-side counters exposed over the wire (kStatsResponse).
 struct WireServerStats {
@@ -218,6 +253,12 @@ struct WireServerStats {
   /// absent on old peers' frames, decoded as 0.
   uint64_t deadline_rejections = 0;
   uint64_t rejected_swaps = 0;
+  /// Overload-control counters (PR 10, appended fields): requests whose
+  /// compute was cooperatively cancelled mid-flight after their deadline
+  /// expired, and jobs shed from the admission queue (displaced by
+  /// interactive arrivals or CoDel-dropped for over-target sojourn).
+  uint64_t expired_work_cancelled = 0;
+  uint64_t shed_total = 0;
 };
 
 Frame EncodeStatsResponse(uint64_t request_id, const WireServerStats& stats);

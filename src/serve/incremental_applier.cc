@@ -105,16 +105,6 @@ struct SetEntry {
   std::condition_variable wait_cv;
 };
 
-/// Releases a pin taken earlier (under sets_mu, so eviction never sees the
-/// entry unpinned between lookup and use).
-struct PinRelease {
-  SetEntry* entry;
-  explicit PinRelease(SetEntry* e) : entry(e) {}
-  PinRelease(const PinRelease&) = delete;
-  PinRelease& operator=(const PinRelease&) = delete;
-  ~PinRelease() { entry->pins.fetch_sub(1, std::memory_order_relaxed); }
-};
-
 }  // namespace
 
 struct IncrementalApplier::State {
@@ -182,9 +172,18 @@ struct IncrementalApplier::State {
     ParallelApplyRows(pool.get(), options.num_threads, begin, end, fn);
   }
 
+  /// Set when an eviction pass left the cache over budget because every
+  /// eviction candidate was pinned: the pass could not finish, so the next
+  /// pin release retries it. Without this handoff a final burst of
+  /// concurrent Applys (each pinning its own set, each eviction pass
+  /// skipping the others' pinned sets) would leave a quiescent cache
+  /// permanently over budget — nothing inserts again, so nothing evicts.
+  std::atomic<bool> evict_pending{false};
+
   /// Evicts least-recently-used, unpinned sets until the cached bytes fit
-  /// the budget (or only pinned sets remain). Exclusive over sets_mu; the
-  /// hit path never calls this.
+  /// the budget (or only pinned sets remain — then the last unpinner
+  /// retries via evict_pending). Exclusive over sets_mu; the hit path only
+  /// calls this when a deferred pass is actually pending.
   void EvictOverBudget() {
     std::unique_lock<std::shared_mutex> lock(sets_mu);
     uint64_t total = 0;
@@ -207,6 +206,8 @@ struct IncrementalApplier::State {
       sets.erase(victim);
       evicted_sets.fetch_add(1, std::memory_order_relaxed);
     }
+    evict_pending.store(total > options.max_cached_bytes,
+                        std::memory_order_relaxed);
   }
 };
 
@@ -283,24 +284,25 @@ size_t IncrementalApplier::cached_sets() const {
 
 Result<LabelMatrix> IncrementalApplier::Apply(
     const LabelingFunctionSet& lfs, const Corpus& corpus,
-    const std::vector<Candidate>& candidates) {
+    const std::vector<Candidate>& candidates, const CancelToken* cancel) {
   RowSource rows;
   rows.owned = candidates.data();
   rows.size = candidates.size();
-  return ApplyInternal(lfs, corpus, rows);
+  return ApplyInternal(lfs, corpus, rows, cancel);
 }
 
 Result<LabelMatrix> IncrementalApplier::ApplyRefs(
     const LabelingFunctionSet& lfs, const Corpus& corpus,
-    const std::vector<CandidateRef>& refs) {
+    const std::vector<CandidateRef>& refs, const CancelToken* cancel) {
   RowSource rows;
   rows.refs = refs.data();
   rows.size = refs.size();
-  return ApplyInternal(lfs, corpus, rows);
+  return ApplyInternal(lfs, corpus, rows, cancel);
 }
 
 Result<LabelMatrix> IncrementalApplier::ApplyInternal(
-    const LabelingFunctionSet& lfs, const Corpus& corpus, RowSource rows) {
+    const LabelingFunctionSet& lfs, const Corpus& corpus, RowSource rows,
+    const CancelToken* cancel) {
   State& state = *state_;
   const size_t m = rows.size;
   const size_t n = lfs.size();
@@ -388,7 +390,21 @@ Result<LabelMatrix> IncrementalApplier::ApplyInternal(
   } else {
     state.set_hits.fetch_add(1, std::memory_order_relaxed);
   }
-  PinRelease pin(entry.get());
+  // Releases the pin taken above (taken under sets_mu, so eviction never
+  // sees the entry unpinned between lookup and use) on every exit path.
+  // If an eviction pass stalled on pinned entries while this call ran, the
+  // unpin retries it — the last pin release is what restores the byte
+  // budget on a quiescent cache.
+  struct PinRelease {
+    State* state;
+    SetEntry* entry;
+    ~PinRelease() {
+      entry->pins.fetch_sub(1, std::memory_order_relaxed);
+      if (state->evict_pending.load(std::memory_order_relaxed)) {
+        state->EvictOverBudget();
+      }
+    }
+  } pin{&state, entry.get()};
 
   // ---- Resolve every LF column: reuse ready columns, claim absent ones
   // (the claimer computes; duplicate misses from concurrent callers land on
@@ -567,7 +583,18 @@ Result<LabelMatrix> IncrementalApplier::ApplyInternal(
     std::atomic<bool> has_error{false};
     std::atomic<size_t> error_col{0};
     std::atomic<Label> error_label{0};
+    // Latched when the caller's deadline expires mid-compute; the claimed
+    // columns are then failed off the map (never cached half-filled).
+    std::atomic<bool> cancelled{false};
     state.ParallelRows(min_start, m, [&](size_t i) {
+      // Cooperative cancellation at row chunk boundaries: probe the clock
+      // only every 64 rows (the token latches, so after first expiry this
+      // is a relaxed load for every sibling thread).
+      if ((i & 63) == 0 && cancel != nullptr && cancel->Expired()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (cancelled.load(std::memory_order_relaxed)) return;
       CandidateView view(&corpus, &rows.candidate(i), rows.index(i));
       for (const Claim& claim : claimed) {
         if (i < claim.start_row) continue;
@@ -591,6 +618,17 @@ Result<LabelMatrix> IncrementalApplier::ApplyInternal(
           "LF '" + lfs.at(error_col.load()).name() + "' voted " +
           std::to_string(error_label.load()) + ", invalid for cardinality " +
           std::to_string(state.options.cardinality));
+      abort_guard.armed = false;
+      fail_claims(error);
+      return error;
+    }
+    if (cancelled.load()) {
+      // Expired mid-compute: abandon the claims through the same
+      // cache-safe path a bad vote takes — pulled off the map (future
+      // lookups recompute), failed typed for anyone already waiting.
+      Status error = Status::DeadlineExceeded(
+          "request deadline expired during LF application; claimed columns "
+          "abandoned");
       abort_guard.armed = false;
       fail_claims(error);
       return error;
@@ -628,6 +666,13 @@ Result<LabelMatrix> IncrementalApplier::ApplyInternal(
 
   // ---- Wait for columns claimed by concurrent callers (duplicate misses
   // collapse here: one computation, everyone else sleeps until publish). ----
+  // Expired callers don't park behind someone else's computation: their own
+  // claims (if any) are already published ready and stay cached for the
+  // next request — only this reply is abandoned.
+  if (!wait_for.empty() && cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        "request deadline expired before cached columns were ready");
+  }
   for (const std::shared_ptr<Column>& column : wait_for) {
     if (column->state.load(std::memory_order_acquire) !=
         ColumnState::kComputing) {

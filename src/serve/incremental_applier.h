@@ -9,6 +9,7 @@
 #include "data/candidate.h"
 #include "lf/applier.h"
 #include "lf/labeling_function.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace snorkel {
@@ -140,16 +141,23 @@ class IncrementalApplier {
   /// as LFApplier::Apply: an out-of-range vote surfaces as InvalidArgument
   /// and the offending column is never cached. Safe to call from any number
   /// of threads concurrently.
+  ///
+  /// `cancel` (optional) is checked at row chunk boundaries of the miss
+  /// computation; an expired token abandons the claimed columns (failed off
+  /// the map, never poisoning the cache — identical to the InvalidArgument
+  /// path) and returns kDeadlineExceeded. Pure cache hits never consult it.
   Result<LabelMatrix> Apply(const LabelingFunctionSet& lfs,
                             const Corpus& corpus,
-                            const std::vector<Candidate>& candidates);
+                            const std::vector<Candidate>& candidates,
+                            const CancelToken* cancel = nullptr);
 
   /// Same, over borrowed index-preserving rows (the sharded tier's fan-out
   /// form). An identity ref view of a vector fingerprints identically to
   /// the owned form, so the two paths share cached columns.
   Result<LabelMatrix> ApplyRefs(const LabelingFunctionSet& lfs,
                                 const Corpus& corpus,
-                                const std::vector<CandidateRef>& rows);
+                                const std::vector<CandidateRef>& rows,
+                                const CancelToken* cancel = nullptr);
 
   /// Drops every cached set (e.g. after mutating the corpus in place, which
   /// the candidate fingerprint cannot observe). In-flight Apply calls
@@ -186,7 +194,8 @@ class IncrementalApplier {
   };
 
   Result<LabelMatrix> ApplyInternal(const LabelingFunctionSet& lfs,
-                                    const Corpus& corpus, RowSource rows);
+                                    const Corpus& corpus, RowSource rows,
+                                    const CancelToken* cancel);
 
   std::unique_ptr<State> state_;
 };

@@ -145,6 +145,12 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
   }
   const size_t num_candidates =
       by_refs ? request.candidate_refs->size() : request.candidates->size();
+  // Stage boundary check: a request that arrives already expired (e.g. it
+  // sat in an admission queue past its budget) does no work at all.
+  if (request.cancel != nullptr && request.cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        "request budget spent before LF application started");
+  }
   const uint64_t request_start_ns = obs::NowNanos();
   WallTimer timer;
 
@@ -166,14 +172,17 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
     }
     if (options_.use_incremental_cache) {
       matrix = by_refs ? applier_.ApplyRefs(lfs_, *request.corpus,
-                                            *request.candidate_refs)
+                                            *request.candidate_refs,
+                                            request.cancel)
                        : applier_.Apply(lfs_, *request.corpus,
-                                        *request.candidates);
+                                        *request.candidates, request.cancel);
     } else {
       matrix = by_refs ? stateless_applier_.ApplyRefs(lfs_, *request.corpus,
-                                                      *request.candidate_refs)
+                                                      *request.candidate_refs,
+                                                      request.cancel)
                        : stateless_applier_.Apply(lfs_, *request.corpus,
-                                                  *request.candidates);
+                                                  *request.candidates,
+                                                  request.cancel);
     }
     if (span.active()) {
       span.Annotate("rows=" + std::to_string(num_candidates));
@@ -190,6 +199,12 @@ Result<LabelResponse> LabelService::Label(const LabelRequest& request) {
     }
   }
   if (!matrix.ok()) return matrix.status();
+  // Stage boundary check between LF application and inference: don't start
+  // the posterior pass for a caller that already gave up.
+  if (request.cancel != nullptr && request.cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        "request budget spent before inference started");
+  }
 
   // Posterior computation reads the immutable restored model: lock-free.
   LabelResponse response;

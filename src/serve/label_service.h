@@ -46,6 +46,12 @@ struct LabelRequest {
   /// marked uncovered (LabelResponse::covered/shard_outcomes), and the
   /// response reports is_partial instead of failing.
   bool allow_partial = false;
+  /// Optional cooperative cancellation token (not owned; must outlive the
+  /// call). Checked between pipeline stages and at row chunk boundaries
+  /// inside LF application, so a request whose caller has given up stops
+  /// consuming CPU and fails typed kDeadlineExceeded instead of computing a
+  /// reply nobody reads. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One attempt at one replica while serving a shard's sub-batch: which

@@ -1,0 +1,61 @@
+#ifndef SNORKEL_UTIL_CANCELLATION_H_
+#define SNORKEL_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace snorkel {
+
+/// Cooperative cancellation token: an absolute steady-clock deadline plus a
+/// latched cancelled flag, checked at chunk boundaries by long-running
+/// compute (LF application row shards, column claims) so work whose caller
+/// has already given up stops consuming CPU mid-flight instead of running to
+/// completion into a reply nobody reads.
+///
+/// The check is designed for hot loops: once any thread observes expiry the
+/// flag latches, so sibling threads of the same parallel apply bail on a
+/// relaxed atomic load without ever reading the clock again. Expired() is
+/// const (callable through the `const CancelToken*` a request carries);
+/// the latch is mutable for exactly that reason.
+///
+/// A token is immovable (it holds an atomic); owners keep it on the stack or
+/// in the job object for the duration of the request and hand out a pointer.
+class CancelToken {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// A token that never expires on its own (Cancel() still works).
+  CancelToken() = default;
+
+  /// Expires once the steady clock passes `deadline`; TimePoint::max() never
+  /// expires.
+  explicit CancelToken(TimePoint deadline) : deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Manual cancellation (latches; independent of the deadline).
+  void Cancel() const { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once the deadline has passed or Cancel() was called. Cheap after
+  /// the first observation: the latch short-circuits the clock read.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_ == TimePoint::max()) return false;
+    if (std::chrono::steady_clock::now() <= deadline_) return false;
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  TimePoint deadline() const { return deadline_; }
+
+ private:
+  TimePoint deadline_ = TimePoint::max();
+  /// Latched expiry/cancel flag; mutable so the const hot-loop check can
+  /// publish the observation for sibling threads.
+  mutable std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace snorkel
+
+#endif  // SNORKEL_UTIL_CANCELLATION_H_

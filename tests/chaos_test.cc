@@ -401,5 +401,93 @@ TEST(ChaosTest, InjectedServerFaultsAreIndistinguishableFromRealOnes) {
   std::remove(path.c_str());
 }
 
+TEST(ChaosTest, SlowShardUnderSustainedLoadShedsTypedAndRecoversBitwise) {
+  // Overload scenario: a REAL shard process made slow via the wire fault
+  // control plane (every label sleeps far longer than the request budgets
+  // allow), then hit with a sustained burst of deadline-bearing traffic.
+  // The invariants: the shard NEVER wedges (every caller gets an answer
+  // within its own budget-bounded wait), every failure is typed and
+  // retry-relevant (deadline exceeded, overload shed, breaker fail-fast),
+  // expired work is provably cancelled server-side, and once the fault is
+  // disarmed the shard serves bit-identically to the in-process oracle.
+  ASSERT_NE(std::string(SNORKEL_SHARD_SERVER_BIN), "");
+  FaultGuard guard;
+  ChaosFixture fx;
+  ModelSnapshot snapshot = fx.MakeSnapshot();
+  std::string path = TempPath("chaos_overload.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  LabelResponse expected = fx.Expected(snapshot);
+
+  ServerProcess server;
+  ASSERT_TRUE(server.Start(path, "slow"));
+  RemoteShardClient::Options options;
+  options.port = server.port();
+  RemoteShardClient client = RemoteShardClient::Create(options);
+
+  // Every label call sleeps 100 ms — far past the 150 ms budgets below once
+  // a queue forms behind the 2 workers.
+  WireFaultCommand command;
+  fault::Schedule slow;
+  slow.kind = fault::Schedule::Kind::kDelayNth;
+  slow.n = 1;
+  slow.delay_ms = 100;
+  slow.max_hits = 1000;
+  command.arm.emplace_back("server.label", slow);
+  ASSERT_TRUE(client.ConfigureFaults(command, 2000).ok());
+
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  constexpr int kCallers = 12;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> typed_failures{0};
+  std::atomic<int> untyped_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&] {
+      auto response = client.Label(fx.corpus, rows, false, true,
+                                   /*deadline_ms=*/150);
+      if (response.ok()) {
+        ok_count.fetch_add(1);
+      } else if (IsTypedChaosFailure(response.status())) {
+        typed_failures.fetch_add(1);
+      } else {
+        ADD_FAILURE() << "untyped overload failure: "
+                      << response.status().ToString();
+        untyped_failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // 12 bursted jobs at 100 ms each over 2 workers cannot all meet a 150 ms
+  // budget: overload MUST have surfaced, and only as typed failures.
+  EXPECT_GE(typed_failures.load(), 1);
+  EXPECT_EQ(untyped_failures.load(), 0);
+
+  // Expired work was cooperatively cancelled server-side (the worker
+  // dequeued within budget, the injected sleep outlived it, and the
+  // replica's token checks stopped the compute) — visible over the wire.
+  for (int i = 0; i < 100; ++i) {
+    auto stats = client.GetStats(2000);
+    if (stats.ok() && stats->expired_work_cancelled > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  auto overloaded_stats = client.GetStats(2000);
+  ASSERT_TRUE(overloaded_stats.ok())
+      << overloaded_stats.status().ToString();
+  EXPECT_GE(overloaded_stats->expired_work_cancelled, 1u);
+
+  // Disarm, wait out the client breaker's jittered cooldown, and the shard
+  // must serve bit-identically — overload leaves no residue.
+  WireFaultCommand off;
+  off.disarm_all = true;
+  ASSERT_TRUE(client.ConfigureFaults(off, 2000).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1800));
+  auto recovered = client.Label(fx.corpus, rows, false, true, 10'000);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->posteriors, expected.posteriors);
+  EXPECT_EQ(recovered->hard_labels, expected.hard_labels);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace snorkel

@@ -156,6 +156,42 @@ TEST(WireStatusTest, ErrorFrameRoundTripsEveryCode) {
   }
 }
 
+TEST(WireStatusTest, ErrorFrameRetryAfterRoundTripsAndOldFormatReadsZero) {
+  // The retry_after_ms hint is an APPENDED field of the ERRS payload: new
+  // peers round-trip it, the 2-arg encode writes 0, and an OLD peer's
+  // 2-field payload (code + message only) decodes with hint 0 — never an
+  // error (trailing-bytes / short-payload tolerance, both directions).
+  Status status = Status::ResourceExhausted("shard admission queue is full");
+  auto hinted = DecodeFrame(EncodeFrame(EncodeErrorFrame(5, status, 40)));
+  ASSERT_TRUE(hinted.ok());
+  uint64_t retry_after_ms = 99;
+  Status back = DecodeErrorFrame(*hinted, &retry_after_ms);
+  EXPECT_EQ(back.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(retry_after_ms, 40u);
+  // The hint is optional for the caller: the 1-arg decode still works.
+  EXPECT_EQ(DecodeErrorFrame(*hinted).code(), StatusCode::kResourceExhausted);
+
+  // No hint supplied: encodes 0, decodes 0.
+  auto unhinted = DecodeFrame(EncodeFrame(EncodeErrorFrame(6, status)));
+  ASSERT_TRUE(unhinted.ok());
+  retry_after_ms = 99;
+  (void)DecodeErrorFrame(*unhinted, &retry_after_ms);
+  EXPECT_EQ(retry_after_ms, 0u);
+
+  // An OLD peer's ERRS payload stops after the message. Truncate the
+  // trailing u64 and decode: hint reads 0, code and message intact.
+  Frame old_peer = *hinted;
+  for (FrameSection& section : old_peer.sections) {
+    ASSERT_GE(section.payload.size(), sizeof(uint64_t));
+    section.payload.resize(section.payload.size() - sizeof(uint64_t));
+  }
+  retry_after_ms = 99;
+  Status compat = DecodeErrorFrame(old_peer, &retry_after_ms);
+  EXPECT_EQ(compat.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(compat.message(), "shard admission queue is full");
+  EXPECT_EQ(retry_after_ms, 0u);
+}
+
 TEST(WireFrameTest, RoundTripPreservesTypeIdAndSections) {
   Frame frame;
   frame.type = FrameType::kLabelResponse;
@@ -777,6 +813,145 @@ TEST(ShardServerTest, SpentDeadlineFailsTypedWithoutDeadWork) {
   std::remove(path.c_str());
 }
 
+TEST(WireLabelRequestTest, PreEncodedBatchReframesWithFreshBudget) {
+  // The client-side budget-leak fix: the EXPENSIVE payload (corpus +
+  // candidates) is encoded once, while the cheap deadline framing happens
+  // per attempt with the budget REMAINING at that instant. The regression
+  // this pins: a retry/hedge that re-framed the original deadline_ms
+  // verbatim would grant the server a fresh full budget after the client
+  // already burned part of it queueing/backing off.
+  NetFixture fx(6);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+  const EncodedLabelBatch batch = EncodeLabelBatch(fx.corpus, rows);
+
+  // Framing from the pre-encoded batch is byte-identical to the one-shot
+  // encoder — the split cannot change what the server sees.
+  EXPECT_EQ(EncodeFrame(EncodeLabelRequestFromBatch(9, batch, true, false,
+                                                    /*deadline_ms=*/123)),
+            EncodeFrame(EncodeLabelRequest(9, fx.corpus, rows, true, false,
+                                           /*deadline_ms=*/123)));
+
+  // Re-framing the SAME batch with a smaller remaining budget (what each
+  // attempt computes at dispatch) reaches the server as the smaller value.
+  auto early = DecodeFrame(
+      EncodeFrame(EncodeLabelRequestFromBatch(9, batch, true, false, 30)));
+  ASSERT_TRUE(early.ok());
+  auto late = DecodeFrame(
+      EncodeFrame(EncodeLabelRequestFromBatch(9, batch, true, false, 11)));
+  ASSERT_TRUE(late.ok());
+  auto wire_early = DecodeLabelRequest(*early);
+  auto wire_late = DecodeLabelRequest(*late);
+  ASSERT_TRUE(wire_early.ok());
+  ASSERT_TRUE(wire_late.ok());
+  EXPECT_EQ(wire_early->deadline_ms, 30u);
+  EXPECT_EQ(wire_late->deadline_ms, 11u);
+  EXPECT_LT(wire_late->deadline_ms, wire_early->deadline_ms);
+  EXPECT_EQ(wire_late->candidates.size(), rows.size());
+}
+
+TEST(ShardServerTest, ExpiredBudgetCancelsComputeMidFlight) {
+  // Cooperative cancellation end-to-end: the worker dequeues the job while
+  // its budget is still live, the injected server.label delay outlives the
+  // budget, and the replica's chunk-boundary token checks stop the LF
+  // compute mid-flight — typed kDeadlineExceeded, counted as
+  // expired_work_cancelled (NOT a pre-compute deadline_rejection).
+  NetFixture fx(128);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("cancel_midflight.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+
+  ShardServer::Options options;
+  options.num_workers = 1;
+  options.inject_delay_every_n = 1;
+  options.inject_delay_ms = 80;  // Outlives the 30 ms budget below.
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+
+  auto response = client.Label(fx.corpus, rows, false, true,
+                               /*deadline_ms=*/30);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  // The client's socket deadline fires before the worker finishes
+  // cancelling server-side; poll briefly for the counter.
+  for (int i = 0; i < 100 && server->stats().expired_work_cancelled == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server->stats().expired_work_cancelled, 1u);
+
+  // The counter is also served over the wire (rollout observability).
+  auto wire_stats = client.GetStats(2000);
+  ASSERT_TRUE(wire_stats.ok()) << wire_stats.status().ToString();
+  EXPECT_GE(wire_stats->expired_work_cancelled, 1u);
+
+  // The shard is NOT damaged: with the budget gone, the same request
+  // (generous deadline) is served bit-exact against the in-process oracle.
+  LabelResponse expected = fx.Expected(snapshot, /*include_votes=*/false);
+  auto healthy = client.Label(fx.corpus, rows, false, true,
+                              /*deadline_ms=*/10'000);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->posteriors, expected.posteriors);
+  EXPECT_EQ(healthy->hard_labels, expected.hard_labels);
+  std::remove(path.c_str());
+}
+
+TEST(ShardServerTest, OverloadRejectionsCarryRetryAfterHint) {
+  // Every kResourceExhausted the server emits carries a non-zero
+  // retry_after_ms hint priced off the queued backlog, surfaced through
+  // the client's out-param and fed to its adaptive limiter.
+  NetFixture fx(32);
+  ModelSnapshot snapshot = fx.MakeSnapshot(fx.MakeLfs());
+  std::string path = TempPath("retry_after.snk");
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+
+  ShardServer::Options options;
+  options.queue_capacity = 1;
+  options.num_workers = 1;
+  options.inject_delay_every_n = 1;
+  options.inject_delay_ms = 50;
+  auto server = ShardServer::Serve(path, fx.MakeLfs(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  RemoteShardClient::Options client_options;
+  client_options.port = server->port();
+  // Big enough that the limiter never rejects locally — this test wants
+  // SERVER rejections, with hints.
+  client_options.adaptive_initial_limit = 32.0;
+  RemoteShardClient client = RemoteShardClient::Create(client_options);
+  std::vector<CandidateRef> rows = MakeCandidateRefs(fx.candidates);
+
+  constexpr int kCallers = 8;
+  std::atomic<int> rejected_with_hint{0};
+  std::atomic<int> rejected_without_hint{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&] {
+      bool failed_fast = false;
+      uint64_t retry_after_ms = 0;
+      auto response = client.Label(fx.corpus, rows, false, true, 0,
+                                   &failed_fast, &retry_after_ms);
+      if (!response.ok() &&
+          response.status().code() == StatusCode::kResourceExhausted &&
+          !failed_fast) {
+        (retry_after_ms > 0 ? rejected_with_hint : rejected_without_hint)
+            .fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_GE(rejected_with_hint.load(), 1);
+  EXPECT_EQ(rejected_without_hint.load(), 0);
+  // The overload signals shrank the client's AIMD limit below its start.
+  EXPECT_LT(client.stats().adaptive_limit, 32.0);
+  std::remove(path.c_str());
+}
+
 TEST(RemoteClientTest, ConsecutiveTransportFailuresTripFailFast) {
   // A server that existed and died: bind a port, then shut down.
   NetFixture fx(8);
@@ -1303,6 +1478,72 @@ TEST(CircuitBreakerTest, OpensProbesAndClosesDeterministically) {
   EXPECT_EQ(breaker.Admit(), CircuitBreaker::Admission::kAllow);
 }
 
+TEST(AdaptiveLimiterTest, AimdGrowsOnSuccessAndShrinksOnOverload) {
+  AdaptiveLimiter::Options options;
+  options.initial_limit = 4.0;
+  options.min_limit = 1.0;
+  options.max_limit = 8.0;
+  options.decrease_factor = 0.5;
+  AdaptiveLimiter limiter(options);
+  const auto soon = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(5);
+  const auto later = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(5);
+
+  // Fill every slot; the next acquisition times out at its own deadline
+  // and is counted — the local kResourceExhausted the client surfaces.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(limiter.Acquire(later));
+  EXPECT_EQ(limiter.in_flight(), 4u);
+  EXPECT_FALSE(limiter.Acquire(soon));
+  EXPECT_EQ(limiter.rejections(), 1u);
+
+  // Additive increase: ~ +increase/limit per success, TCP-style.
+  for (int i = 0; i < 4; ++i) limiter.ReleaseSuccess();
+  EXPECT_GT(limiter.limit(), 4.0);
+  EXPECT_LE(limiter.limit(), 8.0);
+
+  // Multiplicative decrease on an overload signal.
+  ASSERT_TRUE(limiter.Acquire(later));
+  const double before = limiter.limit();
+  limiter.ReleaseOverload(/*retry_after_ms=*/0);
+  EXPECT_LT(limiter.limit(), before);
+  EXPECT_GE(limiter.limit(), 1.0);
+
+  // A blocked acquirer wakes when a slot frees (no deadline needed).
+  while (limiter.in_flight() < static_cast<size_t>(limiter.limit())) {
+    ASSERT_TRUE(limiter.Acquire(later));
+  }
+  std::thread blocked([&] { EXPECT_TRUE(limiter.Acquire(later)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  limiter.ReleaseSuccess();
+  blocked.join();
+}
+
+TEST(AdaptiveLimiterTest, RetryAfterHintGatesNewAcquisitions) {
+  AdaptiveLimiter::Options options;
+  options.initial_limit = 4.0;
+  AdaptiveLimiter limiter(options);
+  const auto later = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(5);
+
+  ASSERT_TRUE(limiter.Acquire(later));
+  limiter.ReleaseOverload(/*retry_after_ms=*/60);
+
+  // Inside the gate window an acquisition with a shorter deadline fails —
+  // the server said "come back later", and the limiter enforces it.
+  EXPECT_FALSE(limiter.Acquire(std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(5)));
+
+  // A caller whose deadline outlives the gate waits it out and succeeds.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(limiter.Acquire(later));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_GE(waited, 40);
+  limiter.ReleaseNeutral();
+}
+
 // ------------------------------------------- fault sites in the transport --
 
 /// Disarms every fault site on scope exit: the registry is process-wide,
@@ -1524,19 +1765,24 @@ TEST(WireStatsTest, FaultsInjectedRoundTripsAndOldPeerPayloadDecodesToZero) {
   stats.snapshot_version = 4;
   stats.requests_served = 99;
   stats.faults_injected = 31337;
+  stats.expired_work_cancelled = 17;
+  stats.shed_total = 23;
   auto frame = DecodeFrame(EncodeFrame(EncodeStatsResponse(88, stats)));
   ASSERT_TRUE(frame.ok());
   auto actual = DecodeStatsResponse(*frame);
   ASSERT_TRUE(actual.ok());
   EXPECT_EQ(actual->faults_injected, 31337u);
   EXPECT_EQ(actual->requests_served, 99u);
+  EXPECT_EQ(actual->expired_work_cancelled, 17u);
+  EXPECT_EQ(actual->shed_total, 23u);
 
-  // An OLD peer's SVST section stops before the appended counters. Three
-  // generations: a PR-8 peer has everything; a PR-7 peer (two trailing
-  // u64s shorter) has faults_injected but not deadline_rejections /
-  // rejected_swaps; a pre-faults peer (three shorter) has none of the
-  // appended fields. Every truncation decodes, missing fields read 0, and
-  // every older field still reads correctly.
+  // An OLD peer's SVST section stops before the appended counters. Four
+  // generations: a PR-10 peer has everything; a PR-8/9 peer (two trailing
+  // u64s shorter) lacks expired_work_cancelled / shed_total; a PR-7 peer
+  // (four shorter) also lacks deadline_rejections / rejected_swaps; a
+  // pre-faults peer (five shorter) has none of the appended fields. Every
+  // truncation decodes, missing fields read 0, and every older field still
+  // reads correctly.
   auto truncated = [&](size_t dropped_u64s) {
     Frame old_peer = *frame;
     for (FrameSection& section : old_peer.sections) {
@@ -1550,12 +1796,15 @@ TEST(WireStatsTest, FaultsInjectedRoundTripsAndOldPeerPayloadDecodesToZero) {
     ASSERT_TRUE(compat.ok()) << compat.status().ToString();
     EXPECT_EQ(compat->snapshot_version, 4u);
     EXPECT_EQ(compat->requests_served, 99u);
+    EXPECT_EQ(compat->expired_work_cancelled, 0u);
+    EXPECT_EQ(compat->shed_total, 0u);
     EXPECT_EQ(compat->deadline_rejections, 0u);
     EXPECT_EQ(compat->rejected_swaps, 0u);
-    EXPECT_EQ(compat->faults_injected, dropped_u64s >= 3 ? 0u : 31337u);
+    EXPECT_EQ(compat->faults_injected, dropped_u64s >= 5 ? 0u : 31337u);
   };
   truncated(2);
-  truncated(3);
+  truncated(4);
+  truncated(5);
 }
 
 // -------------------------------------------- trace + metrics wire compat --

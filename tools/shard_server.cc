@@ -5,9 +5,16 @@
 //
 //   shard_server (--snapshot a.snk | --store dir) [--port N] [--port-file P]
 //                [--lfset cdr-demo] [--queue-capacity N] [--workers N]
+//                [--queue-cost-budget N] [--interactive-rows N]
+//                [--sojourn-target-ms N]
 //                [--watch-interval-ms N]
 //                [--inject-delay-every-n N] [--inject-delay-ms N]
 //                [--fault site=kind:params ...] [--process-label NAME]
+//
+// --queue-cost-budget turns on cost-aware admission (jobs priced rows × LFs
+// against the budget), --interactive-rows sets the interactive/bulk lane
+// split, --sojourn-target-ms turns on CoDel-style shedding of over-age bulk
+// work at pop. All three default off/neutral (count-only admission).
 //
 // --process-label names this process in exported trace spans (trace_dump
 // stitching); the default is "shard-<port>".
@@ -97,6 +104,12 @@ int main(int argc, char** argv) {
       process_label = next();
     } else if (arg == "--queue-capacity") {
       options.queue_capacity = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--queue-cost-budget") {
+      options.queue_cost_budget = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--interactive-rows") {
+      options.interactive_rows = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--sojourn-target-ms") {
+      options.sojourn_target_ms = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--workers") {
       options.num_workers = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--watch-interval-ms") {
@@ -169,11 +182,13 @@ int main(int argc, char** argv) {
   ShardServer::Stats stats = server->stats();
   std::fprintf(stderr,
                "shard_server exiting: %llu requests, %llu candidates, "
-               "%llu rejections, %llu swaps (%llu rejected), "
-               "%llu faults injected\n",
+               "%llu rejections, %llu shed, %llu cancelled, "
+               "%llu swaps (%llu rejected), %llu faults injected\n",
                static_cast<unsigned long long>(stats.requests_served),
                static_cast<unsigned long long>(stats.candidates_served),
                static_cast<unsigned long long>(stats.queue_rejections),
+               static_cast<unsigned long long>(stats.shed_total),
+               static_cast<unsigned long long>(stats.expired_work_cancelled),
                static_cast<unsigned long long>(stats.snapshot_swaps),
                static_cast<unsigned long long>(stats.rejected_swaps),
                static_cast<unsigned long long>(stats.faults_injected));
